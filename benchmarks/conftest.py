@@ -1,0 +1,84 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at a
+laptop-friendly scale (tens of traces rather than the paper's 200 —
+raise ``BENCH_TRACES`` for a full run) and prints the reproduced rows.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.network.traces import synthesize_fcc_traces, synthesize_lte_traces
+from repro.video.classify import ChunkClassifier
+from repro.video.dataset import build_video, fourx_spec, standard_dataset_specs
+
+SEED = 0
+
+#: Traces per benchmark sweep; the paper uses 200. Override with the
+#: REPRO_BENCH_TRACES environment variable for a full-scale run.
+BENCH_TRACES = int(os.environ.get("REPRO_BENCH_TRACES", "24"))
+
+
+def spec_by_name(name: str):
+    for spec in standard_dataset_specs():
+        if spec.name == name:
+            return spec
+    raise KeyError(name)
+
+
+@pytest.fixture(scope="session")
+def ed_ffmpeg():
+    """The paper's workhorse video (Figs. 4, 7, 8, 9, 10, §6.2, §6.7)."""
+    return build_video(spec_by_name("ED-ffmpeg-h264"), seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def ed_h265():
+    return build_video(spec_by_name("ED-ffmpeg-h265"), seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def ed_youtube():
+    """YouTube-encoded ED (Figs. 1, 2, 3)."""
+    return build_video(spec_by_name("ED-youtube-h264"), seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def bbb_youtube():
+    """Big Buck Bunny, YouTube (Fig. 11, Table 2)."""
+    return build_video(spec_by_name("BBB-youtube-h264"), seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def table1_videos():
+    """YouTube videos for Table 1 (a representative four of the eight)."""
+    names = ("BBB-youtube-h264", "ED-youtube-h264", "Sintel-youtube-h264", "Sports-youtube-h264")
+    return [build_video(spec_by_name(name), seed=SEED) for name in names]
+
+
+@pytest.fixture(scope="session")
+def table2_videos():
+    """Table 2's four YouTube videos."""
+    names = ("BBB-youtube-h264", "ED-youtube-h264", "Sports-youtube-h264", "ToS-youtube-h264")
+    return [build_video(spec_by_name(name), seed=SEED) for name in names]
+
+
+@pytest.fixture(scope="session")
+def fourx_video():
+    return build_video(fourx_spec(), seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def lte():
+    return synthesize_lte_traces(count=BENCH_TRACES, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def fcc():
+    return synthesize_fcc_traces(count=BENCH_TRACES, seed=SEED)

@@ -1,0 +1,51 @@
+"""§6.7: sensitivity to bandwidth-prediction error.
+
+Paper: with predictions perturbed uniformly by ±err (err up to 50%),
+CAVA's Q4 quality, rebuffering, and low-quality percentage stay close
+to the err=0 values; MPC rebuffers and downloads significantly more at
+err=50%; PANDA/CQ max-min rebuffers noticeably more.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.tables import bandwidth_error_study
+
+ERRORS = (0.0, 0.25, 0.50)
+SCHEMES = ("CAVA", "MPC", "PANDA/CQ max-min")
+
+
+def test_bandwidth_error(benchmark, ed_ffmpeg, lte):
+    study = benchmark.pedantic(
+        bandwidth_error_study,
+        args=(ed_ffmpeg, lte),
+        kwargs={"errors": ERRORS, "schemes": SCHEMES},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for scheme in SCHEMES:
+        for err in ERRORS:
+            m = study[scheme][err]
+            rows.append(
+                (
+                    scheme, f"{err:.0%}",
+                    f"{m['q4_quality_mean']:.1f}",
+                    f"{m['low_quality_fraction'] * 100:.1f}%",
+                    f"{m['rebuffer_s']:.1f}",
+                    f"{m['data_usage_mb']:.0f}",
+                )
+            )
+    print("\n§6.7 — controlled prediction error:")
+    print(render_table(("scheme", "err", "Q4", "low-qual", "stall s", "MB"), rows))
+
+    cava = study["CAVA"]
+    mpc = study["MPC"]
+    panda = study["PANDA/CQ max-min"]
+    # CAVA is insensitive: Q4 quality and rebuffering barely move.
+    assert abs(cava[0.5]["q4_quality_mean"] - cava[0.0]["q4_quality_mean"]) < 4.0
+    assert cava[0.5]["rebuffer_s"] - cava[0.0]["rebuffer_s"] < 3.0
+    assert abs(cava[0.5]["low_quality_fraction"] - cava[0.0]["low_quality_fraction"]) < 0.05
+    # MPC and PANDA degrade more in rebuffering than CAVA does.
+    cava_growth = cava[0.5]["rebuffer_s"] - cava[0.0]["rebuffer_s"]
+    assert mpc[0.5]["rebuffer_s"] - mpc[0.0]["rebuffer_s"] >= cava_growth
+    assert panda[0.5]["rebuffer_s"] - panda[0.0]["rebuffer_s"] >= cava_growth

@@ -1,0 +1,45 @@
+"""Fig. 11 / §6.8: CAVA vs the three BOLA-E variants in the dash.js
+harness.
+
+Paper (BBB YouTube, LTE): CAVA wins Q4 quality, low-quality percentage,
+rebuffering, and quality changes; BOLA-E's data usage is lower; BOLA-E
+(peak) is most conservative, (avg) most aggressive, (seg) in between
+with the most quality churn; CAVA's rule overhead is ~56 ms per
+10-minute video.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig11_dashjs_cdfs
+
+SCHEMES = ("CAVA", "BOLA-E (peak)", "BOLA-E (avg)", "BOLA-E (seg)")
+
+
+def test_fig11_dashjs(benchmark, bbb_youtube, lte):
+    data = benchmark.pedantic(
+        fig11_dashjs_cdfs, args=(bbb_youtube, lte), rounds=1, iterations=1
+    )
+
+    cdfs = data["cdfs"]
+    print("\nFig. 11 — across-trace medians in the dash.js harness:")
+    med = lambda panel, s: float(np.median(cdfs[panel][s][0]))
+    for scheme in SCHEMES:
+        print(
+            f"  {scheme:14s} Q4 {med('q4_quality', scheme):5.1f}  "
+            f"Q1-3 {med('q13_quality', scheme):5.1f}  "
+            f"low {med('low_quality_pct', scheme):4.1f}%  "
+            f"stall {med('rebuffer_s', scheme):5.1f}  "
+            f"dq {med('quality_change', scheme):5.2f}  "
+            f"MB {med('total_data_usage_mb', scheme):5.0f}  "
+            f"rule {data['rule_overhead_s'][scheme] * 1e3:4.0f} ms"
+        )
+
+    for variant in ("BOLA-E (peak)", "BOLA-E (avg)", "BOLA-E (seg)"):
+        assert med("q4_quality", "CAVA") > med("q4_quality", variant)
+        assert med("low_quality_pct", "CAVA") <= med("low_quality_pct", variant)
+    # peak most conservative -> least data; avg more than peak.
+    assert med("total_data_usage_mb", "BOLA-E (peak)") < med("total_data_usage_mb", "BOLA-E (avg)")
+    # seg churns more than peak/avg (per-chunk sizes swing its scores).
+    assert med("quality_change", "BOLA-E (seg)") >= med("quality_change", "BOLA-E (peak)")
+    # The CAVA rule is lightweight (§6.8 measures ~56 ms in JS).
+    assert data["rule_overhead_s"]["CAVA"] < 1.0

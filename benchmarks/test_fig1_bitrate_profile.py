@@ -1,0 +1,32 @@
+"""Fig. 1: per-chunk bitrate of the six tracks of a YouTube VBR video.
+
+Paper: the six tracks show strong per-chunk bitrate variability around
+their averages (dashed lines), CoV 0.3–0.6, capped peaks.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig1_bitrate_profile
+
+
+def test_fig1_bitrate_profile(benchmark, ed_youtube):
+    data = benchmark.pedantic(
+        fig1_bitrate_profile, args=(ed_youtube,), rounds=1, iterations=1
+    )
+
+    averages = data["track_averages_mbps"]
+    print("\nFig. 1 — track average bitrates (Mbps, the dashed lines):")
+    for level, avg in enumerate(averages):
+        series = data["bitrates_mbps"][level]
+        print(
+            f"  L{level}: avg {avg:5.2f}  min {series.min():5.2f}  "
+            f"max {series.max():5.2f}"
+        )
+
+    # Shape checks: ascending ladder, visible variability on every track.
+    assert np.all(np.diff(averages) > 0)
+    for level in range(6):
+        series = data["bitrates_mbps"][level]
+        assert series.max() > 1.25 * series.min()
+    # Top track roughly in the paper's few-Mbps range.
+    assert 2.0 < averages[-1] < 9.0

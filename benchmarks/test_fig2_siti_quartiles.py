@@ -1,0 +1,24 @@
+"""Fig. 2: SI/TI of chunks by size quartile.
+
+Paper (ED, track 3): ~78% of Q4 chunks exceed (SI > 25, TI > 7) versus
+~11% of Q1 and ~14% of Q2 chunks — chunk size separates scene
+complexity.
+"""
+
+from repro.experiments.figures import fig2_siti_by_quartile
+
+
+def test_fig2_siti_by_quartile(benchmark, ed_youtube):
+    data = benchmark.pedantic(
+        fig2_siti_by_quartile, args=(ed_youtube,), rounds=1, iterations=1
+    )
+
+    above = data["fraction_above_thresholds"]
+    print("\nFig. 2 — fraction of chunks with SI > 25 and TI > 7:")
+    for q in range(1, 5):
+        print(f"  Q{q}: {above[q]:.0%}   (paper: Q4 ~78%, Q1 ~11%, Q2 ~14%)")
+
+    assert above[4] > 0.55
+    assert above[1] < 0.25
+    assert above[2] < 0.35
+    assert above[4] > above[3] >= above[2] >= above[1]

@@ -1,0 +1,29 @@
+"""Fig. 3: encoding-quality CDFs per size quartile, four metrics.
+
+Paper (ED YouTube, 480p): Q1..Q4 have increasing sizes but decreasing
+quality under PSNR, SSIM, VMAF-TV and VMAF-Phone, with a particularly
+large gap between Q4 and Q1–Q3.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig3_quality_cdfs
+
+
+def test_fig3_quality_cdfs(benchmark, ed_youtube):
+    data = benchmark.pedantic(fig3_quality_cdfs, args=(ed_youtube,), rounds=1, iterations=1)
+
+    print("\nFig. 3 — median chunk quality by quartile (480p track):")
+    medians = {}
+    for metric in ("psnr", "ssim", "vmaf_tv", "vmaf_phone"):
+        medians[metric] = [float(np.median(data[metric][q][0])) for q in range(1, 5)]
+        formatted = "  ".join(f"Q{q}={v:.2f}" for q, v in zip(range(1, 5), medians[metric]))
+        print(f"  {metric:10s}: {formatted}")
+
+    for metric, values in medians.items():
+        assert values[0] >= values[1] >= values[2] >= values[3], metric
+        assert values[0] > values[3], metric
+    # The Q4 gap is pronounced on the VMAF scales.
+    for metric in ("vmaf_tv", "vmaf_phone"):
+        q13 = np.mean(medians[metric][:3])
+        assert q13 - medians[metric][3] > 5.0

@@ -1,0 +1,41 @@
+"""Fig. 7 / §6.2: inner controller window size W.
+
+Paper: growing W first improves Q4 quality substantially then flattens;
+rebuffering rises slightly and then sharply at very large W. W = 40 s is
+the chosen trade-off.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig7_inner_window_sweep
+
+WINDOWS = (2, 10, 20, 40, 80, 120, 160)
+
+
+def test_fig7_inner_window_sweep(benchmark, ed_ffmpeg, lte):
+    data = benchmark.pedantic(
+        fig7_inner_window_sweep,
+        args=(ed_ffmpeg, lte),
+        kwargs={"window_sizes_s": WINDOWS},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nFig. 7 — inner window sweep (mean [p10, p90] across traces):")
+    for i, w in enumerate(WINDOWS):
+        q4 = data["q4_quality"]
+        rb = data["rebuffer_s"]
+        print(
+            f"  W={w:4d}s  Q4 {q4['mean'][i]:5.1f} [{q4['p10'][i]:5.1f}, {q4['p90'][i]:5.1f}]"
+            f"  rebuffer {rb['mean'][i]:5.2f} [{rb['p10'][i]:5.2f}, {rb['p90'][i]:5.2f}] s"
+        )
+
+    q4_mean = data["q4_quality"]["mean"]
+    # Claim (i): Q4 quality improves from tiny W and then flattens out.
+    assert q4_mean[3] > q4_mean[0] + 1.0  # W=40 well above W=2
+    late_gain = q4_mean[-1] - q4_mean[3]
+    early_gain = q4_mean[3] - q4_mean[0]
+    assert late_gain < early_gain  # diminishing returns
+    # Claim (ii): rebuffering does not improve at very large W.
+    rb_mean = data["rebuffer_s"]["mean"]
+    assert rb_mean[-1] >= rb_mean[3] - 0.5

@@ -1,0 +1,50 @@
+"""Fig. 8: the five metric CDFs — CAVA vs MPC, RobustMPC, PANDA/CQ.
+
+Paper (ED FFmpeg H.264, LTE): CAVA delivers the best Q4-quality CDF, the
+fewest low-quality chunks, no rebuffering on 85% of traces (vs 20% for
+RobustMPC and 68% for PANDA/CQ max-min), the smallest quality changes,
+and 5–40% lower data usage than RobustMPC.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import FIG8_SCHEMES, fig8_scheme_cdfs
+
+
+def _fraction_at_or_below(values: np.ndarray, threshold: float) -> float:
+    return float(np.mean(values <= threshold))
+
+
+def test_fig8_scheme_cdfs(benchmark, ed_ffmpeg, lte):
+    data = benchmark.pedantic(
+        fig8_scheme_cdfs, args=(ed_ffmpeg, lte), rounds=1, iterations=1
+    )
+
+    print("\nFig. 8 — across-trace medians per scheme:")
+    header = f"  {'scheme':18s} {'Q4 qual':>8s} {'low-q %':>8s} {'stall s':>8s} {'dq':>6s} {'rel MB':>7s}"
+    print(header)
+    medians = {}
+    for scheme in FIG8_SCHEMES:
+        med = {panel: float(np.median(data[panel][scheme][0])) for panel in data}
+        medians[scheme] = med
+        print(
+            f"  {scheme:18s} {med['q4_quality']:8.1f} {med['low_quality_pct']:8.1f} "
+            f"{med['rebuffer_s']:8.1f} {med['quality_change']:6.2f} "
+            f"{med['relative_data_usage_mb']:7.1f}"
+        )
+    no_stall = {
+        scheme: _fraction_at_or_below(data["rebuffer_s"][scheme][0], 0.0)
+        for scheme in FIG8_SCHEMES
+    }
+    print(f"  fraction of traces with zero rebuffering: "
+          + ", ".join(f"{s}={v:.0%}" for s, v in no_stall.items()))
+
+    # Shape claims.
+    assert medians["CAVA"]["q4_quality"] > medians["RobustMPC"]["q4_quality"]
+    assert medians["CAVA"]["q4_quality"] >= medians["PANDA/CQ max-sum"]["q4_quality"]
+    assert medians["CAVA"]["quality_change"] < medians["RobustMPC"]["quality_change"]
+    assert no_stall["CAVA"] >= no_stall["RobustMPC"]
+    assert no_stall["CAVA"] >= no_stall["PANDA/CQ max-min"]
+    # Relative data usage: everyone else sits at or above CAVA's zero line.
+    for scheme in ("MPC", "RobustMPC"):
+        assert medians[scheme]["relative_data_usage_mb"] > -5.0

@@ -1,0 +1,37 @@
+"""§6.2: outer controller window size W'.
+
+Paper: rebuffering generally decreases as W' grows (the target buffer
+rises earlier ahead of heavy windows); at very large W' the effect can
+reverse because the long average washes out the variability signal.
+W' = 200 s is the chosen setting.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import outer_window_sweep
+
+WINDOWS = (10, 50, 100, 200, 400)
+
+
+def test_outer_window_sweep(benchmark, ed_ffmpeg, lte):
+    data = benchmark.pedantic(
+        outer_window_sweep,
+        args=(ed_ffmpeg, lte),
+        kwargs={"window_sizes_s": WINDOWS},
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n§6.2 — outer window sweep:")
+    for i, w in enumerate(WINDOWS):
+        print(
+            f"  W'={w:4d}s  rebuffer mean {data['rebuffer_mean_s'][i]:5.2f} s "
+            f"(p90 {data['rebuffer_p90_s'][i]:5.2f})  Q4 {data['q4_quality_mean'][i]:5.1f}"
+        )
+
+    # The chosen W' = 200 s is at least as good as the tiny-window setting.
+    i10 = WINDOWS.index(10)
+    i200 = WINDOWS.index(200)
+    assert data["rebuffer_mean_s"][i200] <= data["rebuffer_mean_s"][i10] + 0.25
+    # Q4 quality is not materially sacrificed by the proactive target.
+    assert data["q4_quality_mean"][i200] > data["q4_quality_mean"][i10] - 2.0

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""§6.7: how sensitive is each scheme to bandwidth-prediction error?
+
+Replaces the harmonic-mean estimator with a controlled-error oracle that
+reports the true near-future bandwidth perturbed uniformly by ±err, for
+err in {0, 25%, 50%}, and prints how each scheme's Q4 quality,
+rebuffering, and data usage move.
+
+The paper's finding: CAVA barely moves (its PID loop keeps correcting
+the buffer error that mispredictions cause), while MPC rebuffers and
+over-downloads significantly at err = 50%.
+
+Run:  python examples/bandwidth_error_study.py [num_traces]
+"""
+
+import sys
+
+from repro.experiments import render_table
+from repro.experiments.tables import bandwidth_error_study
+from repro.network import synthesize_lte_traces
+from repro.video import build_video, standard_dataset_specs
+
+
+def main() -> None:
+    num_traces = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    spec = next(s for s in standard_dataset_specs() if s.name == "ED-ffmpeg-h264")
+    video = build_video(spec, seed=0)
+    traces = synthesize_lte_traces(count=num_traces, seed=0)
+
+    study = bandwidth_error_study(
+        video, traces, errors=(0.0, 0.25, 0.50),
+        schemes=("CAVA", "MPC", "PANDA/CQ max-min"),
+    )
+    rows = []
+    for scheme, by_error in study.items():
+        for err, metrics in sorted(by_error.items()):
+            rows.append(
+                (
+                    scheme,
+                    f"{err:.0%}",
+                    f"{metrics['q4_quality_mean']:.1f}",
+                    f"{metrics['low_quality_fraction'] * 100:.1f}%",
+                    f"{metrics['rebuffer_s']:.1f}",
+                    f"{metrics['data_usage_mb']:.0f}",
+                )
+            )
+    print(f"=== §6.7 controlled bandwidth-prediction error ({num_traces} LTE traces) ===")
+    print(render_table(("scheme", "err", "Q4 quality", "low-qual", "stall s", "data MB"), rows))
+
+    cava = study["CAVA"]
+    print(
+        "\nCAVA Q4 quality moves by "
+        f"{abs(cava[0.5]['q4_quality_mean'] - cava[0.0]['q4_quality_mean']):.1f} "
+        "VMAF between err=0 and err=50% — the control loop absorbs the error."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The §6.3 comparison in miniature: CAVA vs the state of the art.
+
+Streams one video over a set of LTE traces (and the same video over FCC
+traces) with CAVA, MPC, RobustMPC, and both PANDA/CQ variants, then
+prints the across-trace means of the five QoE metrics and the Table-1
+style deltas against RobustMPC and PANDA/CQ max-min.
+
+Run:  python examples/compare_schemes.py [num_traces]
+"""
+
+import sys
+
+from repro.experiments import (
+    compare_to_baselines,
+    format_comparison_rows,
+    render_table,
+    run_comparison,
+)
+from repro.network import synthesize_fcc_traces, synthesize_lte_traces
+from repro.video import build_video, standard_dataset_specs
+
+SCHEMES = ("CAVA", "MPC", "RobustMPC", "PANDA/CQ max-sum", "PANDA/CQ max-min")
+
+
+def report(video, traces, network: str) -> None:
+    results = run_comparison(list(SCHEMES), video, traces, network)
+    rows = []
+    for scheme in SCHEMES:
+        sweep = results[scheme]
+        rows.append(
+            (
+                scheme,
+                f"{sweep.mean('q4_quality_mean'):.1f}",
+                f"{sweep.mean('low_quality_fraction') * 100:.1f}%",
+                f"{sweep.mean('rebuffer_s'):.1f}",
+                f"{sweep.mean('quality_change_per_chunk'):.2f}",
+                f"{sweep.mean('data_usage_mb'):.0f}",
+            )
+        )
+    print(f"\n=== {video.name} over {len(traces)} {network.upper()} traces ===")
+    print(
+        render_table(
+            ("scheme", "Q4 quality", "low-qual", "stall s", "qual chg", "data MB"), rows
+        )
+    )
+    print("\nTable-1 style deltas (CAVA relative to baseline):")
+    deltas = compare_to_baselines(
+        results, ["RobustMPC", "PANDA/CQ max-min"], video.name, network
+    )
+    print(format_comparison_rows(deltas))
+
+
+def main() -> None:
+    num_traces = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    spec = next(s for s in standard_dataset_specs() if s.name == "ED-ffmpeg-h264")
+    video = build_video(spec, seed=0)
+    report(video, synthesize_lte_traces(count=num_traces, seed=0), "lte")
+    report(video, synthesize_fcc_traces(count=num_traces, seed=0), "fcc")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Export the reproduced figure data to CSV/JSON for external plotting.
+
+Regenerates the characterization figures (1–3) and the Fig. 8 scheme
+CDFs at a configurable trace count, then writes them under ``figdata/``
+in formats any plotting tool loads directly.
+
+Run:  python examples/export_figures.py [output_dir] [num_traces]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments import (
+    fig1_bitrate_profile,
+    fig2_siti_by_quartile,
+    fig3_quality_cdfs,
+    fig8_scheme_cdfs,
+    write_cdf_csv,
+    write_json,
+    write_series_csv,
+)
+from repro.network import synthesize_lte_traces
+from repro.video import build_video, standard_dataset_specs
+
+
+def main() -> None:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figdata")
+    num_traces = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    output.mkdir(parents=True, exist_ok=True)
+
+    youtube = build_video(
+        next(s for s in standard_dataset_specs() if s.name == "ED-youtube-h264"), seed=0
+    )
+    ffmpeg = build_video(
+        next(s for s in standard_dataset_specs() if s.name == "ED-ffmpeg-h264"), seed=0
+    )
+
+    # Fig. 1: per-track bitrate series.
+    fig1 = fig1_bitrate_profile(youtube)
+    write_series_csv(
+        {
+            "chunk": fig1["chunk_index"],
+            **{f"L{level}_mbps": fig1["bitrates_mbps"][level] for level in range(6)},
+        },
+        output / "fig1_bitrates.csv",
+    )
+
+    # Fig. 2: SI/TI scatter (JSON keeps the per-quartile nesting).
+    write_json(fig2_siti_by_quartile(youtube), output / "fig2_siti.json")
+
+    # Fig. 3: quality CDFs per quartile, one CSV per metric.
+    fig3 = fig3_quality_cdfs(youtube)
+    for metric, per_quartile in fig3.items():
+        write_cdf_csv(
+            {f"Q{q}": cdf for q, cdf in per_quartile.items()},
+            output / f"fig3_{metric}.csv",
+            value_label=metric,
+        )
+
+    # Fig. 8: the five scheme-comparison CDF panels.
+    traces = synthesize_lte_traces(count=num_traces, seed=0)
+    fig8 = fig8_scheme_cdfs(ffmpeg, traces)
+    for panel, cdfs in fig8.items():
+        write_cdf_csv(cdfs, output / f"fig8_{panel}.csv", value_label=panel)
+
+    written = sorted(p.name for p in output.iterdir())
+    print(f"wrote {len(written)} files to {output}/:")
+    for name in written:
+        print(f"  {name}")
+
+
+if __name__ == "__main__":
+    main()

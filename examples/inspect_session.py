@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Inspect one streaming session chunk by chunk.
+
+Streams one video over one LTE trace with a chosen scheme and prints the
+interesting part of the event timeline (startup, level switches, stalls,
+pauses) followed by the §6.1 metric summary — the debugging view a
+player's developer overlay would give you.
+
+Run:  python examples/inspect_session.py [scheme] [trace_index]
+"""
+
+import sys
+
+from repro.abr import make_scheme, needs_quality_manifest
+from repro.network import TraceLink, synthesize_lte_traces
+from repro.player import format_events, run_session, session_events, summarize_session
+from repro.video import build_video, standard_dataset_specs
+
+
+def main() -> None:
+    scheme = sys.argv[1] if len(sys.argv) > 1 else "CAVA"
+    trace_index = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+
+    spec = next(s for s in standard_dataset_specs() if s.name == "ED-ffmpeg-h264")
+    video = build_video(spec, seed=0)
+    trace = synthesize_lte_traces(count=trace_index + 1, seed=0)[trace_index]
+
+    algorithm = make_scheme(scheme)
+    result = run_session(
+        algorithm, video, TraceLink(trace),
+        include_quality=needs_quality_manifest(scheme),
+    )
+
+    print(f"=== {scheme} on {video.name} over {trace.name} "
+          f"(mean {trace.mean_bps / 1e6:.2f} Mbps) ===\n")
+    print(format_events(session_events(result), limit=40))
+    print()
+    metrics = summarize_session(result, video)
+    for key, value in metrics.as_dict().items():
+        print(f"  {key:26s} {value:10.3f}")
+
+
+if __name__ == "__main__":
+    main()

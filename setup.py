@@ -1,0 +1,7 @@
+"""Legacy shim so ``python setup.py develop`` works in offline
+environments that lack the ``wheel`` package (pyproject.toml is the
+source of truth for all metadata)."""
+
+from setuptools import setup
+
+setup()

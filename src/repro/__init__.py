@@ -1,0 +1,124 @@
+"""repro — reproduction of "ABR Streaming of VBR-encoded Videos:
+Characterization, Challenges, and Solutions" (Qin et al., CoNEXT 2018).
+
+The package reproduces the paper end to end:
+
+- :mod:`repro.video` — the VBR dataset analogue of §2–§3: scene
+  synthesis, capped two-pass VBR / CBR encoder models, VMAF/PSNR/SSIM
+  quality surfaces, and quartile chunk classification;
+- :mod:`repro.network` — §6.1's LTE / FCC trace sets (synthesized,
+  seeded), a trace-driven fluid link, and bandwidth estimators;
+- :mod:`repro.player` — the streaming-session simulator and the five
+  QoE metrics;
+- :mod:`repro.abr` — every baseline the paper evaluates: RBA, BBA-1,
+  MPC, RobustMPC, PANDA/CQ (max-sum / max-min), BOLA-E (peak/avg/seg);
+- :mod:`repro.core` — **CAVA** itself (§5): PID feedback block,
+  statistical filters, inner/outer controllers, and the §6.4 ablations;
+- :mod:`repro.dashjs` — the §6.8 dash.js-prototype harness;
+- :mod:`repro.experiments` / :mod:`repro.analysis` — one function per
+  table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import (
+        build_video, standard_dataset_specs, synthesize_lte_traces,
+        TraceLink, run_session, summarize_session, cava_p123,
+    )
+
+    spec = standard_dataset_specs()[0]
+    video = build_video(spec, seed=0)
+    trace = synthesize_lte_traces(count=1, seed=0)[0]
+    result = run_session(cava_p123(), video, TraceLink(trace))
+    print(summarize_session(result, video))
+"""
+
+from repro.abr import (
+    ABRAlgorithm,
+    BBA1Algorithm,
+    BolaEAlgorithm,
+    DecisionContext,
+    MPCAlgorithm,
+    PandaCQAlgorithm,
+    RateBasedAlgorithm,
+    RobustMPCAlgorithm,
+    make_scheme,
+    needs_quality_manifest,
+    scheme_names,
+)
+from repro.core import (
+    CavaAlgorithm,
+    CavaConfig,
+    cava_live,
+    cava_p1,
+    cava_p12,
+    cava_p123,
+)
+from repro.network import (
+    HarmonicMeanEstimator,
+    NetworkTrace,
+    TraceLink,
+    synthesize_fcc_traces,
+    synthesize_lte_traces,
+)
+from repro.player import (
+    LiveSessionConfig,
+    SessionConfig,
+    SessionResult,
+    StreamingSession,
+    run_live_session,
+    run_session,
+    summarize_session,
+)
+from repro.video import (
+    ChunkClassifier,
+    Manifest,
+    VideoAsset,
+    VideoSpec,
+    build_standard_dataset,
+    build_video,
+    fourx_spec,
+    standard_dataset_specs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABRAlgorithm",
+    "BBA1Algorithm",
+    "BolaEAlgorithm",
+    "DecisionContext",
+    "MPCAlgorithm",
+    "PandaCQAlgorithm",
+    "RateBasedAlgorithm",
+    "RobustMPCAlgorithm",
+    "make_scheme",
+    "needs_quality_manifest",
+    "scheme_names",
+    "CavaAlgorithm",
+    "CavaConfig",
+    "cava_p1",
+    "cava_p12",
+    "cava_p123",
+    "cava_live",
+    "HarmonicMeanEstimator",
+    "NetworkTrace",
+    "TraceLink",
+    "synthesize_fcc_traces",
+    "synthesize_lte_traces",
+    "SessionConfig",
+    "SessionResult",
+    "StreamingSession",
+    "run_session",
+    "run_live_session",
+    "LiveSessionConfig",
+    "summarize_session",
+    "ChunkClassifier",
+    "Manifest",
+    "VideoAsset",
+    "VideoSpec",
+    "build_standard_dataset",
+    "build_video",
+    "fourx_spec",
+    "standard_dataset_specs",
+    "__version__",
+]

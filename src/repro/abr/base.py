@@ -1,0 +1,101 @@
+"""ABR algorithm interface shared by every scheme (baselines and CAVA).
+
+An algorithm sees exactly what a deployable DASH/HLS client sees (§3.2):
+
+- the manifest (per-chunk sizes for all tracks, declared bitrates) at
+  session start, via :meth:`ABRAlgorithm.prepare`;
+- before each chunk, a :class:`DecisionContext` — current buffer level,
+  bandwidth estimate, playback clock, previous level;
+- after each download, a completion notification (for schemes that track
+  their own statistics, e.g. RobustMPC's prediction-error history).
+
+PANDA/CQ additionally requires per-chunk quality values; it receives a
+manifest built with ``include_quality=True``, modelling the extra server
+support that scheme assumes (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.video.model import Manifest
+
+__all__ = ["DecisionContext", "ABRAlgorithm"]
+
+
+@dataclass(frozen=True)
+class DecisionContext:
+    """Everything the player knows when it must pick the next chunk's track.
+
+    Attributes
+    ----------
+    chunk_index:
+        Index of the chunk about to be requested (0-based).
+    now_s:
+        Wall-clock time since the session started.
+    buffer_s:
+        Seconds of video currently buffered.
+    last_level:
+        Track chosen for the previous chunk, or None for the first chunk.
+    bandwidth_bps:
+        The estimator's current bandwidth prediction.
+    playing:
+        False during startup (before the initial buffering target is met).
+    """
+
+    chunk_index: int
+    now_s: float
+    buffer_s: float
+    last_level: Optional[int]
+    bandwidth_bps: float
+    playing: bool
+
+
+class ABRAlgorithm:
+    """Base class for rate-adaptation schemes.
+
+    Subclasses must implement :meth:`select_level`; :meth:`prepare` and
+    :meth:`notify_download` are optional hooks. Instances are reusable
+    across sessions — :meth:`prepare` is called once per session and must
+    reset any per-session state.
+    """
+
+    #: Human-readable scheme name used in reports and figures.
+    name: str = "abr"
+
+    def prepare(self, manifest: Manifest) -> None:
+        """Start a new session on ``manifest``; reset per-session state."""
+        self.manifest = manifest
+
+    def select_level(self, ctx: DecisionContext) -> int:
+        """Return the track level (0-based) for chunk ``ctx.chunk_index``."""
+        raise NotImplementedError
+
+    def requested_idle_s(self, ctx: DecisionContext) -> float:
+        """Seconds the player should idle before requesting the next chunk.
+
+        Most schemes download back-to-back (0.0). BOLA-style schemes pause
+        when their utility says the buffer is comfortably high — one reason
+        BOLA-E's data usage runs lower (§6.8). The session drains the
+        buffer during the idle and re-queries the algorithm afterwards.
+        """
+        return 0.0
+
+    def notify_download(
+        self,
+        chunk_index: int,
+        level: int,
+        size_bits: float,
+        download_s: float,
+        buffer_s: float,
+        now_s: float,
+    ) -> None:
+        """Hook called after each chunk download completes."""
+
+    def _clamp_level(self, level: int) -> int:
+        """Clamp a tentative level into the manifest's valid range."""
+        return max(0, min(int(level), self.manifest.num_tracks - 1))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,85 @@
+"""FESTIVE (Jiang et al., CoNEXT 2012 [20]): a rate-based classic.
+
+FESTIVE is cited by the paper among the rate-based schemes ([20, 21,
+49]). Its client-side core, modelled here:
+
+- bandwidth estimated by the harmonic mean of recent samples (the
+  session's estimator already does this — FESTIVE is where the idiom
+  comes from);
+- a **target level** computed conservatively from the estimate
+  (efficiency factor < 1 to leave headroom);
+- **gradual switching**: step at most one level per decision, and only
+  switch *up* after the target has persisted for ``patience`` decisions
+  (stability against bandwidth noise);
+- a drop-everything guard when the buffer nears empty.
+
+Like RBA/BBA-1 it is myopic per the paper's definition — it reasons
+about track averages and the immediate estimate, not the VBR sizes of
+upcoming chunks — which is exactly why it makes a useful extra baseline
+for the myopic-vs-non-myopic story of §4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, DecisionContext
+from repro.util.validation import check_in_range, check_positive
+from repro.video.model import Manifest
+
+__all__ = ["FestiveAlgorithm"]
+
+
+class FestiveAlgorithm(ABRAlgorithm):
+    """Rate-based adaptation with gradual, stability-biased switching."""
+
+    name = "FESTIVE"
+
+    def __init__(
+        self,
+        efficiency: float = 0.85,
+        patience: int = 3,
+        panic_buffer_s: float = 6.0,
+    ) -> None:
+        check_in_range(efficiency, "efficiency", 0.1, 1.0)
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        check_positive(panic_buffer_s, "panic_buffer_s")
+        self.efficiency = efficiency
+        self.patience = patience
+        self.panic_buffer_s = panic_buffer_s
+
+    def prepare(self, manifest: Manifest) -> None:
+        super().prepare(manifest)
+        self._rates = manifest.declared_avg_bitrates_bps
+        self._up_streak = 0
+
+    def _target_level(self, bandwidth_bps: float) -> int:
+        affordable = np.flatnonzero(self._rates <= self.efficiency * bandwidth_bps)
+        return int(affordable[-1]) if affordable.size else 0
+
+    def select_level(self, ctx: DecisionContext) -> int:
+        target = self._target_level(ctx.bandwidth_bps)
+        if ctx.last_level is None:
+            self._up_streak = 0
+            return target
+        current = ctx.last_level
+
+        if ctx.buffer_s < self.panic_buffer_s:
+            # Emergency: bail toward the bottom one step at a time is too
+            # slow when a stall is imminent; FESTIVE drops directly.
+            self._up_streak = 0
+            return min(current, target, 1)
+
+        if target > current:
+            self._up_streak += 1
+            if self._up_streak >= self.patience:
+                self._up_streak = 0
+                return current + 1  # gradual: one level per upswitch
+            return current
+        self._up_streak = 0
+        if target < current:
+            return current - 1  # gradual downswitch too (buffer absorbs)
+        return current

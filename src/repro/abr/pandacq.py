@@ -1,0 +1,89 @@
+"""PANDA/CQ (Li et al. [23]): quality-aware windowed optimization.
+
+PANDA/CQ assumes the server exposes **per-chunk quality values** — extra
+support that today's DASH/HLS pipelines lack (§6.1) — and plans over a
+window of N future chunks using those values directly:
+
+- **max-sum** maximizes the *sum* of quality over the window (average
+  quality, tolerating occasional bad chunks);
+- **max-min** maximizes the *minimum* quality over the window (protects
+  the worst chunk — which is why it treats Q4 chunks better than
+  max-sum, §6.3).
+
+Both are subject to not stalling: candidate plans are rolled forward
+under the predicted bandwidth with actual chunk sizes, and any plan that
+rebuffers is penalized out unless every plan rebuffers. Like MPC, only
+the first step of the winning plan is committed.
+
+The quality metric the optimizer consumes is configurable; the
+evaluation uses the viewing-appropriate VMAF model (phone for LTE, TV
+for FCC), giving PANDA/CQ its best case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, DecisionContext
+from repro.abr.horizon import horizon_sizes, level_sequences, simulate_buffer
+from repro.util.validation import check_positive
+from repro.video.model import Manifest
+
+__all__ = ["PandaCQAlgorithm"]
+
+
+class PandaCQAlgorithm(ABRAlgorithm):
+    """Windowed quality optimization; ``objective`` is 'max-sum' or 'max-min'."""
+
+    def __init__(
+        self,
+        objective: str = "max-min",
+        metric: str = "vmaf_phone",
+        horizon: int = 5,
+        rebuffer_penalty_per_s: float = 100.0,
+    ) -> None:
+        if objective not in ("max-sum", "max-min"):
+            raise ValueError(f"objective must be 'max-sum' or 'max-min', got {objective!r}")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        check_positive(rebuffer_penalty_per_s, "rebuffer_penalty_per_s")
+        self.objective = objective
+        self.metric = metric
+        self.horizon = horizon
+        self.rebuffer_penalty_per_s = rebuffer_penalty_per_s
+        self.name = f"PANDA/CQ {objective}"
+
+    def prepare(self, manifest: Manifest) -> None:
+        super().prepare(manifest)
+        if not manifest.has_quality:
+            raise ValueError(
+                "PANDA/CQ requires per-chunk quality in the manifest; build it "
+                "with video.manifest(include_quality=True)"
+            )
+        if self.metric not in manifest.quality:
+            raise KeyError(
+                f"manifest lacks quality metric {self.metric!r}; "
+                f"available: {sorted(manifest.quality)}"
+            )
+        self._quality = manifest.quality[self.metric]
+
+    def select_level(self, ctx: DecisionContext) -> int:
+        manifest = self.manifest
+        i = ctx.chunk_index
+        sizes = horizon_sizes(manifest, i, self.horizon)
+        h = sizes.shape[1]
+        sequences = level_sequences(manifest.num_tracks, h)
+        bandwidth = max(ctx.bandwidth_bps, 1_000.0)
+
+        rebuffer, _ = simulate_buffer(
+            sequences, sizes, bandwidth, ctx.buffer_s, manifest.chunk_duration_s
+        )
+        window_quality = self._quality[:, i : i + h]  # (tracks, h)
+        plan_quality = window_quality[sequences, np.arange(h)]  # (count, h)
+        if self.objective == "max-sum":
+            objective = plan_quality.sum(axis=1)
+        else:
+            objective = plan_quality.min(axis=1) * h  # scale comparable to sum
+        score = objective - self.rebuffer_penalty_per_s * rebuffer
+        best = int(np.argmax(score))
+        return int(sequences[best, 0])

@@ -1,0 +1,66 @@
+"""PIA (Qin et al., INFOCOM 2017 [33]): PID-based adaptation for CBR.
+
+PIA is the control-theoretic predecessor CAVA generalizes (§5 builds on
+its "basic feedback control framework"). It runs the same PID loop but
+with the **CBR assumptions** the paper calls out as inadequate for VBR:
+
+- a *fixed* target buffer level (no preview control), and
+- each track represented by a *single average bitrate* — per-chunk VBR
+  sizes are ignored when matching the controller output to a track.
+
+Having PIA in the registry turns §5's design argument into a measurable
+ablation: PIA vs CAVA isolates exactly what VBR-awareness buys beyond
+PID control itself.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, DecisionContext
+from repro.core.config import CavaConfig
+from repro.core.pid import PIDController
+from repro.util.validation import check_positive
+from repro.video.model import Manifest
+
+__all__ = ["PIAAlgorithm"]
+
+
+class PIAAlgorithm(ABRAlgorithm):
+    """PID-based CBR-era adaptation: fixed target, track-average bitrates."""
+
+    name = "PIA"
+
+    def __init__(
+        self,
+        target_buffer_s: float = 60.0,
+        kp: float = 0.01,
+        ki: float = 0.001,
+        smoothness_weight: float = 1.0,
+    ) -> None:
+        check_positive(target_buffer_s, "target_buffer_s")
+        self.target_buffer_s = target_buffer_s
+        # Reuse the CAVA PID block with PIA's fixed-target configuration.
+        self._pid_config = CavaConfig(
+            kp=kp, ki=ki, base_target_buffer_s=target_buffer_s,
+            use_differential=False, use_proactive=False,
+        )
+        self.smoothness_weight = smoothness_weight
+
+    def prepare(self, manifest: Manifest) -> None:
+        super().prepare(manifest)
+        self._track_mbps = manifest.declared_avg_bitrates_bps / 1e6
+        self.pid = PIDController(self._pid_config, manifest.chunk_duration_s)
+
+    def select_level(self, ctx: DecisionContext) -> int:
+        u = self.pid.update(ctx.now_s, ctx.buffer_s, self.target_buffer_s)
+        budget_mbps = max(ctx.bandwidth_bps, 1_000.0) / 1e6
+        # CBR matching: pick the track whose *average* bitrate best matches
+        # C/u, with a mild switch penalty (PIA's smoothness term).
+        deviation = (u * self._track_mbps - budget_mbps) ** 2
+        if ctx.last_level is not None:
+            change = (self._track_mbps - self._track_mbps[ctx.last_level]) ** 2
+            deviation = deviation + self.smoothness_weight * change
+        return int(np.argmin(deviation))

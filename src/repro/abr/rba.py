@@ -1,0 +1,43 @@
+"""RBA: the myopic rate-based scheme of §4 (Zhang et al. [49]).
+
+RBA selects, for the next chunk only, the highest track such that after
+downloading that chunk the buffer still holds at least
+``min_buffer_chunks`` chunks (four in the paper): with download time
+``size / estimated_bandwidth``, require
+
+    buffer - size / bandwidth >= min_buffer_chunks * chunk_duration.
+
+Because it looks only at the immediate next chunk's actual size, it
+mechanically picks very high tracks for small (simple) chunks and very
+low tracks for large (complex) chunks — the anti-pattern Fig. 4 shows.
+"""
+
+from __future__ import annotations
+
+from repro.abr.base import ABRAlgorithm, DecisionContext
+from repro.video.model import Manifest
+
+__all__ = ["RateBasedAlgorithm"]
+
+
+class RateBasedAlgorithm(ABRAlgorithm):
+    """Myopic rate-based adaptation (RBA)."""
+
+    name = "RBA"
+
+    def __init__(self, min_buffer_chunks: float = 4.0) -> None:
+        if min_buffer_chunks < 0:
+            raise ValueError(f"min_buffer_chunks must be >= 0, got {min_buffer_chunks}")
+        self.min_buffer_chunks = min_buffer_chunks
+
+    def prepare(self, manifest: Manifest) -> None:
+        super().prepare(manifest)
+        self._reserve_s = self.min_buffer_chunks * manifest.chunk_duration_s
+
+    def select_level(self, ctx: DecisionContext) -> int:
+        i = ctx.chunk_index
+        for level in range(self.manifest.num_tracks - 1, -1, -1):
+            download_s = self.manifest.chunk_size_bits(level, i) / ctx.bandwidth_bps
+            if ctx.buffer_s - download_s >= self._reserve_s:
+                return level
+        return 0

@@ -1,0 +1,68 @@
+"""Scheme registry: build any evaluated algorithm by name.
+
+The experiment runner and the examples address schemes by the names used
+in the paper's figures ("CAVA", "RobustMPC", "PANDA/CQ max-min", ...).
+PANDA/CQ needs to know which VMAF model the evaluation targets, so
+factories take the metric as an argument (ignored by the other schemes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.abr.base import ABRAlgorithm
+from repro.abr.bba import BBA1Algorithm
+from repro.abr.bola import BolaEAlgorithm
+from repro.abr.dynamic import DynamicAlgorithm
+from repro.abr.festive import FestiveAlgorithm
+from repro.abr.mpc import MPCAlgorithm, RobustMPCAlgorithm
+from repro.abr.pandacq import PandaCQAlgorithm
+from repro.abr.oboe import OboeTunedCava
+from repro.abr.pia import PIAAlgorithm
+from repro.abr.rba import RateBasedAlgorithm
+from repro.core.cava import cava_p1, cava_p12, cava_p123
+
+__all__ = ["SCHEME_FACTORIES", "make_scheme", "scheme_names", "needs_quality_manifest"]
+
+SchemeFactory = Callable[[str], ABRAlgorithm]
+
+SCHEME_FACTORIES: Dict[str, SchemeFactory] = {
+    "CAVA": lambda metric: cava_p123(),
+    "CAVA-p1": lambda metric: cava_p1(),
+    "CAVA-p12": lambda metric: cava_p12(),
+    "MPC": lambda metric: MPCAlgorithm(),
+    "RobustMPC": lambda metric: RobustMPCAlgorithm(),
+    "PANDA/CQ max-sum": lambda metric: PandaCQAlgorithm("max-sum", metric=metric),
+    "PANDA/CQ max-min": lambda metric: PandaCQAlgorithm("max-min", metric=metric),
+    "BOLA-E (peak)": lambda metric: BolaEAlgorithm("peak"),
+    "BOLA-E (avg)": lambda metric: BolaEAlgorithm("avg"),
+    "BOLA-E (seg)": lambda metric: BolaEAlgorithm("seg"),
+    "BBA-1": lambda metric: BBA1Algorithm(),
+    "RBA": lambda metric: RateBasedAlgorithm(),
+    "PIA": lambda metric: PIAAlgorithm(),
+    "DYNAMIC": lambda metric: DynamicAlgorithm(),
+    "CAVA-oboe": lambda metric: OboeTunedCava(),
+    "FESTIVE": lambda metric: FestiveAlgorithm(),
+}
+
+#: Schemes that consume per-chunk quality metadata (§6.1: PANDA/CQ only).
+_QUALITY_SCHEMES = frozenset({"PANDA/CQ max-sum", "PANDA/CQ max-min"})
+
+
+def scheme_names() -> List[str]:
+    """All registered scheme names, in registry order."""
+    return list(SCHEME_FACTORIES)
+
+
+def make_scheme(name: str, metric: str = "vmaf_phone") -> ABRAlgorithm:
+    """Instantiate a scheme by its paper name."""
+    try:
+        factory = SCHEME_FACTORIES[name]
+    except KeyError:
+        raise KeyError(f"unknown scheme {name!r}; known: {scheme_names()}") from None
+    return factory(metric)
+
+
+def needs_quality_manifest(name: str) -> bool:
+    """Whether the scheme requires manifest(include_quality=True)."""
+    return name in _QUALITY_SCHEMES

@@ -1,0 +1,142 @@
+"""The §3 characterization analyses as reusable functions.
+
+These are the dataset-level facts the design principles rest on:
+
+1. chunk-size quartiles separate scene complexity (SI/TI) — §3.1.1
+   Property (1);
+2. quartile categories are consistent across tracks — Property (2);
+3. per-track quality *decreases* from Q1 to Q4, with a pronounced Q4
+   gap — §3.1.2;
+4. the trends survive a larger (4x) bitrate cap — §3.3;
+5. per-track bitrate variability sits in the paper's bands (§2).
+
+Each function returns plain data; the test suite asserts the paper's
+qualitative claims against them, and the characterization example prints
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.stats import pearson_correlation
+from repro.video.classify import ChunkClassifier, cross_track_category_correlation
+from repro.video.model import VideoAsset
+
+__all__ = [
+    "quartile_siti_separation",
+    "quartile_quality_profile",
+    "bitrate_variability_profile",
+    "size_complexity_correlation",
+    "scene_quality_consistency",
+    "CharacterizationSummary",
+    "characterize",
+]
+
+
+def scene_quality_consistency(
+    video: VideoAsset, metric: str = "vmaf_phone", track_level: int = None
+) -> float:
+    """Standard deviation of per-chunk quality within one track.
+
+    Quantifies §1's VBR premise: VBR encodes "maintain a consistent
+    quality throughout the track" relative to CBR at the same average
+    bitrate (CBR gives simple scenes surplus bits and starves complex
+    ones, spreading quality out). Lower is more consistent; compare a
+    VBR asset against its :func:`repro.video.dataset.build_cbr_counterpart`.
+    """
+    if track_level is None:
+        track_level = ChunkClassifier.from_video(video).reference_track
+    values = video.track(track_level).qualities[metric]
+    return float(np.std(values))
+
+
+def quartile_siti_separation(
+    video: VideoAsset, si_threshold: float = 25.0, ti_threshold: float = 7.0
+) -> Dict[int, float]:
+    """Fraction of each quartile's chunks above the SI/TI thresholds."""
+    classifier = ChunkClassifier.from_video(video)
+    return {
+        q: float(
+            np.mean(
+                (video.si[classifier.categories == q] > si_threshold)
+                & (video.ti[classifier.categories == q] > ti_threshold)
+            )
+        )
+        for q in range(1, 5)
+    }
+
+
+def quartile_quality_profile(
+    video: VideoAsset, metric: str = "vmaf_phone", track_level: int = None
+) -> Dict[int, float]:
+    """Median quality per size quartile for one track (§3.1.2 / §3.3)."""
+    classifier = ChunkClassifier.from_video(video)
+    if track_level is None:
+        track_level = classifier.reference_track
+    values = video.track(track_level).qualities[metric]
+    return {
+        q: float(np.median(values[classifier.categories == q])) for q in range(1, 5)
+    }
+
+
+def bitrate_variability_profile(video: VideoAsset) -> Dict[str, List[float]]:
+    """Per-track CoV and peak/average ratio (the §2 statistics)."""
+    return {
+        "cov": [track.bitrate_cov for track in video.tracks],
+        "peak_to_average": [track.peak_to_average_ratio for track in video.tracks],
+        "average_mbps": [track.average_bitrate_bps / 1e6 for track in video.tracks],
+    }
+
+
+def size_complexity_correlation(video: VideoAsset, track_level: int = None) -> float:
+    """Correlation between chunk size and ground-truth scene complexity.
+
+    Quantifies Property (1): relative chunk size is a good proxy for
+    scene complexity.
+    """
+    if track_level is None:
+        track_level = ChunkClassifier.from_video(video).reference_track
+    sizes = video.track(track_level).chunk_sizes_bits
+    return pearson_correlation(sizes, video.complexity)
+
+
+@dataclass(frozen=True)
+class CharacterizationSummary:
+    """All §3 facts for one video, bundled for reporting."""
+
+    video_name: str
+    siti_fraction_above: Dict[int, float]
+    quality_medians: Dict[int, float]
+    min_cross_track_correlation: float
+    size_complexity_corr: float
+    cov_range: Tuple[float, float]
+    peak_to_average_range: Tuple[float, float]
+
+    @property
+    def q4_quality_gap(self) -> float:
+        """Median Q1–Q3 quality minus median Q4 quality."""
+        q13 = np.mean([self.quality_medians[q] for q in (1, 2, 3)])
+        return float(q13 - self.quality_medians[4])
+
+
+def characterize(video: VideoAsset, metric: str = "vmaf_phone") -> CharacterizationSummary:
+    """Run the full §3 characterization on one video."""
+    variability = bitrate_variability_profile(video)
+    corr_matrix = cross_track_category_correlation(video)
+    off_diagonal = corr_matrix[~np.eye(corr_matrix.shape[0], dtype=bool)]
+    return CharacterizationSummary(
+        video_name=video.name,
+        siti_fraction_above=quartile_siti_separation(video),
+        quality_medians=quartile_quality_profile(video, metric),
+        min_cross_track_correlation=float(np.min(off_diagonal)),
+        size_complexity_corr=size_complexity_correlation(video),
+        cov_range=(min(variability["cov"]), max(variability["cov"])),
+        peak_to_average_range=(
+            min(variability["peak_to_average"]),
+            max(variability["peak_to_average"]),
+        ),
+    )

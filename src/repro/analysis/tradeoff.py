@@ -1,0 +1,89 @@
+"""Multi-objective views of the scheme-comparison results.
+
+The paper's central evaluation argument is that CAVA "achieves a much
+better balance in the multiple-dimension design space" (§1) — a Pareto
+statement. These helpers make it checkable: given finished sweeps,
+compute each scheme's objective vector and the Pareto-dominance
+relations between schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.runner import SweepResult
+
+__all__ = ["ObjectivePoint", "objective_points", "dominates", "pareto_front"]
+
+#: Default §6.1 objective vector: (metric field, higher_is_better).
+DEFAULT_OBJECTIVES: Tuple[Tuple[str, bool], ...] = (
+    ("q4_quality_mean", True),
+    ("low_quality_fraction", False),
+    ("rebuffer_s", False),
+    ("quality_change_per_chunk", False),
+    ("data_usage_mb", False),
+)
+
+
+@dataclass(frozen=True)
+class ObjectivePoint:
+    """One scheme's across-trace mean objective vector."""
+
+    scheme: str
+    values: Tuple[float, ...]
+    objectives: Tuple[Tuple[str, bool], ...]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Objective values keyed by metric name."""
+        return {name: value for (name, _), value in zip(self.objectives, self.values)}
+
+
+def objective_points(
+    results: Mapping[str, SweepResult],
+    objectives: Sequence[Tuple[str, bool]] = DEFAULT_OBJECTIVES,
+) -> List[ObjectivePoint]:
+    """Across-trace mean objective vectors for every scheme."""
+    objectives = tuple(objectives)
+    return [
+        ObjectivePoint(
+            scheme=scheme,
+            values=tuple(sweep.mean(name) for name, _ in objectives),
+            objectives=objectives,
+        )
+        for scheme, sweep in results.items()
+    ]
+
+
+def dominates(a: ObjectivePoint, b: ObjectivePoint, tolerance: float = 0.0) -> bool:
+    """Whether ``a`` Pareto-dominates ``b``: no worse everywhere, strictly
+    better somewhere (with ``tolerance`` slack on the "no worse" side)."""
+    if a.objectives != b.objectives:
+        raise ValueError("points use different objective vectors")
+    no_worse = True
+    strictly_better = False
+    for (name, higher), va, vb in zip(a.objectives, a.values, b.values):
+        better = va > vb if higher else va < vb
+        worse = va < vb - tolerance if higher else va > vb + tolerance
+        if worse:
+            no_worse = False
+        if better:
+            strictly_better = True
+    return no_worse and strictly_better
+
+
+def pareto_front(
+    points: Sequence[ObjectivePoint], tolerance: float = 0.0
+) -> List[ObjectivePoint]:
+    """The subset of points not dominated by any other point."""
+    front = []
+    for candidate in points:
+        if not any(
+            dominates(other, candidate, tolerance)
+            for other in points
+            if other is not candidate
+        ):
+            front.append(candidate)
+    return front

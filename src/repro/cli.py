@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro ...`` (or the ``repro``
+console script).
+
+Subcommands:
+
+- ``dataset``        — build the 16-video dataset analogue and print the
+                       §2 statistics per video;
+- ``characterize``   — run the §3 characterization on one video;
+- ``traces``         — synthesize an LTE or FCC trace set and write it to
+                       a directory (one Mbps-per-line file per trace);
+- ``manifest``       — export one video's manifest as DASH MPD or HLS;
+- ``run``            — stream one video over one trace with one scheme
+                       and print the §6.1 QoE metrics;
+- ``compare``        — the §6.3 comparison across schemes and traces;
+- ``schemes``        — list the registered ABR schemes.
+
+Every subcommand takes ``--seed`` so results replay exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.abr.registry import make_scheme, needs_quality_manifest, scheme_names
+from repro.analysis.characterization import characterize
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_comparison
+from repro.network.link import TraceLink
+from repro.network.traces import (
+    save_trace_file,
+    synthesize_fcc_traces,
+    synthesize_lte_traces,
+)
+from repro.player.metrics import metric_for_network, summarize_session
+from repro.player.session import run_session
+from repro.video.dataset import (
+    build_video,
+    fourx_spec,
+    standard_dataset_specs,
+)
+from repro.video.manifest_io import manifest_to_hls, manifest_to_mpd
+
+__all__ = ["main", "build_parser"]
+
+
+def _video_names() -> List[str]:
+    return [spec.name for spec in standard_dataset_specs()] + [fourx_spec().name]
+
+
+def _build_named_video(name: str, seed: int):
+    for spec in list(standard_dataset_specs()) + [fourx_spec()]:
+        if spec.name == name:
+            return build_video(spec, seed=seed)
+    raise SystemExit(f"unknown video {name!r}; known: {', '.join(_video_names())}")
+
+
+def _make_traces(network: str, count: int, seed: int):
+    if network == "lte":
+        return synthesize_lte_traces(count=count, seed=seed)
+    if network == "fcc":
+        return synthesize_fcc_traces(count=count, seed=seed)
+    raise SystemExit(f"unknown network {network!r}; expected lte or fcc")
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def cmd_dataset(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in standard_dataset_specs():
+        video = build_video(spec, seed=args.seed)
+        covs = [t.bitrate_cov for t in video.tracks]
+        ratios = [t.peak_to_average_ratio for t in video.tracks]
+        rows.append(
+            (
+                video.name,
+                video.genre,
+                f"{video.chunk_duration_s:g}s",
+                f"{video.num_chunks}",
+                f"{video.track(video.num_tracks - 1).average_bitrate_bps / 1e6:.2f}",
+                f"{min(covs):.2f}-{max(covs):.2f}",
+                f"{min(ratios):.2f}-{max(ratios):.2f}",
+            )
+        )
+    print(
+        render_table(
+            ("video", "genre", "chunk", "n", "top Mbps", "CoV", "peak/avg"), rows
+        )
+    )
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    video = _build_named_video(args.video, args.seed)
+    summary = characterize(video, metric=args.metric)
+    print(video.describe())
+    print()
+    print(f"SI/TI above thresholds per quartile: "
+          + ", ".join(f"Q{q}={summary.siti_fraction_above[q]:.0%}" for q in range(1, 5)))
+    print(f"{args.metric} medians (middle track):  "
+          + ", ".join(f"Q{q}={summary.quality_medians[q]:.1f}" for q in range(1, 5)))
+    print(f"Q4 quality gap: {summary.q4_quality_gap:.1f}")
+    print(f"size-complexity correlation: {summary.size_complexity_corr:.2f}")
+    print(f"min cross-track category correlation: {summary.min_cross_track_correlation:.2f}")
+    return 0
+
+
+def cmd_traces(args: argparse.Namespace) -> int:
+    traces = _make_traces(args.network, args.count, args.seed)
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
+    for trace in traces:
+        save_trace_file(trace, output / f"{trace.name}.txt")
+    means = sorted(t.mean_bps / 1e6 for t in traces)
+    print(
+        f"wrote {len(traces)} {args.network.upper()} traces to {output} "
+        f"(mean throughput {means[0]:.2f}-{means[-1]:.2f} Mbps)"
+    )
+    return 0
+
+
+def cmd_manifest(args: argparse.Namespace) -> int:
+    video = _build_named_video(args.video, args.seed)
+    manifest = video.manifest()
+    output = Path(args.output)
+    if args.format == "mpd":
+        output.write_text(manifest_to_mpd(manifest))
+        print(f"wrote DASH MPD to {output}")
+    else:
+        output.mkdir(parents=True, exist_ok=True)
+        for name, contents in manifest_to_hls(manifest).items():
+            (output / name).write_text(contents)
+        print(f"wrote HLS playlists to {output}/")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    video = _build_named_video(args.video, args.seed)
+    trace = _make_traces(args.network, args.trace_index + 1, args.seed)[args.trace_index]
+    metric = metric_for_network(args.network)
+    algorithm = make_scheme(args.scheme, metric=metric)
+    result = run_session(
+        algorithm, video, TraceLink(trace),
+        include_quality=needs_quality_manifest(args.scheme),
+    )
+    metrics = summarize_session(result, video, metric)
+    print(f"{args.scheme} on {video.name} over {trace.name} "
+          f"(mean {trace.mean_bps / 1e6:.2f} Mbps):")
+    for key, value in metrics.as_dict().items():
+        print(f"  {key:26s} {value:10.3f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    video = _build_named_video(args.video, args.seed)
+    traces = _make_traces(args.network, args.traces, args.seed)
+    results = run_comparison(args.schemes, video, traces, args.network)
+    rows = []
+    for scheme in args.schemes:
+        sweep = results[scheme]
+        rows.append(
+            (
+                scheme,
+                f"{sweep.mean('q4_quality_mean'):.1f}",
+                f"{sweep.mean('low_quality_fraction') * 100:.1f}%",
+                f"{sweep.mean('rebuffer_s'):.1f}",
+                f"{sweep.mean('quality_change_per_chunk'):.2f}",
+                f"{sweep.mean('data_usage_mb'):.0f}",
+            )
+        )
+    print(f"{video.name}, {len(traces)} {args.network.upper()} traces:")
+    print(
+        render_table(
+            ("scheme", "Q4 quality", "low-qual", "stall s", "qual chg", "data MB"), rows
+        )
+    )
+    return 0
+
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    for name in scheme_names():
+        quality = " (needs per-chunk quality metadata)" if needs_quality_manifest(name) else ""
+        print(f"  {name}{quality}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CAVA / VBR-ABR reproduction toolkit (CoNEXT 2018)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed (default 0)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("dataset", help="build and summarize the 16-video dataset")
+
+    p = commands.add_parser("characterize", help="run the §3 characterization on one video")
+    p.add_argument("video", help="video name, e.g. ED-ffmpeg-h264")
+    p.add_argument("--metric", default="vmaf_phone",
+                   choices=("vmaf_phone", "vmaf_tv", "psnr", "ssim"))
+
+    p = commands.add_parser("traces", help="synthesize a trace set to a directory")
+    p.add_argument("network", choices=("lte", "fcc"))
+    p.add_argument("output", help="output directory")
+    p.add_argument("--count", type=int, default=200)
+
+    p = commands.add_parser("manifest", help="export a video's manifest")
+    p.add_argument("video")
+    p.add_argument("output", help="output file (mpd) or directory (hls)")
+    p.add_argument("--format", choices=("mpd", "hls"), default="mpd")
+
+    p = commands.add_parser("run", help="stream one video over one trace")
+    p.add_argument("video")
+    p.add_argument("--scheme", default="CAVA")
+    p.add_argument("--network", choices=("lte", "fcc"), default="lte")
+    p.add_argument("--trace-index", type=int, default=0)
+
+    p = commands.add_parser("compare", help="compare schemes over a trace set")
+    p.add_argument("video")
+    p.add_argument("--network", choices=("lte", "fcc"), default="lte")
+    p.add_argument("--traces", type=int, default=20)
+    p.add_argument(
+        "--schemes", nargs="+",
+        default=["CAVA", "RobustMPC", "PANDA/CQ max-min"],
+    )
+
+    commands.add_parser("schemes", help="list registered ABR schemes")
+    return parser
+
+
+_HANDLERS = {
+    "dataset": cmd_dataset,
+    "characterize": cmd_characterize,
+    "traces": cmd_traces,
+    "manifest": cmd_manifest,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "schemes": cmd_schemes,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""CAVA: Control-theoretic Adaptation for VBR-based ABR streaming (§5).
+
+CAVA composes the pieces of Fig. 5:
+
+- the **outer controller** (preview control, P3) sets a dynamic target
+  buffer level from the long-term statistical filter;
+- the **PID feedback block** turns the gap between target and actual
+  buffer into a relative filling rate ``u_t``;
+- the **inner controller** (P1 + P2) turns ``u_t``, the bandwidth
+  estimate, the short-term-filtered VBR bitrates, and the chunk's
+  complexity category into a track choice.
+
+Everything CAVA consumes is available to a stock DASH/HLS client:
+per-chunk sizes from the manifest, buffer occupancy, and its own
+throughput history. No content analysis, no quality metadata.
+
+The ablations of §6.4 are exposed as constructors: :func:`cava_p1`
+(non-myopic only), :func:`cava_p12` (+ differential treatment), and
+:func:`cava_p123` (+ proactive target buffer) — the full scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.abr.base import ABRAlgorithm, DecisionContext
+from repro.core.config import CavaConfig
+from repro.core.inner import InnerController
+from repro.core.outer import OuterController
+from repro.core.pid import PIDController
+from repro.video.classify import ChunkClassifier
+from repro.video.model import Manifest
+
+__all__ = ["CavaAlgorithm", "cava_p1", "cava_p12", "cava_p123", "cava_live"]
+
+
+class CavaAlgorithm(ABRAlgorithm):
+    """The full CAVA rate-adaptation scheme (Fig. 5)."""
+
+    def __init__(self, config: CavaConfig = CavaConfig(), name: Optional[str] = None) -> None:
+        self.config = config
+        if name is not None:
+            self.name = name
+        elif config.use_differential and config.use_proactive:
+            self.name = "CAVA"
+        elif config.use_differential:
+            self.name = "CAVA-p12"
+        else:
+            self.name = "CAVA-p1"
+
+    def prepare(self, manifest: Manifest) -> None:
+        super().prepare(manifest)
+        classifier = ChunkClassifier.from_manifest(
+            manifest,
+            reference_track=self.config.reference_track,
+            num_classes=self.config.num_complexity_classes,
+        )
+        self.classifier = classifier
+        self.outer = OuterController(self.config, manifest)
+        self.inner = InnerController(self.config, manifest, classifier)
+        self.pid = PIDController(self.config, manifest.chunk_duration_s)
+        self.last_target_s = self.config.base_target_buffer_s
+        self.last_u = 1.0
+
+    def select_level(self, ctx: DecisionContext) -> int:
+        # Outer controller: where should the buffer be?
+        target = self.outer.target_buffer_s(ctx.chunk_index)
+        # PID block: how aggressively should we fill toward it?
+        u = self.pid.update(ctx.now_s, ctx.buffer_s, target)
+        # Inner controller: which track satisfies that, VBR-aware?
+        level = self.inner.select(
+            chunk_index=ctx.chunk_index,
+            u=u,
+            bandwidth_bps=max(ctx.bandwidth_bps, 1_000.0),
+            buffer_s=ctx.buffer_s,
+            last_level=ctx.last_level,
+        )
+        self.last_target_s = target
+        self.last_u = u
+        return level
+
+
+def cava_p1(config: CavaConfig = CavaConfig()) -> CavaAlgorithm:
+    """CAVA with the non-myopic principle only (§6.4 ablation)."""
+    return CavaAlgorithm(
+        replace(config, use_differential=False, use_proactive=False), name="CAVA-p1"
+    )
+
+
+def cava_p12(config: CavaConfig = CavaConfig()) -> CavaAlgorithm:
+    """CAVA with non-myopic + differential treatment (§6.4 ablation)."""
+    return CavaAlgorithm(
+        replace(config, use_differential=True, use_proactive=False), name="CAVA-p12"
+    )
+
+
+def cava_p123(config: CavaConfig = CavaConfig()) -> CavaAlgorithm:
+    """Full CAVA: all three principles (the paper's headline scheme)."""
+    return CavaAlgorithm(
+        replace(config, use_differential=True, use_proactive=True), name="CAVA"
+    )
+
+
+def cava_live(
+    lookahead_chunks: int,
+    chunk_duration_s: float,
+    latency_budget_s: float = 30.0,
+    config: CavaConfig = CavaConfig(),
+) -> CavaAlgorithm:
+    """CAVA adapted to live streaming (the §8 future-work direction).
+
+    In live streaming the buffer is structurally small — backlog can only
+    accumulate through startup and stalls, because chunks appear at the
+    production rate — so end-to-end latency is approximately startup plus
+    accumulated stall time. Three changes make the VoD design
+    live-compatible:
+
+    - the statistical filters clamp their windows to the manifest's
+      announced lookahead, so the controller never reads sizes the live
+      manifest has not published yet;
+    - the target buffer is bounded well below the latency budget (a 60 s
+      VoD target would put playback a minute behind the live edge);
+    - the controller is retuned stall-averse: a faster proportional gain
+      (small buffers leave no time for slow convergence) and gentler
+      differential treatment (inflating bandwidth for Q4 chunks is what
+      converts into stalls — and hence latency — when the buffer is a
+      few seconds deep).
+    """
+    if lookahead_chunks < 1:
+        raise ValueError(f"lookahead_chunks must be >= 1, got {lookahead_chunks}")
+    if chunk_duration_s <= 0:
+        raise ValueError(f"chunk_duration_s must be positive, got {chunk_duration_s}")
+    if latency_budget_s <= 0:
+        raise ValueError(f"latency_budget_s must be positive, got {latency_budget_s}")
+    lookahead_s = lookahead_chunks * chunk_duration_s
+    target = min(config.base_target_buffer_s, 0.4 * latency_budget_s)
+    live_config = replace(
+        config,
+        inner_window_s=min(config.inner_window_s, lookahead_s),
+        outer_window_s=min(config.outer_window_s, lookahead_s),
+        base_target_buffer_s=target,
+        horizon_chunks=min(config.horizon_chunks, lookahead_chunks),
+        kp=max(config.kp, 0.05),
+        alpha_complex=min(config.alpha_complex, 1.05),
+        alpha_simple=min(config.alpha_simple, 0.7),
+        safe_buffer_s=min(config.safe_buffer_s, 0.25 * latency_budget_s),
+        use_differential=True,
+        use_proactive=True,
+    )
+    return CavaAlgorithm(live_config, name="CAVA-live")

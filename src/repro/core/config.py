@@ -1,0 +1,117 @@
+"""CAVA configuration, defaulted to the paper's §5–§6 settings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.validation import check_in_range, check_non_negative, check_positive
+
+__all__ = ["CavaConfig"]
+
+
+@dataclass(frozen=True)
+class CavaConfig:
+    """All CAVA knobs in one place.
+
+    Attributes
+    ----------
+    inner_window_s:
+        W, the inner controller window (§5.3 / §6.2): the bandwidth
+        requirement of the current chunk is the average bitrate of the
+        next W seconds of chunks. 40 s = 20 chunks at 2 s, 8 at 5 s.
+    outer_window_s:
+        W', the outer controller lookahead (§5.4 / §6.2): how far ahead
+        the target-buffer preview scans for upcoming large chunks. 200 s.
+    horizon_chunks:
+        N, the optimization horizon of Eq. (3); 5 chunks throughout the
+        paper.
+    alpha_complex / alpha_simple:
+        The bandwidth inflation/deflation factors of the differential
+        treatment principle (§5.3). The paper explored 1.1–1.5 / 0.6–0.9
+        and settled on (1.1, 0.8) for its testbed; against this
+        simulator's quality surface 1.25 sits at the same
+        quality/rebuffering trade-off point, so that is the default here
+        (see EXPERIMENTS.md).
+    track_change_weight:
+        η when the current and previous chunks share a complexity
+        category; η is forced to 0 across category boundaries (§5.3).
+    base_target_buffer_s:
+        x̄_r, the base target buffer level (60 s in §6; 40 s similar).
+    max_target_factor:
+        The target buffer is clipped at this multiple of the base (2x).
+    kp / ki:
+        PID proportional / integral gains (Eq. 2). The paper reports a
+        wide range works; these defaults sit in that stable region.
+    integral_limit:
+        Anti-windup clamp on the integral term's contribution to u.
+    u_min / u_max:
+        Saturation bounds on the controller output (relative buffer
+        filling rate).
+    low_level_threshold:
+        The "very low level" of the Q1–Q3 heuristic (§5.3): levels 1–2 in
+        the paper's 1-based numbering, i.e. 0-based levels < 2.
+    safe_buffer_s:
+        Buffer above which the Q1–Q3 no-deflation heuristic applies (10 s).
+    enable_q4_relief_heuristic / q4_relief_buffer_s:
+        The optional mirror heuristic for Q4 chunks (don't inflate when
+        the buffer is dangerously low); the paper evaluates with it
+        disabled, so the default is False.
+    reference_track:
+        Track used by the classifier and outer controller; None = the
+        middle track, as the paper recommends.
+    num_complexity_classes:
+        Number of equal-probability size classes used by the complexity
+        classifier. §3.1.1 notes the quartile choice (4) is not
+        essential ("e.g., using five classes instead of four"); the top
+        class is always the one treated as complex.
+    use_differential / use_proactive:
+        Ablation switches: (True, True) is full CAVA (CAVA-p123);
+        (True, False) is CAVA-p12; (False, False) is CAVA-p1 (§6.4).
+    """
+
+    inner_window_s: float = 40.0
+    outer_window_s: float = 200.0
+    horizon_chunks: int = 5
+    alpha_complex: float = 1.25
+    alpha_simple: float = 0.8
+    track_change_weight: float = 1.0
+    base_target_buffer_s: float = 60.0
+    max_target_factor: float = 2.0
+    kp: float = 0.01
+    ki: float = 0.001
+    integral_limit: float = 500.0
+    u_min: float = 0.05
+    u_max: float = 8.0
+    low_level_threshold: int = 2
+    safe_buffer_s: float = 10.0
+    enable_q4_relief_heuristic: bool = False
+    q4_relief_buffer_s: float = 5.0
+    reference_track: Optional[int] = None
+    num_complexity_classes: int = 4
+    use_differential: bool = True
+    use_proactive: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.inner_window_s, "inner_window_s")
+        check_positive(self.outer_window_s, "outer_window_s")
+        if self.horizon_chunks < 1:
+            raise ValueError(f"horizon_chunks must be >= 1, got {self.horizon_chunks}")
+        check_in_range(self.alpha_complex, "alpha_complex", 1.0, 3.0)
+        check_in_range(self.alpha_simple, "alpha_simple", 0.1, 1.0)
+        check_non_negative(self.track_change_weight, "track_change_weight")
+        check_positive(self.base_target_buffer_s, "base_target_buffer_s")
+        check_in_range(self.max_target_factor, "max_target_factor", 1.0, 10.0)
+        check_positive(self.kp, "kp")
+        check_non_negative(self.ki, "ki")
+        check_positive(self.integral_limit, "integral_limit")
+        check_positive(self.u_min, "u_min")
+        if self.u_max <= self.u_min:
+            raise ValueError("u_max must exceed u_min")
+        check_non_negative(self.low_level_threshold, "low_level_threshold")
+        check_non_negative(self.safe_buffer_s, "safe_buffer_s")
+        check_non_negative(self.q4_relief_buffer_s, "q4_relief_buffer_s")
+        if self.num_complexity_classes < 2:
+            raise ValueError(
+                f"num_complexity_classes must be >= 2, got {self.num_complexity_classes}"
+            )

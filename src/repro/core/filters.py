@@ -1,0 +1,87 @@
+"""The short- and long-term statistical filters of Fig. 5.
+
+Both filters are pure functions of the manifest, so they are precomputed
+once per session:
+
+- the **short-term filter** (inner controller, P1) replaces the next
+  chunk's bitrate with the average bitrate of the next W seconds of
+  chunks, per track — the smoothing that stops CAVA from mechanically
+  chasing individual VBR chunk sizes;
+- the **long-term filter** (outer controller, P3) measures, at each
+  playback position, how much the next W' seconds of the *reference
+  track* exceed that track's average rate — the preview signal that
+  raises the target buffer level ahead of a run of large chunks (Eq. 5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.util.stats import running_mean
+from repro.util.validation import check_positive
+from repro.video.classify import reference_level
+from repro.video.model import Manifest
+
+__all__ = [
+    "window_chunks",
+    "short_term_bitrates",
+    "long_term_target_adjustments",
+]
+
+
+def window_chunks(window_s: float, chunk_duration_s: float) -> int:
+    """Convert a window in seconds to a whole number of chunks (>= 1).
+
+    §6.2's W = 40 s maps to 20 chunks at 2 s and 8 chunks at 5 s; W' =
+    200 s maps to 100 and 40 chunks respectively.
+    """
+    check_positive(window_s, "window_s")
+    check_positive(chunk_duration_s, "chunk_duration_s")
+    return max(1, int(round(window_s / chunk_duration_s)))
+
+
+def short_term_bitrates(manifest: Manifest, window_s: float) -> np.ndarray:
+    """R̄(l, i): mean bitrate of chunks ``i .. i+W`` per track (bps).
+
+    Shape ``(num_tracks, num_chunks)``. Near the end of the video the
+    window shrinks to the chunks that remain.
+    """
+    w = window_chunks(window_s, manifest.chunk_duration_s)
+    return np.stack(
+        [running_mean(manifest.track_bitrates_bps(level), w) for level in range(manifest.num_tracks)]
+    )
+
+
+def long_term_target_adjustments(
+    manifest: Manifest,
+    window_s: float,
+    reference_track: Optional[int] = None,
+) -> np.ndarray:
+    """Per-position target-buffer increments of Eq. (5), in seconds.
+
+    At position ``t`` the increment is
+
+        max( sum_{k=t}^{t+W'} R_k(ref) * Delta  -  r(ref) * W' * Delta, 0 ) / r(ref)
+
+    i.e. the extra *seconds of average-rate transmission* the upcoming
+    window needs beyond an average window. Near the end of the video the
+    sum runs over the chunks that remain (W' shrinks accordingly).
+    """
+    if reference_track is None:
+        reference_track = reference_level(manifest.num_tracks)
+    if not 0 <= reference_track < manifest.num_tracks:
+        raise IndexError(f"reference_track {reference_track} out of range")
+    delta = manifest.chunk_duration_s
+    w = window_chunks(window_s, delta)
+    rates = manifest.track_bitrates_bps(reference_track)
+    track_mean = float(np.mean(rates))
+
+    n = rates.size
+    means = running_mean(rates, w)
+    # Effective window length at each position (shrinks near the end).
+    effective = np.minimum(w, n - np.arange(n))
+    excess_bits = (means - track_mean) * effective * delta
+    return np.maximum(excess_bits, 0.0) / track_mean

@@ -1,0 +1,145 @@
+"""The inner controller of §5.3: VBR-aware track selection (Eqs. 3–4).
+
+Given the PID output ``u_t``, the bandwidth estimate ``C_hat``, and the
+chunk's complexity category, the inner controller minimizes over the six
+track levels
+
+    Q(l) = sum_{k=t}^{t+N-1} ( u_t * Rbar_t(l) - alpha_t * C_hat )^2
+           + eta_t * ( r(l) - r(l_{t-1}) )^2
+
+where ``Rbar_t(l)`` is the short-term-filtered bitrate (P1: the average
+over the next W seconds of chunks, not the next chunk alone), ``alpha_t``
+inflates the assumed bandwidth for Q4 chunks and deflates it for Q1–Q3
+(P2), and ``eta_t`` penalizes track changes only when consecutive chunks
+share a complexity category. The paper evaluates u_k and C_hat_k at
+their time-t values across the horizon (the controller has no better
+estimate of either), so the first term is N identical squares.
+
+Two heuristics from §5.3:
+
+- **Q1–Q3 no-deflation**: if deflation would drive a simple chunk to a
+  very low level while the buffer is comfortably high, re-solve with
+  alpha = 1 (avoids gratuitously ugly simple scenes);
+- **Q4 relief** (optional, off by default as in the paper's evaluation):
+  if the buffer is dangerously low, do not inflate for a Q4 chunk.
+
+Bitrates enter the objective in Mbps; the argmin is invariant to the
+common scaling but the squared terms stay in a numerically friendly
+range.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import CavaConfig
+from repro.core.filters import short_term_bitrates
+from repro.video.classify import ChunkClassifier
+from repro.video.model import Manifest
+
+__all__ = ["InnerController"]
+
+
+class InnerController:
+    """Solves the per-chunk track-selection problem (Eq. 4)."""
+
+    def __init__(
+        self,
+        config: CavaConfig,
+        manifest: Manifest,
+        classifier: ChunkClassifier,
+    ) -> None:
+        if classifier.num_chunks != manifest.num_chunks:
+            raise ValueError("classifier and manifest disagree on chunk count")
+        self.config = config
+        self.manifest = manifest
+        self.classifier = classifier
+        # Short-term statistical filter (P1), precomputed per session.
+        self._rbar_mbps = short_term_bitrates(manifest, config.inner_window_s) / 1e6
+        self._track_avg_mbps = manifest.declared_avg_bitrates_bps / 1e6
+
+    # ------------------------------------------------------------------
+    # Eq. (3) pieces
+    # ------------------------------------------------------------------
+    def alpha(self, chunk_index: int, buffer_s: float) -> float:
+        """The bandwidth inflation/deflation factor for this chunk (P2)."""
+        if not self.config.use_differential:
+            return 1.0
+        if self.classifier.is_complex(chunk_index):
+            if (
+                self.config.enable_q4_relief_heuristic
+                and buffer_s < self.config.q4_relief_buffer_s
+            ):
+                return 1.0
+            return self.config.alpha_complex
+        return self.config.alpha_simple
+
+    def eta(self, chunk_index: int) -> float:
+        """The track-change weight: 0 across Q4/non-Q4 boundaries (§5.3)."""
+        if chunk_index == 0:
+            return 0.0
+        if not self.config.use_differential:
+            return self.config.track_change_weight
+        current = self.classifier.is_complex(chunk_index)
+        previous = self.classifier.is_complex(chunk_index - 1)
+        return self.config.track_change_weight if current == previous else 0.0
+
+    def objective(
+        self,
+        chunk_index: int,
+        u: float,
+        bandwidth_bps: float,
+        last_level: Optional[int],
+        alpha: float,
+    ) -> np.ndarray:
+        """Q(l) of Eq. (3) for every level; shape (num_tracks,)."""
+        if u <= 0:
+            raise ValueError(f"controller output u must be positive, got {u}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        rbar = self._rbar_mbps[:, chunk_index]
+        assumed_mbps = alpha * bandwidth_bps / 1e6
+        deviation = self.config.horizon_chunks * (u * rbar - assumed_mbps) ** 2
+        if last_level is None:
+            change = 0.0
+        else:
+            change = (
+                self.eta(chunk_index)
+                * (self._track_avg_mbps - self._track_avg_mbps[last_level]) ** 2
+            )
+        return deviation + change
+
+    # ------------------------------------------------------------------
+    # Eq. (4): the decision
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        chunk_index: int,
+        u: float,
+        bandwidth_bps: float,
+        buffer_s: float,
+        last_level: Optional[int],
+    ) -> int:
+        """Return the optimal level l*_t, heuristics included."""
+        alpha = self.alpha(chunk_index, buffer_s)
+        costs = self.objective(chunk_index, u, bandwidth_bps, last_level, alpha)
+        level = int(np.argmin(costs))
+
+        # Q1–Q3 no-deflation heuristic (§5.3): deflating must not push a
+        # simple chunk to a very low level while the buffer is healthy.
+        if (
+            self.config.use_differential
+            and alpha < 1.0
+            and level < self.config.low_level_threshold
+            and buffer_s > self.config.safe_buffer_s
+        ):
+            costs = self.objective(chunk_index, u, bandwidth_bps, last_level, 1.0)
+            level = int(np.argmin(costs))
+        return level
+
+    @property
+    def short_term_bitrates_mbps(self) -> np.ndarray:
+        """The precomputed R̄ table in Mbps (read-only view)."""
+        return self._rbar_mbps

@@ -1,0 +1,51 @@
+"""The outer controller of §5.4: preview control of the target buffer.
+
+The outer controller runs on a longer timescale than the inner one: it
+looks W' seconds ahead on the reference track and, when the upcoming
+window is heavier than average (a run of complex scenes), raises the
+target buffer level the PID block steers toward — so the buffer is
+already tall when the big chunks arrive, instead of the inner controller
+discovering the problem when it is too late (the failure mode that
+motivates P3).
+
+The target is clipped at ``max_target_factor * base`` (2x in the paper)
+to avoid pathological targets on extremely bursty content.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import CavaConfig
+from repro.core.filters import long_term_target_adjustments
+from repro.video.model import Manifest
+
+__all__ = ["OuterController"]
+
+
+class OuterController:
+    """Computes x_r(t), the dynamic target buffer level (Eq. 5)."""
+
+    def __init__(self, config: CavaConfig, manifest: Manifest) -> None:
+        self.config = config
+        if config.use_proactive:
+            self._adjustments = long_term_target_adjustments(
+                manifest, config.outer_window_s, config.reference_track
+            )
+        else:
+            # Ablation (CAVA-p1 / CAVA-p12): fixed target buffer.
+            self._adjustments = np.zeros(manifest.num_chunks)
+        self._ceiling = config.max_target_factor * config.base_target_buffer_s
+
+    def target_buffer_s(self, chunk_index: int) -> float:
+        """Target buffer level when deciding chunk ``chunk_index``."""
+        base = self.config.base_target_buffer_s
+        target = base + float(self._adjustments[chunk_index])
+        return min(target, self._ceiling)
+
+    @property
+    def adjustments(self) -> np.ndarray:
+        """The precomputed per-position increments (read-only view)."""
+        return self._adjustments

@@ -1,0 +1,71 @@
+"""The PID feedback control block of §5.2 (Eqs. 1–2).
+
+The controller output
+
+    u_t = Kp (x_r(t) - x_t) + Ki * integral(x_r - x) dtau + 1(x_t >= Delta)
+
+is a unitless relative buffer-filling rate: the inner controller turns it
+into a bitrate budget via ``R = C / u`` (Eq. 1). The indicator term
+linearizes the loop (it contributes the "steady-state 1" once at least a
+chunk is buffered), following the PIA design [33] the paper builds on.
+
+Two standard practical guards are applied, as in PIA: the integral is
+clamped (anti-windup) and the output saturates at ``[u_min, u_max]`` —
+without them a long startup or a deep outage would wind the integral far
+past any useful value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CavaConfig
+from repro.util.validation import check_non_negative
+
+__all__ = ["PIDController"]
+
+
+@dataclass
+class PIDController:
+    """Stateful PID block; one instance per streaming session."""
+
+    config: CavaConfig
+    chunk_duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.chunk_duration_s <= 0:
+            raise ValueError("chunk_duration_s must be positive")
+        self._integral = 0.0
+        self._last_time_s = 0.0
+
+    def reset(self) -> None:
+        """Clear the integral and the clock (new session)."""
+        self._integral = 0.0
+        self._last_time_s = 0.0
+
+    @property
+    def integral(self) -> float:
+        """Accumulated (clamped) integral of the buffer error, in s^2."""
+        return self._integral
+
+    def update(self, now_s: float, buffer_s: float, target_s: float) -> float:
+        """Advance the controller to ``now_s`` and return u_t.
+
+        The integral term accumulates error over the wall-clock time since
+        the previous update (decisions are event-driven — one per chunk —
+        so the integration step is the inter-decision gap).
+        """
+        check_non_negative(now_s, "now_s")
+        check_non_negative(buffer_s, "buffer_s")
+        check_non_negative(target_s, "target_s")
+        dt = max(0.0, now_s - self._last_time_s)
+        self._last_time_s = now_s
+
+        error = target_s - buffer_s
+        self._integral += error * dt
+        limit = self.config.integral_limit
+        self._integral = max(-limit, min(limit, self._integral))
+
+        indicator = 1.0 if buffer_s >= self.chunk_duration_s else 0.0
+        u = self.config.kp * error + self.config.ki * self._integral + indicator
+        return max(self.config.u_min, min(self.config.u_max, u))

@@ -1,0 +1,111 @@
+"""Configuration search for CAVA — the §6.2 exploration as a tool.
+
+The paper tuned W, W', Kp/Ki, and the alpha factors by sweeping them
+over trace sets. This module packages that workflow: declare a grid of
+:class:`~repro.core.config.CavaConfig` variations, score each over a
+trace set with a pluggable objective, and get back the ranked results.
+
+The default objective mirrors how the paper reads Fig. 7: maximize Q4
+quality subject to rebuffering, expressed as a penalized scalar
+(Q4 quality − penalty · rebuffer seconds − penalty · low-quality %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.cava import CavaAlgorithm
+from repro.core.config import CavaConfig
+from repro.network.traces import NetworkTrace
+from repro.video.model import VideoAsset
+
+__all__ = ["TuningResult", "default_objective", "grid_search", "expand_grid"]
+
+# The sweep runner lives in repro.experiments, which (through the scheme
+# registry) imports repro.core — so the runner is imported lazily inside
+# grid_search to keep the package import graph acyclic.
+Objective = Callable[["SweepResult"], float]  # noqa: F821 - lazy import
+
+
+def default_objective(
+    sweep,
+    rebuffer_penalty: float = 3.0,
+    low_quality_penalty: float = 100.0,
+) -> float:
+    """The Fig. 7 trade-off as a scalar (higher is better)."""
+    return (
+        sweep.mean("q4_quality_mean")
+        - rebuffer_penalty * sweep.mean("rebuffer_s")
+        - low_quality_penalty * sweep.mean("low_quality_fraction")
+    )
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """One evaluated configuration."""
+
+    overrides: Mapping[str, float]
+    score: float
+    q4_quality: float
+    rebuffer_s: float
+    low_quality_fraction: float
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        knobs = ", ".join(f"{k}={v:g}" for k, v in self.overrides.items())
+        return (
+            f"{knobs or 'defaults'}: score {self.score:.2f} "
+            f"(Q4 {self.q4_quality:.1f}, stall {self.rebuffer_s:.2f}s, "
+            f"low {self.low_quality_fraction:.1%})"
+        )
+
+
+def expand_grid(grid: Mapping[str, Sequence]) -> List[Dict[str, float]]:
+    """Cartesian product of per-knob value lists into override dicts."""
+    if not grid:
+        return [{}]
+    names = list(grid)
+    return [dict(zip(names, values)) for values in product(*(grid[n] for n in names))]
+
+
+def grid_search(
+    grid: Mapping[str, Sequence],
+    video: VideoAsset,
+    traces: Sequence[NetworkTrace],
+    network: str = "lte",
+    base_config: CavaConfig = CavaConfig(),
+    objective: Objective = default_objective,
+) -> List[TuningResult]:
+    """Evaluate every configuration in ``grid``; return ranked results.
+
+    ``grid`` maps :class:`CavaConfig` field names to candidate values,
+    e.g. ``{"inner_window_s": (20, 40, 80), "kp": (0.01, 0.02)}``.
+    Results are sorted best-first by the objective.
+    """
+    from repro.experiments.runner import run_scheme_on_traces
+
+    results: List[TuningResult] = []
+    for overrides in expand_grid(grid):
+        config = replace(base_config, **overrides)
+        sweep = run_scheme_on_traces(
+            "CAVA",
+            video,
+            traces,
+            network,
+            algorithm_factory=lambda config=config: CavaAlgorithm(config, name="CAVA"),
+        )
+        results.append(
+            TuningResult(
+                overrides=dict(overrides),
+                score=float(objective(sweep)),
+                q4_quality=sweep.mean("q4_quality_mean"),
+                rebuffer_s=sweep.mean("rebuffer_s"),
+                low_quality_fraction=sweep.mean("low_quality_fraction"),
+            )
+        )
+    results.sort(key=lambda r: r.score, reverse=True)
+    return results

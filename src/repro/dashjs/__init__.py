@@ -1,0 +1,18 @@
+"""dash.js-style prototype harness: the §6.8 testbed analogue with
+per-request overhead and ABR-rule profiling."""
+
+from repro.dashjs.harness import (
+    DashJsConfig,
+    DashJsRun,
+    InstrumentedAlgorithm,
+    OverheadLink,
+    run_dashjs_session,
+)
+
+__all__ = [
+    "DashJsConfig",
+    "DashJsRun",
+    "InstrumentedAlgorithm",
+    "OverheadLink",
+    "run_dashjs_session",
+]

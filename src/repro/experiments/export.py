@@ -1,0 +1,73 @@
+"""Export reproduced figure/table data for external plotting.
+
+The figure functions return nested dicts of numpy arrays; these helpers
+flatten them to CSV (one file per panel/series) and JSON so the data can
+be plotted with any tool without importing the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["write_cdf_csv", "write_series_csv", "to_jsonable", "write_json"]
+
+
+def write_cdf_csv(
+    cdfs: Mapping[str, tuple],
+    path: Path,
+    value_label: str = "value",
+) -> None:
+    """Write ``{series_name: (values, fractions)}`` CDFs to one CSV.
+
+    Columns: series, value, cdf. The long format loads directly into
+    pandas/gnuplot/vega.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", value_label, "cdf"])
+        for series, (values, fractions) in cdfs.items():
+            for value, fraction in zip(values, fractions):
+                writer.writerow([series, f"{float(value):.6g}", f"{float(fraction):.6g}"])
+
+
+def write_series_csv(
+    columns: Mapping[str, Sequence[float]],
+    path: Path,
+) -> None:
+    """Write aligned columns (e.g. a parameter sweep) to CSV."""
+    path = Path(path)
+    names = list(columns)
+    if not names:
+        raise ValueError("no columns to write")
+    lengths = {len(columns[name]) for name in names}
+    if len(lengths) != 1:
+        raise ValueError(f"columns have unequal lengths: {sorted(lengths)}")
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in zip(*(columns[name] for name in names)):
+            writer.writerow([f"{float(v):.6g}" for v in row])
+
+
+def to_jsonable(data):
+    """Recursively convert numpy containers to plain JSON types."""
+    if isinstance(data, np.ndarray):
+        return data.tolist()
+    if isinstance(data, (np.floating, np.integer)):
+        return data.item()
+    if isinstance(data, dict):
+        return {str(key): to_jsonable(value) for key, value in data.items()}
+    if isinstance(data, (list, tuple)):
+        return [to_jsonable(item) for item in data]
+    return data
+
+
+def write_json(data, path: Path) -> None:
+    """Dump any figure-function result as JSON."""
+    Path(path).write_text(json.dumps(to_jsonable(data), indent=2))

@@ -1,0 +1,352 @@
+"""One function per figure of the paper; each returns plain data.
+
+Every function reproduces the *data behind* a figure (the series a plot
+would draw), so benchmarks and examples can both regenerate and check
+them without a plotting dependency. See EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.abr.registry import make_scheme, needs_quality_manifest
+from repro.core.cava import cava_p1, cava_p12, cava_p123
+from repro.core.config import CavaConfig
+from repro.dashjs.harness import DashJsConfig, run_dashjs_session
+from repro.experiments.runner import SweepResult, run_comparison, run_scheme_on_traces
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace
+from repro.player.metrics import metric_for_network, quality_series, summarize_session
+from repro.player.session import SessionConfig, run_session
+from repro.util.stats import cdf_points
+from repro.video.classify import ChunkClassifier
+from repro.video.model import VideoAsset
+
+__all__ = [
+    "fig1_bitrate_profile",
+    "fig2_siti_by_quartile",
+    "fig3_quality_cdfs",
+    "fig4_myopic_vs_cava",
+    "fig7_inner_window_sweep",
+    "outer_window_sweep",
+    "fig8_scheme_cdfs",
+    "fig9_quality_cdfs",
+    "fig10_ablation",
+    "fig11_dashjs_cdfs",
+]
+
+#: The schemes drawn in Figs. 8–9.
+FIG8_SCHEMES = ("CAVA", "MPC", "RobustMPC", "PANDA/CQ max-sum", "PANDA/CQ max-min")
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 — per-chunk bitrates of the six tracks of one VBR video
+# ----------------------------------------------------------------------
+def fig1_bitrate_profile(video: VideoAsset, max_chunks: int = 100) -> Dict[str, np.ndarray]:
+    """Per-track chunk bitrate series plus track averages (Mbps)."""
+    n = min(max_chunks, video.num_chunks)
+    return {
+        "chunk_index": np.arange(n),
+        "bitrates_mbps": np.stack([t.bitrates_bps[:n] / 1e6 for t in video.tracks]),
+        "track_averages_mbps": np.array([t.average_bitrate_bps / 1e6 for t in video.tracks]),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 — SI/TI scatter coloured by chunk-size quartile
+# ----------------------------------------------------------------------
+def fig2_siti_by_quartile(
+    video: VideoAsset, si_threshold: float = 25.0, ti_threshold: float = 7.0
+) -> Dict[str, object]:
+    """SI/TI values per quartile and the fraction clearing the thresholds.
+
+    The paper reports ~78% (H.264) / ~75% (H.265) of Q4 chunks above
+    (SI > 25, TI > 7), versus ~5–14% of Q1/Q2 chunks.
+    """
+    classifier = ChunkClassifier.from_video(video)
+    per_quartile: Dict[int, Dict[str, np.ndarray]] = {}
+    above: Dict[int, float] = {}
+    for q in range(1, 5):
+        mask = classifier.categories == q
+        per_quartile[q] = {"si": video.si[mask], "ti": video.ti[mask]}
+        above[q] = float(
+            np.mean((video.si[mask] > si_threshold) & (video.ti[mask] > ti_threshold))
+        )
+    return {
+        "per_quartile": per_quartile,
+        "fraction_above_thresholds": above,
+        "si_threshold": si_threshold,
+        "ti_threshold": ti_threshold,
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — encoding-quality CDFs per quartile, four metrics
+# ----------------------------------------------------------------------
+def fig3_quality_cdfs(
+    video: VideoAsset, track_level: Optional[int] = None
+) -> Dict[str, Dict[int, Tuple[np.ndarray, np.ndarray]]]:
+    """CDF of chunk quality per quartile for each §3.1.2 metric.
+
+    Returns ``{metric: {quartile: (values, fractions)}}`` for the chosen
+    track (the middle, 480p, track by default — as in the figure).
+    """
+    classifier = ChunkClassifier.from_video(video)
+    if track_level is None:
+        track_level = classifier.reference_track
+    track = video.track(track_level)
+    out: Dict[str, Dict[int, Tuple[np.ndarray, np.ndarray]]] = {}
+    for metric, values in track.qualities.items():
+        out[metric] = {}
+        for q in range(1, 5):
+            out[metric][q] = cdf_points(values[classifier.categories == q])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — myopic schemes (BBA-1, RBA) vs CAVA on one trace
+# ----------------------------------------------------------------------
+def fig4_myopic_vs_cava(
+    video: VideoAsset,
+    trace: NetworkTrace,
+    network: str = "lte",
+    config: SessionConfig = SessionConfig(),
+) -> Dict[str, Dict[str, object]]:
+    """Per-chunk delivered quality for BBA-1, RBA, and CAVA on one trace.
+
+    Returns, per scheme, the quality series, the Q4 positions (the shaded
+    bars of Fig. 4), average Q4 quality, and total rebuffering.
+    """
+    metric = metric_for_network(network)
+    classifier = ChunkClassifier.from_video(video)
+    q4_positions = classifier.complex_positions()
+    out: Dict[str, Dict[str, object]] = {}
+    for scheme in ("BBA-1", "RBA", "CAVA"):
+        algorithm = make_scheme(scheme, metric=metric)
+        result = run_session(algorithm, video, TraceLink(trace), config)
+        qualities = quality_series(result, video, metric)
+        out[scheme] = {
+            "qualities": qualities,
+            "q4_positions": q4_positions,
+            "q4_average": float(np.mean(qualities[classifier.categories == 4])),
+            "rebuffer_s": result.total_stall_s,
+        }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — inner controller window size sweep
+# ----------------------------------------------------------------------
+def fig7_inner_window_sweep(
+    video: VideoAsset,
+    traces: Sequence[NetworkTrace],
+    window_sizes_s: Sequence[float] = (2, 10, 20, 40, 80, 120, 160),
+    network: str = "lte",
+) -> Dict[str, np.ndarray]:
+    """Q4 quality and rebuffering vs W (mean and 10th/90th percentiles)."""
+    q4_stats = {"mean": [], "p10": [], "p90": []}
+    rb_stats = {"mean": [], "p10": [], "p90": []}
+    for w in window_sizes_s:
+        sweep = run_scheme_on_traces(
+            "CAVA",
+            video,
+            traces,
+            network,
+            algorithm_factory=lambda w=w: cava_p123(CavaConfig(inner_window_s=float(w))),
+        )
+        q4 = sweep.values("q4_quality_mean")
+        rb = sweep.values("rebuffer_s")
+        for stats, vec in ((q4_stats, q4), (rb_stats, rb)):
+            stats["mean"].append(float(np.mean(vec)))
+            stats["p10"].append(float(np.percentile(vec, 10)))
+            stats["p90"].append(float(np.percentile(vec, 90)))
+    return {
+        "window_sizes_s": np.asarray(window_sizes_s, dtype=float),
+        "q4_quality": {k: np.array(v) for k, v in q4_stats.items()},
+        "rebuffer_s": {k: np.array(v) for k, v in rb_stats.items()},
+    }
+
+
+def outer_window_sweep(
+    video: VideoAsset,
+    traces: Sequence[NetworkTrace],
+    window_sizes_s: Sequence[float] = (10, 50, 100, 200, 400),
+    network: str = "lte",
+) -> Dict[str, np.ndarray]:
+    """§6.2's outer-controller sweep: rebuffering vs W'.
+
+    The paper's claim: rebuffering generally decreases as W' grows (the
+    controller reacts earlier), with possible upticks at very large W'
+    (the long average washes out the variability signal, Eq. 5).
+    """
+    rb_mean, rb_p90, q4_mean = [], [], []
+    for w in window_sizes_s:
+        sweep = run_scheme_on_traces(
+            "CAVA",
+            video,
+            traces,
+            network,
+            algorithm_factory=lambda w=w: cava_p123(CavaConfig(outer_window_s=float(w))),
+        )
+        rb = sweep.values("rebuffer_s")
+        rb_mean.append(float(np.mean(rb)))
+        rb_p90.append(float(np.percentile(rb, 90)))
+        q4_mean.append(sweep.mean("q4_quality_mean"))
+    return {
+        "window_sizes_s": np.asarray(window_sizes_s, dtype=float),
+        "rebuffer_mean_s": np.array(rb_mean),
+        "rebuffer_p90_s": np.array(rb_p90),
+        "q4_quality_mean": np.array(q4_mean),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figs. 8 & 9 — scheme-comparison CDFs
+# ----------------------------------------------------------------------
+def fig8_scheme_cdfs(
+    video: VideoAsset,
+    traces: Sequence[NetworkTrace],
+    network: str = "lte",
+    schemes: Sequence[str] = FIG8_SCHEMES,
+) -> Dict[str, Dict[str, Tuple[np.ndarray, np.ndarray]]]:
+    """Per-scheme CDFs of the five §6.1 metrics (Fig. 8 panels a–e).
+
+    Data usage is reported relative to CAVA's per-trace usage, matching
+    panel (e)'s "Relative Data Usage (MB)" axis.
+    """
+    results = run_comparison(list(schemes), video, traces, network)
+    baseline_mb = results["CAVA"].values("data_usage_mb") if "CAVA" in results else None
+    panels = {
+        "q4_quality": "q4_quality_mean",
+        "low_quality_pct": "low_quality_fraction",
+        "rebuffer_s": "rebuffer_s",
+        "quality_change": "quality_change_per_chunk",
+        "relative_data_usage_mb": "data_usage_mb",
+    }
+    out: Dict[str, Dict[str, Tuple[np.ndarray, np.ndarray]]] = {p: {} for p in panels}
+    for scheme, sweep in results.items():
+        for panel, field_name in panels.items():
+            values = sweep.values(field_name)
+            if panel == "low_quality_pct":
+                values = values * 100.0
+            if panel == "relative_data_usage_mb" and baseline_mb is not None:
+                values = values - baseline_mb
+            out[panel][scheme] = cdf_points(values)
+    return out
+
+
+def fig9_quality_cdfs(
+    video: VideoAsset,
+    traces: Sequence[NetworkTrace],
+    network: str = "lte",
+    schemes: Sequence[str] = FIG8_SCHEMES,
+) -> Dict[str, Dict[str, Tuple[np.ndarray, np.ndarray]]]:
+    """CDFs of Q1–Q3 quality and all-chunk quality per scheme (Fig. 9)."""
+    results = run_comparison(list(schemes), video, traces, network)
+    out = {"q13_quality": {}, "all_quality": {}}
+    for scheme, sweep in results.items():
+        out["q13_quality"][scheme] = cdf_points(sweep.values("q13_quality_mean"))
+        out["all_quality"][scheme] = cdf_points(sweep.values("mean_quality"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — design-principle ablation
+# ----------------------------------------------------------------------
+def fig10_ablation(
+    video: VideoAsset,
+    traces: Sequence[NetworkTrace],
+    network: str = "lte",
+    config: SessionConfig = SessionConfig(),
+) -> Dict[str, object]:
+    """CAVA-p1 vs -p12 vs -p123 (§6.4).
+
+    Panel (a): per-Q4-chunk quality of p12 and p123 minus p1, pooled over
+    all runs. Panel (b): per-trace rebuffering of p123 minus p12, over
+    the traces where either variant rebuffers. The paper's panel (b) uses
+    the subset of traces that rebuffer at all (35/200 in their set); on
+    gentler trace sets, pass scaled-down traces and/or a smaller
+    ``max_buffer_s`` to surface the proactive principle.
+    """
+    metric = metric_for_network(network)
+    classifier = ChunkClassifier.from_video(video)
+    q4_mask = classifier.categories == 4
+    variants = {"CAVA-p1": cava_p1, "CAVA-p12": cava_p12, "CAVA-p123": cava_p123}
+
+    q4_series: Dict[str, List[np.ndarray]] = {name: [] for name in variants}
+    rebuffer: Dict[str, List[float]] = {name: [] for name in variants}
+    for trace in traces:
+        link = TraceLink(trace)
+        for name, factory in variants.items():
+            result = run_session(factory(), video, link, config)
+            q4_series[name].append(quality_series(result, video, metric)[q4_mask])
+            rebuffer[name].append(result.total_stall_s)
+
+    p1 = np.concatenate(q4_series["CAVA-p1"])
+    quality_deltas = {
+        "CAVA-p12": np.concatenate(q4_series["CAVA-p12"]) - p1,
+        "CAVA-p123": np.concatenate(q4_series["CAVA-p123"]) - p1,
+    }
+    rb12 = np.array(rebuffer["CAVA-p12"])
+    rb123 = np.array(rebuffer["CAVA-p123"])
+    affected = (rb12 > 0) | (rb123 > 0)
+    return {
+        "q4_quality_delta": quality_deltas,
+        "rebuffer_delta_p123_vs_p12": rb123[affected] - rb12[affected],
+        "traces_with_rebuffering": int(np.count_nonzero(affected)),
+        "mean_rebuffer": {name: float(np.mean(values)) for name, values in rebuffer.items()},
+        "mean_q4_quality": {
+            name: float(np.mean(np.concatenate(series))) for name, series in q4_series.items()
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — dash.js harness: CAVA vs the three BOLA-E variants
+# ----------------------------------------------------------------------
+def fig11_dashjs_cdfs(
+    video: VideoAsset,
+    traces: Sequence[NetworkTrace],
+    network: str = "lte",
+    config: DashJsConfig = DashJsConfig(),
+) -> Dict[str, object]:
+    """The six CDF panels of Fig. 11 plus rule-overhead profiling."""
+    metric = metric_for_network(network)
+    classifier = ChunkClassifier.from_video(video)
+    schemes = ("CAVA", "BOLA-E (avg)", "BOLA-E (peak)", "BOLA-E (seg)")
+
+    per_scheme: Dict[str, List] = {s: [] for s in schemes}
+    overhead: Dict[str, List[float]] = {s: [] for s in schemes}
+    for trace in traces:
+        for scheme in schemes:
+            algorithm = make_scheme(scheme, metric=metric)
+            run = run_dashjs_session(
+                algorithm, video, trace, config,
+                include_quality=needs_quality_manifest(scheme),
+            )
+            per_scheme[scheme].append(summarize_session(run.result, video, metric, classifier))
+            overhead[scheme].append(run.rule_overhead_s)
+
+    panels = {
+        "q4_quality": "q4_quality_mean",
+        "q13_quality": "q13_quality_mean",
+        "low_quality_pct": "low_quality_fraction",
+        "rebuffer_s": "rebuffer_s",
+        "quality_change": "quality_change_per_chunk",
+        "total_data_usage_mb": "data_usage_mb",
+    }
+    cdfs: Dict[str, Dict[str, Tuple[np.ndarray, np.ndarray]]] = {p: {} for p in panels}
+    for scheme, metrics_list in per_scheme.items():
+        for panel, field_name in panels.items():
+            values = np.array([getattr(m, field_name) for m in metrics_list])
+            if panel == "low_quality_pct":
+                values = values * 100.0
+            cdfs[panel][scheme] = cdf_points(values)
+    return {
+        "cdfs": cdfs,
+        "rule_overhead_s": {s: float(np.mean(v)) for s, v in overhead.items()},
+    }

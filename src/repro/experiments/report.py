@@ -1,0 +1,63 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+The benchmark harness prints the same rows the paper reports; these
+helpers keep that output consistent (fixed-width tables, the paper's
+up/down-arrow convention for Table 1's deltas).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.experiments.tables import ComparisonRow
+
+__all__ = ["render_table", "format_comparison_rows", "format_percent", "format_delta"]
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Fixed-width text table with a separator under the header."""
+    materialized: List[List[str]] = [list(map(str, headers))]
+    materialized.extend(list(map(str, row)) for row in rows)
+    widths = [max(len(row[col]) for row in materialized) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(materialized):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_delta(value: float) -> str:
+    """Absolute delta with the paper's arrow convention (↑ higher)."""
+    arrow = "↑" if value >= 0 else "↓"
+    return f"{arrow}{abs(value):.1f}"
+
+
+def format_percent(fraction: float) -> str:
+    """Fractional change as a percentage with the arrow convention."""
+    if fraction == float("inf"):
+        return "↑inf"
+    arrow = "↑" if fraction >= 0 else "↓"
+    return f"{arrow}{abs(fraction) * 100:.0f}%"
+
+
+def format_comparison_rows(rows: Sequence[ComparisonRow]) -> str:
+    """Render Table-1-style rows (one baseline per line)."""
+    headers = (
+        "video", "net", "baseline",
+        "Q4 qual", "low-qual", "stall", "qual chg", "data",
+    )
+    body = [
+        (
+            row.video_name,
+            row.network,
+            row.baseline,
+            format_delta(row.q4_quality_delta),
+            format_percent(row.low_quality_change),
+            format_percent(row.rebuffer_change),
+            format_percent(row.quality_change_change),
+            format_percent(row.data_usage_change),
+        )
+        for row in rows
+    ]
+    return render_table(headers, body)

@@ -1,0 +1,109 @@
+"""Sweep runner: schemes x videos x traces, the §6 evaluation grid.
+
+The runner owns the conventions the whole evaluation shares (§6.1):
+
+- the quality metric follows the network (VMAF phone on LTE, TV on FCC);
+- every scheme uses the harmonic-mean bandwidth estimator unless a
+  controlled-error study overrides it;
+- PANDA/CQ gets the quality-annotated manifest, everyone else the
+  standard one;
+- one classifier per video, reused across schemes, so Q4 means the same
+  chunks for everyone.
+
+Results come back as plain lists of :class:`SessionMetrics`; the figure
+and table modules aggregate from there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm
+from repro.abr.registry import make_scheme, needs_quality_manifest
+from repro.network.estimator import BandwidthEstimator
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace
+from repro.player.metrics import SessionMetrics, metric_for_network, summarize_session
+from repro.player.session import SessionConfig, SessionResult, StreamingSession
+from repro.video.classify import ChunkClassifier
+from repro.video.model import VideoAsset
+
+__all__ = ["SweepResult", "run_scheme_on_traces", "run_comparison", "aggregate"]
+
+EstimatorFactory = Callable[[NetworkTrace], Optional[BandwidthEstimator]]
+
+
+@dataclass
+class SweepResult:
+    """All session metrics for one (scheme, video, trace-set) sweep."""
+
+    scheme: str
+    video_name: str
+    network: str
+    metrics: List[SessionMetrics]
+
+    def values(self, field_name: str) -> np.ndarray:
+        """Vector of one metric across traces (for CDFs)."""
+        return np.array([getattr(m, field_name) for m in self.metrics], dtype=float)
+
+    def mean(self, field_name: str) -> float:
+        """Across-trace mean of one metric."""
+        return float(np.mean(self.values(field_name)))
+
+
+def run_scheme_on_traces(
+    scheme: str,
+    video: VideoAsset,
+    traces: Sequence[NetworkTrace],
+    network: str = "lte",
+    config: SessionConfig = SessionConfig(),
+    estimator_factory: Optional[EstimatorFactory] = None,
+    algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None,
+) -> SweepResult:
+    """Run one scheme over a trace set and summarize each session.
+
+    ``algorithm_factory`` overrides the registry (used by parameter
+    sweeps); ``estimator_factory`` lets the §6.7 study install a
+    controlled-error estimator per trace.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    metric = metric_for_network(network)
+    include_quality = needs_quality_manifest(scheme)
+    classifier = ChunkClassifier.from_video(video)
+    manifest = video.manifest(include_quality=include_quality)
+    session = StreamingSession(config)
+
+    results: List[SessionMetrics] = []
+    for trace in traces:
+        if algorithm_factory is not None:
+            algorithm = algorithm_factory()
+        else:
+            algorithm = make_scheme(scheme, metric=metric)
+        link = TraceLink(trace)
+        estimator = estimator_factory(trace) if estimator_factory else None
+        outcome = session.run(algorithm, manifest, link, estimator)
+        results.append(summarize_session(outcome, video, metric, classifier))
+    return SweepResult(scheme=scheme, video_name=video.name, network=network, metrics=results)
+
+
+def run_comparison(
+    schemes: Sequence[str],
+    video: VideoAsset,
+    traces: Sequence[NetworkTrace],
+    network: str = "lte",
+    config: SessionConfig = SessionConfig(),
+) -> Dict[str, SweepResult]:
+    """Run several schemes under identical conditions (same traces)."""
+    return {
+        scheme: run_scheme_on_traces(scheme, video, traces, network, config)
+        for scheme in schemes
+    }
+
+
+def aggregate(results: Dict[str, SweepResult], field_name: str) -> Dict[str, float]:
+    """Across-trace mean of one metric for every scheme."""
+    return {scheme: result.mean(field_name) for scheme, result in results.items()}

@@ -1,0 +1,129 @@
+"""Paired statistical comparison of ABR schemes.
+
+Every §6 comparison is *paired*: two schemes replay the same traces, so
+the right question is about the per-trace differences, not the pooled
+distributions. This module provides:
+
+- paired bootstrap confidence intervals for the mean difference of any
+  metric between two schemes;
+- a sign-test p-value (distribution-free, robust to the heavy tails
+  rebuffering distributions have);
+- a convenience verdict combining both, used by the examples to state
+  whether "CAVA beats X on metric M" is resolved at the configured trace
+  count or needs more traces.
+
+Seeded like everything else, so reported intervals replay exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.runner import SweepResult
+from repro.util.rng import derive_rng
+
+__all__ = ["PairedComparison", "paired_bootstrap", "sign_test_pvalue", "compare_schemes"]
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of one paired metric comparison (A minus B per trace)."""
+
+    metric: str
+    scheme_a: str
+    scheme_b: str
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    sign_test_p: float
+    num_pairs: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% bootstrap CI excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+    def describe(self) -> str:
+        """One-line human-readable verdict."""
+        direction = "higher" if self.mean_difference > 0 else "lower"
+        status = "significant" if self.significant else "not resolved"
+        return (
+            f"{self.scheme_a} vs {self.scheme_b} on {self.metric}: "
+            f"mean diff {self.mean_difference:+.3f} ({direction}), "
+            f"95% CI [{self.ci_low:+.3f}, {self.ci_high:+.3f}], "
+            f"sign-test p={self.sign_test_p:.3f} — {status} "
+            f"(n={self.num_pairs})"
+        )
+
+
+def paired_bootstrap(
+    differences: Sequence[float],
+    num_resamples: int = 5000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple:
+    """Percentile bootstrap CI for the mean of paired differences."""
+    diffs = np.asarray(differences, dtype=float)
+    if diffs.ndim != 1 or diffs.size < 2:
+        raise ValueError("need at least two paired differences")
+    if not 0.5 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0.5, 1), got {confidence}")
+    rng = derive_rng(seed, "bootstrap")
+    indices = rng.integers(0, diffs.size, size=(num_resamples, diffs.size))
+    means = diffs[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return float(np.quantile(means, alpha)), float(np.quantile(means, 1.0 - alpha))
+
+
+def sign_test_pvalue(differences: Sequence[float]) -> float:
+    """Two-sided exact sign test on paired differences (ties dropped)."""
+    diffs = np.asarray(differences, dtype=float)
+    nonzero = diffs[diffs != 0.0]
+    n = nonzero.size
+    if n == 0:
+        return 1.0
+    k = int(np.sum(nonzero > 0))
+    # Two-sided binomial tail with p = 1/2.
+    tail = min(k, n - k)
+    cumulative = sum(math.comb(n, j) for j in range(tail + 1)) / 2.0**n
+    return float(min(1.0, 2.0 * cumulative))
+
+
+def compare_schemes(
+    sweep_a: SweepResult,
+    sweep_b: SweepResult,
+    metric: str,
+    seed: int = 0,
+) -> PairedComparison:
+    """Paired comparison of one metric between two finished sweeps.
+
+    The sweeps must have run on the same trace sequence (the runner
+    guarantees this when both came from one :func:`run_comparison`).
+    """
+    a = sweep_a.values(metric)
+    b = sweep_b.values(metric)
+    if a.size != b.size:
+        raise ValueError(
+            f"sweeps have different trace counts ({a.size} vs {b.size}); "
+            "paired comparison requires identical trace sets"
+        )
+    traces_a = [m.trace_name for m in sweep_a.metrics]
+    traces_b = [m.trace_name for m in sweep_b.metrics]
+    if traces_a != traces_b:
+        raise ValueError("sweeps ran on different traces; pairing is invalid")
+    diffs = a - b
+    ci_low, ci_high = paired_bootstrap(diffs, seed=seed)
+    return PairedComparison(
+        metric=metric,
+        scheme_a=sweep_a.scheme,
+        scheme_b=sweep_b.scheme,
+        mean_difference=float(np.mean(diffs)),
+        ci_low=ci_low,
+        ci_high=ci_high,
+        sign_test_p=sign_test_pvalue(diffs),
+        num_pairs=int(diffs.size),
+    )

@@ -1,0 +1,48 @@
+"""Network substrate: throughput traces (LTE / FCC analogues of §6.1),
+a trace-driven fluid download link, and the bandwidth estimators the
+evaluation uses (harmonic-mean and §6.7's controlled-error oracle)."""
+
+from repro.network.analysis import (
+    TraceSetSummary,
+    outage_fraction,
+    segment_stationary,
+    summarize_traces,
+)
+from repro.network.estimator import (
+    BandwidthEstimator,
+    ControlledErrorEstimator,
+    EwmaEstimator,
+    HarmonicMeanEstimator,
+    LastSampleEstimator,
+)
+from repro.network.link import DownloadResult, TraceLink
+from repro.network.traces import (
+    NetworkTrace,
+    load_trace_file,
+    save_trace_file,
+    synthesize_fcc_trace,
+    synthesize_fcc_traces,
+    synthesize_lte_trace,
+    synthesize_lte_traces,
+)
+
+__all__ = [
+    "TraceSetSummary",
+    "outage_fraction",
+    "segment_stationary",
+    "summarize_traces",
+    "BandwidthEstimator",
+    "ControlledErrorEstimator",
+    "EwmaEstimator",
+    "HarmonicMeanEstimator",
+    "LastSampleEstimator",
+    "DownloadResult",
+    "TraceLink",
+    "NetworkTrace",
+    "load_trace_file",
+    "save_trace_file",
+    "synthesize_fcc_trace",
+    "synthesize_fcc_traces",
+    "synthesize_lte_trace",
+    "synthesize_lte_traces",
+]

@@ -1,0 +1,121 @@
+"""Trace-set analysis: the statistics §6.1 quotes about its trace sets.
+
+Used to validate that a synthesized (or imported) trace set behaves like
+the paper's: per-trace mean/CoV distributions, outage statistics, and an
+Oboe-style segmentation of each trace into piecewise-stationary bandwidth
+states (Akhtar et al. [1] showed ABR parameters should track such
+states; the segmentation here doubles as a burstiness fingerprint for
+comparing trace sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.network.traces import NetworkTrace
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["TraceSetSummary", "summarize_traces", "outage_fraction", "segment_stationary"]
+
+
+@dataclass(frozen=True)
+class TraceSetSummary:
+    """Distributional facts about a trace set."""
+
+    count: int
+    mean_mbps_median: float
+    mean_mbps_p10: float
+    mean_mbps_p90: float
+    cov_median: float
+    outage_fraction_mean: float
+    interval_s: float
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"{self.count} traces @ {self.interval_s:g}s: mean throughput "
+            f"{self.mean_mbps_median:.2f} Mbps (p10 {self.mean_mbps_p10:.2f}, "
+            f"p90 {self.mean_mbps_p90:.2f}), median CoV {self.cov_median:.2f}, "
+            f"outage time {self.outage_fraction_mean:.1%}"
+        )
+
+
+def outage_fraction(trace: NetworkTrace, threshold_bps: float = 100_000.0) -> float:
+    """Fraction of time the trace spends below ``threshold_bps``.
+
+    100 kbps is below the lowest track of the standard ladder — time
+    spent there is effectively an outage for streaming purposes.
+    """
+    check_positive(threshold_bps, "threshold_bps")
+    return float(np.mean(trace.throughputs_bps < threshold_bps))
+
+
+def summarize_traces(traces: Sequence[NetworkTrace]) -> TraceSetSummary:
+    """Aggregate statistics over a trace set."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    intervals = {trace.interval_s for trace in traces}
+    if len(intervals) != 1:
+        raise ValueError(f"mixed sampling intervals: {sorted(intervals)}")
+    means = np.array([trace.mean_bps for trace in traces]) / 1e6
+    covs = np.array([trace.cov for trace in traces])
+    outages = np.array([outage_fraction(trace) for trace in traces])
+    return TraceSetSummary(
+        count=len(traces),
+        mean_mbps_median=float(np.median(means)),
+        mean_mbps_p10=float(np.percentile(means, 10)),
+        mean_mbps_p90=float(np.percentile(means, 90)),
+        cov_median=float(np.median(covs)),
+        outage_fraction_mean=float(np.mean(outages)),
+        interval_s=traces[0].interval_s,
+    )
+
+
+def segment_stationary(
+    trace: NetworkTrace,
+    relative_change: float = 0.4,
+    min_segment_intervals: int = 10,
+) -> List[dict]:
+    """Split a trace into piecewise-stationary bandwidth states.
+
+    A new segment starts when the running mean of the current segment
+    would change by more than ``relative_change`` when extended by the
+    next sample window. Returns a list of ``{start_s, end_s, mean_bps}``
+    dicts. Oboe-style: volatile LTE traces fragment into many short
+    states, stable broadband traces into a few long ones.
+    """
+    check_in_range(relative_change, "relative_change", 0.01, 2.0)
+    if min_segment_intervals < 1:
+        raise ValueError("min_segment_intervals must be >= 1")
+    values = trace.throughputs_bps
+    segments: List[dict] = []
+    start = 0
+    running_sum = 0.0
+    for index, value in enumerate(values):
+        length = index - start
+        if length >= min_segment_intervals:
+            mean = running_sum / length
+            if abs(value - mean) > relative_change * mean:
+                segments.append(
+                    {
+                        "start_s": start * trace.interval_s,
+                        "end_s": index * trace.interval_s,
+                        "mean_bps": mean,
+                    }
+                )
+                start = index
+                running_sum = 0.0
+        running_sum += value
+    length = values.size - start
+    if length > 0:
+        segments.append(
+            {
+                "start_s": start * trace.interval_s,
+                "end_s": values.size * trace.interval_s,
+                "mean_bps": running_sum / length,
+            }
+        )
+    return segments

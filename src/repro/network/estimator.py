@@ -1,0 +1,170 @@
+"""Bandwidth estimators used by the ABR logic.
+
+All the schemes in §6 share one estimation strategy for fairness: the
+**harmonic mean of the per-chunk throughput of the last five downloads**,
+shown robust to outliers by the MPC work and adopted in the paper's
+dash.js prototype (§5.5). §6.7 additionally studies a *controlled-error*
+predictor — the true bandwidth perturbed by a uniform ±err factor — to
+isolate each scheme's sensitivity to prediction error.
+
+Estimators follow a small protocol:
+
+- ``observe(size_bits, duration_s, now_s)`` after each chunk download;
+- ``predict_bps(now_s)`` before each decision;
+- ``reset()`` between sessions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+import numpy as np
+
+from repro.util.stats import harmonic_mean
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = [
+    "BandwidthEstimator",
+    "HarmonicMeanEstimator",
+    "EwmaEstimator",
+    "LastSampleEstimator",
+    "ControlledErrorEstimator",
+]
+
+#: Prediction returned before any sample has been observed. Deliberately
+#: conservative (1 Mbps) so every scheme starts cautiously, mirroring
+#: production players' cold-start behaviour.
+DEFAULT_INITIAL_ESTIMATE_BPS = 1_000_000.0
+
+
+class BandwidthEstimator:
+    """Base class: throughput samples in, bandwidth predictions out."""
+
+    def __init__(self, initial_estimate_bps: float = DEFAULT_INITIAL_ESTIMATE_BPS) -> None:
+        check_positive(initial_estimate_bps, "initial_estimate_bps")
+        self.initial_estimate_bps = initial_estimate_bps
+
+    def observe(self, size_bits: float, duration_s: float, now_s: float) -> None:
+        """Record one completed download."""
+        raise NotImplementedError
+
+    def predict_bps(self, now_s: float) -> float:
+        """Predicted bandwidth for the imminent download."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all history (start of a new session)."""
+        raise NotImplementedError
+
+
+class HarmonicMeanEstimator(BandwidthEstimator):
+    """Harmonic mean of the last ``window`` per-chunk throughputs (§5.5)."""
+
+    def __init__(
+        self,
+        window: int = 5,
+        initial_estimate_bps: float = DEFAULT_INITIAL_ESTIMATE_BPS,
+    ) -> None:
+        super().__init__(initial_estimate_bps)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def observe(self, size_bits: float, duration_s: float, now_s: float) -> None:
+        check_positive(size_bits, "size_bits")
+        check_positive(duration_s, "duration_s")
+        self._samples.append(size_bits / duration_s)
+
+    def predict_bps(self, now_s: float) -> float:
+        if not self._samples:
+            return self.initial_estimate_bps
+        return harmonic_mean(list(self._samples))
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+class EwmaEstimator(BandwidthEstimator):
+    """Exponentially weighted moving average of per-chunk throughput."""
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        initial_estimate_bps: float = DEFAULT_INITIAL_ESTIMATE_BPS,
+    ) -> None:
+        super().__init__(initial_estimate_bps)
+        check_in_range(alpha, "alpha", 0.0, 1.0)
+        self.alpha = alpha
+        self._value: Optional[float] = None
+
+    def observe(self, size_bits: float, duration_s: float, now_s: float) -> None:
+        check_positive(size_bits, "size_bits")
+        check_positive(duration_s, "duration_s")
+        sample = size_bits / duration_s
+        if self._value is None:
+            self._value = sample
+        else:
+            self._value = self.alpha * sample + (1.0 - self.alpha) * self._value
+
+    def predict_bps(self, now_s: float) -> float:
+        return self._value if self._value is not None else self.initial_estimate_bps
+
+    def reset(self) -> None:
+        self._value = None
+
+
+class LastSampleEstimator(BandwidthEstimator):
+    """Throughput of the most recent download only (naive baseline)."""
+
+    def __init__(self, initial_estimate_bps: float = DEFAULT_INITIAL_ESTIMATE_BPS) -> None:
+        super().__init__(initial_estimate_bps)
+        self._value: Optional[float] = None
+
+    def observe(self, size_bits: float, duration_s: float, now_s: float) -> None:
+        check_positive(size_bits, "size_bits")
+        check_positive(duration_s, "duration_s")
+        self._value = size_bits / duration_s
+
+    def predict_bps(self, now_s: float) -> float:
+        return self._value if self._value is not None else self.initial_estimate_bps
+
+    def reset(self) -> None:
+        self._value = None
+
+
+class ControlledErrorEstimator(BandwidthEstimator):
+    """True bandwidth perturbed by a uniform ±err factor (§6.7).
+
+    ``true_bandwidth`` is a callable ``now_s -> bps`` (typically
+    ``lambda t: link.average_bandwidth(t, horizon)``). With ``err = 0``
+    this is a perfect oracle; with ``err = 0.5`` predictions are uniform
+    in ``[0.5 * C_t, 1.5 * C_t]``, the paper's harshest setting.
+    """
+
+    def __init__(
+        self,
+        true_bandwidth: Callable[[float], float],
+        err: float,
+        rng: np.random.Generator,
+        initial_estimate_bps: float = DEFAULT_INITIAL_ESTIMATE_BPS,
+    ) -> None:
+        super().__init__(initial_estimate_bps)
+        check_in_range(err, "err", 0.0, 0.99)
+        self.true_bandwidth = true_bandwidth
+        self.err = err
+        self.rng = rng
+
+    def observe(self, size_bits: float, duration_s: float, now_s: float) -> None:
+        pass  # oracle-based; download history is irrelevant
+
+    def predict_bps(self, now_s: float) -> float:
+        true_value = self.true_bandwidth(now_s)
+        if true_value <= 0:
+            return self.initial_estimate_bps
+        factor = 1.0 + self.rng.uniform(-self.err, self.err)
+        return max(true_value * factor, 1_000.0)
+
+    def reset(self) -> None:
+        pass

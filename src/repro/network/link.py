@@ -1,0 +1,116 @@
+"""Trace-driven download link.
+
+The simulator's contract with the network is a single primitive: *start a
+download of S bits at time t; when does it finish?* The link answers by
+integrating the trace's piecewise-constant throughput from ``t`` forward
+until S bits have been delivered (the fluid model used by every
+trace-driven ABR study, including this paper's §6.1 setup — TCP dynamics,
+RTT, and loss are folded into the measured throughput).
+
+A cumulative-bits table over one trace period makes each query
+O(log n) via binary search, with periodic wrap-around for sessions that
+outlast the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.network.traces import NetworkTrace
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["TraceLink", "DownloadResult"]
+
+
+@dataclass(frozen=True)
+class DownloadResult:
+    """Outcome of one chunk download over the link."""
+
+    start_s: float
+    finish_s: float
+    size_bits: float
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock download time."""
+        return self.finish_s - self.start_s
+
+    @property
+    def throughput_bps(self) -> float:
+        """Average throughput experienced by this download."""
+        return self.size_bits / self.duration_s if self.duration_s > 0 else float("inf")
+
+
+class TraceLink:
+    """Fluid download model over a :class:`NetworkTrace`.
+
+    The link is stateless between calls — concurrency is not modelled
+    because DASH/HLS players download chunks sequentially (one outstanding
+    request), as all the schemes in the paper do.
+    """
+
+    def __init__(self, trace: NetworkTrace) -> None:
+        self.trace = trace
+        self._interval = trace.interval_s
+        self._period_s = trace.duration_s
+        # cumulative_bits[k] = bits deliverable in [0, k * interval).
+        self._cumulative_bits = np.concatenate(
+            [[0.0], np.cumsum(trace.throughputs_bps * self._interval)]
+        )
+        self._bits_per_period = float(self._cumulative_bits[-1])
+        if self._bits_per_period <= 0:
+            raise ValueError("trace delivers zero bits per period")
+
+    def bits_in_window(self, start_s: float, end_s: float) -> float:
+        """Bits deliverable in ``[start_s, end_s)`` (periodic extension)."""
+        check_non_negative(start_s, "start_s")
+        if end_s < start_s:
+            raise ValueError(f"end_s ({end_s}) must be >= start_s ({start_s})")
+        return self._cumulative_at(end_s) - self._cumulative_at(start_s)
+
+    def _cumulative_at(self, t_s: float) -> float:
+        """Bits deliverable in [0, t_s), handling wrap-around."""
+        periods, remainder = divmod(t_s, self._period_s)
+        index = remainder / self._interval
+        whole = int(index)
+        frac = index - whole
+        partial = self._cumulative_bits[whole]
+        if frac > 0:
+            partial += self.trace.throughputs_bps[whole] * frac * self._interval
+        return periods * self._bits_per_period + partial
+
+    def download(self, size_bits: float, start_s: float) -> DownloadResult:
+        """Download ``size_bits`` starting at ``start_s``; returns timing."""
+        check_positive(size_bits, "size_bits")
+        check_non_negative(start_s, "start_s")
+        target = self._cumulative_at(start_s) + size_bits
+
+        periods, within = divmod(target, self._bits_per_period)
+        # Find the interval where the cumulative-bits table crosses `within`.
+        index = int(np.searchsorted(self._cumulative_bits, within, side="right")) - 1
+        index = min(index, self.trace.num_intervals - 1)
+        already = self._cumulative_bits[index]
+        rate = self.trace.throughputs_bps[index]
+        if rate <= 0:
+            # Zero-rate interval: skip to its end (cannot happen with the
+            # synthesizers, which floor throughput above zero, but real
+            # trace files may contain zeros).
+            offset = (index + 1) * self._interval
+        else:
+            offset = index * self._interval + (within - already) / rate
+        finish_s = periods * self._period_s + offset
+        if finish_s < start_s:  # guard against floating-point regression
+            finish_s = start_s + size_bits / max(rate, 1.0)
+        return DownloadResult(start_s=start_s, finish_s=finish_s, size_bits=size_bits)
+
+    def average_bandwidth(self, start_s: float, window_s: float) -> float:
+        """Mean available bandwidth over ``[start_s, start_s + window_s)``.
+
+        Used by oracle-style estimators (§6.7's controlled-error study
+        perturbs the *true* bandwidth, so something must report it).
+        """
+        check_positive(window_s, "window_s")
+        return self.bits_in_window(start_s, start_s + window_s) / window_s

@@ -1,0 +1,50 @@
+"""Player substrate: playback buffer, trace-driven streaming session
+simulator (§6.1 harness), and the five QoE metrics of the evaluation."""
+
+from repro.player.buffer import PlaybackBuffer
+from repro.player.events import SessionEvent, format_events, session_events
+from repro.player.live import (
+    LiveSessionConfig,
+    LiveSessionResult,
+    LiveStreamingSession,
+    run_live_session,
+)
+from repro.player.metrics import (
+    GOOD_QUALITY_VMAF,
+    LOW_QUALITY_VMAF,
+    QoeWeights,
+    SessionMetrics,
+    composite_qoe,
+    metric_for_network,
+    quality_series,
+    summarize_session,
+)
+from repro.player.session import (
+    SessionConfig,
+    SessionResult,
+    StreamingSession,
+    run_session,
+)
+
+__all__ = [
+    "PlaybackBuffer",
+    "SessionEvent",
+    "format_events",
+    "session_events",
+    "LiveSessionConfig",
+    "LiveSessionResult",
+    "LiveStreamingSession",
+    "run_live_session",
+    "GOOD_QUALITY_VMAF",
+    "LOW_QUALITY_VMAF",
+    "QoeWeights",
+    "SessionMetrics",
+    "composite_qoe",
+    "metric_for_network",
+    "quality_series",
+    "summarize_session",
+    "SessionConfig",
+    "SessionResult",
+    "StreamingSession",
+    "run_session",
+]

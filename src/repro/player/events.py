@@ -1,0 +1,116 @@
+"""Structured session event log.
+
+Turns a finished :class:`~repro.player.session.SessionResult` into a
+typed event timeline — downloads, level switches, stalls, idles,
+playback start — the way a real player's debug overlay would show it.
+Used for debugging adaptation behaviour chunk by chunk, and by the
+dash.js harness examples to print per-session narratives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.player.session import SessionResult
+
+__all__ = ["SessionEvent", "session_events", "format_events"]
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One timeline entry.
+
+    ``kind`` is one of ``startup``, ``download``, ``switch_up``,
+    ``switch_down``, ``stall``, ``idle``. ``time_s`` orders the log;
+    ``detail`` is the human-readable payload.
+    """
+
+    time_s: float
+    kind: str
+    chunk_index: int
+    detail: str
+
+
+def session_events(result: SessionResult) -> List[SessionEvent]:
+    """Extract the event timeline from a session record."""
+    events: List[SessionEvent] = []
+    previous_level = None
+    for i in range(result.num_chunks):
+        start = float(result.download_start_s[i])
+        level = int(result.levels[i])
+
+        if result.idle_s[i] > 0:
+            events.append(
+                SessionEvent(
+                    time_s=start - float(result.idle_s[i]),
+                    kind="idle",
+                    chunk_index=i,
+                    detail=f"idled {result.idle_s[i]:.2f}s before requesting chunk {i}",
+                )
+            )
+        if previous_level is not None and level != previous_level:
+            kind = "switch_up" if level > previous_level else "switch_down"
+            events.append(
+                SessionEvent(
+                    time_s=start,
+                    kind=kind,
+                    chunk_index=i,
+                    detail=f"L{previous_level} -> L{level}",
+                )
+            )
+        events.append(
+            SessionEvent(
+                time_s=start,
+                kind="download",
+                chunk_index=i,
+                detail=(
+                    f"chunk {i} @ L{level}, {result.sizes_bits[i] / 8e6:.2f} MB in "
+                    f"{result.download_finish_s[i] - start:.2f}s "
+                    f"(buffer {result.buffer_after_s[i]:.1f}s after)"
+                ),
+            )
+        )
+        if result.stall_s[i] > 0:
+            events.append(
+                SessionEvent(
+                    time_s=float(result.download_finish_s[i]),
+                    kind="stall",
+                    chunk_index=i,
+                    detail=f"rebuffered {result.stall_s[i]:.2f}s during chunk {i}",
+                )
+            )
+        previous_level = level
+
+    events.append(
+        SessionEvent(
+            time_s=float(result.startup_delay_s),
+            kind="startup",
+            chunk_index=-1,
+            detail=f"playback started after {result.startup_delay_s:.2f}s",
+        )
+    )
+    events.sort(key=lambda event: (event.time_s, event.chunk_index))
+    return events
+
+
+def format_events(
+    events: List[SessionEvent],
+    kinds: tuple = ("startup", "switch_up", "switch_down", "stall"),
+    limit: int = 50,
+) -> str:
+    """Render the interesting subset of a timeline as text.
+
+    Downloads are omitted by default (there is one per chunk); pass
+    ``kinds=None`` for the full firehose.
+    """
+    selected = [e for e in events if kinds is None or e.kind in kinds]
+    lines = [
+        f"[{event.time_s:8.2f}s] {event.kind:12s} {event.detail}"
+        for event in selected[:limit]
+    ]
+    if len(selected) > limit:
+        lines.append(f"... {len(selected) - limit} more events")
+    return "\n".join(lines)

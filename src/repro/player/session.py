@@ -1,0 +1,251 @@
+"""Trace-driven streaming session simulator.
+
+This is the §6.1 evaluation harness: one session = one (video, ABR
+scheme, network trace) triple replayed under identical, repeatable
+conditions. The loop follows the standard sequential-download player
+model shared by the MPC/BOLA/Pensieve simulators and the paper:
+
+1. ask the ABR algorithm for the next chunk's track;
+2. if the buffer is within one chunk of its cap, idle until there is room
+   (the client "does not download the next chunk when the maximum buffer
+   size is reached", §6.1);
+3. download the chunk over the trace-driven link; while downloading, the
+   buffer drains in real time — if it empties, the remainder is a stall;
+4. feed the observed throughput to the bandwidth estimator and notify
+   the algorithm;
+5. playback begins once ``startup_latency_s`` seconds are buffered
+   (10 s in §6.1, i.e. two 5-second chunks).
+
+After the last download, the remaining buffer plays out stall-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, DecisionContext
+from repro.network.estimator import BandwidthEstimator, HarmonicMeanEstimator
+from repro.network.link import TraceLink
+from repro.player.buffer import PlaybackBuffer
+from repro.util.validation import check_non_negative, check_positive
+from repro.video.model import Manifest, VideoAsset
+
+__all__ = ["SessionConfig", "SessionResult", "StreamingSession", "run_session"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Player-level knobs, defaulted to the paper's §6.1 settings."""
+
+    startup_latency_s: float = 10.0
+    max_buffer_s: float = 100.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.startup_latency_s, "startup_latency_s")
+        check_positive(self.max_buffer_s, "max_buffer_s")
+        if self.startup_latency_s > self.max_buffer_s:
+            raise ValueError("startup_latency_s cannot exceed max_buffer_s")
+
+
+@dataclass
+class SessionResult:
+    """Complete record of one streaming session.
+
+    All per-chunk arrays are indexed by playback position. Quality values
+    are *not* stored here — they are joined against the video's ground
+    truth by :mod:`repro.player.metrics`, keeping the session itself
+    restricted to client-observable state.
+    """
+
+    scheme: str
+    video_name: str
+    trace_name: str
+    levels: np.ndarray
+    sizes_bits: np.ndarray
+    download_start_s: np.ndarray
+    download_finish_s: np.ndarray
+    stall_s: np.ndarray
+    buffer_after_s: np.ndarray
+    idle_s: np.ndarray
+    startup_delay_s: float
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks streamed."""
+        return int(self.levels.size)
+
+    @property
+    def total_stall_s(self) -> float:
+        """Total rebuffering time after startup (§6.1 metric iii)."""
+        return float(np.sum(self.stall_s))
+
+    @property
+    def data_usage_bits(self) -> float:
+        """Total bits downloaded (§6.1 metric v)."""
+        return float(np.sum(self.sizes_bits))
+
+    @property
+    def download_throughputs_bps(self) -> np.ndarray:
+        """Realized per-chunk download throughput."""
+        durations = self.download_finish_s - self.download_start_s
+        return self.sizes_bits / np.maximum(durations, 1e-9)
+
+    @property
+    def session_duration_s(self) -> float:
+        """Wall-clock time from first request to last byte."""
+        return float(self.download_finish_s[-1])
+
+
+class StreamingSession:
+    """Runs one (algorithm, manifest, link) session; reusable."""
+
+    def __init__(
+        self,
+        config: SessionConfig = SessionConfig(),
+    ) -> None:
+        self.config = config
+
+    def run(
+        self,
+        algorithm: ABRAlgorithm,
+        manifest: Manifest,
+        link: TraceLink,
+        estimator: Optional[BandwidthEstimator] = None,
+    ) -> SessionResult:
+        """Stream every chunk of ``manifest`` over ``link``.
+
+        A fresh :class:`HarmonicMeanEstimator` is used when none is given
+        (the paper's common estimator, §6.1). A caller-provided estimator
+        is reset before use.
+        """
+        if estimator is None:
+            estimator = HarmonicMeanEstimator()
+        estimator.reset()
+        algorithm.prepare(manifest)
+
+        n = manifest.num_chunks
+        delta = manifest.chunk_duration_s
+        buffer = PlaybackBuffer()
+        now = 0.0
+        playing = False
+        startup_delay = 0.0
+        last_level: Optional[int] = None
+
+        levels = np.zeros(n, dtype=int)
+        sizes = np.zeros(n, dtype=float)
+        starts = np.zeros(n, dtype=float)
+        finishes = np.zeros(n, dtype=float)
+        stalls = np.zeros(n, dtype=float)
+        buffers = np.zeros(n, dtype=float)
+        idles = np.zeros(n, dtype=float)
+
+        for i in range(n):
+            # 1. decision (optionally preceded by an algorithm-requested
+            #    idle, e.g. BOLA pausing on a high buffer)
+            ctx = DecisionContext(
+                chunk_index=i,
+                now_s=now,
+                buffer_s=buffer.level_s,
+                last_level=last_level,
+                bandwidth_bps=estimator.predict_bps(now),
+                playing=playing,
+            )
+            requested_idle = 0.0
+            if playing:
+                requested_idle = max(0.0, float(algorithm.requested_idle_s(ctx)))
+                # Never idle into a stall: stop at one chunk of buffer.
+                requested_idle = min(
+                    requested_idle, buffer.time_until_level(delta)
+                )
+                if requested_idle > 0:
+                    buffer.drain(requested_idle)
+                    now += requested_idle
+                    ctx = DecisionContext(
+                        chunk_index=i,
+                        now_s=now,
+                        buffer_s=buffer.level_s,
+                        last_level=last_level,
+                        bandwidth_bps=estimator.predict_bps(now),
+                        playing=playing,
+                    )
+            level = int(algorithm.select_level(ctx))
+            if not 0 <= level < manifest.num_tracks:
+                raise ValueError(
+                    f"{algorithm.name} selected invalid level {level} "
+                    f"for chunk {i} (valid: 0..{manifest.num_tracks - 1})"
+                )
+
+            # 2. respect the buffer cap: idle until one chunk fits
+            idle = requested_idle
+            if playing and buffer.level_s + delta > self.config.max_buffer_s:
+                cap_idle = buffer.level_s + delta - self.config.max_buffer_s
+                stall_during_idle = buffer.drain(cap_idle)
+                assert stall_during_idle == 0.0  # draining from above cap
+                now += cap_idle
+                idle += cap_idle
+
+            # 3. download; the buffer drains (and may stall) meanwhile
+            size = manifest.chunk_size_bits(level, i)
+            result = link.download(size, now)
+            download_s = result.duration_s
+            stall = buffer.drain(download_s) if playing else 0.0
+            now = result.finish_s
+            buffer.fill(delta)
+
+            # 4. learn from the observation
+            estimator.observe(size, download_s, now)
+            algorithm.notify_download(i, level, size, download_s, buffer.level_s, now)
+
+            levels[i] = level
+            sizes[i] = size
+            starts[i] = result.start_s
+            finishes[i] = now
+            stalls[i] = stall
+            buffers[i] = buffer.level_s
+            idles[i] = idle
+            last_level = level
+
+            # 5. startup: playback begins once the initial target is met
+            if not playing and buffer.level_s >= self.config.startup_latency_s:
+                playing = True
+                startup_delay = now
+
+        if not playing:
+            # Very short video: startup target never reached; playback
+            # starts when the download completes.
+            startup_delay = now
+
+        return SessionResult(
+            scheme=algorithm.name,
+            video_name=manifest.video_name,
+            trace_name=link.trace.name,
+            levels=levels,
+            sizes_bits=sizes,
+            download_start_s=starts,
+            download_finish_s=finishes,
+            stall_s=stalls,
+            buffer_after_s=buffers,
+            idle_s=idles,
+            startup_delay_s=startup_delay,
+        )
+
+
+def run_session(
+    algorithm: ABRAlgorithm,
+    video: VideoAsset,
+    link: TraceLink,
+    config: SessionConfig = SessionConfig(),
+    estimator: Optional[BandwidthEstimator] = None,
+    include_quality: bool = False,
+) -> SessionResult:
+    """Convenience wrapper: build the manifest and run one session.
+
+    ``include_quality`` must be True for PANDA/CQ, which consumes
+    per-chunk quality values (§6.1); every other scheme streams from a
+    standard size-only manifest.
+    """
+    manifest = video.manifest(include_quality=include_quality)
+    return StreamingSession(config).run(algorithm, manifest, link, estimator)

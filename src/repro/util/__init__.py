@@ -1,0 +1,61 @@
+"""Shared utilities: seeded randomness, statistics, units, validation.
+
+These helpers keep the rest of the library deterministic (every stochastic
+component takes an explicit seed or :class:`numpy.random.Generator`) and
+free of ad-hoc unit math (all conversions between bits, bytes, megabits and
+seconds go through :mod:`repro.util.units`).
+"""
+
+from repro.util.rng import RngStream, derive_rng, spawn_rngs
+from repro.util.stats import (
+    cdf_points,
+    coefficient_of_variation,
+    harmonic_mean,
+    pearson_correlation,
+    quantile,
+    quartile_thresholds,
+    running_mean,
+    spearman_correlation,
+)
+from repro.util.units import (
+    BITS_PER_BYTE,
+    bits_to_megabits,
+    bytes_to_bits,
+    bytes_to_megabits,
+    megabits_to_bits,
+    megabits_to_bytes,
+    mbps_to_bps,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RngStream",
+    "derive_rng",
+    "spawn_rngs",
+    "cdf_points",
+    "coefficient_of_variation",
+    "harmonic_mean",
+    "pearson_correlation",
+    "quantile",
+    "quartile_thresholds",
+    "running_mean",
+    "spearman_correlation",
+    "BITS_PER_BYTE",
+    "bits_to_megabits",
+    "bytes_to_bits",
+    "bytes_to_megabits",
+    "megabits_to_bits",
+    "megabits_to_bytes",
+    "mbps_to_bps",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]

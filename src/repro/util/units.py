@@ -1,0 +1,71 @@
+"""Unit conversions between bits, bytes, megabits, and rates.
+
+Conventions used across the library:
+
+- chunk **sizes** are stored in **bits** (float), because every formula in
+  the paper divides sizes by bitrates or bandwidths expressed in bits/s;
+- **bitrates and bandwidths** are stored in **bits per second**;
+- reporting helpers convert to megabits / megabytes only at the display
+  boundary, mirroring the figures in the paper (Mbps axes, MB data usage).
+
+1 megabit = 1e6 bits (decimal, the networking convention), and
+1 byte = 8 bits.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "BITS_PER_MEGABIT",
+    "bits_to_megabits",
+    "bytes_to_bits",
+    "bytes_to_megabits",
+    "megabits_to_bits",
+    "megabits_to_bytes",
+    "mbps_to_bps",
+    "bps_to_mbps",
+    "bits_to_megabytes",
+]
+
+BITS_PER_BYTE = 8
+BITS_PER_MEGABIT = 1_000_000
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return float(num_bytes) * BITS_PER_BYTE
+
+
+def bits_to_megabits(bits: float) -> float:
+    """Convert bits to megabits (decimal)."""
+    return float(bits) / BITS_PER_MEGABIT
+
+
+def megabits_to_bits(megabits: float) -> float:
+    """Convert megabits (decimal) to bits."""
+    return float(megabits) * BITS_PER_MEGABIT
+
+
+def bytes_to_megabits(num_bytes: float) -> float:
+    """Convert bytes to megabits."""
+    return bits_to_megabits(bytes_to_bits(num_bytes))
+
+
+def megabits_to_bytes(megabits: float) -> float:
+    """Convert megabits to bytes."""
+    return megabits_to_bits(megabits) / BITS_PER_BYTE
+
+
+def mbps_to_bps(mbps: float) -> float:
+    """Convert megabits/second to bits/second."""
+    return megabits_to_bits(mbps)
+
+
+def bps_to_mbps(bps: float) -> float:
+    """Convert bits/second to megabits/second."""
+    return bits_to_megabits(bps)
+
+
+def bits_to_megabytes(bits: float) -> float:
+    """Convert bits to megabytes (decimal), the unit of the data-usage CDFs."""
+    return float(bits) / (BITS_PER_BYTE * BITS_PER_MEGABIT)

@@ -1,0 +1,162 @@
+"""Chunk classification by relative size — the paper's complexity proxy.
+
+§3.1.1 shows that (1) a chunk's size *relative to its track* tracks the
+underlying scene complexity, and (2) the relative size is consistent
+across tracks. The practical recipe the paper derives — and CAVA uses —
+is: pick one **reference track** (a middle track), split its chunk sizes
+at the quartiles, label each playback position Q1..Q4 accordingly, and
+apply that label to every track.
+
+Everything here operates on the client-visible manifest, because that is
+all a deployable ABR algorithm has (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.util.stats import pearson_correlation, quartile_thresholds
+from repro.video.model import Manifest, VideoAsset
+
+__all__ = [
+    "classify_sizes",
+    "classify_sizes_quantiles",
+    "reference_level",
+    "ChunkClassifier",
+    "cross_track_category_correlation",
+]
+
+#: Category labels, 1-based to match the paper's Q1..Q4 terminology.
+Q1, Q2, Q3, Q4 = 1, 2, 3, 4
+
+
+def classify_sizes(sizes: Sequence[float]) -> np.ndarray:
+    """Label each chunk Q1..Q4 by which size quartile it falls into.
+
+    Sizes at a quartile boundary go to the lower category, so the four
+    categories are ``(-inf, q25], (q25, q50], (q50, q75], (q75, inf)``.
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    if sizes.ndim != 1 or sizes.size < 4:
+        raise ValueError("need at least 4 chunk sizes to form quartiles")
+    q25, q50, q75 = quartile_thresholds(sizes)
+    categories = np.full(sizes.size, Q4, dtype=int)
+    categories[sizes <= q75] = Q3
+    categories[sizes <= q50] = Q2
+    categories[sizes <= q25] = Q1
+    return categories
+
+
+def classify_sizes_quantiles(sizes: Sequence[float], num_classes: int) -> np.ndarray:
+    """Generalized classification into ``num_classes`` equal-probability bins.
+
+    §3.1.1 notes the quartile choice is not essential ("e.g., using five
+    classes instead of four"); this provides that generalization. Returns
+    1-based labels where ``num_classes`` marks the most complex chunks.
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    if num_classes < 2:
+        raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+    if sizes.ndim != 1 or sizes.size < num_classes:
+        raise ValueError(f"need at least {num_classes} chunk sizes")
+    probs = np.linspace(0.0, 1.0, num_classes + 1)[1:-1]
+    thresholds = np.quantile(sizes, probs)
+    categories = np.full(sizes.size, num_classes, dtype=int)
+    for label, threshold in zip(range(num_classes - 1, 0, -1), thresholds[::-1]):
+        categories[sizes <= threshold] = label
+    return categories
+
+
+def reference_level(num_tracks: int) -> int:
+    """The middle track the paper recommends as the classification reference."""
+    if num_tracks < 1:
+        raise ValueError("num_tracks must be >= 1")
+    return num_tracks // 2
+
+
+@dataclass
+class ChunkClassifier:
+    """Manifest-driven Q1..Q4 classifier with convenience queries.
+
+    This is the component CAVA's differential-treatment logic (§5.3) and
+    outer controller (§5.4) consume. Built once per manifest; all queries
+    are O(1) array lookups.
+    """
+
+    categories: np.ndarray
+    reference_track: int
+    num_classes: int = 4
+
+    @classmethod
+    def from_manifest(
+        cls,
+        manifest: Manifest,
+        reference_track: int = None,
+        num_classes: int = 4,
+    ) -> "ChunkClassifier":
+        """Classify every playback position from the reference track's sizes."""
+        if reference_track is None:
+            reference_track = reference_level(manifest.num_tracks)
+        if not 0 <= reference_track < manifest.num_tracks:
+            raise IndexError(
+                f"reference_track {reference_track} out of range [0, {manifest.num_tracks})"
+            )
+        sizes = manifest.chunk_sizes_bits[reference_track]
+        if num_classes == 4:
+            categories = classify_sizes(sizes)
+        else:
+            categories = classify_sizes_quantiles(sizes, num_classes)
+        return cls(categories=categories, reference_track=reference_track, num_classes=num_classes)
+
+    @classmethod
+    def from_video(cls, video: VideoAsset, reference_track: int = None) -> "ChunkClassifier":
+        """Convenience constructor from a full :class:`VideoAsset`."""
+        return cls.from_manifest(video.manifest(), reference_track=reference_track)
+
+    def category(self, index: int) -> int:
+        """Q-category (1..num_classes) of the chunk at playback position ``index``."""
+        return int(self.categories[index])
+
+    def is_complex(self, index: int) -> bool:
+        """True when the chunk belongs to the top (most complex) category."""
+        return int(self.categories[index]) == self.num_classes
+
+    def complex_positions(self) -> np.ndarray:
+        """Indices of all top-category (Q4) chunks."""
+        return np.flatnonzero(self.categories == self.num_classes)
+
+    def category_fractions(self) -> Dict[int, float]:
+        """Fraction of chunks in each category (≈ 1/num_classes each)."""
+        n = self.categories.size
+        return {
+            label: float(np.count_nonzero(self.categories == label)) / n
+            for label in range(1, self.num_classes + 1)
+        }
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of classified playback positions."""
+        return int(self.categories.size)
+
+
+def cross_track_category_correlation(video: VideoAsset) -> np.ndarray:
+    """Pairwise Pearson correlation of per-track category sequences.
+
+    §3.1.1's Property (2) check: classify each track *independently* by its
+    own quartiles, then correlate the category sequences between every pair
+    of tracks. The paper reports values "close to 1"; our synthesis should
+    reproduce that.
+
+    Returns an ``(num_tracks, num_tracks)`` symmetric matrix.
+    """
+    per_track = [classify_sizes(track.chunk_sizes_bits) for track in video.tracks]
+    n = len(per_track)
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = pearson_correlation(per_track[i], per_track[j])
+            matrix[i, j] = matrix[j, i] = value
+    return matrix

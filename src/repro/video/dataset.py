@@ -1,0 +1,214 @@
+"""The 16-video dataset analogue (§2), plus the §3.3 / §6.6 variants.
+
+The paper's dataset:
+
+- **FFmpeg encodes (8)**: four Xiph raw titles — Elephant Dream (ED),
+  Big Buck Bunny (BBB), Tears of Steel (ToS), Sintel — each encoded in
+  H.264 and H.265 with the Netflix three-pass recipe, 2-second chunks,
+  2x cap.
+- **YouTube encodes (8)**: the same four titles uploaded/re-downloaded,
+  plus four downloaded titles in the sports / animal / nature / action
+  genres; H.264, ~5-second chunks, capped VBR with peak/avg 1.1–2.3.
+- One extra **4x-capped** ED encode for §3.3 / §6.6.
+
+We reproduce the dataset's *statistics* with the generative pipeline
+(scene synthesis → capped two-pass VBR encoder → quality surfaces), seeded
+so that every video is reproducible from ``(seed, spec)``. Each title gets
+its own scene timeline; the H.264 and H.265 encodes of a title share that
+timeline (same content, different codec), as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+from repro.util.validation import check_positive
+from repro.video.model import VideoAsset
+from repro.video.quality import DEFAULT_QUALITY_MODEL, QualityModel
+from repro.video.scene import SceneTimeline, synthesize_scene_timeline
+from repro.video.synthesis import DEFAULT_LADDER, EncoderConfig, encode_ladder
+
+__all__ = [
+    "VideoSpec",
+    "FFMPEG_SPECS",
+    "YOUTUBE_SPECS",
+    "standard_dataset_specs",
+    "build_video",
+    "build_dataset",
+    "build_standard_dataset",
+    "fourx_spec",
+    "build_cbr_counterpart",
+]
+
+#: Default total duration of every title; the paper's clips are ~10 minutes.
+DEFAULT_DURATION_S = 600.0
+
+
+@dataclass(frozen=True)
+class VideoSpec:
+    """Everything needed to deterministically rebuild one encoded video."""
+
+    name: str
+    title: str
+    genre: str
+    source: str  # "ffmpeg" or "youtube"
+    codec: str  # "h264" or "h265"
+    chunk_duration_s: float
+    cap_ratio: float
+    duration_s: float = DEFAULT_DURATION_S
+
+    def __post_init__(self) -> None:
+        if self.source not in ("ffmpeg", "youtube"):
+            raise ValueError(f"source must be 'ffmpeg' or 'youtube', got {self.source!r}")
+        check_positive(self.chunk_duration_s, "chunk_duration_s")
+        check_positive(self.duration_s, "duration_s")
+
+
+def _ffmpeg_spec(title: str, genre: str, codec: str) -> VideoSpec:
+    return VideoSpec(
+        name=f"{title}-ffmpeg-{codec}",
+        title=title,
+        genre=genre,
+        source="ffmpeg",
+        codec=codec,
+        chunk_duration_s=2.0,
+        cap_ratio=2.0,
+    )
+
+
+def _youtube_spec(title: str, genre: str) -> VideoSpec:
+    return VideoSpec(
+        name=f"{title}-youtube-h264",
+        title=title,
+        genre=genre,
+        source="youtube",
+        codec="h264",
+        chunk_duration_s=5.0,
+        cap_ratio=2.0,
+    )
+
+
+#: The four Xiph titles with their genres as categorized in §2.
+_XIPH_TITLES: Tuple[Tuple[str, str], ...] = (
+    ("ED", "animation"),
+    ("BBB", "animation"),
+    ("ToS", "scifi"),
+    ("Sintel", "scifi"),
+)
+
+#: The four additional YouTube downloads of §2.
+_YOUTUBE_ONLY_TITLES: Tuple[Tuple[str, str], ...] = (
+    ("Sports", "sports"),
+    ("Animal", "animal"),
+    ("Nature", "nature"),
+    ("Action", "action"),
+)
+
+FFMPEG_SPECS: Tuple[VideoSpec, ...] = tuple(
+    _ffmpeg_spec(title, genre, codec)
+    for title, genre in _XIPH_TITLES
+    for codec in ("h264", "h265")
+)
+
+YOUTUBE_SPECS: Tuple[VideoSpec, ...] = tuple(
+    _youtube_spec(title, genre) for title, genre in (_XIPH_TITLES + _YOUTUBE_ONLY_TITLES)
+)
+
+
+def standard_dataset_specs() -> List[VideoSpec]:
+    """The 16 specs of the paper's dataset: 8 FFmpeg + 8 YouTube."""
+    return list(FFMPEG_SPECS) + list(YOUTUBE_SPECS)
+
+
+def fourx_spec() -> VideoSpec:
+    """The 4x-capped Elephant Dream encode of §3.3 / §6.6."""
+    return VideoSpec(
+        name="ED-ffmpeg-h264-4x",
+        title="ED",
+        genre="animation",
+        source="ffmpeg",
+        codec="h264",
+        chunk_duration_s=2.0,
+        cap_ratio=4.0,
+    )
+
+
+def _timeline_for(spec: VideoSpec, seed: int) -> SceneTimeline:
+    """Scene timeline shared by all encodes of the same title.
+
+    Seeded by ``(seed, title, chunk_duration)``: the H.264 and H.265
+    FFmpeg encodes of a title share identical content; the YouTube encode
+    of the same title uses 5 s chunks, which re-discretizes the scenes.
+    """
+    rng = derive_rng(seed, "scene", spec.title, f"{spec.chunk_duration_s:g}")
+    return synthesize_scene_timeline(
+        rng, spec.genre, duration_s=spec.duration_s, chunk_duration_s=spec.chunk_duration_s
+    )
+
+
+def build_video(
+    spec: VideoSpec,
+    seed: int = 0,
+    quality_model: QualityModel = DEFAULT_QUALITY_MODEL,
+    encoding: str = "vbr",
+    ladder: Sequence[int] = DEFAULT_LADDER,
+) -> VideoAsset:
+    """Deterministically build one encoded video from its spec.
+
+    The encoder RNG is derived from ``(seed, spec.name, encoding)`` so the
+    same call always returns bit-identical chunk sizes.
+    """
+    timeline = _timeline_for(spec, seed)
+    config = EncoderConfig(codec=spec.codec, cap_ratio=spec.cap_ratio)
+    encoder_rng = derive_rng(seed, "encode", spec.name, encoding)
+    tracks = encode_ladder(
+        encoder_rng, timeline, config, ladder=ladder, quality_model=quality_model, encoding=encoding
+    )
+    return VideoAsset(
+        name=spec.name,
+        genre=spec.genre,
+        codec=spec.codec,
+        source=spec.source,
+        tracks=tracks,
+        complexity=timeline.complexity,
+        si=timeline.si,
+        ti=timeline.ti,
+        cap_ratio=spec.cap_ratio,
+        encoding=encoding,
+    )
+
+
+def build_dataset(
+    specs: Sequence[VideoSpec],
+    seed: int = 0,
+    quality_model: QualityModel = DEFAULT_QUALITY_MODEL,
+) -> Dict[str, VideoAsset]:
+    """Build several videos keyed by spec name."""
+    videos: Dict[str, VideoAsset] = {}
+    for spec in specs:
+        if spec.name in videos:
+            raise ValueError(f"duplicate spec name {spec.name!r}")
+        videos[spec.name] = build_video(spec, seed=seed, quality_model=quality_model)
+    return videos
+
+
+def build_standard_dataset(
+    seed: int = 0, quality_model: QualityModel = DEFAULT_QUALITY_MODEL
+) -> Dict[str, VideoAsset]:
+    """Build the full 16-video dataset analogue of §2."""
+    return build_dataset(standard_dataset_specs(), seed=seed, quality_model=quality_model)
+
+
+def build_cbr_counterpart(
+    spec: VideoSpec, seed: int = 0, quality_model: QualityModel = DEFAULT_QUALITY_MODEL
+) -> VideoAsset:
+    """CBR encode of the same content at the same average bitrate.
+
+    Used by the characterization examples to demonstrate the VBR-vs-CBR
+    quality trade the paper's introduction describes.
+    """
+    return build_video(spec, seed=seed, quality_model=quality_model, encoding="cbr")

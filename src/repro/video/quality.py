@@ -1,0 +1,254 @@
+"""Rate–quality surfaces: VMAF (TV / phone), PSNR, and SSIM models.
+
+The paper measures chunk quality with the ``vmaf`` tool against raw or
+2160p reference footage. We replace the measurement with an analytic
+surface ``quality(resolution, bits, duration, complexity)`` with the
+properties every practical codec study reports:
+
+1. quality is increasing and saturating in bits-per-pixel (logistic in
+   log-bpp, the standard shape of rate–distortion curves);
+2. complex scenes need more bits for the same quality — the complexity
+   enters as a multiplicative *bit-demand* factor on bpp, so a Q4 chunk
+   given the same bpp as a Q1 chunk scores much lower (Fig. 3);
+3. low resolutions cap out early even with generous bitrate, because the
+   score is computed against a high-resolution reference (upscaling
+   penalty); the phone model is more forgiving of low resolutions than
+   the TV model, matching VMAF's two released models;
+4. H.265 reaches the same quality at ~60–70% of the H.264 bitrate (§6.5);
+   this enters through the encoder's codec efficiency, not this module.
+
+PSNR and SSIM are monotone transforms of the same latent score with
+metric-appropriate output ranges (PSNR ~26–50 dB, SSIM ~0.7–1.0),
+sufficient to reproduce the orderings in Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = [
+    "RESOLUTION_PIXELS",
+    "QualityModel",
+    "DEFAULT_QUALITY_MODEL",
+    "complexity_bit_demand",
+]
+
+#: Pixel counts of the six ladder resolutions used throughout the paper.
+RESOLUTION_PIXELS: Dict[int, int] = {
+    144: 256 * 144,
+    240: 426 * 240,
+    360: 640 * 360,
+    480: 854 * 480,
+    720: 1280 * 720,
+    1080: 1920 * 1080,
+    2160: 3840 * 2160,
+}
+
+#: Upscaling factor applied to the latent score on a large (TV) screen.
+_TV_RESOLUTION_CEILING: Dict[int, float] = {
+    144: 0.30,
+    240: 0.46,
+    360: 0.62,
+    480: 0.78,
+    720: 0.92,
+    1080: 1.00,
+    2160: 1.00,
+}
+
+#: The phone model tolerates low resolutions better (small screen).
+_PHONE_RESOLUTION_CEILING: Dict[int, float] = {
+    144: 0.44,
+    240: 0.62,
+    360: 0.78,
+    480: 0.90,
+    720: 0.98,
+    1080: 1.00,
+    2160: 1.00,
+}
+
+
+def complexity_bit_demand(complexity: float, demand_exponent: float = 3.4) -> float:
+    """Bits-per-pixel multiplier a scene of given complexity needs.
+
+    Defined as ``2 ** (demand_exponent * (complexity - 0.35))`` so that a
+    middling scene (c = 0.35) has demand 1, the simplest scenes need a
+    fraction of the bits, and the most complex several times more — the
+    spread that makes a 2x VBR cap bind on complex scenes (§3.3).
+    """
+    check_in_range(complexity, "complexity", 0.0, 1.0)
+    return float(2.0 ** (demand_exponent * (complexity - 0.35)))
+
+
+@dataclass(frozen=True)
+class QualityModel:
+    """Analytic quality surface with tunable calibration constants.
+
+    Attributes
+    ----------
+    frames_per_second:
+        Frame rate used to convert chunk bits to bits-per-pixel.
+    half_quality_bpp:
+        Bits-per-pixel (for a demand-1 scene) at which the latent score is
+        0.5; the midpoint of the logistic.
+    logistic_width:
+        Width (in log2-bpp units) of the logistic transition.
+    demand_exponent:
+        Exponent of :func:`complexity_bit_demand`.
+    hardness, hardness_midpoint, hardness_width:
+        Complexity-hardness ceiling. §3.3 observes Q4 chunks stay below
+        Q1–Q3 quality even at a 4x cap, "because it is inherently very
+        difficult to encode complex scenes to reach the same quality as
+        simple scenes"; we model that irreducible penalty as a
+        multiplicative ceiling on the latent score,
+        ``1 - hardness * sigmoid((c - hardness_midpoint) / hardness_width)``,
+        which leaves simple-to-moderate scenes untouched and penalizes the
+        top-complexity scenes — the ones that land in the top size
+        quartile — by up to ``hardness``.
+    """
+
+    frames_per_second: float = 24.0
+    half_quality_bpp: float = 0.0085
+    logistic_width: float = 1.15
+    demand_exponent: float = 3.4
+    hardness: float = 0.26
+    hardness_midpoint: float = 0.62
+    hardness_width: float = 0.09
+
+    def __post_init__(self) -> None:
+        check_positive(self.frames_per_second, "frames_per_second")
+        check_positive(self.half_quality_bpp, "half_quality_bpp")
+        check_positive(self.logistic_width, "logistic_width")
+        check_positive(self.demand_exponent, "demand_exponent")
+        check_in_range(self.hardness, "hardness", 0.0, 0.6)
+        check_in_range(self.hardness_midpoint, "hardness_midpoint", 0.0, 1.0)
+        check_positive(self.hardness_width, "hardness_width")
+
+    # ------------------------------------------------------------------
+    # Latent score
+    # ------------------------------------------------------------------
+    def latent_score(
+        self,
+        resolution: int,
+        chunk_bits: float,
+        chunk_duration_s: float,
+        complexity: float,
+    ) -> float:
+        """Latent quality in (0, 1) before metric-specific shaping.
+
+        The latent score is a logistic in log2 of *effective* bits per
+        pixel — actual bpp divided by the scene's bit demand — scaled by
+        the complexity hardness ceiling (see ``hardness``).
+        """
+        if resolution not in RESOLUTION_PIXELS:
+            raise ValueError(
+                f"unknown resolution {resolution}; known: {sorted(RESOLUTION_PIXELS)}"
+            )
+        check_positive(chunk_bits, "chunk_bits")
+        check_positive(chunk_duration_s, "chunk_duration_s")
+        pixels_per_chunk = RESOLUTION_PIXELS[resolution] * self.frames_per_second * chunk_duration_s
+        bpp = chunk_bits / pixels_per_chunk
+        demand = complexity_bit_demand(complexity, self.demand_exponent)
+        x = (np.log2(bpp / demand) - np.log2(self.half_quality_bpp)) / self.logistic_width
+        return float(self.hardness_ceiling(complexity) / (1.0 + np.exp(-x)))
+
+    def hardness_ceiling(self, complexity: float) -> float:
+        """Maximum latent score reachable at a given scene complexity."""
+        check_in_range(complexity, "complexity", 0.0, 1.0)
+        gate = 1.0 / (1.0 + np.exp(-(complexity - self.hardness_midpoint) / self.hardness_width))
+        return float(1.0 - self.hardness * gate)
+
+    # ------------------------------------------------------------------
+    # Metric surfaces
+    # ------------------------------------------------------------------
+    def vmaf(
+        self,
+        resolution: int,
+        chunk_bits: float,
+        chunk_duration_s: float,
+        complexity: float,
+        model: str = "tv",
+    ) -> float:
+        """VMAF score in [0, 100] under the TV or phone viewing model."""
+        if model == "tv":
+            ceiling = _TV_RESOLUTION_CEILING[resolution]
+        elif model == "phone":
+            ceiling = _PHONE_RESOLUTION_CEILING[resolution]
+        else:
+            raise ValueError(f"model must be 'tv' or 'phone', got {model!r}")
+        latent = self.latent_score(resolution, chunk_bits, chunk_duration_s, complexity)
+        return 100.0 * ceiling * latent
+
+    def psnr(
+        self,
+        resolution: int,
+        chunk_bits: float,
+        chunk_duration_s: float,
+        complexity: float,
+    ) -> float:
+        """Median-frame PSNR in dB (≈26 dB poor to ≈50 dB transparent)."""
+        latent = self.latent_score(resolution, chunk_bits, chunk_duration_s, complexity)
+        ceiling = _TV_RESOLUTION_CEILING[resolution]
+        return 26.0 + 24.0 * ceiling * latent
+
+    def ssim(
+        self,
+        resolution: int,
+        chunk_bits: float,
+        chunk_duration_s: float,
+        complexity: float,
+    ) -> float:
+        """SSIM in [0, 1] (practically 0.70–0.995 for watchable video)."""
+        latent = self.latent_score(resolution, chunk_bits, chunk_duration_s, complexity)
+        ceiling = _TV_RESOLUTION_CEILING[resolution]
+        return 0.70 + 0.295 * ceiling * latent**0.8
+
+    def all_metrics(
+        self,
+        resolution: int,
+        chunk_bits: float,
+        chunk_duration_s: float,
+        complexity: float,
+    ) -> Dict[str, float]:
+        """All four metrics of §3.1.2 for one encoded chunk."""
+        return {
+            "vmaf_tv": self.vmaf(resolution, chunk_bits, chunk_duration_s, complexity, "tv"),
+            "vmaf_phone": self.vmaf(resolution, chunk_bits, chunk_duration_s, complexity, "phone"),
+            "psnr": self.psnr(resolution, chunk_bits, chunk_duration_s, complexity),
+            "ssim": self.ssim(resolution, chunk_bits, chunk_duration_s, complexity),
+        }
+
+    # ------------------------------------------------------------------
+    # Inverse: bits needed for a target latent score
+    # ------------------------------------------------------------------
+    def bits_for_latent(
+        self,
+        resolution: int,
+        chunk_duration_s: float,
+        complexity: float,
+        latent: float,
+    ) -> float:
+        """Invert :meth:`latent_score`: bits needed for a target latent score.
+
+        Used by the encoder model's first (CRF-like) pass, which aims at
+        constant quality across scenes. When the hardness ceiling makes the
+        target unreachable, the encoder spends what a near-saturated score
+        (logistic value 0.95) costs and accepts the shortfall — this is
+        the regime where complex scenes devour bits yet stay behind.
+        """
+        check_in_range(latent, "latent", 1e-6, 1.0 - 1e-6)
+        pixels_per_chunk = RESOLUTION_PIXELS[resolution] * self.frames_per_second * chunk_duration_s
+        ceiling = self.hardness_ceiling(complexity)
+        logistic_target = min(latent / ceiling, 0.95)
+        x = np.log(logistic_target / (1.0 - logistic_target))
+        log2_bpp = x * self.logistic_width + np.log2(self.half_quality_bpp)
+        demand = complexity_bit_demand(complexity, self.demand_exponent)
+        return float(2.0**log2_bpp * demand * pixels_per_chunk)
+
+
+#: Shared default instance; the dataset builder and tests use this.
+DEFAULT_QUALITY_MODEL = QualityModel()

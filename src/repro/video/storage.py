@@ -1,0 +1,114 @@
+"""Dataset persistence: save/load encoded videos as ``.npz`` archives.
+
+Building the full 16-video dataset takes a few seconds; persisting it
+lets sweeps, notebooks, and external tools share one immutable copy —
+and makes the synthetic dataset distributable the way the paper's
+(copyright-bound) encodes could not be.
+
+The archive stores everything :class:`~repro.video.model.VideoAsset`
+holds: per-track chunk sizes and quality arrays, the scene ground truth
+(complexity, SI, TI), and the encoding metadata.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.video.model import QUALITY_METRICS, Track, VideoAsset
+
+__all__ = ["save_video", "load_video", "save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_video(video: VideoAsset, path: Path) -> None:
+    """Serialize one video to a ``.npz`` archive."""
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "name": np.array(video.name),
+        "genre": np.array(video.genre),
+        "codec": np.array(video.codec),
+        "source": np.array(video.source),
+        "encoding": np.array(video.encoding),
+        "cap_ratio": np.array(video.cap_ratio),
+        "chunk_duration_s": np.array(video.chunk_duration_s),
+        "complexity": video.complexity,
+        "si": video.si,
+        "ti": video.ti,
+        "resolutions": np.array([track.resolution for track in video.tracks]),
+        "declared_avg_bitrates_bps": np.array(
+            [track.declared_avg_bitrate_bps for track in video.tracks]
+        ),
+        "chunk_sizes_bits": np.stack([track.chunk_sizes_bits for track in video.tracks]),
+    }
+    for metric in QUALITY_METRICS:
+        arrays[f"quality_{metric}"] = np.stack(
+            [track.qualities[metric] for track in video.tracks]
+        )
+    np.savez_compressed(path, **arrays)
+
+
+def load_video(path: Path) -> VideoAsset:
+    """Load a video saved by :func:`save_video`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported format version {version} "
+                f"(this build reads {_FORMAT_VERSION})"
+            )
+        sizes = archive["chunk_sizes_bits"]
+        resolutions = archive["resolutions"]
+        averages = archive["declared_avg_bitrates_bps"]
+        duration = float(archive["chunk_duration_s"])
+        qualities = {
+            metric: archive[f"quality_{metric}"] for metric in QUALITY_METRICS
+        }
+        tracks = [
+            Track(
+                level=level,
+                resolution=int(resolutions[level]),
+                chunk_sizes_bits=sizes[level],
+                chunk_duration_s=duration,
+                declared_avg_bitrate_bps=float(averages[level]),
+                qualities={metric: qualities[metric][level] for metric in QUALITY_METRICS},
+            )
+            for level in range(sizes.shape[0])
+        ]
+        return VideoAsset(
+            name=str(archive["name"]),
+            genre=str(archive["genre"]),
+            codec=str(archive["codec"]),
+            source=str(archive["source"]),
+            tracks=tracks,
+            complexity=archive["complexity"],
+            si=archive["si"],
+            ti=archive["ti"],
+            cap_ratio=float(archive["cap_ratio"]),
+            encoding=str(archive["encoding"]),
+        )
+
+
+def save_dataset(videos: Dict[str, VideoAsset], directory: Path) -> None:
+    """Save several videos, one ``<name>.npz`` per video."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, video in videos.items():
+        save_video(video, directory / f"{name}.npz")
+
+
+def load_dataset(directory: Path) -> Dict[str, VideoAsset]:
+    """Load every ``.npz`` video in a directory, keyed by video name."""
+    directory = Path(directory)
+    videos: Dict[str, VideoAsset] = {}
+    for path in sorted(directory.glob("*.npz")):
+        video = load_video(path)
+        videos[video.name] = video
+    if not videos:
+        raise ValueError(f"no .npz videos found in {directory}")
+    return videos

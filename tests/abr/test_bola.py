@@ -1,0 +1,106 @@
+"""Tests for BOLA-E and its three size variants (§6.8)."""
+
+import numpy as np
+import pytest
+
+from repro.abr.base import DecisionContext
+from repro.abr.bola import BOLA_VARIANTS, BolaEAlgorithm
+from repro.network.link import TraceLink
+from repro.player.session import run_session
+
+
+def ctx(index=0, buffer_s=15.0, bandwidth=2e6, last=None):
+    return DecisionContext(
+        chunk_index=index, now_s=0.0, buffer_s=buffer_s, last_level=last,
+        bandwidth_bps=bandwidth, playing=True,
+    )
+
+
+class TestConfig:
+    def test_variants(self):
+        for variant in BOLA_VARIANTS:
+            assert BolaEAlgorithm(variant).name == f"BOLA-E ({variant})"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="variant"):
+            BolaEAlgorithm("median")
+
+    def test_target_must_exceed_minimum(self):
+        with pytest.raises(ValueError):
+            BolaEAlgorithm("seg", minimum_buffer_s=30.0, buffer_target_s=20.0)
+
+
+class TestScores:
+    def test_low_buffer_low_level(self, ed_ffmpeg_video):
+        algorithm = BolaEAlgorithm("avg")
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        assert algorithm.select_level(ctx(buffer_s=2.0)) == 0
+
+    def test_level_monotone_in_buffer(self, ed_ffmpeg_video):
+        algorithm = BolaEAlgorithm("avg")
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        levels = [
+            algorithm.select_level(ctx(buffer_s=b, bandwidth=50e6, last=5))
+            for b in (2.0, 8.0, 15.0, 25.0)
+        ]
+        assert levels == sorted(levels)
+
+    def test_upswitch_capped_by_throughput(self, ed_ffmpeg_video):
+        """The BOLA-E safeguard: a buffer-driven upswitch cannot exceed
+        the throughput-sustainable level."""
+        algorithm = BolaEAlgorithm("avg")
+        manifest = ed_ffmpeg_video.manifest()
+        algorithm.prepare(manifest)
+        # High buffer wants a high level, but bandwidth only sustains ~L2.
+        bandwidth = manifest.declared_avg_bitrates_bps[2] * 1.1
+        level = algorithm.select_level(ctx(buffer_s=28.0, bandwidth=bandwidth, last=1))
+        assert level <= 2
+
+    def test_pause_requested_on_full_buffer(self, ed_ffmpeg_video):
+        algorithm = BolaEAlgorithm("avg", buffer_target_s=30.0)
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        idle = algorithm.requested_idle_s(ctx(buffer_s=90.0))
+        assert idle > 0.0
+
+    def test_no_pause_on_low_buffer(self, ed_ffmpeg_video):
+        algorithm = BolaEAlgorithm("avg")
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        assert algorithm.requested_idle_s(ctx(buffer_s=5.0)) == 0.0
+
+
+class TestVariantOrdering:
+    """§6.8: peak is most conservative, avg most aggressive, seg between;
+    seg switches more because per-chunk sizes swing its scores."""
+
+    @pytest.fixture(scope="class")
+    def sessions(self, ed_youtube_video, lte_traces):
+        results = {}
+        for variant in BOLA_VARIANTS:
+            runs = []
+            for trace in lte_traces[:8]:
+                algorithm = BolaEAlgorithm(variant)
+                runs.append(run_session(algorithm, ed_youtube_video, TraceLink(trace)))
+            results[variant] = runs
+        return results
+
+    def test_peak_most_conservative(self, sessions):
+        mean_level = {
+            v: float(np.mean([r.levels.mean() for r in runs]))
+            for v, runs in sessions.items()
+        }
+        assert mean_level["peak"] <= mean_level["seg"] + 0.1
+        assert mean_level["peak"] <= mean_level["avg"] + 0.1
+
+    def test_data_usage_ordering(self, sessions):
+        usage = {
+            v: float(np.mean([r.data_usage_bits for r in runs]))
+            for v, runs in sessions.items()
+        }
+        assert usage["peak"] < usage["avg"]
+
+    def test_seg_switches_most(self, sessions):
+        switches = {
+            v: float(np.mean([np.count_nonzero(np.diff(r.levels)) for r in runs]))
+            for v, runs in sessions.items()
+        }
+        assert switches["seg"] >= switches["peak"]

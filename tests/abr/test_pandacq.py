@@ -1,0 +1,75 @@
+"""Tests for PANDA/CQ (max-sum and max-min)."""
+
+import numpy as np
+import pytest
+
+from repro.abr.base import DecisionContext
+from repro.abr.pandacq import PandaCQAlgorithm
+from repro.network.link import TraceLink
+from repro.player.session import run_session
+from repro.video.classify import ChunkClassifier
+
+
+def ctx(index=0, buffer_s=30.0, bandwidth=2e6, last=None):
+    return DecisionContext(
+        chunk_index=index, now_s=0.0, buffer_s=buffer_s, last_level=last,
+        bandwidth_bps=bandwidth, playing=True,
+    )
+
+
+class TestSetup:
+    def test_requires_quality_manifest(self, ed_ffmpeg_video):
+        algorithm = PandaCQAlgorithm("max-min")
+        with pytest.raises(ValueError, match="quality"):
+            algorithm.prepare(ed_ffmpeg_video.manifest())
+
+    def test_unknown_metric_rejected(self, ed_ffmpeg_video):
+        algorithm = PandaCQAlgorithm("max-min", metric="mos")
+        with pytest.raises(KeyError, match="mos"):
+            algorithm.prepare(ed_ffmpeg_video.manifest(include_quality=True))
+
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(ValueError, match="objective"):
+            PandaCQAlgorithm("max-avg")
+
+    def test_names(self):
+        assert PandaCQAlgorithm("max-sum").name == "PANDA/CQ max-sum"
+        assert PandaCQAlgorithm("max-min").name == "PANDA/CQ max-min"
+
+
+class TestDecisions:
+    def test_generous_bandwidth_high_quality(self, ed_ffmpeg_video):
+        algorithm = PandaCQAlgorithm("max-min")
+        algorithm.prepare(ed_ffmpeg_video.manifest(include_quality=True))
+        assert algorithm.select_level(ctx(bandwidth=100e6, buffer_s=60.0)) >= 4
+
+    def test_starved_bandwidth_low_level(self, ed_ffmpeg_video):
+        algorithm = PandaCQAlgorithm("max-min")
+        algorithm.prepare(ed_ffmpeg_video.manifest(include_quality=True))
+        assert algorithm.select_level(ctx(bandwidth=5e4, buffer_s=3.0)) == 0
+
+    def test_max_min_protects_q4_better_than_max_sum(
+        self, ed_ffmpeg_video, ed_classifier, lte_traces
+    ):
+        """§6.3: max-sum can have significantly lower Q4 quality than
+        max-min."""
+        from repro.player.metrics import quality_series
+
+        q4 = ed_classifier.categories == 4
+        q4_quality = {"max-sum": [], "max-min": []}
+        for trace in lte_traces[:6]:
+            for objective in ("max-sum", "max-min"):
+                algorithm = PandaCQAlgorithm(objective)
+                result = run_session(
+                    algorithm, ed_ffmpeg_video, TraceLink(trace), include_quality=True
+                )
+                series = quality_series(result, ed_ffmpeg_video, "vmaf_phone")
+                q4_quality[objective].append(float(np.mean(series[q4])))
+        assert np.mean(q4_quality["max-min"]) >= np.mean(q4_quality["max-sum"]) - 0.5
+
+    def test_end_of_video(self, ed_ffmpeg_video):
+        algorithm = PandaCQAlgorithm("max-sum")
+        manifest = ed_ffmpeg_video.manifest(include_quality=True)
+        algorithm.prepare(manifest)
+        level = algorithm.select_level(ctx(index=manifest.num_chunks - 1))
+        assert 0 <= level < 6

@@ -1,0 +1,122 @@
+"""Tests for the extra baselines: PIA (CBR-era PID) and FESTIVE."""
+
+import numpy as np
+import pytest
+
+from repro.abr.base import DecisionContext
+from repro.abr.festive import FestiveAlgorithm
+from repro.abr.pia import PIAAlgorithm
+from repro.network.link import TraceLink
+from repro.player.metrics import summarize_session
+from repro.player.session import run_session
+from repro.video.classify import ChunkClassifier
+
+
+def ctx(index=0, now=0.0, buffer_s=20.0, bandwidth=2e6, last=None):
+    return DecisionContext(
+        chunk_index=index, now_s=now, buffer_s=buffer_s, last_level=last,
+        bandwidth_bps=bandwidth, playing=True,
+    )
+
+
+class TestPIA:
+    def test_generous_bandwidth_high_level(self, ed_ffmpeg_video):
+        algorithm = PIAAlgorithm()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        assert algorithm.select_level(ctx(bandwidth=60e6, buffer_s=60.0)) == 5
+
+    def test_low_buffer_conservative(self, ed_ffmpeg_video):
+        algorithm = PIAAlgorithm()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        low = algorithm.select_level(ctx(buffer_s=3.0, bandwidth=2e6))
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        high = algorithm.select_level(ctx(buffer_s=80.0, bandwidth=2e6))
+        assert low <= high
+
+    def test_ignores_per_chunk_sizes(self, ed_ffmpeg_video, ed_classifier):
+        """PIA's defining CBR assumption: the decision is identical for a
+        small Q1 chunk and a large Q4 chunk under the same state."""
+        algorithm = PIAAlgorithm()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        q1 = int(np.flatnonzero(ed_classifier.categories == 1)[0])
+        q4 = int(ed_classifier.complex_positions()[0])
+        a = algorithm.select_level(ctx(index=q1, now=1.0, buffer_s=40.0))
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        b = algorithm.select_level(ctx(index=q4, now=1.0, buffer_s=40.0))
+        assert a == b
+
+    def test_cava_beats_pia_on_q4(self, ed_ffmpeg_video, ed_classifier, lte_traces):
+        """The §5 design argument as an ablation: VBR-aware CAVA delivers
+        higher Q4 quality than its CBR-era predecessor."""
+        from repro.core.cava import cava_p123
+
+        cava_q4, pia_q4 = [], []
+        for trace in lte_traces[:6]:
+            link = TraceLink(trace)
+            cava = summarize_session(
+                run_session(cava_p123(), ed_ffmpeg_video, link),
+                ed_ffmpeg_video, "vmaf_phone", ed_classifier,
+            )
+            pia = summarize_session(
+                run_session(PIAAlgorithm(), ed_ffmpeg_video, link),
+                ed_ffmpeg_video, "vmaf_phone", ed_classifier,
+            )
+            cava_q4.append(cava.q4_quality_mean)
+            pia_q4.append(pia.q4_quality_mean)
+        assert np.mean(cava_q4) > np.mean(pia_q4)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PIAAlgorithm(target_buffer_s=0.0)
+
+
+class TestFESTIVE:
+    def test_cold_start_goes_to_target(self, ed_ffmpeg_video):
+        algorithm = FestiveAlgorithm()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        level = algorithm.select_level(ctx(bandwidth=10e6))
+        # 0.85 * 10 Mbps affords the top track (~5 Mbps average).
+        assert level == 5
+
+    def test_gradual_upswitch_requires_patience(self, ed_ffmpeg_video):
+        algorithm = FestiveAlgorithm(patience=3)
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        levels = [
+            algorithm.select_level(ctx(index=i, buffer_s=30.0, bandwidth=10e6, last=1))
+            for i in range(3)
+        ]
+        # The first two decisions hold at 1; the third steps to 2.
+        assert levels == [1, 1, 2]
+
+    def test_one_level_per_downswitch(self, ed_ffmpeg_video):
+        algorithm = FestiveAlgorithm()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        level = algorithm.select_level(ctx(buffer_s=30.0, bandwidth=3e5, last=5))
+        assert level == 4
+
+    def test_panic_drop_near_empty_buffer(self, ed_ffmpeg_video):
+        algorithm = FestiveAlgorithm(panic_buffer_s=6.0)
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        level = algorithm.select_level(ctx(buffer_s=2.0, bandwidth=3e5, last=5))
+        assert level <= 1
+
+    def test_runs_full_session(self, short_video, one_lte_trace):
+        result = run_session(FestiveAlgorithm(), short_video, TraceLink(one_lte_trace))
+        assert result.num_chunks == short_video.num_chunks
+        # Gradual switching: no jump larger than the cold-start one.
+        jumps = np.abs(np.diff(result.levels))
+        assert jumps.max() <= 4  # panic drops can skip levels
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FestiveAlgorithm(patience=0)
+        with pytest.raises(ValueError):
+            FestiveAlgorithm(efficiency=1.5)
+
+
+class TestRegistryIntegration:
+    def test_new_schemes_registered(self):
+        from repro.abr.registry import make_scheme
+
+        assert make_scheme("PIA").name == "PIA"
+        assert make_scheme("FESTIVE").name == "FESTIVE"

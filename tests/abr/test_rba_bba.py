@@ -1,0 +1,109 @@
+"""Tests for the myopic baselines RBA and BBA-1 (§4)."""
+
+import numpy as np
+import pytest
+
+from repro.abr.base import DecisionContext
+from repro.abr.bba import BBA1Algorithm
+from repro.abr.rba import RateBasedAlgorithm
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace
+from repro.player.session import run_session
+from repro.video.classify import ChunkClassifier
+
+
+def ctx(index=0, buffer_s=20.0, bandwidth=2e6, last=None):
+    return DecisionContext(
+        chunk_index=index, now_s=0.0, buffer_s=buffer_s, last_level=last,
+        bandwidth_bps=bandwidth, playing=True,
+    )
+
+
+class TestRBA:
+    def test_high_bandwidth_high_level(self, ed_ffmpeg_video):
+        algorithm = RateBasedAlgorithm()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        assert algorithm.select_level(ctx(bandwidth=100e6, buffer_s=30.0)) == 5
+
+    def test_low_bandwidth_low_level(self, ed_ffmpeg_video):
+        algorithm = RateBasedAlgorithm()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        assert algorithm.select_level(ctx(bandwidth=1e5, buffer_s=9.0)) == 0
+
+    def test_reserve_rule(self, ed_ffmpeg_video):
+        """The chosen level leaves >= 4 chunks of buffer after download."""
+        algorithm = RateBasedAlgorithm(min_buffer_chunks=4.0)
+        manifest = ed_ffmpeg_video.manifest()
+        algorithm.prepare(manifest)
+        context = ctx(index=5, buffer_s=15.0, bandwidth=2e6)
+        level = algorithm.select_level(context)
+        if level > 0:
+            download = manifest.chunk_size_bits(level, 5) / 2e6
+            assert context.buffer_s - download >= 4 * manifest.chunk_duration_s - 1e-9
+
+    def test_myopic_antipattern(self, ed_ffmpeg_video, ed_classifier):
+        """§4's point: RBA picks lower levels for Q4 (large) chunks than
+        for Q1 (small) chunks under tight bandwidth."""
+        algorithm = RateBasedAlgorithm()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        q4_levels, q1_levels = [], []
+        for index in range(ed_ffmpeg_video.num_chunks):
+            level = algorithm.select_level(ctx(index=index, buffer_s=12.0, bandwidth=1.5e6))
+            if ed_classifier.category(index) == 4:
+                q4_levels.append(level)
+            elif ed_classifier.category(index) == 1:
+                q1_levels.append(level)
+        assert np.mean(q4_levels) < np.mean(q1_levels)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            RateBasedAlgorithm(min_buffer_chunks=-1)
+
+
+class TestBBA1:
+    def test_reservoir_forces_lowest(self, ed_ffmpeg_video):
+        algorithm = BBA1Algorithm(reservoir_s=10.0, cushion_s=80.0)
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        assert algorithm.select_level(ctx(buffer_s=5.0)) == 0
+
+    def test_cushion_allows_highest(self, ed_ffmpeg_video):
+        algorithm = BBA1Algorithm(reservoir_s=10.0, cushion_s=80.0)
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        # At the cushion the allowed size is the top track's average; an
+        # average-or-smaller top-track chunk fits.
+        manifest = ed_ffmpeg_video.manifest()
+        sizes = manifest.chunk_sizes_bits[5]
+        small_chunk = int(np.argmin(sizes))
+        assert algorithm.select_level(ctx(index=small_chunk, buffer_s=90.0)) == 5
+
+    def test_chunk_map_monotone_in_buffer(self, ed_ffmpeg_video):
+        algorithm = BBA1Algorithm()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        levels = [
+            algorithm.select_level(ctx(index=7, buffer_s=b)) for b in (5, 20, 40, 60, 85)
+        ]
+        assert levels == sorted(levels)
+
+    def test_myopic_antipattern(self, ed_ffmpeg_video, ed_classifier):
+        """BBA-1 under a mid buffer: large Q4 chunks get lower levels."""
+        algorithm = BBA1Algorithm()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        q4_levels, q1_levels = [], []
+        for index in range(ed_ffmpeg_video.num_chunks):
+            level = algorithm.select_level(ctx(index=index, buffer_s=45.0))
+            if ed_classifier.category(index) == 4:
+                q4_levels.append(level)
+            elif ed_classifier.category(index) == 1:
+                q1_levels.append(level)
+        assert np.mean(q4_levels) < np.mean(q1_levels)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError, match="cushion"):
+            BBA1Algorithm(reservoir_s=50.0, cushion_s=40.0)
+
+
+class TestMyopicEndToEnd:
+    def test_both_run_clean_sessions(self, short_video, one_lte_trace):
+        for algorithm in (RateBasedAlgorithm(), BBA1Algorithm()):
+            result = run_session(algorithm, short_video, TraceLink(one_lte_trace))
+            assert result.num_chunks == short_video.num_chunks

@@ -1,0 +1,51 @@
+"""Tests for the scheme registry."""
+
+import pytest
+
+from repro.abr.registry import (
+    SCHEME_FACTORIES,
+    make_scheme,
+    needs_quality_manifest,
+    scheme_names,
+)
+
+
+def test_all_paper_schemes_present():
+    names = set(scheme_names())
+    expected = {
+        "CAVA", "CAVA-p1", "CAVA-p12",
+        "MPC", "RobustMPC",
+        "PANDA/CQ max-sum", "PANDA/CQ max-min",
+        "BOLA-E (peak)", "BOLA-E (avg)", "BOLA-E (seg)",
+        "BBA-1", "RBA",
+    }
+    assert expected <= names
+
+
+def test_make_scheme_names_match():
+    for name in scheme_names():
+        algorithm = make_scheme(name)
+        assert algorithm.name == name, f"{name} factory produced {algorithm.name}"
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(KeyError, match="unknown scheme"):
+        make_scheme("Pensieve")
+
+
+def test_quality_requirement_flags():
+    assert needs_quality_manifest("PANDA/CQ max-min")
+    assert needs_quality_manifest("PANDA/CQ max-sum")
+    assert not needs_quality_manifest("CAVA")
+    assert not needs_quality_manifest("RobustMPC")
+
+
+def test_panda_metric_propagates():
+    algorithm = make_scheme("PANDA/CQ max-min", metric="vmaf_tv")
+    assert algorithm.metric == "vmaf_tv"
+
+
+def test_factories_produce_fresh_instances():
+    a = make_scheme("CAVA")
+    b = make_scheme("CAVA")
+    assert a is not b

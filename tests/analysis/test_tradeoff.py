@@ -1,0 +1,102 @@
+"""Tests for the Pareto trade-off analysis and scene-consistency claim."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tradeoff import (
+    ObjectivePoint,
+    dominates,
+    objective_points,
+    pareto_front,
+)
+
+
+def point(scheme, values, objectives=(("q", True), ("stall", False))):
+    return ObjectivePoint(scheme=scheme, values=tuple(values), objectives=tuple(objectives))
+
+
+class TestDominance:
+    def test_strict_domination(self):
+        a = point("A", (80.0, 0.0))
+        b = point("B", (70.0, 5.0))
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_trade_off_no_domination(self):
+        a = point("A", (80.0, 5.0))
+        b = point("B", (70.0, 0.0))
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = point("A", (70.0, 1.0))
+        b = point("B", (70.0, 1.0))
+        assert not dominates(a, b)
+
+    def test_tolerance(self):
+        a = point("A", (80.0, 1.05))
+        b = point("B", (70.0, 1.0))
+        assert not dominates(a, b)
+        assert dominates(a, b, tolerance=0.1)
+
+    def test_mismatched_objectives_rejected(self):
+        a = point("A", (1.0,), (("q", True),))
+        b = point("B", (1.0, 2.0))
+        with pytest.raises(ValueError):
+            dominates(a, b)
+
+
+class TestParetoFront:
+    def test_front_excludes_dominated(self):
+        points = [
+            point("best", (80.0, 0.0)),
+            point("dominated", (70.0, 5.0)),
+            point("tradeoff", (85.0, 3.0)),
+        ]
+        front = pareto_front(points)
+        names = {p.scheme for p in front}
+        assert names == {"best", "tradeoff"}
+
+    def test_single_point_is_front(self):
+        points = [point("only", (1.0, 1.0))]
+        assert pareto_front(points) == points
+
+
+class TestPaperBalanceClaim:
+    def test_cava_on_the_pareto_front(self, ed_ffmpeg_video, lte_traces):
+        """§1: CAVA 'achieves a much better balance in the
+        multiple-dimension design space' — concretely, no baseline
+        Pareto-dominates it across the five §6.1 metrics."""
+        from repro.experiments.runner import run_comparison
+
+        results = run_comparison(
+            ["CAVA", "RobustMPC", "PANDA/CQ max-min"],
+            ed_ffmpeg_video,
+            lte_traces[:8],
+        )
+        points = objective_points(results)
+        front = {p.scheme for p in pareto_front(points)}
+        assert "CAVA" in front
+
+    def test_objective_points_as_dict(self, short_video, lte_traces):
+        from repro.experiments.runner import run_comparison
+
+        results = run_comparison(["CAVA"], short_video, lte_traces[:2])
+        data = objective_points(results)[0].as_dict()
+        assert set(data) == {
+            "q4_quality_mean", "low_quality_fraction", "rebuffer_s",
+            "quality_change_per_chunk", "data_usage_mb",
+        }
+
+
+class TestSceneConsistency:
+    def test_vbr_more_consistent_than_cbr(self):
+        """§1's premise: at equal average bitrate, VBR holds quality more
+        constant across scenes than CBR."""
+        from repro.analysis.characterization import scene_quality_consistency
+        from repro.video.dataset import build_cbr_counterpart, standard_dataset_specs, build_video
+
+        spec = next(s for s in standard_dataset_specs() if s.name == "ED-ffmpeg-h264")
+        vbr = build_video(spec, seed=0)
+        cbr = build_cbr_counterpart(spec, seed=0)
+        assert scene_quality_consistency(vbr) < scene_quality_consistency(cbr)

@@ -1,0 +1,169 @@
+"""Tests for the composed CAVA algorithm and its ablations."""
+
+import numpy as np
+import pytest
+
+from repro.core.cava import CavaAlgorithm, cava_p1, cava_p12, cava_p123
+from repro.core.config import CavaConfig
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace
+from repro.player.metrics import quality_series, summarize_session
+from repro.player.session import run_session
+from repro.video.classify import ChunkClassifier
+
+
+def constant_trace(mbps, duration_s=2000.0):
+    return NetworkTrace(f"const-{mbps}", 1.0, np.full(int(duration_s), mbps * 1e6))
+
+
+class TestConstruction:
+    def test_variant_names(self):
+        assert cava_p1().name == "CAVA-p1"
+        assert cava_p12().name == "CAVA-p12"
+        assert cava_p123().name == "CAVA"
+
+    def test_variant_flags(self):
+        assert not cava_p1().config.use_differential
+        assert not cava_p1().config.use_proactive
+        assert cava_p12().config.use_differential
+        assert not cava_p12().config.use_proactive
+        assert cava_p123().config.use_differential
+        assert cava_p123().config.use_proactive
+
+    def test_custom_name(self):
+        assert CavaAlgorithm(CavaConfig(), name="X").name == "X"
+
+    def test_prepare_builds_components(self, ed_ffmpeg_video):
+        algorithm = cava_p123()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        assert algorithm.classifier.num_chunks == ed_ffmpeg_video.num_chunks
+        assert algorithm.inner is not None and algorithm.outer is not None
+
+
+class TestBehaviour:
+    def test_no_stall_on_generous_link(self, ed_ffmpeg_video):
+        result = run_session(cava_p123(), ed_ffmpeg_video, TraceLink(constant_trace(20.0)))
+        assert result.total_stall_s == 0.0
+        assert result.levels.mean() > 4.0  # rich link -> high tracks
+
+    def test_survives_starved_link(self, ed_ffmpeg_video):
+        """On a link that barely sustains the lowest track, CAVA must
+        gravitate to the bottom of the ladder rather than stalling out."""
+        lowest = ed_ffmpeg_video.track(0).average_bitrate_bps / 1e6
+        result = run_session(
+            cava_p123(), ed_ffmpeg_video, TraceLink(constant_trace(lowest * 1.6))
+        )
+        assert result.levels.mean() < 1.5
+        assert result.total_stall_s < 5.0
+
+    def test_deterministic(self, ed_ffmpeg_video, one_lte_trace):
+        a = run_session(cava_p123(), ed_ffmpeg_video, TraceLink(one_lte_trace))
+        b = run_session(cava_p123(), ed_ffmpeg_video, TraceLink(one_lte_trace))
+        assert np.array_equal(a.levels, b.levels)
+
+    def test_reusable_across_sessions(self, ed_ffmpeg_video, lte_traces):
+        """prepare() must fully reset state: running twice on the same
+        trace brackets a different trace in between."""
+        algorithm = cava_p123()
+        first = run_session(algorithm, ed_ffmpeg_video, TraceLink(lte_traces[0]))
+        run_session(algorithm, ed_ffmpeg_video, TraceLink(lte_traces[1]))
+        again = run_session(algorithm, ed_ffmpeg_video, TraceLink(lte_traces[0]))
+        assert np.array_equal(first.levels, again.levels)
+
+    def test_buffer_tracks_target(self, ed_ffmpeg_video):
+        """With ample bandwidth the buffer should settle near or above the
+        base target (60 s), bounded by the 100 s cap."""
+        result = run_session(cava_p123(), ed_ffmpeg_video, TraceLink(constant_trace(8.0)))
+        settled = result.buffer_after_s[len(result.buffer_after_s) // 2 :]
+        assert settled.mean() > 40.0
+        assert settled.max() <= 100.0 + 1e-9
+
+
+class TestDifferentialTreatment:
+    def test_q4_gets_higher_levels_than_p1(self, ed_ffmpeg_video, ed_classifier, lte_traces):
+        """P2's signature: relative to CAVA-p1, full CAVA raises Q4 chunk
+        levels (and Q4 quality)."""
+        q4 = ed_classifier.categories == 4
+        q4_full, q4_p1 = [], []
+        for trace in lte_traces[:6]:
+            link = TraceLink(trace)
+            full = run_session(cava_p123(), ed_ffmpeg_video, link)
+            p1 = run_session(cava_p1(), ed_ffmpeg_video, link)
+            q4_full.append(quality_series(full, ed_ffmpeg_video, "vmaf_phone")[q4].mean())
+            q4_p1.append(quality_series(p1, ed_ffmpeg_video, "vmaf_phone")[q4].mean())
+        assert np.mean(q4_full) > np.mean(q4_p1)
+
+    def test_cava_beats_myopic_on_q4(self, ed_ffmpeg_video, ed_classifier, lte_traces):
+        """Fig. 4's claim: CAVA delivers higher Q4 quality than BBA-1/RBA."""
+        from repro.abr.bba import BBA1Algorithm
+        from repro.abr.rba import RateBasedAlgorithm
+
+        q4 = ed_classifier.categories == 4
+        scores = {}
+        for name, algorithm_factory in (
+            ("CAVA", cava_p123),
+            ("BBA-1", BBA1Algorithm),
+            ("RBA", RateBasedAlgorithm),
+        ):
+            values = []
+            for trace in lte_traces[:6]:
+                result = run_session(algorithm_factory(), ed_ffmpeg_video, TraceLink(trace))
+                values.append(
+                    quality_series(result, ed_ffmpeg_video, "vmaf_phone")[q4].mean()
+                )
+            scores[name] = float(np.mean(values))
+        assert scores["CAVA"] > scores["BBA-1"]
+        assert scores["CAVA"] > scores["RBA"]
+
+
+class TestProactivePrinciple:
+    def test_outer_controller_changes_targets(self, ed_ffmpeg_video):
+        algorithm = cava_p123()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        adjustments = algorithm.outer.adjustments
+        assert adjustments.max() > 0.0
+
+    def test_p12_has_fixed_target(self, ed_ffmpeg_video):
+        algorithm = cava_p12()
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        assert algorithm.outer.adjustments.max() == 0.0
+
+
+class TestClassificationGranularity:
+    """§3.1.1: the classification method is pluggable ('e.g., using five
+    classes instead of four'); CAVA must work with any class count."""
+
+    def test_five_class_cava_runs(self, ed_ffmpeg_video, one_lte_trace):
+        algorithm = CavaAlgorithm(CavaConfig(num_complexity_classes=5))
+        result = run_session(algorithm, ed_ffmpeg_video, TraceLink(one_lte_trace))
+        assert result.num_chunks == ed_ffmpeg_video.num_chunks
+
+    def test_top_class_is_complex(self, ed_ffmpeg_video):
+        algorithm = CavaAlgorithm(CavaConfig(num_complexity_classes=5))
+        algorithm.prepare(ed_ffmpeg_video.manifest())
+        assert algorithm.classifier.num_classes == 5
+        # ~20% of chunks are in the top class.
+        fraction = algorithm.classifier.category_fractions()[5]
+        assert 0.1 < fraction < 0.3
+
+    def test_similar_outcomes_across_granularity(
+        self, ed_ffmpeg_video, ed_classifier, lte_traces
+    ):
+        """The design principles are independent of the class count: Q4
+        quality under 4-class vs 5-class CAVA stays close."""
+        from repro.player.metrics import summarize_session
+
+        q4 = {4: [], 5: []}
+        for trace in lte_traces[:5]:
+            for classes in (4, 5):
+                algorithm = CavaAlgorithm(CavaConfig(num_complexity_classes=classes))
+                result = run_session(algorithm, ed_ffmpeg_video, TraceLink(trace))
+                metrics = summarize_session(
+                    result, ed_ffmpeg_video, "vmaf_phone", ed_classifier
+                )
+                q4[classes].append(metrics.q4_quality_mean)
+        assert abs(np.mean(q4[4]) - np.mean(q4[5])) < 4.0
+
+    def test_invalid_class_count_rejected(self):
+        with pytest.raises(ValueError):
+            CavaConfig(num_complexity_classes=1)

@@ -1,0 +1,87 @@
+"""Tests for the short/long-term statistical filters (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.filters import (
+    long_term_target_adjustments,
+    short_term_bitrates,
+    window_chunks,
+)
+
+
+class TestWindowChunks:
+    @pytest.mark.parametrize(
+        "window,duration,expected",
+        [(40.0, 2.0, 20), (40.0, 5.0, 8), (200.0, 2.0, 100), (200.0, 5.0, 40), (1.0, 5.0, 1)],
+    )
+    def test_paper_values(self, window, duration, expected):
+        """§6.2's W and W' conversions: 40 s -> 20/8 chunks, 200 s -> 100/40."""
+        assert window_chunks(window, duration) == expected
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            window_chunks(0.0, 2.0)
+
+
+class TestShortTermBitrates:
+    def test_shape(self, ed_ffmpeg_video):
+        manifest = ed_ffmpeg_video.manifest()
+        rbar = short_term_bitrates(manifest, 40.0)
+        assert rbar.shape == (manifest.num_tracks, manifest.num_chunks)
+
+    def test_smoother_than_raw(self, ed_ffmpeg_video):
+        """The point of P1: the filtered series varies less than raw
+        chunk bitrates."""
+        manifest = ed_ffmpeg_video.manifest()
+        rbar = short_term_bitrates(manifest, 40.0)
+        raw = manifest.track_bitrates_bps(3)
+        assert np.std(rbar[3]) < np.std(raw)
+
+    def test_window_one_chunk_is_identity(self, ed_ffmpeg_video):
+        manifest = ed_ffmpeg_video.manifest()
+        rbar = short_term_bitrates(manifest, manifest.chunk_duration_s)
+        assert np.allclose(rbar[2], manifest.track_bitrates_bps(2))
+
+    def test_mean_preserved_approximately(self, ed_ffmpeg_video):
+        manifest = ed_ffmpeg_video.manifest()
+        rbar = short_term_bitrates(manifest, 40.0)
+        raw_mean = manifest.track_bitrates_bps(3).mean()
+        assert rbar[3].mean() == pytest.approx(raw_mean, rel=0.05)
+
+
+class TestLongTermAdjustments:
+    def test_non_negative(self, ed_ffmpeg_video):
+        adj = long_term_target_adjustments(ed_ffmpeg_video.manifest(), 200.0)
+        assert np.all(adj >= 0.0)
+
+    def test_raised_before_heavy_windows(self, ed_ffmpeg_video):
+        """Positions whose upcoming window is heavier than average get a
+        positive target increment; light windows get zero."""
+        manifest = ed_ffmpeg_video.manifest()
+        adj = long_term_target_adjustments(manifest, 60.0)
+        rates = manifest.track_bitrates_bps(3)
+        from repro.util.stats import running_mean
+
+        means = running_mean(rates, 30)
+        heavy = means > rates.mean() * 1.05
+        light = means < rates.mean() * 0.95
+        if heavy.any() and light.any():
+            assert adj[heavy].mean() > adj[light].mean()
+            assert np.all(adj[light] == 0.0)
+
+    def test_seconds_scale_sane(self, ed_ffmpeg_video):
+        """Adjustments are seconds of extra buffer; they should be within
+        the same order as the window itself."""
+        adj = long_term_target_adjustments(ed_ffmpeg_video.manifest(), 200.0)
+        assert adj.max() < 200.0
+
+    def test_reference_track_out_of_range(self, ed_ffmpeg_video):
+        with pytest.raises(IndexError):
+            long_term_target_adjustments(ed_ffmpeg_video.manifest(), 200.0, reference_track=9)
+
+    def test_default_reference_is_middle(self, ed_ffmpeg_video):
+        manifest = ed_ffmpeg_video.manifest()
+        default = long_term_target_adjustments(manifest, 200.0)
+        explicit = long_term_target_adjustments(manifest, 200.0, reference_track=3)
+        assert np.array_equal(default, explicit)

@@ -1,0 +1,58 @@
+"""§6.1's controller-tuning claim: "a wide range of Kp and Ki values lead
+to good performance" (adopting the PIA methodology).
+
+We sweep Kp over an order of magnitude around the default and check
+that CAVA stays in the good regime: minimal rebuffering, Q4 quality
+within a few VMAF of the default configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cava import CavaAlgorithm
+from repro.core.config import CavaConfig
+from repro.network.link import TraceLink
+from repro.player.metrics import summarize_session
+from repro.player.session import run_session
+
+GAINS = [
+    (0.005, 0.0005),
+    (0.01, 0.001),   # the default
+    (0.02, 0.002),
+    (0.04, 0.002),
+]
+
+
+@pytest.fixture(scope="module")
+def gain_sweep(request):
+    video = request.getfixturevalue("ed_ffmpeg_video")
+    traces = request.getfixturevalue("lte_traces")
+    classifier = request.getfixturevalue("ed_classifier")
+    results = {}
+    for kp, ki in GAINS:
+        rows = []
+        for trace in traces[:8]:
+            algorithm = CavaAlgorithm(CavaConfig(kp=kp, ki=ki))
+            outcome = run_session(algorithm, video, TraceLink(trace))
+            rows.append(summarize_session(outcome, video, "vmaf_phone", classifier))
+        results[(kp, ki)] = {
+            "q4": float(np.mean([r.q4_quality_mean for r in rows])),
+            "stall": float(np.mean([r.rebuffer_s for r in rows])),
+            "low": float(np.mean([r.low_quality_fraction for r in rows])),
+        }
+    return results
+
+
+class TestGainRobustness:
+    def test_all_gains_avoid_stalls(self, gain_sweep):
+        for gains, metrics in gain_sweep.items():
+            assert metrics["stall"] < 3.0, f"kp,ki={gains} stalls {metrics['stall']}"
+
+    def test_all_gains_keep_q4_quality(self, gain_sweep):
+        default = gain_sweep[(0.01, 0.001)]["q4"]
+        for gains, metrics in gain_sweep.items():
+            assert metrics["q4"] > default - 5.0, f"kp,ki={gains}"
+
+    def test_all_gains_keep_low_quality_rare(self, gain_sweep):
+        for gains, metrics in gain_sweep.items():
+            assert metrics["low"] < 0.08, f"kp,ki={gains}"

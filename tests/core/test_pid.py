@@ -1,0 +1,109 @@
+"""Tests for the PID feedback block (§5.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CavaConfig
+from repro.core.pid import PIDController
+
+
+def make_pid(**kwargs):
+    return PIDController(CavaConfig(**kwargs), chunk_duration_s=2.0)
+
+
+class TestControlDirection:
+    def test_below_target_fills_faster(self):
+        """Buffer below target -> u > 1 (pick lower bitrate, fill buffer)."""
+        pid = make_pid()
+        u = pid.update(now_s=1.0, buffer_s=10.0, target_s=60.0)
+        assert u > 1.0
+
+    def test_above_target_drains(self):
+        """Buffer above target -> u < 1 (pick higher bitrate, drain)."""
+        pid = make_pid()
+        u = pid.update(now_s=1.0, buffer_s=90.0, target_s=60.0)
+        assert u < 1.0
+
+    def test_at_target_near_unity(self):
+        pid = make_pid()
+        u = pid.update(now_s=1.0, buffer_s=60.0, target_s=60.0)
+        assert u == pytest.approx(1.0, abs=0.2)
+
+    def test_indicator_term(self):
+        """Below one chunk of buffer the indicator contributes 0."""
+        config = CavaConfig(kp=0.01, ki=0.0)
+        low = PIDController(config, 2.0).update(1.0, buffer_s=1.0, target_s=60.0)
+        high = PIDController(config, 2.0).update(1.0, buffer_s=3.0, target_s=60.0)
+        # Same error magnitude difference comes from the indicator.
+        assert low == pytest.approx(0.01 * 59.0)
+        assert high == pytest.approx(0.01 * 57.0 + 1.0)
+
+
+class TestSaturationAndWindup:
+    def test_output_saturates(self):
+        pid = make_pid()
+        u = pid.update(1.0, buffer_s=0.0, target_s=1e6)
+        assert u <= pid.config.u_max
+        u = pid.update(2.0, buffer_s=1e6, target_s=0.0)
+        assert u >= pid.config.u_min
+
+    def test_integral_clamped(self):
+        pid = make_pid()
+        for step in range(1, 200):
+            pid.update(float(step * 10), buffer_s=0.0, target_s=120.0)
+        assert abs(pid.integral) <= pid.config.integral_limit
+
+    def test_reset_clears_state(self):
+        pid = make_pid()
+        pid.update(5.0, buffer_s=0.0, target_s=60.0)
+        pid.reset()
+        assert pid.integral == 0.0
+
+
+class TestIntegralDynamics:
+    def test_integral_accumulates_error_over_time(self):
+        pid = make_pid(ki=0.001)
+        pid.update(1.0, buffer_s=30.0, target_s=60.0)  # dt=1, error=30
+        assert pid.integral == pytest.approx(30.0)
+        pid.update(3.0, buffer_s=30.0, target_s=60.0)  # dt=2, error=30
+        assert pid.integral == pytest.approx(90.0)
+
+    def test_time_going_backwards_is_ignored(self):
+        pid = make_pid()
+        pid.update(5.0, buffer_s=30.0, target_s=60.0)
+        before = pid.integral
+        pid.update(4.0, buffer_s=30.0, target_s=60.0)  # dt clamps to 0
+        assert pid.integral == pytest.approx(before)
+
+    def test_steady_state_convergence(self):
+        """Repeated updates at the target keep u near the indicator value."""
+        pid = make_pid()
+        u = 1.0
+        for step in range(1, 50):
+            u = pid.update(float(step), buffer_s=60.0, target_s=60.0)
+        assert u == pytest.approx(1.0, abs=0.05)
+
+
+class TestValidation:
+    def test_bad_chunk_duration(self):
+        with pytest.raises(ValueError):
+            PIDController(CavaConfig(), chunk_duration_s=0.0)
+
+    def test_negative_inputs_rejected(self):
+        pid = make_pid()
+        with pytest.raises(ValueError):
+            pid.update(-1.0, 0.0, 60.0)
+        with pytest.raises(ValueError):
+            pid.update(1.0, -1.0, 60.0)
+
+
+@given(
+    buffers=st.lists(st.floats(min_value=0.0, max_value=150.0), min_size=1, max_size=50),
+)
+@settings(max_examples=50)
+def test_property_output_always_in_bounds(buffers):
+    pid = make_pid()
+    for step, buffer_s in enumerate(buffers, start=1):
+        u = pid.update(float(step), buffer_s, 60.0)
+        assert pid.config.u_min <= u <= pid.config.u_max

@@ -1,0 +1,57 @@
+"""Tests for the CAVA configuration grid search."""
+
+import pytest
+
+from repro.core.config import CavaConfig
+from repro.core.tuning import default_objective, expand_grid, grid_search
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        grid = {"a": (1, 2), "b": (10,)}
+        combos = expand_grid(grid)
+        assert combos == [{"a": 1, "b": 10}, {"a": 2, "b": 10}]
+
+    def test_empty_grid_is_defaults(self):
+        assert expand_grid({}) == [{}]
+
+
+class TestGridSearch:
+    def test_ranked_results(self, short_video, lte_traces):
+        results = grid_search(
+            {"inner_window_s": (2.0, 40.0)},
+            short_video,
+            lte_traces[:4],
+        )
+        assert len(results) == 2
+        assert results[0].score >= results[1].score
+        assert all("inner_window_s" in r.overrides for r in results)
+
+    def test_window_40_beats_window_2(self, ed_ffmpeg_video, lte_traces):
+        """The §6.2 conclusion falls out of the search: W = 40 s scores
+        at least as well as W = 2 s."""
+        results = grid_search(
+            {"inner_window_s": (2.0, 40.0)},
+            ed_ffmpeg_video,
+            lte_traces[:6],
+        )
+        best = results[0]
+        assert best.overrides["inner_window_s"] == 40.0
+
+    def test_describe(self, short_video, lte_traces):
+        results = grid_search({"kp": (0.01,)}, short_video, lte_traces[:2])
+        assert "kp=0.01" in results[0].describe()
+
+    def test_invalid_field_raises(self, short_video, lte_traces):
+        with pytest.raises(TypeError):
+            grid_search({"warp": (1,)}, short_video, lte_traces[:2])
+
+
+class TestObjective:
+    def test_penalties_applied(self, short_video, lte_traces):
+        from repro.experiments.runner import run_scheme_on_traces
+
+        sweep = run_scheme_on_traces("CAVA", short_video, lte_traces[:3])
+        lenient = default_objective(sweep, rebuffer_penalty=0.0, low_quality_penalty=0.0)
+        strict = default_objective(sweep, rebuffer_penalty=50.0, low_quality_penalty=500.0)
+        assert strict <= lenient

@@ -1,0 +1,67 @@
+"""Tests for figure-data export."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import (
+    to_jsonable,
+    write_cdf_csv,
+    write_json,
+    write_series_csv,
+)
+
+
+class TestCdfCsv:
+    def test_long_format(self, tmp_path):
+        cdfs = {
+            "CAVA": (np.array([1.0, 2.0]), np.array([0.5, 1.0])),
+            "MPC": (np.array([3.0]), np.array([1.0])),
+        }
+        path = tmp_path / "cdf.csv"
+        write_cdf_csv(cdfs, path, value_label="rebuffer_s")
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["series", "rebuffer_s", "cdf"]
+        assert len(rows) == 4
+        assert rows[1][0] == "CAVA"
+
+    def test_real_figure_exports(self, tmp_path, ed_youtube_video):
+        from repro.experiments.figures import fig3_quality_cdfs
+
+        data = fig3_quality_cdfs(ed_youtube_video)
+        path = tmp_path / "fig3.csv"
+        write_cdf_csv({f"Q{q}": data["vmaf_phone"][q] for q in range(1, 5)}, path)
+        rows = list(csv.reader(path.open()))
+        assert len(rows) > ed_youtube_video.num_chunks / 2
+
+
+class TestSeriesCsv:
+    def test_columns(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        write_series_csv({"w": [2, 40], "q4": [60.0, 70.0]}, path)
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["w", "q4"]
+        assert rows[2] == ["40", "70"]
+
+    def test_unequal_lengths_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unequal"):
+            write_series_csv({"a": [1], "b": [1, 2]}, tmp_path / "x.csv")
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no columns"):
+            write_series_csv({}, tmp_path / "x.csv")
+
+
+class TestJson:
+    def test_numpy_converted(self):
+        data = {"a": np.array([1.0, 2.0]), "b": np.float64(3.5), "c": [np.int64(2)]}
+        out = to_jsonable(data)
+        assert out == {"a": [1.0, 2.0], "b": 3.5, "c": [2]}
+
+    def test_round_trip_via_file(self, tmp_path):
+        path = tmp_path / "data.json"
+        write_json({"x": np.arange(3), "nested": {"y": (1, 2)}}, path)
+        loaded = json.loads(path.read_text())
+        assert loaded == {"x": [0, 1, 2], "nested": {"y": [1, 2]}}

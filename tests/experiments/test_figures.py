@@ -1,0 +1,152 @@
+"""Tests for the per-figure reproduction functions.
+
+These check structure and the paper's qualitative claims at a small
+trace count; the benchmarks regenerate the full-size versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    fig1_bitrate_profile,
+    fig2_siti_by_quartile,
+    fig3_quality_cdfs,
+    fig4_myopic_vs_cava,
+    fig7_inner_window_sweep,
+    fig8_scheme_cdfs,
+    fig9_quality_cdfs,
+    fig10_ablation,
+    fig11_dashjs_cdfs,
+)
+
+
+class TestFig1:
+    def test_structure(self, ed_youtube_video):
+        data = fig1_bitrate_profile(ed_youtube_video)
+        assert data["bitrates_mbps"].shape[0] == 6
+        assert data["track_averages_mbps"].shape == (6,)
+        assert np.all(np.diff(data["track_averages_mbps"]) > 0)
+
+    def test_bitrates_vary_within_track(self, ed_youtube_video):
+        data = fig1_bitrate_profile(ed_youtube_video)
+        top = data["bitrates_mbps"][5]
+        assert top.max() > 1.3 * top.min()
+
+
+class TestFig2:
+    def test_quartile_separation(self, ed_youtube_video):
+        data = fig2_siti_by_quartile(ed_youtube_video)
+        above = data["fraction_above_thresholds"]
+        assert above[4] > above[3] > above[1]
+        assert above[4] > 0.5
+        assert above[1] < 0.25
+
+    def test_per_quartile_points_present(self, ed_youtube_video):
+        data = fig2_siti_by_quartile(ed_youtube_video)
+        for q in range(1, 5):
+            assert data["per_quartile"][q]["si"].size > 10
+
+
+class TestFig3:
+    def test_all_metrics_present(self, ed_youtube_video):
+        data = fig3_quality_cdfs(ed_youtube_video)
+        assert set(data) == {"vmaf_tv", "vmaf_phone", "psnr", "ssim"}
+
+    def test_q4_stochastically_worse(self, ed_youtube_video):
+        """Q4's CDF sits left of Q1's: lower median quality."""
+        data = fig3_quality_cdfs(ed_youtube_video)
+        for metric in data:
+            q1_values, _ = data[metric][1]
+            q4_values, _ = data[metric][4]
+            assert np.median(q4_values) < np.median(q1_values)
+
+
+class TestFig4:
+    def test_claim_cava_best_q4(self, ed_ffmpeg_video, one_lte_trace):
+        data = fig4_myopic_vs_cava(ed_ffmpeg_video, one_lte_trace)
+        assert set(data) == {"BBA-1", "RBA", "CAVA"}
+        assert data["CAVA"]["q4_average"] > data["BBA-1"]["q4_average"]
+        assert data["CAVA"]["q4_average"] > data["RBA"]["q4_average"]
+
+    def test_series_lengths(self, ed_ffmpeg_video, one_lte_trace):
+        data = fig4_myopic_vs_cava(ed_ffmpeg_video, one_lte_trace)
+        for scheme in data.values():
+            assert len(scheme["qualities"]) == ed_ffmpeg_video.num_chunks
+
+
+class TestFig7:
+    def test_sweep_structure(self, ed_ffmpeg_video, lte_traces):
+        data = fig7_inner_window_sweep(
+            ed_ffmpeg_video, lte_traces[:4], window_sizes_s=(2, 40, 160)
+        )
+        assert data["window_sizes_s"].tolist() == [2.0, 40.0, 160.0]
+        assert data["q4_quality"]["mean"].shape == (3,)
+
+    def test_claim_q4_improves_then_flattens(self, ed_ffmpeg_video, lte_traces):
+        """Fig. 7: growing W first helps Q4 quality."""
+        data = fig7_inner_window_sweep(
+            ed_ffmpeg_video, lte_traces[:6], window_sizes_s=(2, 40)
+        )
+        q4 = data["q4_quality"]["mean"]
+        assert q4[1] > q4[0]
+
+
+class TestFig8And9:
+    @pytest.fixture(scope="class")
+    def fig8(self, request):
+        video = request.getfixturevalue("ed_ffmpeg_video")
+        traces = request.getfixturevalue("lte_traces")
+        return fig8_scheme_cdfs(video, traces[:5], schemes=("CAVA", "RobustMPC"))
+
+    def test_panels(self, fig8):
+        assert set(fig8) == {
+            "q4_quality", "low_quality_pct", "rebuffer_s",
+            "quality_change", "relative_data_usage_mb",
+        }
+        assert set(fig8["q4_quality"]) == {"CAVA", "RobustMPC"}
+
+    def test_cava_relative_usage_centred_at_zero(self, fig8):
+        values, _ = fig8["relative_data_usage_mb"]["CAVA"]
+        assert np.allclose(values, 0.0)
+
+    def test_fig9_panels(self, ed_ffmpeg_video, lte_traces):
+        data = fig9_quality_cdfs(ed_ffmpeg_video, lte_traces[:4], schemes=("CAVA", "RBA"))
+        assert set(data) == {"q13_quality", "all_quality"}
+
+
+class TestFig10:
+    def test_ablation_claims(self, ed_ffmpeg_video, lte_traces):
+        data = fig10_ablation(ed_ffmpeg_video, lte_traces[:6])
+        # P2 raises Q4 quality relative to p1 on average.
+        assert data["mean_q4_quality"]["CAVA-p12"] > data["mean_q4_quality"]["CAVA-p1"]
+        # Quality deltas cover every Q4 chunk in every run.
+        assert data["q4_quality_delta"]["CAVA-p12"].size > 0
+
+
+class TestFig11:
+    def test_structure_and_overhead(self, bbb_youtube_video, lte_traces):
+        data = fig11_dashjs_cdfs(bbb_youtube_video, lte_traces[:3])
+        assert set(data["cdfs"]["q4_quality"]) == {
+            "CAVA", "BOLA-E (avg)", "BOLA-E (peak)", "BOLA-E (seg)",
+        }
+        assert all(v >= 0 for v in data["rule_overhead_s"].values())
+
+    def test_claim_cava_beats_bola_on_q4(self, bbb_youtube_video, lte_traces):
+        data = fig11_dashjs_cdfs(bbb_youtube_video, lte_traces[:5])
+        q4 = data["cdfs"]["q4_quality"]
+        cava_median = np.median(q4["CAVA"][0])
+        for variant in ("BOLA-E (avg)", "BOLA-E (peak)", "BOLA-E (seg)"):
+            assert cava_median > np.median(q4[variant][0]) - 1.0
+
+
+class TestOuterWindowSweep:
+    def test_structure_and_claims(self, ed_ffmpeg_video, lte_traces):
+        from repro.experiments.figures import outer_window_sweep
+
+        data = outer_window_sweep(
+            ed_ffmpeg_video, lte_traces[:4], window_sizes_s=(10, 200)
+        )
+        assert data["window_sizes_s"].tolist() == [10.0, 200.0]
+        assert data["rebuffer_mean_s"].shape == (2,)
+        assert np.all(data["rebuffer_mean_s"] >= 0)
+        assert np.all(data["q4_quality_mean"] > 0)

@@ -1,0 +1,42 @@
+"""Tests for the plain-text report renderer."""
+
+from repro.experiments.report import (
+    format_comparison_rows,
+    format_delta,
+    format_percent,
+    render_table,
+)
+from repro.experiments.tables import ComparisonRow
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[0].startswith("a")
+
+    def test_non_string_cells(self):
+        text = render_table(["n"], [[42]])
+        assert "42" in text
+
+
+class TestFormatting:
+    def test_delta_arrows(self):
+        assert format_delta(4.2) == "↑4.2"
+        assert format_delta(-3.0) == "↓3.0"
+
+    def test_percent_arrows(self):
+        assert format_percent(-0.62) == "↓62%"
+        assert format_percent(0.05) == "↑5%"
+
+    def test_percent_infinity(self):
+        assert format_percent(float("inf")) == "↑inf"
+
+    def test_comparison_rows_render(self):
+        rows = [ComparisonRow("ED", "lte", "RobustMPC", 9.5, -0.61, -0.62, -0.48, -0.11)]
+        text = format_comparison_rows(rows)
+        assert "RobustMPC" in text
+        assert "↑9.5" in text
+        assert "↓62%" in text

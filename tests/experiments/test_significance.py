@@ -1,0 +1,84 @@
+"""Tests for paired scheme comparison statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_comparison
+from repro.experiments.significance import (
+    compare_schemes,
+    paired_bootstrap,
+    sign_test_pvalue,
+)
+
+
+class TestPairedBootstrap:
+    def test_ci_contains_mean_for_clear_signal(self):
+        rng = np.random.default_rng(0)
+        diffs = rng.normal(5.0, 1.0, size=50)
+        low, high = paired_bootstrap(diffs, seed=1)
+        assert low < 5.0 < high
+        assert low > 0.0  # clearly significant
+
+    def test_zero_signal_straddles_zero(self):
+        rng = np.random.default_rng(0)
+        diffs = rng.normal(0.0, 1.0, size=200)
+        low, high = paired_bootstrap(diffs, seed=1)
+        assert low < 0.0 < high
+
+    def test_deterministic(self):
+        diffs = [1.0, 2.0, -0.5, 3.0]
+        assert paired_bootstrap(diffs, seed=4) == paired_bootstrap(diffs, seed=4)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([1.0, 2.0], confidence=0.3)
+
+
+class TestSignTest:
+    def test_all_positive_small_p(self):
+        assert sign_test_pvalue([1.0] * 10) < 0.01
+
+    def test_balanced_large_p(self):
+        assert sign_test_pvalue([1, -1, 1, -1, 1, -1]) > 0.5
+
+    def test_ties_dropped(self):
+        assert sign_test_pvalue([0.0, 0.0, 0.0]) == 1.0
+
+    def test_symmetry(self):
+        diffs = [1.0, 2.0, 3.0, -1.0]
+        assert sign_test_pvalue(diffs) == pytest.approx(
+            sign_test_pvalue([-d for d in diffs])
+        )
+
+
+class TestCompareSchemes:
+    @pytest.fixture(scope="class")
+    def sweeps(self, request):
+        video = request.getfixturevalue("ed_ffmpeg_video")
+        traces = request.getfixturevalue("lte_traces")
+        return run_comparison(["CAVA", "RobustMPC"], video, traces, "lte")
+
+    def test_q4_quality_significantly_higher(self, sweeps):
+        result = compare_schemes(sweeps["CAVA"], sweeps["RobustMPC"], "q4_quality_mean")
+        assert result.mean_difference > 0
+        assert result.num_pairs == len(sweeps["CAVA"].metrics)
+        assert result.significant  # holds even at 12 traces
+        assert "CAVA vs RobustMPC" in result.describe()
+
+    def test_quality_change_significantly_lower(self, sweeps):
+        result = compare_schemes(
+            sweeps["CAVA"], sweeps["RobustMPC"], "quality_change_per_chunk"
+        )
+        assert result.mean_difference < 0
+        assert result.ci_high < 0
+
+    def test_mismatched_sweeps_rejected(self, sweeps, short_video, lte_traces):
+        from repro.experiments.runner import run_scheme_on_traces
+
+        other = run_scheme_on_traces("CAVA", short_video, lte_traces[:3])
+        with pytest.raises(ValueError, match="trace"):
+            compare_schemes(sweeps["CAVA"], other, "rebuffer_s")

@@ -1,0 +1,126 @@
+"""End-to-end integration: the paper's headline comparisons on small
+trace sets. These are the §6.3 claims in miniature — the benchmarks run
+the full-size versions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_comparison
+from repro.network.link import TraceLink
+from repro.player.session import run_session
+from repro.video.classify import ChunkClassifier
+
+
+@pytest.fixture(scope="module")
+def comparison(request):
+    """CAVA vs the two headline baselines on 10 LTE traces."""
+    video = request.getfixturevalue("ed_ffmpeg_video")
+    traces = request.getfixturevalue("lte_traces")
+    return run_comparison(
+        ["CAVA", "RobustMPC", "PANDA/CQ max-min"], video, traces[:10], "lte"
+    )
+
+
+class TestHeadlineClaims:
+    def test_cava_beats_robustmpc_on_q4(self, comparison):
+        assert (
+            comparison["CAVA"].mean("q4_quality_mean")
+            > comparison["RobustMPC"].mean("q4_quality_mean")
+        )
+
+    def test_cava_fewest_stalls(self, comparison):
+        cava = comparison["CAVA"].mean("rebuffer_s")
+        assert cava <= comparison["RobustMPC"].mean("rebuffer_s")
+        assert cava <= comparison["PANDA/CQ max-min"].mean("rebuffer_s")
+
+    def test_cava_lower_quality_change_than_robustmpc(self, comparison):
+        assert (
+            comparison["CAVA"].mean("quality_change_per_chunk")
+            < comparison["RobustMPC"].mean("quality_change_per_chunk")
+        )
+
+    def test_cava_fewer_low_quality_chunks_than_robustmpc(self, comparison):
+        assert (
+            comparison["CAVA"].mean("low_quality_fraction")
+            <= comparison["RobustMPC"].mean("low_quality_fraction")
+        )
+
+    def test_cava_data_usage_same_ballpark_or_lower(self, comparison):
+        """§6.3(v): CAVA's data usage is in the same ballpark or lower."""
+        cava = comparison["CAVA"].mean("data_usage_mb")
+        robust = comparison["RobustMPC"].mean("data_usage_mb")
+        assert cava < robust * 1.05
+
+
+class TestFccSmootherThanLte:
+    def test_rebuffering_lower_on_fcc(self, ed_ffmpeg_video, lte_traces, fcc_traces):
+        """§6.3: under FCC traces rebuffering drops for all schemes."""
+        lte = run_comparison(["RobustMPC"], ed_ffmpeg_video, lte_traces[:8], "lte")
+        fcc = run_comparison(["RobustMPC"], ed_ffmpeg_video, fcc_traces[:8], "fcc")
+        assert (
+            fcc["RobustMPC"].mean("rebuffer_s") <= lte["RobustMPC"].mean("rebuffer_s")
+        )
+
+
+class TestAllSchemesRunEverywhere:
+    """Every registered scheme completes a session on every chunk duration."""
+
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            "CAVA", "CAVA-p1", "CAVA-p12", "MPC", "RobustMPC",
+            "PANDA/CQ max-sum", "PANDA/CQ max-min",
+            "BOLA-E (peak)", "BOLA-E (avg)", "BOLA-E (seg)", "BBA-1", "RBA",
+        ],
+    )
+    def test_scheme_completes(self, scheme, short_video, one_lte_trace):
+        from repro.abr.registry import make_scheme, needs_quality_manifest
+
+        algorithm = make_scheme(scheme)
+        result = run_session(
+            algorithm,
+            short_video,
+            TraceLink(one_lte_trace),
+            include_quality=needs_quality_manifest(scheme),
+        )
+        assert result.num_chunks == short_video.num_chunks
+        assert np.all(result.levels >= 0) and np.all(result.levels <= 5)
+
+    @pytest.mark.parametrize("scheme", ["CAVA", "RobustMPC", "BOLA-E (seg)"])
+    def test_scheme_on_five_second_chunks(self, scheme, bbb_youtube_video, one_lte_trace):
+        from repro.abr.registry import make_scheme, needs_quality_manifest
+
+        algorithm = make_scheme(scheme)
+        result = run_session(
+            algorithm,
+            bbb_youtube_video,
+            TraceLink(one_lte_trace),
+            include_quality=needs_quality_manifest(scheme),
+        )
+        assert result.num_chunks == bbb_youtube_video.num_chunks
+
+
+class TestConservation:
+    """Cross-module invariants of a finished session."""
+
+    def test_downloaded_equals_manifest_sizes(self, ed_ffmpeg_video, one_lte_trace):
+        from repro.core.cava import cava_p123
+
+        result = run_session(cava_p123(), ed_ffmpeg_video, TraceLink(one_lte_trace))
+        manifest = ed_ffmpeg_video.manifest()
+        for i, level in enumerate(result.levels):
+            assert result.sizes_bits[i] == pytest.approx(
+                manifest.chunk_size_bits(int(level), i)
+            )
+
+    def test_download_times_respect_link_capacity(self, ed_ffmpeg_video, one_lte_trace):
+        """Bits delivered during each download window match the trace."""
+        from repro.core.cava import cava_p123
+
+        link = TraceLink(one_lte_trace)
+        result = run_session(cava_p123(), ed_ffmpeg_video, link)
+        for i in range(0, result.num_chunks, 25):
+            window_bits = link.bits_in_window(
+                result.download_start_s[i], result.download_finish_s[i]
+            )
+            assert window_bits == pytest.approx(result.sizes_bits[i], rel=1e-6, abs=10.0)

@@ -1,0 +1,138 @@
+"""Failure injection and hostile-input edge cases across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.abr.bola import BolaEAlgorithm
+from repro.abr.registry import make_scheme, needs_quality_manifest
+from repro.core.cava import cava_p123
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace
+from repro.player.session import SessionConfig, run_session
+from repro.video.dataset import VideoSpec, build_video
+from repro.video.model import Track, VideoAsset
+
+
+def tiny_video(num_chunks=4, chunk_duration=2.0, num_tracks=6):
+    spec = VideoSpec(
+        name="tiny", title="T", genre="animation", source="ffmpeg", codec="h264",
+        chunk_duration_s=chunk_duration, cap_ratio=2.0,
+        duration_s=num_chunks * chunk_duration,
+    )
+    return build_video(spec, seed=0)
+
+
+class TestZeroThroughputIntervals:
+    """Real trace files can contain zero samples (radio outages)."""
+
+    def make_outage_trace(self):
+        values = np.full(600, 2e6)
+        values[100:130] = 0.0  # a 30-second dead zone
+        return NetworkTrace("outage", 1.0, values)
+
+    def test_link_skips_dead_zone(self):
+        link = TraceLink(self.make_outage_trace())
+        # A download started just before the outage must finish after it.
+        result = link.download(5e6, start_s=98.0)
+        assert result.finish_s > 130.0
+
+    def test_session_survives_outage(self, short_video):
+        result = run_session(cava_p123(), short_video, TraceLink(self.make_outage_trace()))
+        assert result.num_chunks == short_video.num_chunks
+        assert np.isfinite(result.download_finish_s).all()
+
+    def test_all_zero_trace_rejected_by_link(self):
+        with pytest.raises(ValueError, match="zero bits"):
+            TraceLink(NetworkTrace("dead", 1.0, np.zeros(10)))
+
+
+class TestDegenerateVideos:
+    def test_four_chunk_video_with_five_chunk_horizon(self, one_lte_trace):
+        """Lookahead schemes must truncate at the end of a video shorter
+        than their horizon."""
+        video = tiny_video(num_chunks=4)
+        for scheme in ("MPC", "RobustMPC", "PANDA/CQ max-min", "CAVA"):
+            algorithm = make_scheme(scheme)
+            result = run_session(
+                algorithm, video, TraceLink(one_lte_trace),
+                SessionConfig(startup_latency_s=2.0, max_buffer_s=30.0),
+                include_quality=needs_quality_manifest(scheme),
+            )
+            assert result.num_chunks == 4
+
+    def test_single_track_ladder(self, one_lte_trace):
+        """A one-track 'ladder' leaves no choice; schemes must not crash
+        (BOLA is the exception: its utility needs a real ladder and says so)."""
+        full = tiny_video(num_chunks=10)
+        track = full.tracks[2]
+        solo_track = Track(
+            level=0,
+            resolution=track.resolution,
+            chunk_sizes_bits=track.chunk_sizes_bits,
+            chunk_duration_s=track.chunk_duration_s,
+            declared_avg_bitrate_bps=track.declared_avg_bitrate_bps,
+            qualities=dict(track.qualities),
+        )
+        video = VideoAsset(
+            name="solo", genre="animation", codec="h264", source="ffmpeg",
+            tracks=[solo_track], complexity=full.complexity, si=full.si, ti=full.ti,
+            cap_ratio=2.0,
+        )
+        for scheme in ("CAVA", "RBA", "BBA-1", "MPC"):
+            result = run_session(
+                make_scheme(scheme), video, TraceLink(one_lte_trace),
+                SessionConfig(startup_latency_s=2.0, max_buffer_s=30.0),
+            )
+            assert np.all(result.levels == 0)
+
+    def test_bola_rejects_flat_ladder(self, one_lte_trace):
+        video = tiny_video(num_chunks=8)
+        flat = VideoAsset(
+            name="flat", genre="animation", codec="h264", source="ffmpeg",
+            tracks=[video.tracks[3]], complexity=video.complexity,
+            si=video.si, ti=video.ti, cap_ratio=2.0,
+        )
+        flat.tracks[0].level = 0
+        algorithm = BolaEAlgorithm("avg")
+        with pytest.raises(ValueError, match="ladder too flat"):
+            algorithm.prepare(flat.manifest())
+
+
+class TestHostileSessionConfigs:
+    def test_startup_equals_max_buffer(self, short_video, one_lte_trace):
+        config = SessionConfig(startup_latency_s=20.0, max_buffer_s=20.0)
+        result = run_session(cava_p123(), short_video, TraceLink(one_lte_trace), config)
+        assert result.buffer_after_s.max() <= 20.0 + 1e-9
+
+    def test_very_small_buffer(self, short_video, one_lte_trace):
+        """A 6-second cap forces near-live operation; everything still
+        accounts correctly."""
+        config = SessionConfig(startup_latency_s=4.0, max_buffer_s=6.0)
+        result = run_session(cava_p123(), short_video, TraceLink(one_lte_trace), config)
+        assert result.buffer_after_s.max() <= 6.0 + 1e-9
+        assert result.num_chunks == short_video.num_chunks
+
+
+class TestExtremeBandwidths:
+    @pytest.mark.parametrize("mbps", [0.05, 1000.0])
+    def test_absurd_constant_rates(self, short_video, mbps):
+        trace = NetworkTrace("x", 1.0, np.full(4000, mbps * 1e6))
+        result = run_session(
+            cava_p123(), short_video, TraceLink(trace),
+            SessionConfig(startup_latency_s=4.0, max_buffer_s=40.0),
+        )
+        assert result.num_chunks == short_video.num_chunks
+        warmed = result.levels[2:]  # first picks use the cold-start estimate
+        if mbps >= 1000.0:
+            assert result.total_stall_s == 0.0
+            assert warmed.min() >= 4  # nothing stops the top tracks
+        else:
+            assert np.all(warmed == 0)  # starved: bottom track only
+
+    def test_sawtooth_bandwidth(self, short_video):
+        """Pathological oscillation between feast and famine."""
+        values = np.tile(np.concatenate([np.full(5, 8e6), np.full(5, 2e5)]), 120)
+        trace = NetworkTrace("sawtooth", 1.0, values)
+        result = run_session(cava_p123(), short_video, TraceLink(trace))
+        assert result.num_chunks == short_video.num_chunks
+        assert np.isfinite(result.stall_s).all()

@@ -1,0 +1,87 @@
+"""Hypothesis property tests across the whole pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abr.registry import make_scheme, needs_quality_manifest
+from repro.network.link import TraceLink
+from repro.network.traces import synthesize_lte_traces
+from repro.player.metrics import summarize_session
+from repro.player.session import SessionConfig, run_session
+from repro.video.dataset import VideoSpec, build_video
+
+SCHEMES = ["CAVA", "RobustMPC", "BOLA-E (seg)", "BBA-1", "RBA"]
+
+
+@st.composite
+def session_inputs(draw):
+    scheme = draw(st.sampled_from(SCHEMES))
+    trace_seed = draw(st.integers(min_value=0, max_value=30))
+    video_seed = draw(st.integers(min_value=0, max_value=5))
+    chunk_duration = draw(st.sampled_from([2.0, 5.0]))
+    genre = draw(st.sampled_from(["animation", "sports", "nature"]))
+    return scheme, trace_seed, video_seed, chunk_duration, genre
+
+
+@given(session_inputs())
+@settings(max_examples=25, deadline=None)
+def test_property_session_invariants(inputs):
+    """For any scheme x video x trace combination:
+
+    - every chunk is streamed exactly once, at a valid level;
+    - time is monotone and downloads never outpace the link;
+    - stalls, buffers, and data usage are non-negative and finite;
+    - the summary metrics are internally consistent.
+    """
+    scheme, trace_seed, video_seed, chunk_duration, genre = inputs
+    spec = VideoSpec(
+        name="prop", title="P", genre=genre, source="ffmpeg", codec="h264",
+        chunk_duration_s=chunk_duration, cap_ratio=2.0, duration_s=100.0,
+    )
+    video = build_video(spec, seed=video_seed)
+    trace = synthesize_lte_traces(count=1, seed=trace_seed, duration_s=400.0)[0]
+    algorithm = make_scheme(scheme)
+    result = run_session(
+        algorithm, video, TraceLink(trace),
+        SessionConfig(startup_latency_s=6.0, max_buffer_s=60.0),
+        include_quality=needs_quality_manifest(scheme),
+    )
+
+    assert result.num_chunks == video.num_chunks
+    assert np.all((result.levels >= 0) & (result.levels < video.num_tracks))
+    assert np.all(np.diff(result.download_finish_s) > 0)
+    assert np.all(result.download_finish_s >= result.download_start_s)
+    assert np.all(result.stall_s >= 0)
+    assert np.all(result.buffer_after_s >= 0)
+    assert np.all(result.buffer_after_s <= 60.0 + 1e-6)
+    assert np.isfinite(result.data_usage_bits)
+
+    metrics = summarize_session(result, video)
+    assert 0.0 <= metrics.low_quality_fraction <= 1.0
+    assert metrics.rebuffer_s == pytest.approx(result.total_stall_s)
+    assert 0.0 <= metrics.mean_level <= video.num_tracks - 1
+    assert metrics.q4_quality_mean <= 100.0
+    assert metrics.data_usage_mb > 0.0
+
+
+@given(
+    scale=st.floats(min_value=0.5, max_value=3.0),
+    seed=st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_more_bandwidth_never_hurts_quality_much(scale, seed):
+    """Scaling a trace up should not reduce CAVA's mean quality
+    (weak monotonicity, small tolerance for control transients)."""
+    spec = VideoSpec(
+        name="mono", title="M", genre="animation", source="ffmpeg", codec="h264",
+        chunk_duration_s=2.0, cap_ratio=2.0, duration_s=100.0,
+    )
+    video = build_video(spec, seed=0)
+    trace = synthesize_lte_traces(count=1, seed=seed, duration_s=400.0)[0]
+    base = run_session(make_scheme("CAVA"), video, TraceLink(trace))
+    boosted = run_session(make_scheme("CAVA"), video, TraceLink(trace.scaled(1.0 + scale)))
+    base_q = summarize_session(base, video).mean_quality
+    boosted_q = summarize_session(boosted, video).mean_quality
+    assert boosted_q >= base_q - 3.0

@@ -1,0 +1,56 @@
+"""§6.1's startup-latency remark: the paper reports results for a 10 s
+startup target and notes "results for other practical settings were
+similar". Verify CAVA's metric vector is stable across practical
+startup targets (one to three chunks' worth, per [46])."""
+
+import numpy as np
+import pytest
+
+from repro.core.cava import cava_p123
+from repro.network.link import TraceLink
+from repro.player.metrics import summarize_session
+from repro.player.session import SessionConfig, run_session
+
+STARTUPS = (5.0, 10.0, 15.0)
+
+
+@pytest.fixture(scope="module")
+def startup_sweep(request):
+    video = request.getfixturevalue("ed_ffmpeg_video")
+    traces = request.getfixturevalue("lte_traces")
+    classifier = request.getfixturevalue("ed_classifier")
+    by_startup = {}
+    for startup in STARTUPS:
+        config = SessionConfig(startup_latency_s=startup, max_buffer_s=100.0)
+        rows = [
+            summarize_session(
+                run_session(cava_p123(), video, TraceLink(trace), config),
+                video, "vmaf_phone", classifier,
+            )
+            for trace in traces[:8]
+        ]
+        by_startup[startup] = rows
+    return by_startup
+
+
+class TestStartupRobustness:
+    def test_q4_quality_stable(self, startup_sweep):
+        means = {
+            s: float(np.mean([r.q4_quality_mean for r in rows]))
+            for s, rows in startup_sweep.items()
+        }
+        spread = max(means.values()) - min(means.values())
+        assert spread < 3.0, means
+
+    def test_rebuffering_stable(self, startup_sweep):
+        for startup, rows in startup_sweep.items():
+            assert float(np.mean([r.rebuffer_s for r in rows])) < 2.0, startup
+
+    def test_startup_delay_tracks_target(self, startup_sweep):
+        """The one thing that must change: a larger target takes longer
+        to fill before playback begins."""
+        delays = {
+            s: float(np.mean([r.startup_delay_s for r in rows]))
+            for s, rows in startup_sweep.items()
+        }
+        assert delays[5.0] < delays[10.0] < delays[15.0]

@@ -1,0 +1,90 @@
+"""Tests for trace-set analysis."""
+
+import numpy as np
+import pytest
+
+from repro.network.analysis import (
+    outage_fraction,
+    segment_stationary,
+    summarize_traces,
+)
+from repro.network.traces import NetworkTrace, synthesize_fcc_traces, synthesize_lte_traces
+
+
+class TestOutageFraction:
+    def test_no_outage(self):
+        trace = NetworkTrace("t", 1.0, np.full(10, 5e6))
+        assert outage_fraction(trace) == 0.0
+
+    def test_half_outage(self):
+        trace = NetworkTrace("t", 1.0, np.array([5e6, 1e3] * 5))
+        assert outage_fraction(trace) == pytest.approx(0.5)
+
+    def test_threshold_respected(self):
+        trace = NetworkTrace("t", 1.0, np.full(4, 2e5))
+        assert outage_fraction(trace, threshold_bps=1e5) == 0.0
+        assert outage_fraction(trace, threshold_bps=5e5) == 1.0
+
+
+class TestSummarize:
+    def test_lte_summary_shape(self):
+        summary = summarize_traces(synthesize_lte_traces(count=20, seed=0))
+        assert summary.count == 20
+        assert summary.mean_mbps_p10 < summary.mean_mbps_median < summary.mean_mbps_p90
+        assert 0 <= summary.outage_fraction_mean < 0.3
+        assert "traces" in summary.describe()
+
+    def test_fcc_smoother(self):
+        lte = summarize_traces(synthesize_lte_traces(count=20, seed=0))
+        fcc = summarize_traces(synthesize_fcc_traces(count=20, seed=0))
+        assert fcc.cov_median < lte.cov_median
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_traces([])
+
+    def test_mixed_intervals_rejected(self):
+        mixed = [
+            NetworkTrace("a", 1.0, np.full(5, 1e6)),
+            NetworkTrace("b", 5.0, np.full(5, 1e6)),
+        ]
+        with pytest.raises(ValueError, match="mixed"):
+            summarize_traces(mixed)
+
+
+class TestSegmentation:
+    def test_constant_trace_one_segment(self):
+        trace = NetworkTrace("t", 1.0, np.full(100, 3e6))
+        segments = segment_stationary(trace)
+        assert len(segments) == 1
+        assert segments[0]["mean_bps"] == pytest.approx(3e6)
+        assert segments[0]["end_s"] == 100.0
+
+    def test_step_change_detected(self):
+        trace = NetworkTrace("t", 1.0, np.concatenate([np.full(60, 1e6), np.full(60, 5e6)]))
+        segments = segment_stationary(trace)
+        assert len(segments) == 2
+        assert segments[0]["mean_bps"] < segments[1]["mean_bps"]
+        assert segments[0]["end_s"] == pytest.approx(60.0)
+
+    def test_segments_cover_trace(self):
+        trace = synthesize_lte_traces(count=1, seed=3)[0]
+        segments = segment_stationary(trace)
+        assert segments[0]["start_s"] == 0.0
+        assert segments[-1]["end_s"] == pytest.approx(trace.duration_s)
+        for left, right in zip(segments, segments[1:]):
+            assert right["start_s"] == pytest.approx(left["end_s"])
+
+    def test_lte_fragments_more_than_fcc(self):
+        lte = synthesize_lte_traces(count=5, seed=0)
+        fcc = synthesize_fcc_traces(count=5, seed=0)
+        lte_rate = np.mean([len(segment_stationary(t)) / t.duration_s for t in lte])
+        fcc_rate = np.mean([len(segment_stationary(t)) / t.duration_s for t in fcc])
+        assert lte_rate > fcc_rate
+
+    def test_bad_params_rejected(self):
+        trace = NetworkTrace("t", 1.0, np.full(10, 1e6))
+        with pytest.raises(ValueError):
+            segment_stationary(trace, relative_change=5.0)
+        with pytest.raises(ValueError):
+            segment_stationary(trace, min_segment_intervals=0)

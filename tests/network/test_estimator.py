@@ -1,0 +1,107 @@
+"""Tests for repro.network.estimator."""
+
+import numpy as np
+import pytest
+
+from repro.network.estimator import (
+    ControlledErrorEstimator,
+    EwmaEstimator,
+    HarmonicMeanEstimator,
+    LastSampleEstimator,
+)
+from repro.util.rng import derive_rng
+
+
+class TestHarmonicMean:
+    def test_cold_start_conservative(self):
+        estimator = HarmonicMeanEstimator()
+        assert estimator.predict_bps(0.0) == pytest.approx(1e6)
+
+    def test_window_of_five(self):
+        estimator = HarmonicMeanEstimator(window=5)
+        for rate in (1e6, 2e6, 4e6, 4e6, 4e6, 4e6):
+            estimator.observe(rate * 2.0, 2.0, 0.0)  # throughput == rate
+        # The first sample (1e6) fell out of the 5-sample window.
+        expected = 5 / (1 / 2e6 + 4 / 4e6)
+        assert estimator.predict_bps(0.0) == pytest.approx(expected)
+
+    def test_outlier_resistant(self):
+        estimator = HarmonicMeanEstimator()
+        for _ in range(4):
+            estimator.observe(2e6, 1.0, 0.0)
+        estimator.observe(500e6, 1.0, 0.0)  # one spike
+        assert estimator.predict_bps(0.0) < 3e6
+
+    def test_reset(self):
+        estimator = HarmonicMeanEstimator()
+        estimator.observe(8e6, 1.0, 0.0)
+        estimator.reset()
+        assert estimator.predict_bps(0.0) == pytest.approx(1e6)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            HarmonicMeanEstimator(window=0)
+
+    def test_rejects_bad_observation(self):
+        with pytest.raises(ValueError):
+            HarmonicMeanEstimator().observe(0.0, 1.0, 0.0)
+
+
+class TestEwma:
+    def test_converges_to_constant_rate(self):
+        estimator = EwmaEstimator(alpha=0.5)
+        for _ in range(20):
+            estimator.observe(3e6, 1.0, 0.0)
+        assert estimator.predict_bps(0.0) == pytest.approx(3e6)
+
+    def test_first_sample_taken_whole(self):
+        estimator = EwmaEstimator(alpha=0.1)
+        estimator.observe(5e6, 1.0, 0.0)
+        assert estimator.predict_bps(0.0) == pytest.approx(5e6)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha=1.5)
+
+
+class TestLastSample:
+    def test_tracks_latest(self):
+        estimator = LastSampleEstimator()
+        estimator.observe(1e6, 1.0, 0.0)
+        estimator.observe(9e6, 1.0, 0.0)
+        assert estimator.predict_bps(0.0) == pytest.approx(9e6)
+
+
+class TestControlledError:
+    def test_zero_error_is_oracle(self):
+        estimator = ControlledErrorEstimator(
+            true_bandwidth=lambda t: 4e6, err=0.0, rng=derive_rng(0, "e")
+        )
+        assert estimator.predict_bps(10.0) == pytest.approx(4e6)
+
+    def test_error_band_respected(self):
+        estimator = ControlledErrorEstimator(
+            true_bandwidth=lambda t: 4e6, err=0.5, rng=derive_rng(0, "e")
+        )
+        predictions = np.array([estimator.predict_bps(0.0) for _ in range(500)])
+        assert predictions.min() >= 2e6 - 1e-6
+        assert predictions.max() <= 6e6 + 1e-6
+        # The perturbation actually spreads across the band.
+        assert predictions.std() > 0.1e6
+
+    def test_time_dependent_truth(self):
+        estimator = ControlledErrorEstimator(
+            true_bandwidth=lambda t: 1e6 * (1 + t), err=0.0, rng=derive_rng(0, "e")
+        )
+        assert estimator.predict_bps(1.0) == pytest.approx(2e6)
+        assert estimator.predict_bps(3.0) == pytest.approx(4e6)
+
+    def test_nonpositive_truth_falls_back(self):
+        estimator = ControlledErrorEstimator(
+            true_bandwidth=lambda t: 0.0, err=0.25, rng=derive_rng(0, "e")
+        )
+        assert estimator.predict_bps(0.0) == pytest.approx(1e6)
+
+    def test_err_bounds(self):
+        with pytest.raises(ValueError):
+            ControlledErrorEstimator(lambda t: 1e6, err=1.5, rng=derive_rng(0, "e"))

@@ -1,0 +1,103 @@
+"""Tests for repro.network.link: the fluid download model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace, synthesize_lte_traces
+
+
+def constant_link(bps=1e6, intervals=10, interval_s=1.0):
+    return TraceLink(NetworkTrace("c", interval_s, np.full(intervals, bps)))
+
+
+class TestDownload:
+    def test_constant_rate_timing(self):
+        link = constant_link(bps=1e6)
+        result = link.download(2e6, start_s=0.0)
+        assert result.finish_s == pytest.approx(2.0)
+        assert result.duration_s == pytest.approx(2.0)
+        assert result.throughput_bps == pytest.approx(1e6)
+
+    def test_mid_interval_start(self):
+        link = constant_link(bps=1e6)
+        result = link.download(5e5, start_s=0.25)
+        assert result.finish_s == pytest.approx(0.75)
+
+    def test_rate_change_mid_download(self):
+        trace = NetworkTrace("v", 1.0, np.array([1e6, 3e6] * 5))
+        link = TraceLink(trace)
+        # 2.5 Mb: 1 Mb in first second, 1.5 Mb in 0.5 s of the second.
+        result = link.download(2.5e6, start_s=0.0)
+        assert result.finish_s == pytest.approx(1.5)
+
+    def test_wraps_past_trace_end(self):
+        link = constant_link(bps=1e6, intervals=2)  # 2-second period
+        result = link.download(5e6, start_s=0.0)
+        assert result.finish_s == pytest.approx(5.0)
+
+    def test_start_past_trace_end(self):
+        link = constant_link(bps=1e6, intervals=2)
+        result = link.download(1e6, start_s=7.5)
+        assert result.finish_s == pytest.approx(8.5)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            constant_link().download(0.0, 0.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            constant_link().download(1e6, -1.0)
+
+
+class TestBitsInWindow:
+    def test_constant(self):
+        link = constant_link(bps=2e6)
+        assert link.bits_in_window(0.0, 3.0) == pytest.approx(6e6)
+
+    def test_partial_intervals(self):
+        trace = NetworkTrace("v", 1.0, np.array([1e6, 3e6]))
+        link = TraceLink(trace)
+        assert link.bits_in_window(0.5, 1.5) == pytest.approx(0.5e6 + 1.5e6)
+
+    def test_reverse_window_rejected(self):
+        with pytest.raises(ValueError):
+            constant_link().bits_in_window(2.0, 1.0)
+
+    def test_average_bandwidth(self):
+        trace = NetworkTrace("v", 1.0, np.array([1e6, 3e6]))
+        link = TraceLink(trace)
+        assert link.average_bandwidth(0.0, 2.0) == pytest.approx(2e6)
+
+
+class TestConsistency:
+    """download() and bits_in_window() must agree with each other."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        size_mb=st.floats(min_value=0.01, max_value=30.0),
+        start=st.floats(min_value=0.0, max_value=2000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_download_inverts_window(self, seed, size_mb, start):
+        trace = synthesize_lte_traces(count=1, seed=seed, duration_s=120.0)[0]
+        link = TraceLink(trace)
+        size = size_mb * 1e6
+        result = link.download(size, start)
+        assert result.finish_s >= start
+        delivered = link.bits_in_window(start, result.finish_s)
+        assert delivered == pytest.approx(size, rel=1e-6, abs=1.0)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        start=st.floats(min_value=0.0, max_value=500.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_monotone_in_size(self, seed, start):
+        trace = synthesize_lte_traces(count=1, seed=seed, duration_s=120.0)[0]
+        link = TraceLink(trace)
+        small = link.download(1e5, start).finish_s
+        large = link.download(1e6, start).finish_s
+        assert large >= small

@@ -1,0 +1,153 @@
+"""Tests for repro.network.traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.traces import (
+    MIN_TRACE_DURATION_S,
+    NetworkTrace,
+    load_trace_file,
+    save_trace_file,
+    synthesize_fcc_traces,
+    synthesize_lte_traces,
+)
+
+
+class TestNetworkTrace:
+    def test_basic_properties(self):
+        trace = NetworkTrace("t", 1.0, np.array([1e6, 2e6, 3e6]))
+        assert trace.num_intervals == 3
+        assert trace.duration_s == 3.0
+        assert trace.mean_bps == pytest.approx(2e6)
+
+    def test_throughput_at_wraps(self):
+        trace = NetworkTrace("t", 1.0, np.array([1e6, 2e6]))
+        assert trace.throughput_at(0.5) == 1e6
+        assert trace.throughput_at(1.5) == 2e6
+        assert trace.throughput_at(2.5) == 1e6  # wrapped
+
+    def test_negative_time_rejected(self):
+        trace = NetworkTrace("t", 1.0, np.array([1e6]))
+        with pytest.raises(ValueError):
+            trace.throughput_at(-1.0)
+
+    def test_scaled(self):
+        trace = NetworkTrace("t", 1.0, np.array([1e6, 2e6]))
+        doubled = trace.scaled(2.0)
+        assert doubled.mean_bps == pytest.approx(3e6)
+        assert trace.mean_bps == pytest.approx(1.5e6)  # original untouched
+
+    def test_rejects_negative_throughput(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            NetworkTrace("t", 1.0, np.array([-1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            NetworkTrace("t", 1.0, np.array([]))
+
+
+class TestLteSynthesis:
+    def test_count_and_names(self):
+        traces = synthesize_lte_traces(count=5, seed=0)
+        assert len(traces) == 5
+        assert len({t.name for t in traces}) == 5
+
+    def test_per_second_sampling(self):
+        trace = synthesize_lte_traces(count=1, seed=0)[0]
+        assert trace.interval_s == 1.0
+
+    def test_at_least_18_minutes(self):
+        trace = synthesize_lte_traces(count=1, seed=0)[0]
+        assert trace.duration_s >= MIN_TRACE_DURATION_S
+
+    def test_deterministic(self):
+        a = synthesize_lte_traces(count=2, seed=7)
+        b = synthesize_lte_traces(count=2, seed=7)
+        assert np.array_equal(a[1].throughputs_bps, b[1].throughputs_bps)
+
+    def test_traces_differ(self):
+        traces = synthesize_lte_traces(count=2, seed=0)
+        assert not np.array_equal(traces[0].throughputs_bps, traces[1].throughputs_bps)
+
+    def test_volatility(self):
+        """LTE drive traces are highly variable (motivates RobustMPC etc.)."""
+        traces = synthesize_lte_traces(count=20, seed=0)
+        covs = [t.cov for t in traces]
+        assert np.median(covs) > 0.4
+
+    def test_mean_band_covers_contested_region(self):
+        """The set's means should straddle the middle of the ladder
+        (~0.5–5 Mbps) so rate decisions are non-trivial."""
+        traces = synthesize_lte_traces(count=50, seed=0)
+        means = np.array([t.mean_bps for t in traces]) / 1e6
+        assert 0.8 < np.median(means) < 4.0
+        assert means.min() > 0.1
+
+    def test_never_zero(self):
+        trace = synthesize_lte_traces(count=1, seed=0)[0]
+        assert trace.throughputs_bps.min() > 0
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_lte_traces(count=0)
+
+
+class TestFccSynthesis:
+    def test_per_five_second_sampling(self):
+        trace = synthesize_fcc_traces(count=1, seed=0)[0]
+        assert trace.interval_s == 5.0
+
+    def test_smoother_than_lte(self):
+        """§6.3: FCC traces have smoother bandwidth profiles."""
+        lte = synthesize_lte_traces(count=20, seed=0)
+        fcc = synthesize_fcc_traces(count=20, seed=0)
+        assert np.median([t.cov for t in fcc]) < np.median([t.cov for t in lte])
+
+    def test_higher_mean_than_lte(self):
+        lte = synthesize_lte_traces(count=30, seed=0)
+        fcc = synthesize_fcc_traces(count=30, seed=0)
+        assert np.median([t.mean_bps for t in fcc]) > np.median([t.mean_bps for t in lte])
+
+    def test_deterministic(self):
+        a = synthesize_fcc_traces(count=1, seed=3)[0]
+        b = synthesize_fcc_traces(count=1, seed=3)[0]
+        assert np.array_equal(a.throughputs_bps, b.throughputs_bps)
+
+
+class TestTraceIO:
+    def test_round_trip(self, tmp_path):
+        trace = synthesize_lte_traces(count=1, seed=0)[0]
+        path = tmp_path / "trace.txt"
+        save_trace_file(trace, path)
+        loaded = load_trace_file(path, interval_s=1.0)
+        assert np.allclose(loaded.throughputs_bps, trace.throughputs_bps, rtol=1e-5)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# header\n1.5\n\n2.5  # inline\n")
+        trace = load_trace_file(path, interval_s=5.0)
+        assert trace.num_intervals == 2
+        assert trace.throughputs_bps[0] == pytest.approx(1.5e6)
+
+    def test_bad_line_reports_location(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("1.5\nnot-a-number\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_trace_file(path, interval_s=1.0)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="no throughput"):
+            load_trace_file(path, interval_s=1.0)
+
+
+@given(seed=st.integers(min_value=0, max_value=200))
+@settings(max_examples=15, deadline=None)
+def test_property_lte_traces_well_formed(seed):
+    trace = synthesize_lte_traces(count=1, seed=seed, duration_s=120.0)[0]
+    assert np.all(np.isfinite(trace.throughputs_bps))
+    assert trace.throughputs_bps.min() > 0
+    assert trace.duration_s >= 120.0

@@ -1,0 +1,84 @@
+"""Tests for repro.player.buffer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.player.buffer import PlaybackBuffer
+
+
+class TestFillDrain:
+    def test_fill(self):
+        buffer = PlaybackBuffer()
+        buffer.fill(2.0)
+        buffer.fill(2.0)
+        assert buffer.level_s == pytest.approx(4.0)
+
+    def test_drain_without_stall(self):
+        buffer = PlaybackBuffer(level_s=5.0)
+        stall = buffer.drain(3.0)
+        assert stall == 0.0
+        assert buffer.level_s == pytest.approx(2.0)
+
+    def test_drain_with_stall(self):
+        buffer = PlaybackBuffer(level_s=1.0)
+        stall = buffer.drain(3.0)
+        assert stall == pytest.approx(2.0)
+        assert buffer.level_s == 0.0
+        assert buffer.total_stall_s == pytest.approx(2.0)
+
+    def test_stall_accumulates(self):
+        buffer = PlaybackBuffer()
+        buffer.drain(1.0)
+        buffer.drain(0.5)
+        assert buffer.total_stall_s == pytest.approx(1.5)
+
+    def test_zero_drain_noop(self):
+        buffer = PlaybackBuffer(level_s=2.0)
+        assert buffer.drain(0.0) == 0.0
+        assert buffer.level_s == 2.0
+
+    def test_rejects_negative_drain(self):
+        with pytest.raises(ValueError):
+            PlaybackBuffer().drain(-1.0)
+
+    def test_rejects_non_positive_fill(self):
+        with pytest.raises(ValueError):
+            PlaybackBuffer().fill(0.0)
+
+
+class TestQueries:
+    def test_time_until_level(self):
+        buffer = PlaybackBuffer(level_s=10.0)
+        assert buffer.time_until_level(4.0) == pytest.approx(6.0)
+        assert buffer.time_until_level(15.0) == 0.0
+
+    def test_is_empty(self):
+        assert PlaybackBuffer().is_empty
+        assert not PlaybackBuffer(level_s=0.1).is_empty
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["fill", "drain"]), st.floats(min_value=0.01, max_value=10.0)),
+        max_size=60,
+    )
+)
+@settings(max_examples=60)
+def test_property_conservation(ops):
+    """Invariant: filled == played + level, and stall == drain_requested -
+    played. The buffer never goes negative."""
+    buffer = PlaybackBuffer()
+    filled = 0.0
+    drained_requested = 0.0
+    for op, amount in ops:
+        if op == "fill":
+            buffer.fill(amount)
+            filled += amount
+        else:
+            buffer.drain(amount)
+            drained_requested += amount
+        assert buffer.level_s >= 0.0
+    played = drained_requested - buffer.total_stall_s
+    assert filled == pytest.approx(played + buffer.level_s, abs=1e-6)
+    assert buffer.total_stall_s <= drained_requested + 1e-9

@@ -1,0 +1,80 @@
+"""Tests for the session event log."""
+
+import numpy as np
+import pytest
+
+from repro.abr.base import ABRAlgorithm, DecisionContext
+from repro.core.cava import cava_p123
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace
+from repro.player.events import format_events, session_events
+from repro.player.session import run_session
+
+
+class ZigZagAlgorithm(ABRAlgorithm):
+    """Alternates levels to generate switch events."""
+
+    name = "zigzag"
+
+    def select_level(self, ctx: DecisionContext) -> int:
+        return ctx.chunk_index % 2
+
+
+def constant_trace(mbps, duration_s=2000.0):
+    return NetworkTrace(f"const-{mbps}", 1.0, np.full(int(duration_s), mbps * 1e6))
+
+
+class TestSessionEvents:
+    def test_one_download_event_per_chunk(self, short_video):
+        result = run_session(cava_p123(), short_video, TraceLink(constant_trace(5.0)))
+        events = session_events(result)
+        downloads = [e for e in events if e.kind == "download"]
+        assert len(downloads) == short_video.num_chunks
+
+    def test_switch_events_match_level_changes(self, short_video):
+        result = run_session(ZigZagAlgorithm(), short_video, TraceLink(constant_trace(5.0)))
+        events = session_events(result)
+        switches = [e for e in events if e.kind.startswith("switch")]
+        assert len(switches) == short_video.num_chunks - 1
+        assert any(e.kind == "switch_up" for e in switches)
+        assert any(e.kind == "switch_down" for e in switches)
+
+    def test_stall_events_present_when_stalling(self, short_video):
+        class TopAlgorithm(ABRAlgorithm):
+            name = "top"
+
+            def select_level(self, ctx):
+                return 5
+
+        result = run_session(TopAlgorithm(), short_video, TraceLink(constant_trace(0.4)))
+        assert result.total_stall_s > 0
+        events = session_events(result)
+        stalls = [e for e in events if e.kind == "stall"]
+        assert stalls
+        total = sum(float(e.detail.split("rebuffered ")[1].split("s")[0]) for e in stalls)
+        assert total == pytest.approx(result.total_stall_s, abs=0.1)
+
+    def test_startup_event_once(self, short_video):
+        result = run_session(cava_p123(), short_video, TraceLink(constant_trace(5.0)))
+        events = session_events(result)
+        assert sum(1 for e in events if e.kind == "startup") == 1
+
+    def test_timeline_sorted(self, short_video, one_lte_trace):
+        result = run_session(cava_p123(), short_video, TraceLink(one_lte_trace))
+        events = session_events(result)
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+
+
+class TestFormatEvents:
+    def test_selected_kinds_only(self, short_video):
+        result = run_session(ZigZagAlgorithm(), short_video, TraceLink(constant_trace(5.0)))
+        text = format_events(session_events(result))
+        assert "switch" in text
+        assert "chunk 0 @" not in text  # downloads filtered by default
+
+    def test_limit_respected(self, short_video):
+        result = run_session(ZigZagAlgorithm(), short_video, TraceLink(constant_trace(5.0)))
+        text = format_events(session_events(result), kinds=None, limit=5)
+        assert "more events" in text
+        assert len(text.splitlines()) == 6

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "7", "schemes"])
+        assert args.seed == 7
+
+
+class TestSchemes:
+    def test_lists_all(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "CAVA" in out
+        assert "RobustMPC" in out
+        assert "PANDA/CQ max-min" in out
+
+
+class TestDataset:
+    def test_prints_sixteen_rows(self, capsys):
+        assert main(["dataset"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("youtube") == 8
+        assert out.count("ffmpeg") == 8
+
+
+class TestCharacterize:
+    def test_known_video(self, capsys):
+        assert main(["characterize", "ED-youtube-h264"]) == 0
+        out = capsys.readouterr().out
+        assert "Q4 quality gap" in out
+
+    def test_unknown_video_exits(self):
+        with pytest.raises(SystemExit, match="unknown video"):
+            main(["characterize", "nope"])
+
+    def test_fourx_video_available(self, capsys):
+        assert main(["characterize", "ED-ffmpeg-h264-4x"]) == 0
+
+
+class TestTraces:
+    def test_writes_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "traces"
+        assert main(["traces", "lte", str(out_dir), "--count", "3"]) == 0
+        files = sorted(out_dir.glob("*.txt"))
+        assert len(files) == 3
+        assert "wrote 3" in capsys.readouterr().out
+
+    def test_files_loadable(self, tmp_path):
+        from repro.network.traces import load_trace_file
+
+        out_dir = tmp_path / "traces"
+        main(["traces", "fcc", str(out_dir), "--count", "1"])
+        trace = load_trace_file(next(out_dir.glob("*.txt")), interval_s=5.0)
+        assert trace.num_intervals > 0
+
+
+class TestManifest:
+    def test_mpd_export(self, tmp_path, capsys):
+        out = tmp_path / "video.mpd"
+        assert main(["manifest", "ED-youtube-h264", str(out)]) == 0
+        assert out.read_text().startswith("<?xml")
+
+    def test_hls_export(self, tmp_path):
+        out = tmp_path / "hls"
+        assert main(["manifest", "ED-youtube-h264", str(out), "--format", "hls"]) == 0
+        assert (out / "master.m3u8").exists()
+        assert (out / "track0.m3u8").exists()
+
+    def test_mpd_round_trip_via_cli_output(self, tmp_path):
+        from repro.video.manifest_io import manifest_from_mpd
+
+        out = tmp_path / "video.mpd"
+        main(["manifest", "ED-youtube-h264", str(out)])
+        manifest = manifest_from_mpd(out.read_text())
+        assert manifest.num_tracks == 6
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        assert main(["run", "ED-youtube-h264", "--scheme", "RBA"]) == 0
+        out = capsys.readouterr().out
+        assert "q4_quality_mean" in out
+        assert "rebuffer_s" in out
+
+    def test_run_quality_scheme(self, capsys):
+        assert main(["run", "ED-youtube-h264", "--scheme", "PANDA/CQ max-min"]) == 0
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        assert main(
+            ["compare", "ED-youtube-h264", "--traces", "2", "--schemes", "CAVA", "RBA"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CAVA" in out and "RBA" in out
+        assert "Q4 quality" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "schemes"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "CAVA" in proc.stdout

@@ -1,0 +1,88 @@
+"""Tests for repro.util.rng: determinism and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream, derive_rng, spawn_rngs
+
+
+class TestDeriveRng:
+    def test_same_inputs_same_stream(self):
+        a = derive_rng(42, "x", "y")
+        b = derive_rng(42, "x", "y")
+        assert np.array_equal(a.random(10), b.random(10))
+
+    def test_different_seed_different_stream(self):
+        a = derive_rng(1, "x").random(8)
+        b = derive_rng(2, "x").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_labels_different_stream(self):
+        a = derive_rng(7, "alpha").random(8)
+        b = derive_rng(7, "beta").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_label_order_matters(self):
+        a = derive_rng(7, "a", "b").random(8)
+        b = derive_rng(7, "b", "a").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            derive_rng(-1)
+
+    def test_no_labels_is_valid(self):
+        assert derive_rng(5).random() is not None
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5, "traces")) == 5
+
+    def test_streams_differ(self):
+        rngs = spawn_rngs(0, 3, "x")
+        draws = [rng.random(4).tolist() for rng in rngs]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+
+class TestRngStream:
+    def test_replayable(self):
+        s1 = RngStream(seed=9, name="n")
+        s2 = RngStream(seed=9, name="n")
+        assert s1.child("a").random() == s2.child("a").random()
+
+    def test_repeated_child_calls_differ(self):
+        s = RngStream(seed=9)
+        assert s.child("a").random() != s.child("a").random()
+
+    def test_fixed_is_order_independent(self):
+        s1 = RngStream(seed=3)
+        s1.child("x")  # consume one
+        s2 = RngStream(seed=3)
+        assert s1.fixed("y").random() == s2.fixed("y").random()
+
+    def test_fork_independent_namespace(self):
+        s = RngStream(seed=3)
+        f1 = s.fork("sub")
+        f2 = RngStream(seed=3).fork("sub")
+        assert f1.child("a").random() == f2.child("a").random()
+
+    def test_integers_shape_and_range(self):
+        s = RngStream(seed=1)
+        values = s.integers("x", 0, 10, 100)
+        assert values.shape == (100,)
+        assert values.min() >= 0 and values.max() < 10
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream(seed=-4)
+
+    def test_repr_mentions_seed(self):
+        assert "seed=5" in repr(RngStream(seed=5))

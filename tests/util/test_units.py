@@ -1,0 +1,46 @@
+"""Tests for repro.util.units conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    bits_to_megabits,
+    bits_to_megabytes,
+    bps_to_mbps,
+    bytes_to_bits,
+    bytes_to_megabits,
+    mbps_to_bps,
+    megabits_to_bits,
+    megabits_to_bytes,
+)
+
+
+def test_bytes_to_bits():
+    assert bytes_to_bits(1) == 8
+
+
+def test_megabit_round_trip():
+    assert bits_to_megabits(megabits_to_bits(3.5)) == pytest.approx(3.5)
+
+
+def test_bytes_to_megabits():
+    assert bytes_to_megabits(125_000) == pytest.approx(1.0)
+
+
+def test_megabits_to_bytes():
+    assert megabits_to_bytes(1.0) == pytest.approx(125_000)
+
+
+def test_rate_round_trip():
+    assert bps_to_mbps(mbps_to_bps(2.25)) == pytest.approx(2.25)
+
+
+def test_bits_to_megabytes():
+    assert bits_to_megabytes(8_000_000) == pytest.approx(1.0)
+
+
+@given(st.floats(min_value=0, max_value=1e12, allow_nan=False))
+def test_conversions_preserve_sign_and_scale(bits):
+    assert bits_to_megabits(bits) * 1e6 == pytest.approx(bits, rel=1e-9, abs=1e-9)
+    assert bits_to_megabytes(bits) * 8e6 == pytest.approx(bits, rel=1e-9, abs=1e-9)

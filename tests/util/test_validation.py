@@ -1,0 +1,70 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckFinite:
+    def test_passes_through(self):
+        assert check_finite(3.5, "x") == 3.5
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_finite(bad, "x")
+
+    def test_coerces_int(self):
+        assert check_finite(3, "x") == 3.0
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.001, "x") == 0.001
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive(bad, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="window_s"):
+            check_positive(-1, "window_s")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability(bad, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(2.0, "x", 2.0, 3.0) == 2.0
+        assert check_in_range(3.0, "x", 2.0, 3.0) == 3.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match="x"):
+            check_in_range(3.5, "x", 2.0, 3.0)

@@ -1,0 +1,104 @@
+"""The §2–§3 characterization claims, asserted against the synthesized
+dataset. These tests pin the calibration: if the generative model drifts,
+the paper's facts stop holding and these fail."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.characterization import (
+    characterize,
+    quartile_quality_profile,
+    quartile_siti_separation,
+)
+from repro.video.classify import ChunkClassifier
+
+
+class TestSection2BitrateVariability:
+    def test_cov_in_paper_band(self, ed_ffmpeg_video):
+        """§2: per-track CoV between 0.3 and 0.6 (we allow a little slack)."""
+        covs = [t.bitrate_cov for t in ed_ffmpeg_video.tracks]
+        assert min(covs) > 0.25
+        assert max(covs) < 0.75
+
+    def test_peak_to_average_in_band(self, ed_ffmpeg_video):
+        """§2: peak/avg between 1.1x and ~2.4x for the 2x-capped encodes."""
+        ratios = [t.peak_to_average_ratio for t in ed_ffmpeg_video.tracks]
+        assert min(ratios) > 1.1
+        assert max(ratios) < 2.5
+
+    def test_fourx_exceeds_twox_peak(self, ed_ffmpeg_video, fourx_video):
+        """§3.3: the 4x cap admits substantially higher peaks."""
+        two = max(t.peak_to_average_ratio for t in ed_ffmpeg_video.tracks)
+        four = max(t.peak_to_average_ratio for t in fourx_video.tracks)
+        assert four > two + 0.3
+
+
+class TestSection311ComplexityProxy:
+    def test_q4_siti_separation(self, ed_ffmpeg_video):
+        """Fig. 2: most Q4 chunks clear (SI>25, TI>7); few Q1/Q2 do."""
+        fractions = quartile_siti_separation(ed_ffmpeg_video)
+        assert fractions[4] > 0.55
+        assert fractions[1] < 0.25
+        assert fractions[2] < 0.35
+        assert fractions[4] > fractions[1] + 0.4
+
+    def test_size_tracks_complexity(self, ed_ffmpeg_video):
+        summary = characterize(ed_ffmpeg_video)
+        assert summary.size_complexity_corr > 0.7
+
+    def test_cross_track_consistency(self, ed_ffmpeg_video):
+        summary = characterize(ed_ffmpeg_video)
+        assert summary.min_cross_track_correlation > 0.85
+
+
+class TestSection312QualityByQuartile:
+    @pytest.mark.parametrize("metric", ["vmaf_phone", "vmaf_tv", "psnr", "ssim"])
+    def test_quality_decreases_q1_to_q4(self, ed_youtube_video, metric):
+        """Fig. 3: Q1..Q4 have increasing sizes but decreasing quality,
+        under every §3.1.2 metric."""
+        medians = quartile_quality_profile(ed_youtube_video, metric)
+        assert medians[1] >= medians[2] >= medians[3] >= medians[4]
+        assert medians[1] > medians[4]
+
+    def test_q4_gap_pronounced(self, ed_youtube_video):
+        """Fig. 3: 'the quality gap between Q4 and Q1–Q3 chunks is
+        particularly large'."""
+        medians = quartile_quality_profile(ed_youtube_video, "vmaf_phone")
+        q13_mean = np.mean([medians[q] for q in (1, 2, 3)])
+        assert q13_mean - medians[4] > 5.0
+
+    def test_q4_has_most_bits_yet_least_quality(self, ed_youtube_video):
+        classifier = ChunkClassifier.from_video(ed_youtube_video)
+        track = ed_youtube_video.track(classifier.reference_track)
+        q4 = classifier.categories == 4
+        q1 = classifier.categories == 1
+        assert np.mean(track.chunk_sizes_bits[q4]) > np.mean(track.chunk_sizes_bits[q1])
+        assert np.median(track.qualities["vmaf_phone"][q4]) < np.median(
+            track.qualities["vmaf_phone"][q1]
+        )
+
+    def test_holds_for_h265(self, ed_h265_video):
+        """§3.1.2: 'similar observations for H.265 encoded videos'."""
+        medians = quartile_quality_profile(ed_h265_video, "vmaf_phone")
+        assert medians[1] > medians[4]
+
+
+class TestSection33LargerCap:
+    def test_fourx_q4_still_lower(self, fourx_video):
+        """§3.3: even at 4x cap, Q4 chunks stay significantly below the
+        quality of Q1–Q3 chunks."""
+        medians = quartile_quality_profile(fourx_video, "vmaf_phone")
+        q13_mean = np.mean([medians[q] for q in (1, 2, 3)])
+        assert q13_mean - medians[4] > 4.0
+
+    def test_fourx_ordering(self, fourx_video):
+        medians = quartile_quality_profile(fourx_video, "vmaf_phone")
+        assert medians[1] >= medians[3] > medians[4]
+
+
+class TestWholeDatasetSanity:
+    def test_characterize_summary_fields(self, ed_ffmpeg_video):
+        summary = characterize(ed_ffmpeg_video)
+        assert summary.video_name == "ED-ffmpeg-h264"
+        assert summary.q4_quality_gap > 0
+        assert 0 < summary.cov_range[0] <= summary.cov_range[1]

@@ -1,0 +1,112 @@
+"""Tests for repro.video.classify: the size-quartile complexity proxy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.classify import (
+    ChunkClassifier,
+    classify_sizes,
+    classify_sizes_quantiles,
+    cross_track_category_correlation,
+    reference_level,
+)
+
+
+class TestClassifySizes:
+    def test_quartiles_roughly_balanced(self):
+        rng = np.random.default_rng(0)
+        categories = classify_sizes(rng.random(400))
+        for q in range(1, 5):
+            fraction = np.mean(categories == q)
+            assert 0.2 <= fraction <= 0.3
+
+    def test_largest_chunk_is_q4(self):
+        sizes = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 100.0]
+        assert classify_sizes(sizes)[-1] == 4
+
+    def test_smallest_chunk_is_q1(self):
+        sizes = [0.01, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        assert classify_sizes(sizes)[0] == 1
+
+    def test_too_few_chunks_rejected(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            classify_sizes([1.0, 2.0, 3.0])
+
+    def test_monotone_in_size(self):
+        sizes = np.linspace(1, 100, 40)
+        categories = classify_sizes(sizes)
+        assert np.all(np.diff(categories) >= 0)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=8, max_size=100))
+    @settings(max_examples=50)
+    def test_property_labels_in_range(self, sizes):
+        categories = classify_sizes(sizes)
+        assert set(np.unique(categories)).issubset({1, 2, 3, 4})
+
+
+class TestClassifyQuantiles:
+    def test_five_classes(self):
+        rng = np.random.default_rng(0)
+        categories = classify_sizes_quantiles(rng.random(500), 5)
+        assert set(np.unique(categories)) == {1, 2, 3, 4, 5}
+
+    def test_matches_quartiles_for_four(self):
+        rng = np.random.default_rng(1)
+        sizes = rng.random(200)
+        assert np.array_equal(classify_sizes_quantiles(sizes, 4), classify_sizes(sizes))
+
+    def test_rejects_one_class(self):
+        with pytest.raises(ValueError, match="num_classes"):
+            classify_sizes_quantiles([1.0, 2.0, 3.0], 1)
+
+
+class TestReferenceLevel:
+    @pytest.mark.parametrize("num_tracks,expected", [(6, 3), (5, 2), (1, 0), (2, 1)])
+    def test_middle(self, num_tracks, expected):
+        assert reference_level(num_tracks) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            reference_level(0)
+
+
+class TestChunkClassifier:
+    def test_from_video_reference_is_middle(self, ed_ffmpeg_video):
+        classifier = ChunkClassifier.from_video(ed_ffmpeg_video)
+        assert classifier.reference_track == 3
+        assert classifier.num_chunks == ed_ffmpeg_video.num_chunks
+
+    def test_fractions_sum_to_one(self, ed_classifier):
+        assert sum(ed_classifier.category_fractions().values()) == pytest.approx(1.0)
+
+    def test_complex_positions_match_is_complex(self, ed_classifier):
+        positions = set(ed_classifier.complex_positions().tolist())
+        for index in range(ed_classifier.num_chunks):
+            assert (index in positions) == ed_classifier.is_complex(index)
+
+    def test_bad_reference_rejected(self, ed_ffmpeg_video):
+        with pytest.raises(IndexError):
+            ChunkClassifier.from_manifest(ed_ffmpeg_video.manifest(), reference_track=9)
+
+    def test_categories_consistent_across_reference_choice(self, ed_ffmpeg_video):
+        """§3.1.1 Property 2 in classifier form: classifying from track 2
+        vs track 4 agrees on most chunks."""
+        a = ChunkClassifier.from_video(ed_ffmpeg_video, reference_track=2)
+        b = ChunkClassifier.from_video(ed_ffmpeg_video, reference_track=4)
+        agreement = np.mean(a.categories == b.categories)
+        assert agreement > 0.7
+
+
+class TestCrossTrackCorrelation:
+    def test_paper_claim_close_to_one(self, ed_ffmpeg_video):
+        """§3.1.1: 'all the correlation values are close to 1'."""
+        matrix = cross_track_category_correlation(ed_ffmpeg_video)
+        off_diag = matrix[~np.eye(matrix.shape[0], dtype=bool)]
+        assert off_diag.min() > 0.85
+
+    def test_matrix_symmetric_unit_diagonal(self, ed_ffmpeg_video):
+        matrix = cross_track_category_correlation(ed_ffmpeg_video)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)

@@ -1,0 +1,108 @@
+"""Tests for repro.video.dataset: the 16-video dataset analogue."""
+
+import numpy as np
+import pytest
+
+from repro.video.dataset import (
+    FFMPEG_SPECS,
+    YOUTUBE_SPECS,
+    VideoSpec,
+    build_cbr_counterpart,
+    build_dataset,
+    build_video,
+    fourx_spec,
+    standard_dataset_specs,
+)
+
+
+class TestSpecs:
+    def test_sixteen_videos(self):
+        specs = standard_dataset_specs()
+        assert len(specs) == 16
+        assert len({s.name for s in specs}) == 16
+
+    def test_eight_ffmpeg_eight_youtube(self):
+        assert len(FFMPEG_SPECS) == 8
+        assert len(YOUTUBE_SPECS) == 8
+
+    def test_ffmpeg_chunk_durations(self):
+        assert all(s.chunk_duration_s == 2.0 for s in FFMPEG_SPECS)
+
+    def test_youtube_chunk_durations(self):
+        assert all(s.chunk_duration_s == 5.0 for s in YOUTUBE_SPECS)
+
+    def test_ffmpeg_covers_both_codecs(self):
+        codecs = {s.codec for s in FFMPEG_SPECS}
+        assert codecs == {"h264", "h265"}
+
+    def test_youtube_all_h264(self):
+        assert all(s.codec == "h264" for s in YOUTUBE_SPECS)
+
+    def test_genres_cover_paper_categories(self):
+        genres = {s.genre for s in standard_dataset_specs()}
+        assert {"animation", "scifi", "sports", "animal", "nature", "action"} <= genres
+
+    def test_fourx_spec(self):
+        spec = fourx_spec()
+        assert spec.cap_ratio == 4.0
+        assert spec.title == "ED"
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ValueError, match="source"):
+            VideoSpec("x", "X", "animation", "vimeo", "h264", 2.0, 2.0)
+
+
+class TestBuildVideo:
+    def test_deterministic(self):
+        spec = FFMPEG_SPECS[0]
+        a = build_video(spec, seed=1)
+        b = build_video(spec, seed=1)
+        assert np.array_equal(a.track(3).chunk_sizes_bits, b.track(3).chunk_sizes_bits)
+
+    def test_seed_changes_content(self):
+        spec = FFMPEG_SPECS[0]
+        a = build_video(spec, seed=1)
+        b = build_video(spec, seed=2)
+        assert not np.array_equal(a.track(3).chunk_sizes_bits, b.track(3).chunk_sizes_bits)
+
+    def test_codec_pair_shares_content(self):
+        """H.264 and H.265 encodes of a title share the scene timeline."""
+        h264 = build_video(FFMPEG_SPECS[0], seed=0)
+        h265 = build_video(FFMPEG_SPECS[1], seed=0)
+        assert h264.tracks[0].num_chunks == h265.tracks[0].num_chunks
+        assert np.array_equal(h264.complexity, h265.complexity)
+
+    def test_ten_minute_videos(self):
+        video = build_video(FFMPEG_SPECS[0], seed=0)
+        assert video.duration_s == pytest.approx(600.0)
+
+    def test_six_tracks(self):
+        video = build_video(FFMPEG_SPECS[0], seed=0)
+        assert video.num_tracks == 6
+        assert [t.resolution for t in video.tracks] == [144, 240, 360, 480, 720, 1080]
+
+
+class TestBuildDataset:
+    def test_builds_all(self):
+        videos = build_dataset(standard_dataset_specs()[:4], seed=0)
+        assert len(videos) == 4
+
+    def test_duplicate_names_rejected(self):
+        spec = FFMPEG_SPECS[0]
+        with pytest.raises(ValueError, match="duplicate"):
+            build_dataset([spec, spec], seed=0)
+
+
+class TestCbrCounterpart:
+    def test_cbr_flat(self):
+        video = build_cbr_counterpart(FFMPEG_SPECS[0], seed=0)
+        assert video.encoding == "cbr"
+        assert all(t.bitrate_cov < 0.05 for t in video.tracks)
+
+    def test_same_average_bitrate_as_vbr(self):
+        vbr = build_video(FFMPEG_SPECS[0], seed=0)
+        cbr = build_cbr_counterpart(FFMPEG_SPECS[0], seed=0)
+        for level in range(6):
+            assert cbr.track(level).average_bitrate_bps == pytest.approx(
+                vbr.track(level).average_bitrate_bps, rel=0.05
+            )

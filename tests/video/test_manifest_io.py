@@ -1,0 +1,91 @@
+"""Tests for DASH MPD / HLS serialization of manifests."""
+
+import numpy as np
+import pytest
+
+from repro.video.manifest_io import (
+    manifest_from_hls,
+    manifest_from_mpd,
+    manifest_to_hls,
+    manifest_to_mpd,
+)
+
+
+@pytest.fixture(scope="module")
+def manifest(request):
+    return request.getfixturevalue("ed_youtube_video").manifest()
+
+
+class TestMpdRoundTrip:
+    def test_round_trip_exact(self, manifest):
+        document = manifest_to_mpd(manifest)
+        parsed = manifest_from_mpd(document)
+        assert parsed.video_name == manifest.video_name
+        assert parsed.num_tracks == manifest.num_tracks
+        assert parsed.num_chunks == manifest.num_chunks
+        assert parsed.chunk_duration_s == pytest.approx(manifest.chunk_duration_s)
+        assert np.allclose(parsed.chunk_sizes_bits, manifest.chunk_sizes_bits, rtol=1e-6)
+        assert parsed.resolutions == manifest.resolutions
+
+    def test_document_is_valid_xml_with_dash_ns(self, manifest):
+        document = manifest_to_mpd(manifest)
+        assert document.startswith("<?xml")
+        assert "urn:mpeg:dash:schema:mpd:2011" in document
+        assert "SegmentList" in document
+
+    def test_declared_bitrates_preserved(self, manifest):
+        parsed = manifest_from_mpd(manifest_to_mpd(manifest))
+        assert np.allclose(
+            parsed.declared_avg_bitrates_bps, manifest.declared_avg_bitrates_bps, rtol=1e-3
+        )
+        assert np.allclose(
+            parsed.declared_peak_bitrates_bps, manifest.declared_peak_bitrates_bps, rtol=1e-3
+        )
+
+    def test_rejects_non_mpd(self):
+        with pytest.raises(ValueError, match="MPD"):
+            manifest_from_mpd("<html></html>")
+
+    def test_parsed_manifest_streams(self, manifest, one_lte_trace):
+        """A parsed manifest drives a real session identically."""
+        from repro.core.cava import cava_p123
+        from repro.network.link import TraceLink
+        from repro.player.session import StreamingSession
+
+        parsed = manifest_from_mpd(manifest_to_mpd(manifest))
+        session = StreamingSession()
+        original = session.run(cava_p123(), manifest, TraceLink(one_lte_trace))
+        replayed = session.run(cava_p123(), parsed, TraceLink(one_lte_trace))
+        assert np.array_equal(original.levels, replayed.levels)
+
+
+class TestHlsRoundTrip:
+    def test_round_trip_exact(self, manifest):
+        files = manifest_to_hls(manifest)
+        parsed = manifest_from_hls(files)
+        assert parsed.num_tracks == manifest.num_tracks
+        assert parsed.num_chunks == manifest.num_chunks
+        assert np.allclose(parsed.chunk_sizes_bits, manifest.chunk_sizes_bits, rtol=1e-6)
+        assert parsed.resolutions == manifest.resolutions
+
+    def test_master_lists_all_variants(self, manifest):
+        files = manifest_to_hls(manifest)
+        master = files["master.m3u8"]
+        assert master.count("#EXT-X-STREAM-INF") == manifest.num_tracks
+        assert "AVERAGE-BANDWIDTH" in master and "BANDWIDTH" in master
+
+    def test_media_playlists_terminated(self, manifest):
+        files = manifest_to_hls(manifest)
+        for name, contents in files.items():
+            if name != "master.m3u8":
+                assert contents.rstrip().endswith("#EXT-X-ENDLIST")
+
+    def test_missing_master_rejected(self):
+        with pytest.raises(ValueError, match="master"):
+            manifest_from_hls({})
+
+    def test_missing_media_playlist_rejected(self, manifest):
+        files = manifest_to_hls(manifest)
+        del files["track0.m3u8"]
+        with pytest.raises(ValueError, match="track0"):
+            manifest_from_hls(files)

@@ -1,0 +1,61 @@
+"""Hypothesis property tests: MPD/HLS round-trips over random manifests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.manifest_io import (
+    manifest_from_hls,
+    manifest_from_mpd,
+    manifest_to_hls,
+    manifest_to_mpd,
+)
+from repro.video.model import Manifest
+
+RESOLUTIONS = (144, 240, 360, 480, 720, 1080)
+
+
+@st.composite
+def manifests(draw):
+    num_tracks = draw(st.integers(min_value=1, max_value=6))
+    num_chunks = draw(st.integers(min_value=1, max_value=40))
+    duration = draw(st.sampled_from([2.0, 5.0, 6.0]))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=10_000)))
+    base = rng.uniform(5e4, 5e6, size=num_tracks)
+    base.sort()
+    sizes = np.stack(
+        [base[k] * duration * rng.uniform(0.5, 2.0, size=num_chunks) for k in range(num_tracks)]
+    )
+    return Manifest(
+        video_name=draw(st.sampled_from(["v", "video-1", "ED youtube"])),
+        chunk_duration_s=duration,
+        chunk_sizes_bits=sizes,
+        declared_avg_bitrates_bps=base,
+        declared_peak_bitrates_bps=base * 2.0,
+        resolutions=tuple(RESOLUTIONS[:num_tracks]),
+    )
+
+
+@given(manifests())
+@settings(max_examples=30, deadline=None)
+def test_property_mpd_round_trip(manifest):
+    parsed = manifest_from_mpd(manifest_to_mpd(manifest))
+    assert parsed.num_tracks == manifest.num_tracks
+    assert parsed.num_chunks == manifest.num_chunks
+    assert parsed.chunk_duration_s == pytest.approx(manifest.chunk_duration_s, rel=1e-3)
+    assert np.allclose(parsed.chunk_sizes_bits, manifest.chunk_sizes_bits, rtol=1e-6)
+    assert parsed.resolutions == manifest.resolutions
+    assert parsed.video_name == manifest.video_name
+
+
+@given(manifests())
+@settings(max_examples=30, deadline=None)
+def test_property_hls_round_trip(manifest):
+    parsed = manifest_from_hls(manifest_to_hls(manifest))
+    assert parsed.num_tracks == manifest.num_tracks
+    assert parsed.num_chunks == manifest.num_chunks
+    assert np.allclose(parsed.chunk_sizes_bits, manifest.chunk_sizes_bits, rtol=1e-6)
+    assert np.allclose(
+        parsed.declared_avg_bitrates_bps, manifest.declared_avg_bitrates_bps, rtol=1e-3
+    )

@@ -1,0 +1,147 @@
+"""Tests for repro.video.model: Track, VideoAsset, Manifest."""
+
+import numpy as np
+import pytest
+
+from repro.video.model import Manifest, Track, VideoAsset
+
+
+def make_track(level=0, resolution=480, sizes=None, duration=2.0):
+    sizes = np.array([1e6, 2e6, 3e6, 4e6]) if sizes is None else np.asarray(sizes, float)
+    return Track(
+        level=level,
+        resolution=resolution,
+        chunk_sizes_bits=sizes,
+        chunk_duration_s=duration,
+        declared_avg_bitrate_bps=float(np.mean(sizes)) / duration,
+        qualities={"vmaf_phone": np.linspace(50, 80, sizes.size)},
+    )
+
+
+class TestTrack:
+    def test_basic_properties(self):
+        track = make_track()
+        assert track.num_chunks == 4
+        assert track.duration_s == 8.0
+        assert track.chunk_bitrate_bps(1) == pytest.approx(1e6)
+        assert track.average_bitrate_bps == pytest.approx(2.5e6 / 2.0)
+
+    def test_peak_and_cov(self):
+        track = make_track()
+        assert track.peak_bitrate_bps == pytest.approx(2e6)
+        assert track.peak_to_average_ratio == pytest.approx(1.6)
+        assert track.bitrate_cov > 0
+
+    def test_quality_lookup(self):
+        track = make_track()
+        assert track.quality("vmaf_phone", 0) == pytest.approx(50.0)
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError, match="vmaf_tv"):
+            make_track().quality("vmaf_tv", 0)
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            make_track(sizes=[])
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_track(sizes=[1e6, 0.0])
+
+    def test_rejects_mismatched_quality_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            Track(
+                level=0,
+                resolution=480,
+                chunk_sizes_bits=np.array([1e6, 2e6]),
+                chunk_duration_s=2.0,
+                declared_avg_bitrate_bps=1e6,
+                qualities={"vmaf_phone": np.array([1.0])},
+            )
+
+
+def make_video(num_tracks=3, n=4):
+    tracks = [
+        make_track(level=k, resolution=[144, 480, 1080][k], sizes=np.linspace(1, 4, n) * 1e6 * (k + 1))
+        for k in range(num_tracks)
+    ]
+    return VideoAsset(
+        name="v",
+        genre="animation",
+        codec="h264",
+        source="ffmpeg",
+        tracks=tracks,
+        complexity=np.linspace(0, 1, n),
+        si=np.linspace(10, 60, n),
+        ti=np.linspace(1, 20, n),
+        cap_ratio=2.0,
+    )
+
+
+class TestVideoAsset:
+    def test_shape_checks(self):
+        video = make_video()
+        assert video.num_tracks == 3
+        assert video.num_chunks == 4
+        assert video.duration_s == 8.0
+
+    def test_track_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_video().track(3)
+
+    def test_chunk_size_lookup(self):
+        video = make_video()
+        assert video.chunk_size_bits(1, 0) == pytest.approx(2e6)
+
+    def test_mismatched_chunk_counts_rejected(self):
+        tracks = [make_track(level=0), make_track(level=1, sizes=[1e6, 2e6])]
+        with pytest.raises(ValueError, match="same chunk count"):
+            VideoAsset(
+                name="v", genre="animation", codec="h264", source="ffmpeg",
+                tracks=tracks,
+                complexity=np.zeros(4), si=np.zeros(4), ti=np.zeros(4),
+                cap_ratio=2.0,
+            )
+
+    def test_invalid_encoding_rejected(self):
+        with pytest.raises(ValueError, match="encoding"):
+            VideoAsset(
+                name="v", genre="animation", codec="h264", source="ffmpeg",
+                tracks=[make_track()],
+                complexity=np.zeros(4), si=np.zeros(4), ti=np.zeros(4),
+                cap_ratio=2.0, encoding="abr",
+            )
+
+    def test_describe_mentions_tracks(self):
+        text = make_video().describe()
+        assert "L0" in text and "1080p" in text
+
+
+class TestManifest:
+    def test_default_has_no_quality(self):
+        manifest = make_video().manifest()
+        assert not manifest.has_quality
+        with pytest.raises(ValueError, match="quality"):
+            manifest.quality_value("vmaf_phone", 0, 0)
+
+    def test_quality_included_on_request(self):
+        manifest = make_video().manifest(include_quality=True)
+        assert manifest.has_quality
+        assert manifest.quality_value("vmaf_phone", 0, 0) == pytest.approx(50.0)
+
+    def test_shapes(self):
+        manifest = make_video().manifest()
+        assert manifest.num_tracks == 3
+        assert manifest.num_chunks == 4
+        assert manifest.chunk_sizes_bits.shape == (3, 4)
+
+    def test_bitrate_accessors(self):
+        manifest = make_video().manifest()
+        assert manifest.chunk_bitrate_bps(0, 1) == pytest.approx(1e6)
+        assert manifest.track_bitrates_bps(0).shape == (4,)
+
+    def test_matches_video_ground_truth(self, ed_ffmpeg_video):
+        manifest = ed_ffmpeg_video.manifest()
+        assert manifest.chunk_size_bits(3, 10) == pytest.approx(
+            ed_ffmpeg_video.chunk_size_bits(3, 10)
+        )

@@ -1,0 +1,147 @@
+"""Tests for repro.video.quality: the rate-quality surfaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.quality import (
+    DEFAULT_QUALITY_MODEL,
+    RESOLUTION_PIXELS,
+    QualityModel,
+    complexity_bit_demand,
+)
+
+MODEL = DEFAULT_QUALITY_MODEL
+
+
+class TestComplexityBitDemand:
+    def test_reference_point(self):
+        assert complexity_bit_demand(0.35) == pytest.approx(1.0)
+
+    def test_monotone_increasing(self):
+        values = [complexity_bit_demand(c) for c in np.linspace(0, 1, 11)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            complexity_bit_demand(1.5)
+
+
+class TestLatentScore:
+    def test_monotone_in_bits(self):
+        low = MODEL.latent_score(480, 1e6, 2.0, 0.5)
+        high = MODEL.latent_score(480, 4e6, 2.0, 0.5)
+        assert high > low
+
+    def test_decreasing_in_complexity_at_fixed_bits(self):
+        simple = MODEL.latent_score(480, 2e6, 2.0, 0.2)
+        complex_ = MODEL.latent_score(480, 2e6, 2.0, 0.8)
+        assert simple > complex_
+
+    def test_bounded(self):
+        for bits in (1e4, 1e6, 1e9):
+            score = MODEL.latent_score(480, bits, 2.0, 0.5)
+            assert 0.0 < score < 1.0
+
+    def test_hardness_ceiling_binds_at_high_complexity(self):
+        """Even enormous bitrates cannot buy full quality for the most
+        complex scenes (the §3.3 observation)."""
+        score = MODEL.latent_score(1080, 1e10, 2.0, 0.95)
+        assert score < 1.0 - 0.5 * MODEL.hardness
+
+    def test_unknown_resolution_rejected(self):
+        with pytest.raises(ValueError, match="resolution"):
+            MODEL.latent_score(333, 1e6, 2.0, 0.5)
+
+    def test_hardness_ceiling_monotone(self):
+        ceilings = [MODEL.hardness_ceiling(c) for c in np.linspace(0, 1, 11)]
+        assert all(b <= a for a, b in zip(ceilings, ceilings[1:]))
+
+
+class TestMetricSurfaces:
+    def test_vmaf_range(self):
+        value = MODEL.vmaf(1080, 1e7, 2.0, 0.3, "tv")
+        assert 0.0 <= value <= 100.0
+
+    def test_phone_more_forgiving_at_low_resolution(self):
+        """VMAF's phone model scores low resolutions higher than the TV
+        model (small screen hides upscaling)."""
+        tv = MODEL.vmaf(240, 5e5, 2.0, 0.4, "tv")
+        phone = MODEL.vmaf(240, 5e5, 2.0, 0.4, "phone")
+        assert phone > tv
+
+    def test_models_agree_at_1080p(self):
+        tv = MODEL.vmaf(1080, 1e7, 2.0, 0.4, "tv")
+        phone = MODEL.vmaf(1080, 1e7, 2.0, 0.4, "phone")
+        assert tv == pytest.approx(phone)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="model"):
+            MODEL.vmaf(480, 1e6, 2.0, 0.4, "cinema")
+
+    def test_psnr_plausible_range(self):
+        value = MODEL.psnr(1080, 1e7, 2.0, 0.3)
+        assert 26.0 <= value <= 50.0
+
+    def test_ssim_plausible_range(self):
+        value = MODEL.ssim(1080, 1e7, 2.0, 0.3)
+        assert 0.70 <= value <= 1.0
+
+    def test_all_metrics_keys(self):
+        metrics = MODEL.all_metrics(480, 1e6, 2.0, 0.5)
+        assert set(metrics) == {"vmaf_tv", "vmaf_phone", "psnr", "ssim"}
+
+    def test_higher_resolution_wins_at_generous_bitrate(self):
+        """With plenty of bits, a higher-resolution track scores higher."""
+        low = MODEL.vmaf(480, 4e7, 2.0, 0.4, "tv")
+        high = MODEL.vmaf(1080, 4e7, 2.0, 0.4, "tv")
+        assert high > low
+
+
+class TestBitsForLatent:
+    def test_round_trip(self):
+        for c in (0.1, 0.4, 0.6):
+            bits = MODEL.bits_for_latent(480, 2.0, c, 0.7)
+            assert MODEL.latent_score(480, bits, 2.0, c) == pytest.approx(0.7, abs=1e-6)
+
+    def test_unreachable_target_saturates(self):
+        """When hardness makes the target unreachable, the encoder spends
+        the near-saturation budget rather than diverging."""
+        bits = MODEL.bits_for_latent(480, 2.0, 0.95, 0.9)
+        assert np.isfinite(bits) and bits > 0
+
+    def test_complexity_raises_cost(self):
+        cheap = MODEL.bits_for_latent(480, 2.0, 0.2, 0.6)
+        costly = MODEL.bits_for_latent(480, 2.0, 0.8, 0.6)
+        assert costly > cheap
+
+    def test_invalid_latent_rejected(self):
+        with pytest.raises(ValueError):
+            MODEL.bits_for_latent(480, 2.0, 0.5, 1.0)
+
+    @given(
+        c=st.floats(min_value=0.0, max_value=1.0),
+        latent=st.floats(min_value=0.05, max_value=0.8),
+    )
+    @settings(max_examples=40)
+    def test_property_round_trip_when_reachable(self, c, latent):
+        ceiling = MODEL.hardness_ceiling(c)
+        if latent / ceiling >= 0.95:  # saturation region: inversion is lossy
+            return
+        bits = MODEL.bits_for_latent(720, 2.0, c, latent)
+        assert MODEL.latent_score(720, bits, 2.0, c) == pytest.approx(latent, rel=1e-4)
+
+
+class TestConfigValidation:
+    def test_bad_hardness_rejected(self):
+        with pytest.raises(ValueError):
+            QualityModel(hardness=0.9)
+
+    def test_bad_fps_rejected(self):
+        with pytest.raises(ValueError):
+            QualityModel(frames_per_second=0)
+
+    def test_resolution_table_complete(self):
+        for resolution in (144, 240, 360, 480, 720, 1080, 2160):
+            assert resolution in RESOLUTION_PIXELS

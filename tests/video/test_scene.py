@@ -1,0 +1,108 @@
+"""Tests for repro.video.scene: timelines, genres, SI/TI synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import derive_rng
+from repro.video.scene import (
+    GENRE_PROFILES,
+    GenreProfile,
+    synthesize_scene_timeline,
+)
+
+
+def make_timeline(genre="animation", duration=300.0, chunk=2.0, seed=0):
+    return synthesize_scene_timeline(derive_rng(seed, "t"), genre, duration, chunk)
+
+
+class TestTimelineShape:
+    def test_chunk_count(self):
+        tl = make_timeline(duration=300.0, chunk=2.0)
+        assert tl.num_chunks == 150
+        assert tl.complexity.shape == (150,)
+        assert tl.si.shape == (150,)
+        assert tl.ti.shape == (150,)
+        assert tl.texture.shape == (150,)
+
+    def test_complexity_in_unit_interval(self):
+        tl = make_timeline()
+        assert tl.complexity.min() >= 0.0
+        assert tl.complexity.max() <= 1.0
+
+    def test_texture_positive(self):
+        tl = make_timeline()
+        assert np.all(tl.texture > 0)
+
+    def test_scene_ids_monotone(self):
+        tl = make_timeline()
+        assert np.all(np.diff(tl.scene_ids) >= 0)
+        assert tl.num_scenes >= 2
+
+    def test_deterministic(self):
+        a = make_timeline(seed=5)
+        b = make_timeline(seed=5)
+        assert np.array_equal(a.complexity, b.complexity)
+        assert np.array_equal(a.si, b.si)
+
+    def test_seed_changes_output(self):
+        a = make_timeline(seed=1)
+        b = make_timeline(seed=2)
+        assert not np.array_equal(a.complexity, b.complexity)
+
+
+class TestGenres:
+    def test_all_genres_work(self):
+        for genre in GENRE_PROFILES:
+            tl = make_timeline(genre=genre)
+            assert tl.genre == genre
+
+    def test_unknown_genre_rejected(self):
+        with pytest.raises(ValueError, match="unknown genre"):
+            make_timeline(genre="opera")
+
+    def test_sports_more_complex_than_nature(self):
+        """Genre profiles must order mean complexity sensibly."""
+        sports = make_timeline(genre="sports", duration=600.0)
+        nature = make_timeline(genre="nature", duration=600.0)
+        assert sports.complexity.mean() > nature.complexity.mean()
+
+    def test_si_ti_correlate_with_complexity(self):
+        tl = make_timeline(duration=600.0)
+        assert np.corrcoef(tl.complexity, tl.si)[0, 1] > 0.5
+        assert np.corrcoef(tl.complexity, tl.ti)[0, 1] > 0.5
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            GenreProfile(-1.0, 2.0, 5.0, 0.5, 1.0)
+
+
+class TestInputValidation:
+    def test_chunk_longer_than_video_rejected(self):
+        with pytest.raises(ValueError, match="chunk_duration_s"):
+            make_timeline(duration=2.0, chunk=5.0)
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_timeline(duration=0.0)
+
+
+@given(
+    genre=st.sampled_from(sorted(GENRE_PROFILES)),
+    duration=st.floats(min_value=30.0, max_value=400.0),
+    chunk=st.sampled_from([2.0, 5.0]),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_valid_timeline_for_any_input(genre, duration, chunk, seed):
+    """Any valid (genre, duration, chunk, seed) yields a consistent timeline."""
+    tl = synthesize_scene_timeline(derive_rng(seed, "p"), genre, duration, chunk)
+    assert tl.num_chunks == int(round(duration / chunk))
+    assert np.all((tl.complexity >= 0) & (tl.complexity <= 1))
+    assert np.all(tl.si >= 0) and np.all(tl.si <= 100)
+    assert np.all(tl.ti >= 0) and np.all(tl.ti <= 70)
+    # Scene ids index the scene list; very short opening scenes may hold no
+    # chunk midpoint, so the minimum need not be 0 — but ids are monotone.
+    assert tl.scene_ids.min() >= 0
+    assert np.all(np.diff(tl.scene_ids) >= 0)

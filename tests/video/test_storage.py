@@ -1,0 +1,65 @@
+"""Tests for dataset persistence (.npz)."""
+
+import numpy as np
+import pytest
+
+from repro.video.storage import load_dataset, load_video, save_dataset, save_video
+
+
+class TestVideoRoundTrip:
+    def test_exact_round_trip(self, ed_youtube_video, tmp_path):
+        path = tmp_path / "video.npz"
+        save_video(ed_youtube_video, path)
+        loaded = load_video(path)
+        assert loaded.name == ed_youtube_video.name
+        assert loaded.genre == ed_youtube_video.genre
+        assert loaded.codec == ed_youtube_video.codec
+        assert loaded.encoding == ed_youtube_video.encoding
+        assert loaded.cap_ratio == ed_youtube_video.cap_ratio
+        for level in range(6):
+            assert np.array_equal(
+                loaded.track(level).chunk_sizes_bits,
+                ed_youtube_video.track(level).chunk_sizes_bits,
+            )
+            for metric in ("vmaf_phone", "psnr"):
+                assert np.array_equal(
+                    loaded.track(level).qualities[metric],
+                    ed_youtube_video.track(level).qualities[metric],
+                )
+        assert np.array_equal(loaded.complexity, ed_youtube_video.complexity)
+        assert np.array_equal(loaded.si, ed_youtube_video.si)
+
+    def test_loaded_video_streams_identically(self, ed_youtube_video, tmp_path, one_lte_trace):
+        from repro.core.cava import cava_p123
+        from repro.network.link import TraceLink
+        from repro.player.session import run_session
+
+        path = tmp_path / "video.npz"
+        save_video(ed_youtube_video, path)
+        loaded = load_video(path)
+        a = run_session(cava_p123(), ed_youtube_video, TraceLink(one_lte_trace))
+        b = run_session(cava_p123(), loaded, TraceLink(one_lte_trace))
+        assert np.array_equal(a.levels, b.levels)
+
+    def test_unsupported_version_rejected(self, ed_youtube_video, tmp_path):
+        path = tmp_path / "video.npz"
+        save_video(ed_youtube_video, path)
+        with np.load(path) as archive:
+            arrays = dict(archive)
+        arrays["format_version"] = np.array(99)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_video(path)
+
+
+class TestDatasetRoundTrip:
+    def test_save_and_load_directory(self, ed_youtube_video, short_video, tmp_path):
+        videos = {v.name: v for v in (ed_youtube_video, short_video)}
+        save_dataset(videos, tmp_path / "dataset")
+        loaded = load_dataset(tmp_path / "dataset")
+        assert set(loaded) == set(videos)
+
+    def test_empty_directory_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ValueError, match="no .npz"):
+            load_dataset(tmp_path / "empty")

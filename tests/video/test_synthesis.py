@@ -1,0 +1,162 @@
+"""Tests for repro.video.synthesis: cap water-filling and the encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.rng import derive_rng
+from repro.video.quality import DEFAULT_QUALITY_MODEL
+from repro.video.scene import synthesize_scene_timeline
+from repro.video.synthesis import (
+    CODEC_EFFICIENCY,
+    EncoderConfig,
+    apply_bitrate_cap,
+    encode_ladder,
+    encode_track_cbr,
+    encode_track_vbr,
+)
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    return synthesize_scene_timeline(derive_rng(0, "enc-test"), "animation", 240.0, 2.0)
+
+
+class TestApplyBitrateCap:
+    def test_no_op_below_cap(self):
+        bits = np.array([1.0, 1.1, 0.9])
+        out = apply_bitrate_cap(bits, cap_ratio=2.0)
+        assert np.allclose(out, bits)
+
+    def test_cap_enforced(self):
+        bits = np.array([1.0, 1.0, 10.0])
+        out = apply_bitrate_cap(bits, cap_ratio=1.5)
+        assert out.max() <= 1.5 * bits.mean() + 1e-9
+
+    def test_total_preserved_when_headroom_exists(self):
+        bits = np.array([1.0, 1.0, 1.0, 9.0])
+        out = apply_bitrate_cap(bits, cap_ratio=2.0)
+        assert out.sum() == pytest.approx(bits.sum())
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            apply_bitrate_cap(np.array([1.0, -1.0]), 2.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            apply_bitrate_cap(np.ones((2, 2)), 2.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=4, max_size=50),
+        st.floats(min_value=1.1, max_value=4.0),
+    )
+    @settings(max_examples=60)
+    def test_property_cap_and_budget(self, values, cap):
+        bits = np.array(values)
+        out = apply_bitrate_cap(bits, cap)
+        # Cap holds relative to the ORIGINAL mean (total is preserved or
+        # reduced, never increased).
+        assert out.max() <= cap * bits.mean() * (1 + 1e-9)
+        assert out.sum() <= bits.sum() * (1 + 1e-9)
+        assert np.all(out > 0)
+
+
+class TestVbrEncoder:
+    def test_track_shape(self, timeline):
+        track = encode_track_vbr(derive_rng(0, "t"), timeline, 480, 3, EncoderConfig())
+        assert track.num_chunks == timeline.num_chunks
+        assert track.resolution == 480
+        assert set(track.qualities) == {"vmaf_tv", "vmaf_phone", "psnr", "ssim"}
+
+    def test_sizes_track_complexity(self, timeline):
+        """Property 1 of §3.1.1: bigger chunks for more complex scenes."""
+        track = encode_track_vbr(derive_rng(0, "t"), timeline, 480, 3, EncoderConfig())
+        corr = np.corrcoef(track.chunk_sizes_bits, timeline.complexity)[0, 1]
+        assert corr > 0.7
+
+    def test_peak_respects_cap_approximately(self, timeline):
+        """Encoder noise may exceed the nominal cap slightly (§2 observes
+        up to 2.4x for a 2x cap) but not wildly."""
+        track = encode_track_vbr(derive_rng(0, "t"), timeline, 480, 3, EncoderConfig(cap_ratio=2.0))
+        assert track.peak_to_average_ratio < 2.5
+
+    def test_h265_smaller_than_h264(self, timeline):
+        h264 = encode_track_vbr(derive_rng(0, "a"), timeline, 480, 3, EncoderConfig(codec="h264"))
+        h265 = encode_track_vbr(derive_rng(0, "a"), timeline, 480, 3, EncoderConfig(codec="h265"))
+        ratio = h265.average_bitrate_bps / h264.average_bitrate_bps
+        assert 0.55 < ratio < 0.75  # ~the 0.65 efficiency factor
+
+    def test_h265_similar_quality_to_h264(self, timeline):
+        """§6.5's premise: H.265 reaches H.264 quality at lower bitrate."""
+        h264 = encode_track_vbr(derive_rng(0, "a"), timeline, 480, 3, EncoderConfig(codec="h264"))
+        h265 = encode_track_vbr(derive_rng(0, "a"), timeline, 480, 3, EncoderConfig(codec="h265"))
+        gap = np.mean(h264.qualities["vmaf_phone"]) - np.mean(h265.qualities["vmaf_phone"])
+        assert abs(gap) < 3.0
+
+    def test_deterministic(self, timeline):
+        a = encode_track_vbr(derive_rng(3, "x"), timeline, 480, 3, EncoderConfig())
+        b = encode_track_vbr(derive_rng(3, "x"), timeline, 480, 3, EncoderConfig())
+        assert np.array_equal(a.chunk_sizes_bits, b.chunk_sizes_bits)
+
+    def test_unknown_resolution_rejected(self, timeline):
+        with pytest.raises(ValueError, match="resolution"):
+            encode_track_vbr(derive_rng(0, "t"), timeline, 999, 0, EncoderConfig())
+
+
+class TestCbrEncoder:
+    def test_nearly_constant_sizes(self, timeline):
+        track = encode_track_cbr(derive_rng(0, "c"), timeline, 480, 3, EncoderConfig())
+        assert track.bitrate_cov < 0.05
+
+    def test_same_budget_as_vbr(self, timeline):
+        vbr = encode_track_vbr(derive_rng(0, "c"), timeline, 480, 3, EncoderConfig())
+        cbr = encode_track_cbr(derive_rng(0, "c"), timeline, 480, 3, EncoderConfig())
+        assert cbr.average_bitrate_bps == pytest.approx(vbr.average_bitrate_bps, rel=0.05)
+
+    def test_vbr_beats_cbr_on_complex_scenes(self, timeline):
+        """The §1 motivation: at equal average bitrate, VBR delivers
+        better quality for complex scenes than CBR."""
+        vbr = encode_track_vbr(derive_rng(0, "c"), timeline, 480, 3, EncoderConfig())
+        cbr = encode_track_cbr(derive_rng(0, "c"), timeline, 480, 3, EncoderConfig())
+        complex_mask = timeline.complexity > np.quantile(timeline.complexity, 0.75)
+        vbr_q = np.mean(vbr.qualities["vmaf_phone"][complex_mask])
+        cbr_q = np.mean(cbr.qualities["vmaf_phone"][complex_mask])
+        assert vbr_q > cbr_q
+
+
+class TestEncodeLadder:
+    def test_six_tracks_ascending(self, timeline):
+        tracks = encode_ladder(derive_rng(0, "l"), timeline, EncoderConfig())
+        assert len(tracks) == 6
+        rates = [t.average_bitrate_bps for t in tracks]
+        assert rates == sorted(rates)
+        assert [t.level for t in tracks] == list(range(6))
+
+    def test_cbr_ladder(self, timeline):
+        tracks = encode_ladder(derive_rng(0, "l"), timeline, EncoderConfig(), encoding="cbr")
+        assert all(t.bitrate_cov < 0.05 for t in tracks)
+
+    def test_invalid_encoding_rejected(self, timeline):
+        with pytest.raises(ValueError, match="encoding"):
+            encode_ladder(derive_rng(0, "l"), timeline, EncoderConfig(), encoding="vbr2")
+
+    def test_low_tracks_least_variable(self, timeline):
+        """§2: the two lowest tracks have the lowest bitrate variability."""
+        tracks = encode_ladder(derive_rng(0, "l"), timeline, EncoderConfig())
+        covs = [t.bitrate_cov for t in tracks]
+        assert covs[0] <= max(covs[2:]) and covs[1] <= max(covs[2:])
+
+
+class TestEncoderConfig:
+    def test_bad_codec_rejected(self):
+        with pytest.raises(ValueError, match="codec"):
+            EncoderConfig(codec="av1")
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(cap_ratio=0.5)
+
+    def test_codec_efficiency_table(self):
+        assert EncoderConfig(codec="h264").codec_efficiency == 1.0
+        assert EncoderConfig(codec="h265").codec_efficiency == CODEC_EFFICIENCY["h265"]

@@ -15,7 +15,6 @@ import os
 import pytest
 
 from repro.network.traces import synthesize_fcc_traces, synthesize_lte_traces
-from repro.video.classify import ChunkClassifier
 from repro.video.dataset import build_video, fourx_spec, standard_dataset_specs
 
 SEED = 0

@@ -9,8 +9,6 @@ paper's own Fig. 10:
 - **a stock player** — dash.js DYNAMIC as the deployed-world reference.
 """
 
-import numpy as np
-
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_comparison
 

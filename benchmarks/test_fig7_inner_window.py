@@ -5,8 +5,6 @@ rebuffering rises slightly and then sharply at very large W. W = 40 s is
 the chosen trade-off.
 """
 
-import numpy as np
-
 from repro.experiments.figures import fig7_inner_window_sweep
 
 WINDOWS = (2, 10, 20, 40, 80, 120, 160)

@@ -6,8 +6,6 @@ reverse because the long average washes out the variability signal.
 W' = 200 s is the chosen setting.
 """
 
-import numpy as np
-
 from repro.experiments.figures import outer_window_sweep
 
 WINDOWS = (10, 50, 100, 200, 400)

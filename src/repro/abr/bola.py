@@ -28,9 +28,6 @@ upswitch), both present in the dash.js implementation §6.8 measures.
 
 from __future__ import annotations
 
-import math
-from typing import Optional
-
 import numpy as np
 
 from repro.abr.base import ABRAlgorithm, DecisionContext

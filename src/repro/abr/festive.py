@@ -21,8 +21,6 @@ for the myopic-vs-non-myopic story of §4.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.abr.base import ABRAlgorithm, DecisionContext

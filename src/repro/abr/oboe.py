@@ -23,14 +23,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.abr.base import ABRAlgorithm, DecisionContext
 from repro.core.cava import CavaAlgorithm
 from repro.core.config import CavaConfig
-from repro.util.validation import check_positive
 from repro.video.model import Manifest
 
 __all__ = ["NetworkState", "OboeTunedCava", "DEFAULT_STATE_CONFIGS", "build_config_table"]

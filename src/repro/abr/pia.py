@@ -15,8 +15,6 @@ PID control itself.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.abr.base import ABRAlgorithm, DecisionContext

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
-import numpy as np
-
 from repro.experiments.runner import SweepResult
 
 __all__ = ["ObjectivePoint", "objective_points", "dominates", "pareto_front"]

@@ -14,7 +14,9 @@ Subcommands:
 - ``compare``        — the §6.3 comparison across schemes and traces;
 - ``schemes``        — list the registered ABR schemes.
 
-Every subcommand takes ``--seed`` so results replay exactly.
+Every subcommand takes ``--seed`` so results replay exactly. ``run`` and
+``compare`` take ``--workers N`` to fan sessions out over a process pool
+(``0`` = every core); results are identical at any worker count.
 """
 
 from __future__ import annotations
@@ -24,18 +26,16 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.abr.registry import make_scheme, needs_quality_manifest, scheme_names
+from repro.abr.registry import needs_quality_manifest, scheme_names
 from repro.analysis.characterization import characterize
+from repro.experiments.parallel import ParallelSweepRunner
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_comparison
-from repro.network.link import TraceLink
 from repro.network.traces import (
     save_trace_file,
     synthesize_fcc_traces,
     synthesize_lte_traces,
 )
-from repro.player.metrics import metric_for_network, summarize_session
-from repro.player.session import run_session
 from repro.video.dataset import (
     build_video,
     fourx_spec,
@@ -137,16 +137,18 @@ def cmd_manifest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workers_arg(args: argparse.Namespace) -> Optional[int]:
+    """Map the CLI convention (0 = all cores) to the engine's (None)."""
+    return None if args.workers == 0 else args.workers
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     video = _build_named_video(args.video, args.seed)
-    trace = _make_traces(args.network, args.trace_index + 1, args.seed)[args.trace_index]
-    metric = metric_for_network(args.network)
-    algorithm = make_scheme(args.scheme, metric=metric)
-    result = run_session(
-        algorithm, video, TraceLink(trace),
-        include_quality=needs_quality_manifest(args.scheme),
-    )
-    metrics = summarize_session(result, video, metric)
+    traces = _make_traces(args.network, args.trace_index + 1, args.seed)
+    trace = traces[args.trace_index]
+    engine = ParallelSweepRunner(n_workers=_workers_arg(args))
+    sweep = engine.run_scheme(args.scheme, video, [trace], args.network)
+    metrics = sweep.metrics[0]
     print(f"{args.scheme} on {video.name} over {trace.name} "
           f"(mean {trace.mean_bps / 1e6:.2f} Mbps):")
     for key, value in metrics.as_dict().items():
@@ -157,7 +159,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     video = _build_named_video(args.video, args.seed)
     traces = _make_traces(args.network, args.traces, args.seed)
-    results = run_comparison(args.schemes, video, traces, args.network)
+    results = run_comparison(
+        args.schemes, video, traces, args.network, n_workers=_workers_arg(args)
+    )
     rows = []
     for scheme in args.schemes:
         sweep = results[scheme]
@@ -220,6 +224,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", default="CAVA")
     p.add_argument("--network", choices=("lte", "fcc"), default="lte")
     p.add_argument("--trace-index", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="sweep worker processes (0 = all cores; default 1)")
 
     p = commands.add_parser("compare", help="compare schemes over a trace set")
     p.add_argument("video")
@@ -229,6 +235,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemes", nargs="+",
         default=["CAVA", "RobustMPC", "PANDA/CQ max-min"],
     )
+    p.add_argument("--workers", type=int, default=1,
+                   help="sweep worker processes (0 = all cores; default 1)")
 
     commands.add_parser("schemes", help="list registered ABR schemes")
     return parser

@@ -14,8 +14,6 @@ to avoid pathological targets on extremely bursty content.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.core.config import CavaConfig

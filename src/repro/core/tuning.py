@@ -12,18 +12,22 @@ quality subject to rebuffering, expressed as a penalized scalar
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from itertools import product
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence
-
-import numpy as np
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.cava import CavaAlgorithm
 from repro.core.config import CavaConfig
 from repro.network.traces import NetworkTrace
 from repro.video.model import VideoAsset
 
-__all__ = ["TuningResult", "default_objective", "grid_search", "expand_grid"]
+__all__ = [
+    "TuningResult",
+    "CavaFactory",
+    "default_objective",
+    "grid_search",
+    "expand_grid",
+]
 
 # The sweep runner lives in repro.experiments, which (through the scheme
 # registry) imports repro.core — so the runner is imported lazily inside
@@ -42,6 +46,22 @@ def default_objective(
         - rebuffer_penalty * sweep.mean("rebuffer_s")
         - low_quality_penalty * sweep.mean("low_quality_fraction")
     )
+
+
+@dataclass(frozen=True)
+class CavaFactory:
+    """Picklable ``CavaAlgorithm`` factory.
+
+    The grid search ships one of these per candidate configuration to the
+    parallel sweep engine's workers — a lambda closing over the config
+    would not survive pickling.
+    """
+
+    config: CavaConfig
+    name: str = "CAVA"
+
+    def __call__(self) -> CavaAlgorithm:
+        return CavaAlgorithm(self.config, name=self.name)
 
 
 @dataclass(frozen=True)
@@ -79,25 +99,40 @@ def grid_search(
     network: str = "lte",
     base_config: CavaConfig = CavaConfig(),
     objective: Objective = default_objective,
+    n_workers: Optional[int] = 1,
 ) -> List[TuningResult]:
     """Evaluate every configuration in ``grid``; return ranked results.
 
     ``grid`` maps :class:`CavaConfig` field names to candidate values,
     e.g. ``{"inner_window_s": (20, 40, 80), "kp": (0.01, 0.02)}``.
     Results are sorted best-first by the objective.
+
+    The whole (configuration x trace) grid goes through the sweep engine
+    as one batch: ``n_workers=1`` (the default) evaluates serially in
+    this process, ``None`` uses every core, any other value that many
+    workers. Scores are identical regardless of worker count.
     """
-    from repro.experiments.runner import run_scheme_on_traces
+    from repro.experiments.parallel import ParallelSweepRunner, SweepSpec
+
+    override_list = expand_grid(grid)
+    specs = []
+    for overrides in override_list:
+        config = replace(base_config, **overrides)
+        knobs = ", ".join(f"{k}={v:g}" for k, v in overrides.items())
+        specs.append(
+            SweepSpec(
+                scheme="CAVA",
+                video_key=video.name,
+                network=network,
+                algorithm_factory=CavaFactory(config),
+                label=f"CAVA[{knobs}]" if knobs else "CAVA",
+            )
+        )
+    engine = ParallelSweepRunner(n_workers=n_workers)
+    sweeps = engine.run_specs(specs, {video.name: video}, traces)
 
     results: List[TuningResult] = []
-    for overrides in expand_grid(grid):
-        config = replace(base_config, **overrides)
-        sweep = run_scheme_on_traces(
-            "CAVA",
-            video,
-            traces,
-            network,
-            algorithm_factory=lambda config=config: CavaAlgorithm(config, name="CAVA"),
-        )
+    for overrides, sweep in zip(override_list, sweeps):
         results.append(
             TuningResult(
                 overrides=dict(overrides),

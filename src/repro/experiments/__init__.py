@@ -31,10 +31,18 @@ from repro.experiments.significance import (
     paired_bootstrap,
     sign_test_pvalue,
 )
+from repro.experiments.artifacts import ArtifactCache, CacheStats
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    SweepSpec,
+    SweepWorkerError,
+    run_comparison_parallel,
+)
 from repro.experiments.runner import (
     SweepResult,
     aggregate,
     run_comparison,
+    run_one_session,
     run_scheme_on_traces,
 )
 from repro.experiments.tables import (
@@ -70,9 +78,16 @@ __all__ = [
     "compare_schemes",
     "paired_bootstrap",
     "sign_test_pvalue",
+    "ArtifactCache",
+    "CacheStats",
+    "ParallelSweepRunner",
+    "SweepSpec",
+    "SweepWorkerError",
+    "run_comparison_parallel",
     "SweepResult",
     "aggregate",
     "run_comparison",
+    "run_one_session",
     "run_scheme_on_traces",
     "ComparisonRow",
     "bandwidth_error_study",

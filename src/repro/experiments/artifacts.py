@@ -1,0 +1,110 @@
+"""Shared-artifact cache for sweep execution.
+
+A §6-scale sweep re-visits the same videos and traces thousands of
+times: every (scheme, trace) session needs the video's manifest, its
+chunk classifier, and the trace's cumulative-bits table. All three are
+pure functions of their source object, yet the serial runner historically
+rebuilt them inside every :func:`run_scheme_on_traces` call — once per
+scheme for the manifest/classifier and once per (scheme, trace) for the
+:class:`~repro.network.link.TraceLink`.
+
+:class:`ArtifactCache` memoizes the three constructions so each artifact
+is built once per process (one cache per pool worker, one for a serial
+sweep). Cache entries pin a strong reference to their source object, so
+an ``id()`` collision after garbage collection can never alias two
+different videos or traces.
+
+All cached artifacts are read-only in practice: ``Manifest`` and
+``ChunkClassifier`` are never mutated by sessions, and ``TraceLink``
+keeps no per-download state, so sharing them across sessions (and
+schemes) cannot change results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace
+from repro.video.classify import ChunkClassifier
+from repro.video.model import Manifest, VideoAsset
+
+__all__ = ["ArtifactCache", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters, for benchmarks and cache-behaviour tests."""
+
+    hits: int
+    misses: int
+
+    @property
+    def builds(self) -> int:
+        """Number of artifacts actually constructed."""
+        return self.misses
+
+
+class ArtifactCache:
+    """Per-process memoization of manifest / classifier / link artifacts.
+
+    Keys combine ``id(source)`` with a pinned reference to the source
+    object itself, so identity — not equality — decides reuse: the same
+    ``VideoAsset`` object always maps to the same ``Manifest``, and two
+    distinct assets never share one, even if they compare equal.
+    """
+
+    def __init__(self) -> None:
+        self._manifests: Dict[Tuple[int, bool], Tuple[VideoAsset, Manifest]] = {}
+        self._classifiers: Dict[int, Tuple[VideoAsset, ChunkClassifier]] = {}
+        self._links: Dict[int, Tuple[NetworkTrace, TraceLink]] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def manifest(self, video: VideoAsset, include_quality: bool = False) -> Manifest:
+        """``video.manifest(include_quality=...)``, built once per video."""
+        key = (id(video), bool(include_quality))
+        entry = self._manifests.get(key)
+        if entry is None or entry[0] is not video:
+            self._misses += 1
+            entry = (video, video.manifest(include_quality=include_quality))
+            self._manifests[key] = entry
+        else:
+            self._hits += 1
+        return entry[1]
+
+    def classifier(self, video: VideoAsset) -> ChunkClassifier:
+        """``ChunkClassifier.from_video(video)``, built once per video."""
+        key = id(video)
+        entry = self._classifiers.get(key)
+        if entry is None or entry[0] is not video:
+            self._misses += 1
+            entry = (video, ChunkClassifier.from_video(video))
+            self._classifiers[key] = entry
+        else:
+            self._hits += 1
+        return entry[1]
+
+    def link(self, trace: NetworkTrace) -> TraceLink:
+        """``TraceLink(trace)`` (cumulative-bits table), built once per trace."""
+        key = id(trace)
+        entry = self._links.get(key)
+        if entry is None or entry[0] is not trace:
+            self._misses += 1
+            entry = (trace, TraceLink(trace))
+            self._links[key] = entry
+        else:
+            self._hits += 1
+        return entry[1]
+
+    @property
+    def stats(self) -> CacheStats:
+        """Cumulative hit/miss counters across all three artifact kinds."""
+        return CacheStats(hits=self._hits, misses=self._misses)
+
+    def clear(self) -> None:
+        """Drop all cached artifacts (and their pinned sources)."""
+        self._manifests.clear()
+        self._classifiers.clear()
+        self._links.clear()

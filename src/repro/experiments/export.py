@@ -10,7 +10,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 

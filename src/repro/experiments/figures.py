@@ -8,7 +8,6 @@ paper-vs-measured record.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -17,7 +16,7 @@ from repro.abr.registry import make_scheme, needs_quality_manifest
 from repro.core.cava import cava_p1, cava_p12, cava_p123
 from repro.core.config import CavaConfig
 from repro.dashjs.harness import DashJsConfig, run_dashjs_session
-from repro.experiments.runner import SweepResult, run_comparison, run_scheme_on_traces
+from repro.experiments.runner import run_comparison, run_scheme_on_traces
 from repro.network.link import TraceLink
 from repro.network.traces import NetworkTrace
 from repro.player.metrics import metric_for_network, quality_series, summarize_session

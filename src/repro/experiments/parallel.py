@@ -1,0 +1,423 @@
+"""Process-pool sweep engine: the §6 evaluation grid on all cores.
+
+The serial runner replays one session at a time, so a Table 1 / Fig. 8
+scale sweep (10+ schemes x 16 videos x 200 traces) is bottlenecked on a
+single core. Sessions are embarrassingly parallel — each (scheme, video,
+trace) triple is independent and fully seeded — so this module fans
+trace *batches* out over a :class:`concurrent.futures.ProcessPoolExecutor`
+and reassembles results in submission order.
+
+Design points:
+
+- **Determinism.** Work units are indexed at submission; results are
+  keyed by that index and concatenated in order, so the output is
+  bit-identical to the serial runner and identically ordered no matter
+  which worker finishes first.
+- **Shared-artifact caching.** Each worker holds one
+  :class:`~repro.experiments.artifacts.ArtifactCache`, so a video's
+  manifest/classifier and a trace's cumulative-bits table are built once
+  per worker instead of once per (scheme, trace) session.
+- **fork/spawn safety.** Videos, traces, and the session config are
+  shipped once per worker through the pool initializer (cheap
+  copy-on-write under ``fork``, one pickle per worker under ``spawn``),
+  never once per task. Per-task payloads are just a spec and two batch
+  indices.
+- **Graceful serial fallback.** ``n_workers=1`` — or a grid too small to
+  amortize pool startup — runs in-process through the exact same batch
+  code path, with the same cache semantics.
+- **Failure identification.** An exception inside any session is
+  re-raised as :class:`SweepWorkerError` naming the failing (scheme,
+  video, trace) triple, whichever worker it happened on.
+
+Factories attached to a :class:`SweepSpec` (``algorithm_factory``,
+``estimator_factory``) must be picklable for multi-process runs: use
+module-level functions or dataclass instances with ``__call__`` (e.g.
+:class:`repro.core.tuning.CavaFactory`), not lambdas or closures.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.abr.base import ABRAlgorithm
+from repro.experiments.artifacts import ArtifactCache
+from repro.experiments.runner import (
+    EstimatorFactory,
+    SweepResult,
+    run_one_session,
+)
+from repro.network.traces import NetworkTrace
+from repro.player.metrics import SessionMetrics
+from repro.player.session import SessionConfig
+from repro.video.model import VideoAsset
+
+__all__ = [
+    "SweepSpec",
+    "SweepWorkerError",
+    "ParallelSweepRunner",
+    "run_comparison_parallel",
+]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One (scheme, video, network) sweep request over a shared trace set.
+
+    ``video_key`` indexes the video mapping given to
+    :meth:`ParallelSweepRunner.run_specs`; keeping specs and assets
+    separate means a spec pickles in bytes while the assets ship once
+    per worker.
+    """
+
+    scheme: str
+    video_key: str
+    network: str = "lte"
+    algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None
+    estimator_factory: Optional[EstimatorFactory] = None
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        """Identity used in error messages (label wins over scheme)."""
+        return self.label if self.label is not None else self.scheme
+
+
+class SweepWorkerError(RuntimeError):
+    """A session failed inside a sweep; names the failing work unit.
+
+    ``args`` carries the four identification fields so the exception
+    round-trips through pickling between worker and parent process.
+    """
+
+    def __init__(self, spec_label: str, video_name: str, trace_name: str, cause: str):
+        super().__init__(spec_label, video_name, trace_name, cause)
+        self.spec_label = spec_label
+        self.video_name = video_name
+        self.trace_name = trace_name
+        self.cause = cause
+
+    def __str__(self) -> str:
+        return (
+            f"sweep unit failed: scheme={self.spec_label!r} "
+            f"video={self.video_name!r} trace={self.trace_name!r}: {self.cause}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery
+# ----------------------------------------------------------------------
+
+# Populated by _init_worker in every pool process (and used directly by
+# the serial fallback through _sweep_batch's explicit arguments).
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(
+    videos: Mapping[str, VideoAsset],
+    traces: Sequence[NetworkTrace],
+    config: SessionConfig,
+) -> None:
+    """Pool initializer: pin shared assets and a fresh artifact cache."""
+    _WORKER_STATE["videos"] = dict(videos)
+    _WORKER_STATE["traces"] = list(traces)
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["cache"] = ArtifactCache()
+
+
+def _sweep_batch(
+    spec: SweepSpec,
+    video: VideoAsset,
+    batch: Sequence[NetworkTrace],
+    config: SessionConfig,
+    cache: ArtifactCache,
+) -> List[SessionMetrics]:
+    """Run one spec over a contiguous trace batch; identify any failure."""
+    out: List[SessionMetrics] = []
+    for trace in batch:
+        try:
+            out.append(
+                run_one_session(
+                    spec.scheme,
+                    video,
+                    trace,
+                    spec.network,
+                    config,
+                    spec.estimator_factory,
+                    spec.algorithm_factory,
+                    cache,
+                )
+            )
+        except Exception as exc:
+            raise SweepWorkerError(
+                spec.describe(), video.name, trace.name,
+                f"{type(exc).__name__}: {exc}",
+            ) from exc
+    return out
+
+
+def _run_batch_in_worker(spec: SweepSpec, start: int, stop: int):
+    """Task entry point executed inside a pool worker."""
+    videos: Mapping[str, VideoAsset] = _WORKER_STATE["videos"]  # type: ignore[assignment]
+    traces: Sequence[NetworkTrace] = _WORKER_STATE["traces"]  # type: ignore[assignment]
+    config: SessionConfig = _WORKER_STATE["config"]  # type: ignore[assignment]
+    cache: ArtifactCache = _WORKER_STATE["cache"]  # type: ignore[assignment]
+    return _sweep_batch(spec, videos[spec.video_key], traces[start:stop], config, cache)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+class ParallelSweepRunner:
+    """Fan (scheme, video, trace-batch) work units out over a process pool.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size. ``None`` uses every core (``os.cpu_count()``); ``1``
+        forces the in-process serial path.
+    batch_size:
+        Traces per work unit. Defaults to splitting each spec's trace
+        set into about four batches per worker, balancing scheduling
+        granularity against per-task IPC overhead.
+    mp_context:
+        A start-method name (``"fork"``/``"spawn"``/``"forkserver"``) or
+        an existing :mod:`multiprocessing` context. Defaults to the
+        platform default.
+    min_parallel_sessions:
+        Grids with fewer total sessions than this run serially — pool
+        startup would dominate. Set to 0 to force pool execution.
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        mp_context: Optional[Union[str, multiprocessing.context.BaseContext]] = None,
+        min_parallel_sessions: int = 16,
+    ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1 or None, got {n_workers}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1 or None, got {batch_size}")
+        if min_parallel_sessions < 0:
+            raise ValueError("min_parallel_sessions must be non-negative")
+        self.n_workers = n_workers
+        self.batch_size = batch_size
+        self.mp_context = mp_context
+        self.min_parallel_sessions = min_parallel_sessions
+
+    # -- sizing ---------------------------------------------------------
+
+    def resolved_workers(self) -> int:
+        """The worker count this engine would actually use."""
+        if self.n_workers is not None:
+            return self.n_workers
+        return os.cpu_count() or 1
+
+    def _resolve_context(self):
+        if self.mp_context is None:
+            return None
+        if isinstance(self.mp_context, str):
+            return multiprocessing.get_context(self.mp_context)
+        return self.mp_context
+
+    def _batch_bounds(self, num_traces: int, workers: int) -> List[Tuple[int, int]]:
+        """Contiguous [start, stop) trace batches for one spec."""
+        if self.batch_size is not None:
+            size = self.batch_size
+        else:
+            # ~4 batches per worker keeps the pool busy near the tail of
+            # the grid without drowning it in tiny tasks.
+            size = max(1, -(-num_traces // (workers * 4)))
+        return [(start, min(start + size, num_traces)) for start in range(0, num_traces, size)]
+
+    # -- execution ------------------------------------------------------
+
+    def run_specs(
+        self,
+        specs: Sequence[SweepSpec],
+        videos: Mapping[str, VideoAsset],
+        traces: Sequence[NetworkTrace],
+        config: SessionConfig = SessionConfig(),
+    ) -> List[SweepResult]:
+        """Run every spec over ``traces``; results align with ``specs``.
+
+        The core entry point: :meth:`run_comparison`, :meth:`run_grid`,
+        the tuner, and the CLI all reduce to this.
+        """
+        specs = list(specs)
+        traces = list(traces)
+        if not specs:
+            return []
+        if not traces:
+            raise ValueError("need at least one trace")
+        for spec in specs:
+            if spec.video_key not in videos:
+                raise KeyError(
+                    f"spec {spec.describe()!r} references unknown video "
+                    f"{spec.video_key!r}; known: {sorted(videos)}"
+                )
+        workers = self.resolved_workers()
+        total_sessions = len(specs) * len(traces)
+        if workers == 1 or total_sessions < self.min_parallel_sessions:
+            return self._run_serial(specs, videos, traces, config)
+        return self._run_pool(specs, videos, traces, config, workers)
+
+    def _run_serial(
+        self,
+        specs: Sequence[SweepSpec],
+        videos: Mapping[str, VideoAsset],
+        traces: Sequence[NetworkTrace],
+        config: SessionConfig,
+    ) -> List[SweepResult]:
+        cache = ArtifactCache()
+        results = []
+        for spec in specs:
+            video = videos[spec.video_key]
+            metrics = _sweep_batch(spec, video, traces, config, cache)
+            results.append(
+                SweepResult(
+                    scheme=spec.scheme,
+                    video_name=video.name,
+                    network=spec.network,
+                    metrics=metrics,
+                )
+            )
+        return results
+
+    def _run_pool(
+        self,
+        specs: Sequence[SweepSpec],
+        videos: Mapping[str, VideoAsset],
+        traces: Sequence[NetworkTrace],
+        config: SessionConfig,
+        workers: int,
+    ) -> List[SweepResult]:
+        bounds = self._batch_bounds(len(traces), workers)
+        # Never spin up more workers than there are tasks.
+        workers = min(workers, len(specs) * len(bounds))
+        parts: List[Dict[int, List]] = [dict() for _ in specs]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=self._resolve_context(),
+            initializer=_init_worker,
+            initargs=(dict(videos), list(traces), config),
+        ) as pool:
+            futures = {}
+            for spec_idx, spec in enumerate(specs):
+                for start, stop in bounds:
+                    future = pool.submit(_run_batch_in_worker, spec, start, stop)
+                    futures[future] = (spec_idx, start)
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            if any(future.exception() is not None for future in done):
+                for future in not_done:
+                    future.cancel()
+                # Re-raise the completed failure that is earliest in
+                # submission order, so error reporting is deterministic.
+                for future in futures:
+                    if future in done and future.exception() is not None:
+                        raise future.exception()
+            for future, (spec_idx, start) in futures.items():
+                parts[spec_idx][start] = future.result()
+        results = []
+        for spec, chunks in zip(specs, parts):
+            video = videos[spec.video_key]
+            metrics = [m for start in sorted(chunks) for m in chunks[start]]
+            results.append(
+                SweepResult(
+                    scheme=spec.scheme,
+                    video_name=video.name,
+                    network=spec.network,
+                    metrics=metrics,
+                )
+            )
+        return results
+
+    # -- convenience entry points --------------------------------------
+
+    def run_scheme(
+        self,
+        scheme: str,
+        video: VideoAsset,
+        traces: Sequence[NetworkTrace],
+        network: str = "lte",
+        config: SessionConfig = SessionConfig(),
+        estimator_factory: Optional[EstimatorFactory] = None,
+        algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None,
+    ) -> SweepResult:
+        """Parallel counterpart of :func:`run_scheme_on_traces`."""
+        spec = SweepSpec(
+            scheme=scheme,
+            video_key=video.name,
+            network=network,
+            algorithm_factory=algorithm_factory,
+            estimator_factory=estimator_factory,
+        )
+        return self.run_specs([spec], {video.name: video}, traces, config)[0]
+
+    def run_comparison(
+        self,
+        schemes: Sequence[str],
+        video: VideoAsset,
+        traces: Sequence[NetworkTrace],
+        network: str = "lte",
+        config: SessionConfig = SessionConfig(),
+    ) -> Dict[str, SweepResult]:
+        """Parallel counterpart of :func:`run_comparison`: same traces,
+        same ordering, one pool for the whole scheme set."""
+        specs = [
+            SweepSpec(scheme=scheme, video_key=video.name, network=network)
+            for scheme in schemes
+        ]
+        results = self.run_specs(specs, {video.name: video}, traces, config)
+        return {spec.scheme: result for spec, result in zip(specs, results)}
+
+    def run_grid(
+        self,
+        schemes: Sequence[str],
+        videos: Sequence[VideoAsset],
+        traces: Sequence[NetworkTrace],
+        network: str = "lte",
+        config: SessionConfig = SessionConfig(),
+    ) -> Dict[Tuple[str, str], SweepResult]:
+        """The full §6 grid: every scheme on every video, one pool."""
+        by_key = {video.name: video for video in videos}
+        if len(by_key) != len(videos):
+            raise ValueError("video names must be unique within a grid")
+        specs = [
+            SweepSpec(scheme=scheme, video_key=video.name, network=network)
+            for scheme in schemes
+            for video in videos
+        ]
+        results = self.run_specs(specs, by_key, traces, config)
+        return {
+            (spec.scheme, spec.video_key): result
+            for spec, result in zip(specs, results)
+        }
+
+
+def run_comparison_parallel(
+    schemes: Sequence[str],
+    video: VideoAsset,
+    traces: Sequence[NetworkTrace],
+    network: str = "lte",
+    config: SessionConfig = SessionConfig(),
+    n_workers: Optional[int] = None,
+) -> Dict[str, SweepResult]:
+    """One-call parallel comparison (``n_workers=None`` = all cores)."""
+    engine = ParallelSweepRunner(n_workers=n_workers)
+    return engine.run_comparison(schemes, video, traces, network, config)

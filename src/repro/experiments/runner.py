@@ -12,26 +12,38 @@ The runner owns the conventions the whole evaluation shares (§6.1):
 
 Results come back as plain lists of :class:`SessionMetrics`; the figure
 and table modules aggregate from there.
+
+Expensive per-video and per-trace artifacts (manifests, classifiers,
+cumulative-bits tables) are memoized through an
+:class:`~repro.experiments.artifacts.ArtifactCache`; pass one cache to
+several calls to share artifacts across schemes. For multi-core
+execution, set ``n_workers`` on :func:`run_comparison` (or use
+:class:`repro.experiments.parallel.ParallelSweepRunner` directly).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.abr.base import ABRAlgorithm
 from repro.abr.registry import make_scheme, needs_quality_manifest
+from repro.experiments.artifacts import ArtifactCache
 from repro.network.estimator import BandwidthEstimator
-from repro.network.link import TraceLink
 from repro.network.traces import NetworkTrace
 from repro.player.metrics import SessionMetrics, metric_for_network, summarize_session
-from repro.player.session import SessionConfig, SessionResult, StreamingSession
-from repro.video.classify import ChunkClassifier
+from repro.player.session import SessionConfig, StreamingSession
 from repro.video.model import VideoAsset
 
-__all__ = ["SweepResult", "run_scheme_on_traces", "run_comparison", "aggregate"]
+__all__ = [
+    "SweepResult",
+    "run_one_session",
+    "run_scheme_on_traces",
+    "run_comparison",
+    "aggregate",
+]
 
 EstimatorFactory = Callable[[NetworkTrace], Optional[BandwidthEstimator]]
 
@@ -45,13 +57,61 @@ class SweepResult:
     network: str
     metrics: List[SessionMetrics]
 
+    def __post_init__(self) -> None:
+        # Per-field metric vectors, built lazily on first access. Not a
+        # dataclass field so equality/repr stay defined by the data.
+        self._values_cache: Dict[str, np.ndarray] = {}
+
     def values(self, field_name: str) -> np.ndarray:
-        """Vector of one metric across traces (for CDFs)."""
-        return np.array([getattr(m, field_name) for m in self.metrics], dtype=float)
+        """Vector of one metric across traces (for CDFs).
+
+        The vector is computed once per field and cached; the returned
+        array is marked read-only because callers share it.
+        """
+        cached = self._values_cache.get(field_name)
+        if cached is None:
+            cached = np.array(
+                [getattr(m, field_name) for m in self.metrics], dtype=float
+            )
+            cached.setflags(write=False)
+            self._values_cache[field_name] = cached
+        return cached
 
     def mean(self, field_name: str) -> float:
         """Across-trace mean of one metric."""
         return float(np.mean(self.values(field_name)))
+
+
+def run_one_session(
+    scheme: str,
+    video: VideoAsset,
+    trace: NetworkTrace,
+    network: str = "lte",
+    config: SessionConfig = SessionConfig(),
+    estimator_factory: Optional[EstimatorFactory] = None,
+    algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> SessionMetrics:
+    """Run and summarize a single (scheme, video, trace) session.
+
+    The unit of work shared by the serial runner and the parallel sweep
+    engine's workers; ``cache`` supplies (or memoizes) the manifest,
+    classifier, and link artifacts.
+    """
+    if cache is None:
+        cache = ArtifactCache()
+    metric = metric_for_network(network)
+    include_quality = needs_quality_manifest(scheme)
+    classifier = cache.classifier(video)
+    manifest = cache.manifest(video, include_quality)
+    if algorithm_factory is not None:
+        algorithm = algorithm_factory()
+    else:
+        algorithm = make_scheme(scheme, metric=metric)
+    link = cache.link(trace)
+    estimator = estimator_factory(trace) if estimator_factory else None
+    outcome = StreamingSession(config).run(algorithm, manifest, link, estimator)
+    return summarize_session(outcome, video, metric, classifier)
 
 
 def run_scheme_on_traces(
@@ -62,31 +122,26 @@ def run_scheme_on_traces(
     config: SessionConfig = SessionConfig(),
     estimator_factory: Optional[EstimatorFactory] = None,
     algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> SweepResult:
     """Run one scheme over a trace set and summarize each session.
 
     ``algorithm_factory`` overrides the registry (used by parameter
     sweeps); ``estimator_factory`` lets the §6.7 study install a
-    controlled-error estimator per trace.
+    controlled-error estimator per trace; ``cache`` shares artifacts
+    with other sweeps in the same process.
     """
     if not traces:
         raise ValueError("need at least one trace")
-    metric = metric_for_network(network)
-    include_quality = needs_quality_manifest(scheme)
-    classifier = ChunkClassifier.from_video(video)
-    manifest = video.manifest(include_quality=include_quality)
-    session = StreamingSession(config)
-
-    results: List[SessionMetrics] = []
-    for trace in traces:
-        if algorithm_factory is not None:
-            algorithm = algorithm_factory()
-        else:
-            algorithm = make_scheme(scheme, metric=metric)
-        link = TraceLink(trace)
-        estimator = estimator_factory(trace) if estimator_factory else None
-        outcome = session.run(algorithm, manifest, link, estimator)
-        results.append(summarize_session(outcome, video, metric, classifier))
+    if cache is None:
+        cache = ArtifactCache()
+    results = [
+        run_one_session(
+            scheme, video, trace, network, config,
+            estimator_factory, algorithm_factory, cache,
+        )
+        for trace in traces
+    ]
     return SweepResult(scheme=scheme, video_name=video.name, network=network, metrics=results)
 
 
@@ -96,10 +151,25 @@ def run_comparison(
     traces: Sequence[NetworkTrace],
     network: str = "lte",
     config: SessionConfig = SessionConfig(),
+    n_workers: Optional[int] = 1,
 ) -> Dict[str, SweepResult]:
-    """Run several schemes under identical conditions (same traces)."""
+    """Run several schemes under identical conditions (same traces).
+
+    ``n_workers`` routes the sweep through the process-pool engine:
+    ``1`` (the default) runs serially in this process, ``None`` uses all
+    cores, any other value that many workers. Results are bit-identical
+    and identically ordered regardless of worker count.
+    """
+    if n_workers != 1:
+        from repro.experiments.parallel import ParallelSweepRunner
+
+        engine = ParallelSweepRunner(n_workers=n_workers)
+        return engine.run_comparison(schemes, video, traces, network, config)
+    cache = ArtifactCache()
     return {
-        scheme: run_scheme_on_traces(scheme, video, traces, network, config)
+        scheme: run_scheme_on_traces(
+            scheme, video, traces, network, config, cache=cache
+        )
         for scheme in schemes
     }
 

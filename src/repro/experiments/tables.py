@@ -10,9 +10,7 @@ same against BOLA-E (seg) in the dash.js harness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Sequence
 
 from repro.abr.registry import make_scheme, needs_quality_manifest
 from repro.dashjs.harness import DashJsConfig, run_dashjs_session

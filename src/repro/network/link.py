@@ -15,7 +15,6 @@ outlast the trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

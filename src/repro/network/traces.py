@@ -19,9 +19,9 @@ files use, so users with the actual datasets can drop them in.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

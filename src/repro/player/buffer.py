@@ -8,7 +8,7 @@ the stall arithmetic unit-testable (and property-testable) in isolation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.validation import check_non_negative, check_positive
 

@@ -10,9 +10,7 @@ dash.js harness examples to print per-session narratives.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
-
-import numpy as np
+from typing import List
 
 from repro.player.session import SessionResult
 

@@ -19,7 +19,7 @@ viewing) and the *TV* model for FCC traces (home → big screen);
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -21,8 +21,8 @@ After the last download, the remaining buffer plays out stall-free.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from repro.abr.base import ABRAlgorithm, DecisionContext
 from repro.network.estimator import BandwidthEstimator, HarmonicMeanEstimator
 from repro.network.link import TraceLink
 from repro.player.buffer import PlaybackBuffer
-from repro.util.validation import check_non_negative, check_positive
+from repro.util.validation import check_positive
 from repro.video.model import Manifest, VideoAsset
 
 __all__ = ["SessionConfig", "SessionResult", "StreamingSession", "run_session"]
@@ -142,17 +142,22 @@ class StreamingSession:
         buffers = np.zeros(n, dtype=float)
         idles = np.zeros(n, dtype=float)
 
-        for i in range(n):
-            # 1. decision (optionally preceded by an algorithm-requested
-            #    idle, e.g. BOLA pausing on a high buffer)
-            ctx = DecisionContext(
-                chunk_index=i,
+        def decision_context(index: int) -> DecisionContext:
+            # Snapshot of the player state the algorithm is allowed to
+            # see; reads the loop variables at call time.
+            return DecisionContext(
+                chunk_index=index,
                 now_s=now,
                 buffer_s=buffer.level_s,
                 last_level=last_level,
                 bandwidth_bps=estimator.predict_bps(now),
                 playing=playing,
             )
+
+        for i in range(n):
+            # 1. decision (optionally preceded by an algorithm-requested
+            #    idle, e.g. BOLA pausing on a high buffer)
+            ctx = decision_context(i)
             requested_idle = 0.0
             if playing:
                 requested_idle = max(0.0, float(algorithm.requested_idle_s(ctx)))
@@ -161,16 +166,12 @@ class StreamingSession:
                     requested_idle, buffer.time_until_level(delta)
                 )
                 if requested_idle > 0:
+                    # The clock moved, so the context (and its bandwidth
+                    # estimate) must be rebuilt; when no idle happened the
+                    # original context — and estimator query — is reused.
                     buffer.drain(requested_idle)
                     now += requested_idle
-                    ctx = DecisionContext(
-                        chunk_index=i,
-                        now_s=now,
-                        buffer_s=buffer.level_s,
-                        last_level=last_level,
-                        bandwidth_bps=estimator.predict_bps(now),
-                        playing=playing,
-                    )
+                    ctx = decision_context(i)
             level = int(algorithm.select_level(ctx))
             if not 0 <= level < manifest.num_tracks:
                 raise ValueError(

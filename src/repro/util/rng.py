@@ -15,7 +15,7 @@ consumer never perturbs existing streams.
 from __future__ import annotations
 
 import zlib
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

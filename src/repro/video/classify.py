@@ -14,7 +14,7 @@ all a deployable ABR algorithm has (§3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

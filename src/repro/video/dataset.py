@@ -20,10 +20,8 @@ timeline (same content, different codec), as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.util.rng import derive_rng
 from repro.util.validation import check_positive

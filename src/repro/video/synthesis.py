@@ -31,12 +31,12 @@ bitrate variability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.util.validation import check_in_range, check_positive
+from repro.util.validation import check_in_range
 from repro.video.model import Track
 from repro.video.quality import (
     DEFAULT_QUALITY_MODEL,

@@ -7,7 +7,6 @@ from repro.abr.base import DecisionContext
 from repro.abr.dynamic import DynamicAlgorithm
 from repro.abr.oboe import DEFAULT_STATE_CONFIGS, NetworkState, OboeTunedCava
 from repro.network.link import TraceLink
-from repro.network.traces import NetworkTrace
 from repro.player.session import run_session
 
 

@@ -6,7 +6,6 @@ import pytest
 from repro.abr.base import DecisionContext
 from repro.abr.mpc import MPCAlgorithm, RobustMPCAlgorithm
 from repro.network.link import TraceLink
-from repro.network.traces import NetworkTrace
 from repro.player.session import run_session
 
 

@@ -7,7 +7,6 @@ from repro.abr.base import DecisionContext
 from repro.abr.pandacq import PandaCQAlgorithm
 from repro.network.link import TraceLink
 from repro.player.session import run_session
-from repro.video.classify import ChunkClassifier
 
 
 def ctx(index=0, buffer_s=30.0, bandwidth=2e6, last=None):

@@ -9,7 +9,6 @@ from repro.abr.pia import PIAAlgorithm
 from repro.network.link import TraceLink
 from repro.player.metrics import summarize_session
 from repro.player.session import run_session
-from repro.video.classify import ChunkClassifier
 
 
 def ctx(index=0, now=0.0, buffer_s=20.0, bandwidth=2e6, last=None):

@@ -7,9 +7,7 @@ from repro.abr.base import DecisionContext
 from repro.abr.bba import BBA1Algorithm
 from repro.abr.rba import RateBasedAlgorithm
 from repro.network.link import TraceLink
-from repro.network.traces import NetworkTrace
 from repro.player.session import run_session
-from repro.video.classify import ChunkClassifier
 
 
 def ctx(index=0, buffer_s=20.0, bandwidth=2e6, last=None):

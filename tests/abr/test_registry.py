@@ -3,7 +3,6 @@
 import pytest
 
 from repro.abr.registry import (
-    SCHEME_FACTORIES,
     make_scheme,
     needs_quality_manifest,
     scheme_names,

@@ -1,6 +1,5 @@
 """Tests for the Pareto trade-off analysis and scene-consistency claim."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.tradeoff import (

@@ -9,7 +9,6 @@ from repro.network.link import TraceLink
 from repro.network.traces import NetworkTrace
 from repro.player.metrics import quality_series, summarize_session
 from repro.player.session import run_session
-from repro.video.classify import ChunkClassifier
 
 
 def constant_trace(mbps, duration_s=2000.0):

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import CavaConfig
 from repro.core.tuning import default_objective, expand_grid, grid_search
 
 

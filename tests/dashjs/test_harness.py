@@ -5,12 +5,7 @@ import pytest
 
 from repro.abr.bola import BolaEAlgorithm
 from repro.core.cava import cava_p123
-from repro.dashjs.harness import (
-    DashJsConfig,
-    InstrumentedAlgorithm,
-    OverheadLink,
-    run_dashjs_session,
-)
+from repro.dashjs.harness import DashJsConfig, OverheadLink, run_dashjs_session
 from repro.network.link import TraceLink
 from repro.network.traces import NetworkTrace
 

@@ -1,0 +1,253 @@
+"""Tests for the process-pool sweep engine.
+
+The load-bearing property is §6-grade reproducibility: the parallel
+engine must return results *bit-identical* to the serial runner, in the
+same order, at any worker count — and failures inside a worker must name
+the (scheme, video, trace) unit that died.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tuning import CavaFactory, grid_search
+from repro.experiments.artifacts import ArtifactCache
+from repro.experiments.parallel import (
+    ParallelSweepRunner,
+    SweepSpec,
+    SweepWorkerError,
+    run_comparison_parallel,
+)
+from repro.experiments.runner import run_comparison, run_scheme_on_traces
+
+
+SCHEMES = ["CAVA", "RBA"]
+
+
+class ExplodingEstimatorFactory:
+    """Picklable estimator factory that fails on one named trace."""
+
+    def __init__(self, fail_on: str):
+        self.fail_on = fail_on
+
+    def __call__(self, trace):
+        if trace.name == self.fail_on:
+            raise RuntimeError("injected estimator failure")
+        return None  # fall back to the default harmonic-mean estimator
+
+
+def assert_sweeps_identical(serial, parallel):
+    """Bitwise, order-sensitive equality of two comparison results."""
+    assert list(serial) == list(parallel)
+    for scheme in serial:
+        a, b = serial[scheme], parallel[scheme]
+        assert (a.scheme, a.video_name, a.network) == (b.scheme, b.video_name, b.network)
+        assert len(a.metrics) == len(b.metrics)
+        for ma, mb in zip(a.metrics, b.metrics):
+            # SessionMetrics is a frozen dataclass of floats: == is
+            # bitwise equality field by field.
+            assert ma == mb
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_comparison_matches_serial_runner(self, short_video, lte_traces, n_workers):
+        serial = run_comparison(SCHEMES, short_video, lte_traces)
+        engine = ParallelSweepRunner(n_workers=n_workers, min_parallel_sessions=0)
+        parallel = engine.run_comparison(SCHEMES, short_video, lte_traces)
+        assert_sweeps_identical(serial, parallel)
+
+    def test_trace_order_preserved(self, short_video, lte_traces):
+        engine = ParallelSweepRunner(
+            n_workers=2, batch_size=1, min_parallel_sessions=0
+        )
+        sweep = engine.run_scheme("RBA", short_video, lte_traces)
+        assert [m.trace_name for m in sweep.metrics] == [t.name for t in lte_traces]
+
+    def test_fcc_network_metric(self, short_video, fcc_traces):
+        engine = ParallelSweepRunner(n_workers=2, min_parallel_sessions=0)
+        sweep = engine.run_scheme("RBA", short_video, fcc_traces[:4], network="fcc")
+        assert all(m.metric == "vmaf_tv" for m in sweep.metrics)
+
+    def test_quality_scheme_over_pool(self, short_video, lte_traces):
+        serial = run_scheme_on_traces("PANDA/CQ max-min", short_video, lte_traces[:4])
+        engine = ParallelSweepRunner(n_workers=2, min_parallel_sessions=0)
+        parallel = engine.run_scheme("PANDA/CQ max-min", short_video, lte_traces[:4])
+        assert serial.metrics == parallel.metrics
+
+    def test_run_comparison_n_workers_routes_to_engine(self, short_video, lte_traces):
+        serial = run_comparison(SCHEMES, short_video, lte_traces[:6])
+        routed = run_comparison(SCHEMES, short_video, lte_traces[:6], n_workers=2)
+        assert_sweeps_identical(serial, routed)
+
+    def test_convenience_wrapper(self, short_video, lte_traces):
+        serial = run_comparison(SCHEMES, short_video, lte_traces[:6])
+        parallel = run_comparison_parallel(
+            SCHEMES, short_video, lte_traces[:6], n_workers=2
+        )
+        assert_sweeps_identical(serial, parallel)
+
+    def test_spawn_context_matches_serial(self, short_video, lte_traces):
+        # The initializer must carry all worker state explicitly: under
+        # "spawn" nothing is inherited from the parent process.
+        serial = run_scheme_on_traces("RBA", short_video, lte_traces[:4])
+        engine = ParallelSweepRunner(
+            n_workers=2, mp_context="spawn", min_parallel_sessions=0
+        )
+        parallel = engine.run_scheme("RBA", short_video, lte_traces[:4])
+        assert serial.metrics == parallel.metrics
+
+
+class TestGrid:
+    def test_run_grid_keys_and_equivalence(self, short_video, lte_traces):
+        engine = ParallelSweepRunner(n_workers=2, min_parallel_sessions=0)
+        grid = engine.run_grid(["RBA"], [short_video], lte_traces[:4])
+        assert set(grid) == {("RBA", short_video.name)}
+        serial = run_scheme_on_traces("RBA", short_video, lte_traces[:4])
+        assert grid[("RBA", short_video.name)].metrics == serial.metrics
+
+    def test_duplicate_video_names_rejected(self, short_video, lte_traces):
+        engine = ParallelSweepRunner(n_workers=1)
+        with pytest.raises(ValueError, match="unique"):
+            engine.run_grid(["RBA"], [short_video, short_video], lte_traces[:2])
+
+    def test_unknown_video_key_rejected(self, short_video, lte_traces):
+        engine = ParallelSweepRunner(n_workers=1)
+        spec = SweepSpec(scheme="RBA", video_key="missing")
+        with pytest.raises(KeyError, match="missing"):
+            engine.run_specs([spec], {short_video.name: short_video}, lte_traces[:2])
+
+    def test_empty_specs(self, short_video, lte_traces):
+        assert ParallelSweepRunner().run_specs([], {}, lte_traces[:2]) == []
+
+    def test_empty_traces_rejected(self, short_video):
+        engine = ParallelSweepRunner(n_workers=1)
+        spec = SweepSpec(scheme="RBA", video_key=short_video.name)
+        with pytest.raises(ValueError, match="trace"):
+            engine.run_specs([spec], {short_video.name: short_video}, [])
+
+
+class TestFailureIdentification:
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_worker_exception_names_the_unit(self, short_video, lte_traces, n_workers):
+        failing = lte_traces[3].name
+        engine = ParallelSweepRunner(
+            n_workers=n_workers, batch_size=2, min_parallel_sessions=0
+        )
+        with pytest.raises(SweepWorkerError) as excinfo:
+            engine.run_scheme(
+                "CAVA",
+                short_video,
+                lte_traces[:6],
+                estimator_factory=ExplodingEstimatorFactory(failing),
+            )
+        error = excinfo.value
+        assert error.spec_label == "CAVA"
+        assert error.video_name == short_video.name
+        assert error.trace_name == failing
+        assert "injected estimator failure" in error.cause
+        # the identifying triple must survive str() for log readability
+        assert failing in str(error)
+
+    def test_unknown_scheme_identified(self, short_video, lte_traces):
+        engine = ParallelSweepRunner(n_workers=1)
+        with pytest.raises(SweepWorkerError, match="no-such-scheme"):
+            engine.run_scheme("no-such-scheme", short_video, lte_traces[:2])
+
+
+class TestEngineConfig:
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelSweepRunner(n_workers=0)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            ParallelSweepRunner(batch_size=0)
+
+    def test_small_grid_falls_back_to_serial(self, short_video, lte_traces, monkeypatch):
+        # A grid below min_parallel_sessions must never build a pool.
+        import repro.experiments.parallel as parallel_mod
+
+        def forbid_pool(*args, **kwargs):
+            raise AssertionError("pool must not be created for a tiny grid")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", forbid_pool)
+        engine = ParallelSweepRunner(n_workers=4, min_parallel_sessions=1000)
+        sweep = engine.run_scheme("RBA", short_video, lte_traces[:2])
+        assert len(sweep.metrics) == 2
+
+    @given(
+        num_traces=st.integers(min_value=1, max_value=500),
+        workers=st.integers(min_value=1, max_value=32),
+        batch_size=st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_batch_bounds_partition_the_trace_set(self, num_traces, workers, batch_size):
+        """Batches tile [0, n) contiguously, in order, without overlap."""
+        engine = ParallelSweepRunner(batch_size=batch_size)
+        bounds = engine._batch_bounds(num_traces, workers)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == num_traces
+        for (start, stop), (next_start, _) in zip(bounds, bounds[1:]):
+            assert stop == next_start
+        assert all(start < stop for start, stop in bounds)
+        if batch_size is not None:
+            assert all(stop - start <= batch_size for start, stop in bounds)
+
+
+class TestTuningIntegration:
+    def test_grid_search_parallel_matches_serial(self, short_video, lte_traces):
+        grid = {"inner_window_s": (20.0, 40.0)}
+        serial = grid_search(grid, short_video, lte_traces[:4])
+        parallel = grid_search(grid, short_video, lte_traces[:4], n_workers=2)
+        assert [r.overrides for r in serial] == [r.overrides for r in parallel]
+        assert [r.score for r in serial] == [r.score for r in parallel]
+
+    def test_cava_factory_is_picklable(self):
+        import pickle
+
+        from repro.core.config import CavaConfig
+
+        factory = CavaFactory(CavaConfig(inner_window_s=20.0))
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone().config.inner_window_s == 20.0
+
+
+class TestArtifactCache:
+    def test_artifacts_built_once_per_source(self, short_video, lte_traces):
+        cache = ArtifactCache()
+        m1 = cache.manifest(short_video)
+        m2 = cache.manifest(short_video)
+        assert m1 is m2
+        c1 = cache.classifier(short_video)
+        assert c1 is cache.classifier(short_video)
+        l1 = cache.link(lte_traces[0])
+        assert l1 is cache.link(lte_traces[0])
+        assert cache.stats.misses == 3
+        assert cache.stats.hits == 3
+
+    def test_quality_manifest_cached_separately(self, short_video):
+        cache = ArtifactCache()
+        plain = cache.manifest(short_video, include_quality=False)
+        quality = cache.manifest(short_video, include_quality=True)
+        assert plain is not quality
+        assert not plain.has_quality and quality.has_quality
+
+    def test_distinct_traces_not_aliased(self, lte_traces):
+        cache = ArtifactCache()
+        assert cache.link(lte_traces[0]) is not cache.link(lte_traces[1])
+
+    def test_clear_forgets(self, short_video):
+        cache = ArtifactCache()
+        first = cache.manifest(short_video)
+        cache.clear()
+        assert cache.manifest(short_video) is not first
+
+
+class TestSweepResultMemoization:
+    def test_values_cached_and_read_only(self, short_video, lte_traces):
+        sweep = run_scheme_on_traces("RBA", short_video, lte_traces[:3])
+        first = sweep.values("rebuffer_s")
+        assert sweep.values("rebuffer_s") is first
+        assert not first.flags.writeable
+        assert sweep.mean("rebuffer_s") == pytest.approx(float(first.mean()))

@@ -1,10 +1,8 @@
 """Tests for the experiment sweep runner."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.runner import (
-    SweepResult,
     aggregate,
     run_comparison,
     run_scheme_on_traces,

@@ -1,6 +1,5 @@
 """Tests for the table-reproduction functions."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.tables import (

@@ -8,7 +8,6 @@ import pytest
 from repro.experiments.runner import run_comparison
 from repro.network.link import TraceLink
 from repro.player.session import run_session
-from repro.video.classify import ChunkClassifier
 
 
 @pytest.fixture(scope="module")

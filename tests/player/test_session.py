@@ -6,7 +6,7 @@ import pytest
 from repro.abr.base import ABRAlgorithm, DecisionContext
 from repro.network.link import TraceLink
 from repro.network.traces import NetworkTrace
-from repro.player.session import SessionConfig, StreamingSession, run_session
+from repro.player.session import SessionConfig, run_session
 
 
 class FixedLevelAlgorithm(ABRAlgorithm):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.video.model import Manifest, Track, VideoAsset
+from repro.video.model import Track, VideoAsset
 
 
 def make_track(level=0, resolution=480, sizes=None, duration=2.0):

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.util.rng import derive_rng
-from repro.video.quality import DEFAULT_QUALITY_MODEL
 from repro.video.scene import synthesize_scene_timeline
 from repro.video.synthesis import (
     CODEC_EFFICIENCY,

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Repo-local unused-import checker (pyflakes F401 subset, zero deps).
+
+The container this repo grows in has no ``ruff``/``pyflakes``; CI uses
+ruff when available and falls back to this script, so both environments
+enforce the same floor. Usage::
+
+    python tools/check_imports.py src tests benchmarks examples tools
+
+Rules:
+
+- an import is *used* if its bound name appears anywhere in the module
+  outside the import statements themselves (including inside strings is
+  NOT counted — we walk the AST, not the text);
+- names re-exported via ``__all__`` count as used (package ``__init__``
+  convention);
+- ``import x as x`` / ``from m import x as x`` (PEP 484 re-export) and
+  ``from __future__ import ...`` are always allowed;
+- a trailing ``# noqa`` comment on the import line suppresses the check.
+
+Exit status is the number of offending imports (0 = clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+
+def _bound_name(alias: ast.alias) -> str:
+    """The local name an import alias binds (``a.b`` binds ``a``)."""
+    if alias.asname:
+        return alias.asname
+    return alias.name.split(".")[0]
+
+
+class _UsageCollector(ast.NodeVisitor):
+    """Collect every identifier read anywhere outside import statements."""
+
+    def __init__(self) -> None:
+        self.used: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        pass  # the import itself is not a use
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        pass
+
+    def visit_Name(self, node: ast.Name) -> None:
+        self.used.add(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+
+
+def _exported_names(tree: ast.Module) -> Set[str]:
+    """Literal strings assigned to ``__all__`` at module top level."""
+    exported: Set[str] = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AugAssign):
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    exported.add(element.value)
+    return exported
+
+
+def check_file(path: Path) -> List[Tuple[int, str]]:
+    """Return (line, name) for every unused import in ``path``."""
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [(exc.lineno or 0, f"<syntax error: {exc.msg}>")]
+    lines = source.splitlines()
+
+    collector = _UsageCollector()
+    collector.visit(tree)
+    used = collector.used | _exported_names(tree)
+
+    problems: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+            continue
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        line_text = lines[node.lineno - 1] if node.lineno - 1 < len(lines) else ""
+        if "# noqa" in line_text:
+            continue
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            if alias.asname and alias.asname == alias.name:
+                continue  # explicit re-export
+            name = _bound_name(alias)
+            if name not in used:
+                problems.append((node.lineno, name))
+    return problems
+
+
+def main(argv: Iterable[str]) -> int:
+    roots = [Path(arg) for arg in argv] or [Path("src")]
+    count = 0
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            for lineno, name in check_file(path):
+                print(f"{path}:{lineno}: unused import {name!r}")
+                count += 1
+    if count:
+        print(f"\n{count} unused import(s) found", file=sys.stderr)
+    return count
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -17,9 +17,12 @@ support that scheme assumes (§6.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.video.model import Manifest
+
+if TYPE_CHECKING:  # telemetry records are plain data; no runtime import
+    from repro.telemetry.tracer import Tracer
 
 __all__ = ["DecisionContext", "ABRAlgorithm"]
 
@@ -63,6 +66,21 @@ class ABRAlgorithm:
 
     #: Human-readable scheme name used in reports and figures.
     name: str = "abr"
+
+    #: Telemetry sink for the current session, or None (tracing off).
+    #: Algorithms with controller internals worth inspecting (CAVA) emit
+    #: :class:`~repro.telemetry.tracer.ControllerStep` records through it.
+    tracer: Optional[Tracer] = None
+
+    def bind_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach (or detach, with None) the session's telemetry sink.
+
+        Called by :class:`~repro.player.session.StreamingSession` before
+        :meth:`prepare`; passing None every untraced session keeps a
+        reused algorithm instance from leaking records into a stale
+        tracer.
+        """
+        self.tracer = tracer
 
     def prepare(self, manifest: Manifest) -> None:
         """Start a new session on ``manifest``; reset per-session state."""

@@ -22,7 +22,13 @@ from repro.abr.pia import PIAAlgorithm
 from repro.abr.rba import RateBasedAlgorithm
 from repro.core.cava import cava_p1, cava_p12, cava_p123
 
-__all__ = ["SCHEME_FACTORIES", "make_scheme", "scheme_names", "needs_quality_manifest"]
+__all__ = [
+    "SCHEME_FACTORIES",
+    "make_scheme",
+    "scheme_names",
+    "resolve_scheme_name",
+    "needs_quality_manifest",
+]
 
 SchemeFactory = Callable[[str], ABRAlgorithm]
 
@@ -49,20 +55,48 @@ SCHEME_FACTORIES: Dict[str, SchemeFactory] = {
 _QUALITY_SCHEMES = frozenset({"PANDA/CQ max-sum", "PANDA/CQ max-min"})
 
 
+#: CLI-friendly aliases for registry names. "cava-p123" is the full
+#: three-part controller, i.e. the scheme the figures label plain "CAVA".
+_ALIASES: Dict[str, str] = {
+    "cava-p123": "CAVA",
+    "panda/cq": "PANDA/CQ max-min",
+    "bola-e": "BOLA-E (peak)",
+}
+
+
 def scheme_names() -> List[str]:
     """All registered scheme names, in registry order."""
     return list(SCHEME_FACTORIES)
 
 
+def resolve_scheme_name(name: str) -> str:
+    """Map a user-typed scheme name to its registry key.
+
+    Exact registry names pass through; otherwise the lookup is
+    case-insensitive and accepts the aliases above (so the CLI takes
+    ``cava-p123`` or ``robustmpc`` as readily as the figure labels).
+    Raises ``KeyError`` listing the known names when nothing matches.
+    """
+    if name in SCHEME_FACTORIES:
+        return name
+    folded = name.casefold()
+    if folded in _ALIASES:
+        return _ALIASES[folded]
+    for registered in SCHEME_FACTORIES:
+        if registered.casefold() == folded:
+            return registered
+    raise KeyError(f"unknown scheme {name!r}; known: {scheme_names()}")
+
+
 def make_scheme(name: str, metric: str = "vmaf_phone") -> ABRAlgorithm:
-    """Instantiate a scheme by its paper name."""
-    try:
-        factory = SCHEME_FACTORIES[name]
-    except KeyError:
-        raise KeyError(f"unknown scheme {name!r}; known: {scheme_names()}") from None
+    """Instantiate a scheme by its paper name (aliases accepted)."""
+    factory = SCHEME_FACTORIES[resolve_scheme_name(name)]
     return factory(metric)
 
 
 def needs_quality_manifest(name: str) -> bool:
     """Whether the scheme requires manifest(include_quality=True)."""
-    return name in _QUALITY_SCHEMES
+    try:
+        return resolve_scheme_name(name) in _QUALITY_SCHEMES
+    except KeyError:
+        return name in _QUALITY_SCHEMES

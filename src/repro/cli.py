@@ -10,8 +10,13 @@ Subcommands:
                        a directory (one Mbps-per-line file per trace);
 - ``manifest``       — export one video's manifest as DASH MPD or HLS;
 - ``run``            — stream one video over one trace with one scheme
-                       and print the §6.1 QoE metrics;
-- ``compare``        — the §6.3 comparison across schemes and traces;
+                       and print the §6.1 QoE metrics (``--events`` adds
+                       the session event timeline);
+- ``compare``        — the §6.3 comparison across schemes and traces
+                       (``--metrics-out`` dumps sweep telemetry);
+- ``trace``          — replay one session with controller tracing on and
+                       print the per-chunk timeline (target buffer, PID
+                       error, estimated vs realized bandwidth, quartile);
 - ``schemes``        — list the registered ABR schemes.
 
 Every subcommand takes ``--seed`` so results replay exactly. ``run`` and
@@ -26,15 +31,30 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.abr.registry import needs_quality_manifest, scheme_names
+from repro.abr.registry import (
+    make_scheme,
+    needs_quality_manifest,
+    resolve_scheme_name,
+    scheme_names,
+)
 from repro.analysis.characterization import characterize
 from repro.experiments.parallel import ParallelSweepRunner
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_comparison
+from repro.network.link import TraceLink
 from repro.network.traces import (
     save_trace_file,
     synthesize_fcc_traces,
     synthesize_lte_traces,
+)
+from repro.player.events import format_events, session_events
+from repro.player.metrics import metric_for_network
+from repro.player.session import run_session
+from repro.telemetry import (
+    MetricsRegistry,
+    registry_to_prometheus,
+    render_controller_timeline,
+    trace_session,
 )
 from repro.video.dataset import (
     build_video,
@@ -143,24 +163,54 @@ def _workers_arg(args: argparse.Namespace) -> Optional[int]:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    scheme = resolve_scheme_name(args.scheme)
     video = _build_named_video(args.video, args.seed)
     traces = _make_traces(args.network, args.trace_index + 1, args.seed)
     trace = traces[args.trace_index]
     engine = ParallelSweepRunner(n_workers=_workers_arg(args))
-    sweep = engine.run_scheme(args.scheme, video, [trace], args.network)
+    sweep = engine.run_scheme(scheme, video, [trace], args.network)
     metrics = sweep.metrics[0]
-    print(f"{args.scheme} on {video.name} over {trace.name} "
+    print(f"{scheme} on {video.name} over {trace.name} "
           f"(mean {trace.mean_bps / 1e6:.2f} Mbps):")
     for key, value in metrics.as_dict().items():
         print(f"  {key:26s} {value:10.3f}")
+    if args.events:
+        # Replay the same session directly to recover the full record
+        # (the sweep engine only keeps the summary metrics).
+        metric = metric_for_network(args.network)
+        result = run_session(
+            make_scheme(scheme, metric=metric),
+            video,
+            TraceLink(trace),
+            include_quality=needs_quality_manifest(scheme),
+        )
+        print()
+        print(format_events(session_events(result)))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    scheme = resolve_scheme_name(args.scheme)
+    video = _build_named_video(args.video, args.seed)
+    trace = _make_traces(args.network, 1, args.trace_seed)[0]
+    metric = metric_for_network(args.network)
+    result, session_trace = trace_session(
+        make_scheme(scheme, metric=metric),
+        video,
+        trace,
+        include_quality=needs_quality_manifest(scheme),
+    )
+    print(render_controller_timeline(session_trace, result, limit=args.limit))
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     video = _build_named_video(args.video, args.seed)
     traces = _make_traces(args.network, args.traces, args.seed)
+    registry = MetricsRegistry() if args.metrics_out else None
     results = run_comparison(
-        args.schemes, video, traces, args.network, n_workers=_workers_arg(args)
+        args.schemes, video, traces, args.network,
+        n_workers=_workers_arg(args), registry=registry,
     )
     rows = []
     for scheme in args.schemes:
@@ -181,6 +231,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
             ("scheme", "Q4 quality", "low-qual", "stall s", "qual chg", "data MB"), rows
         )
     )
+    if registry is not None:
+        path = Path(args.metrics_out)
+        path.write_text(registry_to_prometheus(registry))
+        print(f"wrote sweep metrics to {path}")
     return 0
 
 
@@ -224,8 +278,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", default="CAVA")
     p.add_argument("--network", choices=("lte", "fcc"), default="lte")
     p.add_argument("--trace-index", type=int, default=0)
+    p.add_argument("--events", action="store_true",
+                   help="also print the session event timeline")
     p.add_argument("--workers", type=int, default=1,
                    help="sweep worker processes (0 = all cores; default 1)")
+
+    p = commands.add_parser(
+        "trace", help="replay one session with controller tracing on"
+    )
+    p.add_argument("--scheme", default="CAVA",
+                   help="scheme name or alias, e.g. cava-p123")
+    p.add_argument("--video", required=True, help="video name, e.g. ED-ffmpeg-h264")
+    p.add_argument("--network", choices=("lte", "fcc"), default="lte")
+    p.add_argument("--trace-seed", type=int, default=0,
+                   help="seed for the synthesized network trace")
+    p.add_argument("--limit", type=int, default=None,
+                   help="truncate the timeline to the first N rows")
 
     p = commands.add_parser("compare", help="compare schemes over a trace set")
     p.add_argument("video")
@@ -237,6 +305,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--workers", type=int, default=1,
                    help="sweep worker processes (0 = all cores; default 1)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write a Prometheus-format sweep telemetry dump")
 
     commands.add_parser("schemes", help="list registered ABR schemes")
     return parser
@@ -248,6 +318,7 @@ _HANDLERS = {
     "traces": cmd_traces,
     "manifest": cmd_manifest,
     "run": cmd_run,
+    "trace": cmd_trace,
     "compare": cmd_compare,
     "schemes": cmd_schemes,
 }

@@ -78,6 +78,25 @@ class CavaAlgorithm(ABRAlgorithm):
         )
         self.last_target_s = target
         self.last_u = u
+
+        tracer = self.tracer
+        if tracer is not None:
+            from repro.telemetry.tracer import ControllerStep
+
+            tracer.on_controller_step(
+                ctx.chunk_index,
+                ControllerStep(
+                    target_buffer_s=target,
+                    error_s=self.pid.last_error_s,
+                    integral=self.pid.integral,
+                    u=u,
+                    alpha=self.inner.last_alpha,
+                    lookahead_mbps=float(
+                        self.inner.short_term_bitrates_mbps[level, ctx.chunk_index]
+                    ),
+                    quartile=self.classifier.category(ctx.chunk_index),
+                ),
+            )
         return level
 
 

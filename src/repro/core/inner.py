@@ -59,6 +59,10 @@ class InnerController:
         # Short-term statistical filter (P1), precomputed per session.
         self._rbar_mbps = short_term_bitrates(manifest, config.inner_window_s) / 1e6
         self._track_avg_mbps = manifest.declared_avg_bitrates_bps / 1e6
+        #: The α actually applied by the most recent :meth:`select` —
+        #: after the no-deflation heuristic, so telemetry sees the value
+        #: the argmin used, not the one :meth:`alpha` first proposed.
+        self.last_alpha = 1.0
 
     # ------------------------------------------------------------------
     # Eq. (3) pieces
@@ -135,8 +139,10 @@ class InnerController:
             and level < self.config.low_level_threshold
             and buffer_s > self.config.safe_buffer_s
         ):
-            costs = self.objective(chunk_index, u, bandwidth_bps, last_level, 1.0)
+            alpha = 1.0
+            costs = self.objective(chunk_index, u, bandwidth_bps, last_level, alpha)
             level = int(np.argmin(costs))
+        self.last_alpha = alpha
         return level
 
     @property

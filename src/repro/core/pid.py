@@ -37,16 +37,27 @@ class PIDController:
             raise ValueError("chunk_duration_s must be positive")
         self._integral = 0.0
         self._last_time_s = 0.0
+        self._last_error_s = 0.0
 
     def reset(self) -> None:
         """Clear the integral and the clock (new session)."""
         self._integral = 0.0
         self._last_time_s = 0.0
+        self._last_error_s = 0.0
 
     @property
     def integral(self) -> float:
         """Accumulated (clamped) integral of the buffer error, in s^2."""
         return self._integral
+
+    @property
+    def last_error_s(self) -> float:
+        """The error ``x_r(t) - x_t`` of the most recent update (Eq. 2).
+
+        Telemetry reads this after each decision to trace PID
+        convergence without recomputing the target/buffer difference.
+        """
+        return self._last_error_s
 
     def update(self, now_s: float, buffer_s: float, target_s: float) -> float:
         """Advance the controller to ``now_s`` and return u_t.
@@ -62,6 +73,7 @@ class PIDController:
         self._last_time_s = now_s
 
         error = target_s - buffer_s
+        self._last_error_s = error
         self._integral += error * dt
         limit = self.config.integral_limit
         self._integral = max(-limit, min(limit, self._integral))

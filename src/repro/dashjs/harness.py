@@ -87,6 +87,10 @@ class InstrumentedAlgorithm(ABRAlgorithm):
         self.decision_time_s = 0.0
         self.decisions = 0
 
+    def bind_tracer(self, tracer) -> None:  # noqa: ANN001 - protocol match
+        super().bind_tracer(tracer)
+        self.inner.bind_tracer(tracer)
+
     def prepare(self, manifest) -> None:  # noqa: ANN001 - protocol match
         self.decision_time_s = 0.0
         self.decisions = 0

@@ -25,6 +25,12 @@ Design points:
 - **Graceful serial fallback.** ``n_workers=1`` — or a grid too small to
   amortize pool startup — runs in-process through the exact same batch
   code path, with the same cache semantics.
+- **Sweep telemetry.** Attach a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` and every work unit
+  reports sessions completed/failed, wall time, and artifact-cache
+  hits/misses; workers ship per-unit snapshots back with their results
+  and the parent merges them in submission order. No registry, no
+  overhead.
 - **Failure identification.** An exception inside any session is
   re-raised as :class:`SweepWorkerError` naming the failing (scheme,
   video, trace) triple, whichever worker it happened on.
@@ -39,6 +45,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import (
@@ -62,6 +69,7 @@ from repro.experiments.runner import (
 from repro.network.traces import NetworkTrace
 from repro.player.metrics import SessionMetrics
 from repro.player.session import SessionConfig
+from repro.telemetry.metrics import MetricsRegistry
 from repro.video.model import VideoAsset
 
 __all__ = [
@@ -69,7 +77,23 @@ __all__ = [
     "SweepWorkerError",
     "ParallelSweepRunner",
     "run_comparison_parallel",
+    "SESSIONS_COMPLETED_METRIC",
+    "SESSIONS_FAILED_METRIC",
+    "BATCHES_METRIC",
+    "UNIT_SECONDS_METRIC",
+    "CACHE_HITS_METRIC",
+    "CACHE_MISSES_METRIC",
+    "WORKERS_METRIC",
 ]
+
+# Metric names the sweep engine populates when a registry is attached.
+SESSIONS_COMPLETED_METRIC = "repro_sweep_sessions_completed_total"
+SESSIONS_FAILED_METRIC = "repro_sweep_sessions_failed_total"
+BATCHES_METRIC = "repro_sweep_batches_total"
+UNIT_SECONDS_METRIC = "repro_sweep_unit_seconds"
+CACHE_HITS_METRIC = "repro_sweep_artifact_cache_hits_total"
+CACHE_MISSES_METRIC = "repro_sweep_artifact_cache_misses_total"
+WORKERS_METRIC = "repro_sweep_workers"
 
 
 @dataclass(frozen=True)
@@ -128,12 +152,38 @@ def _init_worker(
     videos: Mapping[str, VideoAsset],
     traces: Sequence[NetworkTrace],
     config: SessionConfig,
+    telemetry: bool = False,
 ) -> None:
     """Pool initializer: pin shared assets and a fresh artifact cache."""
     _WORKER_STATE["videos"] = dict(videos)
     _WORKER_STATE["traces"] = list(traces)
     _WORKER_STATE["config"] = config
     _WORKER_STATE["cache"] = ArtifactCache()
+    _WORKER_STATE["telemetry"] = telemetry
+
+
+def _record_unit(
+    registry: MetricsRegistry,
+    completed: int,
+    failed: int,
+    elapsed_s: float,
+    hits_delta: int,
+    misses_delta: int,
+) -> None:
+    """Fold one work unit's outcome into a registry."""
+    registry.counter(
+        SESSIONS_COMPLETED_METRIC, "sessions that ran to completion"
+    ).inc(completed)
+    if failed:
+        registry.counter(
+            SESSIONS_FAILED_METRIC, "sessions aborted by an exception"
+        ).inc(failed)
+    registry.counter(BATCHES_METRIC, "sweep work units executed").inc()
+    registry.histogram(
+        UNIT_SECONDS_METRIC, "wall time per sweep work unit (seconds)"
+    ).observe(elapsed_s)
+    registry.counter(CACHE_HITS_METRIC, "artifact-cache hits").inc(hits_delta)
+    registry.counter(CACHE_MISSES_METRIC, "artifact-cache misses").inc(misses_delta)
 
 
 def _sweep_batch(
@@ -142,9 +192,17 @@ def _sweep_batch(
     batch: Sequence[NetworkTrace],
     config: SessionConfig,
     cache: ArtifactCache,
+    registry: Optional[MetricsRegistry] = None,
 ) -> List[SessionMetrics]:
-    """Run one spec over a contiguous trace batch; identify any failure."""
+    """Run one spec over a contiguous trace batch; identify any failure.
+
+    ``registry`` (optional) receives the unit's telemetry: sessions
+    completed/failed, wall time, and the artifact-cache hit/miss delta.
+    Results are identical with or without it.
+    """
     out: List[SessionMetrics] = []
+    start_s = time.perf_counter()
+    stats_before = cache.stats
     for trace in batch:
         try:
             out.append(
@@ -160,20 +218,51 @@ def _sweep_batch(
                 )
             )
         except Exception as exc:
+            if registry is not None:
+                stats_after = cache.stats
+                _record_unit(
+                    registry,
+                    completed=len(out),
+                    failed=1,
+                    elapsed_s=time.perf_counter() - start_s,
+                    hits_delta=stats_after.hits - stats_before.hits,
+                    misses_delta=stats_after.misses - stats_before.misses,
+                )
             raise SweepWorkerError(
                 spec.describe(), video.name, trace.name,
                 f"{type(exc).__name__}: {exc}",
             ) from exc
+    if registry is not None:
+        stats_after = cache.stats
+        _record_unit(
+            registry,
+            completed=len(out),
+            failed=0,
+            elapsed_s=time.perf_counter() - start_s,
+            hits_delta=stats_after.hits - stats_before.hits,
+            misses_delta=stats_after.misses - stats_before.misses,
+        )
     return out
 
 
 def _run_batch_in_worker(spec: SweepSpec, start: int, stop: int):
-    """Task entry point executed inside a pool worker."""
+    """Task entry point executed inside a pool worker.
+
+    Returns ``(metrics, snapshot)`` where ``snapshot`` is a per-unit
+    :meth:`MetricsRegistry.snapshot` when sweep telemetry is on, else
+    None. Per-unit (not per-worker) registries keep the parent's merge
+    simple and double-count-proof: every snapshot covers exactly one
+    work unit.
+    """
     videos: Mapping[str, VideoAsset] = _WORKER_STATE["videos"]  # type: ignore[assignment]
     traces: Sequence[NetworkTrace] = _WORKER_STATE["traces"]  # type: ignore[assignment]
     config: SessionConfig = _WORKER_STATE["config"]  # type: ignore[assignment]
     cache: ArtifactCache = _WORKER_STATE["cache"]  # type: ignore[assignment]
-    return _sweep_batch(spec, videos[spec.video_key], traces[start:stop], config, cache)
+    registry = MetricsRegistry() if _WORKER_STATE.get("telemetry") else None
+    metrics = _sweep_batch(
+        spec, videos[spec.video_key], traces[start:stop], config, cache, registry
+    )
+    return metrics, (registry.snapshot() if registry is not None else None)
 
 
 # ----------------------------------------------------------------------
@@ -200,6 +289,14 @@ class ParallelSweepRunner:
     min_parallel_sessions:
         Grids with fewer total sessions than this run serially — pool
         startup would dominate. Set to 0 to force pool execution.
+    registry:
+        Optional :class:`~repro.telemetry.metrics.MetricsRegistry` the
+        sweep populates: sessions completed/failed, per-unit wall time,
+        artifact-cache hits/misses, worker count. Workers accumulate
+        into per-unit registries whose snapshots are merged back here in
+        submission order, so the numbers are deterministic and the
+        results bit-identical with telemetry on or off. ``None`` (the
+        default) skips all of it.
     """
 
     def __init__(
@@ -208,6 +305,7 @@ class ParallelSweepRunner:
         batch_size: Optional[int] = None,
         mp_context: Optional[Union[str, multiprocessing.context.BaseContext]] = None,
         min_parallel_sessions: int = 16,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1 or None, got {n_workers}")
@@ -219,6 +317,7 @@ class ParallelSweepRunner:
         self.batch_size = batch_size
         self.mp_context = mp_context
         self.min_parallel_sessions = min_parallel_sessions
+        self.registry = registry
 
     # -- sizing ---------------------------------------------------------
 
@@ -284,11 +383,13 @@ class ParallelSweepRunner:
         traces: Sequence[NetworkTrace],
         config: SessionConfig,
     ) -> List[SweepResult]:
+        if self.registry is not None:
+            self.registry.gauge(WORKERS_METRIC, "sweep worker processes").set(1)
         cache = ArtifactCache()
         results = []
         for spec in specs:
             video = videos[spec.video_key]
-            metrics = _sweep_batch(spec, video, traces, config, cache)
+            metrics = _sweep_batch(spec, video, traces, config, cache, self.registry)
             results.append(
                 SweepResult(
                     scheme=spec.scheme,
@@ -310,12 +411,15 @@ class ParallelSweepRunner:
         bounds = self._batch_bounds(len(traces), workers)
         # Never spin up more workers than there are tasks.
         workers = min(workers, len(specs) * len(bounds))
+        registry = self.registry
+        if registry is not None:
+            registry.gauge(WORKERS_METRIC, "sweep worker processes").set(workers)
         parts: List[Dict[int, List]] = [dict() for _ in specs]
         with ProcessPoolExecutor(
             max_workers=workers,
             mp_context=self._resolve_context(),
             initializer=_init_worker,
-            initargs=(dict(videos), list(traces), config),
+            initargs=(dict(videos), list(traces), config, registry is not None),
         ) as pool:
             futures = {}
             for spec_idx, spec in enumerate(specs):
@@ -326,13 +430,24 @@ class ParallelSweepRunner:
             if any(future.exception() is not None for future in done):
                 for future in not_done:
                     future.cancel()
+                # A failing unit's snapshot is lost with its exception;
+                # account for the failure parent-side instead.
+                if registry is not None:
+                    registry.counter(
+                        SESSIONS_FAILED_METRIC, "sessions aborted by an exception"
+                    ).inc()
                 # Re-raise the completed failure that is earliest in
                 # submission order, so error reporting is deterministic.
                 for future in futures:
                     if future in done and future.exception() is not None:
                         raise future.exception()
             for future, (spec_idx, start) in futures.items():
-                parts[spec_idx][start] = future.result()
+                metrics, snapshot = future.result()
+                parts[spec_idx][start] = metrics
+                if registry is not None and snapshot is not None:
+                    # futures iterate in submission order, so merges are
+                    # deterministic no matter which worker finished first.
+                    registry.merge(snapshot)
         results = []
         for spec, chunks in zip(specs, parts):
             video = videos[spec.video_key]
@@ -417,7 +532,8 @@ def run_comparison_parallel(
     network: str = "lte",
     config: SessionConfig = SessionConfig(),
     n_workers: Optional[int] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Dict[str, SweepResult]:
     """One-call parallel comparison (``n_workers=None`` = all cores)."""
-    engine = ParallelSweepRunner(n_workers=n_workers)
+    engine = ParallelSweepRunner(n_workers=n_workers, registry=registry)
     return engine.run_comparison(schemes, video, traces, network, config)

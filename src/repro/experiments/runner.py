@@ -24,9 +24,12 @@ execution, set ``n_workers`` on :func:`run_comparison` (or use
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # annotation only; the engine imports it for real
+    from repro.telemetry.metrics import MetricsRegistry
 
 from repro.abr.base import ABRAlgorithm
 from repro.abr.registry import make_scheme, needs_quality_manifest
@@ -152,6 +155,7 @@ def run_comparison(
     network: str = "lte",
     config: SessionConfig = SessionConfig(),
     n_workers: Optional[int] = 1,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Dict[str, SweepResult]:
     """Run several schemes under identical conditions (same traces).
 
@@ -159,11 +163,15 @@ def run_comparison(
     ``1`` (the default) runs serially in this process, ``None`` uses all
     cores, any other value that many workers. Results are bit-identical
     and identically ordered regardless of worker count.
+
+    ``registry`` attaches sweep telemetry (sessions, per-unit wall time,
+    cache hits — see :mod:`repro.telemetry.metrics`); it always routes
+    through the engine so serial and pooled runs report identically.
     """
-    if n_workers != 1:
+    if n_workers != 1 or registry is not None:
         from repro.experiments.parallel import ParallelSweepRunner
 
-        engine = ParallelSweepRunner(n_workers=n_workers)
+        engine = ParallelSweepRunner(n_workers=n_workers, registry=registry)
         return engine.run_comparison(schemes, video, traces, network, config)
     cache = ArtifactCache()
     return {

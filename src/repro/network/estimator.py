@@ -17,12 +17,15 @@ Estimators follow a small protocol:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 import numpy as np
 
 from repro.util.stats import harmonic_mean
 from repro.util.validation import check_in_range, check_positive
+
+if TYPE_CHECKING:  # telemetry records are plain data; no runtime import
+    from repro.telemetry.tracer import Tracer
 
 __all__ = [
     "BandwidthEstimator",
@@ -30,6 +33,7 @@ __all__ = [
     "EwmaEstimator",
     "LastSampleEstimator",
     "ControlledErrorEstimator",
+    "TracedEstimator",
 ]
 
 #: Prediction returned before any sample has been observed. Deliberately
@@ -168,3 +172,33 @@ class ControlledErrorEstimator(BandwidthEstimator):
 
     def reset(self) -> None:
         pass
+
+
+class TracedEstimator(BandwidthEstimator):
+    """Transparent wrapper reporting every interaction to a tracer.
+
+    Predictions and observed throughput samples flow to
+    :meth:`~repro.telemetry.tracer.Tracer.on_bandwidth_estimate` /
+    :meth:`~repro.telemetry.tracer.Tracer.on_bandwidth_sample` while the
+    wrapped estimator's behaviour — and therefore the session outcome —
+    is untouched. This captures estimate/realized divergence at *every*
+    query (including re-queries after an idle), finer-grained than the
+    one decision-time sample the per-chunk trace record keeps.
+    """
+
+    def __init__(self, inner: BandwidthEstimator, tracer: Tracer) -> None:
+        super().__init__(inner.initial_estimate_bps)
+        self.inner = inner
+        self.tracer = tracer
+
+    def observe(self, size_bits: float, duration_s: float, now_s: float) -> None:
+        self.inner.observe(size_bits, duration_s, now_s)
+        self.tracer.on_bandwidth_sample(now_s, size_bits / max(duration_s, 1e-9))
+
+    def predict_bps(self, now_s: float) -> float:
+        prediction = self.inner.predict_bps(now_s)
+        self.tracer.on_bandwidth_estimate(now_s, prediction)
+        return prediction
+
+    def reset(self) -> None:
+        self.inner.reset()

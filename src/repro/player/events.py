@@ -10,7 +10,7 @@ dash.js harness examples to print per-session narratives.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Iterable, List, Optional
 
 from repro.player.session import SessionResult
 
@@ -22,14 +22,67 @@ class SessionEvent:
     """One timeline entry.
 
     ``kind`` is one of ``startup``, ``download``, ``switch_up``,
-    ``switch_down``, ``stall``, ``idle``. ``time_s`` orders the log;
-    ``detail`` is the human-readable payload.
+    ``switch_down``, ``stall``, ``idle_requested``, ``idle_cap``, or —
+    for archived records predating the idle-attribution split — the
+    merged ``idle``. ``time_s`` orders the log; ``detail`` is the
+    human-readable payload.
     """
 
     time_s: float
     kind: str
     chunk_index: int
     detail: str
+
+
+def _idle_events(result: SessionResult, i: int, start: float) -> List[SessionEvent]:
+    """Idle entries before chunk ``i``, attributed when the split exists.
+
+    An algorithm-requested pause (BOLA-style) and a buffer-cap wait are
+    different diagnoses — one is the scheme saving data, the other the
+    player hitting ``max_buffer_s`` — so they get distinct kinds. The
+    requested idle always precedes the cap idle in the session loop, so
+    the timestamps back off ``download_start_s`` in that order.
+    """
+    requested = result.requested_idle_s
+    cap = result.cap_idle_s
+    if requested is None or cap is None:
+        # Legacy record: only the summed idle is known.
+        if result.idle_s[i] > 0:
+            return [
+                SessionEvent(
+                    time_s=start - float(result.idle_s[i]),
+                    kind="idle",
+                    chunk_index=i,
+                    detail=f"idled {result.idle_s[i]:.2f}s before requesting chunk {i}",
+                )
+            ]
+        return []
+    events: List[SessionEvent] = []
+    if requested[i] > 0:
+        events.append(
+            SessionEvent(
+                time_s=start - float(cap[i]) - float(requested[i]),
+                kind="idle_requested",
+                chunk_index=i,
+                detail=(
+                    f"algorithm paused {requested[i]:.2f}s before "
+                    f"requesting chunk {i}"
+                ),
+            )
+        )
+    if cap[i] > 0:
+        events.append(
+            SessionEvent(
+                time_s=start - float(cap[i]),
+                kind="idle_cap",
+                chunk_index=i,
+                detail=(
+                    f"waited {cap[i]:.2f}s for buffer-cap headroom before "
+                    f"chunk {i}"
+                ),
+            )
+        )
+    return events
 
 
 def session_events(result: SessionResult) -> List[SessionEvent]:
@@ -40,15 +93,7 @@ def session_events(result: SessionResult) -> List[SessionEvent]:
         start = float(result.download_start_s[i])
         level = int(result.levels[i])
 
-        if result.idle_s[i] > 0:
-            events.append(
-                SessionEvent(
-                    time_s=start - float(result.idle_s[i]),
-                    kind="idle",
-                    chunk_index=i,
-                    detail=f"idled {result.idle_s[i]:.2f}s before requesting chunk {i}",
-                )
-            )
+        events.extend(_idle_events(result, i, start))
         if previous_level is not None and level != previous_level:
             kind = "switch_up" if level > previous_level else "switch_down"
             events.append(
@@ -96,15 +141,22 @@ def session_events(result: SessionResult) -> List[SessionEvent]:
 
 def format_events(
     events: List[SessionEvent],
-    kinds: tuple = ("startup", "switch_up", "switch_down", "stall"),
+    kinds: Optional[Iterable[str]] = (
+        "startup",
+        "switch_up",
+        "switch_down",
+        "stall",
+    ),
     limit: int = 50,
 ) -> str:
     """Render the interesting subset of a timeline as text.
 
-    Downloads are omitted by default (there is one per chunk); pass
-    ``kinds=None`` for the full firehose.
+    ``kinds`` is any iterable of event kinds (it is materialized once, so
+    generators are fine). Downloads are omitted by default (there is one
+    per chunk); pass ``kinds=None`` for the full firehose.
     """
-    selected = [e for e in events if kinds is None or e.kind in kinds]
+    wanted = None if kinds is None else set(kinds)
+    selected = [e for e in events if wanted is None or e.kind in wanted]
     lines = [
         f"[{event.time_s:8.2f}s] {event.kind:12s} {event.detail}"
         for event in selected[:limit]

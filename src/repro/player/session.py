@@ -22,7 +22,7 @@ After the last download, the remaining buffer plays out stall-free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.network.link import TraceLink
 from repro.player.buffer import PlaybackBuffer
 from repro.util.validation import check_positive
 from repro.video.model import Manifest, VideoAsset
+
+if TYPE_CHECKING:  # telemetry is an optional layer; no runtime import here
+    from repro.telemetry.tracer import Tracer
 
 __all__ = ["SessionConfig", "SessionResult", "StreamingSession", "run_session"]
 
@@ -71,6 +74,26 @@ class SessionResult:
     buffer_after_s: np.ndarray
     idle_s: np.ndarray
     startup_delay_s: float
+    #: Idle attribution: seconds the *algorithm* asked to pause vs.
+    #: seconds forced by the buffer cap. ``idle_s`` is their sum. None on
+    #: records predating the split (e.g. archived JSON); events fall back
+    #: to the merged ``idle`` kind then.
+    requested_idle_s: Optional[np.ndarray] = None
+    cap_idle_s: Optional[np.ndarray] = None
+
+    #: Array fields, in declaration order, with their dtypes — shared by
+    #: the JSON round-trip below.
+    _ARRAY_FIELDS = (
+        ("levels", int),
+        ("sizes_bits", float),
+        ("download_start_s", float),
+        ("download_finish_s", float),
+        ("stall_s", float),
+        ("buffer_after_s", float),
+        ("idle_s", float),
+        ("requested_idle_s", float),
+        ("cap_idle_s", float),
+    )
 
     @property
     def num_chunks(self) -> int:
@@ -98,6 +121,39 @@ class SessionResult:
         """Wall-clock time from first request to last byte."""
         return float(self.download_finish_s[-1])
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dict: arrays become lists, floats stay exact.
+
+        ``json.dumps(result.to_dict())`` round-trips bit-exactly through
+        :meth:`from_dict` (Python's JSON float formatting is shortest
+        round-trip), so session records can be archived next to
+        ``BENCH_sweep.json`` and replayed into the event/trace tooling.
+        """
+        out: Dict[str, Any] = {
+            "scheme": self.scheme,
+            "video_name": self.video_name,
+            "trace_name": self.trace_name,
+            "startup_delay_s": float(self.startup_delay_s),
+        }
+        for name, _ in self._ARRAY_FIELDS:
+            value = getattr(self, name)
+            out[name] = None if value is None else [v.item() for v in value]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SessionResult":
+        """Rebuild a result from :meth:`to_dict` output (or parsed JSON)."""
+        kwargs: Dict[str, Any] = {
+            "scheme": data["scheme"],
+            "video_name": data["video_name"],
+            "trace_name": data["trace_name"],
+            "startup_delay_s": float(data["startup_delay_s"]),
+        }
+        for name, dtype in cls._ARRAY_FIELDS:
+            value = data.get(name)
+            kwargs[name] = None if value is None else np.asarray(value, dtype=dtype)
+        return cls(**kwargs)
+
 
 class StreamingSession:
     """Runs one (algorithm, manifest, link) session; reusable."""
@@ -114,17 +170,32 @@ class StreamingSession:
         manifest: Manifest,
         link: TraceLink,
         estimator: Optional[BandwidthEstimator] = None,
+        tracer: Optional[Tracer] = None,
     ) -> SessionResult:
         """Stream every chunk of ``manifest`` over ``link``.
 
         A fresh :class:`HarmonicMeanEstimator` is used when none is given
         (the paper's common estimator, §6.1). A caller-provided estimator
         is reset before use.
+
+        ``tracer`` captures a per-chunk telemetry record (see
+        :mod:`repro.telemetry.tracer`); ``None`` disables tracing
+        entirely — the loop takes one pointer comparison per chunk and
+        produces bit-identical results either way.
         """
         if estimator is None:
             estimator = HarmonicMeanEstimator()
         estimator.reset()
+        algorithm.bind_tracer(tracer)
         algorithm.prepare(manifest)
+        if tracer is not None:
+            # Deferred import: repro.telemetry depends on the player, so
+            # the reverse edge must not exist at module import time.
+            from repro.telemetry.tracer import ChunkRecord
+
+            tracer.on_session_start(
+                algorithm.name, manifest.video_name, link.trace.name, manifest.num_chunks
+            )
 
         n = manifest.num_chunks
         delta = manifest.chunk_duration_s
@@ -141,6 +212,8 @@ class StreamingSession:
         stalls = np.zeros(n, dtype=float)
         buffers = np.zeros(n, dtype=float)
         idles = np.zeros(n, dtype=float)
+        requested_idles = np.zeros(n, dtype=float)
+        cap_idles = np.zeros(n, dtype=float)
 
         def decision_context(index: int) -> DecisionContext:
             # Snapshot of the player state the algorithm is allowed to
@@ -181,6 +254,7 @@ class StreamingSession:
 
             # 2. respect the buffer cap: idle until one chunk fits
             idle = requested_idle
+            cap_idle = 0.0
             if playing and buffer.level_s + delta > self.config.max_buffer_s:
                 cap_idle = buffer.level_s + delta - self.config.max_buffer_s
                 stall_during_idle = buffer.drain(cap_idle)
@@ -207,7 +281,28 @@ class StreamingSession:
             stalls[i] = stall
             buffers[i] = buffer.level_s
             idles[i] = idle
+            requested_idles[i] = requested_idle
+            cap_idles[i] = cap_idle
             last_level = level
+
+            if tracer is not None:
+                # Plain floats, not numpy scalars: records must JSON-dump.
+                tracer.on_chunk(
+                    ChunkRecord(
+                        chunk_index=i,
+                        level=level,
+                        size_bits=float(size),
+                        buffer_before_s=float(ctx.buffer_s),
+                        buffer_after_s=float(buffer.level_s),
+                        requested_idle_s=float(requested_idle),
+                        cap_idle_s=float(cap_idle),
+                        stall_s=float(stall),
+                        download_start_s=float(result.start_s),
+                        download_finish_s=float(now),
+                        estimated_bandwidth_bps=float(ctx.bandwidth_bps),
+                        realized_bandwidth_bps=float(size / max(download_s, 1e-9)),
+                    )
+                )
 
             # 5. startup: playback begins once the initial target is met
             if not playing and buffer.level_s >= self.config.startup_latency_s:
@@ -218,6 +313,9 @@ class StreamingSession:
             # Very short video: startup target never reached; playback
             # starts when the download completes.
             startup_delay = now
+
+        if tracer is not None:
+            tracer.on_session_end(startup_delay)
 
         return SessionResult(
             scheme=algorithm.name,
@@ -231,6 +329,8 @@ class StreamingSession:
             buffer_after_s=buffers,
             idle_s=idles,
             startup_delay_s=startup_delay,
+            requested_idle_s=requested_idles,
+            cap_idle_s=cap_idles,
         )
 
 
@@ -241,6 +341,7 @@ def run_session(
     config: SessionConfig = SessionConfig(),
     estimator: Optional[BandwidthEstimator] = None,
     include_quality: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> SessionResult:
     """Convenience wrapper: build the manifest and run one session.
 
@@ -249,4 +350,4 @@ def run_session(
     standard size-only manifest.
     """
     manifest = video.manifest(include_quality=include_quality)
-    return StreamingSession(config).run(algorithm, manifest, link, estimator)
+    return StreamingSession(config).run(algorithm, manifest, link, estimator, tracer)

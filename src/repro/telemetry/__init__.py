@@ -1,0 +1,62 @@
+"""Telemetry layer: controller tracing, metrics registry, exporters.
+
+Three observability surfaces, all zero-overhead when unused:
+
+- :mod:`repro.telemetry.tracer` — the :class:`Tracer` protocol threaded
+  through ``StreamingSession.run`` and the CAVA controllers, capturing a
+  typed per-chunk record (PID error/integral, dynamic target buffer,
+  lookahead average, chunk quartile, estimated vs. realized bandwidth,
+  idle/stall attribution) into a :class:`SessionTrace`;
+- :mod:`repro.telemetry.metrics` — a process-safe
+  :class:`MetricsRegistry` (counters, gauges, fixed-bucket histograms)
+  that sweep workers populate and the parent merges across the pool
+  boundary;
+- :mod:`repro.telemetry.exporters` / :mod:`repro.telemetry.timeline` —
+  JSONL trace/event streams, Prometheus text dumps, and the merged
+  controller timeline behind the ``repro trace`` CLI subcommand.
+"""
+
+from repro.telemetry.exporters import (
+    events_to_jsonl,
+    registry_to_prometheus,
+    trace_to_jsonl,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.timeline import render_controller_timeline, trace_session
+from repro.telemetry.tracer import (
+    BandwidthEvent,
+    ChunkRecord,
+    ControllerStep,
+    NullTracer,
+    SessionTrace,
+    SessionTracer,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "SessionTracer",
+    "SessionTrace",
+    "ChunkRecord",
+    "ControllerStep",
+    "BandwidthEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_SECONDS_BUCKETS",
+    "trace_to_jsonl",
+    "events_to_jsonl",
+    "write_jsonl",
+    "registry_to_prometheus",
+    "trace_session",
+    "render_controller_timeline",
+]

@@ -1,0 +1,133 @@
+"""Telemetry exporters: JSONL event/trace streams and Prometheus text.
+
+Three output formats, matched to three consumers:
+
+- **JSONL** (:func:`trace_to_jsonl`, :func:`events_to_jsonl`,
+  :func:`write_jsonl`) — one JSON object per line, the archival format
+  that sits next to ``BENCH_sweep.json`` and greps/streams well;
+- **Prometheus text exposition** (:func:`registry_to_prometheus`) — the
+  ``# HELP`` / ``# TYPE`` / sample-line format scrape pipelines and CI
+  artifact diffing understand;
+- plain-dict JSON for whole objects (``SessionTrace.to_dict``,
+  ``SessionResult.to_dict``) handled by the callers.
+
+Everything here is pure formatting — no I/O except the explicit
+``write_jsonl`` convenience — so the functions are trivially testable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.player.events import SessionEvent
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.tracer import SessionTrace
+
+__all__ = [
+    "trace_to_jsonl",
+    "events_to_jsonl",
+    "write_jsonl",
+    "registry_to_prometheus",
+]
+
+
+def trace_to_jsonl(trace: SessionTrace) -> str:
+    """Serialize a trace as JSONL: one header line, then one line per chunk.
+
+    The header carries the session identity (kind ``"session"``); each
+    subsequent line is one :class:`~repro.telemetry.tracer.ChunkRecord`
+    (kind ``"chunk"``), followed by any estimator events (kind
+    ``"bandwidth"``).
+    """
+    lines: List[str] = [
+        json.dumps(
+            {
+                "kind": "session",
+                "scheme": trace.scheme,
+                "video_name": trace.video_name,
+                "trace_name": trace.trace_name,
+                "num_chunks": trace.num_chunks,
+                "startup_delay_s": trace.startup_delay_s,
+            }
+        )
+    ]
+    for record in trace.records:
+        payload = record.to_dict()
+        payload["kind"] = "chunk"
+        lines.append(json.dumps(payload))
+    for event in trace.bandwidth_events:
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "bandwidth",
+                    "event": event.kind,
+                    "now_s": event.now_s,
+                    "bandwidth_bps": event.bandwidth_bps,
+                }
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def events_to_jsonl(events: Iterable[SessionEvent]) -> str:
+    """One JSON object per timeline event."""
+    lines = [
+        json.dumps(
+            {
+                "time_s": event.time_s,
+                "event": event.kind,
+                "chunk_index": event.chunk_index,
+                "detail": event.detail,
+            }
+        )
+        for event in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(text: str, path: Union[str, Path]) -> Path:
+    """Write a JSONL string to ``path`` (parent directories created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample formatting: integers bare, +Inf spelled out."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def registry_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Metrics are emitted sorted by name so the dump is diffable across
+    runs; histograms expose the standard ``_bucket{le=...}``
+    (cumulative), ``_sum``, and ``_count`` series.
+    """
+    lines: List[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                cumulative += count
+                lines.append(
+                    f'{metric.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                )
+            cumulative += metric.counts[-1]
+            lines.append(f'{metric.name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric.name}_sum {_format_value(metric.sum)}")
+            lines.append(f"{metric.name}_count {cumulative}")
+    return "\n".join(lines) + ("\n" if lines else "")

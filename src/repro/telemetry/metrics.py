@@ -1,0 +1,250 @@
+"""Process-safe metrics registry: counters, gauges, histograms.
+
+The parallel sweep engine runs sessions in pool workers, so a single
+shared registry object is impossible — worker processes do not share
+memory with the parent. The model here is the one Prometheus clients
+use for multi-process setups: each process accumulates into its own
+:class:`MetricsRegistry`, serializes it with :meth:`MetricsRegistry.snapshot`
+(plain dicts, picklable), and the parent folds every snapshot in with
+:meth:`MetricsRegistry.merge`. Within one process a single lock keeps
+concurrent updates (e.g. from executor callback threads) consistent.
+
+Merge semantics:
+
+- **counters** add;
+- **histograms** add bucket-wise (bucket bounds must match);
+- **gauges** overwrite (last merged value wins) — a gauge is a
+  point-in-time reading, not an accumulation.
+
+Histograms use *fixed* bucket bounds chosen at creation
+(:data:`DEFAULT_SECONDS_BUCKETS` suits per-unit wall times), so merging
+across processes is exact — no rebinning, no approximation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Bucket upper bounds (seconds) for wall-time histograms; +Inf implied.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ValueError(
+            f"metric name must be non-empty and [a-zA-Z0-9_:], got {name!r}"
+        )
+    if name[0].isdigit():
+        raise ValueError(f"metric name cannot start with a digit: {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonically increasing count (sessions completed, cache hits...)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative: counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that goes up and down (workers in flight, pool size...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bound histogram (per-unit wall time, batch sizes...).
+
+    ``bounds`` are the finite upper bucket edges in increasing order; an
+    implicit +Inf bucket catches the overflow, so ``counts`` has
+    ``len(bounds) + 1`` entries. ``observe`` files each sample into the
+    first bucket whose bound is >= the sample (Prometheus ``le``
+    semantics).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        """Total number of samples observed."""
+        return sum(self.counts)
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create access, snapshot, and merge.
+
+    ``counter``/``gauge``/``histogram`` return the existing metric when
+    the name is already registered (so call sites need no bookkeeping)
+    and raise :class:`TypeError` when the name is registered as a
+    different kind.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, requested {cls.__name__}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        """Get or create a fixed-bound histogram."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[object]:
+        """The registered metric, or None."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> List[object]:
+        """All registered metrics, sorted by name (stable output order)."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    # -- cross-process plumbing -----------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Picklable dump of every metric (for the pool boundary)."""
+        out: Dict[str, Dict[str, object]] = {}
+        with self._lock:
+            for name, metric in self._metrics.items():
+                entry: Dict[str, object] = {
+                    "kind": metric.kind,
+                    "help": metric.help,
+                }
+                if isinstance(metric, Histogram):
+                    entry["bounds"] = list(metric.bounds)
+                    entry["counts"] = list(metric.counts)
+                    entry["sum"] = metric.sum
+                else:
+                    entry["value"] = metric.value  # type: ignore[union-attr]
+                out[name] = entry
+        return out
+
+    def merge(self, snapshot: Mapping[str, Mapping[str, object]]) -> None:
+        """Fold one :meth:`snapshot` into this registry.
+
+        Counters and histogram buckets add; gauges take the snapshot's
+        value. Unknown names are created on the fly, so a parent can
+        merge worker snapshots into a completely fresh registry.
+        """
+        for name, entry in snapshot.items():
+            kind = entry["kind"]
+            if kind == "counter":
+                self.counter(name, str(entry.get("help", ""))).inc(
+                    float(entry["value"])  # type: ignore[arg-type]
+                )
+            elif kind == "gauge":
+                self.gauge(name, str(entry.get("help", ""))).set(
+                    float(entry["value"])  # type: ignore[arg-type]
+                )
+            elif kind == "histogram":
+                bounds = tuple(entry["bounds"])  # type: ignore[arg-type]
+                hist = self.histogram(name, str(entry.get("help", "")), buckets=bounds)
+                if hist.bounds != bounds:
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ: "
+                        f"{hist.bounds} vs {bounds}"
+                    )
+                with self._lock:
+                    for i, count in enumerate(entry["counts"]):  # type: ignore[arg-type]
+                        hist.counts[i] += int(count)
+                    hist.sum += float(entry["sum"])  # type: ignore[arg-type]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+
+    def merge_all(
+        self, snapshots: Iterable[Mapping[str, Mapping[str, object]]]
+    ) -> None:
+        """Merge several snapshots in the given order."""
+        for snapshot in snapshots:
+            self.merge(snapshot)

@@ -1,0 +1,114 @@
+"""One-session profiling: run with tracing on, render the merged timeline.
+
+This is the ``repro trace`` backend: :func:`trace_session` replays one
+(algorithm, video, trace) session with a
+:class:`~repro.telemetry.tracer.SessionTracer` attached, and
+:func:`render_controller_timeline` merges the resulting controller
+trace with the player event log into the chunk-by-chunk view the
+paper's §6.2–§6.4 analysis reads: where the outer controller put the
+target buffer, what the PID error/output were, what bandwidth the loop
+assumed versus what the link delivered, and which complexity class the
+chunk fell in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.network.estimator import BandwidthEstimator
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace
+from repro.player.events import session_events
+from repro.player.session import SessionConfig, SessionResult, StreamingSession
+from repro.telemetry.tracer import SessionTrace, SessionTracer
+from repro.video.model import VideoAsset
+
+__all__ = ["trace_session", "render_controller_timeline"]
+
+#: Event kinds interleaved between chunk rows (downloads are the rows).
+_EVENT_KINDS = ("startup", "stall", "idle", "idle_requested", "idle_cap")
+
+
+def trace_session(
+    algorithm,
+    video: VideoAsset,
+    trace_or_link: Union[NetworkTrace, TraceLink],
+    config: SessionConfig = SessionConfig(),
+    estimator: Optional[BandwidthEstimator] = None,
+    include_quality: bool = False,
+) -> Tuple[SessionResult, SessionTrace]:
+    """Run one session with tracing enabled; return (result, trace)."""
+    link = (
+        trace_or_link
+        if isinstance(trace_or_link, TraceLink)
+        else TraceLink(trace_or_link)
+    )
+    manifest = video.manifest(include_quality=include_quality)
+    tracer = SessionTracer()
+    result = StreamingSession(config).run(
+        algorithm, manifest, link, estimator, tracer=tracer
+    )
+    return result, tracer.trace
+
+
+_HEADER = (
+    f"{'time':>11} {'chk':>4}  {'Q':>2}  {'lv':>2}  {'buf':>6}  {'target':>8}"
+    f"  {'err':>8}  {'u':>7}  {'alpha':>6}  {'est Mbps':>9}  {'real Mbps':>9}"
+)
+
+
+def _chunk_row(record) -> str:
+    """One chunk's merged controller/player line."""
+    step = record.controller
+    if step is not None:
+        quartile = f"Q{step.quartile}"
+        target = f"{step.target_buffer_s:7.1f}s"
+        error = f"{step.error_s:+8.2f}"
+        u = f"{step.u:7.3f}"
+        alpha = f"{step.alpha:6.2f}"
+    else:
+        quartile, target, error, u, alpha = " -", f"{'-':>8}", f"{'-':>8}", f"{'-':>7}", f"{'-':>6}"
+    return (
+        f"[{record.download_start_s:8.2f}s] {record.chunk_index:4d}  {quartile}"
+        f"  L{record.level}  {record.buffer_before_s:5.1f}s  {target}  {error}"
+        f"  {u}  {alpha}  {record.estimated_bandwidth_bps / 1e6:9.2f}"
+        f"  {record.realized_bandwidth_bps / 1e6:9.2f}"
+    )
+
+
+def render_controller_timeline(
+    trace: SessionTrace, result: SessionResult, limit: Optional[int] = None
+) -> str:
+    """Merge the controller trace and the event log into one timeline.
+
+    Chunk rows show the controller columns (dashes for schemes without a
+    CAVA-style controller); startup/stall/idle events from the player
+    log are interleaved at their timestamps. ``limit`` truncates to the
+    first N lines after the header (None = everything).
+    """
+    entries: List[Tuple[float, int, str]] = []
+    for record in trace.records:
+        entries.append((record.download_start_s, record.chunk_index, _chunk_row(record)))
+    for event in session_events(result):
+        if event.kind not in _EVENT_KINDS:
+            continue
+        entries.append(
+            (
+                event.time_s,
+                event.chunk_index,
+                f"[{event.time_s:8.2f}s] {event.kind}: {event.detail}",
+            )
+        )
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+
+    lines = [
+        f"{trace.scheme} on {trace.video_name} over {trace.trace_name} — "
+        f"per-chunk controller timeline",
+        _HEADER,
+    ]
+    rows = [line for _, _, line in entries]
+    if limit is not None and len(rows) > limit:
+        truncated = len(rows) - limit
+        rows = rows[:limit] + [f"... {truncated} more rows"]
+    lines.extend(rows)
+    return "\n".join(lines)

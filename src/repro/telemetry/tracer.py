@@ -1,0 +1,220 @@
+"""Controller tracing: typed per-chunk records of *why* a session behaved
+as it did.
+
+:class:`~repro.player.session.SessionResult` records the client-observable
+outputs of a session; debugging the inner/outer coupling of CAVA
+(Eqs. 1–5) needs the *inputs*: the dynamic target buffer the outer
+controller chose (Eq. 5), the PID error and integral driving ``u_t``
+(Eq. 2), the W-chunk lookahead average and differential factor the inner
+controller minimized over (Eqs. 3–4), and the bandwidth estimate the
+whole loop trusted versus the throughput the link actually delivered.
+
+The :class:`Tracer` protocol carries those quantities out of the hot
+loop without perturbing it:
+
+- every hook on the base class is a no-op, so :class:`NullTracer` (or
+  simply passing ``tracer=None``, which skips the calls entirely) leaves
+  ``StreamingSession.run`` bit-identical;
+- :class:`SessionTracer` collects one :class:`ChunkRecord` per chunk
+  into a :class:`SessionTrace`, merging the player-side record emitted
+  by the session with the :class:`ControllerStep` emitted by
+  :class:`~repro.core.cava.CavaAlgorithm` (absent for schemes without a
+  CAVA-style controller);
+- bandwidth estimators wrapped in
+  :class:`~repro.network.estimator.TracedEstimator` additionally stream
+  every prediction/observation as :class:`BandwidthEvent` entries.
+
+Nothing here imports the player or the controllers — records are plain
+data — so every layer can depend on this module without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "ControllerStep",
+    "ChunkRecord",
+    "BandwidthEvent",
+    "SessionTrace",
+    "Tracer",
+    "NullTracer",
+    "SessionTracer",
+]
+
+
+@dataclass(frozen=True)
+class ControllerStep:
+    """CAVA's internal state when it decided one chunk (Eqs. 1–5).
+
+    Attributes
+    ----------
+    target_buffer_s:
+        The outer controller's dynamic target ``x_r(t)`` (Eq. 5).
+    error_s:
+        The PID error ``x_r(t) - x_t`` fed to Eq. 2.
+    integral:
+        The (anti-windup-clamped) integral term of Eq. 2, in s².
+    u:
+        The saturated controller output ``u_t`` — the relative filling
+        rate the inner controller budgets against (Eq. 1).
+    alpha:
+        The differential bandwidth factor applied to this chunk (P2):
+        > 1 inflates for Q4, < 1 deflates for Q1–Q3, 1.0 when
+        differential treatment is disabled or a heuristic reset it.
+    lookahead_mbps:
+        The short-term-filtered bitrate ``R̄_t(l*)`` of the *selected*
+        track — the W-chunk lookahead average of Eq. 3, in Mbps.
+    quartile:
+        Complexity class of the chunk (1..num_classes; 4 = Q4).
+    """
+
+    target_buffer_s: float
+    error_s: float
+    integral: float
+    u: float
+    alpha: float
+    lookahead_mbps: float
+    quartile: int
+
+
+@dataclass
+class ChunkRecord:
+    """Everything known about one chunk's journey through the session.
+
+    Player-side fields are filled by ``StreamingSession.run``;
+    ``controller`` is attached when the algorithm emitted a
+    :class:`ControllerStep` for the same chunk (CAVA variants do,
+    baselines do not).
+    """
+
+    chunk_index: int
+    level: int
+    size_bits: float
+    buffer_before_s: float
+    buffer_after_s: float
+    requested_idle_s: float
+    cap_idle_s: float
+    stall_s: float
+    download_start_s: float
+    download_finish_s: float
+    estimated_bandwidth_bps: float
+    realized_bandwidth_bps: float
+    controller: Optional[ControllerStep] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly dict (controller fields nested, or null)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class BandwidthEvent:
+    """One estimator interaction: a prediction or an observed sample."""
+
+    kind: str  # "estimate" | "sample"
+    now_s: float
+    bandwidth_bps: float
+
+
+@dataclass
+class SessionTrace:
+    """The full controller timeline of one session, chunk by chunk."""
+
+    scheme: str
+    video_name: str
+    trace_name: str
+    records: List[ChunkRecord] = field(default_factory=list)
+    bandwidth_events: List[BandwidthEvent] = field(default_factory=list)
+    startup_delay_s: float = 0.0
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunk records captured."""
+        return len(self.records)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly dict of the whole trace."""
+        return {
+            "scheme": self.scheme,
+            "video_name": self.video_name,
+            "trace_name": self.trace_name,
+            "startup_delay_s": self.startup_delay_s,
+            "records": [record.to_dict() for record in self.records],
+            "bandwidth_events": [asdict(event) for event in self.bandwidth_events],
+        }
+
+
+class Tracer:
+    """Tracing protocol threaded through the session and controllers.
+
+    Every hook is a no-op here, so subclasses override only what they
+    need and the base class doubles as a null sink. The session treats
+    ``tracer=None`` as "tracing disabled" and skips the calls entirely,
+    which is the zero-overhead path the benchmarks guard.
+    """
+
+    def on_session_start(
+        self, scheme: str, video_name: str, trace_name: str, num_chunks: int
+    ) -> None:
+        """The session is about to stream ``num_chunks`` chunks."""
+
+    def on_controller_step(self, chunk_index: int, step: ControllerStep) -> None:
+        """A CAVA-style controller decided chunk ``chunk_index``."""
+
+    def on_chunk(self, record: ChunkRecord) -> None:
+        """One chunk finished downloading; the player-side record."""
+
+    def on_bandwidth_estimate(self, now_s: float, bandwidth_bps: float) -> None:
+        """A wrapped estimator produced a prediction."""
+
+    def on_bandwidth_sample(self, now_s: float, bandwidth_bps: float) -> None:
+        """A wrapped estimator absorbed an observed throughput sample."""
+
+    def on_session_end(self, startup_delay_s: float) -> None:
+        """The session finished; playback started at ``startup_delay_s``."""
+
+
+class NullTracer(Tracer):
+    """Explicit no-op tracer (identical to the base class by design)."""
+
+
+class SessionTracer(Tracer):
+    """Collects a :class:`SessionTrace`, one :class:`ChunkRecord` per chunk.
+
+    Controller steps arrive *before* the chunk's player record (the
+    decision precedes the download), so they are held pending by chunk
+    index and attached when the record lands.
+    """
+
+    def __init__(self) -> None:
+        self.trace = SessionTrace(scheme="", video_name="", trace_name="")
+        self._pending_steps: Dict[int, ControllerStep] = {}
+
+    def on_session_start(
+        self, scheme: str, video_name: str, trace_name: str, num_chunks: int
+    ) -> None:
+        self.trace = SessionTrace(
+            scheme=scheme, video_name=video_name, trace_name=trace_name
+        )
+        self._pending_steps.clear()
+
+    def on_controller_step(self, chunk_index: int, step: ControllerStep) -> None:
+        self._pending_steps[chunk_index] = step
+
+    def on_chunk(self, record: ChunkRecord) -> None:
+        record.controller = self._pending_steps.pop(record.chunk_index, None)
+        self.trace.records.append(record)
+
+    def on_bandwidth_estimate(self, now_s: float, bandwidth_bps: float) -> None:
+        self.trace.bandwidth_events.append(
+            BandwidthEvent(kind="estimate", now_s=now_s, bandwidth_bps=bandwidth_bps)
+        )
+
+    def on_bandwidth_sample(self, now_s: float, bandwidth_bps: float) -> None:
+        self.trace.bandwidth_events.append(
+            BandwidthEvent(kind="sample", now_s=now_s, bandwidth_bps=bandwidth_bps)
+        )
+
+    def on_session_end(self, startup_delay_s: float) -> None:
+        self.trace.startup_delay_s = startup_delay_s

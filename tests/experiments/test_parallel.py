@@ -13,12 +13,18 @@ from hypothesis import strategies as st
 from repro.core.tuning import CavaFactory, grid_search
 from repro.experiments.artifacts import ArtifactCache
 from repro.experiments.parallel import (
+    BATCHES_METRIC,
+    SESSIONS_COMPLETED_METRIC,
+    SESSIONS_FAILED_METRIC,
+    UNIT_SECONDS_METRIC,
+    WORKERS_METRIC,
     ParallelSweepRunner,
     SweepSpec,
     SweepWorkerError,
     run_comparison_parallel,
 )
 from repro.experiments.runner import run_comparison, run_scheme_on_traces
+from repro.telemetry.metrics import MetricsRegistry
 
 
 SCHEMES = ["CAVA", "RBA"]
@@ -242,6 +248,88 @@ class TestArtifactCache:
         first = cache.manifest(short_video)
         cache.clear()
         assert cache.manifest(short_video) is not first
+
+
+class TestSweepTelemetry:
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_session_count_across_pool(self, short_video, lte_traces, n_workers):
+        registry = MetricsRegistry()
+        engine = ParallelSweepRunner(
+            n_workers=n_workers, min_parallel_sessions=0, registry=registry
+        )
+        engine.run_comparison(SCHEMES, short_video, lte_traces[:6])
+        assert registry.counter(SESSIONS_COMPLETED_METRIC).value == len(SCHEMES) * 6
+        assert registry.gauge(WORKERS_METRIC).value == n_workers
+        hist = registry.get(UNIT_SECONDS_METRIC)
+        assert hist.count == registry.counter(BATCHES_METRIC).value
+
+    def test_serial_and_pool_report_same_invariants(self, short_video, lte_traces):
+        # Which worker builds which artifact is scheduling-dependent, so
+        # the hit/miss *split* may vary across runs — but the totals are
+        # invariant: every session does the same three cache lookups.
+        from repro.experiments.parallel import (
+            CACHE_HITS_METRIC,
+            CACHE_MISSES_METRIC,
+        )
+
+        snapshots = {}
+        for n_workers in (1, 2):
+            registry = MetricsRegistry()
+            engine = ParallelSweepRunner(
+                n_workers=n_workers,
+                batch_size=3,
+                min_parallel_sessions=0,
+                registry=registry,
+            )
+            engine.run_comparison(SCHEMES, short_video, lte_traces[:6])
+            snapshots[n_workers] = registry.snapshot()
+        serial, pooled = snapshots[1], snapshots[2]
+        assert set(serial) == set(pooled)
+        sessions = len(SCHEMES) * 6
+        for snap in (serial, pooled):
+            assert snap[SESSIONS_COMPLETED_METRIC]["value"] == sessions
+            lookups = snap[CACHE_HITS_METRIC]["value"] + snap[CACHE_MISSES_METRIC]["value"]
+            assert lookups == sessions * 3  # manifest + classifier + link
+        # serial runs one unit per spec; the pool splits 6 traces into
+        # ceil(6/3)=2 batches per spec
+        assert serial[BATCHES_METRIC]["value"] == len(SCHEMES)
+        assert pooled[BATCHES_METRIC]["value"] == len(SCHEMES) * 2
+
+    def test_cache_counters_reflect_worker_caches(self, short_video, lte_traces):
+        registry = MetricsRegistry()
+        engine = ParallelSweepRunner(n_workers=1, registry=registry)
+        engine.run_scheme("RBA", short_video, lte_traces[:4])
+        from repro.experiments.parallel import (
+            CACHE_HITS_METRIC,
+            CACHE_MISSES_METRIC,
+        )
+
+        # one manifest + one classifier + 4 links built, rest are hits
+        assert registry.counter(CACHE_MISSES_METRIC).value == 6
+        assert registry.counter(CACHE_HITS_METRIC).value == 4 * 3 - 6
+
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_failures_counted_once(self, short_video, lte_traces, n_workers):
+        registry = MetricsRegistry()
+        engine = ParallelSweepRunner(
+            n_workers=n_workers,
+            batch_size=2,
+            min_parallel_sessions=0,
+            registry=registry,
+        )
+        with pytest.raises(SweepWorkerError):
+            engine.run_scheme(
+                "RBA",
+                short_video,
+                lte_traces[:4],
+                estimator_factory=ExplodingEstimatorFactory(lte_traces[3].name),
+            )
+        assert registry.counter(SESSIONS_FAILED_METRIC).value == 1
+
+    def test_no_registry_no_metrics(self, short_video, lte_traces):
+        engine = ParallelSweepRunner(n_workers=1)
+        engine.run_scheme("RBA", short_video, lte_traces[:2])
+        assert engine.registry is None
 
 
 class TestSweepResultMemoization:

@@ -66,6 +66,67 @@ class TestSessionEvents:
         assert times == sorted(times)
 
 
+def result_with_idles(requested, cap, split=True):
+    """Two-chunk result with controlled idle attribution on chunk 1."""
+    from repro.player.session import SessionResult
+
+    return SessionResult(
+        scheme="s",
+        video_name="v",
+        trace_name="t",
+        levels=np.array([0, 0]),
+        sizes_bits=np.array([1e6, 1e6]),
+        download_start_s=np.array([0.0, 10.0]),
+        download_finish_s=np.array([1.0, 11.0]),
+        stall_s=np.zeros(2),
+        buffer_after_s=np.array([2.0, 4.0]),
+        idle_s=np.array([0.0, requested + cap]),
+        startup_delay_s=1.0,
+        requested_idle_s=np.array([0.0, requested]) if split else None,
+        cap_idle_s=np.array([0.0, cap]) if split else None,
+    )
+
+
+class TestIdleAttribution:
+    def test_split_kinds_emitted(self):
+        events = session_events(result_with_idles(1.5, 0.5))
+        requested = [e for e in events if e.kind == "idle_requested"]
+        cap = [e for e in events if e.kind == "idle_cap"]
+        assert len(requested) == len(cap) == 1
+        # requested idle precedes the cap idle before the download starts
+        assert requested[0].time_s == pytest.approx(10.0 - 0.5 - 1.5)
+        assert cap[0].time_s == pytest.approx(10.0 - 0.5)
+        assert "1.50s" in requested[0].detail
+        assert "buffer-cap" in cap[0].detail
+        assert not [e for e in events if e.kind == "idle"]
+
+    def test_only_nonzero_components_emitted(self):
+        events = session_events(result_with_idles(1.5, 0.0))
+        assert [e.kind for e in events if e.kind.startswith("idle")] == [
+            "idle_requested"
+        ]
+        events = session_events(result_with_idles(0.0, 0.5))
+        assert [e.kind for e in events if e.kind.startswith("idle")] == ["idle_cap"]
+
+    def test_legacy_records_fall_back_to_merged_idle(self):
+        events = session_events(result_with_idles(1.5, 0.5, split=False))
+        idles = [e for e in events if e.kind.startswith("idle")]
+        assert [e.kind for e in idles] == ["idle"]
+        assert idles[0].time_s == pytest.approx(10.0 - 2.0)
+
+    def test_cap_idle_from_real_session(self, short_video):
+        # A tiny buffer cap forces cap-idle waits on a fast link.
+        from repro.player.session import SessionConfig
+
+        config = SessionConfig(startup_latency_s=4.0, max_buffer_s=8.0)
+        result = run_session(
+            cava_p123(), short_video, TraceLink(constant_trace(50.0)), config=config
+        )
+        assert float(np.sum(result.cap_idle_s)) > 0
+        events = session_events(result)
+        assert any(e.kind == "idle_cap" for e in events)
+
+
 class TestFormatEvents:
     def test_selected_kinds_only(self, short_video):
         result = run_session(ZigZagAlgorithm(), short_video, TraceLink(constant_trace(5.0)))
@@ -78,3 +139,19 @@ class TestFormatEvents:
         text = format_events(session_events(result), kinds=None, limit=5)
         assert "more events" in text
         assert len(text.splitlines()) == 6
+
+    @pytest.mark.parametrize(
+        "kinds",
+        [
+            ["startup"],
+            {"startup"},
+            iter(("startup",)),
+            (k for k in ["startup"]),
+        ],
+        ids=["list", "set", "iterator", "generator"],
+    )
+    def test_kinds_accepts_any_iterable(self, short_video, kinds):
+        result = run_session(ZigZagAlgorithm(), short_video, TraceLink(constant_trace(5.0)))
+        text = format_events(session_events(result), kinds=kinds)
+        assert len(text.splitlines()) == 1
+        assert "playback started" in text

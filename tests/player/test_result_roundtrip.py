@@ -1,0 +1,80 @@
+"""Property tests for the SessionResult JSON round-trip."""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cava import cava_p123
+from repro.network.link import TraceLink
+from repro.player.session import SessionResult, run_session
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+
+
+@st.composite
+def session_results(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    float_array = st.lists(finite_floats, min_size=n, max_size=n).map(
+        lambda xs: np.asarray(xs, dtype=float)
+    )
+    has_split = draw(st.booleans())
+    return SessionResult(
+        scheme=draw(st.text(min_size=1, max_size=10)),
+        video_name=draw(st.text(min_size=1, max_size=10)),
+        trace_name=draw(st.text(min_size=1, max_size=10)),
+        levels=np.asarray(
+            draw(st.lists(st.integers(0, 5), min_size=n, max_size=n)), dtype=int
+        ),
+        sizes_bits=draw(float_array),
+        download_start_s=draw(float_array),
+        download_finish_s=draw(float_array),
+        stall_s=draw(float_array),
+        buffer_after_s=draw(float_array),
+        idle_s=draw(float_array),
+        startup_delay_s=draw(finite_floats),
+        requested_idle_s=draw(float_array) if has_split else None,
+        cap_idle_s=draw(float_array) if has_split else None,
+    )
+
+
+def assert_round_trip_exact(result):
+    clone = SessionResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert (clone.scheme, clone.video_name, clone.trace_name) == (
+        result.scheme, result.video_name, result.trace_name,
+    )
+    assert clone.startup_delay_s == result.startup_delay_s
+    for name, _ in SessionResult._ARRAY_FIELDS:
+        original, restored = getattr(result, name), getattr(clone, name)
+        if original is None:
+            assert restored is None
+            continue
+        # bit-exact: Python's JSON float formatting is shortest round-trip
+        assert np.array_equal(original, restored), name
+        assert original.dtype == restored.dtype, name
+
+
+class TestRoundTripProperty:
+    @given(result=session_results())
+    @settings(max_examples=100, deadline=None)
+    def test_json_round_trip_is_exact(self, result):
+        assert_round_trip_exact(result)
+
+    def test_real_session_round_trips(self, short_video, one_lte_trace):
+        result = run_session(cava_p123(), short_video, TraceLink(one_lte_trace))
+        assert_round_trip_exact(result)
+
+    def test_legacy_dict_without_split_fields(self, short_video, one_lte_trace):
+        # Archived records from before the idle-attribution split load
+        # with the new fields as None.
+        result = run_session(cava_p123(), short_video, TraceLink(one_lte_trace))
+        data = result.to_dict()
+        del data["requested_idle_s"]
+        del data["cap_idle_s"]
+        clone = SessionResult.from_dict(json.loads(json.dumps(data)))
+        assert clone.requested_idle_s is None
+        assert clone.cap_idle_s is None
+        assert np.array_equal(clone.idle_s, result.idle_s)

@@ -1,0 +1,100 @@
+"""Tests for the JSONL and Prometheus exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cava import cava_p123
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace
+from repro.player.events import SessionEvent, session_events
+from repro.player.session import run_session
+from repro.telemetry.exporters import (
+    events_to_jsonl,
+    registry_to_prometheus,
+    trace_to_jsonl,
+    write_jsonl,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import SessionTracer
+
+
+@pytest.fixture(scope="module")
+def traced_session(short_video):
+    trace = NetworkTrace("const-5", 1.0, np.full(2000, 5e6))
+    tracer = SessionTracer()
+    result = run_session(
+        cava_p123(), short_video, TraceLink(trace), tracer=tracer
+    )
+    return result, tracer.trace
+
+
+class TestTraceJsonl:
+    def test_header_then_chunks(self, traced_session):
+        _, trace = traced_session
+        lines = trace_to_jsonl(trace).splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "session"
+        assert header["num_chunks"] == trace.num_chunks
+        chunks = [json.loads(line) for line in lines[1:]]
+        assert [c["kind"] for c in chunks] == ["chunk"] * trace.num_chunks
+        assert chunks[0]["controller"]["target_buffer_s"] > 0
+
+    def test_every_line_is_json(self, traced_session):
+        _, trace = traced_session
+        text = trace_to_jsonl(trace)
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            json.loads(line)
+
+
+class TestEventsJsonl:
+    def test_round_trips_events(self, traced_session):
+        result, _ = traced_session
+        events = session_events(result)
+        lines = events_to_jsonl(events).splitlines()
+        assert len(lines) == len(events)
+        first = json.loads(lines[0])
+        assert set(first) == {"time_s", "event", "chunk_index", "detail"}
+
+    def test_empty_events(self):
+        assert events_to_jsonl([]) == ""
+
+    def test_write_creates_parents(self, tmp_path):
+        path = tmp_path / "deep" / "events.jsonl"
+        text = events_to_jsonl([SessionEvent(1.0, "stall", 3, "d")])
+        assert write_jsonl(text, path) == path
+        assert json.loads(path.read_text())["event"] == "stall"
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("sessions_total", "sessions run").inc(5)
+        reg.gauge("workers").set(2.5)
+        text = registry_to_prometheus(reg)
+        assert "# HELP sessions_total sessions run" in text
+        assert "# TYPE sessions_total counter" in text
+        assert "\nsessions_total 5\n" in text  # integer rendered bare
+        assert "workers 2.5" in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("unit_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 2.0, 3.0):
+            hist.observe(value)
+        text = registry_to_prometheus(reg)
+        assert 'unit_seconds_bucket{le="0.1"} 1' in text
+        assert 'unit_seconds_bucket{le="1"} 2' in text
+        assert 'unit_seconds_bucket{le="+Inf"} 4' in text
+        assert f"unit_seconds_sum {0.05 + 0.5 + 2.0 + 3.0!r}" in text
+        assert "unit_seconds_count 4" in text
+
+    def test_sorted_and_empty(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total")
+        reg.counter("a_total")
+        text = registry_to_prometheus(reg)
+        assert text.index("a_total") < text.index("b_total")
+        assert registry_to_prometheus(MetricsRegistry()) == ""

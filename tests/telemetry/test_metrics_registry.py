@@ -1,0 +1,148 @@
+"""Tests for the process-safe metrics registry."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("c_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter("c_total").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_le_semantics(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.5)   # le=1
+        h.observe(1.0)   # exactly on a bound: belongs to that bucket
+        h.observe(1.5)   # le=2
+        h.observe(99.0)  # +Inf overflow
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(102.0)
+
+    def test_default_buckets(self):
+        h = Histogram("h")
+        assert h.bounds == DEFAULT_SECONDS_BUCKETS
+        assert len(h.counts) == len(DEFAULT_SECONDS_BUCKETS) + 1
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_bounds_required(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+
+
+class TestNames:
+    @pytest.mark.parametrize("bad", ["", "has space", "1starts_with_digit", "a-b"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Counter(bad)
+
+    def test_colon_namespace_allowed(self):
+        assert Counter("repro:sessions_total").name == "repro:sessions_total"
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_get_unknown_is_none(self):
+        assert MetricsRegistry().get("nope") is None
+
+    def test_metrics_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total")
+        reg.gauge("a")
+        assert [m.name for m in reg.metrics()] == ["a", "z_total"]
+
+
+def populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("sessions_total").inc(3)
+    reg.gauge("workers").set(2)
+    hist = reg.histogram("unit_seconds", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(5.0)
+    return reg
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_picklable(self):
+        snap = populated_registry().snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_merge_into_fresh_registry(self):
+        merged = MetricsRegistry()
+        merged.merge(populated_registry().snapshot())
+        assert merged.counter("sessions_total").value == 3
+        assert merged.gauge("workers").value == 2
+        assert merged.get("unit_seconds").counts == [1, 0, 1]
+
+    def test_counters_and_histograms_add_gauges_overwrite(self):
+        merged = MetricsRegistry()
+        merged.gauge("workers").set(99)
+        snap = populated_registry().snapshot()
+        merged.merge(snap)
+        merged.merge(snap)
+        assert merged.counter("sessions_total").value == 6
+        assert merged.gauge("workers").value == 2  # last write wins
+        hist = merged.get("unit_seconds")
+        assert hist.counts == [2, 0, 2]
+        assert hist.sum == pytest.approx(2 * 5.05)
+
+    def test_merge_all_order(self):
+        a = MetricsRegistry()
+        a.gauge("g").set(1)
+        b = MetricsRegistry()
+        b.gauge("g").set(2)
+        merged = MetricsRegistry()
+        merged.merge_all([a.snapshot(), b.snapshot()])
+        assert merged.gauge("g").value == 2
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1.0, 3.0)).observe(0.5)
+        with pytest.raises((TypeError, ValueError)):
+            b.merge(a.snapshot())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            MetricsRegistry().merge({"m": {"kind": "summary", "value": 1.0}})

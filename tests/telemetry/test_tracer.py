@@ -1,0 +1,178 @@
+"""Tests for the controller tracing data model and session integration."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.abr.rba import RateBasedAlgorithm
+from repro.core.cava import cava_p123
+from repro.network.estimator import HarmonicMeanEstimator, TracedEstimator
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace
+from repro.player.session import run_session
+from repro.telemetry.tracer import (
+    ChunkRecord,
+    ControllerStep,
+    NullTracer,
+    SessionTracer,
+)
+
+
+def constant_trace(mbps, duration_s=2000.0):
+    return NetworkTrace(f"const-{mbps}", 1.0, np.full(int(duration_s), mbps * 1e6))
+
+
+def make_record(chunk_index=0, **overrides):
+    defaults = dict(
+        chunk_index=chunk_index,
+        level=2,
+        size_bits=4e6,
+        buffer_before_s=10.0,
+        buffer_after_s=11.5,
+        requested_idle_s=0.0,
+        cap_idle_s=0.0,
+        stall_s=0.0,
+        download_start_s=5.0,
+        download_finish_s=5.5,
+        estimated_bandwidth_bps=6e6,
+        realized_bandwidth_bps=8e6,
+    )
+    defaults.update(overrides)
+    return ChunkRecord(**defaults)
+
+
+class TestSessionTracerUnit:
+    def test_step_attached_to_matching_chunk(self):
+        tracer = SessionTracer()
+        tracer.on_session_start("CAVA", "vid", "trace", 2)
+        step = ControllerStep(50.0, 40.0, 12.0, 1.5, 1.25, 3.0, 4)
+        tracer.on_controller_step(0, step)
+        tracer.on_chunk(make_record(0))
+        tracer.on_chunk(make_record(1))
+        assert tracer.trace.records[0].controller is step
+        assert tracer.trace.records[1].controller is None
+
+    def test_session_start_resets_state(self):
+        tracer = SessionTracer()
+        tracer.on_session_start("CAVA", "vid", "t1", 1)
+        tracer.on_controller_step(0, ControllerStep(50.0, 40.0, 12.0, 1.5, 1.0, 3.0, 1))
+        tracer.on_chunk(make_record(0))
+        tracer.on_session_start("CAVA", "vid", "t2", 1)
+        assert tracer.trace.trace_name == "t2"
+        assert tracer.trace.num_chunks == 0
+        # the pending step from the first session must not leak
+        tracer.on_chunk(make_record(0))
+        assert tracer.trace.records[0].controller is None
+
+    def test_bandwidth_events_and_startup(self):
+        tracer = SessionTracer()
+        tracer.on_session_start("RBA", "vid", "trace", 0)
+        tracer.on_bandwidth_estimate(1.0, 5e6)
+        tracer.on_bandwidth_sample(2.0, 6e6)
+        tracer.on_session_end(4.5)
+        kinds = [e.kind for e in tracer.trace.bandwidth_events]
+        assert kinds == ["estimate", "sample"]
+        assert tracer.trace.startup_delay_s == 4.5
+
+    def test_null_tracer_collects_nothing(self):
+        tracer = NullTracer()
+        tracer.on_session_start("CAVA", "vid", "trace", 1)
+        tracer.on_chunk(make_record(0))
+        tracer.on_session_end(1.0)  # no state, no error
+
+
+class TestSessionIntegration:
+    @pytest.fixture(scope="class")
+    def cava_traced(self, short_video):
+        tracer = SessionTracer()
+        result = run_session(
+            cava_p123(), short_video, TraceLink(constant_trace(5.0)), tracer=tracer
+        )
+        return result, tracer.trace
+
+    def test_one_record_per_chunk(self, short_video, cava_traced):
+        result, trace = cava_traced
+        assert trace.num_chunks == short_video.num_chunks
+        assert [r.chunk_index for r in trace.records] == list(range(short_video.num_chunks))
+
+    def test_identity_fields(self, short_video, cava_traced):
+        _, trace = cava_traced
+        assert trace.scheme == "CAVA"
+        assert trace.video_name == short_video.name
+        assert trace.trace_name == "const-5.0"
+
+    def test_controller_step_on_every_chunk(self, cava_traced):
+        _, trace = cava_traced
+        for record in trace.records:
+            step = record.controller
+            assert step is not None
+            assert 1 <= step.quartile <= 4
+            assert step.lookahead_mbps > 0
+            # Eq. 2: the PID error is target minus the buffer the
+            # controller saw at decision time.
+            assert step.error_s == pytest.approx(
+                step.target_buffer_s - record.buffer_before_s
+            )
+
+    def test_records_match_session_result(self, cava_traced):
+        result, trace = cava_traced
+        for i, record in enumerate(trace.records):
+            assert record.level == int(result.levels[i])
+            assert record.size_bits == float(result.sizes_bits[i])
+            assert record.download_start_s == float(result.download_start_s[i])
+            assert record.buffer_after_s == float(result.buffer_after_s[i])
+            assert record.requested_idle_s == float(result.requested_idle_s[i])
+            assert record.cap_idle_s == float(result.cap_idle_s[i])
+        assert trace.startup_delay_s == result.startup_delay_s
+
+    def test_realized_bandwidth_positive(self, cava_traced):
+        _, trace = cava_traced
+        assert all(r.realized_bandwidth_bps > 0 for r in trace.records)
+
+    def test_trace_json_dumps(self, cava_traced):
+        # Every value must be a plain Python type, not a numpy scalar.
+        _, trace = cava_traced
+        parsed = json.loads(json.dumps(trace.to_dict()))
+        assert len(parsed["records"]) == trace.num_chunks
+        assert parsed["records"][0]["controller"]["quartile"] in (1, 2, 3, 4)
+
+    def test_baseline_scheme_has_no_controller_steps(self, short_video):
+        tracer = SessionTracer()
+        run_session(
+            RateBasedAlgorithm(),
+            short_video,
+            TraceLink(constant_trace(5.0)),
+            tracer=tracer,
+        )
+        assert tracer.trace.num_chunks == short_video.num_chunks
+        assert all(r.controller is None for r in tracer.trace.records)
+
+
+class TestTracedEstimator:
+    def test_forwards_and_records(self):
+        tracer = SessionTracer()
+        tracer.on_session_start("RBA", "vid", "trace", 0)
+        plain = HarmonicMeanEstimator()
+        traced = TracedEstimator(HarmonicMeanEstimator(), tracer)
+        for estimator in (plain, traced):
+            estimator.reset()
+            estimator.observe(4e6, 0.5, 1.0)
+            estimator.observe(6e6, 0.5, 2.0)
+        assert traced.predict_bps(2.0) == plain.predict_bps(2.0)
+        kinds = [e.kind for e in tracer.trace.bandwidth_events]
+        assert kinds == ["sample", "sample", "estimate"]
+        assert tracer.trace.bandwidth_events[0].bandwidth_bps == pytest.approx(8e6)
+
+    def test_session_with_traced_estimator(self, short_video):
+        tracer = SessionTracer()
+        estimator = TracedEstimator(HarmonicMeanEstimator(), tracer)
+        run_session(
+            cava_p123(),
+            short_video,
+            TraceLink(constant_trace(5.0)),
+            estimator=estimator,
+            tracer=tracer,
+        )
+        samples = [e for e in tracer.trace.bandwidth_events if e.kind == "sample"]
+        assert len(samples) == short_video.num_chunks

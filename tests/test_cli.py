@@ -95,6 +95,47 @@ class TestRun:
         assert main(["run", "ED-youtube-h264", "--scheme", "PANDA/CQ max-min"]) == 0
 
 
+class TestRunEvents:
+    def test_events_flag_prints_timeline(self, capsys):
+        assert main(
+            ["run", "ED-youtube-h264", "--scheme", "RBA", "--events"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "q4_quality_mean" in out  # metrics still printed first
+        assert "playback started" in out
+
+    def test_scheme_alias_accepted(self, capsys):
+        assert main(
+            ["run", "ED-youtube-h264", "--scheme", "cava-p123"]
+        ) == 0
+        assert "CAVA on" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_controller_timeline_columns(self, capsys):
+        assert main(
+            ["trace", "--scheme", "cava-p123", "--video", "ED-youtube-h264",
+             "--trace-seed", "3", "--limit", "10"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-chunk controller timeline" in out
+        for column in ("target", "err", "u", "alpha", "est Mbps", "real Mbps", "Q"):
+            assert column in out
+        assert "Q4" in out or "Q1" in out  # quartile classes rendered
+
+    def test_baseline_scheme_dashes(self, capsys):
+        assert main(
+            ["trace", "--scheme", "RBA", "--video", "ED-youtube-h264", "--limit", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "RBA on" in out
+        assert " - " in out  # no controller columns for baselines
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            main(["trace", "--scheme", "nope", "--video", "ED-youtube-h264"])
+
+
 class TestCompare:
     def test_compare_table(self, capsys):
         assert main(
@@ -103,6 +144,17 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "CAVA" in out and "RBA" in out
         assert "Q4 quality" in out
+
+    def test_metrics_out_writes_prometheus_dump(self, tmp_path, capsys):
+        path = tmp_path / "sweep.prom"
+        assert main(
+            ["compare", "ED-youtube-h264", "--traces", "2",
+             "--schemes", "CAVA", "RBA", "--metrics-out", str(path)]
+        ) == 0
+        text = path.read_text()
+        assert "repro_sweep_sessions_completed_total 4" in text
+        assert "# TYPE repro_sweep_unit_seconds histogram" in text
+        assert "wrote sweep metrics" in capsys.readouterr().out
 
 
 class TestModuleEntryPoint:

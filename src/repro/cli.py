@@ -21,7 +21,11 @@ Subcommands:
 
 Every subcommand takes ``--seed`` so results replay exactly. ``run`` and
 ``compare`` take ``--workers N`` to fan sessions out over a process pool
-(``0`` = every core); results are identical at any worker count.
+(``0`` = every core); results are identical at any worker count. Both
+also take ``--faults SPEC`` to replay the same sessions under injected
+adverse conditions (outages, throughput drops, latency spikes — see
+:mod:`repro.faults.spec` for the grammar), and ``compare`` takes
+``--on-error {raise,skip,retry}`` to pick the sweep's failure policy.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ from repro.analysis.characterization import characterize
 from repro.experiments.parallel import ParallelSweepRunner
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_comparison
+from repro.faults.spec import parse_fault_plan
 from repro.network.link import TraceLink
 from repro.network.traces import (
     save_trace_file,
@@ -162,26 +167,46 @@ def _workers_arg(args: argparse.Namespace) -> Optional[int]:
     return None if args.workers == 0 else args.workers
 
 
+def _fault_plan_arg(args: argparse.Namespace):
+    """Parse ``--faults`` (None when absent), exiting on a bad spec."""
+    if getattr(args, "faults", None) is None:
+        return None
+    try:
+        return parse_fault_plan(args.faults)
+    except ValueError as exc:
+        raise SystemExit(f"--faults: {exc}") from None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     scheme = resolve_scheme_name(args.scheme)
     video = _build_named_video(args.video, args.seed)
     traces = _make_traces(args.network, args.trace_index + 1, args.seed)
     trace = traces[args.trace_index]
-    engine = ParallelSweepRunner(n_workers=_workers_arg(args))
+    plan = _fault_plan_arg(args)
+    engine = ParallelSweepRunner(n_workers=_workers_arg(args), fault_plan=plan)
     sweep = engine.run_scheme(scheme, video, [trace], args.network)
     metrics = sweep.metrics[0]
     print(f"{scheme} on {video.name} over {trace.name} "
           f"(mean {trace.mean_bps / 1e6:.2f} Mbps):")
+    if plan is not None:
+        print(f"  faults: {plan.describe()}")
     for key, value in metrics.as_dict().items():
         print(f"  {key:26s} {value:10.3f}")
     if args.events:
         # Replay the same session directly to recover the full record
-        # (the sweep engine only keeps the summary metrics).
+        # (the sweep engine only keeps the summary metrics), under the
+        # same perturbed trace and latency spikes as the sweep.
         metric = metric_for_network(args.network)
+        link_trace = trace
+        if plan is not None:
+            link_trace, _ = plan.perturb_trace(trace)
+        link = TraceLink(link_trace)
+        if plan is not None:
+            link = plan.wrap_link(link)
         result = run_session(
             make_scheme(scheme, metric=metric),
             video,
-            TraceLink(trace),
+            link,
             include_quality=needs_quality_manifest(scheme),
         )
         print()
@@ -208,9 +233,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
     video = _build_named_video(args.video, args.seed)
     traces = _make_traces(args.network, args.traces, args.seed)
     registry = MetricsRegistry() if args.metrics_out else None
+    plan = _fault_plan_arg(args)
     results = run_comparison(
         args.schemes, video, traces, args.network,
         n_workers=_workers_arg(args), registry=registry,
+        fault_plan=plan, on_error=args.on_error, max_retries=args.max_retries,
     )
     rows = []
     for scheme in args.schemes:
@@ -226,11 +253,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
             )
         )
     print(f"{video.name}, {len(traces)} {args.network.upper()} traces:")
+    if plan is not None:
+        print(f"faults: {plan.describe()}")
     print(
         render_table(
             ("scheme", "Q4 quality", "low-qual", "stall s", "qual chg", "data MB"), rows
         )
     )
+    failures = [f for scheme in args.schemes for f in results[scheme].failures]
+    if failures:
+        print()
+        print(f"{len(failures)} work unit(s) dropped (--on-error={args.on_error}):")
+        for failed in failures:
+            print(f"  {failed}")
     if registry is not None:
         path = Path(args.metrics_out)
         path.write_text(registry_to_prometheus(registry))
@@ -282,6 +317,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print the session event timeline")
     p.add_argument("--workers", type=int, default=1,
                    help="sweep worker processes (0 = all cores; default 1)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="inject adverse conditions, e.g. outages:p=0.05,seed=7")
 
     p = commands.add_parser(
         "trace", help="replay one session with controller tracing on"
@@ -307,6 +344,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sweep worker processes (0 = all cores; default 1)")
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write a Prometheus-format sweep telemetry dump")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="inject adverse conditions, e.g. "
+                        "outages:p=0.05,seed=7+latency:p=0.1")
+    p.add_argument("--on-error", choices=("raise", "skip", "retry"),
+                   default="raise",
+                   help="failure policy for sweep work units (default raise)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retry budget per work unit under --on-error retry")
 
     commands.add_parser("schemes", help="list registered ABR schemes")
     return parser

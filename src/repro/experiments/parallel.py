@@ -12,7 +12,9 @@ Design points:
 - **Determinism.** Work units are indexed at submission; results are
   keyed by that index and concatenated in order, so the output is
   bit-identical to the serial runner and identically ordered no matter
-  which worker finishes first.
+  which worker finishes first. Retried units re-run the same seeded
+  sessions, so a retry that succeeds is bit-identical to a first-try
+  success.
 - **Shared-artifact caching.** Each worker holds one
   :class:`~repro.experiments.artifacts.ArtifactCache`, so a video's
   manifest/classifier and a trace's cumulative-bits table are built once
@@ -24,16 +26,30 @@ Design points:
   indices.
 - **Graceful serial fallback.** ``n_workers=1`` — or a grid too small to
   amortize pool startup — runs in-process through the exact same batch
-  code path, with the same cache semantics.
+  code path, with the same cache and failure-policy semantics.
 - **Sweep telemetry.** Attach a
   :class:`~repro.telemetry.metrics.MetricsRegistry` and every work unit
   reports sessions completed/failed, wall time, and artifact-cache
   hits/misses; workers ship per-unit snapshots back with their results
-  and the parent merges them in submission order. No registry, no
-  overhead.
-- **Failure identification.** An exception inside any session is
-  re-raised as :class:`SweepWorkerError` naming the failing (scheme,
-  video, trace) triple, whichever worker it happened on.
+  and the parent merges them in submission order. Snapshots come back
+  even from *failed* units, so failure telemetry is never undercounted.
+  No registry, no overhead.
+- **Failure policy.** ``on_error`` selects what a failed work unit does
+  to the sweep: ``"raise"`` (default) aborts with a
+  :class:`SweepWorkerError` naming the failing (scheme, video, trace)
+  triple; ``"skip"`` drops the unit and records a
+  :class:`~repro.experiments.runner.FailedUnit` on the spec's
+  :class:`~repro.experiments.runner.SweepResult`; ``"retry"`` re-runs
+  the unit up to ``max_retries`` times before skipping it. A broken
+  pool (worker killed, interpreter crash) is recovered once: the pool
+  is respawned and unfinished units requeued; a second break aborts.
+- **Fault injection.** Give the engine (or individual specs) a
+  :class:`~repro.faults.plan.FaultPlan` and the sweep replays the same
+  grid under injected adverse conditions. Trace-level perturbations are
+  applied once per (plan, trace) in the parent — workers receive the
+  already-perturbed timelines — while per-download latency spikes are
+  applied statelessly inside each session, so results stay bit-identical
+  at any worker count.
 
 Factories attached to a :class:`SweepSpec` (``algorithm_factory``,
 ``estimator_factory``) must be picklable for multi-process runs: use
@@ -46,8 +62,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
 from typing import (
     Callable,
     Dict,
@@ -63,9 +80,11 @@ from repro.abr.base import ABRAlgorithm
 from repro.experiments.artifacts import ArtifactCache
 from repro.experiments.runner import (
     EstimatorFactory,
+    FailedUnit,
     SweepResult,
     run_one_session,
 )
+from repro.faults.plan import FaultPlan
 from repro.network.traces import NetworkTrace
 from repro.player.metrics import SessionMetrics
 from repro.player.session import SessionConfig
@@ -75,6 +94,7 @@ from repro.video.model import VideoAsset
 __all__ = [
     "SweepSpec",
     "SweepWorkerError",
+    "FailedUnit",
     "ParallelSweepRunner",
     "run_comparison_parallel",
     "SESSIONS_COMPLETED_METRIC",
@@ -84,6 +104,10 @@ __all__ = [
     "CACHE_HITS_METRIC",
     "CACHE_MISSES_METRIC",
     "WORKERS_METRIC",
+    "RETRIES_METRIC",
+    "SKIPPED_UNITS_METRIC",
+    "POOL_RESPAWNS_METRIC",
+    "FAULTS_INJECTED_METRIC",
 ]
 
 # Metric names the sweep engine populates when a registry is attached.
@@ -94,6 +118,13 @@ UNIT_SECONDS_METRIC = "repro_sweep_unit_seconds"
 CACHE_HITS_METRIC = "repro_sweep_artifact_cache_hits_total"
 CACHE_MISSES_METRIC = "repro_sweep_artifact_cache_misses_total"
 WORKERS_METRIC = "repro_sweep_workers"
+RETRIES_METRIC = "repro_sweep_unit_retries_total"
+SKIPPED_UNITS_METRIC = "repro_sweep_units_skipped_total"
+POOL_RESPAWNS_METRIC = "repro_sweep_pool_respawns_total"
+FAULTS_INJECTED_METRIC = "repro_sweep_faults_injected_total"
+
+#: Valid ``on_error`` policies.
+_POLICIES = ("raise", "skip", "retry")
 
 
 @dataclass(frozen=True)
@@ -104,6 +135,9 @@ class SweepSpec:
     :meth:`ParallelSweepRunner.run_specs`; keeping specs and assets
     separate means a spec pickles in bytes while the assets ship once
     per worker.
+
+    ``fault_plan`` replays this spec under injected adverse conditions;
+    when unset, the engine's own plan (if any) applies.
     """
 
     scheme: str
@@ -112,6 +146,7 @@ class SweepSpec:
     algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None
     estimator_factory: Optional[EstimatorFactory] = None
     label: Optional[str] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def describe(self) -> str:
         """Identity used in error messages (label wins over scheme)."""
@@ -139,6 +174,20 @@ class SweepWorkerError(RuntimeError):
         )
 
 
+@dataclass(frozen=True)
+class _Unit:
+    """One schedulable work unit: a spec over a contiguous trace batch.
+
+    ``order`` is the global submission index — the determinism key for
+    result assembly, snapshot merging, and error selection.
+    """
+
+    order: int
+    spec_idx: int
+    start: int
+    stop: int
+
+
 # ----------------------------------------------------------------------
 # Worker-side machinery
 # ----------------------------------------------------------------------
@@ -150,13 +199,20 @@ _WORKER_STATE: Dict[str, object] = {}
 
 def _init_worker(
     videos: Mapping[str, VideoAsset],
-    traces: Sequence[NetworkTrace],
+    traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
     config: SessionConfig,
     telemetry: bool = False,
 ) -> None:
-    """Pool initializer: pin shared assets and a fresh artifact cache."""
+    """Pool initializer: pin shared assets and a fresh artifact cache.
+
+    ``traces_by_plan`` maps each fault plan in play (``None`` = the
+    unperturbed set) to its trace list; perturbation happened once in
+    the parent, so workers never rebuild faulted timelines.
+    """
     _WORKER_STATE["videos"] = dict(videos)
-    _WORKER_STATE["traces"] = list(traces)
+    _WORKER_STATE["traces_by_plan"] = {
+        plan: list(traces) for plan, traces in traces_by_plan.items()
+    }
     _WORKER_STATE["config"] = config
     _WORKER_STATE["cache"] = ArtifactCache()
     _WORKER_STATE["telemetry"] = telemetry
@@ -197,7 +253,8 @@ def _sweep_batch(
     """Run one spec over a contiguous trace batch; identify any failure.
 
     ``registry`` (optional) receives the unit's telemetry: sessions
-    completed/failed, wall time, and the artifact-cache hit/miss delta.
+    completed/failed, wall time, and the artifact-cache hit/miss delta —
+    recorded even when the unit fails, so partial progress is counted.
     Results are identical with or without it.
     """
     out: List[SessionMetrics] = []
@@ -215,6 +272,7 @@ def _sweep_batch(
                     spec.estimator_factory,
                     spec.algorithm_factory,
                     cache,
+                    fault_plan=spec.fault_plan,
                 )
             )
         except Exception as exc:
@@ -248,21 +306,30 @@ def _sweep_batch(
 def _run_batch_in_worker(spec: SweepSpec, start: int, stop: int):
     """Task entry point executed inside a pool worker.
 
-    Returns ``(metrics, snapshot)`` where ``snapshot`` is a per-unit
+    Returns ``(metrics, snapshot, error)``. A session failure comes back
+    as an ``error`` *value* (a :class:`SweepWorkerError`), never an
+    exception, so the unit's telemetry ``snapshot`` — covering the
+    sessions that completed before the failure, and the failure itself —
+    always reaches the parent. ``snapshot`` is a per-unit
     :meth:`MetricsRegistry.snapshot` when sweep telemetry is on, else
-    None. Per-unit (not per-worker) registries keep the parent's merge
-    simple and double-count-proof: every snapshot covers exactly one
-    work unit.
+    None; per-unit (not per-worker) registries keep the parent's merge
+    simple and double-count-proof.
     """
     videos: Mapping[str, VideoAsset] = _WORKER_STATE["videos"]  # type: ignore[assignment]
-    traces: Sequence[NetworkTrace] = _WORKER_STATE["traces"]  # type: ignore[assignment]
+    traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]] = (
+        _WORKER_STATE["traces_by_plan"]  # type: ignore[assignment]
+    )
     config: SessionConfig = _WORKER_STATE["config"]  # type: ignore[assignment]
     cache: ArtifactCache = _WORKER_STATE["cache"]  # type: ignore[assignment]
     registry = MetricsRegistry() if _WORKER_STATE.get("telemetry") else None
-    metrics = _sweep_batch(
-        spec, videos[spec.video_key], traces[start:stop], config, cache, registry
-    )
-    return metrics, (registry.snapshot() if registry is not None else None)
+    traces = traces_by_plan[spec.fault_plan]
+    try:
+        metrics = _sweep_batch(
+            spec, videos[spec.video_key], traces[start:stop], config, cache, registry
+        )
+    except SweepWorkerError as exc:
+        return None, (registry.snapshot() if registry is not None else None), exc
+    return metrics, (registry.snapshot() if registry is not None else None), None
 
 
 # ----------------------------------------------------------------------
@@ -292,11 +359,26 @@ class ParallelSweepRunner:
     registry:
         Optional :class:`~repro.telemetry.metrics.MetricsRegistry` the
         sweep populates: sessions completed/failed, per-unit wall time,
-        artifact-cache hits/misses, worker count. Workers accumulate
-        into per-unit registries whose snapshots are merged back here in
-        submission order, so the numbers are deterministic and the
-        results bit-identical with telemetry on or off. ``None`` (the
-        default) skips all of it.
+        artifact-cache hits/misses, worker count, and the failure-policy
+        counters (retries, skipped units, pool respawns, injected fault
+        events). Workers accumulate into per-unit registries whose
+        snapshots are merged back here in submission order, so the
+        numbers are deterministic and the results bit-identical with
+        telemetry on or off. ``None`` (the default) skips all of it.
+    on_error:
+        Failure policy for work units. ``"raise"`` (default) aborts the
+        sweep with the earliest-submitted unit's
+        :class:`SweepWorkerError`; ``"skip"`` drops failed units,
+        recording each as a :class:`~repro.experiments.runner.FailedUnit`
+        on its spec's result; ``"retry"`` re-runs a failed unit up to
+        ``max_retries`` times (bit-identical on success — sessions are
+        fully seeded), then skips it.
+    max_retries:
+        Retry budget per work unit under ``on_error="retry"``.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` applied to every
+        spec that does not carry its own: the grid is replayed under the
+        plan's injected adverse conditions.
     """
 
     def __init__(
@@ -306,6 +388,9 @@ class ParallelSweepRunner:
         mp_context: Optional[Union[str, multiprocessing.context.BaseContext]] = None,
         min_parallel_sessions: int = 16,
         registry: Optional[MetricsRegistry] = None,
+        on_error: str = "raise",
+        max_retries: int = 2,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1 or None, got {n_workers}")
@@ -313,11 +398,20 @@ class ParallelSweepRunner:
             raise ValueError(f"batch_size must be >= 1 or None, got {batch_size}")
         if min_parallel_sessions < 0:
             raise ValueError("min_parallel_sessions must be non-negative")
+        if on_error not in _POLICIES:
+            raise ValueError(
+                f"on_error must be one of {_POLICIES}, got {on_error!r}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.n_workers = n_workers
         self.batch_size = batch_size
         self.mp_context = mp_context
         self.min_parallel_sessions = min_parallel_sessions
         self.registry = registry
+        self.on_error = on_error
+        self.max_retries = max_retries
+        self.fault_plan = fault_plan
 
     # -- sizing ---------------------------------------------------------
 
@@ -344,6 +438,47 @@ class ParallelSweepRunner:
             size = max(1, -(-num_traces // (workers * 4)))
         return [(start, min(start + size, num_traces)) for start in range(0, num_traces, size)]
 
+    # -- fault-plan materialization ------------------------------------
+
+    def _effective_specs(self, specs: Sequence[SweepSpec]) -> List[SweepSpec]:
+        """Specs with the engine-level fault plan filled in where unset."""
+        if self.fault_plan is None:
+            return list(specs)
+        return [
+            spec if spec.fault_plan is not None else replace(spec, fault_plan=self.fault_plan)
+            for spec in specs
+        ]
+
+    def _perturbed_traces(
+        self, specs: Sequence[SweepSpec], traces: Sequence[NetworkTrace]
+    ) -> Dict[Optional[FaultPlan], List[NetworkTrace]]:
+        """Build every fault plan's perturbed trace set, once per plan.
+
+        Perturbation happens here — in the parent, before any work
+        ships — so a faulted timeline is constructed exactly once per
+        (plan, trace) pair regardless of worker count or batching, and
+        the injected-event total is counted exactly once.
+        """
+        traces_by_plan: Dict[Optional[FaultPlan], List[NetworkTrace]] = {
+            None: list(traces)
+        }
+        events = 0
+        for spec in specs:
+            plan = spec.fault_plan
+            if plan is None or plan in traces_by_plan:
+                continue
+            perturbed = []
+            for trace in traces:
+                faulted, trace_events = plan.perturb_trace(trace)
+                perturbed.append(faulted)
+                events += trace_events
+            traces_by_plan[plan] = perturbed
+        if events and self.registry is not None:
+            self.registry.counter(
+                FAULTS_INJECTED_METRIC, "fault events injected into sweep traces"
+            ).inc(events)
+        return traces_by_plan
+
     # -- execution ------------------------------------------------------
 
     def run_specs(
@@ -358,7 +493,7 @@ class ParallelSweepRunner:
         The core entry point: :meth:`run_comparison`, :meth:`run_grid`,
         the tuner, and the CLI all reduce to this.
         """
-        specs = list(specs)
+        specs = self._effective_specs(specs)
         traces = list(traces)
         if not specs:
             return []
@@ -370,17 +505,53 @@ class ParallelSweepRunner:
                     f"spec {spec.describe()!r} references unknown video "
                     f"{spec.video_key!r}; known: {sorted(videos)}"
                 )
+        traces_by_plan = self._perturbed_traces(specs, traces)
         workers = self.resolved_workers()
         total_sessions = len(specs) * len(traces)
         if workers == 1 or total_sessions < self.min_parallel_sessions:
-            return self._run_serial(specs, videos, traces, config)
-        return self._run_pool(specs, videos, traces, config, workers)
+            return self._run_serial(specs, videos, traces_by_plan, config)
+        return self._run_pool(specs, videos, traces_by_plan, config, workers)
+
+    # -- failure-policy plumbing ---------------------------------------
+
+    def _count(self, name: str, description: str, amount: int = 1) -> None:
+        if self.registry is not None and amount:
+            self.registry.counter(name, description).inc(amount)
+
+    def _should_retry(self, attempts: int) -> bool:
+        """True when the policy grants this unit another attempt."""
+        if self.on_error != "retry" or attempts > self.max_retries:
+            return False
+        self._count(RETRIES_METRIC, "sweep work-unit retry attempts")
+        return True
+
+    def _failed_unit(
+        self,
+        spec: SweepSpec,
+        video_name: str,
+        start: int,
+        stop: int,
+        attempts: int,
+        error: SweepWorkerError,
+    ) -> FailedUnit:
+        """Record one dropped unit (skip policy / exhausted retries)."""
+        self._count(SKIPPED_UNITS_METRIC, "sweep work units dropped by failure policy")
+        return FailedUnit(
+            scheme=spec.scheme,
+            video_name=video_name,
+            network=spec.network,
+            trace_name=error.trace_name,
+            start=start,
+            stop=stop,
+            attempts=attempts,
+            error=error.cause,
+        )
 
     def _run_serial(
         self,
         specs: Sequence[SweepSpec],
         videos: Mapping[str, VideoAsset],
-        traces: Sequence[NetworkTrace],
+        traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
         config: SessionConfig,
     ) -> List[SweepResult]:
         if self.registry is not None:
@@ -389,13 +560,37 @@ class ParallelSweepRunner:
         results = []
         for spec in specs:
             video = videos[spec.video_key]
-            metrics = _sweep_batch(spec, video, traces, config, cache, self.registry)
+            traces = traces_by_plan[spec.fault_plan]
+            # One work unit per spec (matching the historical serial
+            # granularity), run under the same failure policy as the pool.
+            metrics: List[SessionMetrics] = []
+            failures: List[FailedUnit] = []
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    metrics = _sweep_batch(
+                        spec, video, traces, config, cache, self.registry
+                    )
+                    break
+                except SweepWorkerError as exc:
+                    if self.on_error == "raise":
+                        raise
+                    if self._should_retry(attempts):
+                        continue
+                    failures.append(
+                        self._failed_unit(
+                            spec, video.name, 0, len(traces), attempts, exc
+                        )
+                    )
+                    break
             results.append(
                 SweepResult(
                     scheme=spec.scheme,
                     video_name=video.name,
                     network=spec.network,
                     metrics=metrics,
+                    failures=failures,
                 )
             )
         return results
@@ -404,60 +599,188 @@ class ParallelSweepRunner:
         self,
         specs: Sequence[SweepSpec],
         videos: Mapping[str, VideoAsset],
-        traces: Sequence[NetworkTrace],
+        traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
         config: SessionConfig,
         workers: int,
     ) -> List[SweepResult]:
-        bounds = self._batch_bounds(len(traces), workers)
+        num_traces = len(traces_by_plan[None])
+        bounds = self._batch_bounds(num_traces, workers)
+        units: List[_Unit] = []
+        for spec_idx in range(len(specs)):
+            for start, stop in bounds:
+                units.append(_Unit(len(units), spec_idx, start, stop))
         # Never spin up more workers than there are tasks.
-        workers = min(workers, len(specs) * len(bounds))
+        workers = min(workers, len(units))
         registry = self.registry
         if registry is not None:
             registry.gauge(WORKERS_METRIC, "sweep worker processes").set(workers)
-        parts: List[Dict[int, List]] = [dict() for _ in specs]
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=self._resolve_context(),
-            initializer=_init_worker,
-            initargs=(dict(videos), list(traces), config, registry is not None),
-        ) as pool:
-            futures = {}
-            for spec_idx, spec in enumerate(specs):
-                for start, stop in bounds:
-                    future = pool.submit(_run_batch_in_worker, spec, start, stop)
-                    futures[future] = (spec_idx, start)
-            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            if any(future.exception() is not None for future in done):
-                for future in not_done:
-                    future.cancel()
-                # A failing unit's snapshot is lost with its exception;
-                # account for the failure parent-side instead.
-                if registry is not None:
-                    registry.counter(
-                        SESSIONS_FAILED_METRIC, "sessions aborted by an exception"
-                    ).inc()
-                # Re-raise the completed failure that is earliest in
-                # submission order, so error reporting is deterministic.
+        mp_context = self._resolve_context()
+        initargs = (
+            dict(videos),
+            {plan: list(batch) for plan, batch in traces_by_plan.items()},
+            config,
+            registry is not None,
+        )
+
+        parts: List[Dict[int, List[SessionMetrics]]] = [dict() for _ in specs]
+        failures: List[List[FailedUnit]] = [[] for _ in specs]
+        attempts: Dict[int, int] = {unit.order: 0 for unit in units}
+        # (unit order, attempt, snapshot): merged after the pool drains,
+        # sorted by key, so telemetry is deterministic regardless of
+        # completion order.
+        snapshots: List[Tuple[int, int, Mapping[str, dict]]] = []
+        # (unit order, error) under on_error="raise": the earliest-
+        # submitted failure is re-raised after an orderly drain.
+        fatal: List[Tuple[int, SweepWorkerError]] = []
+        respawned = False
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=mp_context,
+                initializer=_init_worker,
+                initargs=initargs,
+            )
+
+        def submit(unit: _Unit, count_attempt: bool = True) -> None:
+            if count_attempt:
+                attempts[unit.order] += 1
+            future = pool.submit(
+                _run_batch_in_worker, specs[unit.spec_idx], unit.start, unit.stop
+            )
+            futures[future] = unit
+
+        def consume(future: Future, unit: _Unit) -> Optional[str]:
+            """Fold one settled future into the result state.
+
+            Returns ``"retry"`` / ``"requeue"`` when the unit must run
+            again (policy retry / broken pool), else None.
+            """
+            exc = future.exception()
+            if isinstance(exc, BrokenProcessPool):
+                # The pool died under this unit — not the unit's own
+                # failure, so its attempt count is not charged.
+                return "requeue"
+            if exc is not None:
+                # The task raised outside the worker's catch (pickling,
+                # initializer crash, OOM): identify the batch by range.
+                error = (
+                    exc
+                    if isinstance(exc, SweepWorkerError)
+                    else SweepWorkerError(
+                        specs[unit.spec_idx].describe(),
+                        videos[specs[unit.spec_idx].video_key].name,
+                        f"traces[{unit.start}:{unit.stop}]",
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                metrics = snapshot = None
+            else:
+                metrics, snapshot, error = future.result()
+            if snapshot is not None:
+                snapshots.append((unit.order, attempts[unit.order], snapshot))
+            if error is None:
+                parts[unit.spec_idx][unit.start] = metrics
+                return None
+            if self.on_error == "raise":
+                fatal.append((unit.order, error))
+                return None
+            if self._should_retry(attempts[unit.order]):
+                return "retry"
+            spec = specs[unit.spec_idx]
+            failures[unit.spec_idx].append(
+                self._failed_unit(
+                    spec,
+                    videos[spec.video_key].name,
+                    unit.start,
+                    unit.stop,
+                    attempts[unit.order],
+                    error,
+                )
+            )
+            return None
+
+        pool = make_pool()
+        futures: Dict[Future, _Unit] = {}
+        try:
+            for unit in units:
+                submit(unit)
+            while futures and not fatal:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                broken = False
+                rerun: List[Tuple[_Unit, bool]] = []  # (unit, count_attempt)
+                for future in sorted(done, key=lambda f: futures[f].order):
+                    unit = futures.pop(future)
+                    verdict = consume(future, unit)
+                    if verdict == "requeue":
+                        broken = True
+                        rerun.append((unit, False))
+                    elif verdict == "retry":
+                        rerun.append((unit, True))
+                if broken:
+                    # A broken pool settles every remaining future with
+                    # BrokenProcessPool (completed ones keep their
+                    # results); drain them all, then respawn once.
+                    for future in sorted(futures, key=lambda f: futures[f].order):
+                        unit = futures[future]
+                        verdict = consume(future, unit)
+                        if verdict is not None:
+                            rerun.append((unit, verdict == "retry"))
+                    futures.clear()
+                    pool.shutdown(wait=False)
+                    if fatal:
+                        break
+                    if respawned:
+                        raise BrokenProcessPool(
+                            "sweep pool broke twice; aborting after one respawn"
+                        )
+                    respawned = True
+                    self._count(
+                        POOL_RESPAWNS_METRIC,
+                        "process-pool respawns after a pool break",
+                    )
+                    pool = make_pool()
+                rerun.sort(key=lambda item: item[0].order)
+                for unit, count_attempt in rerun:
+                    submit(unit, count_attempt=count_attempt)
+            if fatal:
+                # Orderly abort: stop scheduling, let in-flight units
+                # finish, and keep their telemetry before re-raising.
                 for future in futures:
-                    if future in done and future.exception() is not None:
-                        raise future.exception()
-            for future, (spec_idx, start) in futures.items():
-                metrics, snapshot = future.result()
-                parts[spec_idx][start] = metrics
-                if registry is not None and snapshot is not None:
-                    # futures iterate in submission order, so merges are
-                    # deterministic no matter which worker finished first.
-                    registry.merge(snapshot)
+                    future.cancel()
+                wait(list(futures))
+                for future in sorted(futures, key=lambda f: futures[f].order):
+                    unit = futures[future]
+                    if future.cancelled() or future.exception() is not None:
+                        continue
+                    _metrics, snapshot, _error = future.result()
+                    if snapshot is not None:
+                        snapshots.append((unit.order, attempts[unit.order], snapshot))
+                futures.clear()
+        finally:
+            pool.shutdown(wait=False)
+
+        if registry is not None:
+            for _order, _attempt, snapshot in sorted(
+                snapshots, key=lambda item: (item[0], item[1])
+            ):
+                registry.merge(snapshot)
+        if fatal:
+            fatal.sort(key=lambda item: item[0])
+            raise fatal[0][1]
+
         results = []
-        for spec, chunks in zip(specs, parts):
+        for spec, chunks, spec_failures in zip(specs, parts, failures):
             video = videos[spec.video_key]
             metrics = [m for start in sorted(chunks) for m in chunks[start]]
+            spec_failures.sort(key=lambda failed: failed.start)
             results.append(
                 SweepResult(
                     scheme=spec.scheme,
                     video_name=video.name,
                     network=spec.network,
                     metrics=metrics,
+                    failures=spec_failures,
                 )
             )
         return results
@@ -533,7 +856,16 @@ def run_comparison_parallel(
     config: SessionConfig = SessionConfig(),
     n_workers: Optional[int] = None,
     registry: Optional[MetricsRegistry] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    on_error: str = "raise",
+    max_retries: int = 2,
 ) -> Dict[str, SweepResult]:
     """One-call parallel comparison (``n_workers=None`` = all cores)."""
-    engine = ParallelSweepRunner(n_workers=n_workers, registry=registry)
+    engine = ParallelSweepRunner(
+        n_workers=n_workers,
+        registry=registry,
+        fault_plan=fault_plan,
+        on_error=on_error,
+        max_retries=max_retries,
+    )
     return engine.run_comparison(schemes, video, traces, network, config)

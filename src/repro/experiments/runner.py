@@ -23,12 +23,13 @@ execution, set ``n_workers`` on :func:`run_comparison` (or use
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 if TYPE_CHECKING:  # annotation only; the engine imports it for real
+    from repro.faults.plan import FaultPlan
     from repro.telemetry.metrics import MetricsRegistry
 
 from repro.abr.base import ABRAlgorithm
@@ -41,6 +42,7 @@ from repro.player.session import SessionConfig, StreamingSession
 from repro.video.model import VideoAsset
 
 __all__ = [
+    "FailedUnit",
     "SweepResult",
     "run_one_session",
     "run_scheme_on_traces",
@@ -51,14 +53,56 @@ __all__ = [
 EstimatorFactory = Callable[[NetworkTrace], Optional[BandwidthEstimator]]
 
 
+@dataclass(frozen=True)
+class FailedUnit:
+    """A sweep work unit dropped under a non-raising failure policy.
+
+    Identifies the (scheme, video, trace-range) unit that failed, the
+    trace the worker blamed, how many attempts were made, and the error
+    text — everything needed to re-run exactly the missing slice.
+    """
+
+    scheme: str
+    video_name: str
+    network: str
+    trace_name: str
+    start: int
+    stop: int
+    attempts: int
+    error: str
+
+    @property
+    def num_traces(self) -> int:
+        """Sessions missing from the sweep because of this unit."""
+        return self.stop - self.start
+
+    def __str__(self) -> str:
+        return (
+            f"failed unit: scheme={self.scheme!r} video={self.video_name!r} "
+            f"traces[{self.start}:{self.stop}] at {self.trace_name!r} "
+            f"after {self.attempts} attempt(s): {self.error}"
+        )
+
+
 @dataclass
 class SweepResult:
-    """All session metrics for one (scheme, video, trace-set) sweep."""
+    """All session metrics for one (scheme, video, trace-set) sweep.
+
+    ``failures`` carries the work units a graceful-degradation policy
+    dropped (``on_error="skip"``/exhausted retries); it is empty for a
+    fault-free sweep, and ``metrics`` then covers every trace.
+    """
 
     scheme: str
     video_name: str
     network: str
     metrics: List[SessionMetrics]
+    failures: List[FailedUnit] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when no work unit was dropped."""
+        return not self.failures
 
     def __post_init__(self) -> None:
         # Per-field metric vectors, built lazily on first access. Not a
@@ -94,12 +138,19 @@ def run_one_session(
     estimator_factory: Optional[EstimatorFactory] = None,
     algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None,
     cache: Optional[ArtifactCache] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SessionMetrics:
     """Run and summarize a single (scheme, video, trace) session.
 
     The unit of work shared by the serial runner and the parallel sweep
     engine's workers; ``cache`` supplies (or memoizes) the manifest,
     classifier, and link artifacts.
+
+    ``fault_plan`` applies only the plan's *link-level* faults (latency
+    spikes) here. Trace-level perturbations are applied once per trace
+    by the sweep engine before traces reach a session, so perturbed
+    timelines are built once — pass an already-perturbed ``trace`` if
+    calling this directly with a plan that rewrites throughput.
     """
     if cache is None:
         cache = ArtifactCache()
@@ -112,6 +163,8 @@ def run_one_session(
     else:
         algorithm = make_scheme(scheme, metric=metric)
     link = cache.link(trace)
+    if fault_plan is not None:
+        link = fault_plan.wrap_link(link)
     estimator = estimator_factory(trace) if estimator_factory else None
     outcome = StreamingSession(config).run(algorithm, manifest, link, estimator)
     return summarize_session(outcome, video, metric, classifier)
@@ -156,6 +209,9 @@ def run_comparison(
     config: SessionConfig = SessionConfig(),
     n_workers: Optional[int] = 1,
     registry: Optional[MetricsRegistry] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    on_error: str = "raise",
+    max_retries: int = 2,
 ) -> Dict[str, SweepResult]:
     """Run several schemes under identical conditions (same traces).
 
@@ -165,13 +221,28 @@ def run_comparison(
     and identically ordered regardless of worker count.
 
     ``registry`` attaches sweep telemetry (sessions, per-unit wall time,
-    cache hits — see :mod:`repro.telemetry.metrics`); it always routes
-    through the engine so serial and pooled runs report identically.
+    cache hits — see :mod:`repro.telemetry.metrics`); ``fault_plan``
+    replays the grid under injected adverse conditions; ``on_error`` /
+    ``max_retries`` select the failure policy (see
+    :class:`repro.experiments.parallel.ParallelSweepRunner`). Any
+    non-default value routes through the engine so serial and pooled
+    runs behave identically.
     """
-    if n_workers != 1 or registry is not None:
+    if (
+        n_workers != 1
+        or registry is not None
+        or fault_plan is not None
+        or on_error != "raise"
+    ):
         from repro.experiments.parallel import ParallelSweepRunner
 
-        engine = ParallelSweepRunner(n_workers=n_workers, registry=registry)
+        engine = ParallelSweepRunner(
+            n_workers=n_workers,
+            registry=registry,
+            fault_plan=fault_plan,
+            on_error=on_error,
+            max_retries=max_retries,
+        )
         return engine.run_comparison(schemes, video, traces, network, config)
     cache = ArtifactCache()
     return {

@@ -1,0 +1,27 @@
+"""repro.faults — deterministic fault injection for adverse-condition sweeps.
+
+See :mod:`repro.faults.plan` for the fault primitives and
+:mod:`repro.faults.spec` for the ``--faults`` CLI grammar.
+"""
+
+from repro.faults.plan import (
+    DropFault,
+    FaultedLink,
+    FaultPlan,
+    LatencyFault,
+    OutageFault,
+    ScaleFault,
+    TraceFault,
+)
+from repro.faults.spec import parse_fault_plan
+
+__all__ = [
+    "DropFault",
+    "FaultedLink",
+    "FaultPlan",
+    "LatencyFault",
+    "OutageFault",
+    "ScaleFault",
+    "TraceFault",
+    "parse_fault_plan",
+]

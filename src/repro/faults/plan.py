@@ -1,0 +1,320 @@
+"""Deterministic fault injection for traces and links.
+
+The §6.7 controlled-error study — like Segue's chunk-level what-if
+sweeps and BOLA's robustness analysis — presupposes a harness that can
+perturb network conditions *deliberately* and keep running. This module
+supplies the perturbations: a :class:`FaultPlan` is a seeded, composable
+recipe of adverse conditions that any sweep can be rerun under.
+
+Three fault families cover the shapes real trace files actually contain:
+
+- :class:`OutageFault` — runs of zero (or floored) throughput, the
+  tunnel/dead-zone shape that drive-test LTE captures show;
+- :class:`ScaleFault` / :class:`DropFault` — sustained throughput
+  scaling and windowed congestion drops;
+- :class:`LatencyFault` — per-download latency spikes, applied at the
+  link rather than the trace.
+
+Determinism is the design constraint throughout:
+
+- trace-level faults draw from :func:`repro.util.rng.derive_rng` keyed
+  by ``(plan seed, trace name, fault index)``, so a perturbed trace is a
+  pure function of the plan and the trace — independent of worker count,
+  batch split, or application order;
+- link-level latency spikes are *stateless*: the spike decision hashes
+  ``(plan seed, fault index, trace name, download start time)`` through
+  BLAKE2 (never the salted builtin ``hash``), so a retried or re-batched
+  session replays bit-identically.
+
+Plans are frozen dataclasses: hashable by value, picklable across the
+process-pool boundary, and usable as cache keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.network.link import DownloadResult, TraceLink
+from repro.network.traces import NetworkTrace
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "OutageFault",
+    "ScaleFault",
+    "DropFault",
+    "LatencyFault",
+    "TraceFault",
+    "FaultPlan",
+    "FaultedLink",
+]
+
+
+def _check_probability(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class OutageFault:
+    """Zero/floored-throughput runs (tunnels, dead zones, deep fades).
+
+    Each interval independently starts an outage with probability ``p``;
+    an outage forces the next ``duration_intervals`` intervals down to
+    ``floor_bps``. Overlapping outages merge. With ``floor_bps=0`` the
+    perturbed trace contains genuine zero-rate runs — exactly the shape
+    that used to kill sessions before :class:`~repro.network.link.TraceLink`
+    grew its zero-rate handling.
+    """
+
+    p: float = 0.01
+    duration_intervals: int = 3
+    floor_bps: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability(self.p, "p")
+        if self.duration_intervals < 1:
+            raise ValueError(
+                f"duration_intervals must be >= 1, got {self.duration_intervals}"
+            )
+        if self.floor_bps < 0:
+            raise ValueError(f"floor_bps must be >= 0, got {self.floor_bps}")
+
+    def apply(
+        self, throughputs_bps: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, int]:
+        """Return ``(perturbed, events)``; one event per outage start."""
+        starts = np.flatnonzero(rng.random(throughputs_bps.size) < self.p)
+        out = throughputs_bps.copy()
+        for index in starts:
+            out[index : index + self.duration_intervals] = np.minimum(
+                out[index : index + self.duration_intervals], self.floor_bps
+            )
+        return out, int(starts.size)
+
+
+@dataclass(frozen=True)
+class ScaleFault:
+    """Sustained throughput scaling (congestion, re-provisioning)."""
+
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.factor) or self.factor < 0:
+            raise ValueError(f"factor must be finite and >= 0, got {self.factor}")
+
+    def apply(
+        self, throughputs_bps: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, int]:
+        """Return ``(perturbed, events)``; scaling counts as one event."""
+        return throughputs_bps * self.factor, 1
+
+
+@dataclass(frozen=True)
+class DropFault:
+    """Windowed throughput-drop events (transient congestion episodes).
+
+    Like :class:`OutageFault` but multiplicative: each window scales the
+    covered intervals by ``factor`` instead of flooring them.
+    """
+
+    p: float = 0.02
+    duration_intervals: int = 5
+    factor: float = 0.3
+
+    def __post_init__(self) -> None:
+        _check_probability(self.p, "p")
+        if self.duration_intervals < 1:
+            raise ValueError(
+                f"duration_intervals must be >= 1, got {self.duration_intervals}"
+            )
+        if not np.isfinite(self.factor) or self.factor < 0:
+            raise ValueError(f"factor must be finite and >= 0, got {self.factor}")
+
+    def apply(
+        self, throughputs_bps: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, int]:
+        """Return ``(perturbed, events)``; one event per drop window."""
+        starts = np.flatnonzero(rng.random(throughputs_bps.size) < self.p)
+        out = throughputs_bps.copy()
+        for index in starts:
+            out[index : index + self.duration_intervals] *= self.factor
+        return out, int(starts.size)
+
+
+@dataclass(frozen=True)
+class LatencyFault:
+    """Per-download latency spikes (RTT inflation, head-of-line blocks).
+
+    Applied by :class:`FaultedLink`, not to the trace: each download
+    independently suffers a ``spike_s`` startup delay with probability
+    ``p``. The decision is a pure hash of the download's start time, so
+    it is identical however the sweep is batched or retried.
+    """
+
+    p: float = 0.05
+    spike_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_probability(self.p, "p")
+        if not np.isfinite(self.spike_s) or self.spike_s < 0:
+            raise ValueError(f"spike_s must be finite and >= 0, got {self.spike_s}")
+
+
+#: Faults that rewrite a trace's throughput timeline.
+TraceFault = Union[OutageFault, ScaleFault, DropFault]
+
+
+def _unit_interval_hash(seed: int, index: int, trace_name: str, start_s: float) -> float:
+    """Deterministic uniform-[0,1) draw from a download's identity.
+
+    BLAKE2 over the exact hex form of the start time: stable across
+    processes and Python versions (the builtin ``hash`` is salted and
+    would desynchronize ``spawn`` workers).
+    """
+    key = f"{seed}|{index}|{trace_name}|{float(start_s).hex()}".encode("utf-8")
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+class FaultedLink:
+    """A :class:`TraceLink` wrapper that injects latency spikes.
+
+    Stateless by construction — no counters, no RNG state — so a session
+    replayed over the same (trace, plan) pair observes the same spikes
+    regardless of worker, batch, or retry attempt. A spiked download
+    starts ``delay`` seconds late on the wire but the returned
+    :class:`DownloadResult` keeps the caller's ``start_s``, so the spike
+    shows up as elongated download time (exactly how a player sees it).
+    """
+
+    def __init__(
+        self, inner: TraceLink, faults: Sequence[LatencyFault], seed: int
+    ) -> None:
+        self._inner = inner
+        self._faults = tuple(faults)
+        self._seed = seed
+
+    @property
+    def trace(self) -> NetworkTrace:
+        """The underlying trace (sessions read ``link.trace.name``)."""
+        return self._inner.trace
+
+    def delay_at(self, start_s: float) -> float:
+        """Total injected latency for a download starting at ``start_s``."""
+        total = 0.0
+        for index, fault in enumerate(self._faults):
+            draw = _unit_interval_hash(
+                self._seed, index, self._inner.trace.name, start_s
+            )
+            if draw < fault.p:
+                total += fault.spike_s
+        return total
+
+    def download(self, size_bits: float, start_s: float) -> DownloadResult:
+        """Download through the inner link, shifted by any spike delay."""
+        delay = self.delay_at(float(start_s))
+        if delay <= 0:
+            return self._inner.download(size_bits, start_s)
+        shifted = self._inner.download(size_bits, start_s + delay)
+        return DownloadResult(
+            start_s=float(start_s),
+            finish_s=shifted.finish_s,
+            size_bits=shifted.size_bits,
+        )
+
+    def bits_in_window(self, start_s: float, end_s: float) -> float:
+        """Delegate: latency faults do not change deliverable bits."""
+        return self._inner.bits_in_window(start_s, end_s)
+
+    def average_bandwidth(self, start_s: float, window_s: float) -> float:
+        """Delegate: oracle estimators see the unspiked bandwidth."""
+        return self._inner.average_bandwidth(start_s, window_s)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, composable recipe of adverse network conditions.
+
+    ``faults`` apply in order: trace-level faults rewrite the throughput
+    timeline via :meth:`perturb_trace` (the sweep engine applies this
+    once per trace, parent-side, before traces ship to workers);
+    latency faults wrap the download path via :meth:`wrap_link` (applied
+    per session, stateless). The two stages are split so a perturbed
+    trace is built exactly once however many sessions replay it.
+    """
+
+    faults: Tuple[Union[TraceFault, LatencyFault], ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.faults:
+            raise ValueError("a FaultPlan needs at least one fault")
+        if self.seed < 0:
+            raise ValueError(f"seed must be non-negative, got {self.seed}")
+
+    @property
+    def trace_faults(self) -> Tuple[TraceFault, ...]:
+        """Faults that rewrite the trace timeline, in plan order."""
+        return tuple(
+            f for f in self.faults if not isinstance(f, LatencyFault)
+        )
+
+    @property
+    def latency_faults(self) -> Tuple[LatencyFault, ...]:
+        """Per-download faults, in plan order."""
+        return tuple(f for f in self.faults if isinstance(f, LatencyFault))
+
+    def perturb_trace(self, trace: NetworkTrace) -> Tuple[NetworkTrace, int]:
+        """Apply every trace-level fault; return ``(trace, events)``.
+
+        Each fault draws from an RNG derived from ``(seed, trace name,
+        fault index)``, so the result is a pure function of plan and
+        trace. ``events`` counts perturbation events (outage starts,
+        drop windows, scale applications) plus one per latency fault
+        armed on the trace — the number the sweep engine reports as
+        ``repro_sweep_faults_injected_total``. The trace keeps its name:
+        a faulted sweep is *the same grid* under adverse conditions.
+        """
+        throughputs = trace.throughputs_bps
+        events = 0
+        for index, fault in enumerate(self.faults):
+            if isinstance(fault, LatencyFault):
+                events += 1
+                continue
+            rng = derive_rng(self.seed, "fault", trace.name, str(index))
+            throughputs, fault_events = fault.apply(throughputs, rng)
+            events += fault_events
+        if throughputs is trace.throughputs_bps:
+            return trace, events
+        return trace.with_throughputs(throughputs), events
+
+    def wrap_link(self, link: TraceLink):
+        """Wrap ``link`` with this plan's latency faults (no-op without)."""
+        latency = self.latency_faults
+        if not latency:
+            return link
+        return FaultedLink(link, latency, self.seed)
+
+    def describe(self) -> str:
+        """Compact human-readable form for logs and CLI output."""
+        parts = []
+        for fault in self.faults:
+            if isinstance(fault, OutageFault):
+                parts.append(
+                    f"outages(p={fault.p:g}, len={fault.duration_intervals}, "
+                    f"floor={fault.floor_bps:g}bps)"
+                )
+            elif isinstance(fault, ScaleFault):
+                parts.append(f"scale(factor={fault.factor:g})")
+            elif isinstance(fault, DropFault):
+                parts.append(
+                    f"drops(p={fault.p:g}, len={fault.duration_intervals}, "
+                    f"factor={fault.factor:g})"
+                )
+            else:
+                parts.append(f"latency(p={fault.p:g}, spike={fault.spike_s:g}s)")
+        return " + ".join(parts) + f" [seed={self.seed}]"

@@ -1,0 +1,134 @@
+"""Fault-spec grammar: the ``--faults`` CLI string → :class:`FaultPlan`.
+
+Grammar (whitespace-free, shell-friendly)::
+
+    spec    := clause ("+" clause)*
+    clause  := kind [":" param ("," param)*]
+    param   := key "=" value
+
+Kinds and their keys (every key optional, defaults in parentheses):
+
+- ``outages``  — ``p`` (0.01), ``len`` intervals (3), ``floor_mbps`` (0)
+- ``scale``    — ``factor`` (0.5)
+- ``drops``    — ``p`` (0.02), ``len`` intervals (5), ``factor`` (0.3)
+- ``latency``  — ``p`` (0.05), ``spike_s`` seconds (1.0)
+
+``seed=N`` may appear in any clause and sets the plan seed (last one
+wins; default 0). Examples::
+
+    outages:p=0.05,seed=7
+    outages:p=0.02,len=5+latency:p=0.1,spike_s=2,seed=3
+    scale:factor=0.5+drops:p=0.05,factor=0.2
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.faults.plan import (
+    DropFault,
+    FaultPlan,
+    LatencyFault,
+    OutageFault,
+    ScaleFault,
+)
+from repro.util.units import mbps_to_bps
+
+__all__ = ["parse_fault_plan"]
+
+
+def _outage_factory(params: Dict[str, float]) -> OutageFault:
+    return OutageFault(
+        p=params.get("p", 0.01),
+        duration_intervals=int(params.get("len", 3)),
+        floor_bps=mbps_to_bps(params.get("floor_mbps", 0.0)),
+    )
+
+
+def _scale_factory(params: Dict[str, float]) -> ScaleFault:
+    return ScaleFault(factor=params.get("factor", 0.5))
+
+
+def _drop_factory(params: Dict[str, float]) -> DropFault:
+    return DropFault(
+        p=params.get("p", 0.02),
+        duration_intervals=int(params.get("len", 5)),
+        factor=params.get("factor", 0.3),
+    )
+
+
+def _latency_factory(params: Dict[str, float]) -> LatencyFault:
+    return LatencyFault(
+        p=params.get("p", 0.05),
+        spike_s=params.get("spike_s", 1.0),
+    )
+
+
+#: kind → (factory, allowed keys). ``seed`` is accepted everywhere.
+_KINDS: Dict[str, Tuple[Callable, Tuple[str, ...]]] = {
+    "outages": (_outage_factory, ("p", "len", "floor_mbps")),
+    "scale": (_scale_factory, ("factor",)),
+    "drops": (_drop_factory, ("p", "len", "factor")),
+    "latency": (_latency_factory, ("p", "spike_s")),
+}
+
+
+def _parse_params(kind: str, text: str) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Split one clause's ``key=value`` list into (fault params, plan params)."""
+    _, allowed = _KINDS[kind]
+    params: Dict[str, float] = {}
+    plan_params: Dict[str, float] = {}
+    if not text:
+        return params, plan_params
+    for item in text.split(","):
+        if "=" not in item:
+            raise ValueError(
+                f"fault spec: expected key=value in {kind!r} clause, got {item!r}"
+            )
+        key, _, raw = item.partition("=")
+        key = key.strip()
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"fault spec: {kind}.{key} value is not a number: {raw!r}"
+            ) from None
+        if key == "seed":
+            plan_params["seed"] = value
+        elif key in allowed:
+            params[key] = value
+        else:
+            raise ValueError(
+                f"fault spec: unknown key {key!r} for {kind!r} "
+                f"(allowed: {', '.join(allowed)}, seed)"
+            )
+    return params, plan_params
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse a ``--faults`` spec string into a :class:`FaultPlan`.
+
+    Raises :class:`ValueError` with a message naming the offending
+    clause/key on any malformed input.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("fault spec is empty")
+    faults = []
+    seed = 0
+    for clause in text.split("+"):
+        clause = clause.strip()
+        if not clause:
+            raise ValueError(f"fault spec has an empty clause: {text!r}")
+        kind, _, param_text = clause.partition(":")
+        kind = kind.strip()
+        if kind not in _KINDS:
+            raise ValueError(
+                f"fault spec: unknown fault kind {kind!r} "
+                f"(known: {', '.join(sorted(_KINDS))})"
+            )
+        params, plan_params = _parse_params(kind, param_text.strip())
+        if "seed" in plan_params:
+            seed = int(plan_params["seed"])
+        faults.append(_KINDS[kind][0](params))
+    return FaultPlan(faults=tuple(faults), seed=seed)

@@ -21,7 +21,12 @@ import numpy as np
 from repro.network.traces import NetworkTrace
 from repro.util.validation import check_non_negative, check_positive
 
-__all__ = ["TraceLink", "DownloadResult"]
+__all__ = ["TraceLink", "DownloadResult", "MIN_DOWNLOAD_DURATION_S"]
+
+#: Floor on reported download duration: every download takes strictly
+#: positive wall time, so rate math downstream (estimators divide by the
+#: duration) always stays finite.
+MIN_DOWNLOAD_DURATION_S = 1e-9
 
 
 @dataclass(frozen=True)
@@ -39,8 +44,8 @@ class DownloadResult:
 
     @property
     def throughput_bps(self) -> float:
-        """Average throughput experienced by this download."""
-        return self.size_bits / self.duration_s if self.duration_s > 0 else float("inf")
+        """Average throughput experienced by this download (always finite)."""
+        return self.size_bits / max(self.duration_s, MIN_DOWNLOAD_DURATION_S)
 
 
 class TraceLink:
@@ -73,8 +78,18 @@ class TraceLink:
     def _cumulative_at(self, t_s: float) -> float:
         """Bits deliverable in [0, t_s), handling wrap-around."""
         periods, remainder = divmod(t_s, self._period_s)
+        if remainder >= self._period_s:
+            # Float divmod can return remainder == divisor (documented
+            # quirk); fold it into one extra whole period.
+            periods += 1.0
+            remainder = 0.0
         index = remainder / self._interval
         whole = int(index)
+        if whole >= self.trace.num_intervals:
+            # Period-boundary rounding can land the interval index on
+            # (or past) the table edge; clamp and carry the overshoot
+            # into the fraction so the value stays continuous.
+            whole = self.trace.num_intervals - 1
         frac = index - whole
         partial = self._cumulative_bits[whole]
         if frac > 0:
@@ -88,21 +103,34 @@ class TraceLink:
         target = self._cumulative_at(start_s) + size_bits
 
         periods, within = divmod(target, self._bits_per_period)
-        # Find the interval where the cumulative-bits table crosses `within`.
-        index = int(np.searchsorted(self._cumulative_bits, within, side="right")) - 1
-        index = min(index, self.trace.num_intervals - 1)
+        # Find the interval where the cumulative-bits table crosses
+        # `within`. side="left" gives earliest-crossing semantics: a
+        # download whose last bit lands exactly on an outage boundary
+        # finishes *before* the zero-rate run, not after it.
+        index = int(np.searchsorted(self._cumulative_bits, within, side="left")) - 1
+        index = min(max(index, 0), self.trace.num_intervals - 1)
         already = self._cumulative_bits[index]
         rate = self.trace.throughputs_bps[index]
-        if rate <= 0:
-            # Zero-rate interval: skip to its end (cannot happen with the
-            # synthesizers, which floor throughput above zero, but real
-            # trace files may contain zeros).
+        if within <= already:
+            # Crossed at (or before) this interval's start — only
+            # reachable when `within` is exactly 0 after the divmod.
+            offset = index * self._interval
+        elif rate <= 0:
+            # Zero-rate interval (real trace files and injected outages
+            # contain zeros): no bits arrive here, skip to its end.
             offset = (index + 1) * self._interval
         else:
             offset = index * self._interval + (within - already) / rate
         finish_s = periods * self._period_s + offset
-        if finish_s < start_s:  # guard against floating-point regression
-            finish_s = start_s + size_bits / max(rate, 1.0)
+        if finish_s <= start_s:
+            # Floor zero/negative durations (floating-point regression,
+            # or a download so small the fluid integral rounds to zero
+            # wall time): downstream rate math requires duration > 0.
+            finish_s = start_s + max(
+                size_bits / max(rate, 1.0), MIN_DOWNLOAD_DURATION_S
+            )
+            if finish_s <= start_s:  # addition underflow at large start_s
+                finish_s = float(np.nextafter(start_s, np.inf))
         return DownloadResult(start_s=start_s, finish_s=finish_s, size_bits=size_bits)
 
     def average_bandwidth(self, start_s: float, window_s: float) -> float:

@@ -93,6 +93,21 @@ class NetworkTrace:
         index = int(t_s / self.interval_s) % self.num_intervals
         return float(self.throughputs_bps[index])
 
+    def with_throughputs(
+        self, throughputs_bps: np.ndarray, name: Optional[str] = None
+    ) -> "NetworkTrace":
+        """A copy with a replaced throughput timeline (same interval).
+
+        The fault-injection layer uses this to build perturbed variants;
+        by default the name is kept, because a faulted sweep is the same
+        grid replayed under adverse conditions.
+        """
+        return NetworkTrace(
+            name=name if name is not None else self.name,
+            interval_s=self.interval_s,
+            throughputs_bps=throughputs_bps,
+        )
+
     def scaled(self, factor: float) -> "NetworkTrace":
         """A copy with every throughput multiplied by ``factor``."""
         check_positive(factor, "factor")

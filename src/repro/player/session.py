@@ -270,8 +270,11 @@ class StreamingSession:
             now = result.finish_s
             buffer.fill(delta)
 
-            # 4. learn from the observation
-            estimator.observe(size, download_s, now)
+            # 4. learn from the observation. The duration is floored
+            # because the estimator contract requires it strictly
+            # positive — TraceLink guarantees that, but custom or
+            # faulted links may round an instant download to zero.
+            estimator.observe(size, max(download_s, 1e-9), now)
             algorithm.notify_download(i, level, size, download_s, buffer.level_s, now)
 
             levels[i] = level

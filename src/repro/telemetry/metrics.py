@@ -185,6 +185,22 @@ class MetricsRegistry:
         with self._lock:
             return self._metrics.get(name)
 
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a counter or gauge, or ``default`` if absent.
+
+        Sweeps increment their failure-policy counters lazily (a clean
+        run never touches them), so callers asserting on "how many
+        retries/skips happened" need a total that reads 0 for a metric
+        that was never created.
+        """
+        with self._lock:
+            metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a histogram; read counts/sum instead")
+        return float(metric.value)  # type: ignore[union-attr]
+
     def metrics(self) -> List[object]:
         """All registered metrics, sorted by name (stable output order)."""
         with self._lock:

@@ -1,0 +1,205 @@
+"""Tests for repro.faults.plan: seeded, composable fault primitives."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import (
+    DropFault,
+    FaultedLink,
+    FaultPlan,
+    LatencyFault,
+    OutageFault,
+    ScaleFault,
+)
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace
+
+
+def make_trace(name="t", intervals=50, bps=2e6):
+    return NetworkTrace(name, 1.0, np.full(intervals, bps))
+
+
+class TestOutageFault:
+    def test_creates_zero_runs(self):
+        trace = make_trace()
+        plan = FaultPlan((OutageFault(p=0.2, duration_intervals=3),), seed=1)
+        perturbed, events = plan.perturb_trace(trace)
+        assert events > 0
+        zeros = np.flatnonzero(perturbed.throughputs_bps == 0.0)
+        assert zeros.size >= events  # every event floors >= 1 interval
+        # untouched intervals keep their exact original value
+        touched = perturbed.throughputs_bps < trace.throughputs_bps
+        assert np.array_equal(
+            perturbed.throughputs_bps[~touched], trace.throughputs_bps[~touched]
+        )
+
+    def test_floor_respected(self):
+        fault = OutageFault(p=1.0, duration_intervals=1, floor_bps=5_000.0)
+        out, events = fault.apply(np.full(10, 1e6), np.random.default_rng(0))
+        assert events == 10
+        assert np.all(out == 5_000.0)
+
+    def test_floor_never_raises_throughput(self):
+        # flooring an interval already below the floor must not lift it
+        fault = OutageFault(p=1.0, duration_intervals=1, floor_bps=5_000.0)
+        out, _ = fault.apply(np.full(4, 1_000.0), np.random.default_rng(0))
+        assert np.all(out == 1_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutageFault(p=1.5)
+        with pytest.raises(ValueError):
+            OutageFault(duration_intervals=0)
+        with pytest.raises(ValueError):
+            OutageFault(floor_bps=-1.0)
+
+
+class TestScaleAndDrop:
+    def test_scale_multiplies_everything(self):
+        trace = make_trace()
+        plan = FaultPlan((ScaleFault(factor=0.5),), seed=0)
+        perturbed, events = plan.perturb_trace(trace)
+        assert events == 1
+        assert np.array_equal(perturbed.throughputs_bps, trace.throughputs_bps * 0.5)
+
+    def test_drop_windows_are_multiplicative(self):
+        fault = DropFault(p=1.0, duration_intervals=1, factor=0.3)
+        out, events = fault.apply(np.full(10, 1e6), np.random.default_rng(0))
+        assert events == 10
+        assert np.allclose(out, 1e6 * 0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleFault(factor=-0.1)
+        with pytest.raises(ValueError):
+            DropFault(p=-0.5)
+
+
+class TestDeterminism:
+    def test_perturb_trace_is_pure(self):
+        trace = make_trace()
+        plan = FaultPlan(
+            (OutageFault(p=0.1), DropFault(p=0.1), ScaleFault(factor=0.8)), seed=9
+        )
+        a, events_a = plan.perturb_trace(trace)
+        b, events_b = plan.perturb_trace(trace)
+        assert events_a == events_b
+        assert np.array_equal(a.throughputs_bps, b.throughputs_bps)
+
+    def test_different_seeds_differ(self):
+        trace = make_trace(intervals=200)
+        a, _ = FaultPlan((OutageFault(p=0.1),), seed=1).perturb_trace(trace)
+        b, _ = FaultPlan((OutageFault(p=0.1),), seed=2).perturb_trace(trace)
+        assert not np.array_equal(a.throughputs_bps, b.throughputs_bps)
+
+    def test_different_traces_draw_independently(self):
+        plan = FaultPlan((OutageFault(p=0.1),), seed=1)
+        a, _ = plan.perturb_trace(make_trace(name="a", intervals=200))
+        b, _ = plan.perturb_trace(make_trace(name="b", intervals=200))
+        assert not np.array_equal(a.throughputs_bps, b.throughputs_bps)
+
+    def test_trace_keeps_name_and_grid(self):
+        trace = make_trace(name="lte-007")
+        perturbed, _ = FaultPlan((ScaleFault(0.5),), seed=0).perturb_trace(trace)
+        assert perturbed.name == trace.name
+        assert perturbed.interval_s == trace.interval_s
+        assert perturbed.num_intervals == trace.num_intervals
+
+
+class TestComposition:
+    def test_faults_apply_in_plan_order(self):
+        trace = make_trace(bps=1e6)
+        plan = FaultPlan((ScaleFault(0.5), ScaleFault(0.5)), seed=0)
+        perturbed, events = plan.perturb_trace(trace)
+        assert events == 2
+        assert np.allclose(perturbed.throughputs_bps, 0.25e6)
+
+    def test_latency_faults_do_not_touch_the_trace(self):
+        trace = make_trace()
+        plan = FaultPlan((LatencyFault(p=0.5),), seed=0)
+        perturbed, events = plan.perturb_trace(trace)
+        assert perturbed is trace  # no timeline rewrite, no copy
+        assert events == 1  # armed latency faults count once each
+
+    def test_describe_names_every_fault(self):
+        plan = FaultPlan(
+            (OutageFault(), ScaleFault(), DropFault(), LatencyFault()), seed=4
+        )
+        text = plan.describe()
+        for word in ("outages", "scale", "drops", "latency", "seed=4"):
+            assert word in text
+
+
+class TestFaultedLink:
+    def test_spike_elongates_download_keeps_start(self):
+        link = TraceLink(make_trace(bps=1e6))
+        plan = FaultPlan((LatencyFault(p=1.0, spike_s=2.0),), seed=1)
+        faulted = plan.wrap_link(link)
+        base = link.download(1e6, 3.0)
+        spiked = faulted.download(1e6, 3.0)
+        assert spiked.start_s == 3.0
+        assert spiked.finish_s == pytest.approx(base.finish_s + 2.0)
+        assert spiked.throughput_bps < base.throughput_bps
+
+    def test_p_zero_never_spikes(self):
+        link = TraceLink(make_trace())
+        faulted = FaultedLink(link, (LatencyFault(p=0.0, spike_s=5.0),), seed=1)
+        for start in (0.0, 1.25, 17.8):
+            assert faulted.delay_at(start) == 0.0
+            assert faulted.download(1e6, start) == link.download(1e6, start)
+
+    def test_spike_decision_is_stateless(self):
+        # Two independently built wrappers agree download-by-download:
+        # the decision is a pure hash, not RNG state.
+        link = TraceLink(make_trace())
+        a = FaultedLink(link, (LatencyFault(p=0.5, spike_s=1.0),), seed=3)
+        b = FaultedLink(link, (LatencyFault(p=0.5, spike_s=1.0),), seed=3)
+        starts = [0.1 * k for k in range(100)]
+        delays = [a.delay_at(s) for s in starts]
+        assert delays == [b.delay_at(s) for s in starts]
+        assert any(d > 0 for d in delays)
+        assert any(d == 0 for d in delays)
+
+    def test_wrap_link_is_noop_without_latency_faults(self):
+        link = TraceLink(make_trace())
+        plan = FaultPlan((OutageFault(),), seed=0)
+        assert plan.wrap_link(link) is link
+
+    def test_delegates_window_queries(self):
+        link = TraceLink(make_trace(bps=2e6))
+        faulted = FaultedLink(link, (LatencyFault(p=1.0),), seed=0)
+        assert faulted.bits_in_window(0.0, 3.0) == link.bits_in_window(0.0, 3.0)
+        assert faulted.average_bandwidth(0.0, 4.0) == link.average_bandwidth(0.0, 4.0)
+        assert faulted.trace is link.trace
+
+
+class TestPlanObject:
+    def test_pickle_round_trip_preserves_identity(self):
+        plan = FaultPlan(
+            (OutageFault(p=0.05), LatencyFault(p=0.1, spike_s=0.5)), seed=7
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+        assert hash(clone) == hash(plan)
+        # usable as a dict key across the pickle boundary (the sweep
+        # engine ships a {plan: traces} mapping to pool workers)
+        assert {plan: "x"}[clone] == "x"
+
+    def test_split_properties(self):
+        plan = FaultPlan(
+            (OutageFault(), LatencyFault(), DropFault(), ScaleFault()), seed=0
+        )
+        assert [type(f) for f in plan.trace_faults] == [
+            OutageFault, DropFault, ScaleFault
+        ]
+        assert [type(f) for f in plan.latency_faults] == [LatencyFault]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(())
+        with pytest.raises(ValueError):
+            FaultPlan((OutageFault(),), seed=-1)
+        with pytest.raises(ValueError):
+            LatencyFault(spike_s=-1.0)

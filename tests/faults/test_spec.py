@@ -1,0 +1,75 @@
+"""Tests for the ``--faults`` spec grammar."""
+
+import pytest
+
+from repro.faults.plan import DropFault, LatencyFault, OutageFault, ScaleFault
+from repro.faults.spec import parse_fault_plan
+from repro.util.units import mbps_to_bps
+
+
+class TestParsing:
+    def test_bare_kind_uses_defaults(self):
+        plan = parse_fault_plan("outages")
+        assert plan.faults == (OutageFault(),)
+        assert plan.seed == 0
+
+    def test_outage_params(self):
+        plan = parse_fault_plan("outages:p=0.05,len=4,floor_mbps=0.2,seed=7")
+        (fault,) = plan.faults
+        assert fault == OutageFault(
+            p=0.05, duration_intervals=4, floor_bps=mbps_to_bps(0.2)
+        )
+        assert plan.seed == 7
+
+    def test_all_kinds(self):
+        plan = parse_fault_plan(
+            "outages+scale:factor=0.8+drops:p=0.1,factor=0.2+latency:p=0.3,spike_s=2"
+        )
+        assert [type(f) for f in plan.faults] == [
+            OutageFault, ScaleFault, DropFault, LatencyFault
+        ]
+        assert plan.faults[1] == ScaleFault(factor=0.8)
+        assert plan.faults[2] == DropFault(p=0.1, duration_intervals=5, factor=0.2)
+        assert plan.faults[3] == LatencyFault(p=0.3, spike_s=2.0)
+
+    def test_last_seed_wins(self):
+        plan = parse_fault_plan("outages:seed=3+latency:seed=9")
+        assert plan.seed == 9
+
+    def test_whitespace_tolerated(self):
+        plan = parse_fault_plan("  outages : p=0.1 ")
+        assert plan.faults == (OutageFault(p=0.1),)
+
+
+class TestErrors:
+    def test_empty_spec(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_fault_plan("")
+
+    def test_empty_clause(self):
+        with pytest.raises(ValueError, match="empty clause"):
+            parse_fault_plan("outages++scale")
+
+    def test_unknown_kind_named(self):
+        with pytest.raises(ValueError, match="bogus"):
+            parse_fault_plan("bogus:p=1")
+
+    def test_unknown_key_named(self):
+        with pytest.raises(ValueError, match="wavelength"):
+            parse_fault_plan("outages:wavelength=3")
+
+    def test_key_for_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="spike_s"):
+            parse_fault_plan("outages:spike_s=1")
+
+    def test_non_numeric_value(self):
+        with pytest.raises(ValueError, match="not a number"):
+            parse_fault_plan("outages:p=lots")
+
+    def test_missing_equals(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_fault_plan("outages:p")
+
+    def test_out_of_range_value_propagates(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            parse_fault_plan("outages:p=2")

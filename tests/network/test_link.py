@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.network.link import TraceLink
+from repro.network.link import MIN_DOWNLOAD_DURATION_S, DownloadResult, TraceLink
 from repro.network.traces import NetworkTrace, synthesize_lte_traces
 
 
@@ -70,6 +70,143 @@ class TestBitsInWindow:
         trace = NetworkTrace("v", 1.0, np.array([1e6, 3e6]))
         link = TraceLink(trace)
         assert link.average_bandwidth(0.0, 2.0) == pytest.approx(2e6)
+
+
+class TestPeriodBoundary:
+    """Regression: float divmod at period boundaries.
+
+    With a non-representable interval (1/3 s) the interval index
+    ``remainder / interval`` can round to *exactly* ``num_intervals`` —
+    one past the throughput table — at times infinitesimally below a
+    period boundary. The clamp must keep the cumulative value continuous
+    (equal to the full-period total), not crash or overshoot.
+    """
+
+    def test_index_lands_exactly_on_table_edge(self):
+        trace = NetworkTrace("thirds", 1.0 / 3.0, np.array([1e6, 2e6, 3e6]))
+        link = TraceLink(trace)
+        t = 0.9999999999999999  # < one period, but index rounds to 3.0
+        bits = link._cumulative_at(t)
+        assert bits == pytest.approx(link._bits_per_period, rel=1e-12)
+        # windows touching the boundary stay well-defined and monotone
+        assert link.bits_in_window(0.0, t) <= link.bits_in_window(0.0, 1.0)
+
+    @given(
+        num_intervals=st.integers(min_value=1, max_value=9),
+        periods=st.integers(min_value=0, max_value=5),
+        steps_below=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_continuous_at_period_boundaries(
+        self, num_intervals, periods, steps_below
+    ):
+        interval = 1.0 / num_intervals  # non-representable for 3, 6, 7, 9
+        trace = NetworkTrace(
+            "b", interval, np.linspace(1e6, 2e6, num_intervals)
+        )
+        link = TraceLink(trace)
+        t = periods * trace.duration_s
+        for _ in range(steps_below):
+            t = float(np.nextafter(t, -np.inf))
+        if t < 0:
+            return
+        expected = periods * link._bits_per_period
+        assert link._cumulative_at(t) == pytest.approx(expected, rel=1e-9)
+
+    def test_download_of_exact_whole_periods(self):
+        # size == k full periods of bits exercises the within==0 branch
+        # (divmod lands exactly on a period multiple)
+        trace = NetworkTrace("thirds", 1.0 / 3.0, np.array([1e6, 2e6, 3e6]))
+        link = TraceLink(trace)
+        result = link.download(2e6 * 3, 0.0)  # 3 periods of bits
+        assert result.finish_s == pytest.approx(3 * trace.duration_s, rel=1e-9)
+
+
+class TestZeroDurationFloor:
+    def test_throughput_always_finite(self):
+        result = DownloadResult(start_s=5.0, finish_s=5.0, size_bits=100.0)
+        assert np.isfinite(result.throughput_bps)
+        assert result.throughput_bps == 100.0 / MIN_DOWNLOAD_DURATION_S
+
+    def test_tiny_download_has_positive_duration(self):
+        link = constant_link(bps=1e12)
+        result = link.download(1e-6, start_s=0.0)
+        assert result.duration_s > 0
+        assert np.isfinite(result.throughput_bps)
+
+    def test_tiny_download_at_large_start_time(self):
+        # At large t the fluid integral can round finish to exactly
+        # start; the floor must still produce a strictly later finish.
+        link = constant_link(bps=1e9, intervals=4)
+        start = 1e9 + 0.125
+        result = link.download(1e-3, start_s=start)
+        assert result.finish_s > start
+        assert np.isfinite(result.throughput_bps)
+
+
+class TestZeroRateTraces:
+    """Traces with zero-throughput runs (real captures, injected outages)."""
+
+    def outage_link(self):
+        return TraceLink(NetworkTrace("z", 1.0, np.array([1e6, 0.0, 0.0, 1e6])))
+
+    def test_download_across_consecutive_zero_intervals(self):
+        # 1.5 Mb: 1 Mb in [0,1), outage [1,3), 0.5 Mb in [3,3.5)
+        result = self.outage_link().download(1.5e6, 0.0)
+        assert result.finish_s == pytest.approx(3.5)
+
+    def test_download_finishing_exactly_at_outage_boundary(self):
+        # The last bit lands exactly at t=1.0; earliest-crossing
+        # semantics must not absorb the two-second outage after it.
+        result = self.outage_link().download(1e6, 0.0)
+        assert result.finish_s == pytest.approx(1.0)
+        assert result.finish_s < 2.0
+
+    def test_download_starting_inside_outage(self):
+        result = self.outage_link().download(1e6, 1.5)
+        assert result.finish_s == pytest.approx(4.0)
+
+    def test_download_wraps_through_outages(self):
+        # 2 Mb per 4 s period: 4 Mb by t=8, then the last 1 Mb fills the
+        # whole [8, 9) interval at 1 Mbps
+        result = self.outage_link().download(5e6, 0.0)
+        assert result.finish_s == pytest.approx(9.0)
+
+    def test_bits_in_window_over_all_outage_window(self):
+        link = self.outage_link()
+        assert link.bits_in_window(1.0, 3.0) == 0.0
+        assert link.bits_in_window(1.25, 2.75) == 0.0
+        assert link.average_bandwidth(1.0, 2.0) == 0.0
+
+    def test_zero_leading_interval(self):
+        link = TraceLink(NetworkTrace("lead", 1.0, np.array([0.0, 1e6])))
+        result = link.download(5e5, 0.0)
+        assert result.finish_s == pytest.approx(1.5)
+
+    def test_all_zero_trace_rejected(self):
+        with pytest.raises(ValueError, match="zero bits"):
+            TraceLink(NetworkTrace("dead", 1.0, np.zeros(4)))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        size_mb=st.floats(min_value=0.01, max_value=10.0),
+        start=st.floats(min_value=0.0, max_value=500.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_download_inverts_window_with_outages(self, seed, size_mb, start):
+        trace = synthesize_lte_traces(count=1, seed=seed, duration_s=120.0)[0]
+        throughputs = trace.throughputs_bps.copy()
+        rng = np.random.default_rng(seed)
+        for index in rng.integers(0, throughputs.size, size=6):
+            throughputs[index : index + 5] = 0.0
+        if not throughputs.any():
+            return
+        link = TraceLink(trace.with_throughputs(throughputs))
+        size = size_mb * 1e6
+        result = link.download(size, start)
+        assert result.finish_s > start
+        delivered = link.bits_in_window(start, result.finish_s)
+        assert delivered == pytest.approx(size, rel=1e-6, abs=1.0)
 
 
 class TestConsistency:

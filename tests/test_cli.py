@@ -157,6 +157,47 @@ class TestCompare:
         assert "wrote sweep metrics" in capsys.readouterr().out
 
 
+class TestFaultsAndPolicyFlags:
+    def test_compare_with_faults_prints_plan(self, capsys):
+        assert main(
+            ["compare", "ED-youtube-h264", "--traces", "2", "--schemes", "RBA",
+             "--faults", "outages:p=0.02,seed=7", "--on-error", "skip"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults: outages(p=0.02" in out
+        assert "seed=7" in out
+
+    def test_compare_faults_change_results(self, capsys):
+        main(["compare", "ED-youtube-h264", "--traces", "2", "--schemes", "RBA"])
+        clean = capsys.readouterr().out
+        main(["compare", "ED-youtube-h264", "--traces", "2", "--schemes", "RBA",
+              "--faults", "scale:factor=0.3"])
+        faulted = capsys.readouterr().out
+        clean_row = [line for line in clean.splitlines() if line.startswith("RBA")]
+        faulted_row = [line for line in faulted.splitlines() if line.startswith("RBA")]
+        assert clean_row != faulted_row
+
+    def test_bad_faults_spec_exits_with_message(self):
+        with pytest.raises(SystemExit, match="--faults"):
+            main(["compare", "ED-youtube-h264", "--traces", "2",
+                  "--schemes", "RBA", "--faults", "bogus:p=1"])
+
+    def test_run_with_faults_and_events(self, capsys):
+        assert main(
+            ["run", "ED-youtube-h264", "--scheme", "RBA", "--events",
+             "--faults", "latency:p=0.2,spike_s=1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults: latency(p=0.2" in out
+        assert "playback started" in out
+
+    def test_on_error_default_is_raise(self):
+        args = build_parser().parse_args(["compare", "v"])
+        assert args.on_error == "raise"
+        assert args.max_retries == 2
+        assert args.faults is None
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self):
         import subprocess

@@ -1,0 +1,49 @@
+"""Hot-path microbenchmarks: per-stage ns/op and sweep sessions/s.
+
+Runs the same suite as ``repro bench`` (see
+:mod:`repro.experiments.hotpath`), writes ``BENCH_hotpath.json`` at the
+repo root so successive PRs compare like-for-like, and — when a
+checked-in baseline exists — asserts no target regressed beyond the
+tolerance.
+
+Scale knobs: ``REPRO_BENCH_HOTPATH_TRACES`` (CAVA+RBA grid, default
+200) and ``REPRO_BENCH_HOTPATH_MPC_TRACES`` (MPC-inclusive grid,
+default 50). ``REPRO_BENCH_HOTPATH_TOLERANCE`` widens the regression
+gate on noisy machines.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.hotpath import (
+    DEFAULT_RESULT_PATH,
+    DEFAULT_TOLERANCE,
+    compare_to_baseline,
+    load_record,
+    run_hotpath_benchmarks,
+    write_record,
+)
+
+TOLERANCE = float(
+    os.environ.get("REPRO_BENCH_HOTPATH_TOLERANCE", str(DEFAULT_TOLERANCE))
+)
+
+
+def test_hotpath_trajectory():
+    baseline = load_record(DEFAULT_RESULT_PATH)
+    record = run_hotpath_benchmarks()
+    write_record(record, DEFAULT_RESULT_PATH)
+
+    print("\nhot-path benchmarks:")
+    for name, stats in record["targets"].items():
+        if "ns_per_op" in stats:
+            print(f"  {name:32s} {stats['ns_per_op']:12.0f} ns/op")
+        else:
+            print(f"  {name:32s} {stats['sessions_per_s']:12.2f} sessions/s")
+
+    if baseline is not None:
+        regressions = compare_to_baseline(record, baseline, tolerance=TOLERANCE)
+        assert not regressions, "perf regressions vs BENCH_hotpath.json:\n" + "\n".join(
+            regressions
+        )

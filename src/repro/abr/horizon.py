@@ -7,20 +7,34 @@ per-chunk sizes (the VBR-aware way the paper runs these baselines, §6.1),
 score each candidate, and commit only the first decision.
 
 For N = 5 and 6 tracks the full space is 6^5 = 7776 sequences; we
-enumerate it exactly but vectorized with numpy, so a decision costs a few
-array operations instead of 7776 Python loops.
+enumerate it exactly but never materialize per-sequence work. All 7776
+sequences share prefixes, so :class:`HorizonPlanner` rolls the buffer
+forward level-by-level over a **trellis**: depth ``k`` holds one state
+per length-``k`` prefix (``L^k`` states), and expanding a prefix by one
+level costs a broadcasted ``(L^k, L)`` operation. Per decision that is
+``L + L^2 + ... + L^h`` elements of arithmetic instead of ``L^h * h``,
+and — because every elementwise operation is applied to the same operand
+values in the same order as the flat :func:`simulate_buffer` rollout —
+the leaf results are **bit-identical** to simulating each sequence
+independently.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.video.model import Manifest
 
-__all__ = ["level_sequences", "simulate_buffer", "horizon_sizes"]
+__all__ = [
+    "level_sequences",
+    "simulate_buffer",
+    "horizon_sizes",
+    "HorizonPlanner",
+    "planner_for",
+]
 
 
 @lru_cache(maxsize=32)
@@ -28,12 +42,16 @@ def level_sequences(num_levels: int, horizon: int) -> np.ndarray:
     """All ``num_levels ** horizon`` level sequences, shape (count, horizon).
 
     Cached: the (6, 5) table is built once per process and shared by all
-    MPC/PANDA instances.
+    MPC/PANDA instances. The returned array is **read-only** — callers
+    share one instance, so an in-place mutation would silently corrupt
+    every other scheme's planning; writes raise instead.
     """
     if num_levels < 1 or horizon < 1:
         raise ValueError(f"need num_levels >= 1 and horizon >= 1, got {num_levels}, {horizon}")
     grids = np.meshgrid(*[np.arange(num_levels)] * horizon, indexing="ij")
-    return np.stack([g.ravel() for g in grids], axis=1)
+    out = np.stack([g.ravel() for g in grids], axis=1)
+    out.setflags(write=False)
+    return out
 
 
 def horizon_sizes(manifest: Manifest, start_index: int, horizon: int) -> np.ndarray:
@@ -92,3 +110,180 @@ def simulate_buffer(
         rebuffer += stall
         buffer = np.maximum(buffer - download_s, 0.0) + chunk_duration_s
     return rebuffer, buffer
+
+
+class HorizonPlanner:
+    """Shared-prefix (trellis) rollout engine for one ``(L, horizon)`` shape.
+
+    The planner owns preallocated ping-pong buffers sized for the full
+    ``L^horizon`` leaf count, so a decision allocates nothing beyond the
+    broadcasting temporaries numpy cannot avoid. One planner serves every
+    algorithm instance with the same shape (see :func:`planner_for`);
+    the per-chunk inputs (sizes, bandwidth, buffer) arrive per call.
+
+    Bit-identity with :func:`simulate_buffer`: the buffer/rebuffer
+    recurrence is elementwise per sequence, so a leaf's value depends
+    only on its own level path. The trellis applies the *same* IEEE
+    double operations in the *same* per-step order to the same operand
+    values — it merely shares the prefix computations — and orders
+    children as ``parent * L + level``, which reproduces the
+    lexicographic (ravelled ``meshgrid`` ``'ij'``) layout of
+    :func:`level_sequences` exactly.
+
+    Returned arrays are **borrowed views** into the planner's scratch
+    buffers: consume them (or copy) before the next ``rollout`` call.
+    """
+
+    def __init__(self, num_levels: int, horizon: int) -> None:
+        if num_levels < 1 or horizon < 1:
+            raise ValueError(
+                f"need num_levels >= 1 and horizon >= 1, got {num_levels}, {horizon}"
+            )
+        self.num_levels = num_levels
+        self.horizon = horizon
+        leaves = num_levels**horizon
+        # Ping-pong pairs: step k reads prefix states from one flat array
+        # and writes the expanded (P, L) states into the other.
+        self._buf = (np.empty(leaves), np.empty(leaves))
+        self._reb = (np.empty(leaves), np.empty(leaves))
+        self._acc = (np.empty(leaves), np.empty(leaves))
+        self._first: Dict[int, np.ndarray] = {}
+
+    def first_levels(self, h: int) -> np.ndarray:
+        """Leaf-indexed first level of each sequence (read-only view)."""
+        first = self._first.get(h)
+        if first is None:
+            first = level_sequences(self.num_levels, h)[:, 0]
+            self._first[h] = first
+        return first
+
+    def rollout_rebuffer(
+        self,
+        sizes_bits: np.ndarray,
+        bandwidth_bps: float,
+        start_buffer_s: float,
+        chunk_duration_s: float,
+    ) -> np.ndarray:
+        """Total rebuffer per sequence, shape ``(L^h,)`` (borrowed view)."""
+        rebuffer, _ = self._rollout(
+            sizes_bits, None, "", bandwidth_bps, start_buffer_s, chunk_duration_s
+        )
+        return rebuffer
+
+    def rollout_with_values(
+        self,
+        sizes_bits: np.ndarray,
+        values: np.ndarray,
+        mode: str,
+        bandwidth_bps: float,
+        start_buffer_s: float,
+        chunk_duration_s: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rebuffer plus an in-trellis per-sequence value accumulation.
+
+        ``values`` is ``(L, h)`` — one value per (level, step), e.g.
+        per-chunk quality. ``mode`` is ``'sum'`` (running sum, matching
+        ``gathered.sum(axis=1)`` — numpy's sequential left fold for
+        ``h < 8``) or ``'min'`` (running minimum — order-insensitive).
+        Returns ``(rebuffer, accumulated)``, both borrowed views.
+        """
+        if mode not in ("sum", "min"):
+            raise ValueError(f"mode must be 'sum' or 'min', got {mode!r}")
+        return self._rollout(
+            sizes_bits, values, mode, bandwidth_bps, start_buffer_s, chunk_duration_s
+        )
+
+    def _rollout(
+        self,
+        sizes_bits: np.ndarray,
+        values: Optional[np.ndarray],
+        mode: str,
+        bandwidth_bps: float,
+        start_buffer_s: float,
+        chunk_duration_s: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth_bps must be positive, got {bandwidth_bps}")
+        num_levels = self.num_levels
+        h = sizes_bits.shape[1]
+        if sizes_bits.shape[0] != num_levels:
+            raise ValueError(
+                f"sizes cover {sizes_bits.shape[0]} tracks, planner has {num_levels}"
+            )
+        if not 1 <= h <= self.horizon:
+            raise ValueError(f"horizon {h} outside planner range 1..{self.horizon}")
+        if values is not None and values.shape != sizes_bits.shape:
+            raise ValueError(
+                f"values shape {values.shape} != sizes shape {sizes_bits.shape}"
+            )
+        # Per-(level, step) download times; elementwise, so identical to
+        # gathering per sequence and dividing.
+        downloads = sizes_bits / bandwidth_bps
+
+        bufs, rebs, accs = self._buf, self._reb, self._acc
+        cur = 0
+        count = num_levels
+
+        # Step 0: the empty prefix expands to L one-level states.
+        dls = downloads[:, 0]
+        buf = bufs[0][:count]
+        reb = rebs[0][:count]
+        np.subtract(dls, start_buffer_s, out=reb)  # shortfall = dl - buffer
+        np.maximum(reb, 0.0, out=reb)  # stall; rebuffer = 0 + stall = stall
+        np.subtract(start_buffer_s, dls, out=buf)  # buffer - dl
+        np.maximum(buf, 0.0, out=buf)
+        np.add(buf, chunk_duration_s, out=buf)
+        if values is not None:
+            acc = accs[0][:count]
+            acc[:] = values[:, 0]
+
+        for k in range(1, h):
+            nxt = count * num_levels
+            dls = downloads[:, k]
+            src_buf = bufs[cur][:count][:, None]
+            src_reb = rebs[cur][:count][:, None]
+            dst = 1 - cur
+            new_buf = bufs[dst][:nxt].reshape(count, num_levels)
+            new_reb = rebs[dst][:nxt].reshape(count, num_levels)
+            # Same op order as simulate_buffer's step k, broadcast over
+            # (prefixes, levels); C-order reshape keeps child p*L + l.
+            np.subtract(dls, src_buf, out=new_reb)  # shortfall
+            np.maximum(new_reb, 0.0, out=new_reb)  # stall
+            np.add(src_reb, new_reb, out=new_reb)  # rebuffer += stall
+            np.subtract(src_buf, dls, out=new_buf)  # buffer - dl
+            np.maximum(new_buf, 0.0, out=new_buf)
+            np.add(new_buf, chunk_duration_s, out=new_buf)
+            if values is not None:
+                vals = values[:, k]
+                src_acc = accs[cur][:count][:, None]
+                new_acc = accs[dst][:nxt].reshape(count, num_levels)
+                if mode == "sum":
+                    np.add(src_acc, vals, out=new_acc)
+                else:
+                    np.minimum(src_acc, vals, out=new_acc)
+            cur = dst
+            count = nxt
+
+        rebuffer = rebs[cur][:count]
+        accumulated = accs[cur][:count] if values is not None else rebuffer
+        return rebuffer, accumulated
+
+
+#: Process-wide planner cache: one scratch-buffer set per (L, horizon)
+#: shape, shared by every algorithm instance (sessions run sequentially
+#: within a process; worker processes each get their own cache).
+_PLANNER_CACHE: Dict[Tuple[int, int], HorizonPlanner] = {}
+
+
+def planner_for(num_levels: int, horizon: int) -> HorizonPlanner:
+    """Shared :class:`HorizonPlanner` for a ``(num_levels, horizon)`` shape."""
+    key = (num_levels, horizon)
+    planner = _PLANNER_CACHE.get(key)
+    if planner is None:
+        if len(_PLANNER_CACHE) >= 8:
+            # Unbounded growth only happens in pathological sweeps over
+            # many shapes; dropping the cache merely costs reallocation.
+            _PLANNER_CACHE.clear()
+        planner = HorizonPlanner(num_levels, horizon)
+        _PLANNER_CACHE[key] = planner
+    return planner

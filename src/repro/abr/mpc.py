@@ -22,20 +22,38 @@ rather than MPC).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Any, Deque, Dict, Optional
 
 import numpy as np
 
 from repro.abr.base import ABRAlgorithm, DecisionContext
-from repro.abr.horizon import horizon_sizes, level_sequences, simulate_buffer
+from repro.abr.horizon import horizon_sizes, level_sequences, planner_for
+from repro.util.pinned import PinnedMemo
 from repro.util.validation import check_non_negative, check_positive
 from repro.video.model import Manifest
 
 __all__ = ["MPCAlgorithm", "RobustMPCAlgorithm"]
 
+#: Bandwidth-independent score tables, shared across algorithm instances
+#: keyed by manifest identity (sweeps build a fresh MPC per session but
+#: reuse the manifest, so this is where cross-session reuse must live).
+_SCORE_TABLES = PinnedMemo()
+
 
 class MPCAlgorithm(ABRAlgorithm):
-    """Model-predictive rate adaptation with exhaustive N-step lookahead."""
+    """Model-predictive rate adaptation with exhaustive N-step lookahead.
+
+    The per-decision cost is dominated by the buffer rollout, delegated
+    to the shared-prefix :class:`~repro.abr.horizon.HorizonPlanner`. The
+    bandwidth-independent score terms — per-sequence utility, internal
+    smoothness steps, and the first-step switch cost against each
+    possible previous level — are precomputed per (manifest, effective
+    horizon) and cached, so a decision reduces to one trellis rollout
+    plus ``score = base - mu * rebuffer`` and an argmax. Every cached
+    table is built with the exact numpy expressions of the original
+    per-sequence formulation, so scores (and argmax ties, resolved to
+    the lexicographically smallest sequence) are bit-identical.
+    """
 
     name = "MPC"
 
@@ -56,6 +74,51 @@ class MPCAlgorithm(ABRAlgorithm):
     def prepare(self, manifest: Manifest) -> None:
         super().prepare(manifest)
         self._utilities_mbps = manifest.declared_avg_bitrates_bps / 1e6
+        self._planner = planner_for(manifest.num_tracks, self.horizon)
+
+    def _tables_for(self, h: int) -> Dict[str, Any]:
+        """Bandwidth-independent score tables for effective horizon ``h``.
+
+        ``h`` is shorter than ``self.horizon`` only for the truncated
+        tails at video end, so at most ``horizon`` tables exist per
+        (manifest, smoothness weight).
+        """
+        manifest = self.manifest
+
+        def build() -> Dict[str, Any]:
+            utilities = manifest.declared_avg_bitrates_bps / 1e6
+            sequences = level_sequences(manifest.num_tracks, h)
+            utility = utilities[sequences].sum(axis=1)
+            if h > 1:
+                steps = np.abs(np.diff(utilities[sequences], axis=1)).sum(axis=1)
+            else:
+                steps = 0.0
+            return {
+                "utilities": utilities,
+                "first": sequences[:, 0],
+                "utility": utility,
+                "steps": steps,
+                "base": {},
+            }
+
+        return _SCORE_TABLES.get(manifest, (h, self.smoothness_weight), build)
+
+    def _base_scores(self, tables: Dict[str, Any], previous: Optional[int]) -> np.ndarray:
+        """``utility - w * (smooth + steps)`` for one previous level."""
+        base = tables["base"].get(previous)
+        if base is None:
+            utilities = tables["utilities"]
+            first = tables["first"]
+            if previous is None:
+                # First chunk: the original scored |u[l0] - u[l0]| = 0;
+                # keep the expression so the zeros are produced the same
+                # way.
+                smooth = np.abs(utilities[first] - utilities[first])
+            else:
+                smooth = np.abs(utilities[first] - utilities[previous])
+            base = tables["utility"] - self.smoothness_weight * (smooth + tables["steps"])
+            tables["base"][previous] = base
+        return base
 
     def _predicted_bandwidth(self, ctx: DecisionContext) -> float:
         return ctx.bandwidth_bps
@@ -64,28 +127,16 @@ class MPCAlgorithm(ABRAlgorithm):
         manifest = self.manifest
         sizes = horizon_sizes(manifest, ctx.chunk_index, self.horizon)
         h = sizes.shape[1]
-        sequences = level_sequences(manifest.num_tracks, h)
+        tables = self._tables_for(h)
         bandwidth = max(self._predicted_bandwidth(ctx), 1_000.0)
 
-        rebuffer, _ = simulate_buffer(
-            sequences, sizes, bandwidth, ctx.buffer_s, manifest.chunk_duration_s
+        rebuffer = self._planner.rollout_rebuffer(
+            sizes, bandwidth, ctx.buffer_s, manifest.chunk_duration_s
         )
-        utility = self._utilities_mbps[sequences].sum(axis=1)
-        previous = ctx.last_level if ctx.last_level is not None else sequences[:, 0]
-        smooth = np.abs(
-            self._utilities_mbps[sequences[:, 0]] - self._utilities_mbps[previous]
-        )
-        if h > 1:
-            steps = np.abs(np.diff(self._utilities_mbps[sequences], axis=1)).sum(axis=1)
-        else:
-            steps = 0.0
-        score = (
-            utility
-            - self.smoothness_weight * (smooth + steps)
-            - self.rebuffer_penalty_per_s * rebuffer
-        )
+        base = self._base_scores(tables, ctx.last_level)
+        score = base - self.rebuffer_penalty_per_s * rebuffer
         best = int(np.argmax(score))
-        return int(sequences[best, 0])
+        return int(tables["first"][best])
 
 
 class RobustMPCAlgorithm(MPCAlgorithm):

@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.abr.base import ABRAlgorithm, DecisionContext
-from repro.abr.horizon import horizon_sizes, level_sequences, simulate_buffer
+from repro.abr.horizon import horizon_sizes, planner_for
 from repro.util.validation import check_positive
 from repro.video.model import Manifest
 
@@ -66,24 +66,33 @@ class PandaCQAlgorithm(ABRAlgorithm):
                 f"available: {sorted(manifest.quality)}"
             )
         self._quality = manifest.quality[self.metric]
+        self._planner = planner_for(manifest.num_tracks, self.horizon)
+        self._value_mode = "sum" if self.objective == "max-sum" else "min"
 
     def select_level(self, ctx: DecisionContext) -> int:
+        # The quality objective accumulates inside the shared-prefix
+        # rollout: a running sum reproduces numpy's sequential left-fold
+        # sum over the h (< 8) window columns, and a running minimum is
+        # order-insensitive — both bit-identical to gathering the
+        # (count, h) plan-quality matrix and reducing it.
         manifest = self.manifest
         i = ctx.chunk_index
         sizes = horizon_sizes(manifest, i, self.horizon)
         h = sizes.shape[1]
-        sequences = level_sequences(manifest.num_tracks, h)
         bandwidth = max(ctx.bandwidth_bps, 1_000.0)
 
-        rebuffer, _ = simulate_buffer(
-            sequences, sizes, bandwidth, ctx.buffer_s, manifest.chunk_duration_s
+        rebuffer, accumulated = self._planner.rollout_with_values(
+            sizes,
+            self._quality[:, i : i + h],
+            self._value_mode,
+            bandwidth,
+            ctx.buffer_s,
+            manifest.chunk_duration_s,
         )
-        window_quality = self._quality[:, i : i + h]  # (tracks, h)
-        plan_quality = window_quality[sequences, np.arange(h)]  # (count, h)
         if self.objective == "max-sum":
-            objective = plan_quality.sum(axis=1)
+            objective = accumulated
         else:
-            objective = plan_quality.min(axis=1) * h  # scale comparable to sum
+            objective = accumulated * h  # scale comparable to sum
         score = objective - self.rebuffer_penalty_per_s * rebuffer
         best = int(np.argmax(score))
-        return int(sequences[best, 0])
+        return int(self._planner.first_levels(h)[best])

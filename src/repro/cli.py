@@ -17,6 +17,9 @@ Subcommands:
 - ``trace``          — replay one session with controller tracing on and
                        print the per-chunk timeline (target buffer, PID
                        error, estimated vs realized bandwidth, quartile);
+- ``bench``          — run the hot-path microbenchmark suite and write
+                       ``BENCH_hotpath.json`` (``--baseline`` turns it
+                       into a perf-regression gate);
 - ``schemes``        — list the registered ABR schemes.
 
 Every subcommand takes ``--seed`` so results replay exactly. ``run`` and
@@ -273,6 +276,50 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.hotpath import (
+        DEFAULT_MPC_TRACES,
+        DEFAULT_SWEEP_TRACES,
+        compare_to_baseline,
+        load_record,
+        run_hotpath_benchmarks,
+        write_record,
+    )
+
+    record = run_hotpath_benchmarks(
+        sweep_traces=args.traces if args.traces is not None else DEFAULT_SWEEP_TRACES,
+        mpc_traces=(
+            args.mpc_traces if args.mpc_traces is not None else DEFAULT_MPC_TRACES
+        ),
+    )
+    out = Path(args.out)
+    write_record(record, out)
+    targets = record["targets"]
+    print(f"hot-path benchmarks ({record['grid']['video']}, "
+          f"{record['environment']['cpu_count']} cores) -> {out}")
+    for name, stats in targets.items():
+        if "ns_per_op" in stats:
+            print(f"  {name:32s} {stats['ns_per_op']:12.0f} ns/op")
+        else:
+            print(f"  {name:32s} {stats['sessions_per_s']:12.2f} sessions/s")
+
+    if args.baseline is None:
+        return 0
+    baseline = load_record(Path(args.baseline))
+    if baseline is None:
+        print(f"no baseline at {args.baseline}; skipping regression gate")
+        return 0
+    regressions = compare_to_baseline(record, baseline, tolerance=args.tolerance)
+    if regressions:
+        print(f"\n{len(regressions)} perf regression(s) vs {args.baseline}:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"\nno regressions vs {args.baseline} "
+          f"(tolerance {args.tolerance * 100:.0f}%)")
+    return 0
+
+
 def cmd_schemes(args: argparse.Namespace) -> int:
     for name in scheme_names():
         quality = " (needs per-chunk quality metadata)" if needs_quality_manifest(name) else ""
@@ -353,6 +400,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-retries", type=int, default=2,
                    help="retry budget per work unit under --on-error retry")
 
+    p = commands.add_parser(
+        "bench", help="run hot-path microbenchmarks, write BENCH_hotpath.json"
+    )
+    p.add_argument("--out", default="BENCH_hotpath.json",
+                   help="output record path (default BENCH_hotpath.json)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="compare against a baseline record; exit 1 on regression")
+    p.add_argument("--tolerance", type=float, default=0.30,
+                   help="allowed fractional regression per target (default 0.30)")
+    p.add_argument("--traces", type=int, default=None,
+                   help="traces in the CAVA+RBA sweep grid (default 200)")
+    p.add_argument("--mpc-traces", type=int, default=None,
+                   help="traces in the MPC-inclusive grid (default 50)")
+
     commands.add_parser("schemes", help="list registered ABR schemes")
     return parser
 
@@ -365,6 +426,7 @@ _HANDLERS = {
     "run": cmd_run,
     "trace": cmd_trace,
     "compare": cmd_compare,
+    "bench": cmd_bench,
     "schemes": cmd_schemes,
 }
 

@@ -29,10 +29,31 @@ from repro.core.config import CavaConfig
 from repro.core.inner import InnerController
 from repro.core.outer import OuterController
 from repro.core.pid import PIDController
+from repro.util.pinned import PinnedMemo
 from repro.video.classify import ChunkClassifier
 from repro.video.model import Manifest
 
 __all__ = ["CavaAlgorithm", "cava_p1", "cava_p12", "cava_p123", "cava_live"]
+
+#: Prepared (classifier, outer, inner) stacks keyed by manifest identity
+#: and config. All three are deterministic pure functions of (config,
+#: manifest) and hold no per-session state (the PID block does, and is
+#: rebuilt every prepare), so reusing them across sessions — sweeps build
+#: a fresh CavaAlgorithm per session on a memoized manifest — skips the
+#: statistical-filter and classifier recomputation without changing any
+#: decision.
+_PREPARED = PinnedMemo()
+
+
+def _build_controllers(config: CavaConfig, manifest: Manifest):
+    classifier = ChunkClassifier.from_manifest(
+        manifest,
+        reference_track=config.reference_track,
+        num_classes=config.num_complexity_classes,
+    )
+    outer = OuterController(config, manifest)
+    inner = InnerController(config, manifest, classifier)
+    return classifier, outer, inner
 
 
 class CavaAlgorithm(ABRAlgorithm):
@@ -51,16 +72,12 @@ class CavaAlgorithm(ABRAlgorithm):
 
     def prepare(self, manifest: Manifest) -> None:
         super().prepare(manifest)
-        classifier = ChunkClassifier.from_manifest(
-            manifest,
-            reference_track=self.config.reference_track,
-            num_classes=self.config.num_complexity_classes,
+        config = self.config
+        self.classifier, self.outer, self.inner = _PREPARED.get(
+            manifest, config, lambda: _build_controllers(config, manifest)
         )
-        self.classifier = classifier
-        self.outer = OuterController(self.config, manifest)
-        self.inner = InnerController(self.config, manifest, classifier)
-        self.pid = PIDController(self.config, manifest.chunk_duration_s)
-        self.last_target_s = self.config.base_target_buffer_s
+        self.pid = PIDController(config, manifest.chunk_duration_s)
+        self.last_target_s = config.base_target_buffer_s
         self.last_u = 1.0
 
     def select_level(self, ctx: DecisionContext) -> int:

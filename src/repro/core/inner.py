@@ -30,6 +30,7 @@ range.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
@@ -63,6 +64,26 @@ class InnerController:
         #: after the no-deflation heuristic, so telemetry sees the value
         #: the argmin used, not the one :meth:`alpha` first proposed.
         self.last_alpha = 1.0
+        # Scalar hot-path tables: the select() argmin runs over 6 levels,
+        # where Python-float rows beat per-call ndarray slicing/ufunc
+        # dispatch. Values are the exact doubles of the numpy tables, and
+        # the per-chunk alpha/eta lists replicate alpha()/eta() verbatim.
+        n = manifest.num_chunks
+        self._rbar_rows = self._rbar_mbps.T.tolist()  # per-chunk, per-level
+        self._track_avg_list = self._track_avg_mbps.tolist()
+        self._eta_list = [self.eta(i) for i in range(n)]
+        if config.use_differential:
+            self._alpha_list = [
+                config.alpha_complex if classifier.is_complex(i) else config.alpha_simple
+                for i in range(n)
+            ]
+            self._complex_list = [classifier.is_complex(i) for i in range(n)]
+        else:
+            self._alpha_list = [1.0] * n
+            self._complex_list = [False] * n
+        self._relief_enabled = bool(
+            config.use_differential and config.enable_q4_relief_heuristic
+        )
 
     # ------------------------------------------------------------------
     # Eq. (3) pieces
@@ -118,6 +139,50 @@ class InnerController:
     # ------------------------------------------------------------------
     # Eq. (4): the decision
     # ------------------------------------------------------------------
+    def _argmin_objective(
+        self,
+        chunk_index: int,
+        u: float,
+        bandwidth_bps: float,
+        last_level: Optional[int],
+        alpha: float,
+    ) -> int:
+        """Scalar argmin over the six levels — the per-decision hot path.
+
+        Bit-identical to ``np.argmin(self.objective(...))``: identical
+        IEEE double operations in the same order per level (numpy's
+        ``** 2`` on an array is an elementwise ``x * x``), and the strict
+        ``<`` comparison reproduces argmin's first-occurrence tie-break.
+        """
+        if u <= 0:
+            raise ValueError(f"controller output u must be positive, got {u}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        rbar_row = self._rbar_rows[chunk_index]
+        assumed_mbps = alpha * bandwidth_bps / 1e6
+        n = self.config.horizon_chunks
+        best = 0
+        best_cost = math.inf
+        if last_level is None:
+            for level, rbar in enumerate(rbar_row):
+                deviation = u * rbar - assumed_mbps
+                cost = n * (deviation * deviation)
+                if cost < best_cost:
+                    best_cost = cost
+                    best = level
+        else:
+            eta = self._eta_list[chunk_index]
+            track_avg = self._track_avg_list
+            avg_last = track_avg[last_level]
+            for level, rbar in enumerate(rbar_row):
+                deviation = u * rbar - assumed_mbps
+                step = track_avg[level] - avg_last
+                cost = n * (deviation * deviation) + eta * (step * step)
+                if cost < best_cost:
+                    best_cost = cost
+                    best = level
+        return best
+
     def select(
         self,
         chunk_index: int,
@@ -127,9 +192,14 @@ class InnerController:
         last_level: Optional[int],
     ) -> int:
         """Return the optimal level l*_t, heuristics included."""
-        alpha = self.alpha(chunk_index, buffer_s)
-        costs = self.objective(chunk_index, u, bandwidth_bps, last_level, alpha)
-        level = int(np.argmin(costs))
+        alpha = self._alpha_list[chunk_index]
+        if (
+            self._relief_enabled
+            and self._complex_list[chunk_index]
+            and buffer_s < self.config.q4_relief_buffer_s
+        ):
+            alpha = 1.0
+        level = self._argmin_objective(chunk_index, u, bandwidth_bps, last_level, alpha)
 
         # Q1–Q3 no-deflation heuristic (§5.3): deflating must not push a
         # simple chunk to a very low level while the buffer is healthy.
@@ -140,8 +210,9 @@ class InnerController:
             and buffer_s > self.config.safe_buffer_s
         ):
             alpha = 1.0
-            costs = self.objective(chunk_index, u, bandwidth_bps, last_level, alpha)
-            level = int(np.argmin(costs))
+            level = self._argmin_objective(
+                chunk_index, u, bandwidth_bps, last_level, alpha
+            )
         self.last_alpha = alpha
         return level
 

@@ -36,12 +36,17 @@ class OuterController:
             # Ablation (CAVA-p1 / CAVA-p12): fixed target buffer.
             self._adjustments = np.zeros(manifest.num_chunks)
         self._ceiling = config.max_target_factor * config.base_target_buffer_s
+        # Per-chunk targets precomputed with the exact per-call
+        # expression; target_buffer_s() becomes a list lookup.
+        base = config.base_target_buffer_s
+        ceiling = self._ceiling
+        self._targets = [
+            min(base + float(adjustment), ceiling) for adjustment in self._adjustments
+        ]
 
     def target_buffer_s(self, chunk_index: int) -> float:
         """Target buffer level when deciding chunk ``chunk_index``."""
-        base = self.config.base_target_buffer_s
-        target = base + float(self._adjustments[chunk_index])
-        return min(target, self._ceiling)
+        return self._targets[chunk_index]
 
     @property
     def adjustments(self) -> np.ndarray:

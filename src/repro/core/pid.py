@@ -17,12 +17,15 @@ past any useful value.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.config import CavaConfig
 from repro.util.validation import check_non_negative
 
 __all__ = ["PIDController"]
+
+_INF = math.inf
 
 
 @dataclass
@@ -38,6 +41,14 @@ class PIDController:
         self._integral = 0.0
         self._last_time_s = 0.0
         self._last_error_s = 0.0
+        # Gains and limits hoisted out of the per-decision update();
+        # CavaConfig is frozen, so the copies cannot go stale.
+        config = self.config
+        self._kp = config.kp
+        self._ki = config.ki
+        self._integral_limit = config.integral_limit
+        self._u_min = config.u_min
+        self._u_max = config.u_max
 
     def reset(self) -> None:
         """Clear the integral and the clock (new session)."""
@@ -66,18 +77,25 @@ class PIDController:
         the previous update (decisions are event-driven — one per chunk —
         so the integration step is the inter-decision gap).
         """
-        check_non_negative(now_s, "now_s")
-        check_non_negative(buffer_s, "buffer_s")
-        check_non_negative(target_s, "target_s")
+        # Fast-accept validation (hot path: one update per chunk); the
+        # comparisons reject NaN / inf / negatives in one branch each and
+        # the helpers re-raise with the standard message when they fail.
+        if not 0.0 <= now_s < _INF:
+            check_non_negative(now_s, "now_s")
+        if not 0.0 <= buffer_s < _INF:
+            check_non_negative(buffer_s, "buffer_s")
+        if not 0.0 <= target_s < _INF:
+            check_non_negative(target_s, "target_s")
         dt = max(0.0, now_s - self._last_time_s)
         self._last_time_s = now_s
 
         error = target_s - buffer_s
         self._last_error_s = error
-        self._integral += error * dt
-        limit = self.config.integral_limit
-        self._integral = max(-limit, min(limit, self._integral))
+        limit = self._integral_limit
+        integral = self._integral + error * dt
+        integral = max(-limit, min(limit, integral))
+        self._integral = integral
 
         indicator = 1.0 if buffer_s >= self.chunk_duration_s else 0.0
-        u = self.config.kp * error + self.config.ki * self._integral + indicator
-        return max(self.config.u_min, min(self.config.u_max, u))
+        u = self._kp * error + self._ki * integral + indicator
+        return max(self._u_min, min(self._u_max, u))

@@ -1,0 +1,90 @@
+"""Golden-session capture for bit-identity regression testing.
+
+Performance work on the per-chunk hot path (scalar link queries, trellis
+MPC rollouts, session-loop slimming) is only acceptable if it provably
+changes *nothing* about simulation results. The contract is enforced by
+golden snapshots: one fixed (scheme, video, trace, seed) session per
+registered scheme, archived as :meth:`SessionResult.to_dict` JSON (which
+round-trips floats bit-exactly), regenerated only deliberately via
+``tools/make_golden_snapshots.py``.
+
+Both the snapshot tool and ``tests/integration/test_golden_snapshots.py``
+import this module so the captured session can never drift from the
+tested one.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.abr.registry import make_scheme, needs_quality_manifest
+from repro.network.link import TraceLink
+from repro.network.traces import NetworkTrace, synthesize_lte_traces
+from repro.player.session import SessionConfig, SessionResult, StreamingSession
+from repro.video.dataset import build_video, standard_dataset_specs
+from repro.video.model import VideoAsset
+
+__all__ = [
+    "GOLDEN_VIDEO_NAME",
+    "GOLDEN_VIDEO_SEED",
+    "GOLDEN_TRACE_SEED",
+    "GOLDEN_NETWORK",
+    "GOLDEN_METRIC",
+    "golden_dir",
+    "golden_path",
+    "golden_video",
+    "golden_trace",
+    "golden_session",
+]
+
+#: The fixed grid every golden session uses. The 5 s-chunk YouTube encode
+#: keeps the archived JSON small (120 chunks) while still exercising the
+#: quality metadata PANDA/CQ needs.
+GOLDEN_VIDEO_NAME = "ED-youtube-h264"
+GOLDEN_VIDEO_SEED = 0
+GOLDEN_TRACE_SEED = 123
+GOLDEN_NETWORK = "lte"
+GOLDEN_METRIC = "vmaf_phone"  # the lte convention (metric_for_network)
+
+
+def golden_dir() -> Path:
+    """Directory holding the archived snapshots."""
+    return Path(__file__).resolve().parents[3] / "tests" / "integration" / "golden"
+
+
+def golden_path(scheme: str) -> Path:
+    """Snapshot file for one scheme (name slugified for the filesystem)."""
+    slug = re.sub(r"[^a-z0-9]+", "-", scheme.lower()).strip("-")
+    return golden_dir() / f"{slug}.json"
+
+
+def golden_video() -> VideoAsset:
+    """The fixed video every golden session streams."""
+    for spec in standard_dataset_specs():
+        if spec.name == GOLDEN_VIDEO_NAME:
+            return build_video(spec, seed=GOLDEN_VIDEO_SEED)
+    raise KeyError(GOLDEN_VIDEO_NAME)
+
+
+def golden_trace() -> NetworkTrace:
+    """The fixed LTE trace every golden session streams over."""
+    return synthesize_lte_traces(count=1, seed=GOLDEN_TRACE_SEED)[0]
+
+
+def golden_session(scheme: str, video: VideoAsset = None, trace: NetworkTrace = None) -> SessionResult:
+    """Run the golden session for ``scheme`` and return its full record.
+
+    Mirrors exactly what :func:`repro.experiments.runner.run_one_session`
+    does (same manifest convention, default estimator, default player
+    config) but returns the :class:`SessionResult` rather than summary
+    metrics, so every per-chunk value is comparable.
+    """
+    if video is None:
+        video = golden_video()
+    if trace is None:
+        trace = golden_trace()
+    algorithm = make_scheme(scheme, metric=GOLDEN_METRIC)
+    manifest = video.manifest(include_quality=needs_quality_manifest(scheme))
+    link = TraceLink(trace)
+    return StreamingSession(SessionConfig()).run(algorithm, manifest, link)

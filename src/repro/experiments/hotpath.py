@@ -1,0 +1,287 @@
+"""Hot-path microbenchmark suite and perf-regression harness.
+
+One session costs roughly ``num_chunks x (estimator predict + ABR
+select + link download + buffer bookkeeping)``; this module times each
+of those stages in isolation (ns/op) plus full sessions and the two
+reference sweep grids (sessions/s), and emits a ``BENCH_hotpath.json``
+record mirroring the ``BENCH_sweep.json`` schema — grid, environment,
+per-target numbers — so successive PRs compare like-for-like.
+
+The record doubles as a **perf-regression gate**: CI re-runs the suite
+and calls :func:`compare_to_baseline` against the checked-in record,
+failing on any target that regressed beyond the tolerance (default
+30%). ``ns_per_op`` targets regress upward; ``sessions_per_s`` targets
+regress downward.
+
+Scale knobs (mirroring the sweep benchmark's):
+
+- ``REPRO_BENCH_HOTPATH_TRACES``      — traces in the CAVA+RBA grid
+  (default 200, the paper's trace-set size);
+- ``REPRO_BENCH_HOTPATH_MPC_TRACES`` — traces in the MPC-inclusive grid
+  (default 50; each MPC session costs ~20x a CAVA one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.abr.base import DecisionContext
+from repro.abr.registry import make_scheme, needs_quality_manifest
+from repro.experiments.runner import run_comparison
+from repro.network.estimator import HarmonicMeanEstimator
+from repro.network.link import TraceLink
+from repro.network.traces import synthesize_lte_traces
+from repro.player.metrics import metric_for_network
+from repro.player.session import SessionConfig, StreamingSession
+from repro.video.dataset import build_video, standard_dataset_specs
+
+__all__ = [
+    "run_hotpath_benchmarks",
+    "compare_to_baseline",
+    "load_record",
+    "write_record",
+    "DEFAULT_RESULT_PATH",
+    "DEFAULT_TOLERANCE",
+]
+
+SEED = 0
+BENCH_VIDEO = "ED-ffmpeg-h264"
+BENCH_NETWORK = "lte"
+SWEEP_SCHEMES = ("CAVA", "RBA")
+MPC_SCHEMES = ("CAVA", "RBA", "MPC", "RobustMPC")
+SELECT_SCHEMES = ("CAVA", "RBA", "MPC", "PANDA/CQ max-min")
+
+DEFAULT_SWEEP_TRACES = int(os.environ.get("REPRO_BENCH_HOTPATH_TRACES", "200"))
+DEFAULT_MPC_TRACES = int(os.environ.get("REPRO_BENCH_HOTPATH_MPC_TRACES", "50"))
+DEFAULT_RESULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_hotpath.json"
+DEFAULT_TOLERANCE = 0.30
+
+
+def _time_ns_per_op(fn: Callable[[], Any], iterations: int, repeats: int = 3) -> float:
+    """Best-of-``repeats`` mean ns per call of ``fn`` over a tight loop."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        for _ in range(iterations):
+            fn()
+        elapsed = time.perf_counter_ns() - start
+        best = min(best, elapsed / iterations)
+    return best
+
+
+def _bench_video():
+    spec = next(s for s in standard_dataset_specs() if s.name == BENCH_VIDEO)
+    return build_video(spec, seed=SEED)
+
+
+def _bench_link_download(link: TraceLink, sizes: np.ndarray) -> float:
+    """ns/op of the scalar download fast path over a mixed query schedule."""
+    size_list = sizes.tolist()
+    n = len(size_list)
+    state = {"i": 0, "now": 0.0}
+
+    def one() -> None:
+        i = state["i"]
+        result = link.download(size_list[i % n], state["now"])
+        state["now"] = result.finish_s % 10_000.0
+        state["i"] = i + 1
+
+    return _time_ns_per_op(one, iterations=20_000)
+
+
+def _bench_estimator() -> float:
+    """ns/op of one observe + predict round on a warm 5-sample window."""
+    estimator = HarmonicMeanEstimator()
+    for k in range(5):
+        estimator.observe(4e6 + k * 1e5, 1.0 + 0.01 * k, float(k))
+    state = {"t": 5.0}
+
+    def one() -> None:
+        t = state["t"]
+        estimator.observe(4.2e6, 0.97, t)
+        estimator.predict_bps(t)
+        state["t"] = t + 1.0
+
+    return _time_ns_per_op(one, iterations=20_000)
+
+
+def _bench_select(scheme: str, video, metric: str) -> float:
+    """ns/op of ``select_level`` over a cycle of realistic contexts."""
+    algorithm = make_scheme(scheme, metric=metric)
+    manifest = video.manifest(include_quality=needs_quality_manifest(scheme))
+    algorithm.prepare(manifest)
+    num_chunks = manifest.num_chunks
+    contexts = [
+        DecisionContext(
+            chunk_index=i,
+            now_s=5.0 * i + 1.0,
+            buffer_s=8.0 + (i % 7),
+            last_level=(i * 2) % manifest.num_tracks if i else None,
+            bandwidth_bps=3e6 + 1e5 * (i % 11),
+            playing=i > 2,
+        )
+        for i in range(num_chunks)
+    ]
+    state = {"i": 0}
+
+    def one() -> None:
+        i = state["i"]
+        algorithm.select_level(contexts[i % num_chunks])
+        state["i"] = i + 1
+
+    iterations = 400 if scheme in ("MPC", "PANDA/CQ max-min") else 4_000
+    return _time_ns_per_op(one, iterations=iterations)
+
+
+def _bench_session(scheme: str, video, trace, metric: str) -> Dict[str, float]:
+    """Full single-session wall time (sessions/s) for one scheme."""
+    manifest = video.manifest(include_quality=needs_quality_manifest(scheme))
+    link = TraceLink(trace)
+    session = StreamingSession(SessionConfig())
+
+    def one() -> None:
+        algorithm = make_scheme(scheme, metric=metric)
+        session.run(algorithm, manifest, link)
+
+    one()  # warm caches (planner tables, classifier, size rows)
+    repeats = 3 if scheme in ("MPC", "RobustMPC") else 10
+    start = time.perf_counter()
+    for _ in range(repeats):
+        one()
+    elapsed = time.perf_counter() - start
+    per_session = elapsed / repeats
+    return {
+        "elapsed_s": round(per_session, 6),
+        "sessions_per_s": round(1.0 / per_session, 2),
+    }
+
+
+def _bench_sweep(schemes, video, traces) -> Dict[str, float]:
+    """Serial sweep throughput for one scheme grid."""
+    sessions = len(schemes) * len(traces)
+    run_comparison(list(schemes), video, traces[: max(1, len(traces) // 10)])  # warmup
+    start = time.perf_counter()
+    run_comparison(list(schemes), video, traces)
+    elapsed = time.perf_counter() - start
+    return {
+        "elapsed_s": round(elapsed, 4),
+        "sessions": sessions,
+        "sessions_per_s": round(sessions / elapsed, 2),
+    }
+
+
+def run_hotpath_benchmarks(
+    sweep_traces: int = DEFAULT_SWEEP_TRACES,
+    mpc_traces: int = DEFAULT_MPC_TRACES,
+) -> Dict[str, Any]:
+    """Run every hot-path target; returns the ``BENCH_hotpath.json`` record."""
+    video = _bench_video()
+    traces = synthesize_lte_traces(count=max(sweep_traces, mpc_traces, 1), seed=SEED)
+    metric = metric_for_network(BENCH_NETWORK)
+
+    targets: Dict[str, Dict[str, float]] = {}
+
+    # Stage microbenchmarks (ns/op).
+    link = TraceLink(traces[0])
+    sizes = video.manifest().chunk_sizes_bits[2]
+    targets["link_download"] = {
+        "ns_per_op": round(_bench_link_download(link, sizes), 1)
+    }
+    targets["estimator_observe_predict"] = {
+        "ns_per_op": round(_bench_estimator(), 1)
+    }
+    for scheme in SELECT_SCHEMES:
+        targets[f"select_level/{scheme}"] = {
+            "ns_per_op": round(_bench_select(scheme, video, metric), 1)
+        }
+
+    # Full sessions (sessions/s).
+    for scheme in ("CAVA", "MPC"):
+        targets[f"session/{scheme}"] = _bench_session(scheme, video, traces[0], metric)
+
+    # Reference sweep grids (serial sessions/s).
+    targets["sweep_throughput"] = _bench_sweep(
+        SWEEP_SCHEMES, video, traces[:sweep_traces]
+    )
+    targets["sweep_mpc"] = _bench_sweep(MPC_SCHEMES, video, traces[:mpc_traces])
+
+    return {
+        "benchmark": "hotpath",
+        "grid": {
+            "video": video.name,
+            "network": BENCH_NETWORK,
+            "sweep_schemes": list(SWEEP_SCHEMES),
+            "sweep_traces": sweep_traces,
+            "mpc_schemes": list(MPC_SCHEMES),
+            "mpc_traces": mpc_traces,
+            "seed": SEED,
+        },
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "targets": targets,
+    }
+
+
+def compare_to_baseline(
+    record: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Regressions of ``record`` vs ``baseline`` beyond ``tolerance``.
+
+    Returns one human-readable line per regressed target; empty means the
+    gate passes. Targets present in only one record are skipped (adding
+    or retiring a benchmark must not fail the gate), as are environment
+    differences — the gate is only meaningful on comparable hardware.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    regressions: List[str] = []
+    base_targets = baseline.get("targets", {})
+    for name, current in record.get("targets", {}).items():
+        base = base_targets.get(name)
+        if not base:
+            continue
+        ns_now, ns_base = current.get("ns_per_op"), base.get("ns_per_op")
+        if ns_now is not None and ns_base:
+            if ns_now > ns_base * (1.0 + tolerance):
+                regressions.append(
+                    f"{name}: {ns_now:.0f} ns/op vs baseline {ns_base:.0f} "
+                    f"(+{(ns_now / ns_base - 1.0) * 100:.0f}%, tolerance "
+                    f"{tolerance * 100:.0f}%)"
+                )
+        rate_now, rate_base = (
+            current.get("sessions_per_s"),
+            base.get("sessions_per_s"),
+        )
+        if rate_now is not None and rate_base:
+            if rate_now < rate_base * (1.0 - tolerance):
+                regressions.append(
+                    f"{name}: {rate_now:.2f} sessions/s vs baseline "
+                    f"{rate_base:.2f} ({(1.0 - rate_now / rate_base) * 100:.0f}% "
+                    f"slower, tolerance {tolerance * 100:.0f}%)"
+                )
+    return regressions
+
+
+def load_record(path: Path) -> Optional[Dict[str, Any]]:
+    """Parse a benchmark record, or None when the file does not exist."""
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def write_record(record: Dict[str, Any], path: Path) -> None:
+    """Write the record as stable, diff-friendly JSON."""
+    path.write_text(json.dumps(record, indent=2) + "\n")

@@ -16,6 +16,7 @@ Estimators follow a small protocol:
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Optional
 
@@ -77,14 +78,34 @@ class HarmonicMeanEstimator(BandwidthEstimator):
         self._samples: Deque[float] = deque(maxlen=window)
 
     def observe(self, size_bits: float, duration_s: float, now_s: float) -> None:
-        check_positive(size_bits, "size_bits")
-        check_positive(duration_s, "duration_s")
+        # Fast-accept validation (hot path: one call per chunk). The
+        # comparison rejects NaN / inf / <= 0 in one branch; the helper
+        # re-raises with the standard message on the cold failure path.
+        if not 0.0 < size_bits < math.inf:
+            check_positive(size_bits, "size_bits")
+        if not 0.0 < duration_s < math.inf:
+            check_positive(duration_s, "duration_s")
         self._samples.append(size_bits / duration_s)
 
     def predict_bps(self, now_s: float) -> float:
-        if not self._samples:
+        samples = self._samples
+        n = len(samples)
+        if n == 0:
             return self.initial_estimate_bps
-        return harmonic_mean(list(self._samples))
+        if n < 8:
+            # Scalar fast path for the common five-sample window. For
+            # fewer than 8 addends numpy's sum is a plain sequential
+            # left fold, so this Python loop is bit-identical to
+            # harmonic_mean() while skipping array construction and
+            # finiteness re-validation (observe() already guaranteed
+            # strictly positive finite samples).
+            inverse_sum = 0.0
+            for sample in samples:
+                inverse_sum += 1.0 / sample
+            return n / inverse_sum
+        # Wide windows (>= 8): numpy switches to pairwise summation, so
+        # delegate to the shared helper rather than approximate it.
+        return harmonic_mean(list(samples))
 
     def reset(self) -> None:
         self._samples.clear()

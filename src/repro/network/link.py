@@ -10,10 +10,22 @@ RTT, and loss are folded into the measured throughput).
 A cumulative-bits table over one trace period makes each query
 O(log n) via binary search, with periodic wrap-around for sessions that
 outlast the trace.
+
+Single-download queries are the per-chunk hot path of every session, so
+they run on a **scalar fast path**: the cumulative table and the
+per-interval rates are mirrored into plain Python float lists at
+construction, and lookups use :func:`bisect.bisect_left` plus Python
+float arithmetic — bit-identical to the numpy formulation (both are IEEE
+doubles, the operations are applied in the same order) but without
+per-call ndarray and ufunc dispatch overhead. The numpy cumulative table
+is kept alongside for vectorized / whole-window analyses
+(:meth:`TraceLink.bits_in_windows`).
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,6 +39,8 @@ __all__ = ["TraceLink", "DownloadResult", "MIN_DOWNLOAD_DURATION_S"]
 #: positive wall time, so rate math downstream (estimators divide by the
 #: duration) always stays finite.
 MIN_DOWNLOAD_DURATION_S = 1e-9
+
+_INF = math.inf
 
 
 @dataclass(frozen=True)
@@ -58,8 +72,8 @@ class TraceLink:
 
     def __init__(self, trace: NetworkTrace) -> None:
         self.trace = trace
-        self._interval = trace.interval_s
-        self._period_s = trace.duration_s
+        self._interval = float(trace.interval_s)
+        self._period_s = float(trace.duration_s)
         # cumulative_bits[k] = bits deliverable in [0, k * interval).
         self._cumulative_bits = np.concatenate(
             [[0.0], np.cumsum(trace.throughputs_bps * self._interval)]
@@ -67,6 +81,12 @@ class TraceLink:
         self._bits_per_period = float(self._cumulative_bits[-1])
         if self._bits_per_period <= 0:
             raise ValueError("trace delivers zero bits per period")
+        # Scalar fast path: the same tables as Python floats. list.__getitem__
+        # and bisect on a list avoid ndarray indexing (which returns numpy
+        # scalars) and ufunc dispatch in the per-download hot loop.
+        self._cumulative_list = self._cumulative_bits.tolist()
+        self._rates_list = trace.throughputs_bps.tolist()
+        self._num_intervals = int(trace.num_intervals)
 
     def bits_in_window(self, start_s: float, end_s: float) -> float:
         """Bits deliverable in ``[start_s, end_s)`` (periodic extension)."""
@@ -74,6 +94,23 @@ class TraceLink:
         if end_s < start_s:
             raise ValueError(f"end_s ({end_s}) must be >= start_s ({start_s})")
         return self._cumulative_at(end_s) - self._cumulative_at(start_s)
+
+    def bits_in_windows(self, starts_s: np.ndarray, ends_s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`bits_in_window` over aligned start/end arrays.
+
+        The numpy path for window queries: analysis code that scans many
+        windows at once (bandwidth maps, fault audits) should use this
+        instead of looping over the scalar API.
+        """
+        starts = np.asarray(starts_s, dtype=float)
+        ends = np.asarray(ends_s, dtype=float)
+        if starts.shape != ends.shape:
+            raise ValueError(f"shape mismatch: {starts.shape} vs {ends.shape}")
+        if starts.size and float(np.min(starts)) < 0:
+            raise ValueError("starts_s must be non-negative")
+        if np.any(ends < starts):
+            raise ValueError("every end_s must be >= its start_s")
+        return self._cumulative_at_array(ends) - self._cumulative_at_array(starts)
 
     def _cumulative_at(self, t_s: float) -> float:
         """Bits deliverable in [0, t_s), handling wrap-around."""
@@ -85,32 +122,56 @@ class TraceLink:
             remainder = 0.0
         index = remainder / self._interval
         whole = int(index)
-        if whole >= self.trace.num_intervals:
+        if whole >= self._num_intervals:
             # Period-boundary rounding can land the interval index on
             # (or past) the table edge; clamp and carry the overshoot
             # into the fraction so the value stays continuous.
-            whole = self.trace.num_intervals - 1
+            whole = self._num_intervals - 1
         frac = index - whole
-        partial = self._cumulative_bits[whole]
+        partial = self._cumulative_list[whole]
         if frac > 0:
-            partial += self.trace.throughputs_bps[whole] * frac * self._interval
+            partial += self._rates_list[whole] * frac * self._interval
+        return periods * self._bits_per_period + partial
+
+    def _cumulative_at_array(self, t_s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_cumulative_at` (numpy path, same semantics)."""
+        periods, remainder = np.divmod(t_s, self._period_s)
+        wrap = remainder >= self._period_s
+        if np.any(wrap):
+            periods = periods + wrap
+            remainder = np.where(wrap, 0.0, remainder)
+        index = remainder / self._interval
+        whole = np.minimum(index.astype(int), self._num_intervals - 1)
+        frac = index - whole
+        partial = self._cumulative_bits[whole] + np.where(
+            frac > 0, self.trace.throughputs_bps[whole] * frac * self._interval, 0.0
+        )
         return periods * self._bits_per_period + partial
 
     def download(self, size_bits: float, start_s: float) -> DownloadResult:
         """Download ``size_bits`` starting at ``start_s``; returns timing."""
-        check_positive(size_bits, "size_bits")
-        check_non_negative(start_s, "start_s")
+        # Fast-accept validation: the comparisons reject NaN, infinity,
+        # and out-of-range values in one branch; the helpers then re-raise
+        # with the standard message on the (cold) failure path.
+        if not 0.0 < size_bits < _INF:
+            check_positive(size_bits, "size_bits")
+        if not 0.0 <= start_s < _INF:
+            check_non_negative(start_s, "start_s")
         target = self._cumulative_at(start_s) + size_bits
 
         periods, within = divmod(target, self._bits_per_period)
         # Find the interval where the cumulative-bits table crosses
-        # `within`. side="left" gives earliest-crossing semantics: a
-        # download whose last bit lands exactly on an outage boundary
-        # finishes *before* the zero-rate run, not after it.
-        index = int(np.searchsorted(self._cumulative_bits, within, side="left")) - 1
-        index = min(max(index, 0), self.trace.num_intervals - 1)
-        already = self._cumulative_bits[index]
-        rate = self.trace.throughputs_bps[index]
+        # `within`. bisect_left gives earliest-crossing semantics (the
+        # same index as np.searchsorted(..., side="left")): a download
+        # whose last bit lands exactly on an outage boundary finishes
+        # *before* the zero-rate run, not after it.
+        index = bisect_left(self._cumulative_list, within) - 1
+        if index < 0:
+            index = 0
+        elif index >= self._num_intervals:
+            index = self._num_intervals - 1
+        already = self._cumulative_list[index]
+        rate = self._rates_list[index]
         if within <= already:
             # Crossed at (or before) this interval's start — only
             # reachable when `within` is exactly 0 after the divmod.
@@ -130,7 +191,7 @@ class TraceLink:
                 size_bits / max(rate, 1.0), MIN_DOWNLOAD_DURATION_S
             )
             if finish_s <= start_s:  # addition underflow at large start_s
-                finish_s = float(np.nextafter(start_s, np.inf))
+                finish_s = math.nextafter(start_s, _INF)
         return DownloadResult(start_s=start_s, finish_s=finish_s, size_bits=size_bits)
 
     def average_bandwidth(self, start_s: float, window_s: float) -> float:

@@ -8,11 +8,14 @@ the stall arithmetic unit-testable (and property-testable) in isolation.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.util.validation import check_non_negative, check_positive
 
 __all__ = ["PlaybackBuffer"]
+
+_INF = math.inf
 
 
 @dataclass
@@ -32,7 +35,11 @@ class PlaybackBuffer:
 
     def fill(self, duration_s: float) -> None:
         """Add one downloaded chunk's worth of playback time."""
-        check_positive(duration_s, "duration_s")
+        # Fast-accept validation (hot path: one fill per chunk): the
+        # comparison rejects NaN / inf / <= 0 in one branch, and the
+        # helper re-raises with the standard message when it fails.
+        if not 0.0 < duration_s < _INF:
+            check_positive(duration_s, "duration_s")
         self.level_s += duration_s
 
     def drain(self, wall_clock_s: float) -> float:
@@ -42,7 +49,8 @@ class PlaybackBuffer:
         stall: playback halts, time still passes. The stall is both
         returned and accumulated in :attr:`total_stall_s`.
         """
-        check_non_negative(wall_clock_s, "wall_clock_s")
+        if not 0.0 <= wall_clock_s < _INF:
+            check_non_negative(wall_clock_s, "wall_clock_s")
         if wall_clock_s <= self.level_s:
             self.level_s -= wall_clock_s
             return 0.0
@@ -53,7 +61,8 @@ class PlaybackBuffer:
 
     def time_until_level(self, target_s: float) -> float:
         """Playback seconds until the buffer drains down to ``target_s``."""
-        check_non_negative(target_s, "target_s")
+        if not 0.0 <= target_s < _INF:
+            check_non_negative(target_s, "target_s")
         return max(0.0, self.level_s - target_s)
 
     @property

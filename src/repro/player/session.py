@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.abr.base import ABRAlgorithm, DecisionContext
 from repro.network.estimator import BandwidthEstimator, HarmonicMeanEstimator
-from repro.network.link import TraceLink
+from repro.network.link import MIN_DOWNLOAD_DURATION_S, TraceLink
 from repro.player.buffer import PlaybackBuffer
 from repro.util.validation import check_positive
 from repro.video.model import Manifest, VideoAsset
@@ -114,7 +114,7 @@ class SessionResult:
     def download_throughputs_bps(self) -> np.ndarray:
         """Realized per-chunk download throughput."""
         durations = self.download_finish_s - self.download_start_s
-        return self.sizes_bits / np.maximum(durations, 1e-9)
+        return self.sizes_bits / np.maximum(durations, MIN_DOWNLOAD_DURATION_S)
 
     @property
     def session_duration_s(self) -> float:
@@ -198,6 +198,7 @@ class StreamingSession:
             )
 
         n = manifest.num_chunks
+        num_tracks = manifest.num_tracks
         delta = manifest.chunk_duration_s
         buffer = PlaybackBuffer()
         now = 0.0
@@ -205,15 +206,34 @@ class StreamingSession:
         startup_delay = 0.0
         last_level: Optional[int] = None
 
-        levels = np.zeros(n, dtype=int)
-        sizes = np.zeros(n, dtype=float)
-        starts = np.zeros(n, dtype=float)
-        finishes = np.zeros(n, dtype=float)
-        stalls = np.zeros(n, dtype=float)
-        buffers = np.zeros(n, dtype=float)
-        idles = np.zeros(n, dtype=float)
-        requested_idles = np.zeros(n, dtype=float)
-        cap_idles = np.zeros(n, dtype=float)
+        # Per-chunk records accumulate in plain Python lists (appending a
+        # float beats a per-element ndarray store) and become arrays once
+        # at the end.
+        levels: list = []
+        sizes: list = []
+        starts: list = []
+        finishes: list = []
+        stalls: list = []
+        buffers: list = []
+        idles: list = []
+        requested_idles: list = []
+        cap_idles: list = []
+
+        # Hot-loop hoists: each name below resolves once instead of per
+        # chunk — attribute lookups on self/config/manifest dominate the
+        # loop once the numeric work is scalar.
+        max_buffer_s = self.config.max_buffer_s
+        startup_latency_s = self.config.startup_latency_s
+        size_rows = manifest.size_rows
+        predict_bps = estimator.predict_bps
+        observe = estimator.observe
+        select_level = algorithm.select_level
+        algorithm_requested_idle_s = algorithm.requested_idle_s
+        notify_download = algorithm.notify_download
+        download = link.download
+        drain = buffer.drain
+        fill = buffer.fill
+        time_until_level = buffer.time_until_level
 
         def decision_context(index: int) -> DecisionContext:
             # Snapshot of the player state the algorithm is allowed to
@@ -223,7 +243,7 @@ class StreamingSession:
                 now_s=now,
                 buffer_s=buffer.level_s,
                 last_level=last_level,
-                bandwidth_bps=estimator.predict_bps(now),
+                bandwidth_bps=predict_bps(now),
                 playing=playing,
             )
 
@@ -233,59 +253,58 @@ class StreamingSession:
             ctx = decision_context(i)
             requested_idle = 0.0
             if playing:
-                requested_idle = max(0.0, float(algorithm.requested_idle_s(ctx)))
+                requested_idle = max(0.0, float(algorithm_requested_idle_s(ctx)))
                 # Never idle into a stall: stop at one chunk of buffer.
-                requested_idle = min(
-                    requested_idle, buffer.time_until_level(delta)
-                )
+                requested_idle = min(requested_idle, time_until_level(delta))
                 if requested_idle > 0:
                     # The clock moved, so the context (and its bandwidth
                     # estimate) must be rebuilt; when no idle happened the
                     # original context — and estimator query — is reused.
-                    buffer.drain(requested_idle)
+                    drain(requested_idle)
                     now += requested_idle
                     ctx = decision_context(i)
-            level = int(algorithm.select_level(ctx))
-            if not 0 <= level < manifest.num_tracks:
+            level = int(select_level(ctx))
+            if not 0 <= level < num_tracks:
                 raise ValueError(
                     f"{algorithm.name} selected invalid level {level} "
-                    f"for chunk {i} (valid: 0..{manifest.num_tracks - 1})"
+                    f"for chunk {i} (valid: 0..{num_tracks - 1})"
                 )
 
             # 2. respect the buffer cap: idle until one chunk fits
             idle = requested_idle
             cap_idle = 0.0
-            if playing and buffer.level_s + delta > self.config.max_buffer_s:
-                cap_idle = buffer.level_s + delta - self.config.max_buffer_s
-                stall_during_idle = buffer.drain(cap_idle)
+            if playing and buffer.level_s + delta > max_buffer_s:
+                cap_idle = buffer.level_s + delta - max_buffer_s
+                stall_during_idle = drain(cap_idle)
                 assert stall_during_idle == 0.0  # draining from above cap
                 now += cap_idle
                 idle += cap_idle
 
             # 3. download; the buffer drains (and may stall) meanwhile
-            size = manifest.chunk_size_bits(level, i)
-            result = link.download(size, now)
-            download_s = result.duration_s
-            stall = buffer.drain(download_s) if playing else 0.0
-            now = result.finish_s
-            buffer.fill(delta)
+            size = size_rows[level][i]
+            result = download(size, now)
+            finish = result.finish_s
+            download_s = finish - result.start_s
+            stall = drain(download_s) if playing else 0.0
+            now = finish
+            fill(delta)
 
             # 4. learn from the observation. The duration is floored
             # because the estimator contract requires it strictly
             # positive — TraceLink guarantees that, but custom or
             # faulted links may round an instant download to zero.
-            estimator.observe(size, max(download_s, 1e-9), now)
-            algorithm.notify_download(i, level, size, download_s, buffer.level_s, now)
+            observe(size, max(download_s, MIN_DOWNLOAD_DURATION_S), now)
+            notify_download(i, level, size, download_s, buffer.level_s, now)
 
-            levels[i] = level
-            sizes[i] = size
-            starts[i] = result.start_s
-            finishes[i] = now
-            stalls[i] = stall
-            buffers[i] = buffer.level_s
-            idles[i] = idle
-            requested_idles[i] = requested_idle
-            cap_idles[i] = cap_idle
+            levels.append(level)
+            sizes.append(size)
+            starts.append(result.start_s)
+            finishes.append(now)
+            stalls.append(stall)
+            buffers.append(buffer.level_s)
+            idles.append(idle)
+            requested_idles.append(requested_idle)
+            cap_idles.append(cap_idle)
             last_level = level
 
             if tracer is not None:
@@ -303,12 +322,14 @@ class StreamingSession:
                         download_start_s=float(result.start_s),
                         download_finish_s=float(now),
                         estimated_bandwidth_bps=float(ctx.bandwidth_bps),
-                        realized_bandwidth_bps=float(size / max(download_s, 1e-9)),
+                        realized_bandwidth_bps=float(
+                            size / max(download_s, MIN_DOWNLOAD_DURATION_S)
+                        ),
                     )
                 )
 
             # 5. startup: playback begins once the initial target is met
-            if not playing and buffer.level_s >= self.config.startup_latency_s:
+            if not playing and buffer.level_s >= startup_latency_s:
                 playing = True
                 startup_delay = now
 
@@ -324,16 +345,16 @@ class StreamingSession:
             scheme=algorithm.name,
             video_name=manifest.video_name,
             trace_name=link.trace.name,
-            levels=levels,
-            sizes_bits=sizes,
-            download_start_s=starts,
-            download_finish_s=finishes,
-            stall_s=stalls,
-            buffer_after_s=buffers,
-            idle_s=idles,
+            levels=np.asarray(levels, dtype=int),
+            sizes_bits=np.asarray(sizes, dtype=float),
+            download_start_s=np.asarray(starts, dtype=float),
+            download_finish_s=np.asarray(finishes, dtype=float),
+            stall_s=np.asarray(stalls, dtype=float),
+            buffer_after_s=np.asarray(buffers, dtype=float),
+            idle_s=np.asarray(idles, dtype=float),
             startup_delay_s=startup_delay,
-            requested_idle_s=requested_idles,
-            cap_idle_s=cap_idles,
+            requested_idle_s=np.asarray(requested_idles, dtype=float),
+            cap_idle_s=np.asarray(cap_idles, dtype=float),
         )
 
 

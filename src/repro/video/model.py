@@ -286,6 +286,25 @@ class Manifest:
             raise ValueError("declared_peak_bitrates_bps must have one entry per track")
         if len(self.resolutions) != n_tracks:
             raise ValueError("resolutions must have one entry per track")
+        # Hot-path lookup table, built lazily (not a dataclass field, so
+        # equality and repr stay defined by the manifest data alone).
+        self._size_rows: Optional[Tuple[Tuple[float, ...], ...]] = None
+
+    @property
+    def size_rows(self) -> Tuple[Tuple[float, ...], ...]:
+        """Per-track chunk-size rows as nested tuples of Python floats.
+
+        ``size_rows[level][index]`` equals :meth:`chunk_size_bits` bit for
+        bit (``ndarray.tolist`` preserves the doubles) but costs two tuple
+        lookups instead of a 2-D ndarray index plus a numpy-scalar
+        conversion — the difference matters in the per-chunk session loop
+        and in schemes that scan the ladder per decision (RBA, BBA).
+        """
+        rows = self._size_rows
+        if rows is None:
+            rows = tuple(tuple(row) for row in self.chunk_sizes_bits.tolist())
+            self._size_rows = rows
+        return rows
 
     @property
     def num_tracks(self) -> int:

@@ -1,0 +1,211 @@
+"""Bit-identity of the shared-prefix (trellis) planner.
+
+The trellis rollout in :class:`~repro.abr.horizon.HorizonPlanner` is the
+per-decision hot path of MPC and PANDA/CQ. These tests assert *exact*
+float equality against the flat per-sequence formulations it replaced —
+no tolerances — plus the read-only guarantee on the shared sequence
+table, and decision-level equivalence of the rewired schemes against
+straight re-implementations of their original select logic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abr.horizon import (
+    HorizonPlanner,
+    level_sequences,
+    planner_for,
+    simulate_buffer,
+)
+from repro.abr.base import DecisionContext
+from repro.abr.mpc import MPCAlgorithm
+from repro.abr.pandacq import PandaCQAlgorithm
+from repro.video.dataset import build_video, standard_dataset_specs
+
+
+def _bench_video():
+    spec = next(s for s in standard_dataset_specs() if s.name == "ED-youtube-h264")
+    return build_video(spec, seed=0)
+
+
+class TestLevelSequencesReadOnly:
+    def test_cached_table_rejects_mutation(self):
+        table = level_sequences(4, 3)
+        with pytest.raises((ValueError, RuntimeError)):
+            table[0, 0] = 99
+
+    def test_cached_table_is_shared_and_unchanged(self):
+        first = level_sequences(3, 2)
+        again = level_sequences(3, 2)
+        assert again is first
+        expected = np.stack(
+            [g.ravel() for g in np.meshgrid(np.arange(3), np.arange(3), indexing="ij")],
+            axis=1,
+        )
+        assert np.array_equal(first, expected)
+
+
+class TestTrellisBitIdentity:
+    @given(
+        num_levels=st.integers(min_value=1, max_value=5),
+        horizon=st.integers(min_value=1, max_value=4),
+        bandwidth=st.floats(min_value=1e4, max_value=5e7),
+        buffer0=st.floats(min_value=0.0, max_value=100.0),
+        delta=st.sampled_from([2.0, 4.0, 5.0]),
+        seed=st.integers(min_value=0, max_value=2000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_rebuffer_matches_simulate_buffer_exactly(
+        self, num_levels, horizon, bandwidth, buffer0, delta, seed
+    ):
+        rng = np.random.default_rng(seed)
+        sizes = rng.uniform(1e4, 4e7, size=(num_levels, horizon))
+        sequences = level_sequences(num_levels, horizon)
+        expected, _ = simulate_buffer(sequences, sizes, bandwidth, buffer0, delta)
+        planner = HorizonPlanner(num_levels, horizon)
+        actual = planner.rollout_rebuffer(sizes, bandwidth, buffer0, delta)
+        # Exact equality: the trellis must be bit-identical, not close.
+        assert actual.tolist() == expected.tolist()
+
+    def test_truncated_horizon_uses_prefix_of_buffers(self):
+        rng = np.random.default_rng(7)
+        planner = HorizonPlanner(4, 5)
+        for h in range(1, 6):
+            sizes = rng.uniform(1e5, 1e7, size=(4, h))
+            sequences = level_sequences(4, h)
+            expected, _ = simulate_buffer(sequences, sizes, 2e6, 12.0, 5.0)
+            actual = planner.rollout_rebuffer(sizes, 2e6, 12.0, 5.0)
+            assert actual.tolist() == expected.tolist()
+
+    @given(
+        mode=st.sampled_from(["sum", "min"]),
+        horizon=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_value_accumulation_matches_gather_reduce(self, mode, horizon, seed):
+        rng = np.random.default_rng(seed)
+        num_levels = 4
+        sizes = rng.uniform(1e5, 1e7, size=(num_levels, horizon))
+        values = rng.uniform(0.0, 100.0, size=(num_levels, horizon))
+        sequences = level_sequences(num_levels, horizon)
+        plan_values = values[sequences, np.arange(horizon)]
+        expected = (
+            plan_values.sum(axis=1) if mode == "sum" else plan_values.min(axis=1)
+        )
+        planner = HorizonPlanner(num_levels, horizon)
+        _, actual = planner.rollout_with_values(sizes, values, mode, 2e6, 10.0, 5.0)
+        assert actual.tolist() == expected.tolist()
+
+    def test_rejects_bad_inputs(self):
+        planner = HorizonPlanner(3, 2)
+        sizes = np.ones((3, 2))
+        with pytest.raises(ValueError):
+            planner.rollout_rebuffer(sizes, 0.0, 5.0, 5.0)
+        with pytest.raises(ValueError):
+            planner.rollout_rebuffer(np.ones((2, 2)), 1e6, 5.0, 5.0)
+        with pytest.raises(ValueError):
+            planner.rollout_rebuffer(np.ones((3, 3)), 1e6, 5.0, 5.0)
+        with pytest.raises(ValueError):
+            planner.rollout_with_values(sizes, np.ones((3, 1)), "sum", 1e6, 5.0, 5.0)
+        with pytest.raises(ValueError):
+            planner.rollout_with_values(sizes, np.ones((3, 2)), "max", 1e6, 5.0, 5.0)
+
+    def test_planner_for_shares_instances(self):
+        assert planner_for(6, 5) is planner_for(6, 5)
+        assert planner_for(6, 5) is not planner_for(6, 4)
+
+
+def _reference_mpc_select(algorithm, ctx):
+    """The original flat per-sequence MPC selection, re-implemented."""
+    from repro.abr.horizon import horizon_sizes
+
+    manifest = algorithm.manifest
+    sizes = horizon_sizes(manifest, ctx.chunk_index, algorithm.horizon)
+    h = sizes.shape[1]
+    sequences = level_sequences(manifest.num_tracks, h)
+    utilities = manifest.declared_avg_bitrates_bps / 1e6
+    bandwidth = max(ctx.bandwidth_bps, 1_000.0)
+    rebuffer, _ = simulate_buffer(
+        sequences, sizes, bandwidth, ctx.buffer_s, manifest.chunk_duration_s
+    )
+    utility = utilities[sequences].sum(axis=1)
+    previous = ctx.last_level if ctx.last_level is not None else sequences[:, 0]
+    smooth = np.abs(utilities[sequences[:, 0]] - utilities[previous])
+    steps = (
+        np.abs(np.diff(utilities[sequences], axis=1)).sum(axis=1) if h > 1 else 0.0
+    )
+    score = (
+        utility
+        - algorithm.smoothness_weight * (smooth + steps)
+        - algorithm.rebuffer_penalty_per_s * rebuffer
+    )
+    return int(sequences[int(np.argmax(score)), 0])
+
+
+def _reference_panda_select(algorithm, ctx):
+    """The original flat per-sequence PANDA/CQ selection, re-implemented."""
+    from repro.abr.horizon import horizon_sizes
+
+    manifest = algorithm.manifest
+    i = ctx.chunk_index
+    sizes = horizon_sizes(manifest, i, algorithm.horizon)
+    h = sizes.shape[1]
+    sequences = level_sequences(manifest.num_tracks, h)
+    bandwidth = max(ctx.bandwidth_bps, 1_000.0)
+    rebuffer, _ = simulate_buffer(
+        sequences, sizes, bandwidth, ctx.buffer_s, manifest.chunk_duration_s
+    )
+    quality = manifest.quality[algorithm.metric]
+    plan_quality = quality[:, i : i + h][sequences, np.arange(h)]
+    if algorithm.objective == "max-sum":
+        objective = plan_quality.sum(axis=1)
+    else:
+        objective = plan_quality.min(axis=1) * h
+    score = objective - algorithm.rebuffer_penalty_per_s * rebuffer
+    return int(sequences[int(np.argmax(score)), 0])
+
+
+class TestSchemeDecisionEquivalence:
+    """The rewired schemes decide exactly as their flat originals did."""
+
+    def _contexts(self, manifest, seed=3):
+        rng = np.random.default_rng(seed)
+        n = manifest.num_chunks
+        indices = list(range(0, n, 7)) + [n - 1]
+        contexts = []
+        for i in indices:
+            contexts.append(
+                DecisionContext(
+                    chunk_index=i,
+                    now_s=5.0 * i,
+                    buffer_s=float(rng.uniform(0.0, 40.0)),
+                    last_level=(
+                        None if i == 0 else int(rng.integers(manifest.num_tracks))
+                    ),
+                    bandwidth_bps=float(rng.uniform(2e5, 2e7)),
+                    playing=i > 1,
+                )
+            )
+        return contexts
+
+    def test_mpc_matches_reference(self):
+        video = _bench_video()
+        manifest = video.manifest()
+        algorithm = MPCAlgorithm()
+        algorithm.prepare(manifest)
+        for ctx in self._contexts(manifest):
+            assert algorithm.select_level(ctx) == _reference_mpc_select(algorithm, ctx)
+
+    @pytest.mark.parametrize("objective", ["max-sum", "max-min"])
+    def test_panda_matches_reference(self, objective):
+        video = _bench_video()
+        manifest = video.manifest(include_quality=True)
+        algorithm = PandaCQAlgorithm(objective=objective)
+        algorithm.prepare(manifest)
+        for ctx in self._contexts(manifest, seed=11):
+            assert algorithm.select_level(ctx) == _reference_panda_select(
+                algorithm, ctx
+            )

@@ -1,0 +1,84 @@
+"""Golden bit-identity snapshots for every registered scheme.
+
+Each registered scheme ran one fixed (video, trace, seed) session when
+the snapshots were captured (``tools/make_golden_snapshots.py``); these
+tests re-run the same session and require ``SessionResult.to_dict()``
+equality — *exact* float equality, no tolerances. Any hot-path
+optimization that perturbs even one bit of one download timing fails
+here, for the exact scheme and field that moved.
+
+The pooled variant pushes the same grid through the process-pool sweep
+engine with two workers, proving worker processes produce the same
+sessions (their summary metrics must equal metrics recomputed from the
+archived serial records).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.abr.registry import scheme_names
+from repro.experiments.golden import (
+    GOLDEN_METRIC,
+    GOLDEN_NETWORK,
+    golden_path,
+    golden_session,
+    golden_trace,
+    golden_video,
+)
+from repro.experiments.parallel import ParallelSweepRunner
+from repro.player.metrics import summarize_session
+from repro.player.session import SessionResult
+from repro.video.classify import ChunkClassifier
+
+
+@pytest.fixture(scope="module")
+def video():
+    return golden_video()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return golden_trace()
+
+
+def load_golden(scheme: str) -> dict:
+    path = golden_path(scheme)
+    if not path.exists():
+        pytest.fail(
+            f"missing golden snapshot {path}; regenerate with "
+            "PYTHONPATH=src python tools/make_golden_snapshots.py"
+        )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("scheme", scheme_names())
+def test_serial_session_matches_golden(scheme, video, trace):
+    result = golden_session(scheme, video, trace)
+    expected = load_golden(scheme)
+    actual = result.to_dict()
+    assert actual.keys() == expected.keys()
+    for key in expected:
+        assert actual[key] == expected[key], f"{scheme}: field {key!r} diverged"
+
+
+@pytest.fixture(scope="module")
+def pooled_results(video, trace):
+    """One two-worker pooled run over every scheme on the golden grid."""
+    engine = ParallelSweepRunner(n_workers=2, min_parallel_sessions=0)
+    return engine.run_comparison(scheme_names(), video, [trace], GOLDEN_NETWORK)
+
+
+@pytest.fixture(scope="module")
+def classifier(video):
+    return ChunkClassifier.from_video(video)
+
+
+@pytest.mark.parametrize("scheme", scheme_names())
+def test_pooled_session_matches_golden(scheme, pooled_results, video, classifier):
+    archived = SessionResult.from_dict(load_golden(scheme))
+    expected = summarize_session(archived, video, GOLDEN_METRIC, classifier)
+    pooled = pooled_results[scheme].metrics[0]
+    assert pooled == expected, f"{scheme}: pooled metrics diverged from golden"

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate the golden session snapshots under tests/integration/golden/.
+
+Run this ONLY when a change is *supposed* to alter simulation results
+(new scheme semantics, a deliberate model fix). Performance work must
+never need it — the whole point of the snapshots is to prove optimized
+code bit-identical to the code that wrote them.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_golden_snapshots.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.abr.registry import scheme_names
+from repro.experiments.golden import (
+    golden_dir,
+    golden_path,
+    golden_session,
+    golden_trace,
+    golden_video,
+)
+
+
+def main() -> int:
+    video = golden_video()
+    trace = golden_trace()
+    golden_dir().mkdir(parents=True, exist_ok=True)
+    for scheme in scheme_names():
+        result = golden_session(scheme, video, trace)
+        path = golden_path(scheme)
+        path.write_text(json.dumps(result.to_dict(), indent=None) + "\n")
+        print(f"wrote {path.name}: {result.num_chunks} chunks, "
+              f"stall {result.total_stall_s:.3f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from itertools import product
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # annotation only; imported for real inside grid_search
+    from repro.experiments.store import SessionStore
 
 from repro.core.cava import CavaAlgorithm
 from repro.core.config import CavaConfig
@@ -100,6 +103,8 @@ def grid_search(
     base_config: CavaConfig = CavaConfig(),
     objective: Objective = default_objective,
     n_workers: Optional[int] = 1,
+    store: Optional["SessionStore"] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[TuningResult]:
     """Evaluate every configuration in ``grid``; return ranked results.
 
@@ -111,8 +116,21 @@ def grid_search(
     as one batch: ``n_workers=1`` (the default) evaluates serially in
     this process, ``None`` uses every core, any other value that many
     workers. Scores are identical regardless of worker count.
+
+    ``store`` (or ``cache_dir``, which opens a
+    :class:`~repro.experiments.store.SessionStore` at that path) makes
+    the search **incremental**: every (configuration, trace) session the
+    store already holds is read back instead of re-run, so re-ranking
+    with a widened grid — or resuming an interrupted search — only pays
+    for the points not yet scored. :class:`CavaFactory` is a frozen
+    dataclass, so each candidate configuration digests by value.
     """
     from repro.experiments.parallel import ParallelSweepRunner, SweepSpec
+
+    if store is None and cache_dir is not None:
+        from repro.experiments.store import SessionStore
+
+        store = SessionStore(cache_dir)
 
     override_list = expand_grid(grid)
     specs = []
@@ -128,7 +146,7 @@ def grid_search(
                 label=f"CAVA[{knobs}]" if knobs else "CAVA",
             )
         )
-    engine = ParallelSweepRunner(n_workers=n_workers)
+    engine = ParallelSweepRunner(n_workers=n_workers, store=store)
     sweeps = engine.run_specs(specs, {video.name: video}, traces)
 
     results: List[TuningResult] = []

@@ -14,6 +14,13 @@ sweep). Cache entries pin a strong reference to their source object, so
 an ``id()`` collision after garbage collection can never alias two
 different videos or traces.
 
+The cache is bounded: ``max_entries`` (default generous enough that a
+full §6 grid — 16 videos x 2 manifests + classifiers + hundreds of
+trace links — never evicts) caps the number of pinned artifacts, and the
+least-recently-used entry is dropped past the cap so an unbounded trace
+stream cannot pin memory forever. Evictions are counted in
+:class:`CacheStats`.
+
 All cached artifacts are read-only in practice: ``Manifest`` and
 ``ChunkClassifier`` are never mutated by sessions, and ``TraceLink``
 keeps no per-download state, so sharing them across sessions (and
@@ -22,23 +29,31 @@ schemes) cannot change results.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Tuple
 
 from repro.network.link import TraceLink
 from repro.network.traces import NetworkTrace
 from repro.video.classify import ChunkClassifier
 from repro.video.model import Manifest, VideoAsset
 
-__all__ = ["ArtifactCache", "CacheStats"]
+__all__ = ["ArtifactCache", "CacheStats", "DEFAULT_MAX_ENTRIES"]
+
+#: Default artifact cap. A worst-case single-process evaluation (every
+#: video's two manifest flavours, every classifier, a link per trace of
+#: a 200-trace set times a handful of fault plans) stays well under
+#: this, so eviction only triggers for genuinely unbounded workloads.
+DEFAULT_MAX_ENTRIES = 4096
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters, for benchmarks and cache-behaviour tests."""
+    """Hit/miss/eviction counters, for benchmarks and behaviour tests."""
 
     hits: int
     misses: int
+    evictions: int = 0
 
     @property
     def builds(self) -> int:
@@ -53,58 +68,65 @@ class ArtifactCache:
     object itself, so identity — not equality — decides reuse: the same
     ``VideoAsset`` object always maps to the same ``Manifest``, and two
     distinct assets never share one, even if they compare equal.
+
+    One LRU ordering spans all three artifact kinds: any lookup
+    refreshes its entry, and inserting past ``max_entries`` drops the
+    least-recently-used entry of whatever kind.
     """
 
-    def __init__(self) -> None:
-        self._manifests: Dict[Tuple[int, bool], Tuple[VideoAsset, Manifest]] = {}
-        self._classifiers: Dict[int, Tuple[VideoAsset, ChunkClassifier]] = {}
-        self._links: Dict[int, Tuple[NetworkTrace, TraceLink]] = {}
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        # key -> (source, artifact); insertion/access order is recency.
+        self._entries: "OrderedDict[Tuple, Tuple[object, object]]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+
+    def _lookup(self, key: Tuple, source: object, build):
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is source:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return entry[1]
+        self._misses += 1
+        artifact = build()
+        self._entries[key] = (source, artifact)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        return artifact
 
     def manifest(self, video: VideoAsset, include_quality: bool = False) -> Manifest:
         """``video.manifest(include_quality=...)``, built once per video."""
-        key = (id(video), bool(include_quality))
-        entry = self._manifests.get(key)
-        if entry is None or entry[0] is not video:
-            self._misses += 1
-            entry = (video, video.manifest(include_quality=include_quality))
-            self._manifests[key] = entry
-        else:
-            self._hits += 1
-        return entry[1]
+        quality = bool(include_quality)
+        return self._lookup(
+            ("manifest", id(video), quality),
+            video,
+            lambda: video.manifest(include_quality=quality),
+        )
 
     def classifier(self, video: VideoAsset) -> ChunkClassifier:
         """``ChunkClassifier.from_video(video)``, built once per video."""
-        key = id(video)
-        entry = self._classifiers.get(key)
-        if entry is None or entry[0] is not video:
-            self._misses += 1
-            entry = (video, ChunkClassifier.from_video(video))
-            self._classifiers[key] = entry
-        else:
-            self._hits += 1
-        return entry[1]
+        return self._lookup(
+            ("classifier", id(video)),
+            video,
+            lambda: ChunkClassifier.from_video(video),
+        )
 
     def link(self, trace: NetworkTrace) -> TraceLink:
         """``TraceLink(trace)`` (cumulative-bits table), built once per trace."""
-        key = id(trace)
-        entry = self._links.get(key)
-        if entry is None or entry[0] is not trace:
-            self._misses += 1
-            entry = (trace, TraceLink(trace))
-            self._links[key] = entry
-        else:
-            self._hits += 1
-        return entry[1]
+        return self._lookup(("link", id(trace)), trace, lambda: TraceLink(trace))
 
     @property
     def stats(self) -> CacheStats:
-        """Cumulative hit/miss counters across all three artifact kinds."""
-        return CacheStats(hits=self._hits, misses=self._misses)
+        """Cumulative counters across all three artifact kinds."""
+        return CacheStats(
+            hits=self._hits, misses=self._misses, evictions=self._evictions
+        )
 
     def clear(self) -> None:
         """Drop all cached artifacts (and their pinned sources)."""
-        self._manifests.clear()
-        self._classifiers.clear()
-        self._links.clear()
+        self._entries.clear()

@@ -26,6 +26,7 @@ from repro.video.dataset import build_video, standard_dataset_specs
 from repro.video.model import VideoAsset
 
 __all__ = [
+    "GOLDEN_SCHEMA_VERSION",
     "GOLDEN_VIDEO_NAME",
     "GOLDEN_VIDEO_SEED",
     "GOLDEN_TRACE_SEED",
@@ -37,6 +38,13 @@ __all__ = [
     "golden_trace",
     "golden_session",
 ]
+
+#: Version of the simulation-output schema the golden snapshots pin.
+#: Bump this whenever snapshots are deliberately regenerated (a semantic
+#: change to session results) or the result schema itself changes. The
+#: session store folds it into every key, so a bump invalidates all
+#: previously cached session results instead of replaying stale ones.
+GOLDEN_SCHEMA_VERSION = 1
 
 #: The fixed grid every golden session uses. The 5 s-chunk YouTube encode
 #: keeps the archived JSON small (120 chunks) while still exercising the

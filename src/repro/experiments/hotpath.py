@@ -44,11 +44,14 @@ from repro.video.dataset import build_video, standard_dataset_specs
 
 __all__ = [
     "run_hotpath_benchmarks",
+    "run_warm_cache_benchmark",
+    "merge_warm_target",
     "compare_to_baseline",
     "load_record",
     "write_record",
     "DEFAULT_RESULT_PATH",
     "DEFAULT_TOLERANCE",
+    "WARM_TARGET",
 ]
 
 SEED = 0
@@ -231,6 +234,87 @@ def run_hotpath_benchmarks(
         },
         "targets": targets,
     }
+
+
+#: Name of the warm-cache target ``repro bench --warm`` maintains.
+WARM_TARGET = "sweep_warm_cache"
+
+
+def run_warm_cache_benchmark(sweep_traces: int = DEFAULT_SWEEP_TRACES) -> Dict[str, Any]:
+    """Cold-vs-warm throughput of the reference sweep through a session store.
+
+    Runs the CAVA+RBA grid twice against a fresh
+    :class:`~repro.experiments.store.SessionStore` — once cold (every
+    session computed and written back) and once warm (every session read
+    back) — and reports both rates plus the warm speedup. The warm
+    result set is asserted bit-identical to the cold one before any
+    number is reported.
+    """
+    import tempfile
+
+    from repro.experiments.parallel import ParallelSweepRunner, SweepSpec
+    from repro.experiments.store import SessionStore
+
+    video = _bench_video()
+    traces = synthesize_lte_traces(count=max(sweep_traces, 1), seed=SEED)
+    videos = {video.name: video}
+    specs = [
+        SweepSpec(scheme=scheme, video_key=video.name, network=BENCH_NETWORK)
+        for scheme in SWEEP_SCHEMES
+    ]
+    sessions = len(specs) * len(traces)
+    with tempfile.TemporaryDirectory() as root:
+        store = SessionStore(root)
+        engine = ParallelSweepRunner(n_workers=1, store=store)
+        start = time.perf_counter()
+        cold = engine.run_specs(specs, videos, traces)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = engine.run_specs(specs, videos, traces)
+        warm_s = time.perf_counter() - start
+        if [r.metrics for r in warm] != [r.metrics for r in cold]:
+            raise AssertionError(
+                "warm sweep results differ from cold — session store is broken"
+            )
+        stats = store.stats
+    return {
+        "sessions": sessions,
+        "elapsed_cold_s": round(cold_s, 4),
+        "elapsed_warm_s": round(warm_s, 4),
+        "cold_sessions_per_s": round(sessions / cold_s, 2),
+        "sessions_per_s": round(sessions / warm_s, 2),
+        "warm_speedup": round(cold_s / warm_s, 2),
+        "store_hits": stats.hits,
+        "store_misses": stats.misses,
+    }
+
+
+def merge_warm_target(record: Optional[Dict[str, Any]], target: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold the warm-cache target into an existing benchmark record.
+
+    ``repro bench --warm`` runs only the warm stage, so the (expensive)
+    main suite's numbers are preserved untouched; a missing or foreign
+    record gets a minimal hotpath skeleton.
+    """
+    if record is None or record.get("benchmark") != "hotpath":
+        record = {
+            "benchmark": "hotpath",
+            "grid": {
+                "video": BENCH_VIDEO,
+                "network": BENCH_NETWORK,
+                "sweep_schemes": list(SWEEP_SCHEMES),
+                "seed": SEED,
+            },
+            "environment": {
+                "cpu_count": os.cpu_count(),
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "machine": platform.machine(),
+            },
+            "targets": {},
+        }
+    record.setdefault("targets", {})[WARM_TARGET] = target
+    return record
 
 
 def compare_to_baseline(

@@ -19,11 +19,27 @@ Design points:
   :class:`~repro.experiments.artifacts.ArtifactCache`, so a video's
   manifest/classifier and a trace's cumulative-bits table are built once
   per worker instead of once per (scheme, trace) session.
-- **fork/spawn safety.** Videos, traces, and the session config are
-  shipped once per worker through the pool initializer (cheap
-  copy-on-write under ``fork``, one pickle per worker under ``spawn``),
-  never once per task. Per-task payloads are just a spec and two batch
-  indices.
+- **Zero-copy data plane.** Numeric sweep assets — trace timelines,
+  their cumulative-bits tables, video size/quality tables — are
+  published once into a :mod:`multiprocessing.shared_memory` block by
+  the parent (:mod:`repro.experiments.dataplane`); workers attach by
+  name and rebuild videos/traces as read-only views, so nothing big is
+  pickled per worker (let alone per task) even under ``spawn``. Per-task
+  payloads are three integers: a spec index and two batch indices.
+  Specs and the session config ship once through the pool initializer.
+  When shared memory is unavailable the engine falls back to inline
+  initializer pickling with identical results.
+- **Incremental re-runs.** Give the engine a
+  :class:`~repro.experiments.store.SessionStore` and it partitions the
+  grid into cached vs. missing sessions *before* any work ships,
+  replays only the misses, writes their results back, and merges —
+  bit-identically to an all-cold run, because cached entries round-trip
+  floats exactly. A warm re-run of an unchanged grid runs no sessions
+  at all.
+- **Adaptive batching.** Batch bounds are sized from a per-session cost
+  estimate (MPC-family rollouts cost many CAVA sessions), so cheap
+  schemes get large batches that amortize pool overhead while expensive
+  schemes split fine enough to balance the pool tail.
 - **Graceful serial fallback.** ``n_workers=1`` — or a grid too small to
   amortize pool startup — runs in-process through the exact same batch
   code path, with the same cache and failure-policy semantics.
@@ -59,6 +75,7 @@ module-level functions or dataclass instances with ``__call__`` (e.g.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import time
@@ -77,18 +94,32 @@ from typing import (
 )
 
 from repro.abr.base import ABRAlgorithm
+from repro.abr.registry import resolve_scheme_name
 from repro.experiments.artifacts import ArtifactCache
+from repro.experiments.dataplane import PlaneManifest, SharedDataPlane, attach_plane
 from repro.experiments.runner import (
     EstimatorFactory,
     FailedUnit,
     SweepResult,
     run_one_session,
 )
+from repro.experiments.store import SessionStore, UncacheableValueError
 from repro.faults.plan import FaultPlan
 from repro.network.traces import NetworkTrace
 from repro.player.metrics import SessionMetrics
 from repro.player.session import SessionConfig
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import (
+    SHM_ATTACHED_WORKERS_METRIC,
+    SHM_BLOCKS_METRIC,
+    SHM_BYTES_METRIC,
+    STORE_BYTES_READ_METRIC,
+    STORE_BYTES_WRITTEN_METRIC,
+    STORE_CORRUPT_METRIC,
+    STORE_HITS_METRIC,
+    STORE_MISSES_METRIC,
+    STORE_UNCACHEABLE_METRIC,
+    MetricsRegistry,
+)
 from repro.video.model import VideoAsset
 
 __all__ = [
@@ -198,17 +229,39 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _init_worker(
-    videos: Mapping[str, VideoAsset],
-    traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
+    specs: Sequence[SweepSpec],
     config: SessionConfig,
     telemetry: bool = False,
+    inline_assets: Optional[
+        Tuple[
+            Mapping[str, VideoAsset],
+            Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
+        ]
+    ] = None,
+    plane_manifest: Optional[PlaneManifest] = None,
 ) -> None:
     """Pool initializer: pin shared assets and a fresh artifact cache.
 
-    ``traces_by_plan`` maps each fault plan in play (``None`` = the
-    unperturbed set) to its trace list; perturbation happened once in
-    the parent, so workers never rebuild faulted timelines.
+    Exactly one of ``plane_manifest`` (the zero-copy path: attach the
+    parent's shared-memory block and rebuild videos/traces as read-only
+    views) and ``inline_assets`` (the fallback: assets pickled through
+    the initializer) is set. Either way, ``traces_by_plan`` maps each
+    fault plan in play (``None`` = the unperturbed set) to its trace
+    list; perturbation happened once in the parent, so workers never
+    rebuild faulted timelines. Specs ship here once, so tasks can refer
+    to them by index.
     """
+    if plane_manifest is not None:
+        videos, traces_by_plan, shm = attach_plane(plane_manifest)
+        # The views alias shm's buffer: keep the mapping alive for the
+        # worker's lifetime and close it at process exit.
+        _WORKER_STATE["shm"] = shm
+        _WORKER_STATE["shm_attach_pending"] = True
+        atexit.register(shm.close)
+    else:
+        assert inline_assets is not None
+        videos, traces_by_plan = inline_assets
+    _WORKER_STATE["specs"] = list(specs)
     _WORKER_STATE["videos"] = dict(videos)
     _WORKER_STATE["traces_by_plan"] = {
         plan: list(traces) for plan, traces in traces_by_plan.items()
@@ -303,9 +356,12 @@ def _sweep_batch(
     return out
 
 
-def _run_batch_in_worker(spec: SweepSpec, start: int, stop: int):
+def _run_batch_in_worker(spec_idx: int, start: int, stop: int):
     """Task entry point executed inside a pool worker.
 
+    The whole per-task payload is three integers — the spec reference
+    and the batch bounds; specs and assets were pinned by
+    :func:`_init_worker` (shared-memory views on the zero-copy path).
     Returns ``(metrics, snapshot, error)``. A session failure comes back
     as an ``error`` *value* (a :class:`SweepWorkerError`), never an
     exception, so the unit's telemetry ``snapshot`` — covering the
@@ -315,6 +371,7 @@ def _run_batch_in_worker(spec: SweepSpec, start: int, stop: int):
     None; per-unit (not per-worker) registries keep the parent's merge
     simple and double-count-proof.
     """
+    spec: SweepSpec = _WORKER_STATE["specs"][spec_idx]  # type: ignore[index]
     videos: Mapping[str, VideoAsset] = _WORKER_STATE["videos"]  # type: ignore[assignment]
     traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]] = (
         _WORKER_STATE["traces_by_plan"]  # type: ignore[assignment]
@@ -322,6 +379,12 @@ def _run_batch_in_worker(spec: SweepSpec, start: int, stop: int):
     config: SessionConfig = _WORKER_STATE["config"]  # type: ignore[assignment]
     cache: ArtifactCache = _WORKER_STATE["cache"]  # type: ignore[assignment]
     registry = MetricsRegistry() if _WORKER_STATE.get("telemetry") else None
+    if registry is not None and _WORKER_STATE.pop("shm_attach_pending", False):
+        # Exactly once per worker: its first telemetered unit reports
+        # the shared-memory attach that happened in the initializer.
+        registry.counter(
+            SHM_ATTACHED_WORKERS_METRIC, "workers attached to the shm data plane"
+        ).inc()
     traces = traces_by_plan[spec.fault_plan]
     try:
         metrics = _sweep_batch(
@@ -330,6 +393,59 @@ def _run_batch_in_worker(spec: SweepSpec, start: int, stop: int):
     except SweepWorkerError as exc:
         return None, (registry.snapshot() if registry is not None else None), exc
     return metrics, (registry.snapshot() if registry is not None else None), None
+
+
+# ----------------------------------------------------------------------
+# Batch sizing and store partitioning helpers
+# ----------------------------------------------------------------------
+
+#: Rough per-session cost relative to a CAVA session (~3 ms on the PR-4
+#: hot path), from the BENCH_hotpath measurements. Only batch *sizing*
+#: reads these — results are bit-identical however the grid is batched —
+#: so coarse numbers are fine; unknown schemes default to 1.
+_SCHEME_COSTS: Dict[str, float] = {
+    "MPC": 8.0,
+    "RobustMPC": 8.0,
+    "PANDA/CQ max-sum": 4.0,
+    "PANDA/CQ max-min": 4.0,
+    "CAVA-oboe": 2.0,
+    "DYNAMIC": 2.0,
+}
+
+#: Target estimated cost per work unit, in CAVA-session equivalents:
+#: large enough that task dispatch overhead stays a rounding error,
+#: small enough that a pool of a few workers still load-balances.
+_TARGET_BATCH_COST = 24.0
+
+
+def _session_cost(spec: SweepSpec) -> float:
+    """Estimated per-session cost of one spec, in CAVA equivalents."""
+    if spec.algorithm_factory is not None:
+        # Tuned factories (grid search) build CAVA variants; treat any
+        # unknown factory as baseline cost.
+        return 1.0
+    try:
+        name = resolve_scheme_name(spec.scheme)
+    except Exception:
+        name = spec.scheme
+    return _SCHEME_COSTS.get(name, 1.0)
+
+
+def _contiguous_runs(indices: Sequence[int]) -> List[Tuple[int, int]]:
+    """Group sorted trace indices into maximal [start, stop) runs."""
+    runs: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    prev = -2
+    for index in indices:
+        if start is None:
+            start = index
+        elif index != prev + 1:
+            runs.append((start, prev + 1))
+            start = index
+        prev = index
+    if start is not None:
+        runs.append((start, prev + 1))
+    return runs
 
 
 # ----------------------------------------------------------------------
@@ -379,6 +495,18 @@ class ParallelSweepRunner:
         Optional :class:`~repro.faults.plan.FaultPlan` applied to every
         spec that does not carry its own: the grid is replayed under the
         plan's injected adverse conditions.
+    store:
+        Optional :class:`~repro.experiments.store.SessionStore`. The
+        engine partitions every spec's trace set into cached vs. missing
+        sessions before any work ships, replays only the misses, writes
+        their results back, and merges bit-identically with the all-cold
+        path. Specs whose factories have no stable content identity
+        (lambdas/closures) simply bypass the store.
+    use_shared_memory:
+        Publish sweep assets through the shared-memory data plane for
+        pool runs (default). Disable to force inline initializer
+        pickling; results are identical either way, and the engine falls
+        back automatically when shared memory is unavailable.
     """
 
     def __init__(
@@ -391,6 +519,8 @@ class ParallelSweepRunner:
         on_error: str = "raise",
         max_retries: int = 2,
         fault_plan: Optional[FaultPlan] = None,
+        store: Optional[SessionStore] = None,
+        use_shared_memory: bool = True,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1 or None, got {n_workers}")
@@ -412,6 +542,8 @@ class ParallelSweepRunner:
         self.on_error = on_error
         self.max_retries = max_retries
         self.fault_plan = fault_plan
+        self.store = store
+        self.use_shared_memory = use_shared_memory
 
     # -- sizing ---------------------------------------------------------
 
@@ -428,14 +560,24 @@ class ParallelSweepRunner:
             return multiprocessing.get_context(self.mp_context)
         return self.mp_context
 
-    def _batch_bounds(self, num_traces: int, workers: int) -> List[Tuple[int, int]]:
-        """Contiguous [start, stop) trace batches for one spec."""
+    def _batch_bounds(
+        self, num_traces: int, workers: int, cost_per_session: float = 1.0
+    ) -> List[Tuple[int, int]]:
+        """Contiguous [start, stop) trace batches for one spec.
+
+        Adaptive sizing: aim for :data:`_TARGET_BATCH_COST` estimated
+        cost units per batch (so cheap sessions amortize dispatch
+        overhead), capped at ``ceil(num_traces / workers)`` (so the pool
+        always has at least ~one batch per worker to balance).
+        """
         if self.batch_size is not None:
             size = self.batch_size
         else:
-            # ~4 batches per worker keeps the pool busy near the tail of
-            # the grid without drowning it in tiny tasks.
-            size = max(1, -(-num_traces // (workers * 4)))
+            amortized = max(
+                1, int(round(_TARGET_BATCH_COST / max(cost_per_session, 1e-9)))
+            )
+            per_worker = max(1, -(-num_traces // workers))
+            size = min(amortized, per_worker)
         return [(start, min(start + size, num_traces)) for start in range(0, num_traces, size)]
 
     # -- fault-plan materialization ------------------------------------
@@ -506,11 +648,123 @@ class ParallelSweepRunner:
                     f"{spec.video_key!r}; known: {sorted(videos)}"
                 )
         traces_by_plan = self._perturbed_traces(specs, traces)
-        workers = self.resolved_workers()
-        total_sessions = len(specs) * len(traces)
-        if workers == 1 or total_sessions < self.min_parallel_sessions:
-            return self._run_serial(specs, videos, traces_by_plan, config)
-        return self._run_pool(specs, videos, traces_by_plan, config, workers)
+        store_before = (
+            self.store.stats
+            if (self.store is not None and self.registry is not None)
+            else None
+        )
+        try:
+            cached, keys, runs = self._partition_specs(
+                specs, videos, traces_by_plan, config
+            )
+            workers = self.resolved_workers()
+            pending_sessions = sum(
+                stop - start for spec_runs in runs for start, stop in spec_runs
+            )
+            if (
+                workers == 1
+                or pending_sessions == 0
+                or pending_sessions < self.min_parallel_sessions
+            ):
+                return self._run_serial(
+                    specs, videos, traces_by_plan, config, cached, keys, runs
+                )
+            return self._run_pool(
+                specs, videos, traces_by_plan, config, workers, cached, keys, runs
+            )
+        finally:
+            if store_before is not None:
+                self._fold_store_stats(store_before)
+
+    def _partition_specs(
+        self,
+        specs: Sequence[SweepSpec],
+        videos: Mapping[str, VideoAsset],
+        traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
+        config: SessionConfig,
+    ) -> Tuple[
+        List[Dict[int, SessionMetrics]],
+        List[Optional[List[str]]],
+        List[List[Tuple[int, int]]],
+    ]:
+        """Split every spec's trace set into cached hits and missing runs.
+
+        Returns, aligned with ``specs``: per-spec ``{trace_idx:
+        cached metrics}``, per-spec store keys (None when the spec is
+        uncacheable or there is no store), and per-spec contiguous
+        [start, stop) runs of *missing* trace indices. Without a store
+        every spec has one run covering its whole trace set, which is
+        exactly the historical behaviour.
+        """
+        cached: List[Dict[int, SessionMetrics]] = [dict() for _ in specs]
+        keys: List[Optional[List[str]]] = [None for _ in specs]
+        runs: List[List[Tuple[int, int]]] = []
+        for spec_idx, spec in enumerate(specs):
+            plan_traces = traces_by_plan[spec.fault_plan]
+            if self.store is None:
+                runs.append([(0, len(plan_traces))])
+                continue
+            video = videos[spec.video_key]
+            try:
+                spec_keys = [
+                    self.store.key_for(spec, video, trace, config)
+                    for trace in plan_traces
+                ]
+            except UncacheableValueError:
+                self._count(
+                    STORE_UNCACHEABLE_METRIC,
+                    "specs bypassing the session store (no stable digest)",
+                )
+                runs.append([(0, len(plan_traces))])
+                continue
+            keys[spec_idx] = spec_keys
+            missing: List[int] = []
+            for trace_idx, key in enumerate(spec_keys):
+                metrics = self.store.get(key)
+                if metrics is None:
+                    missing.append(trace_idx)
+                else:
+                    cached[spec_idx][trace_idx] = metrics
+            runs.append(_contiguous_runs(missing))
+        return cached, keys, runs
+
+    def _store_unit(
+        self,
+        keys: Optional[List[str]],
+        start: int,
+        metrics: List[SessionMetrics],
+    ) -> None:
+        """Write one completed unit's sessions back to the store."""
+        if self.store is None or keys is None:
+            return
+        for offset, metric in enumerate(metrics):
+            self.store.put(keys[start + offset], metric)
+
+    def _fold_store_stats(self, before) -> None:
+        """Fold the store's counter deltas for this run into the registry."""
+        after = self.store.stats
+        registry = self.registry
+        for name, help_text, delta in (
+            (STORE_HITS_METRIC, "session-store hits", after.hits - before.hits),
+            (STORE_MISSES_METRIC, "session-store misses", after.misses - before.misses),
+            (
+                STORE_CORRUPT_METRIC,
+                "corrupted/stale session-store entries encountered",
+                after.corrupt - before.corrupt,
+            ),
+            (
+                STORE_BYTES_READ_METRIC,
+                "bytes read from the session store",
+                after.bytes_read - before.bytes_read,
+            ),
+            (
+                STORE_BYTES_WRITTEN_METRIC,
+                "bytes written to the session store",
+                after.bytes_written - before.bytes_written,
+            ),
+        ):
+            if delta:
+                registry.counter(name, help_text).inc(delta)
 
     # -- failure-policy plumbing ---------------------------------------
 
@@ -553,43 +807,64 @@ class ParallelSweepRunner:
         videos: Mapping[str, VideoAsset],
         traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
         config: SessionConfig,
+        cached: Sequence[Dict[int, SessionMetrics]],
+        keys: Sequence[Optional[List[str]]],
+        runs: Sequence[List[Tuple[int, int]]],
     ) -> List[SweepResult]:
         if self.registry is not None:
             self.registry.gauge(WORKERS_METRIC, "sweep worker processes").set(1)
         cache = ArtifactCache()
         results = []
-        for spec in specs:
+        for spec_idx, spec in enumerate(specs):
             video = videos[spec.video_key]
             traces = traces_by_plan[spec.fault_plan]
-            # One work unit per spec (matching the historical serial
-            # granularity), run under the same failure policy as the pool.
-            metrics: List[SessionMetrics] = []
+            # One work unit per missing run (without a store that is one
+            # unit per spec — the historical serial granularity), run
+            # under the same failure policy as the pool. Cached sessions
+            # are merged back in by trace index; run starts and cached
+            # indices are disjoint, so sorting the merge keys restores
+            # exact trace order.
+            merged: Dict[int, List[SessionMetrics]] = {
+                idx: [metric] for idx, metric in cached[spec_idx].items()
+            }
             failures: List[FailedUnit] = []
-            attempts = 0
-            while True:
-                attempts += 1
-                try:
-                    metrics = _sweep_batch(
-                        spec, video, traces, config, cache, self.registry
-                    )
-                    break
-                except SweepWorkerError as exc:
-                    if self.on_error == "raise":
-                        raise
-                    if self._should_retry(attempts):
-                        continue
-                    failures.append(
-                        self._failed_unit(
-                            spec, video.name, 0, len(traces), attempts, exc
+            for rstart, rstop in runs[spec_idx]:
+                attempts = 0
+                while True:
+                    attempts += 1
+                    try:
+                        run_metrics = _sweep_batch(
+                            spec,
+                            video,
+                            traces[rstart:rstop],
+                            config,
+                            cache,
+                            self.registry,
                         )
-                    )
-                    break
+                        self._store_unit(keys[spec_idx], rstart, run_metrics)
+                        merged[rstart] = run_metrics
+                        break
+                    except SweepWorkerError as exc:
+                        if self.on_error == "raise":
+                            raise
+                        if self._should_retry(attempts):
+                            continue
+                        failures.append(
+                            self._failed_unit(
+                                spec, video.name, rstart, rstop, attempts, exc
+                            )
+                        )
+                        break
             results.append(
                 SweepResult(
                     scheme=spec.scheme,
                     video_name=video.name,
                     network=spec.network,
-                    metrics=metrics,
+                    metrics=[
+                        metric
+                        for key in sorted(merged)
+                        for metric in merged[key]
+                    ],
                     failures=failures,
                 )
             )
@@ -602,27 +877,54 @@ class ParallelSweepRunner:
         traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
         config: SessionConfig,
         workers: int,
+        cached: Sequence[Dict[int, SessionMetrics]],
+        keys: Sequence[Optional[List[str]]],
+        runs: Sequence[List[Tuple[int, int]]],
     ) -> List[SweepResult]:
-        num_traces = len(traces_by_plan[None])
-        bounds = self._batch_bounds(num_traces, workers)
         units: List[_Unit] = []
-        for spec_idx in range(len(specs)):
-            for start, stop in bounds:
-                units.append(_Unit(len(units), spec_idx, start, stop))
+        for spec_idx, spec in enumerate(specs):
+            cost = _session_cost(spec)
+            for rstart, rstop in runs[spec_idx]:
+                for start, stop in self._batch_bounds(rstop - rstart, workers, cost):
+                    units.append(
+                        _Unit(len(units), spec_idx, rstart + start, rstart + stop)
+                    )
         # Never spin up more workers than there are tasks.
         workers = min(workers, len(units))
         registry = self.registry
         if registry is not None:
             registry.gauge(WORKERS_METRIC, "sweep worker processes").set(workers)
         mp_context = self._resolve_context()
-        initargs = (
-            dict(videos),
-            {plan: list(batch) for plan, batch in traces_by_plan.items()},
-            config,
-            registry is not None,
-        )
 
-        parts: List[Dict[int, List[SessionMetrics]]] = [dict() for _ in specs]
+        # Publish the zero-copy data plane; fall back to pickling the
+        # assets through the initializer when shared memory is
+        # unavailable (results are identical either way).
+        plane: Optional[SharedDataPlane] = None
+        if self.use_shared_memory:
+            try:
+                plane = SharedDataPlane.publish(videos, traces_by_plan)
+            except OSError:
+                plane = None
+        if plane is not None:
+            initargs = (list(specs), config, registry is not None, None, plane.manifest)
+            if registry is not None:
+                registry.gauge(
+                    SHM_BLOCKS_METRIC, "shared-memory blocks published for the sweep"
+                ).set(1)
+                registry.gauge(
+                    SHM_BYTES_METRIC, "bytes published through the shm data plane"
+                ).set(plane.nbytes)
+        else:
+            inline_assets = (
+                dict(videos),
+                {plan: list(batch) for plan, batch in traces_by_plan.items()},
+            )
+            initargs = (list(specs), config, registry is not None, inline_assets, None)
+
+        parts: List[Dict[int, List[SessionMetrics]]] = [
+            {idx: [metric] for idx, metric in spec_cached.items()}
+            for spec_cached in cached
+        ]
         failures: List[List[FailedUnit]] = [[] for _ in specs]
         attempts: Dict[int, int] = {unit.order: 0 for unit in units}
         # (unit order, attempt, snapshot): merged after the pool drains,
@@ -646,7 +948,7 @@ class ParallelSweepRunner:
             if count_attempt:
                 attempts[unit.order] += 1
             future = pool.submit(
-                _run_batch_in_worker, specs[unit.spec_idx], unit.start, unit.stop
+                _run_batch_in_worker, unit.spec_idx, unit.start, unit.stop
             )
             futures[future] = unit
 
@@ -681,6 +983,7 @@ class ParallelSweepRunner:
                 snapshots.append((unit.order, attempts[unit.order], snapshot))
             if error is None:
                 parts[unit.spec_idx][unit.start] = metrics
+                self._store_unit(keys[unit.spec_idx], unit.start, metrics)
                 return None
             if self.on_error == "raise":
                 fatal.append((unit.order, error))
@@ -759,6 +1062,8 @@ class ParallelSweepRunner:
                 futures.clear()
         finally:
             pool.shutdown(wait=False)
+            if plane is not None:
+                plane.close_and_unlink()
 
         if registry is not None:
             for _order, _attempt, snapshot in sorted(
@@ -859,6 +1164,7 @@ def run_comparison_parallel(
     fault_plan: Optional[FaultPlan] = None,
     on_error: str = "raise",
     max_retries: int = 2,
+    store: Optional[SessionStore] = None,
 ) -> Dict[str, SweepResult]:
     """One-call parallel comparison (``n_workers=None`` = all cores)."""
     engine = ParallelSweepRunner(
@@ -867,5 +1173,6 @@ def run_comparison_parallel(
         fault_plan=fault_plan,
         on_error=on_error,
         max_retries=max_retries,
+        store=store,
     )
     return engine.run_comparison(schemes, video, traces, network, config)

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 if TYPE_CHECKING:  # annotation only; the engine imports it for real
+    from repro.experiments.store import SessionStore
     from repro.faults.plan import FaultPlan
     from repro.telemetry.metrics import MetricsRegistry
 
@@ -212,6 +213,7 @@ def run_comparison(
     fault_plan: Optional[FaultPlan] = None,
     on_error: str = "raise",
     max_retries: int = 2,
+    store: Optional[SessionStore] = None,
 ) -> Dict[str, SweepResult]:
     """Run several schemes under identical conditions (same traces).
 
@@ -223,7 +225,9 @@ def run_comparison(
     ``registry`` attaches sweep telemetry (sessions, per-unit wall time,
     cache hits — see :mod:`repro.telemetry.metrics`); ``fault_plan``
     replays the grid under injected adverse conditions; ``on_error`` /
-    ``max_retries`` select the failure policy (see
+    ``max_retries`` select the failure policy; ``store`` attaches a
+    :class:`~repro.experiments.store.SessionStore` so previously
+    computed sessions are read back instead of re-run (see
     :class:`repro.experiments.parallel.ParallelSweepRunner`). Any
     non-default value routes through the engine so serial and pooled
     runs behave identically.
@@ -233,6 +237,7 @@ def run_comparison(
         or registry is not None
         or fault_plan is not None
         or on_error != "raise"
+        or store is not None
     ):
         from repro.experiments.parallel import ParallelSweepRunner
 
@@ -242,6 +247,7 @@ def run_comparison(
             fault_plan=fault_plan,
             on_error=on_error,
             max_retries=max_retries,
+            store=store,
         )
         return engine.run_comparison(schemes, video, traces, network, config)
     cache = ArtifactCache()

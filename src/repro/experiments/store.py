@@ -1,0 +1,509 @@
+"""Content-addressed, on-disk store of session results.
+
+A §6-scale evaluation and the CAVA tuning loop replay the same
+(scheme, video, trace, faults) sessions over and over: every
+``repro compare`` starts cold, every ``grid_search`` re-scores points it
+already scored. Sessions are pure functions of their inputs — fully
+seeded, no wall-clock, no ambient state — so their results can be cached
+*by content*: the store keys each :class:`~repro.player.metrics.SessionMetrics`
+by a stable BLAKE2 digest of everything that determines it:
+
+- the scheme configuration, via its factory (scheme name, network
+  convention, ``algorithm_factory`` / ``estimator_factory`` contents);
+- the full video asset (manifest tables, per-chunk quality arrays, and
+  the classifier's ground truth) via
+  :func:`repro.video.manifest_io.video_digest`;
+- the exact trace timeline via :meth:`NetworkTrace.digest`;
+- the fault plan (frozen dataclass, hashed by value);
+- the session config;
+- the golden-snapshot schema version plus the metric field list, so a
+  semantic change to simulation output invalidates every cached entry
+  instead of replaying stale results.
+
+Digests use explicit content bytes only — never ``id()`` or Python's
+per-process-salted ``hash()`` — so equal inputs produce identical keys
+across processes and across fork/spawn start methods.
+
+On-disk layout (see docs/architecture.md): one JSON file per session
+under ``<root>/objects/<key[:2]>/<key>.json``, each carrying the schema
+version, its own key, the metric payload, and a checksum over the
+canonical payload bytes. Floats survive the JSON round-trip bit-exactly
+(shortest-round-trip ``repr``), so a warm result is *bit-identical* to
+the cold computation it replaced. Writes are atomic
+(temp file + ``os.replace``); a torn or corrupted entry fails its
+checksum and reads as a miss, never as wrong data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.golden import GOLDEN_SCHEMA_VERSION
+from repro.network.traces import NetworkTrace
+from repro.player.metrics import SessionMetrics
+from repro.player.session import SessionConfig
+from repro.video.manifest_io import video_digest
+from repro.video.model import VideoAsset
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "UncacheableValueError",
+    "fingerprint",
+    "session_key",
+    "StoreStats",
+    "EntryProblem",
+    "SessionStore",
+]
+
+#: Store entry format version. Combined with
+#: :data:`~repro.experiments.golden.GOLDEN_SCHEMA_VERSION` (the semantic
+#: version of simulation output) in every key and entry header.
+STORE_SCHEMA_VERSION = 1
+
+#: The exact field list a cached payload must carry; folded into every
+#: key so a SessionMetrics schema change invalidates old entries.
+_METRIC_FIELDS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(SessionMetrics)
+)
+
+
+class UncacheableValueError(TypeError):
+    """A session input has no stable content encoding (e.g. a lambda).
+
+    The sweep engine treats specs carrying such inputs as uncacheable —
+    they compute normally, results just never enter the store.
+    """
+
+
+def _encode(obj: object, update: Callable[[bytes], None]) -> None:
+    """Feed a canonical, type-tagged byte encoding of ``obj`` to ``update``.
+
+    Covers the value shapes session inputs are made of: primitives,
+    containers, (frozen) dataclasses, numpy arrays, and module-level
+    callables/classes. Anything else — notably lambdas and closures,
+    whose behaviour has no stable content identity — raises
+    :class:`UncacheableValueError`.
+    """
+    if obj is None:
+        update(b"N")
+    elif obj is True:
+        update(b"T")
+    elif obj is False:
+        update(b"F")
+    elif isinstance(obj, int):
+        update(b"i" + str(obj).encode("ascii") + b";")
+    elif isinstance(obj, float):
+        update(b"f" + obj.hex().encode("ascii") + b";")
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        update(b"s" + str(len(raw)).encode("ascii") + b":" + raw)
+    elif isinstance(obj, bytes):
+        update(b"b" + str(len(obj)).encode("ascii") + b":" + obj)
+    elif isinstance(obj, np.ndarray):
+        contiguous = np.ascontiguousarray(obj)
+        update(b"a" + contiguous.dtype.str.encode("ascii"))
+        update(repr(contiguous.shape).encode("ascii"))
+        update(contiguous.tobytes())
+    elif isinstance(obj, (tuple, list)):
+        update(b"(" if isinstance(obj, tuple) else b"[")
+        for item in obj:
+            _encode(item, update)
+        update(b")")
+    elif isinstance(obj, dict):
+        update(b"{")
+        try:
+            items = sorted(obj.items())
+        except TypeError:
+            items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        for key, value in items:
+            _encode(key, update)
+            _encode(value, update)
+        update(b"}")
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        update(b"D" + f"{cls.__module__}.{cls.__qualname__}".encode("utf-8") + b";")
+        for field in dataclasses.fields(obj):
+            _encode(field.name, update)
+            _encode(getattr(obj, field.name), update)
+        update(b";")
+    elif isinstance(obj, type) or callable(obj):
+        qualname = getattr(obj, "__qualname__", "")
+        module = getattr(obj, "__module__", "")
+        if not qualname or "<lambda>" in qualname or "<locals>" in qualname:
+            raise UncacheableValueError(
+                f"cannot derive a stable content digest for {obj!r}: lambdas and "
+                "closures have no content identity; use a module-level function "
+                "or a dataclass with __call__ (e.g. CavaFactory)"
+            )
+        update(b"Q" + f"{module}.{qualname}".encode("utf-8") + b";")
+    else:
+        raise UncacheableValueError(
+            f"cannot derive a stable content digest for {type(obj).__name__!r} "
+            f"value {obj!r}"
+        )
+
+
+def fingerprint(obj: object) -> str:
+    """Stable hex digest of any supported session-input value."""
+    hasher = hashlib.blake2b(digest_size=16)
+    _encode(obj, hasher.update)
+    return hasher.hexdigest()
+
+
+def session_key(
+    scheme: str,
+    network: str,
+    algorithm_factory: Optional[Callable],
+    estimator_factory: Optional[Callable],
+    fault_plan: object,
+    video_hexdigest: str,
+    trace_hexdigest: str,
+    config: SessionConfig,
+) -> str:
+    """The store key for one fully specified session.
+
+    Every argument that can influence the resulting
+    :class:`SessionMetrics` participates; the schema-version pair and the
+    metric field list are folded in so output-format changes invalidate
+    the store wholesale.
+    """
+    hasher = hashlib.blake2b(digest_size=20)
+    for part in (
+        ("schema", STORE_SCHEMA_VERSION, GOLDEN_SCHEMA_VERSION, _METRIC_FIELDS),
+        scheme,
+        network,
+    ):
+        _encode(part, hasher.update)
+    _encode(fingerprint(algorithm_factory), hasher.update)
+    _encode(fingerprint(estimator_factory), hasher.update)
+    _encode(fingerprint(fault_plan), hasher.update)
+    _encode(video_hexdigest, hasher.update)
+    _encode(trace_hexdigest, hasher.update)
+    _encode(fingerprint(config), hasher.update)
+    return hasher.hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreStats:
+    """In-process store counters (one :class:`SessionStore` instance)."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    puts: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class EntryProblem:
+    """One defective store entry found by :meth:`SessionStore.verify`."""
+
+    path: Path
+    problem: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.problem}"
+
+
+def _payload_checksum(payload: Dict[str, object]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class SessionStore:
+    """Content-addressed on-disk cache of per-session metric vectors.
+
+    One store instance is parent-side only: the sweep engine partitions
+    its grid against the store *before* any work ships, runs only the
+    misses, and writes their results back — workers never touch the
+    store. Concurrent stores over the same root are safe: entries are
+    immutable once written (same key ⇒ same bytes) and writes are
+    atomic, so the worst race outcome is computing the same session
+    twice.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self._hits = 0
+        self._misses = 0
+        self._corrupt = 0
+        self._puts = 0
+        self._bytes_read = 0
+        self._bytes_written = 0
+        # Digest memos keyed by object identity with a pinned source
+        # reference (the ArtifactCache idiom): a 400-session compare
+        # hashes each video and trace once, not once per session.
+        self._video_digests: Dict[int, Tuple[VideoAsset, str]] = {}
+        self._trace_digests: Dict[int, Tuple[NetworkTrace, str]] = {}
+
+    # -- key derivation -------------------------------------------------
+
+    def _video_digest(self, video: VideoAsset) -> str:
+        entry = self._video_digests.get(id(video))
+        if entry is None or entry[0] is not video:
+            entry = (video, video_digest(video))
+            self._video_digests[id(video)] = entry
+        return entry[1]
+
+    def _trace_digest(self, trace: NetworkTrace) -> str:
+        entry = self._trace_digests.get(id(trace))
+        if entry is None or entry[0] is not trace:
+            entry = (trace, trace.digest())
+            self._trace_digests[id(trace)] = entry
+        return entry[1]
+
+    def key_for(
+        self,
+        spec,
+        video: VideoAsset,
+        trace: NetworkTrace,
+        config: SessionConfig,
+    ) -> str:
+        """Store key for (spec, video, trace, config).
+
+        ``spec`` is duck-typed (``scheme`` / ``network`` /
+        ``algorithm_factory`` / ``estimator_factory`` / ``fault_plan``
+        attributes) so this module never imports the sweep engine.
+        Raises :class:`UncacheableValueError` when a factory has no
+        stable content identity.
+        """
+        return session_key(
+            spec.scheme,
+            spec.network,
+            spec.algorithm_factory,
+            spec.estimator_factory,
+            spec.fault_plan,
+            self._video_digest(video),
+            self._trace_digest(trace),
+            config,
+        )
+
+    # -- entry I/O ------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        return self._objects / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SessionMetrics]:
+        """The cached metrics under ``key``, or None (miss / bad entry).
+
+        A corrupted or stale entry — unparseable JSON, schema mismatch,
+        checksum failure, wrong field set — is counted in
+        :attr:`stats` ``.corrupt``, reported as a miss, and never
+        returned as data.
+        """
+        path = self._entry_path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self._misses += 1
+            return None
+        self._bytes_read += len(raw)
+        payload = self._validate_entry(raw, key)
+        if payload is None:
+            self._corrupt += 1
+            self._misses += 1
+            return None
+        self._hits += 1
+        return SessionMetrics(**payload)
+
+    def _validate_entry(self, raw: bytes, key: Optional[str]) -> Optional[Dict]:
+        """Parse + verify one entry; None when corrupted or stale."""
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema") != STORE_SCHEMA_VERSION:
+            return None
+        if entry.get("golden_schema") != GOLDEN_SCHEMA_VERSION:
+            return None
+        if key is not None and entry.get("key") != key:
+            return None
+        payload = entry.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        if tuple(sorted(payload)) != tuple(sorted(_METRIC_FIELDS)):
+            return None
+        if entry.get("checksum") != _payload_checksum(payload):
+            return None
+        return payload
+
+    def put(self, key: str, metrics: SessionMetrics) -> None:
+        """Persist one session result under ``key`` (atomic, immutable)."""
+        payload = {
+            field: getattr(metrics, field) for field in _METRIC_FIELDS
+        }
+        entry = {
+            "schema": STORE_SCHEMA_VERSION,
+            "golden_schema": GOLDEN_SCHEMA_VERSION,
+            "key": key,
+            "payload": payload,
+            "checksum": _payload_checksum(payload),
+        }
+        raw = json.dumps(entry, sort_keys=True).encode("utf-8")
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(raw)
+        os.replace(tmp, path)
+        self._puts += 1
+        self._bytes_written += len(raw)
+
+    # -- introspection / maintenance ------------------------------------
+
+    @property
+    def stats(self) -> StoreStats:
+        """Counters accumulated by this store instance."""
+        return StoreStats(
+            hits=self._hits,
+            misses=self._misses,
+            corrupt=self._corrupt,
+            puts=self._puts,
+            bytes_read=self._bytes_read,
+            bytes_written=self._bytes_written,
+        )
+
+    def _iter_entry_paths(self) -> Iterator[Path]:
+        if not self._objects.is_dir():
+            return
+        for shard in sorted(self._objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path
+
+    def describe(self) -> Dict[str, object]:
+        """On-disk summary for ``repro cache stats``."""
+        entries = 0
+        total_bytes = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for path in self._iter_entry_paths():
+            try:
+                info = path.stat()
+            except OSError:
+                continue
+            entries += 1
+            total_bytes += info.st_size
+            oldest = info.st_mtime if oldest is None else min(oldest, info.st_mtime)
+            newest = info.st_mtime if newest is None else max(newest, info.st_mtime)
+        return {
+            "root": str(self.root),
+            "schema": STORE_SCHEMA_VERSION,
+            "golden_schema": GOLDEN_SCHEMA_VERSION,
+            "entries": entries,
+            "bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+            "session": dataclasses.asdict(self.stats),
+        }
+
+    def verify(self) -> List[EntryProblem]:
+        """Scan every entry; report the corrupted/stale ones.
+
+        Checks filename/key agreement, schema versions, payload field
+        set, and the checksum — the same validation :meth:`get` applies,
+        so anything reported here would have read as a miss, never as
+        wrong data.
+        """
+        problems: List[EntryProblem] = []
+        for path in self._iter_entry_paths():
+            key = path.stem
+            try:
+                raw = path.read_bytes()
+            except OSError as exc:
+                problems.append(EntryProblem(path, f"unreadable: {exc}"))
+                continue
+            if self._validate_entry(raw, key) is not None:
+                continue
+            # Distinguish stale-schema from corruption for the report.
+            try:
+                entry = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                problems.append(EntryProblem(path, "corrupt: not valid JSON"))
+                continue
+            if isinstance(entry, dict) and (
+                entry.get("schema") != STORE_SCHEMA_VERSION
+                or entry.get("golden_schema") != GOLDEN_SCHEMA_VERSION
+            ):
+                problems.append(
+                    EntryProblem(
+                        path,
+                        "stale: schema "
+                        f"{entry.get('schema')}/{entry.get('golden_schema')} != "
+                        f"{STORE_SCHEMA_VERSION}/{GOLDEN_SCHEMA_VERSION}",
+                    )
+                )
+            else:
+                problems.append(
+                    EntryProblem(path, "corrupt: checksum/key/payload mismatch")
+                )
+        return problems
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        remove_defective: bool = True,
+    ) -> Dict[str, int]:
+        """Prune the store; returns removal counts by reason.
+
+        Removes (in order): defective entries (anything
+        :meth:`verify` reports, when ``remove_defective``), entries older
+        than ``max_age_s``, then the oldest entries beyond
+        ``max_entries``.
+        """
+        removed_defective = 0
+        if remove_defective:
+            for problem in self.verify():
+                try:
+                    problem.path.unlink()
+                    removed_defective += 1
+                except OSError:
+                    pass
+        survivors: List[Tuple[float, Path]] = []
+        for path in self._iter_entry_paths():
+            try:
+                survivors.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        survivors.sort()
+        removed_old = 0
+        if max_age_s is not None:
+            cutoff = time.time() - max_age_s
+            keep: List[Tuple[float, Path]] = []
+            for mtime, path in survivors:
+                if mtime < cutoff:
+                    try:
+                        path.unlink()
+                        removed_old += 1
+                        continue
+                    except OSError:
+                        pass
+                keep.append((mtime, path))
+            survivors = keep
+        removed_excess = 0
+        if max_entries is not None and len(survivors) > max_entries:
+            for _mtime, path in survivors[: len(survivors) - max_entries]:
+                try:
+                    path.unlink()
+                    removed_excess += 1
+                except OSError:
+                    pass
+        return {
+            "defective": removed_defective,
+            "expired": removed_old,
+            "evicted": removed_excess,
+        }

@@ -27,13 +27,19 @@ from __future__ import annotations
 import math
 from bisect import bisect_left
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.network.traces import NetworkTrace
 from repro.util.validation import check_non_negative, check_positive
 
-__all__ = ["TraceLink", "DownloadResult", "MIN_DOWNLOAD_DURATION_S"]
+__all__ = [
+    "TraceLink",
+    "DownloadResult",
+    "MIN_DOWNLOAD_DURATION_S",
+    "cumulative_bits_table",
+]
 
 #: Floor on reported download duration: every download takes strictly
 #: positive wall time, so rate math downstream (estimators divide by the
@@ -41,6 +47,20 @@ __all__ = ["TraceLink", "DownloadResult", "MIN_DOWNLOAD_DURATION_S"]
 MIN_DOWNLOAD_DURATION_S = 1e-9
 
 _INF = math.inf
+
+
+def cumulative_bits_table(trace: NetworkTrace) -> np.ndarray:
+    """``table[k]`` = bits deliverable in ``[0, k * interval_s)``.
+
+    The single definition of the link's lookup table: both
+    :class:`TraceLink` (when constructed bare) and the sweep engine's
+    shared-memory data plane (which computes the table once in the parent
+    and publishes it to workers) call this, so a published table is
+    bit-identical to one computed locally.
+    """
+    return np.concatenate(
+        [[0.0], np.cumsum(trace.throughputs_bps * float(trace.interval_s))]
+    )
 
 
 @dataclass(frozen=True)
@@ -70,14 +90,34 @@ class TraceLink:
     request), as all the schemes in the paper do.
     """
 
-    def __init__(self, trace: NetworkTrace) -> None:
+    def __init__(
+        self, trace: NetworkTrace, cumulative_bits: Optional[np.ndarray] = None
+    ) -> None:
         self.trace = trace
         self._interval = float(trace.interval_s)
         self._period_s = float(trace.duration_s)
         # cumulative_bits[k] = bits deliverable in [0, k * interval).
-        self._cumulative_bits = np.concatenate(
-            [[0.0], np.cumsum(trace.throughputs_bps * self._interval)]
-        )
+        # A caller that already holds the table — the sweep engine's
+        # shared-memory data plane computes it once in the parent and
+        # publishes it to every worker — can pass it in (directly or via
+        # a ``shared_cumulative_bits`` attribute on the trace) and skip
+        # the per-process cumsum. The table must be exactly what the
+        # fallback below would compute; the data plane guarantees that by
+        # running the same expression on the same float64 timeline.
+        if cumulative_bits is None:
+            cumulative_bits = getattr(trace, "shared_cumulative_bits", None)
+        if cumulative_bits is None:
+            cumulative_bits = cumulative_bits_table(trace)
+        else:
+            cumulative_bits = np.asarray(cumulative_bits, dtype=float)
+            if cumulative_bits.shape != (trace.num_intervals + 1,):
+                raise ValueError(
+                    f"cumulative_bits must have shape ({trace.num_intervals + 1},), "
+                    f"got {cumulative_bits.shape}"
+                )
+            if cumulative_bits[0] != 0.0:
+                raise ValueError("cumulative_bits must start at 0.0")
+        self._cumulative_bits = cumulative_bits
         self._bits_per_period = float(self._cumulative_bits[-1])
         if self._bits_per_period <= 0:
             raise ValueError("trace delivers zero bits per period")

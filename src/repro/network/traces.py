@@ -18,6 +18,7 @@ files use, so users with the actual datasets can drop them in.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from pathlib import Path
@@ -85,6 +86,25 @@ class NetworkTrace:
     def cov(self) -> float:
         """Coefficient of variation of per-interval throughput."""
         return coefficient_of_variation(self.throughputs_bps)
+
+    def digest(self) -> str:
+        """Stable content digest of the timeline (hex).
+
+        Two traces digest equally iff their name, interval, and exact
+        float64 timeline bytes match. The digest is computed from raw
+        content with BLAKE2 (no salted ``hash()``, no ``id()``), so it is
+        identical across processes and across fork/spawn start methods
+        and can key persistent caches such as the session store.
+        """
+        timeline = np.ascontiguousarray(self.throughputs_bps, dtype=np.float64)
+        hasher = hashlib.blake2b(digest_size=16)
+        hasher.update(self.name.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(float(self.interval_s).hex().encode("ascii"))
+        hasher.update(b"\x00")
+        hasher.update(timeline.dtype.str.encode("ascii"))
+        hasher.update(timeline.tobytes())
+        return hasher.hexdigest()
 
     def throughput_at(self, t_s: float) -> float:
         """Throughput in bits/second at absolute time ``t_s`` (wraps)."""

@@ -33,12 +33,35 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "STORE_HITS_METRIC",
+    "STORE_MISSES_METRIC",
+    "STORE_BYTES_READ_METRIC",
+    "STORE_BYTES_WRITTEN_METRIC",
+    "STORE_CORRUPT_METRIC",
+    "STORE_UNCACHEABLE_METRIC",
+    "SHM_BLOCKS_METRIC",
+    "SHM_BYTES_METRIC",
+    "SHM_ATTACHED_WORKERS_METRIC",
 ]
 
 #: Bucket upper bounds (seconds) for wall-time histograms; +Inf implied.
 DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
 )
+
+# Metric names for the incremental sweep machinery. The session store
+# (repro.experiments.store) and the sweep engine populate these when a
+# registry is attached; they live here so every layer agrees on the
+# names without importing the engine.
+STORE_HITS_METRIC = "repro_store_hits_total"
+STORE_MISSES_METRIC = "repro_store_misses_total"
+STORE_BYTES_READ_METRIC = "repro_store_bytes_read_total"
+STORE_BYTES_WRITTEN_METRIC = "repro_store_bytes_written_total"
+STORE_CORRUPT_METRIC = "repro_store_corrupt_entries_total"
+STORE_UNCACHEABLE_METRIC = "repro_store_uncacheable_specs_total"
+SHM_BLOCKS_METRIC = "repro_sweep_shm_blocks"
+SHM_BYTES_METRIC = "repro_sweep_shm_bytes"
+SHM_ATTACHED_WORKERS_METRIC = "repro_sweep_shm_attached_workers_total"
 
 
 def _check_name(name: str) -> str:

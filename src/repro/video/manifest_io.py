@@ -22,19 +22,23 @@ Conventions:
 
 from __future__ import annotations
 
+import hashlib
 import re
 import xml.etree.ElementTree as ET
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.video.model import Manifest
+from repro.video.model import Manifest, VideoAsset
 
 __all__ = [
     "manifest_to_mpd",
     "manifest_from_mpd",
     "manifest_to_hls",
     "manifest_from_hls",
+    "manifest_digest",
+    "video_digest",
+    "manifest_from_tables",
 ]
 
 _MPD_NS = "urn:mpeg:dash:schema:mpd:2011"
@@ -258,4 +262,109 @@ def manifest_from_hls(files: Dict[str, str]) -> Manifest:
         declared_avg_bitrates_bps=np.array([v[0] for v in variants]),
         declared_peak_bitrates_bps=np.array([v[1] for v in variants]),
         resolutions=tuple(v[2] for v in variants),
+    )
+
+
+# ----------------------------------------------------------------------
+# Stable content digests + buffer-backed construction
+# ----------------------------------------------------------------------
+# The session store keys results by *content*: two manifests (or videos)
+# must digest equally iff every byte of client-visible data matches, and
+# the digest must be identical across processes and fork/spawn start
+# methods. BLAKE2 over explicit bytes gives that (``hash()`` is salted
+# per process; ``id()`` is an address).
+
+
+def _hash_array(hasher: "hashlib._Hash", array: np.ndarray) -> None:
+    contiguous = np.ascontiguousarray(array, dtype=np.float64)
+    hasher.update(contiguous.dtype.str.encode("ascii"))
+    hasher.update(repr(contiguous.shape).encode("ascii"))
+    hasher.update(contiguous.tobytes())
+
+
+def _hash_text(hasher: "hashlib._Hash", *parts: object) -> None:
+    for part in parts:
+        hasher.update(str(part).encode("utf-8"))
+        hasher.update(b"\x00")
+
+
+def manifest_digest(manifest: Manifest) -> str:
+    """Stable content digest (hex) of the client-visible manifest."""
+    hasher = hashlib.blake2b(digest_size=16)
+    _hash_text(
+        hasher,
+        manifest.video_name,
+        float(manifest.chunk_duration_s).hex(),
+        manifest.resolutions,
+    )
+    _hash_array(hasher, manifest.chunk_sizes_bits)
+    _hash_array(hasher, manifest.declared_avg_bitrates_bps)
+    _hash_array(hasher, manifest.declared_peak_bitrates_bps)
+    if manifest.quality is not None:
+        for metric in sorted(manifest.quality):
+            _hash_text(hasher, metric)
+            _hash_array(hasher, manifest.quality[metric])
+    return hasher.hexdigest()
+
+
+def video_digest(video: VideoAsset) -> str:
+    """Stable content digest (hex) of a full video asset.
+
+    Covers everything a session can observe: the manifest data, per-chunk
+    quality arrays, and the synthesis ground truth (complexity/SI/TI)
+    that the chunk classifier and the quality summaries read.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    _hash_text(
+        hasher,
+        video.name,
+        video.genre,
+        video.codec,
+        video.source,
+        video.encoding,
+        float(video.cap_ratio).hex(),
+    )
+    for track in video.tracks:
+        _hash_text(
+            hasher,
+            track.level,
+            track.resolution,
+            float(track.chunk_duration_s).hex(),
+            float(track.declared_avg_bitrate_bps).hex(),
+        )
+        _hash_array(hasher, track.chunk_sizes_bits)
+        for metric in sorted(track.qualities):
+            _hash_text(hasher, metric)
+            _hash_array(hasher, track.qualities[metric])
+    _hash_array(hasher, video.complexity)
+    _hash_array(hasher, video.si)
+    _hash_array(hasher, video.ti)
+    return hasher.hexdigest()
+
+
+def manifest_from_tables(
+    video_name: str,
+    chunk_duration_s: float,
+    chunk_sizes_bits: np.ndarray,
+    declared_avg_bitrates_bps: np.ndarray,
+    declared_peak_bitrates_bps: np.ndarray,
+    resolutions: Tuple[int, ...],
+    quality: Optional[Dict[str, np.ndarray]] = None,
+) -> Manifest:
+    """Build a manifest around existing size/quality tables without copying.
+
+    ``Manifest.__post_init__`` runs ``np.asarray(..., dtype=float)``, which
+    is a no-op for float64 inputs — so passing views into a shared-memory
+    block (the sweep engine's zero-copy data plane) yields a manifest whose
+    tables alias the shared buffer. Callers own the buffer lifetime: the
+    views must stay mapped for as long as the manifest is used.
+    """
+    return Manifest(
+        video_name=video_name,
+        chunk_duration_s=chunk_duration_s,
+        chunk_sizes_bits=chunk_sizes_bits,
+        declared_avg_bitrates_bps=declared_avg_bitrates_bps,
+        declared_peak_bitrates_bps=declared_peak_bitrates_bps,
+        resolutions=resolutions,
+        quality=quality,
     )

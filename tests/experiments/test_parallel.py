@@ -249,6 +249,38 @@ class TestArtifactCache:
         cache.clear()
         assert cache.manifest(short_video) is not first
 
+    def test_lru_evicts_past_cap(self, lte_traces):
+        cache = ArtifactCache(max_entries=2)
+        first = cache.link(lte_traces[0])
+        cache.link(lte_traces[1])
+        cache.link(lte_traces[2])  # evicts traces[0], the LRU entry
+        assert cache.stats.evictions == 1
+        assert cache.link(lte_traces[1]) is not None  # still cached
+        assert cache.stats.hits == 1
+        assert cache.link(lte_traces[0]) is not first  # rebuilt after eviction
+        assert cache.stats.misses == 4
+
+    def test_lookup_refreshes_recency(self, lte_traces):
+        cache = ArtifactCache(max_entries=2)
+        first = cache.link(lte_traces[0])
+        cache.link(lte_traces[1])
+        assert cache.link(lte_traces[0]) is first  # refresh: [1] is now LRU
+        cache.link(lte_traces[2])  # evicts traces[1], not traces[0]
+        assert cache.link(lte_traces[0]) is first
+        assert cache.stats.evictions == 1
+
+    def test_default_cap_never_evicts_a_sweep(self, short_video, lte_traces):
+        cache = ArtifactCache()
+        cache.manifest(short_video)
+        cache.classifier(short_video)
+        for trace in lte_traces:
+            cache.link(trace)
+        assert cache.stats.evictions == 0
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+
 
 class TestSweepTelemetry:
     @pytest.mark.parametrize("n_workers", [1, 2])
@@ -284,7 +316,10 @@ class TestSweepTelemetry:
             engine.run_comparison(SCHEMES, short_video, lte_traces[:6])
             snapshots[n_workers] = registry.snapshot()
         serial, pooled = snapshots[1], snapshots[2]
-        assert set(serial) == set(pooled)
+        # The pool additionally reports the shm data plane (block/bytes
+        # gauges, attached-worker count); every serial metric must still
+        # appear pool-side with the same unit-level invariants.
+        assert set(serial) <= set(pooled)
         sessions = len(SCHEMES) * 6
         for snap in (serial, pooled):
             assert snap[SESSIONS_COMPLETED_METRIC]["value"] == sessions

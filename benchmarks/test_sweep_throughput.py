@@ -21,21 +21,26 @@ and the *usable* CPU count (the scheduling affinity mask — containers
 and CI runners often grant fewer cores than ``os.cpu_count()`` reports),
 and any worker count exceeding the usable cores has its run flagged
 ``"constrained": true`` with ``speedup_vs_serial`` set to null rather
-than recording a speedup claim the hardware could never support.
+than recording a speedup claim the hardware could never support. The
+block also records the measured git revision and the BLAS/OpenMP pool
+sizes (pinned to one thread at import, via the hotpath helpers) so two
+records are only ever compared like-for-like.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import platform
 import time
 from pathlib import Path
 
+from repro.experiments.hotpath import bench_environment, pin_single_threaded
 from repro.experiments.parallel import ParallelSweepRunner
 from repro.experiments.runner import run_comparison
 from repro.network.traces import synthesize_lte_traces
 from repro.video.dataset import build_video, standard_dataset_specs
+
+pin_single_threaded()
 
 SEED = 0
 SCHEMES = ("CAVA", "RBA")
@@ -116,12 +121,7 @@ def test_sweep_throughput_trajectory(benchmark):
             "sessions": sessions,
             "seed": SEED,
         },
-        "environment": {
-            "cpu_count": os.cpu_count(),
-            "usable_cpus": usable,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        },
+        "environment": {**bench_environment(), "usable_cpus": usable},
         "serial": {
             "elapsed_s": round(serial_s, 4),
             "sessions_per_s": round(serial_rate, 2),

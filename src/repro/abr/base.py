@@ -21,10 +21,12 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.video.model import Manifest
 
-if TYPE_CHECKING:  # telemetry records are plain data; no runtime import
+if TYPE_CHECKING:  # annotation-only imports; no runtime dependency
+    import numpy as np
+
     from repro.telemetry.tracer import Tracer
 
-__all__ = ["DecisionContext", "ABRAlgorithm"]
+__all__ = ["DecisionContext", "BatchDecisionContext", "ABRAlgorithm", "BatchDecider"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +55,53 @@ class DecisionContext:
     last_level: Optional[int]
     bandwidth_bps: float
     playing: bool
+
+
+@dataclass(frozen=True)
+class BatchDecisionContext:
+    """:class:`DecisionContext` for N lockstep sessions at one chunk.
+
+    The chunk index is shared (lockstep advances every lane through the
+    same chunk); the player state is per-lane ``(lanes,)`` arrays.
+    ``last_levels`` is None only at chunk 0 — every lane has streamed the
+    same number of chunks, so "no previous level" is uniform too.
+    """
+
+    chunk_index: int
+    now_s: np.ndarray
+    buffer_s: np.ndarray
+    last_levels: Optional[np.ndarray]
+    bandwidth_bps: np.ndarray
+    playing: np.ndarray
+
+
+class BatchDecider:
+    """Vectorized decision core for one batch of lockstep sessions.
+
+    A decider is the batch twin of a prepared :class:`ABRAlgorithm`:
+    :meth:`ABRAlgorithm.batch_decider` builds a fresh one per batch
+    (holding any per-session controller state widened to per-lane
+    arrays), and the lockstep engine calls :meth:`select_levels` /
+    :meth:`notify_downloads` once per chunk instead of once per session.
+    Lane ``j`` of every result must be the exact value the scalar
+    ``select_level`` / ``notify_download`` pair would produce for
+    session ``j`` — bit-identical, not approximately equal.
+    """
+
+    def select_levels(self, ctx: BatchDecisionContext) -> np.ndarray:
+        """Per-lane level choices for chunk ``ctx.chunk_index``, (lanes,) ints."""
+        raise NotImplementedError
+
+    def notify_downloads(
+        self,
+        chunk_index: int,
+        levels: np.ndarray,
+        sizes_bits: np.ndarray,
+        download_s: np.ndarray,
+        buffer_s: np.ndarray,
+        now_s: np.ndarray,
+    ) -> None:
+        """Per-lane download-completion hook (default: no-op)."""
 
 
 class ABRAlgorithm:
@@ -110,6 +159,20 @@ class ABRAlgorithm:
         now_s: float,
     ) -> None:
         """Hook called after each chunk download completes."""
+
+    def batch_decider(
+        self, manifest: Manifest, lanes: int
+    ) -> Optional[BatchDecider]:
+        """A fresh :class:`BatchDecider` for ``lanes`` lockstep sessions.
+
+        The default — None — marks the scheme non-batchable; the sweep
+        engine then falls back to per-session scalar runs. Overrides
+        must check ``type(self)`` exactly (a subclass altering scalar
+        behaviour silently inherits this hook otherwise) and prepare the
+        returned decider fully: the engine never calls :meth:`prepare`
+        on the batch path.
+        """
+        return None
 
     def _clamp_level(self, level: int) -> int:
         """Clamp a tentative level into the manifest's valid range."""

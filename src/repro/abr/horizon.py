@@ -33,8 +33,213 @@ __all__ = [
     "simulate_buffer",
     "horizon_sizes",
     "HorizonPlanner",
+    "BatchHorizonPlanner",
     "planner_for",
+    "plan_level_digits",
+    "plan_stall_free",
+    "plan_rebuffers",
+    "build_plan_trie",
+    "SparsePlanRollout",
 ]
+
+
+def plan_level_digits(plans, num_levels: int, h: int) -> np.ndarray:
+    """Level sequence(s) of trellis plan index(es), shape ``(..., h)``.
+
+    The trellis encodes a child as ``parent * L + level`` (C-order
+    reshape), so a leaf index *is* its level sequence in base ``L`` with
+    the most significant digit at step 0 — the same order
+    :func:`level_sequences` enumerates. Accepts a scalar plan index or
+    an array of them.
+    """
+    plans = np.asarray(plans)
+    powers = num_levels ** np.arange(h - 1, -1, -1)
+    return (plans[..., None] // powers) % num_levels
+
+
+def plan_stall_free(
+    seq_sizes_bits: np.ndarray,
+    bandwidth_bps: np.ndarray,
+    start_buffer_s: np.ndarray,
+    chunk_duration_s: float,
+) -> np.ndarray:
+    """Per-lane: does *this* plan play stall-free? ``(lanes,)`` bool.
+
+    ``seq_sizes_bits`` is ``(lanes, h)``: each lane's chunk sizes along
+    one candidate plan (lanes may follow different plans). The gate
+    behind the batch deciders' best-plan fast path: ``True`` guarantees
+    the full trellis rollout would put **exactly** ``+0.0`` rebuffer on
+    that plan's leaf for that lane, because the recurrence below applies
+    the same division and the same ``max(buf - dl, 0) + delta`` update
+    to the same operand values as the trellis, and every
+    ``maximum(dl - buf, 0.0)`` stall term clamps a non-positive
+    shortfall to ``+0.0``. The deciders combine this with a dominance
+    argument (the plan being tested is the first argmax of the
+    lane-independent part of the score) to skip the ``(lanes, L**h)``
+    rollout for gated lanes without perturbing a single selection.
+    """
+    buf = start_buffer_s
+    safe = None
+    for k in range(seq_sizes_bits.shape[1]):
+        dl = seq_sizes_bits[:, k] / bandwidth_bps
+        ok = dl <= buf
+        safe = ok if safe is None else (safe & ok)
+        buf = np.maximum(buf - dl, 0.0) + chunk_duration_s
+    return safe
+
+
+def plan_rebuffers(
+    seq_sizes_bits: np.ndarray,
+    bandwidth_bps: np.ndarray,
+    start_buffer_s: np.ndarray,
+    chunk_duration_s: float,
+) -> np.ndarray:
+    """Exact leaf rebuffer of explicit plans, shape ``(lanes, n)``.
+
+    ``seq_sizes_bits`` is ``(n, h)``: the chunk sizes along ``n``
+    candidate plans, shared by every lane. Applies the same division,
+    ``max(dl - buf, 0)`` stall, running-sum rebuffer, and
+    ``max(buf - dl, 0) + delta`` update — to the same operand values —
+    as the trellis rollout, so each entry equals the corresponding
+    trellis leaf bitwise (IEEE addition is commutative, so accumulating
+    ``reb += stall`` matches the trellis's ``src_reb + stall``). Lets
+    the deciders price a small lane-independent candidate set without
+    touching the ``(lanes, L**h)`` scratch.
+    """
+    dls = seq_sizes_bits[None, :, :] / bandwidth_bps[:, None, None]
+    start_col = start_buffer_s[:, None]
+    dl = dls[:, :, 0]
+    reb = np.subtract(dl, start_col)  # shortfall = dl - buffer
+    np.maximum(reb, 0.0, out=reb)  # stall; rebuffer = stall
+    buf = np.subtract(start_col, dl)  # buffer - dl
+    np.maximum(buf, 0.0, out=buf)
+    np.add(buf, chunk_duration_s, out=buf)
+    for k in range(1, dls.shape[2]):
+        dl = dls[:, :, k]
+        stall = np.subtract(dl, buf)  # shortfall
+        np.maximum(stall, 0.0, out=stall)  # stall
+        np.add(reb, stall, out=reb)  # rebuffer += stall
+        np.subtract(buf, dl, out=buf)  # buffer - dl
+        np.maximum(buf, 0.0, out=buf)
+        np.add(buf, chunk_duration_s, out=buf)
+    return reb
+
+
+def build_plan_trie(plans: np.ndarray, num_levels: int, h: int) -> list:
+    """Shared-prefix trie over an ascending set of plan indices.
+
+    ``plans`` must be strictly increasing leaf indices in
+    ``[0, num_levels**h)``. Returns a list of ``(levels, parents)``
+    pairs, one per depth ``1..h``: node ``j`` at depth ``d`` extends
+    node ``parents[j]`` at depth ``d-1`` with level ``levels[j]``.
+    Nodes at each depth are ordered by their prefix value, so the
+    depth-``h`` leaves enumerate ``plans`` in the given ascending
+    order — a sparse rollout's leaf row ``j`` prices exactly
+    ``plans[j]``, preserving first-occurrence argmax tie-breaks after
+    any index-order-preserving pruning.
+    """
+    plans = np.asarray(plans, dtype=np.int64)
+    if plans.ndim != 1 or plans.size == 0:
+        raise ValueError("plans must be a non-empty 1-D array of leaf indices")
+    if np.any(np.diff(plans) <= 0):
+        raise ValueError("plans must be strictly increasing")
+    if plans[0] < 0 or plans[-1] >= num_levels**h:
+        raise ValueError(f"plan indices outside [0, {num_levels}**{h})")
+    depths = []
+    prev_codes = None
+    for d in range(1, h + 1):
+        codes = np.unique(plans // num_levels ** (h - d))
+        levels = codes % num_levels
+        if prev_codes is None:
+            parents = np.zeros(codes.shape[0], dtype=np.int64)
+        else:
+            parents = np.searchsorted(prev_codes, codes // num_levels)
+        depths.append((levels, parents))
+        prev_codes = codes
+    return depths
+
+
+class SparsePlanRollout:
+    """Trellis rebuffer rollout restricted to an explicit plan subset.
+
+    Built once per (plan set, lane capacity); scratch buffers are
+    preallocated per trie depth. The recurrence applies the *same* IEEE
+    operations in the *same* per-step order to the same operand values
+    as :class:`BatchHorizonPlanner` — the trie merely skips states no
+    surviving plan passes through — so leaf row ``j`` is bit-identical
+    to column ``plans[j]`` of the full ``(lanes, L**h)`` rollout.
+    Returned arrays are borrowed views; consume them before the next
+    call. Like the dense planner, a call may use the leading subset of
+    lanes.
+    """
+
+    def __init__(
+        self, lanes: int, num_levels: int, h: int, plans: np.ndarray
+    ) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.lanes = lanes
+        self.num_levels = num_levels
+        self.h = h
+        self.trie = build_plan_trie(plans, num_levels, h)
+        self.num_plans = self.trie[-1][0].shape[0]
+        self._dl = [np.empty((lanes, lv.shape[0])) for lv, _ in self.trie]
+        self._buf = [np.empty((lanes, lv.shape[0])) for lv, _ in self.trie]
+        self._reb = [np.empty((lanes, lv.shape[0])) for lv, _ in self.trie]
+        # Gathered parent states (depth >= 2 only).
+        self._gbuf = [np.empty((lanes, lv.shape[0])) for lv, _ in self.trie]
+        self._greb = [np.empty((lanes, lv.shape[0])) for lv, _ in self.trie]
+
+    def rollout_rebuffer(
+        self,
+        sizes_bits: np.ndarray,
+        bandwidth_bps: np.ndarray,
+        start_buffer_s: np.ndarray,
+        chunk_duration_s: float,
+    ) -> np.ndarray:
+        """Per-lane rebuffer per plan, ``(lanes, num_plans)`` view."""
+        if sizes_bits.shape != (self.num_levels, self.h):
+            raise ValueError(
+                f"sizes shape {sizes_bits.shape} != ({self.num_levels}, {self.h})"
+            )
+        lanes = bandwidth_bps.shape[0]
+        if lanes > self.lanes:
+            raise ValueError(f"{lanes} lanes exceed capacity {self.lanes}")
+        bw_col = bandwidth_bps[:, None]
+        start_col = start_buffer_s[:, None]
+
+        levels, _ = self.trie[0]
+        dl = self._dl[0][:lanes]
+        buf = self._buf[0][:lanes]
+        reb = self._reb[0][:lanes]
+        np.divide(sizes_bits[levels, 0], bw_col, out=dl)
+        np.subtract(dl, start_col, out=reb)  # shortfall = dl - buffer
+        np.maximum(reb, 0.0, out=reb)  # stall; rebuffer = stall
+        np.subtract(start_col, dl, out=buf)  # buffer - dl
+        np.maximum(buf, 0.0, out=buf)
+        np.add(buf, chunk_duration_s, out=buf)
+
+        for d in range(1, len(self.trie)):
+            levels, parents = self.trie[d]
+            dl = self._dl[d][:lanes]
+            gbuf = self._gbuf[d][:lanes]
+            greb = self._greb[d][:lanes]
+            new_buf = self._buf[d][:lanes]
+            new_reb = self._reb[d][:lanes]
+            np.divide(sizes_bits[levels, d], bw_col, out=dl)
+            np.take(buf, parents, axis=1, out=gbuf)
+            np.take(reb, parents, axis=1, out=greb)
+            # Same op order as the dense trellis step; the gathers only
+            # reposition parent values, never transform them.
+            np.subtract(dl, gbuf, out=new_reb)  # shortfall
+            np.maximum(new_reb, 0.0, out=new_reb)  # stall
+            np.add(greb, new_reb, out=new_reb)  # rebuffer += stall
+            np.subtract(gbuf, dl, out=new_buf)  # buffer - dl
+            np.maximum(new_buf, 0.0, out=new_buf)
+            np.add(new_buf, chunk_duration_s, out=new_buf)
+            buf, reb = new_buf, new_reb
+
+        return reb
 
 
 @lru_cache(maxsize=32)
@@ -266,6 +471,162 @@ class HorizonPlanner:
 
         rebuffer = rebs[cur][:count]
         accumulated = accs[cur][:count] if values is not None else rebuffer
+        return rebuffer, accumulated
+
+
+class BatchHorizonPlanner:
+    """:class:`HorizonPlanner` with a leading lane axis: N lockstep
+    sessions roll their trellises in one broadcasted pass.
+
+    The recurrence is elementwise per (lane, sequence): adding the lane
+    axis changes *which* doubles sit next to each other in memory, never
+    which operations touch a given lane's values or in what order — so
+    each lane's leaf rebuffer/accumulation row is bit-identical to a
+    scalar :class:`HorizonPlanner` rollout with that lane's bandwidth
+    and start buffer. Scratch memory is ``O(lanes * L^horizon)`` (six
+    doubles per leaf); callers cap lanes accordingly (see
+    :mod:`repro.experiments.batch`).
+
+    Returned arrays are borrowed ``(lanes, L^h)`` views into the
+    ping-pong buffers: consume them before the next rollout.
+    """
+
+    def __init__(self, lanes: int, num_levels: int, horizon: int) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        if num_levels < 1 or horizon < 1:
+            raise ValueError(
+                f"need num_levels >= 1 and horizon >= 1, got {num_levels}, {horizon}"
+            )
+        self.lanes = lanes
+        self.num_levels = num_levels
+        self.horizon = horizon
+        leaves = num_levels**horizon
+        self._buf = (np.empty((lanes, leaves)), np.empty((lanes, leaves)))
+        self._reb = (np.empty((lanes, leaves)), np.empty((lanes, leaves)))
+        self._acc = (np.empty((lanes, leaves)), np.empty((lanes, leaves)))
+        self._first: Dict[int, np.ndarray] = {}
+
+    def first_levels(self, h: int) -> np.ndarray:
+        """Leaf-indexed first level of each sequence (read-only view)."""
+        first = self._first.get(h)
+        if first is None:
+            first = level_sequences(self.num_levels, h)[:, 0]
+            self._first[h] = first
+        return first
+
+    def rollout_rebuffer(
+        self,
+        sizes_bits: np.ndarray,
+        bandwidth_bps: np.ndarray,
+        start_buffer_s: np.ndarray,
+        chunk_duration_s: float,
+    ) -> np.ndarray:
+        """Per-lane total rebuffer per sequence, ``(lanes, L^h)`` view."""
+        rebuffer, _ = self._rollout(
+            sizes_bits, None, "", bandwidth_bps, start_buffer_s, chunk_duration_s
+        )
+        return rebuffer
+
+    def rollout_with_values(
+        self,
+        sizes_bits: np.ndarray,
+        values: np.ndarray,
+        mode: str,
+        bandwidth_bps: np.ndarray,
+        start_buffer_s: np.ndarray,
+        chunk_duration_s: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Rebuffer plus the in-trellis value accumulation, per lane."""
+        if mode not in ("sum", "min"):
+            raise ValueError(f"mode must be 'sum' or 'min', got {mode!r}")
+        return self._rollout(
+            sizes_bits, values, mode, bandwidth_bps, start_buffer_s, chunk_duration_s
+        )
+
+    def _rollout(
+        self,
+        sizes_bits: np.ndarray,
+        values: Optional[np.ndarray],
+        mode: str,
+        bandwidth_bps: np.ndarray,
+        start_buffer_s: np.ndarray,
+        chunk_duration_s: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        num_levels = self.num_levels
+        h = sizes_bits.shape[1]
+        if sizes_bits.shape[0] != num_levels:
+            raise ValueError(
+                f"sizes cover {sizes_bits.shape[0]} tracks, planner has {num_levels}"
+            )
+        if not 1 <= h <= self.horizon:
+            raise ValueError(f"horizon {h} outside planner range 1..{self.horizon}")
+        if (
+            bandwidth_bps.ndim != 1
+            or start_buffer_s.shape != bandwidth_bps.shape
+        ):
+            raise ValueError("bandwidth/buffer must be matching 1-D arrays")
+        # Rolling a subset of lanes (the stall-prone ones, after the
+        # zero-rebuffer gate peeled the rest) reuses the leading rows of
+        # the scratch buffers; lanes are independent, so a sub-rollout
+        # is bit-identical to the same rows of a full one.
+        lanes = bandwidth_bps.shape[0]
+        if lanes > self.lanes:
+            raise ValueError(
+                f"{lanes} lanes exceed planner capacity {self.lanes}"
+            )
+        # (lanes, L, h): per-lane per-(level, step) download times —
+        # elementwise, so lane j matches sizes / bandwidth[j] exactly.
+        downloads = sizes_bits[None, :, :] / bandwidth_bps[:, None, None]
+
+        bufs, rebs, accs = self._buf, self._reb, self._acc
+        cur = 0
+        count = num_levels
+        start_col = start_buffer_s[:, None]
+
+        # Step 0: the empty prefix expands to L one-level states per lane.
+        dls = downloads[:, :, 0]
+        buf = bufs[0][:lanes, :count]
+        reb = rebs[0][:lanes, :count]
+        np.subtract(dls, start_col, out=reb)  # shortfall = dl - buffer
+        np.maximum(reb, 0.0, out=reb)  # stall; rebuffer = 0 + stall = stall
+        np.subtract(start_col, dls, out=buf)  # buffer - dl
+        np.maximum(buf, 0.0, out=buf)
+        np.add(buf, chunk_duration_s, out=buf)
+        if values is not None:
+            acc = accs[0][:lanes, :count]
+            acc[:] = values[:, 0]
+
+        for k in range(1, h):
+            nxt = count * num_levels
+            dls = downloads[:, :, k][:, None, :]  # (lanes, 1, L)
+            src_buf = bufs[cur][:lanes, :count][:, :, None]  # (lanes, P, 1)
+            src_reb = rebs[cur][:lanes, :count][:, :, None]
+            dst = 1 - cur
+            new_buf = bufs[dst][:lanes, :nxt].reshape(lanes, count, num_levels)
+            new_reb = rebs[dst][:lanes, :nxt].reshape(lanes, count, num_levels)
+            # Same op order as the scalar trellis step, broadcast over
+            # (lanes, prefixes, levels); C-order reshape keeps child
+            # p * L + l within each lane.
+            np.subtract(dls, src_buf, out=new_reb)  # shortfall
+            np.maximum(new_reb, 0.0, out=new_reb)  # stall
+            np.add(src_reb, new_reb, out=new_reb)  # rebuffer += stall
+            np.subtract(src_buf, dls, out=new_buf)  # buffer - dl
+            np.maximum(new_buf, 0.0, out=new_buf)
+            np.add(new_buf, chunk_duration_s, out=new_buf)
+            if values is not None:
+                vals = values[:, k][None, None, :]
+                src_acc = accs[cur][:lanes, :count][:, :, None]
+                new_acc = accs[dst][:lanes, :nxt].reshape(lanes, count, num_levels)
+                if mode == "sum":
+                    np.add(src_acc, vals, out=new_acc)
+                else:
+                    np.minimum(src_acc, vals, out=new_acc)
+            cur = dst
+            count = nxt
+
+        rebuffer = rebs[cur][:lanes, :count]
+        accumulated = accs[cur][:lanes, :count] if values is not None else rebuffer
         return rebuffer, accumulated
 
 

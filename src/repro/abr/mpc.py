@@ -22,12 +22,26 @@ rather than MPC).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, Optional
+from functools import lru_cache
+from typing import Any, Deque, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.abr.base import ABRAlgorithm, DecisionContext
-from repro.abr.horizon import horizon_sizes, level_sequences, planner_for
+from repro.abr.base import (
+    ABRAlgorithm,
+    BatchDecider,
+    BatchDecisionContext,
+    DecisionContext,
+)
+from repro.abr.horizon import (
+    BatchHorizonPlanner,
+    SparsePlanRollout,
+    horizon_sizes,
+    level_sequences,
+    plan_level_digits,
+    plan_stall_free,
+    planner_for,
+)
 from repro.util.pinned import PinnedMemo
 from repro.util.validation import check_non_negative, check_positive
 from repro.video.model import Manifest
@@ -38,6 +52,63 @@ __all__ = ["MPCAlgorithm", "RobustMPCAlgorithm"]
 #: keyed by manifest identity (sweeps build a fresh MPC per session but
 #: reuse the manifest, so this is where cross-session reuse must live).
 _SCORE_TABLES = PinnedMemo()
+
+
+@lru_cache(maxsize=32)
+def _survivor_plans(
+    utilities_key: Tuple[float, ...], smoothness_weight: float, h: int
+) -> np.ndarray:
+    """Plans that can win MPC's argmax under level-monotone chunk sizes.
+
+    Plan B is *dominated* by plan A when they start at the same level
+    (so the switch cost against any previous level is identical), A's
+    levels are componentwise <= B's, A's prefix-independent base
+    (utility minus weighted internal smoothness steps) is >= B's, and
+    A's plan index is smaller. When chunk sizes are nondecreasing in
+    level at every step of the window, A's per-step download times are
+    componentwise <= B's, so A rebuffers no more than B (the
+    ``max``/``+``/``-`` recurrence is monotone operation-by-operation
+    under IEEE rounding) and ``score(A) >= score(B)`` for every
+    bandwidth, buffer, previous level, and rebuffer penalty ``mu >= 0``.
+    A dominated plan therefore can never be the *first* argmax: follow
+    dominators (indices strictly decrease) to a surviving plan with a
+    score at least as high and a smaller index. Conversely the first
+    argmax always survives, and restricting the argmax to the ascending
+    survivor set preserves the first-occurrence tie-break bitwise.
+
+    The set depends only on the utility vector, the smoothness weight,
+    and the horizon — not on the chunk index — so one table (typically
+    ~15% of ``L**h`` for the paper's ladders) serves every decision.
+    Callers must verify the per-window size monotonicity precondition
+    and fall back to the dense trellis where it fails.
+    """
+    utilities = np.asarray(utilities_key)
+    num_levels = utilities.shape[0]
+    sequences = level_sequences(num_levels, h)
+    utility = utilities[sequences].sum(axis=1)
+    if h > 1:
+        steps = np.abs(np.diff(utilities[sequences], axis=1)).sum(axis=1)
+    else:
+        steps = np.zeros(sequences.shape[0])
+    base = utility - smoothness_weight * steps
+    alive = np.ones(sequences.shape[0], dtype=bool)
+    block = 512
+    for first in range(num_levels):
+        idx = np.nonzero(sequences[:, 0] == first)[0]
+        seqs = sequences[idx]
+        group_base = base[idx]
+        for start in range(0, idx.size, block):
+            blk = slice(start, start + block)
+            levels_le = (seqs[:, None, 1:] <= seqs[None, blk, 1:]).all(axis=2)
+            dominates = (
+                levels_le
+                & (group_base[:, None] >= group_base[None, blk])
+                & (idx[:, None] < idx[None, blk])
+            )
+            alive[idx[blk]] &= ~dominates.any(axis=0)
+    plans = np.nonzero(alive)[0]
+    plans.setflags(write=False)
+    return plans
 
 
 class MPCAlgorithm(ABRAlgorithm):
@@ -138,6 +209,13 @@ class MPCAlgorithm(ABRAlgorithm):
         best = int(np.argmax(score))
         return int(tables["first"][best])
 
+    def batch_decider(
+        self, manifest: Manifest, lanes: int
+    ) -> Optional[BatchDecider]:
+        if type(self) is not MPCAlgorithm:
+            return None
+        return _BatchMpcDecider(self, manifest, lanes)
+
 
 class RobustMPCAlgorithm(MPCAlgorithm):
     """MPC with the max-recent-error bandwidth discount of [47]."""
@@ -183,4 +261,269 @@ class RobustMPCAlgorithm(MPCAlgorithm):
         actual = size_bits / download_s
         error = abs(self._pending_prediction - actual) / max(actual, 1.0)
         self._errors.append(error)
+        self._pending_prediction = None
+
+    def batch_decider(
+        self, manifest: Manifest, lanes: int
+    ) -> Optional[BatchDecider]:
+        if type(self) is not RobustMPCAlgorithm:
+            return None
+        return _BatchRobustMpcDecider(self, manifest, lanes)
+
+
+class _BatchMpcDecider(BatchDecider):
+    """Vectorized MPC: one batched trellis rollout plus a per-lane gather
+    of the cached bandwidth-independent score rows.
+
+    The per-previous-level base-score vectors (already memoized across
+    sessions in ``_SCORE_TABLES``) stack into an ``(L, L^h)`` matrix, so
+    ``matrix[last_levels]`` hands every lane the exact row the scalar
+    ``_base_scores`` lookup would return. ``np.argmax(..., axis=1)``
+    keeps the scalar first-occurrence tie-break per lane.
+
+    Best-plan fast path: per lane, simulate only the cached first-argmax
+    plan of the lane's base row (``p*``). When :func:`plan_stall_free`
+    proves it stall-free, ``p*`` wins the full argmax outright — every
+    plan's score is bounded by its base (``rebuffer >= 0``), plans
+    before ``p*`` have *strictly* smaller base (``p*`` is the first
+    argmax), and ``score[p*] = base[p*] - penalty * 0.0 == base[p*]``
+    bitwise — so the first-occurrence ``np.argmax`` over scores lands on
+    ``p*`` exactly. Only lanes whose best-base plan would stall — the
+    cases where MPC actually has a trade-off to weigh — pay for a
+    rollout.
+
+    Survivor pruning: those risky lanes normally roll only the
+    dominance survivors of :func:`_survivor_plans` through a
+    :class:`~repro.abr.horizon.SparsePlanRollout` (~6x fewer leaves,
+    provably containing the winner with its tie-break). The
+    precondition — chunk sizes nondecreasing in level at every step of
+    the window — is checked once per manifest; the rare non-monotone
+    windows take the full ``(lanes, L^h)`` rollout instead, on the
+    planner's leading scratch rows.
+    """
+
+    def __init__(self, algorithm: MPCAlgorithm, manifest: Manifest, lanes: int) -> None:
+        algorithm.prepare(manifest)
+        self._algorithm = algorithm
+        self._manifest = manifest
+        self._planner = BatchHorizonPlanner(
+            lanes, manifest.num_tracks, algorithm.horizon
+        )
+        self._base_matrices: Dict[int, np.ndarray] = {}
+        self._base_argbest: Dict[int, np.ndarray] = {}
+        self._base_argbest_first: Dict[int, int] = {}
+        self._best_digits: Dict[int, np.ndarray] = {}
+        self._best_digits_first: Dict[int, np.ndarray] = {}
+        # Running count of chunks whose sizes are NOT nondecreasing in
+        # level: a window is survivor-safe iff its count is flat.
+        mono = (np.diff(manifest.chunk_sizes_bits, axis=0) >= 0).all(axis=0)
+        self._mono_bad = np.cumsum(~mono)
+        self._sparse: Dict[int, Dict[str, Any]] = {}
+
+    def _window_monotone(self, index: int, h: int) -> bool:
+        prior = self._mono_bad[index - 1] if index else 0
+        return bool(self._mono_bad[index + h - 1] == prior)
+
+    def _sparse_for(self, tables: Dict[str, Any], h: int) -> Dict[str, Any]:
+        sparse = self._sparse.get(h)
+        if sparse is None:
+            algorithm = self._algorithm
+            plans = _survivor_plans(
+                tuple(algorithm._utilities_mbps),
+                algorithm.smoothness_weight,
+                h,
+            )
+            sparse = {
+                "plans": plans,
+                "first": tables["first"][plans],
+                "rollout": SparsePlanRollout(
+                    self._planner.lanes, self._manifest.num_tracks, h, plans
+                ),
+                "base_none": None,  # base row over survivors, chunk 0
+                "matrix": None,  # (L, survivors) base rows
+            }
+            self._sparse[h] = sparse
+        return sparse
+
+    def _bandwidth_bps(self, ctx: BatchDecisionContext) -> np.ndarray:
+        return ctx.bandwidth_bps
+
+    def _base_matrix(self, tables: Dict[str, Any], h: int) -> np.ndarray:
+        matrix = self._base_matrices.get(h)
+        if matrix is None:
+            algorithm = self._algorithm
+            matrix = np.stack(
+                [
+                    algorithm._base_scores(tables, previous)
+                    for previous in range(self._manifest.num_tracks)
+                ]
+            )
+            self._base_matrices[h] = matrix
+        return matrix
+
+    def _safe_best(
+        self, tables: Dict[str, Any], h: int, last_levels: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Per-lane first argmax of the base row — ``p*``."""
+        if last_levels is None:
+            best = self._base_argbest_first.get(h)
+            if best is None:
+                best = int(np.argmax(self._algorithm._base_scores(tables, None)))
+                self._base_argbest_first[h] = best
+            return best
+        argbest = self._base_argbest.get(h)
+        if argbest is None:
+            argbest = np.argmax(self._base_matrix(tables, h), axis=1)
+            self._base_argbest[h] = argbest
+        return argbest[last_levels]
+
+    def _best_plan_digits(
+        self, tables: Dict[str, Any], h: int, last_levels: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Level sequence of each lane's ``p*`` — ``(lanes, h)`` (or
+        ``(h,)`` at chunk 0, where every lane shares one plan)."""
+        num_levels = self._manifest.num_tracks
+        if last_levels is None:
+            digits = self._best_digits_first.get(h)
+            if digits is None:
+                digits = plan_level_digits(
+                    self._safe_best(tables, h, None), num_levels, h
+                )
+                self._best_digits_first[h] = digits
+            return digits
+        digits = self._best_digits.get(h)
+        if digits is None:
+            argbest = self._base_argbest.get(h)
+            if argbest is None:
+                self._safe_best(tables, h, np.zeros(1, dtype=np.int64))
+                argbest = self._base_argbest[h]
+            digits = plan_level_digits(argbest, num_levels, h)
+            self._best_digits[h] = digits
+        return digits[last_levels]
+
+    def select_levels(self, ctx: BatchDecisionContext) -> np.ndarray:
+        algorithm = self._algorithm
+        manifest = self._manifest
+        sizes = horizon_sizes(manifest, ctx.chunk_index, algorithm.horizon)
+        h = sizes.shape[1]
+        tables = algorithm._tables_for(h)
+        bandwidth = np.maximum(self._bandwidth_bps(ctx), 1_000.0)
+        last_levels = ctx.last_levels
+        lanes = bandwidth.shape[0]
+
+        seq = self._best_plan_digits(tables, h, last_levels)
+        steps = np.arange(h)
+        if last_levels is None:
+            seq_sizes = np.broadcast_to(sizes[seq, steps], (lanes, h))
+        else:
+            seq_sizes = sizes[seq, steps]
+        safe = plan_stall_free(
+            seq_sizes, bandwidth, ctx.buffer_s, manifest.chunk_duration_s
+        )
+        if safe.all():
+            best = self._safe_best(tables, h, last_levels)
+            if last_levels is None:  # scalar argbest: broadcast to lanes
+                return np.full(lanes, tables["first"][best])
+            return tables["first"][best]
+
+        risky = ~safe
+        if risky.all():
+            sub = slice(None)  # full batch, no gather needed
+            sub_last = last_levels
+        else:
+            sub = np.nonzero(risky)[0]
+            sub_last = None if last_levels is None else last_levels[sub]
+        if self._window_monotone(ctx.chunk_index, h):
+            # Survivor path: argmax over the ascending dominance
+            # survivors selects the same plan (and tie-break) as the
+            # full argmax — see _survivor_plans.
+            sparse = self._sparse_for(tables, h)
+            rebuffer = sparse["rollout"].rollout_rebuffer(
+                sizes, bandwidth[sub], ctx.buffer_s[sub], manifest.chunk_duration_s
+            )
+            if sub_last is None:
+                base = sparse["base_none"]
+                if base is None:
+                    base = algorithm._base_scores(tables, None)[sparse["plans"]]
+                    sparse["base_none"] = base
+                base = base[None, :]
+            else:
+                matrix = sparse["matrix"]
+                if matrix is None:
+                    matrix = self._base_matrix(tables, h)[:, sparse["plans"]]
+                    sparse["matrix"] = matrix
+                base = matrix[sub_last]
+            first_map = sparse["first"]
+        else:
+            rebuffer = self._planner.rollout_rebuffer(
+                sizes, bandwidth[sub], ctx.buffer_s[sub], manifest.chunk_duration_s
+            )
+            if sub_last is None:
+                base = algorithm._base_scores(tables, None)[None, :]
+            else:
+                base = self._base_matrix(tables, h)[sub_last]
+            first_map = tables["first"]
+        score = base - algorithm.rebuffer_penalty_per_s * rebuffer
+        sub_best = np.argmax(score, axis=1)
+        if isinstance(sub, slice):
+            return first_map[sub_best]
+        levels = np.empty(lanes, dtype=first_map.dtype)
+        levels[sub] = first_map[sub_best]
+        safe_best = (
+            self._safe_best(tables, h, last_levels)
+            if last_levels is None
+            else self._safe_best(tables, h, last_levels[safe])
+        )
+        levels[safe] = tables["first"][safe_best]
+        return levels
+
+
+class _BatchRobustMpcDecider(_BatchMpcDecider):
+    """Vectorized RobustMPC: the error history becomes an ``(lanes,
+    window)`` ring with a uniform fill count (lockstep lanes observe one
+    download per chunk), so the max-recent-error discount is a row-wise
+    max over the filled columns — order-insensitive, hence identical to
+    the scalar deque max."""
+
+    def __init__(
+        self, algorithm: RobustMPCAlgorithm, manifest: Manifest, lanes: int
+    ) -> None:
+        super().__init__(algorithm, manifest, lanes)
+        self._errors = np.empty((lanes, algorithm.error_window))
+        self._error_count = 0
+        self._error_pos = 0
+        self._pending_prediction: Optional[np.ndarray] = None
+
+    def _bandwidth_bps(self, ctx: BatchDecisionContext) -> np.ndarray:
+        bandwidth = ctx.bandwidth_bps
+        if self._error_count:
+            discount = 1.0 + np.max(self._errors[:, : self._error_count], axis=1)
+        else:
+            # Scalar: 1.0 + 0.0; division by exactly 1.0 is the identity.
+            discount = 1.0
+        robust = bandwidth / discount
+        self._pending_prediction = bandwidth
+        return robust
+
+    def notify_downloads(
+        self,
+        chunk_index: int,
+        levels: np.ndarray,
+        sizes_bits: np.ndarray,
+        download_s: np.ndarray,
+        buffer_s: np.ndarray,
+        now_s: np.ndarray,
+    ) -> None:
+        # The scalar guard also skips download_s <= 0, but TraceLink
+        # (and StackedLinks) guarantee strictly positive durations, so
+        # the batch skip condition stays uniform across lanes.
+        if self._pending_prediction is None:
+            return
+        actual = sizes_bits / download_s
+        error = np.abs(self._pending_prediction - actual) / np.maximum(actual, 1.0)
+        window = self._errors.shape[1]
+        self._errors[:, self._error_pos] = error
+        self._error_pos = (self._error_pos + 1) % window
+        if self._error_count < window:
+            self._error_count += 1
         self._pending_prediction = None

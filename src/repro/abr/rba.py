@@ -14,7 +14,11 @@ low tracks for large (complex) chunks — the anti-pattern Fig. 4 shows.
 
 from __future__ import annotations
 
-from repro.abr.base import ABRAlgorithm, DecisionContext
+from typing import Optional
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, BatchDecider, BatchDecisionContext, DecisionContext
 from repro.video.model import Manifest
 
 __all__ = ["RateBasedAlgorithm"]
@@ -41,3 +45,30 @@ class RateBasedAlgorithm(ABRAlgorithm):
             if ctx.buffer_s - download_s >= self._reserve_s:
                 return level
         return 0
+
+    def batch_decider(
+        self, manifest: Manifest, lanes: int
+    ) -> Optional[BatchDecider]:
+        if type(self) is not RateBasedAlgorithm:
+            return None
+        return _BatchRbaDecider(self, manifest)
+
+
+class _BatchRbaDecider(BatchDecider):
+    """Vectorized RBA: the descending feasibility scan becomes a reversed
+    row-wise argmax over the ``buffer - size / bandwidth >= reserve``
+    mask (first True from the top = highest feasible level)."""
+
+    def __init__(self, algorithm: RateBasedAlgorithm, manifest: Manifest) -> None:
+        algorithm.prepare(manifest)
+        self._sizes = manifest.chunk_sizes_bits  # (levels, chunks)
+        self._reserve_s = algorithm._reserve_s
+        self._top = manifest.num_tracks - 1
+
+    def select_levels(self, ctx: BatchDecisionContext) -> np.ndarray:
+        row = self._sizes[:, ctx.chunk_index]  # (levels,)
+        download_s = row[None, :] / ctx.bandwidth_bps[:, None]
+        feasible = (ctx.buffer_s[:, None] - download_s) >= self._reserve_s
+        any_feasible = feasible.any(axis=1)
+        highest = self._top - np.argmax(feasible[:, ::-1], axis=1)
+        return np.where(any_feasible, highest, 0)

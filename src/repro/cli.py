@@ -307,6 +307,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
     from repro.experiments.hotpath import (
         DEFAULT_MPC_TRACES,
         DEFAULT_SWEEP_TRACES,
@@ -314,11 +316,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         compare_to_baseline,
         load_record,
         merge_warm_target,
+        pin_single_threaded,
         run_hotpath_benchmarks,
         run_warm_cache_benchmark,
         write_record,
     )
 
+    pin_single_threaded()
     out = Path(args.out)
     if args.warm:
         # Warm-cache stage only: run the reference sweep cold+warm
@@ -331,6 +335,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
         record = merge_warm_target(load_record(out), target)
         write_record(record, out)
+        if args.json:
+            print(json.dumps(record))
+            return 0
         print(f"warm-cache sweep ({target['sessions']} sessions) -> {out}")
         print(f"  cold   {target['cold_sessions_per_s']:12.2f} sessions/s")
         print(f"  warm   {target['sessions_per_s']:12.2f} sessions/s "
@@ -351,21 +358,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
         record["targets"][WARM_TARGET] = previous["targets"][WARM_TARGET]
     write_record(record, out)
     targets = record["targets"]
-    print(f"hot-path benchmarks ({record['grid']['video']}, "
-          f"{record['environment']['cpu_count']} cores) -> {out}")
-    for name, stats in targets.items():
-        if "ns_per_op" in stats:
-            print(f"  {name:32s} {stats['ns_per_op']:12.0f} ns/op")
-        else:
-            print(f"  {name:32s} {stats['sessions_per_s']:12.2f} sessions/s")
+    if not args.json:
+        print(f"hot-path benchmarks ({record['grid']['video']}, "
+              f"{record['environment']['cpu_count']} cores) -> {out}")
+        for name, stats in targets.items():
+            if "ns_per_op" in stats:
+                print(f"  {name:32s} {stats['ns_per_op']:12.0f} ns/op")
+            else:
+                print(f"  {name:32s} {stats['sessions_per_s']:12.2f} sessions/s")
 
+    regressions: list = []
+    if args.baseline is not None:
+        baseline = load_record(Path(args.baseline))
+        if baseline is None:
+            if not args.json:
+                print(f"no baseline at {args.baseline}; skipping regression gate")
+        else:
+            regressions = compare_to_baseline(
+                record, baseline, tolerance=args.tolerance
+            )
+    if args.json:
+        payload = dict(record)
+        if args.baseline is not None:
+            payload["regressions"] = regressions
+        print(json.dumps(payload))
+        return 1 if regressions else 0
     if args.baseline is None:
         return 0
-    baseline = load_record(Path(args.baseline))
-    if baseline is None:
-        print(f"no baseline at {args.baseline}; skipping regression gate")
-        return 0
-    regressions = compare_to_baseline(record, baseline, tolerance=args.tolerance)
     if regressions:
         print(f"\n{len(regressions)} perf regression(s) vs {args.baseline}:")
         for line in regressions:
@@ -383,7 +402,13 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
     store = SessionStore(args.cache_dir)
     if args.action == "stats":
-        print(json.dumps(store.describe(), indent=2))
+        # Both forms are machine-readable; --json selects the compact
+        # single-line encoding for log pipelines.
+        description = store.describe()
+        if getattr(args, "json", False):
+            print(json.dumps(description, separators=(",", ":")))
+        else:
+            print(json.dumps(description, indent=2))
         return 0
     if args.action == "verify":
         problems = store.verify()
@@ -514,6 +539,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warm", action="store_true",
                    help="run only the warm-cache sweep stage and merge "
                         "its sessions/s into the record")
+    p.add_argument("--json", action="store_true",
+                   help="print the record (plus regressions when --baseline "
+                        "is given) as one JSON object instead of a table")
 
     p = commands.add_parser(
         "cache", help="inspect or maintain a session-result store"
@@ -521,6 +549,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=("stats", "verify", "gc"))
     p.add_argument("--cache-dir", required=True, metavar="PATH",
                    help="session store root directory")
+    p.add_argument("--json", action="store_true",
+                   help="stats: compact single-line JSON output")
     p.add_argument("--max-entries", type=int, default=None,
                    help="gc: keep at most this many newest entries")
     p.add_argument("--max-age-days", type=float, default=None,

@@ -24,11 +24,13 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional
 
-from repro.abr.base import ABRAlgorithm, DecisionContext
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, BatchDecider, BatchDecisionContext, DecisionContext
 from repro.core.config import CavaConfig
 from repro.core.inner import InnerController
 from repro.core.outer import OuterController
-from repro.core.pid import PIDController
+from repro.core.pid import BatchPIDController, PIDController
 from repro.util.pinned import PinnedMemo
 from repro.video.classify import ChunkClassifier
 from repro.video.model import Manifest
@@ -115,6 +117,44 @@ class CavaAlgorithm(ABRAlgorithm):
                 ),
             )
         return level
+
+    def batch_decider(
+        self, manifest: Manifest, lanes: int
+    ) -> Optional[BatchDecider]:
+        # OboeTunedCava and other wrappers carry per-instance state the
+        # batch path does not model; only the plain class is batchable.
+        if type(self) is not CavaAlgorithm:
+            return None
+        return _BatchCavaDecider(self, manifest, lanes)
+
+
+class _BatchCavaDecider(BatchDecider):
+    """Vectorized CAVA: shared prepared outer/inner controllers (same
+    memoized stack the scalar path uses) plus a lockstep PID block.
+
+    The outer target depends only on the chunk index — identical across
+    lanes — so the per-chunk pipeline is one scalar target lookup, one
+    vectorized PID update, and one lane-masked inner argmin."""
+
+    def __init__(
+        self, algorithm: CavaAlgorithm, manifest: Manifest, lanes: int
+    ) -> None:
+        config = algorithm.config
+        _, self._outer, self._inner = _PREPARED.get(
+            manifest, config, lambda: _build_controllers(config, manifest)
+        )
+        self._pid = BatchPIDController(config, manifest.chunk_duration_s, lanes)
+
+    def select_levels(self, ctx: BatchDecisionContext) -> np.ndarray:
+        target = self._outer.target_buffer_s(ctx.chunk_index)
+        u = self._pid.update(ctx.now_s, ctx.buffer_s, target)
+        return self._inner.select_batch(
+            ctx.chunk_index,
+            u,
+            np.maximum(ctx.bandwidth_bps, 1_000.0),
+            ctx.buffer_s,
+            ctx.last_levels,
+        )
 
 
 def cava_p1(config: CavaConfig = CavaConfig()) -> CavaAlgorithm:

@@ -216,6 +216,75 @@ class InnerController:
         self.last_alpha = alpha
         return level
 
+    # ------------------------------------------------------------------
+    # Lockstep batch path
+    # ------------------------------------------------------------------
+    def _argmin_batch(
+        self,
+        chunk_index: int,
+        u: np.ndarray,
+        bandwidth_bps: np.ndarray,
+        last_levels: Optional[np.ndarray],
+        alpha,
+    ) -> np.ndarray:
+        """Per-lane argmin of Eq. (4) over the levels, (lanes,) ints.
+
+        The cost expression mirrors :meth:`_argmin_objective` term for
+        term (``n * (dev * dev) + eta * (step * step)``), broadcast over
+        ``(lanes, levels)``; ``np.argmin``'s first-occurrence tie-break
+        matches the scalar loop's strict ``<`` comparison. ``alpha`` is
+        a float when uniform across lanes, or a (lanes,) array when the
+        Q4-relief heuristic splits them.
+        """
+        rbar = self._rbar_mbps[:, chunk_index]  # (levels,)
+        # alpha broadcasts whether scalar or (lanes,); the per-lane
+        # expression (alpha * bw) / 1e6 keeps the scalar operand order.
+        assumed_mbps = (alpha * bandwidth_bps / 1e6)[:, None]
+        deviation = u[:, None] * rbar[None, :] - assumed_mbps
+        n = self.config.horizon_chunks
+        cost = n * (deviation * deviation)
+        if last_levels is not None:
+            eta = self._eta_list[chunk_index]
+            avg = self._track_avg_mbps
+            step = avg[None, :] - avg[last_levels][:, None]
+            cost = cost + eta * (step * step)
+        return np.argmin(cost, axis=1)
+
+    def select_batch(
+        self,
+        chunk_index: int,
+        u: np.ndarray,
+        bandwidth_bps: np.ndarray,
+        buffer_s: np.ndarray,
+        last_levels: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Vectorized :meth:`select`, heuristics included, (lanes,) ints."""
+        config = self.config
+        alpha_value = self._alpha_list[chunk_index]
+        if self._relief_enabled and self._complex_list[chunk_index]:
+            alpha = np.where(buffer_s < config.q4_relief_buffer_s, 1.0, alpha_value)
+        else:
+            alpha = alpha_value
+        levels = self._argmin_batch(chunk_index, u, bandwidth_bps, last_levels, alpha)
+
+        if not config.use_differential:
+            return levels
+        # Q1–Q3 no-deflation heuristic (§5.3), lane-masked: re-solve the
+        # affected lanes with alpha = 1 and splice the results back.
+        low = (levels < config.low_level_threshold) & (buffer_s > config.safe_buffer_s)
+        if isinstance(alpha, np.ndarray):
+            redo = (alpha < 1.0) & low
+        elif alpha < 1.0:
+            redo = low
+        else:
+            return levels
+        if np.any(redo):
+            resolved = self._argmin_batch(
+                chunk_index, u, bandwidth_bps, last_levels, 1.0
+            )
+            levels = np.where(redo, resolved, levels)
+        return levels
+
     @property
     def short_term_bitrates_mbps(self) -> np.ndarray:
         """The precomputed R̄ table in Mbps (read-only view)."""

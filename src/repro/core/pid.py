@@ -20,10 +20,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.config import CavaConfig
 from repro.util.validation import check_non_negative
 
-__all__ = ["PIDController"]
+__all__ = ["PIDController", "BatchPIDController"]
 
 _INF = math.inf
 
@@ -99,3 +101,51 @@ class PIDController:
         indicator = 1.0 if buffer_s >= self.chunk_duration_s else 0.0
         u = self._kp * error + self._ki * integral + indicator
         return max(self._u_min, min(self._u_max, u))
+
+
+class BatchPIDController:
+    """N lockstep :class:`PIDController` lanes advanced one array per op.
+
+    Lane ``j`` of every update is the exact sequence of IEEE doubles the
+    scalar controller would produce for session ``j``: Python's
+    ``max``/``min`` guards become ``np.maximum``/``np.minimum`` (same
+    result for non-NaN operands), the indicator branch becomes a mask,
+    and the state arrays replace the scalar integral/clock.
+    """
+
+    def __init__(self, config: CavaConfig, chunk_duration_s: float, lanes: int) -> None:
+        if chunk_duration_s <= 0:
+            raise ValueError("chunk_duration_s must be positive")
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        self.config = config
+        self.chunk_duration_s = chunk_duration_s
+        self.lanes = lanes
+        self._integral = np.zeros(lanes)
+        self._last_time_s = np.zeros(lanes)
+        self._kp = config.kp
+        self._ki = config.ki
+        self._integral_limit = config.integral_limit
+        self._u_min = config.u_min
+        self._u_max = config.u_max
+
+    def update(
+        self, now_s: np.ndarray, buffer_s: np.ndarray, target_s: float
+    ) -> np.ndarray:
+        """Advance every lane to its ``now_s`` and return u_t, (lanes,).
+
+        ``target_s`` is scalar: the outer controller's target depends
+        only on the chunk index, which lockstep lanes share.
+        """
+        dt = np.maximum(0.0, now_s - self._last_time_s)
+        self._last_time_s = now_s.copy()
+
+        error = target_s - buffer_s
+        limit = self._integral_limit
+        integral = self._integral + error * dt
+        integral = np.maximum(-limit, np.minimum(limit, integral))
+        self._integral = integral
+
+        indicator = np.where(buffer_s >= self.chunk_duration_s, 1.0, 0.0)
+        u = self._kp * error + self._ki * integral + indicator
+        return np.maximum(self._u_min, np.minimum(self._u_max, u))

@@ -18,14 +18,19 @@ Scale knobs (mirroring the sweep benchmark's):
 - ``REPRO_BENCH_HOTPATH_TRACES``      — traces in the CAVA+RBA grid
   (default 200, the paper's trace-set size);
 - ``REPRO_BENCH_HOTPATH_MPC_TRACES`` — traces in the MPC-inclusive grid
-  (default 50; each MPC session costs ~20x a CAVA one).
+  (default 50; each MPC session costs ~20x a CAVA one);
+- ``REPRO_BENCH_HOTPATH_BATCH_TRACES`` — traces in the wide-lane cheap
+  batch grid (default 512, one full batch-engine lane slice).
 """
 
 from __future__ import annotations
 
+import contextlib
+import gc
 import json
 import os
 import platform
+import subprocess
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
@@ -34,6 +39,8 @@ import numpy as np
 
 from repro.abr.base import DecisionContext
 from repro.abr.registry import make_scheme, needs_quality_manifest
+from repro.experiments.artifacts import ArtifactCache
+from repro.experiments.batch import run_batch_metrics, run_batch_sessions
 from repro.experiments.runner import run_comparison
 from repro.network.estimator import HarmonicMeanEstimator
 from repro.network.link import TraceLink
@@ -49,6 +56,8 @@ __all__ = [
     "compare_to_baseline",
     "load_record",
     "write_record",
+    "bench_environment",
+    "pin_single_threaded",
     "DEFAULT_RESULT_PATH",
     "DEFAULT_TOLERANCE",
     "WARM_TARGET",
@@ -60,11 +69,75 @@ BENCH_NETWORK = "lte"
 SWEEP_SCHEMES = ("CAVA", "RBA")
 MPC_SCHEMES = ("CAVA", "RBA", "MPC", "RobustMPC")
 SELECT_SCHEMES = ("CAVA", "RBA", "MPC", "PANDA/CQ max-min")
+#: Batchable cheap (controller-only) schemes for the wide-lane grid.
+BATCH_CHEAP_SCHEMES = ("CAVA", "CAVA-p1", "CAVA-p12", "RBA")
+#: Batchable planner-backed schemes for the MPC-inclusive batch grid.
+BATCH_PLANNER_SCHEMES = ("MPC", "RobustMPC", "PANDA/CQ max-sum", "PANDA/CQ max-min")
 
 DEFAULT_SWEEP_TRACES = int(os.environ.get("REPRO_BENCH_HOTPATH_TRACES", "200"))
 DEFAULT_MPC_TRACES = int(os.environ.get("REPRO_BENCH_HOTPATH_MPC_TRACES", "50"))
+#: Traces in the wide-lane cheap batch grid (full DEFAULT_LANE_CAP width).
+DEFAULT_BATCH_TRACES = int(os.environ.get("REPRO_BENCH_HOTPATH_BATCH_TRACES", "512"))
 DEFAULT_RESULT_PATH = Path(__file__).resolve().parents[3] / "BENCH_hotpath.json"
 DEFAULT_TOLERANCE = 0.30
+
+#: BLAS/OpenMP pool-size variables recorded alongside every benchmark
+#: record, and pinned to 1 by :func:`pin_single_threaded` so thread-pool
+#: jitter cannot masquerade as a hot-path regression.
+THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def pin_single_threaded() -> None:
+    """Pin BLAS/OpenMP pools to one thread for reproducible timings.
+
+    Sets each variable in :data:`THREAD_ENV_VARS` (without overriding an
+    explicit caller choice). Libraries read these at pool start-up, so
+    call this before the first heavy numpy op — the CLI does it at
+    ``repro bench`` entry; values are recorded via
+    :func:`bench_environment` either way so records are comparable.
+    """
+    for name in THREAD_ENV_VARS:
+        os.environ.setdefault(name, "1")
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+    except Exception:  # noqa: BLE001 - no git / not a checkout: record null
+        return None
+    return out.stdout.strip() or None
+
+
+def bench_environment() -> Dict[str, Any]:
+    """Shared ``environment`` block for every benchmark record.
+
+    Beyond interpreter/hardware identity this pins down the two
+    variables that silently change perf numbers between runs: the exact
+    source revision (``git_sha``) and the BLAS/OpenMP pool sizes
+    (``threads``, one entry per :data:`THREAD_ENV_VARS`, ``None`` when
+    unset).
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "git_sha": _git_sha(),
+        "threads": {name: os.environ.get(name) for name in THREAD_ENV_VARS},
+    }
 
 
 def _time_ns_per_op(fn: Callable[[], Any], iterations: int, repeats: int = 3) -> float:
@@ -143,6 +216,24 @@ def _bench_select(scheme: str, video, metric: str) -> float:
     return _time_ns_per_op(one, iterations=iterations)
 
 
+@contextlib.contextmanager
+def _quiesced_gc():
+    """Keep the cyclic GC out of a timed region.
+
+    The full bench accumulates a large heap across stages; letting
+    generation scans run inside an allocation-heavy timed loop charges
+    earlier stages' garbage to whichever stage happens to trigger the
+    collection. Freezing the survivors makes stage timings independent
+    of bench order.
+    """
+    gc.collect()
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()
+
+
 def _bench_session(scheme: str, video, trace, metric: str) -> Dict[str, float]:
     """Full single-session wall time (sessions/s) for one scheme."""
     manifest = video.manifest(include_quality=needs_quality_manifest(scheme))
@@ -155,10 +246,11 @@ def _bench_session(scheme: str, video, trace, metric: str) -> Dict[str, float]:
 
     one()  # warm caches (planner tables, classifier, size rows)
     repeats = 3 if scheme in ("MPC", "RobustMPC") else 10
-    start = time.perf_counter()
-    for _ in range(repeats):
-        one()
-    elapsed = time.perf_counter() - start
+    with _quiesced_gc():
+        start = time.perf_counter()
+        for _ in range(repeats):
+            one()
+        elapsed = time.perf_counter() - start
     per_session = elapsed / repeats
     return {
         "elapsed_s": round(per_session, 6),
@@ -170,9 +262,60 @@ def _bench_sweep(schemes, video, traces) -> Dict[str, float]:
     """Serial sweep throughput for one scheme grid."""
     sessions = len(schemes) * len(traces)
     run_comparison(list(schemes), video, traces[: max(1, len(traces) // 10)])  # warmup
-    start = time.perf_counter()
-    run_comparison(list(schemes), video, traces)
-    elapsed = time.perf_counter() - start
+    with _quiesced_gc():
+        start = time.perf_counter()
+        run_comparison(list(schemes), video, traces)
+        elapsed = time.perf_counter() - start
+    return {
+        "elapsed_s": round(elapsed, 4),
+        "sessions": sessions,
+        "sessions_per_s": round(sessions / elapsed, 2),
+    }
+
+
+def _bench_session_batch(
+    scheme: str, video, traces, cache: ArtifactCache
+) -> Dict[str, float]:
+    """Lockstep batch-engine throughput for one (scheme, trace-set)."""
+    warm = traces[: max(1, len(traces) // 8)]
+    if run_batch_sessions(scheme, video, warm, BENCH_NETWORK, cache=cache) is None:
+        raise RuntimeError(f"{scheme!r} declined the batch engine")
+    with _quiesced_gc():
+        start = time.perf_counter()
+        out = run_batch_sessions(scheme, video, traces, BENCH_NETWORK, cache=cache)
+        elapsed = time.perf_counter() - start
+    if out is None:
+        raise RuntimeError(f"{scheme!r} declined the batch engine")
+    return {
+        "elapsed_s": round(elapsed, 4),
+        "sessions": len(traces),
+        "sessions_per_s": round(len(traces) / elapsed, 2),
+    }
+
+
+def _bench_sweep_batch(groups, video) -> Dict[str, float]:
+    """Aggregate batch-engine sweep throughput over scheme/trace groups.
+
+    ``groups`` is a sequence of ``(schemes, traces)`` pairs so cheap
+    schemes can run wide while planner-backed schemes run the smaller
+    MPC-sized trace set, mirroring the scalar ``sweep_*`` grids. One
+    :class:`ArtifactCache` is shared across the whole grid (as
+    ``run_comparison`` shares one), so per-trace link tables are built
+    once, not once per scheme.
+    """
+    cache = ArtifactCache()
+    for schemes, traces in groups:  # warmup: planner/candidate tables, links
+        warm = traces[: max(1, len(traces) // 10)]
+        for scheme in schemes:
+            if run_batch_metrics(scheme, video, warm, BENCH_NETWORK, cache=cache) is None:
+                raise RuntimeError(f"{scheme!r} declined the batch engine")
+    sessions = sum(len(schemes) * len(traces) for schemes, traces in groups)
+    with _quiesced_gc():
+        start = time.perf_counter()
+        for schemes, traces in groups:
+            for scheme in schemes:
+                run_batch_metrics(scheme, video, traces, BENCH_NETWORK, cache=cache)
+        elapsed = time.perf_counter() - start
     return {
         "elapsed_s": round(elapsed, 4),
         "sessions": sessions,
@@ -183,10 +326,14 @@ def _bench_sweep(schemes, video, traces) -> Dict[str, float]:
 def run_hotpath_benchmarks(
     sweep_traces: int = DEFAULT_SWEEP_TRACES,
     mpc_traces: int = DEFAULT_MPC_TRACES,
+    batch_traces: int = DEFAULT_BATCH_TRACES,
 ) -> Dict[str, Any]:
     """Run every hot-path target; returns the ``BENCH_hotpath.json`` record."""
+    pin_single_threaded()
     video = _bench_video()
-    traces = synthesize_lte_traces(count=max(sweep_traces, mpc_traces, 1), seed=SEED)
+    traces = synthesize_lte_traces(
+        count=max(sweep_traces, mpc_traces, batch_traces, 1), seed=SEED
+    )
     metric = metric_for_network(BENCH_NETWORK)
 
     targets: Dict[str, Dict[str, float]] = {}
@@ -215,6 +362,25 @@ def run_hotpath_benchmarks(
     )
     targets["sweep_mpc"] = _bench_sweep(MPC_SCHEMES, video, traces[:mpc_traces])
 
+    # Lockstep batch engine: per-scheme lanes and the two aggregate grids.
+    batch_cache = ArtifactCache()
+    targets["session_batch/CAVA"] = _bench_session_batch(
+        "CAVA", video, traces[:batch_traces], batch_cache
+    )
+    targets["session_batch/MPC"] = _bench_session_batch(
+        "MPC", video, traces[:mpc_traces], batch_cache
+    )
+    targets["sweep_batch"] = _bench_sweep_batch(
+        [
+            (BATCH_CHEAP_SCHEMES, traces[:sweep_traces]),
+            (BATCH_PLANNER_SCHEMES, traces[:mpc_traces]),
+        ],
+        video,
+    )
+    targets["sweep_batch_cheap"] = _bench_sweep_batch(
+        [(BATCH_CHEAP_SCHEMES, traces[:batch_traces])], video
+    )
+
     return {
         "benchmark": "hotpath",
         "grid": {
@@ -224,14 +390,12 @@ def run_hotpath_benchmarks(
             "sweep_traces": sweep_traces,
             "mpc_schemes": list(MPC_SCHEMES),
             "mpc_traces": mpc_traces,
+            "batch_cheap_schemes": list(BATCH_CHEAP_SCHEMES),
+            "batch_planner_schemes": list(BATCH_PLANNER_SCHEMES),
+            "batch_traces": batch_traces,
             "seed": SEED,
         },
-        "environment": {
-            "cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
+        "environment": bench_environment(),
         "targets": targets,
     }
 
@@ -305,12 +469,7 @@ def merge_warm_target(record: Optional[Dict[str, Any]], target: Dict[str, Any]) 
                 "sweep_schemes": list(SWEEP_SCHEMES),
                 "seed": SEED,
             },
-            "environment": {
-                "cpu_count": os.cpu_count(),
-                "python": platform.python_version(),
-                "numpy": np.__version__,
-                "machine": platform.machine(),
-            },
+            "environment": bench_environment(),
             "targets": {},
         }
     record.setdefault("targets", {})[WARM_TARGET] = target

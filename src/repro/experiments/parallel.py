@@ -96,6 +96,7 @@ from typing import (
 from repro.abr.base import ABRAlgorithm
 from repro.abr.registry import resolve_scheme_name
 from repro.experiments.artifacts import ArtifactCache
+from repro.experiments.batch import batch_capability, run_batch_metrics
 from repro.experiments.dataplane import PlaneManifest, SharedDataPlane, attach_plane
 from repro.experiments.runner import (
     EstimatorFactory,
@@ -309,10 +310,47 @@ def _sweep_batch(
     completed/failed, wall time, and the artifact-cache hit/miss delta —
     recorded even when the unit fails, so partial progress is counted.
     Results are identical with or without it.
+
+    Batchable multi-trace units run on the lockstep batch engine
+    (:mod:`repro.experiments.batch`) — bit-identical results, one
+    vectorized pass instead of a per-trace loop. Any configuration the
+    capability probe rejects, a decider declines, or the engine fails
+    on falls back silently to the scalar loop below.
     """
     out: List[SessionMetrics] = []
     start_s = time.perf_counter()
     stats_before = cache.stats
+    if len(batch) >= 2 and batch_capability(
+        spec.scheme,
+        network=spec.network,
+        algorithm_factory=spec.algorithm_factory,
+        estimator_factory=spec.estimator_factory,
+        fault_plan=spec.fault_plan,
+    ):
+        try:
+            batched = run_batch_metrics(
+                spec.scheme,
+                video,
+                batch,
+                spec.network,
+                config,
+                cache,
+                spec.algorithm_factory,
+            )
+        except Exception:  # noqa: BLE001 - scalar loop is the oracle
+            batched = None
+        if batched is not None:
+            if registry is not None:
+                stats_after = cache.stats
+                _record_unit(
+                    registry,
+                    completed=len(batched),
+                    failed=0,
+                    elapsed_s=time.perf_counter() - start_s,
+                    hits_delta=stats_after.hits - stats_before.hits,
+                    misses_delta=stats_after.misses - stats_before.misses,
+                )
+            return batched
     for trace in batch:
         try:
             out.append(
@@ -412,6 +450,23 @@ _SCHEME_COSTS: Dict[str, float] = {
     "DYNAMIC": 2.0,
 }
 
+#: Amortized per-session cost when the unit runs on the lockstep batch
+#: engine, in scalar-CAVA equivalents (BENCH_hotpath ``session_batch``
+#: and ``sweep_batch`` measurements). Batched sessions are several times
+#: cheaper than their scalar counterparts; sizing units with the
+#: *scalar* numbers would cut batchable specs into a few traces each and
+#: squander the engine's vectorization width.
+_BATCH_SCHEME_COSTS: Dict[str, float] = {
+    "MPC": 2.2,
+    "RobustMPC": 2.2,
+    "PANDA/CQ max-sum": 5.0,
+    "PANDA/CQ max-min": 0.6,
+}
+
+#: Default amortized cost of a batchable scheme (CAVA/RBA families) and
+#: of a batchable tuned factory (grid-search CAVA variants).
+_BATCH_DEFAULT_COST = 0.15
+
 #: Target estimated cost per work unit, in CAVA-session equivalents:
 #: large enough that task dispatch overhead stays a rounding error,
 #: small enough that a pool of a few workers still load-balances.
@@ -419,15 +474,30 @@ _TARGET_BATCH_COST = 24.0
 
 
 def _session_cost(spec: SweepSpec) -> float:
-    """Estimated per-session cost of one spec, in CAVA equivalents."""
+    """Estimated per-session cost of one spec, in CAVA equivalents.
+
+    Specs the batch-capability probe accepts are costed with the
+    amortized lockstep numbers — only sizing reads these, so a spec
+    whose decider later declines merely runs in larger-than-ideal
+    scalar units.
+    """
+    batchable = batch_capability(
+        spec.scheme,
+        network=spec.network,
+        algorithm_factory=spec.algorithm_factory,
+        estimator_factory=spec.estimator_factory,
+        fault_plan=spec.fault_plan,
+    )
     if spec.algorithm_factory is not None:
         # Tuned factories (grid search) build CAVA variants; treat any
         # unknown factory as baseline cost.
-        return 1.0
+        return _BATCH_DEFAULT_COST if batchable else 1.0
     try:
         name = resolve_scheme_name(spec.scheme)
     except Exception:
         name = spec.scheme
+    if batchable:
+        return _BATCH_SCHEME_COSTS.get(name, _BATCH_DEFAULT_COST)
     return _SCHEME_COSTS.get(name, 1.0)
 
 

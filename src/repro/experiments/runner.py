@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # annotation only; the engine imports it for real
 from repro.abr.base import ABRAlgorithm
 from repro.abr.registry import make_scheme, needs_quality_manifest
 from repro.experiments.artifacts import ArtifactCache
+from repro.experiments.batch import batch_capability, run_batch_metrics
 from repro.network.estimator import BandwidthEstimator
 from repro.network.traces import NetworkTrace
 from repro.player.metrics import SessionMetrics, metric_for_network, summarize_session
@@ -187,11 +188,34 @@ def run_scheme_on_traces(
     sweeps); ``estimator_factory`` lets the §6.7 study install a
     controlled-error estimator per trace; ``cache`` shares artifacts
     with other sweeps in the same process.
+
+    Multi-trace sweeps of batchable configurations are executed on the
+    lockstep batch engine (:mod:`repro.experiments.batch`) — results
+    are bit-identical to the scalar loop, just an order of magnitude
+    faster; anything the :func:`~repro.experiments.batch.
+    batch_capability` probe rejects (or a decider declines) falls back
+    to the per-trace loop below.
     """
     if not traces:
         raise ValueError("need at least one trace")
     if cache is None:
         cache = ArtifactCache()
+    if len(traces) >= 2 and batch_capability(
+        scheme,
+        network=network,
+        algorithm_factory=algorithm_factory,
+        estimator_factory=estimator_factory,
+    ):
+        batched = run_batch_metrics(
+            scheme, video, traces, network, config, cache, algorithm_factory
+        )
+        if batched is not None:
+            return SweepResult(
+                scheme=scheme,
+                video_name=video.name,
+                network=network,
+                metrics=batched,
+            )
     results = [
         run_one_session(
             scheme, video, trace, network, config,

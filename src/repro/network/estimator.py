@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # telemetry records are plain data; no runtime import
 __all__ = [
     "BandwidthEstimator",
     "HarmonicMeanEstimator",
+    "BatchHarmonicMeanEstimator",
     "EwmaEstimator",
     "LastSampleEstimator",
     "ControlledErrorEstimator",
@@ -109,6 +110,66 @@ class HarmonicMeanEstimator(BandwidthEstimator):
 
     def reset(self) -> None:
         self._samples.clear()
+
+
+class BatchHarmonicMeanEstimator:
+    """N lockstep :class:`HarmonicMeanEstimator` lanes, one array per op.
+
+    The batch engine observes one download per lane per chunk, so every
+    lane's ring holds the same number of samples at the same positions —
+    only the sample *values* differ. ``predict_bps`` then mirrors the
+    scalar fast path exactly: an explicit oldest-to-newest left fold of
+    ``1 / sample`` (the first addend replaces the scalar's ``0.0 + x``,
+    which is bitwise ``x`` for positive ``x``) followed by ``n / sum``.
+    Windows of 8+ samples take numpy's pairwise-summation path in the
+    scalar estimator, which this fold does not reproduce — construction
+    rejects them (the §5.5 window is 5).
+    """
+
+    def __init__(
+        self,
+        lanes: int,
+        window: int = 5,
+        initial_estimate_bps: float = DEFAULT_INITIAL_ESTIMATE_BPS,
+    ) -> None:
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        if not 1 <= window < 8:
+            raise ValueError(
+                f"batch estimator windows must be in 1..7 (scalar left-fold "
+                f"regime), got {window}"
+            )
+        check_positive(initial_estimate_bps, "initial_estimate_bps")
+        self.lanes = lanes
+        self.window = window
+        self.initial_estimate_bps = initial_estimate_bps
+        self._samples = np.empty((lanes, window))
+        self._count = 0
+        self._pos = 0
+
+    def observe(self, size_bits: np.ndarray, duration_s: np.ndarray) -> None:
+        """Record one completed download per lane (durations > 0)."""
+        self._samples[:, self._pos] = size_bits / duration_s
+        self._pos = (self._pos + 1) % self.window
+        if self._count < self.window:
+            self._count += 1
+
+    def predict_bps(self) -> np.ndarray:
+        """Per-lane predicted bandwidth, shape ``(lanes,)``."""
+        n = self._count
+        if n == 0:
+            return np.full(self.lanes, self.initial_estimate_bps)
+        samples = self._samples
+        start = (self._pos - n) % self.window
+        inverse_sum = 1.0 / samples[:, start]
+        for k in range(1, n):
+            inverse_sum += 1.0 / samples[:, (start + k) % self.window]
+        return n / inverse_sum
+
+    def reset(self) -> None:
+        """Forget all history (start of a new batch)."""
+        self._count = 0
+        self._pos = 0
 
 
 class EwmaEstimator(BandwidthEstimator):

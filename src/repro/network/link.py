@@ -27,7 +27,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from repro.util.validation import check_non_negative, check_positive
 
 __all__ = [
     "TraceLink",
+    "StackedLinks",
     "DownloadResult",
     "MIN_DOWNLOAD_DURATION_S",
     "cumulative_bits_table",
@@ -242,3 +243,148 @@ class TraceLink:
         """
         check_positive(window_s, "window_s")
         return self.bits_in_window(start_s, start_s + window_s) / window_s
+
+
+class StackedLinks:
+    """N trace links answering one download query per numpy op (lane-wise).
+
+    The lockstep batch engine's data plane: the per-link cumulative-bits
+    tables (possibly shared-memory views published by the sweep data
+    plane) are stacked into one dense ``(lanes, width)`` matrix, padded
+    with ``+inf`` so short rows never participate in the crossing search.
+    ``download_finish`` then advances every lane with a handful of
+    vectorized operations.
+
+    **Bit-identity contract**: each lane's result is the exact double
+    :meth:`TraceLink.download` would produce. Every branch of the scalar
+    path becomes a mask:
+
+    - the wrap fold and interval split mirror ``_cumulative_at_array``
+      (the scalar method's proven numpy twin);
+    - ``bisect_left(cum_row, within)`` equals the count of table entries
+      strictly below ``within`` (left insertion point), computed as a
+      row-wise boolean sum — ``+inf`` padding contributes nothing;
+    - the three offset branches (already-crossed / zero-rate / fractional
+      interval) select between expressions evaluated with the scalar
+      path's operand order, with a guarded divisor so the masked-out
+      division never warns;
+    - the positive-duration floor and the ``nextafter`` underflow guard
+      apply elementwise.
+
+    Callers must uphold the engine's invariants: ``size_bits`` strictly
+    positive and ``start_s`` finite and non-negative per lane (the
+    session loop guarantees both), so the scalar path's fast-accept
+    validation has no batch counterpart.
+    """
+
+    def __init__(self, links: Sequence[TraceLink]) -> None:
+        if not links:
+            raise ValueError("need at least one link")
+        self.links = list(links)
+        lanes = len(self.links)
+        self.lanes = lanes
+        self.trace_names = [link.trace.name for link in self.links]
+        self._interval = np.array([link._interval for link in self.links])
+        self._period_s = np.array([link._period_s for link in self.links])
+        self._bits_per_period = np.array(
+            [link._bits_per_period for link in self.links]
+        )
+        self._num_intervals = np.array(
+            [link._num_intervals for link in self.links], dtype=np.int64
+        )
+        width = max(link._num_intervals for link in self.links) + 1
+        cum = np.full((lanes, width), _INF)
+        rates = np.zeros((lanes, width))
+        for j, link in enumerate(self.links):
+            n_j = link._num_intervals
+            cum[j, : n_j + 1] = link._cumulative_bits
+            rates[j, :n_j] = link.trace.throughputs_bps
+        self._cum = cum
+        self._rates = rates
+        self._lane_index = np.arange(lanes)
+        # Flat twins + per-lane row offsets: ``take`` on a 1-D array is
+        # measurably cheaper than a 2-D fancy gather on this hot path.
+        self._cum_flat = cum.ravel()
+        self._rates_flat = rates.ravel()
+        self._row_offset = self._lane_index * width
+        self._width = width
+        # Descending power-of-two steps for the branchless bisection:
+        # the first step is >= width, and the guarded descent touches
+        # each lane's row O(log width) times instead of scanning it.
+        self._bisect_steps = [
+            1 << k for k in range(max(width, 1).bit_length(), -1, -1)
+        ]
+
+    def _bisect_left(self, within: np.ndarray) -> np.ndarray:
+        """Per-lane ``bisect_left(cum_row, within)`` (left insertion point).
+
+        Branchless binary search: ``pos`` counts elements strictly below
+        ``within``, growing by guarded power-of-two steps. Indices are
+        exact integers, so this is bit-for-bit the scalar ``bisect_left``
+        — the +inf padding never compares below a finite target, making
+        the padded rows interchangeable with the ragged originals.
+        """
+        width = self._width
+        flat = self._cum_flat
+        # Gather index for candidate pos+step is offset + (pos+step-1).
+        base = self._row_offset - 1
+        pos = np.zeros(self.lanes, dtype=np.int64)
+        for step in self._bisect_steps:
+            cand = pos + step
+            # mode="clip" keeps out-of-row candidates in bounds; the
+            # validity mask discards them regardless of gathered value.
+            vals = flat.take(base + cand, mode="clip")
+            ok = (cand <= width) & (vals < within)
+            pos = np.where(ok, cand, pos)
+        return pos
+
+    def cumulative_at(self, t_s: np.ndarray) -> np.ndarray:
+        """Per-lane bits deliverable in ``[0, t_s)``; mirrors the scalar
+        ``_cumulative_at`` through the same expressions as the proven
+        ``_cumulative_at_array`` twin, with per-lane tables."""
+        periods, remainder = np.divmod(t_s, self._period_s)
+        wrap = remainder >= self._period_s
+        if np.any(wrap):
+            periods = periods + wrap
+            remainder = np.where(wrap, 0.0, remainder)
+        index = remainder / self._interval
+        whole = np.minimum(index.astype(np.int64), self._num_intervals - 1)
+        frac = index - whole
+        flat_idx = self._row_offset + whole
+        partial = self._cum_flat.take(flat_idx) + np.where(
+            frac > 0, self._rates_flat.take(flat_idx) * frac * self._interval, 0.0
+        )
+        return periods * self._bits_per_period + partial
+
+    def download_finish(self, size_bits: np.ndarray, start_s: np.ndarray) -> np.ndarray:
+        """Per-lane finish time of downloading ``size_bits`` from ``start_s``."""
+        target = self.cumulative_at(start_s) + size_bits
+        periods, within = np.divmod(target, self._bits_per_period)
+        index = self._bisect_left(within) - 1
+        index = np.minimum(np.maximum(index, 0), self._num_intervals - 1)
+        flat_idx = self._row_offset + index
+        already = self._cum_flat.take(flat_idx)
+        rate = self._rates_flat.take(flat_idx)
+        rate_safe = np.where(rate > 0, rate, 1.0)
+        offset = np.where(
+            within <= already,
+            index * self._interval,
+            np.where(
+                rate <= 0,
+                (index + 1) * self._interval,
+                index * self._interval + (within - already) / rate_safe,
+            ),
+        )
+        finish_s = periods * self._period_s + offset
+        floored = finish_s <= start_s
+        if np.any(floored):
+            fallback = start_s + np.maximum(
+                size_bits / np.maximum(rate, 1.0), MIN_DOWNLOAD_DURATION_S
+            )
+            finish_s = np.where(floored, fallback, finish_s)
+            underflow = finish_s <= start_s
+            if np.any(underflow):
+                finish_s = np.where(
+                    underflow, np.nextafter(start_s, _INF), finish_s
+                )
+        return finish_s

@@ -19,7 +19,7 @@ viewing) and the *TV* model for FCC traces (home → big screen);
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -36,6 +36,7 @@ __all__ = [
     "composite_qoe",
     "quality_series",
     "summarize_session",
+    "summarize_sessions",
     "metric_for_network",
 ]
 
@@ -175,3 +176,90 @@ def summarize_session(
         mean_level=float(np.mean(result.levels)),
         level_switches=int(np.count_nonzero(level_changes)),
     )
+
+
+def summarize_sessions(
+    results: Sequence[SessionResult],
+    video: VideoAsset,
+    metric: str = "vmaf_phone",
+    classifier: Optional[ChunkClassifier] = None,
+    low_quality_threshold: float = LOW_QUALITY_VMAF,
+) -> List[SessionMetrics]:
+    """Batched :func:`summarize_session` over sessions of one video.
+
+    Stacks every session's level sequence into one ``(sessions, chunks)``
+    matrix, joins quality with a single gather, and computes the
+    order-insensitive metrics with one ``axis=1`` reduction each, so
+    summarizing a lockstep batch costs a handful of numpy ops rather
+    than ``sessions`` Python round trips.
+
+    **Bit-identity**: every value equals what :func:`summarize_session`
+    returns for the same session. The quality join is a pure gather (no
+    arithmetic); medians (selection plus a 2-element midpoint), boolean
+    fractions (exact 0/1 sums) and integer-valued means (sums below
+    2**53) are exact regardless of summation order, so those stay as
+    ``axis=1`` reductions. Floating-point means are *not* order-safe —
+    numpy's 2-D ``axis=1`` mean may pick a different pairwise summation
+    tree than the 1-D mean the scalar path uses — so the four float
+    means are reduced row-by-row with ``np.add.reduce`` over each
+    C-contiguous row, which matches the 1-D ``np.mean`` to the bit.
+    """
+    if not results:
+        return []
+    if classifier is None:
+        classifier = ChunkClassifier.from_video(video)
+    num_chunks = video.num_chunks
+    for result in results:
+        if result.num_chunks != num_chunks:
+            raise ValueError(
+                f"session has {result.num_chunks} chunks but video has {num_chunks}"
+            )
+    q4_mask = classifier.categories == classifier.num_classes
+    if not np.any(q4_mask):
+        raise ValueError("classifier produced no Q4 chunks")
+
+    levels = np.stack([result.levels for result in results])
+    quality_table = np.stack([track.qualities[metric] for track in video.tracks])
+    qualities = quality_table[levels, np.arange(num_chunks)]
+    changes = np.abs(np.diff(qualities, axis=1))
+    level_switches = np.count_nonzero(np.diff(levels, axis=1), axis=1)
+    q4_block = qualities[:, q4_mask]
+    q13_block = qualities[:, ~q4_mask]
+    q4_medians = np.median(q4_block, axis=1)
+    low_fractions = np.mean(qualities < low_quality_threshold, axis=1)
+    mean_levels = np.mean(levels, axis=1)
+
+    # Float means row-by-row: np.add.reduce(row) / n is bit-identical to
+    # the scalar path's 1-D np.mean, unlike the 2-D axis=1 mean.
+    rows = range(len(results))
+    q4_n, q13_n = q4_block.shape[1], q13_block.shape[1]
+    change_n = changes.shape[1]
+    q4_means = [np.add.reduce(q4_block[j]) / q4_n for j in rows]
+    q13_means = [np.add.reduce(q13_block[j]) / q13_n for j in rows]
+    means = [np.add.reduce(qualities[j]) / num_chunks for j in rows]
+    change_means = (
+        [np.add.reduce(changes[j]) / change_n for j in rows]
+        if change_n
+        else [0.0] * len(results)
+    )
+
+    return [
+        SessionMetrics(
+            scheme=result.scheme,
+            video_name=result.video_name,
+            trace_name=result.trace_name,
+            metric=metric,
+            q4_quality_mean=float(q4_means[j]),
+            q4_quality_median=float(q4_medians[j]),
+            q13_quality_mean=float(q13_means[j]),
+            mean_quality=float(means[j]),
+            low_quality_fraction=float(low_fractions[j]),
+            rebuffer_s=result.total_stall_s,
+            quality_change_per_chunk=float(change_means[j]),
+            data_usage_mb=bits_to_megabytes(result.data_usage_bits),
+            startup_delay_s=result.startup_delay_s,
+            mean_level=float(mean_levels[j]),
+            level_switches=int(level_switches[j]),
+        )
+        for j, result in enumerate(results)
+    ]

@@ -22,13 +22,17 @@ After the last download, the remaining buffer plays out stall-free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.abr.base import ABRAlgorithm, DecisionContext
-from repro.network.estimator import BandwidthEstimator, HarmonicMeanEstimator
-from repro.network.link import MIN_DOWNLOAD_DURATION_S, TraceLink
+from repro.abr.base import ABRAlgorithm, BatchDecider, BatchDecisionContext, DecisionContext
+from repro.network.estimator import (
+    BandwidthEstimator,
+    BatchHarmonicMeanEstimator,
+    HarmonicMeanEstimator,
+)
+from repro.network.link import MIN_DOWNLOAD_DURATION_S, StackedLinks, TraceLink
 from repro.player.buffer import PlaybackBuffer
 from repro.util.validation import check_positive
 from repro.video.model import Manifest, VideoAsset
@@ -36,7 +40,13 @@ from repro.video.model import Manifest, VideoAsset
 if TYPE_CHECKING:  # telemetry is an optional layer; no runtime import here
     from repro.telemetry.tracer import Tracer
 
-__all__ = ["SessionConfig", "SessionResult", "StreamingSession", "run_session"]
+__all__ = [
+    "SessionConfig",
+    "SessionResult",
+    "StreamingSession",
+    "run_session",
+    "run_lockstep_sessions",
+]
 
 
 @dataclass(frozen=True)
@@ -356,6 +366,149 @@ class StreamingSession:
             requested_idle_s=np.asarray(requested_idles, dtype=float),
             cap_idle_s=np.asarray(cap_idles, dtype=float),
         )
+
+
+def run_lockstep_sessions(
+    scheme: str,
+    manifest: Manifest,
+    decider: BatchDecider,
+    links: StackedLinks,
+    config: SessionConfig = SessionConfig(),
+    estimator: Optional[BatchHarmonicMeanEstimator] = None,
+) -> List[SessionResult]:
+    """Advance N sessions of one (scheme, video) pair in lockstep.
+
+    Every lane streams the same manifest over its own trace, so all
+    lanes share the chunk index, chunk duration, and decision schedule;
+    per-lane divergence (clock, buffer, playback state, level history)
+    lives in ``(lanes,)`` arrays updated with masked numpy ops. The
+    arithmetic replays :class:`StreamingSession` branch for branch —
+    each lane of the output is bit-identical to the scalar run of that
+    (scheme, video, trace) triple, which the golden-snapshot tests pin.
+
+    The engine only supports deciders whose scalar twin never requests
+    idle time (``requested_idle_s`` returning 0.0 keeps the scalar
+    idle branch inert); :func:`repro.experiments.batch.batch_capability`
+    enforces that before a decider is ever built.
+    """
+    lanes = links.lanes
+    n = manifest.num_chunks
+    num_tracks = manifest.num_tracks
+    delta = manifest.chunk_duration_s
+    sizes_table = manifest.chunk_sizes_bits
+    max_buffer_s = config.max_buffer_s
+    startup_latency_s = config.startup_latency_s
+
+    if estimator is None:
+        estimator = BatchHarmonicMeanEstimator(lanes)
+    estimator.reset()
+
+    now = np.zeros(lanes)
+    buffer = np.zeros(lanes)
+    playing = np.zeros(lanes, dtype=bool)
+    startup = np.zeros(lanes)
+    last_levels: Optional[np.ndarray] = None
+    zeros = np.zeros(lanes)
+
+    rec_levels = np.empty((n, lanes), dtype=int)
+    rec_sizes = np.empty((n, lanes))
+    rec_starts = np.empty((n, lanes))
+    rec_finishes = np.empty((n, lanes))
+    rec_stalls = np.empty((n, lanes))
+    rec_buffers = np.empty((n, lanes))
+    rec_cap_idles = np.empty((n, lanes))
+
+    for i in range(n):
+        # 1. decision. Batchable schemes never request idle time, so the
+        #    scalar pre-decision idle branch contributes exactly 0.0.
+        ctx = BatchDecisionContext(
+            chunk_index=i,
+            now_s=now,
+            buffer_s=buffer,
+            last_levels=last_levels,
+            bandwidth_bps=estimator.predict_bps(),
+            playing=playing,
+        )
+        levels = decider.select_levels(ctx)
+        lo = int(levels.min())
+        hi = int(levels.max())
+        if lo < 0 or hi >= num_tracks:
+            bad = lo if lo < 0 else hi
+            raise ValueError(
+                f"{scheme} selected invalid level {bad} "
+                f"for chunk {i} (valid: 0..{num_tracks - 1})"
+            )
+
+        # 2. respect the buffer cap: idle until one chunk fits. Adding
+        #    the zero idle of unaffected lanes is exact (their clocks and
+        #    buffers are non-negative doubles).
+        filled = buffer + delta
+        cap_mask = playing & (filled > max_buffer_s)
+        if np.any(cap_mask):
+            cap_idle = np.where(cap_mask, filled - max_buffer_s, 0.0)
+            buffer = buffer - cap_idle
+            now = now + cap_idle
+        else:
+            cap_idle = zeros
+
+        # 3. download; the buffer drains (and may stall) meanwhile
+        size = sizes_table[levels, i]
+        start = now
+        finish = links.download_finish(size, start)
+        download_s = finish - start
+        under = download_s > buffer
+        stall = np.where(playing & under, download_s - buffer, 0.0)
+        drained = np.where(under, 0.0, buffer - download_s)
+        buffer = np.where(playing, drained, buffer)
+        now = finish
+        buffer = buffer + delta
+
+        # 4. learn from the observation (duration floored exactly like
+        #    the scalar loop, although StackedLinks never returns zero)
+        estimator.observe(size, np.maximum(download_s, MIN_DOWNLOAD_DURATION_S))
+        decider.notify_downloads(i, levels, size, download_s, buffer, now)
+
+        rec_levels[i] = levels
+        rec_sizes[i] = size
+        rec_starts[i] = start
+        rec_finishes[i] = now
+        rec_stalls[i] = stall
+        rec_buffers[i] = buffer
+        rec_cap_idles[i] = cap_idle
+        last_levels = levels
+
+        # 5. startup: playback begins once the initial target is met
+        started = (~playing) & (buffer >= startup_latency_s)
+        if np.any(started):
+            startup = np.where(started, now, startup)
+            playing = playing | started
+
+    # Very short video: lanes that never reached the startup target
+    # begin playback when the final download completes.
+    startup = np.where(playing, startup, now)
+
+    video_name = manifest.video_name
+    results: List[SessionResult] = []
+    for j in range(lanes):
+        cap_col = rec_cap_idles[:, j]
+        results.append(
+            SessionResult(
+                scheme=scheme,
+                video_name=video_name,
+                trace_name=links.trace_names[j],
+                levels=rec_levels[:, j].copy(),
+                sizes_bits=rec_sizes[:, j].copy(),
+                download_start_s=rec_starts[:, j].copy(),
+                download_finish_s=rec_finishes[:, j].copy(),
+                stall_s=rec_stalls[:, j].copy(),
+                buffer_after_s=rec_buffers[:, j].copy(),
+                idle_s=cap_col.copy(),
+                startup_delay_s=float(startup[j]),
+                requested_idle_s=np.zeros(n),
+                cap_idle_s=cap_col.copy(),
+            )
+        )
+    return results
 
 
 def run_session(

@@ -1,0 +1,190 @@
+"""Batch engine correctness: capability gating and bit-identity.
+
+The lockstep batch engine is only allowed to exist because its results
+are indistinguishable from the scalar session loop's. These tests check
+the contract at every layer the dispatch touches:
+
+- ``batch_capability`` accepts exactly the configurations the engine
+  supports and rejects the rest (custom estimators, latency faults, the
+  kill-switch, schemes without a batch decider);
+- ``run_batch_sessions`` is bit-identical to the scalar loop for every
+  batchable scheme, at full width and at a width that forces lane
+  slicing (``to_dict`` equality covers every per-chunk float);
+- a lane of a batch reproduces the archived golden snapshot byte for
+  byte, tying the engine to the same oracle the scalar path answers to;
+- the ``run_comparison``/``ParallelSweepRunner`` dispatch produces the
+  same sweep results whether the engine is enabled, disabled, serial,
+  or pooled;
+- unit sizing costs batchable specs with the amortized batch numbers.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.abr.registry import make_scheme, needs_quality_manifest
+from repro.experiments.batch import (
+    DISABLE_BATCH_ENV,
+    batch_capability,
+    run_batch_sessions,
+)
+from repro.experiments.golden import (
+    GOLDEN_METRIC,
+    GOLDEN_NETWORK,
+    GOLDEN_TRACE_SEED,
+    golden_path,
+    golden_trace,
+    golden_video,
+)
+from repro.experiments.parallel import (
+    _BATCH_SCHEME_COSTS,
+    _SCHEME_COSTS,
+    ParallelSweepRunner,
+    SweepSpec,
+    _session_cost,
+)
+from repro.experiments.runner import run_comparison
+from repro.faults.plan import FaultPlan, LatencyFault, ScaleFault
+from repro.network.estimator import HarmonicMeanEstimator
+from repro.network.link import TraceLink
+from repro.network.traces import synthesize_lte_traces
+from repro.player.session import SessionConfig, StreamingSession
+
+#: CI exports this to exercise the dispatch under both fork and spawn.
+MP_CONTEXT = os.environ.get("REPRO_MP_START_METHOD") or None
+
+#: Every scheme the engine currently vectorizes; anything else must be
+#: rejected by the capability probe rather than silently run wrong.
+BATCHABLE_SCHEMES = (
+    "CAVA",
+    "CAVA-p1",
+    "CAVA-p12",
+    "RBA",
+    "MPC",
+    "RobustMPC",
+    "PANDA/CQ max-sum",
+    "PANDA/CQ max-min",
+)
+
+
+@pytest.fixture(scope="module")
+def video():
+    return golden_video()
+
+
+@pytest.fixture(scope="module")
+def traces():
+    # Trace 0 is the golden trace, so golden-lane comparison rides the
+    # same batch as the scalar sweep.
+    return synthesize_lte_traces(count=5, seed=GOLDEN_TRACE_SEED)
+
+
+def scalar_sessions(scheme, video, traces):
+    manifest = video.manifest(include_quality=needs_quality_manifest(scheme))
+    results = []
+    for trace in traces:
+        algorithm = make_scheme(scheme, metric=GOLDEN_METRIC)
+        results.append(
+            StreamingSession(SessionConfig()).run(algorithm, manifest, TraceLink(trace))
+        )
+    return results
+
+
+class TestCapability:
+    def test_accepts_plain_schemes(self):
+        for scheme in BATCHABLE_SCHEMES:
+            assert batch_capability(scheme, network=GOLDEN_NETWORK), scheme
+
+    def test_rejects_custom_estimator(self):
+        assert not batch_capability(
+            "CAVA", estimator_factory=lambda trace: HarmonicMeanEstimator()
+        )
+
+    def test_rejects_latency_faults(self):
+        plan = FaultPlan(faults=(LatencyFault(p=0.5, spike_s=1.0),), seed=7)
+        assert not batch_capability("CAVA", fault_plan=plan)
+
+    def test_accepts_trace_only_faults(self):
+        # Trace-level faults are applied before traces reach a session;
+        # wrap_link is a no-op for them, so the batch engine is exact.
+        plan = FaultPlan(faults=(ScaleFault(factor=0.5),), seed=7)
+        assert batch_capability("CAVA", fault_plan=plan)
+
+    def test_rejects_schemes_without_batch_decider(self):
+        assert not batch_capability("BOLA-E avg")
+
+    def test_kill_switch(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_BATCH_ENV, "1")
+        assert not batch_capability("CAVA")
+
+
+@pytest.mark.parametrize("scheme", BATCHABLE_SCHEMES)
+@pytest.mark.parametrize("max_lanes", [None, 2])
+def test_batch_bit_identical_to_scalar(scheme, video, traces, max_lanes):
+    scalars = scalar_sessions(scheme, video, traces)
+    batched = run_batch_sessions(
+        scheme, video, traces, network=GOLDEN_NETWORK, max_lanes=max_lanes
+    )
+    assert batched is not None
+    assert len(batched) == len(scalars)
+    for scalar, batch in zip(scalars, batched):
+        assert batch.to_dict() == scalar.to_dict()
+
+
+@pytest.mark.parametrize("scheme", ["CAVA", "MPC", "PANDA/CQ max-sum"])
+def test_batch_lane_matches_golden_snapshot(scheme, video, traces):
+    path = golden_path(scheme)
+    if not path.exists():
+        pytest.skip(f"no golden snapshot for {scheme}")
+    assert traces[0].throughputs_bps.tolist() == golden_trace().throughputs_bps.tolist()
+    batched = run_batch_sessions(scheme, video, traces, network=GOLDEN_NETWORK)
+    archived = json.loads(path.read_text())
+    actual = batched[0].to_dict()
+    assert actual.keys() == archived.keys()
+    for key in archived:
+        assert actual[key] == archived[key], f"{scheme}: field {key!r} diverged"
+
+
+class TestSweepDispatch:
+    def test_run_comparison_identical_with_engine_disabled(
+        self, video, traces, monkeypatch
+    ):
+        schemes = ["CAVA", "RBA", "MPC"]
+        batched = run_comparison(schemes, video, traces, network=GOLDEN_NETWORK)
+        monkeypatch.setenv(DISABLE_BATCH_ENV, "1")
+        scalar = run_comparison(schemes, video, traces, network=GOLDEN_NETWORK)
+        for scheme in schemes:
+            assert batched[scheme].metrics == scalar[scheme].metrics
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_parallel_engine_identical(self, video, traces, workers, monkeypatch):
+        schemes = ["CAVA", "PANDA/CQ max-min"]
+        monkeypatch.setenv(DISABLE_BATCH_ENV, "1")
+        scalar = run_comparison(schemes, video, traces, network=GOLDEN_NETWORK)
+        monkeypatch.delenv(DISABLE_BATCH_ENV)
+        engine = ParallelSweepRunner(
+            n_workers=workers, min_parallel_sessions=0, mp_context=MP_CONTEXT
+        )
+        pooled = engine.run_comparison(schemes, video, traces, network=GOLDEN_NETWORK)
+        for scheme in schemes:
+            assert pooled[scheme].metrics == scalar[scheme].metrics
+
+
+class TestBatchAwareCosts:
+    def test_batchable_scheme_uses_amortized_cost(self):
+        spec = SweepSpec(scheme="MPC", video_key="v")
+        assert _session_cost(spec) == _BATCH_SCHEME_COSTS["MPC"]
+        assert _session_cost(spec) < _SCHEME_COSTS["MPC"]
+
+    def test_non_batchable_spec_keeps_scalar_cost(self):
+        spec = SweepSpec(
+            scheme="MPC",
+            video_key="v",
+            estimator_factory=lambda trace: HarmonicMeanEstimator(),
+        )
+        assert _session_cost(spec) == _SCHEME_COSTS["MPC"]
+
+    def test_kill_switch_restores_scalar_costs(self, monkeypatch):
+        monkeypatch.setenv(DISABLE_BATCH_ENV, "1")
+        assert _session_cost(SweepSpec(scheme="RBA", video_key="v")) == 1.0

@@ -1,0 +1,125 @@
+"""Bit-identity of the stacked batch data plane vs the scalar link.
+
+The lockstep batch engine's whole correctness story rests on
+``StackedLinks.download_finish`` producing, per lane, the exact double
+``TraceLink.download`` would: golden sweep snapshots are only an oracle
+for the trace sets they cover, so this module property-tests the
+contract over randomized traces, sizes, and start times — including the
+branches the fluid model makes interesting (zero-rate intervals, period
+wrap, interval boundaries, and the positive-duration floor).
+
+Equality below is ``==`` on float64, never approx: one ULP of drift in a
+finish time cascades into different chunk decisions downstream.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.link import MIN_DOWNLOAD_DURATION_S, StackedLinks, TraceLink
+from repro.network.traces import NetworkTrace
+
+# Throughputs mix zero-rate intervals (queued downloads) with realistic
+# rates; a trace of only zeros never delivers a bit, so at least one
+# interval must be positive.
+_rate = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e4, max_value=1e8, allow_nan=False, allow_infinity=False),
+)
+_timeline = st.lists(_rate, min_size=1, max_size=8).filter(
+    lambda rates: any(r > 0 for r in rates)
+)
+_lane = st.tuples(
+    _timeline,
+    st.floats(min_value=1.0, max_value=1e8, allow_nan=False),  # size_bits
+    st.floats(min_value=0.0, max_value=500.0, allow_nan=False),  # start_s
+)
+
+
+def _assert_stack_matches_scalar(links, sizes, starts):
+    stacked = StackedLinks(links)
+    batch = stacked.download_finish(np.asarray(sizes, float), np.asarray(starts, float))
+    scalar = [
+        link.download(size, start).finish_s
+        for link, size, start in zip(links, sizes, starts)
+    ]
+    assert batch.tolist() == scalar
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    lanes=st.lists(_lane, min_size=1, max_size=6),
+    interval_s=st.sampled_from([0.25, 0.5, 1.0, 2.0]),
+)
+def test_download_finish_bit_identical_random(lanes, interval_s):
+    links = [
+        TraceLink(NetworkTrace(f"t{i}", interval_s, np.array(rates)))
+        for i, (rates, _, _) in enumerate(lanes)
+    ]
+    sizes = [size for _, size, _ in lanes]
+    starts = [start for _, _, start in lanes]
+    _assert_stack_matches_scalar(links, sizes, starts)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    rates=_timeline,
+    size=st.floats(min_value=1.0, max_value=1e8, allow_nan=False),
+    period_count=st.integers(min_value=0, max_value=5),
+    boundary_index=st.integers(min_value=0, max_value=8),
+)
+def test_download_finish_bit_identical_at_boundaries(
+    rates, size, period_count, boundary_index
+):
+    """Starts pinned to exact interval and period boundaries.
+
+    These are where the scalar path's branch structure lives — the wrap
+    fold, the ``remainder >= period`` guard, the already-crossed branch
+    of the offset select — so the property test forces them explicitly
+    instead of hoping random floats land there.
+    """
+    interval_s = 1.0
+    link = TraceLink(NetworkTrace("b", interval_s, np.array(rates)))
+    period = len(rates) * interval_s
+    start = period_count * period + (boundary_index % len(rates)) * interval_s
+    _assert_stack_matches_scalar([link], [size], [start])
+
+
+def test_zero_rate_run_crossed_exactly():
+    # The download starts inside a zero-rate run and completes in the
+    # next positive interval: the zero-rate branch must advance to the
+    # interval end, not divide by the rate.
+    trace = NetworkTrace("z", 1.0, np.array([1e6, 0.0, 0.0, 2e6]))
+    _assert_stack_matches_scalar(
+        [TraceLink(trace)] * 3, [1.5e6, 2e6, 3e6], [0.5, 1.25, 2.0]
+    )
+
+
+def test_period_boundary_and_huge_start():
+    trace = NetworkTrace("p", 0.5, np.array([2e6, 1e6]))
+    links = [TraceLink(trace)] * 4
+    # Start exactly on a period boundary, far past the trace end, and on
+    # an interval edge; the last lane exercises the duration floor.
+    sizes = [1e6, 2.5e6, 1e6, 1e-0]
+    starts = [1.0, 1e4, 10.5, 3.0]
+    _assert_stack_matches_scalar(links, sizes, starts)
+
+
+def test_duration_floor_applies_per_lane():
+    trace = NetworkTrace("f", 1.0, np.array([1e9]))
+    links = [TraceLink(trace)] * 2
+    stacked = StackedLinks(links)
+    sizes = np.array([1.0, 1e9])
+    starts = np.array([0.0, 0.0])
+    batch = stacked.download_finish(sizes, starts)
+    assert batch[0] == links[0].download(1.0, 0.0).finish_s
+    assert batch[0] >= MIN_DOWNLOAD_DURATION_S
+    assert batch[1] == links[1].download(1e9, 0.0).finish_s
+
+
+def test_ragged_lane_widths_padding_inert():
+    # Lanes with different table widths share one padded matrix; the
+    # +inf padding must never win a crossing search for the short lane.
+    short = TraceLink(NetworkTrace("s", 1.0, np.array([1e6])))
+    long = TraceLink(NetworkTrace("l", 1.0, np.array([5e5] * 7 + [0.0])))
+    _assert_stack_matches_scalar([short, long], [3e6, 4.2e6], [0.75, 6.5])

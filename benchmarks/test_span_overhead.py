@@ -1,0 +1,129 @@
+"""Spans-off overhead gate: tracing must cost nothing when disabled.
+
+The observability plane's hard requirement is a zero-overhead default:
+every instrumented call site is a single ``is None`` test when no tracer
+is attached, and the lockstep loop's stage brackets are one boolean
+branch per stage per step. This benchmark measures the same seeded sweep
+three ways —
+
+- **plain**: the serial runner, no engine, no telemetry (the historical
+  baseline path);
+- **spans-off**: through the sweep engine with ``tracer=None`` (the
+  default every user gets);
+- **spans-on**: through the engine with a live tracer, for the record.
+
+— asserts bit-identity across all three, writes the numbers into
+``BENCH_span_overhead.json``, and fails if the spans-off path is more
+than ``REPRO_SPAN_OVERHEAD_TOLERANCE`` slower than plain (default 10%
+for small local grids where the engine's fixed setup cost dominates;
+CI runs a 96-trace grid at 2% and additionally cross-checks the rate
+against the same-run ``BENCH_sweep.json`` serial baseline).
+
+Scale knob: ``REPRO_BENCH_SPAN_TRACES`` (default 48).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.hotpath import bench_environment, pin_single_threaded
+from repro.experiments.parallel import ParallelSweepRunner
+from repro.experiments.runner import run_comparison
+from repro.network.traces import synthesize_lte_traces
+from repro.telemetry.spans import SpanTracer
+from repro.video.dataset import build_video, standard_dataset_specs
+
+pin_single_threaded()
+
+SEED = 0
+SCHEMES = ("CAVA", "RBA")
+GRID_TRACES = int(os.environ.get("REPRO_BENCH_SPAN_TRACES", "48"))
+TOLERANCE = float(os.environ.get("REPRO_SPAN_OVERHEAD_TOLERANCE", "0.10"))
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_span_overhead.json"
+
+
+def _video():
+    spec = next(
+        s for s in standard_dataset_specs() if s.name == "ED-ffmpeg-h264"
+    )
+    return build_video(spec, seed=SEED)
+
+
+def _timed(fn, repeats=3):
+    """Best-of-``repeats`` (elapsed seconds, result) for a sweep call."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, result = elapsed, out
+    return best, result
+
+
+def test_spans_off_overhead_gate():
+    video = _video()
+    traces = synthesize_lte_traces(count=GRID_TRACES, seed=SEED)
+    sessions = len(SCHEMES) * len(traces)
+
+    def plain():
+        return run_comparison(list(SCHEMES), video, traces)
+
+    def spans_off():
+        engine = ParallelSweepRunner(n_workers=1)
+        return engine.run_comparison(list(SCHEMES), video, traces)
+
+    def spans_on():
+        engine = ParallelSweepRunner(n_workers=1, tracer=SpanTracer("scheduler"))
+        return engine.run_comparison(list(SCHEMES), video, traces)
+
+    plain()  # warm caches (classifier, planner tables) outside timing
+    plain_s, plain_results = _timed(plain)
+    off_s, off_results = _timed(spans_off)
+    on_s, on_results = _timed(spans_on)
+
+    # Hard requirement #1: results are bit-identical all three ways.
+    for scheme in SCHEMES:
+        assert off_results[scheme].metrics == plain_results[scheme].metrics
+        assert on_results[scheme].metrics == plain_results[scheme].metrics
+
+    record = {
+        "benchmark": "span_overhead",
+        "grid": {
+            "video": video.name,
+            "schemes": list(SCHEMES),
+            "traces": GRID_TRACES,
+            "sessions": sessions,
+            "seed": SEED,
+        },
+        "environment": bench_environment(),
+        "targets": {
+            "plain_serial": {
+                "elapsed_s": round(plain_s, 4),
+                "sessions_per_s": round(sessions / plain_s, 2),
+            },
+            "engine_spans_off": {
+                "elapsed_s": round(off_s, 4),
+                "sessions_per_s": round(sessions / off_s, 2),
+                "overhead_vs_plain": round(off_s / plain_s - 1.0, 4),
+            },
+            "engine_spans_on": {
+                "elapsed_s": round(on_s, 4),
+                "sessions_per_s": round(sessions / on_s, 2),
+                "overhead_vs_plain": round(on_s / plain_s - 1.0, 4),
+            },
+        },
+        "tolerance": TOLERANCE,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record["targets"], indent=2))
+
+    # Hard requirement #2: the disabled path costs nothing measurable.
+    overhead = off_s / plain_s - 1.0
+    assert overhead <= TOLERANCE, (
+        f"spans-off engine path is {overhead * 100:.1f}% slower than the "
+        f"plain serial runner (tolerance {TOLERANCE * 100:.0f}%)"
+    )

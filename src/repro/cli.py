@@ -14,6 +14,9 @@ Subcommands:
                        the session event timeline);
 - ``compare``        — the §6.3 comparison across schemes and traces
                        (``--metrics-out`` dumps sweep telemetry);
+- ``top``            — live terminal dashboard for a sweep started with
+                       ``--metrics-dir`` (progress, rate, ETA, per-scheme
+                       stage breakdown);
 - ``trace``          — replay one session with controller tracing on and
                        print the per-chunk timeline (target buffer, PID
                        error, estimated vs realized bandwidth, quartile);
@@ -39,6 +42,15 @@ content-addressed session store: previously computed sessions are read
 back bit-identically instead of re-run, so a repeated comparison is
 nearly free. ``--no-cache`` ignores the store for one invocation with no
 other behavior change.
+
+The observability plane rides the same two subcommands: ``--profile
+out.json`` records a stitched cross-process span timeline as Chrome
+trace-event JSON (load it in Perfetto or ``chrome://tracing``), and
+``compare`` additionally takes ``--serve-metrics PORT`` (live Prometheus
+scrape endpoint, with background RSS/CPU sampling) and ``--metrics-dir
+PATH`` (streams ``progress.json`` for ``repro top``). All of it is
+opt-in: without these flags no tracer, sampler, or board exists and
+results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -70,9 +82,16 @@ from repro.player.metrics import metric_for_network
 from repro.player.session import run_session
 from repro.telemetry import (
     MetricsRegistry,
+    MetricsServer,
+    ProgressBoard,
+    ResourceSampler,
+    SpanTracer,
+    load_progress,
     registry_to_prometheus,
     render_controller_timeline,
+    render_top,
     trace_session,
+    write_chrome_trace,
 )
 from repro.video.dataset import (
     build_video,
@@ -213,10 +232,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     traces = _make_traces(args.network, args.trace_index + 1, args.seed)
     trace = traces[args.trace_index]
     plan = _fault_plan_arg(args)
+    tracer = SpanTracer("scheduler") if args.profile else None
     engine = ParallelSweepRunner(
-        n_workers=_workers_arg(args), fault_plan=plan, store=_store_arg(args)
+        n_workers=_workers_arg(args), fault_plan=plan, store=_store_arg(args),
+        tracer=tracer,
     )
     sweep = engine.run_scheme(scheme, video, [trace], args.network)
+    if tracer is not None:
+        path = write_chrome_trace(tracer.spans, args.profile)
+        print(f"wrote Chrome trace to {path} (open in Perfetto / chrome://tracing)")
     metrics = sweep.metrics[0]
     print(f"{scheme} on {video.name} over {trace.name} "
           f"(mean {trace.mean_bps / 1e6:.2f} Mbps):")
@@ -264,14 +288,36 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     video = _build_named_video(args.video, args.seed)
     traces = _make_traces(args.network, args.traces, args.seed)
-    registry = MetricsRegistry() if args.metrics_out else None
-    plan = _fault_plan_arg(args)
-    results = run_comparison(
-        args.schemes, video, traces, args.network,
-        n_workers=_workers_arg(args), registry=registry,
-        fault_plan=plan, on_error=args.on_error, max_retries=args.max_retries,
-        store=_store_arg(args),
+    # A registry backs every metrics surface: the --metrics-out dump,
+    # the --serve-metrics scrape endpoint, and the resource time series
+    # that feed both the dashboard and the Chrome-trace counter lanes.
+    want_registry = bool(
+        args.metrics_out or args.serve_metrics is not None or args.metrics_dir
     )
+    registry = MetricsRegistry() if want_registry else None
+    tracer = SpanTracer("scheduler") if args.profile else None
+    board = ProgressBoard(args.metrics_dir) if args.metrics_dir else None
+    plan = _fault_plan_arg(args)
+    server = sampler = None
+    if args.serve_metrics is not None:
+        server = MetricsServer(registry, port=args.serve_metrics).start()
+        print(f"serving Prometheus metrics at {server.url}")
+    if registry is not None:
+        sampler = ResourceSampler(registry).start()
+    try:
+        results = run_comparison(
+            args.schemes, video, traces, args.network,
+            n_workers=_workers_arg(args), registry=registry,
+            fault_plan=plan, on_error=args.on_error, max_retries=args.max_retries,
+            store=_store_arg(args), tracer=tracer, progress=board,
+        )
+    finally:
+        if sampler is not None:
+            sampler.stop()
+        if board is not None:
+            board.close()
+        if server is not None:
+            server.stop()
     rows = []
     for scheme in args.schemes:
         sweep = results[scheme]
@@ -299,11 +345,37 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(f"{len(failures)} work unit(s) dropped (--on-error={args.on_error}):")
         for failed in failures:
             print(f"  {failed}")
-    if registry is not None:
+    if args.metrics_out:
         path = Path(args.metrics_out)
         path.write_text(registry_to_prometheus(registry))
         print(f"wrote sweep metrics to {path}")
+    if tracer is not None:
+        path = write_chrome_trace(tracer.spans, args.profile, registry)
+        print(f"wrote Chrome trace to {path} (open in Perfetto / chrome://tracing)")
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    while True:
+        progress = load_progress(args.metrics_dir)
+        if progress is None:
+            frame = f"waiting for {args.metrics_dir}/progress.json ...\n"
+        else:
+            frame = render_top(progress)
+        if args.once:
+            print(frame)
+            return 0
+        # ANSI clear + home, then the frame: a flicker-free live board.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        if progress is not None and progress.get("phase") in ("merged", "done"):
+            return 0
+        try:
+            time.sleep(args.refresh)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -485,6 +557,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reuse/populate a content-addressed session store")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore --cache-dir for this invocation")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="write a Chrome trace of the run (open in Perfetto)")
 
     p = commands.add_parser(
         "trace", help="replay one session with controller tracing on"
@@ -522,6 +596,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reuse/populate a content-addressed session store")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore --cache-dir for this invocation")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="write a Chrome trace of the sweep (open in Perfetto)")
+    p.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                   help="serve live Prometheus metrics over HTTP during the "
+                        "sweep (0 picks an ephemeral port)")
+    p.add_argument("--metrics-dir", default=None, metavar="PATH",
+                   help="stream live progress for `repro top` to this directory")
+
+    p = commands.add_parser(
+        "top", help="live dashboard for a sweep started with --metrics-dir"
+    )
+    p.add_argument("metrics_dir", help="the sweep's --metrics-dir directory")
+    p.add_argument("--refresh", type=float, default=1.0,
+                   help="seconds between dashboard refreshes (default 1)")
+    p.add_argument("--once", action="store_true",
+                   help="print a single frame and exit")
 
     p = commands.add_parser(
         "bench", help="run hot-path microbenchmarks, write BENCH_hotpath.json"
@@ -568,6 +658,7 @@ _HANDLERS = {
     "run": cmd_run,
     "trace": cmd_trace,
     "compare": cmd_compare,
+    "top": cmd_top,
     "bench": cmd_bench,
     "cache": cmd_cache,
     "schemes": cmd_schemes,

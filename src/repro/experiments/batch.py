@@ -22,6 +22,7 @@ for the equality tests themselves.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
@@ -38,6 +39,7 @@ from repro.video.model import VideoAsset
 
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
+    from repro.telemetry.spans import StageTimer
 
 __all__ = [
     "BatchCapability",
@@ -146,6 +148,7 @@ def run_batch_sessions(
     cache: Optional[ArtifactCache] = None,
     algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None,
     max_lanes: Optional[int] = None,
+    stage_timer: Optional[StageTimer] = None,
 ) -> Optional[List[SessionResult]]:
     """Run one (scheme, video) pair over ``traces`` on the batch engine.
 
@@ -156,11 +159,20 @@ def run_batch_sessions(
     slices (:data:`PLANNER_LANE_CAP` / :data:`DEFAULT_LANE_CAP`) with a
     fresh decider per slice, bounding trellis scratch memory; slicing
     never changes results because lanes are independent.
+
+    ``stage_timer`` (optional) accumulates the engine's stage costs:
+    ``batch.prepare`` (manifest/decider/link construction here) plus the
+    lockstep loop's estimate/decide/advance stages. Zero overhead when
+    ``None``; results are identical either way.
     """
     if not traces:
         raise ValueError("need at least one trace")
     if cache is None:
         cache = ArtifactCache()
+    timed = stage_timer is not None
+    if timed:
+        w0 = time.perf_counter()
+        c0 = time.process_time()
     metric = metric_for_network(network)
     include_quality = needs_quality_manifest(scheme)
     manifest = cache.manifest(video, include_quality)
@@ -169,17 +181,33 @@ def run_batch_sessions(
     else:
         algorithm = make_scheme(scheme, metric=metric)
     cap = _lane_cap(algorithm, max_lanes)
+    if timed:
+        stage_timer.add(
+            "batch.prepare", time.perf_counter() - w0, time.process_time() - c0
+        )
 
     results: List[SessionResult] = []
     for start in range(0, len(traces), cap):
+        if timed:
+            w0 = time.perf_counter()
+            c0 = time.process_time()
         chunk = traces[start : start + cap]
         decider = algorithm.batch_decider(manifest, len(chunk))
         if decider is None:
             return None
         links = StackedLinks([cache.link(trace) for trace in chunk])
+        if timed:
+            stage_timer.add(
+                "batch.prepare", time.perf_counter() - w0, time.process_time() - c0
+            )
         results.extend(
             run_lockstep_sessions(
-                algorithm.name, manifest, decider, links, config
+                algorithm.name,
+                manifest,
+                decider,
+                links,
+                config,
+                stage_timer=stage_timer,
             )
         )
     return results
@@ -194,6 +222,7 @@ def run_batch_metrics(
     cache: Optional[ArtifactCache] = None,
     algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None,
     max_lanes: Optional[int] = None,
+    stage_timer: Optional[StageTimer] = None,
 ) -> Optional[List[SessionMetrics]]:
     """:func:`run_batch_sessions` summarized to :class:`SessionMetrics`.
 
@@ -204,7 +233,15 @@ def run_batch_metrics(
     if cache is None:
         cache = ArtifactCache()
     outcomes = run_batch_sessions(
-        scheme, video, traces, network, config, cache, algorithm_factory, max_lanes
+        scheme,
+        video,
+        traces,
+        network,
+        config,
+        cache,
+        algorithm_factory,
+        max_lanes,
+        stage_timer=stage_timer,
     )
     if outcomes is None:
         return None

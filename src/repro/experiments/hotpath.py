@@ -5,7 +5,11 @@ select + link download + buffer bookkeeping)``; this module times each
 of those stages in isolation (ns/op) plus full sessions and the two
 reference sweep grids (sessions/s), and emits a ``BENCH_hotpath.json``
 record mirroring the ``BENCH_sweep.json`` schema — grid, environment,
-per-target numbers — so successive PRs compare like-for-like.
+per-target numbers — so successive PRs compare like-for-like. Batch
+targets additionally contribute a ``spans`` block (per-target
+prepare/estimate/decide/advance stage breakdown, from an instrumented
+warmup pass) so ``repro bench --json`` shows *where* batch time goes,
+not just how much there is.
 
 The record doubles as a **perf-regression gate**: CI re-runs the suite
 and calls :func:`compare_to_baseline` against the checked-in record,
@@ -33,7 +37,7 @@ import platform
 import subprocess
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +51,7 @@ from repro.network.link import TraceLink
 from repro.network.traces import synthesize_lte_traces
 from repro.player.metrics import metric_for_network
 from repro.player.session import SessionConfig, StreamingSession
+from repro.telemetry.spans import StageTimer
 from repro.video.dataset import build_video, standard_dataset_specs
 
 __all__ = [
@@ -275,10 +280,23 @@ def _bench_sweep(schemes, video, traces) -> Dict[str, float]:
 
 def _bench_session_batch(
     scheme: str, video, traces, cache: ArtifactCache
-) -> Dict[str, float]:
-    """Lockstep batch-engine throughput for one (scheme, trace-set)."""
+) -> Tuple[Dict[str, float], Dict[str, Dict[str, float]]]:
+    """Lockstep batch-engine throughput for one (scheme, trace-set).
+
+    Returns ``(stats, stage breakdown)``. The breakdown (prepare /
+    estimate / decide / advance wall+CPU totals) is taken from the
+    *warmup* pass with a :class:`~repro.telemetry.spans.StageTimer`
+    attached, so the timed measurement itself runs uninstrumented —
+    the proportions are what the record's ``spans`` block reports.
+    """
+    timer = StageTimer()
     warm = traces[: max(1, len(traces) // 8)]
-    if run_batch_sessions(scheme, video, warm, BENCH_NETWORK, cache=cache) is None:
+    if (
+        run_batch_sessions(
+            scheme, video, warm, BENCH_NETWORK, cache=cache, stage_timer=timer
+        )
+        is None
+    ):
         raise RuntimeError(f"{scheme!r} declined the batch engine")
     with _quiesced_gc():
         start = time.perf_counter()
@@ -286,14 +304,19 @@ def _bench_session_batch(
         elapsed = time.perf_counter() - start
     if out is None:
         raise RuntimeError(f"{scheme!r} declined the batch engine")
-    return {
-        "elapsed_s": round(elapsed, 4),
-        "sessions": len(traces),
-        "sessions_per_s": round(len(traces) / elapsed, 2),
-    }
+    return (
+        {
+            "elapsed_s": round(elapsed, 4),
+            "sessions": len(traces),
+            "sessions_per_s": round(len(traces) / elapsed, 2),
+        },
+        timer.as_dict(),
+    )
 
 
-def _bench_sweep_batch(groups, video) -> Dict[str, float]:
+def _bench_sweep_batch(
+    groups, video
+) -> Tuple[Dict[str, float], Dict[str, Dict[str, float]]]:
     """Aggregate batch-engine sweep throughput over scheme/trace groups.
 
     ``groups`` is a sequence of ``(schemes, traces)`` pairs so cheap
@@ -301,13 +324,20 @@ def _bench_sweep_batch(groups, video) -> Dict[str, float]:
     MPC-sized trace set, mirroring the scalar ``sweep_*`` grids. One
     :class:`ArtifactCache` is shared across the whole grid (as
     ``run_comparison`` shares one), so per-trace link tables are built
-    once, not once per scheme.
+    once, not once per scheme. The returned stage breakdown comes from
+    the warmup pass (see :func:`_bench_session_batch`).
     """
     cache = ArtifactCache()
+    timer = StageTimer()
     for schemes, traces in groups:  # warmup: planner/candidate tables, links
         warm = traces[: max(1, len(traces) // 10)]
         for scheme in schemes:
-            if run_batch_metrics(scheme, video, warm, BENCH_NETWORK, cache=cache) is None:
+            if (
+                run_batch_metrics(
+                    scheme, video, warm, BENCH_NETWORK, cache=cache, stage_timer=timer
+                )
+                is None
+            ):
                 raise RuntimeError(f"{scheme!r} declined the batch engine")
     sessions = sum(len(schemes) * len(traces) for schemes, traces in groups)
     with _quiesced_gc():
@@ -316,11 +346,14 @@ def _bench_sweep_batch(groups, video) -> Dict[str, float]:
             for scheme in schemes:
                 run_batch_metrics(scheme, video, traces, BENCH_NETWORK, cache=cache)
         elapsed = time.perf_counter() - start
-    return {
-        "elapsed_s": round(elapsed, 4),
-        "sessions": sessions,
-        "sessions_per_s": round(sessions / elapsed, 2),
-    }
+    return (
+        {
+            "elapsed_s": round(elapsed, 4),
+            "sessions": sessions,
+            "sessions_per_s": round(sessions / elapsed, 2),
+        },
+        timer.as_dict(),
+    )
 
 
 def run_hotpath_benchmarks(
@@ -362,22 +395,25 @@ def run_hotpath_benchmarks(
     )
     targets["sweep_mpc"] = _bench_sweep(MPC_SCHEMES, video, traces[:mpc_traces])
 
-    # Lockstep batch engine: per-scheme lanes and the two aggregate grids.
+    # Lockstep batch engine: per-scheme lanes and the two aggregate
+    # grids. Each batch target also contributes a stage breakdown
+    # (warmup-pass StageTimer) to the record's ``spans`` block.
+    spans: Dict[str, Dict[str, Dict[str, float]]] = {}
     batch_cache = ArtifactCache()
-    targets["session_batch/CAVA"] = _bench_session_batch(
+    targets["session_batch/CAVA"], spans["session_batch/CAVA"] = _bench_session_batch(
         "CAVA", video, traces[:batch_traces], batch_cache
     )
-    targets["session_batch/MPC"] = _bench_session_batch(
+    targets["session_batch/MPC"], spans["session_batch/MPC"] = _bench_session_batch(
         "MPC", video, traces[:mpc_traces], batch_cache
     )
-    targets["sweep_batch"] = _bench_sweep_batch(
+    targets["sweep_batch"], spans["sweep_batch"] = _bench_sweep_batch(
         [
             (BATCH_CHEAP_SCHEMES, traces[:sweep_traces]),
             (BATCH_PLANNER_SCHEMES, traces[:mpc_traces]),
         ],
         video,
     )
-    targets["sweep_batch_cheap"] = _bench_sweep_batch(
+    targets["sweep_batch_cheap"], spans["sweep_batch_cheap"] = _bench_sweep_batch(
         [(BATCH_CHEAP_SCHEMES, traces[:batch_traces])], video
     )
 
@@ -397,6 +433,7 @@ def run_hotpath_benchmarks(
         },
         "environment": bench_environment(),
         "targets": targets,
+        "spans": spans,
     }
 
 

@@ -49,7 +49,13 @@ Design points:
   hits/misses; workers ship per-unit snapshots back with their results
   and the parent merges them in submission order. Snapshots come back
   even from *failed* units, so failure telemetry is never undercounted.
-  No registry, no overhead.
+  Attach a :class:`~repro.telemetry.spans.SpanTracer` and the engine
+  additionally records a stitched run timeline: scheduler phases on the
+  scheduler's track plus every worker's per-unit spans (down to the
+  batch engine's aggregate estimate/decide/advance stage costs),
+  exportable as a Chrome trace. A
+  :class:`~repro.telemetry.pipeline.ProgressBoard` streams live
+  progress for ``repro top``. No registry/tracer/board, no overhead.
 - **Failure policy.** ``on_error`` selects what a failed work unit does
   to the sweep: ``"raise"`` (default) aborts with a
   :class:`SweepWorkerError` naming the failing (scheme, video, trace)
@@ -80,6 +86,7 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import (
@@ -113,14 +120,32 @@ from repro.telemetry.metrics import (
     SHM_ATTACHED_WORKERS_METRIC,
     SHM_BLOCKS_METRIC,
     SHM_BYTES_METRIC,
+    SHM_PUBLISH_SECONDS_METRIC,
     STORE_BYTES_READ_METRIC,
     STORE_BYTES_WRITTEN_METRIC,
     STORE_CORRUPT_METRIC,
     STORE_HITS_METRIC,
+    STORE_LOOKUP_SECONDS_METRIC,
     STORE_MISSES_METRIC,
     STORE_UNCACHEABLE_METRIC,
+    STORE_WRITE_SECONDS_METRIC,
     MetricsRegistry,
 )
+from repro.telemetry.pipeline import (
+    SPAN_POOL_SPAWN,
+    SPAN_SESSION_SCALAR,
+    SPAN_SHM_ATTACH,
+    SPAN_SHM_PUBLISH,
+    SPAN_STORE_PARTITION,
+    SPAN_SWEEP_DRAIN,
+    SPAN_SWEEP_MERGE,
+    SPAN_SWEEP_PLAN,
+    SPAN_UNIT_BATCH,
+    SPAN_UNIT_RUN,
+    ProgressBoard,
+    stage_breakdown,
+)
+from repro.telemetry.spans import SpanTracer, StageTimer, maybe_span
 from repro.video.model import VideoAsset
 
 __all__ = [
@@ -240,6 +265,7 @@ def _init_worker(
         ]
     ] = None,
     plane_manifest: Optional[PlaneManifest] = None,
+    spans: bool = False,
 ) -> None:
     """Pool initializer: pin shared assets and a fresh artifact cache.
 
@@ -251,13 +277,25 @@ def _init_worker(
     list; perturbation happened once in the parent, so workers never
     rebuild faulted timelines. Specs ship here once, so tasks can refer
     to them by index.
+
+    ``spans`` turns on per-unit span tracing: each task records into a
+    fresh :class:`~repro.telemetry.spans.SpanTracer` whose snapshot
+    ships back with the unit result for the scheduler to stitch.
     """
     if plane_manifest is not None:
+        attach_wall0 = time.time()
+        attach_t0 = time.perf_counter()
         videos, traces_by_plan, shm = attach_plane(plane_manifest)
         # The views alias shm's buffer: keep the mapping alive for the
         # worker's lifetime and close it at process exit.
         _WORKER_STATE["shm"] = shm
         _WORKER_STATE["shm_attach_pending"] = True
+        # No tracer exists yet (one is built per unit); the first traced
+        # unit replays this pre-measured attach into its span list.
+        _WORKER_STATE["shm_attach_info"] = (
+            attach_wall0,
+            time.perf_counter() - attach_t0,
+        )
         atexit.register(shm.close)
     else:
         assert inline_assets is not None
@@ -270,6 +308,7 @@ def _init_worker(
     _WORKER_STATE["config"] = config
     _WORKER_STATE["cache"] = ArtifactCache()
     _WORKER_STATE["telemetry"] = telemetry
+    _WORKER_STATE["spans"] = spans
 
 
 def _record_unit(
@@ -303,13 +342,17 @@ def _sweep_batch(
     config: SessionConfig,
     cache: ArtifactCache,
     registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
 ) -> List[SessionMetrics]:
     """Run one spec over a contiguous trace batch; identify any failure.
 
     ``registry`` (optional) receives the unit's telemetry: sessions
     completed/failed, wall time, and the artifact-cache hit/miss delta —
     recorded even when the unit fails, so partial progress is counted.
-    Results are identical with or without it.
+    ``tracer`` (optional) records the unit's span hierarchy: the batch
+    engine's run plus its aggregate estimate/decide/advance stage costs,
+    or one span per scalar session on the fallback path. Results are
+    identical with or without either.
 
     Batchable multi-trace units run on the lockstep batch engine
     (:mod:`repro.experiments.batch`) — bit-identical results, one
@@ -327,16 +370,29 @@ def _sweep_batch(
         estimator_factory=spec.estimator_factory,
         fault_plan=spec.fault_plan,
     ):
+        stage_timer = StageTimer() if tracer is not None else None
         try:
-            batched = run_batch_metrics(
-                spec.scheme,
-                video,
-                batch,
-                spec.network,
-                config,
-                cache,
-                spec.algorithm_factory,
-            )
+            with maybe_span(
+                tracer,
+                SPAN_UNIT_BATCH,
+                cat="unit",
+                scheme=spec.describe(),
+                lanes=len(batch),
+            ):
+                batched = run_batch_metrics(
+                    spec.scheme,
+                    video,
+                    batch,
+                    spec.network,
+                    config,
+                    cache,
+                    spec.algorithm_factory,
+                    stage_timer=stage_timer,
+                )
+                if tracer is not None and batched is not None:
+                    # Aggregate stage spans nest under the open
+                    # unit.batch span (one span per stage, not per step).
+                    tracer.record_stages(stage_timer, scheme=spec.describe())
         except Exception:  # noqa: BLE001 - scalar loop is the oracle
             batched = None
         if batched is not None:
@@ -353,19 +409,22 @@ def _sweep_batch(
             return batched
     for trace in batch:
         try:
-            out.append(
-                run_one_session(
-                    spec.scheme,
-                    video,
-                    trace,
-                    spec.network,
-                    config,
-                    spec.estimator_factory,
-                    spec.algorithm_factory,
-                    cache,
-                    fault_plan=spec.fault_plan,
+            with maybe_span(
+                tracer, SPAN_SESSION_SCALAR, cat="session", trace=trace.name
+            ):
+                out.append(
+                    run_one_session(
+                        spec.scheme,
+                        video,
+                        trace,
+                        spec.network,
+                        config,
+                        spec.estimator_factory,
+                        spec.algorithm_factory,
+                        cache,
+                        fault_plan=spec.fault_plan,
+                    )
                 )
-            )
         except Exception as exc:
             if registry is not None:
                 stats_after = cache.stats
@@ -400,14 +459,17 @@ def _run_batch_in_worker(spec_idx: int, start: int, stop: int):
     The whole per-task payload is three integers — the spec reference
     and the batch bounds; specs and assets were pinned by
     :func:`_init_worker` (shared-memory views on the zero-copy path).
-    Returns ``(metrics, snapshot, error)``. A session failure comes back
-    as an ``error`` *value* (a :class:`SweepWorkerError`), never an
-    exception, so the unit's telemetry ``snapshot`` — covering the
-    sessions that completed before the failure, and the failure itself —
-    always reaches the parent. ``snapshot`` is a per-unit
+    Returns ``(metrics, snapshot, error, spans)``. A session failure
+    comes back as an ``error`` *value* (a :class:`SweepWorkerError`),
+    never an exception, so the unit's telemetry ``snapshot`` — covering
+    the sessions that completed before the failure, and the failure
+    itself — always reaches the parent. ``snapshot`` is a per-unit
     :meth:`MetricsRegistry.snapshot` when sweep telemetry is on, else
     None; per-unit (not per-worker) registries keep the parent's merge
-    simple and double-count-proof.
+    simple and double-count-proof. ``spans`` is likewise a per-unit
+    :meth:`SpanTracer.snapshot` (span tracing on) or None — and it too
+    survives a failed unit: the unit span closes with an ``error``
+    annotation and ships back with the :class:`SweepWorkerError`.
     """
     spec: SweepSpec = _WORKER_STATE["specs"][spec_idx]  # type: ignore[index]
     videos: Mapping[str, VideoAsset] = _WORKER_STATE["videos"]  # type: ignore[assignment]
@@ -423,14 +485,50 @@ def _run_batch_in_worker(spec_idx: int, start: int, stop: int):
         registry.counter(
             SHM_ATTACHED_WORKERS_METRIC, "workers attached to the shm data plane"
         ).inc()
+    tracer = (
+        SpanTracer(f"worker-{os.getpid()}") if _WORKER_STATE.get("spans") else None
+    )
+    if tracer is not None:
+        attach_info = _WORKER_STATE.pop("shm_attach_info", None)
+        if attach_info is not None:
+            # Exactly once per worker: replay the initializer's
+            # pre-measured shm attach into the first traced unit.
+            tracer.record(
+                SPAN_SHM_ATTACH, attach_info[0], attach_info[1], cat="worker"
+            )
     traces = traces_by_plan[spec.fault_plan]
     try:
-        metrics = _sweep_batch(
-            spec, videos[spec.video_key], traces[start:stop], config, cache, registry
-        )
+        with maybe_span(
+            tracer,
+            SPAN_UNIT_RUN,
+            cat="unit",
+            scheme=spec.describe(),
+            video=spec.video_key,
+            start=start,
+            stop=stop,
+        ):
+            metrics = _sweep_batch(
+                spec,
+                videos[spec.video_key],
+                traces[start:stop],
+                config,
+                cache,
+                registry,
+                tracer,
+            )
     except SweepWorkerError as exc:
-        return None, (registry.snapshot() if registry is not None else None), exc
-    return metrics, (registry.snapshot() if registry is not None else None), None
+        return (
+            None,
+            (registry.snapshot() if registry is not None else None),
+            exc,
+            (tracer.snapshot() if tracer is not None else None),
+        )
+    return (
+        metrics,
+        (registry.snapshot() if registry is not None else None),
+        None,
+        (tracer.snapshot() if tracer is not None else None),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -577,6 +675,21 @@ class ParallelSweepRunner:
         pool runs (default). Disable to force inline initializer
         pickling; results are identical either way, and the engine falls
         back automatically when shared memory is unavailable.
+    tracer:
+        Optional :class:`~repro.telemetry.spans.SpanTracer` the sweep
+        records its run timeline into: scheduler phases (plan, store
+        partition, shm publish, pool spawn, drain, merge) on the
+        scheduler's own track, plus every worker's per-unit spans —
+        recorded worker-side, shipped back with unit results, and
+        stitched here keyed by (worker track, unit order, stage).
+        Export with :func:`~repro.telemetry.pipeline.chrome_trace`.
+        ``None`` (the default) records nothing and costs one ``is None``
+        test per instrumented site; results are bit-identical either
+        way.
+    progress:
+        Optional :class:`~repro.telemetry.pipeline.ProgressBoard` the
+        engine feeds live progress (units done/failed, sessions
+        completed/cached, per-scheme breakdown) for ``repro top``.
     """
 
     def __init__(
@@ -591,6 +704,8 @@ class ParallelSweepRunner:
         fault_plan: Optional[FaultPlan] = None,
         store: Optional[SessionStore] = None,
         use_shared_memory: bool = True,
+        tracer: Optional[SpanTracer] = None,
+        progress: Optional[ProgressBoard] = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1 or None, got {n_workers}")
@@ -614,6 +729,8 @@ class ParallelSweepRunner:
         self.fault_plan = fault_plan
         self.store = store
         self.use_shared_memory = use_shared_memory
+        self.tracer = tracer
+        self.progress = progress
 
     # -- sizing ---------------------------------------------------------
 
@@ -717,16 +834,25 @@ class ParallelSweepRunner:
                     f"spec {spec.describe()!r} references unknown video "
                     f"{spec.video_key!r}; known: {sorted(videos)}"
                 )
-        traces_by_plan = self._perturbed_traces(specs, traces)
+        tracer = self.tracer
+        with maybe_span(
+            tracer, SPAN_SWEEP_PLAN, cat="sched", specs=len(specs), traces=len(traces)
+        ):
+            traces_by_plan = self._perturbed_traces(specs, traces)
         store_before = (
             self.store.stats
             if (self.store is not None and self.registry is not None)
             else None
         )
         try:
-            cached, keys, runs = self._partition_specs(
-                specs, videos, traces_by_plan, config
-            )
+            with maybe_span(tracer, SPAN_STORE_PARTITION, cat="sched") as part_span:
+                cached, keys, runs = self._partition_specs(
+                    specs, videos, traces_by_plan, config
+                )
+                part_span.annotate(
+                    cached_sessions=sum(len(c) for c in cached),
+                    missing_runs=sum(len(r) for r in runs),
+                )
             workers = self.resolved_workers()
             pending_sessions = sum(
                 stop - start for spec_runs in runs for start, stop in spec_runs
@@ -789,12 +915,16 @@ class ParallelSweepRunner:
                 continue
             keys[spec_idx] = spec_keys
             missing: List[int] = []
-            for trace_idx, key in enumerate(spec_keys):
-                metrics = self.store.get(key)
-                if metrics is None:
-                    missing.append(trace_idx)
-                else:
-                    cached[spec_idx][trace_idx] = metrics
+            with self._timed(
+                STORE_LOOKUP_SECONDS_METRIC,
+                "session-store lookup scan per spec (seconds)",
+            ):
+                for trace_idx, key in enumerate(spec_keys):
+                    metrics = self.store.get(key)
+                    if metrics is None:
+                        missing.append(trace_idx)
+                    else:
+                        cached[spec_idx][trace_idx] = metrics
             runs.append(_contiguous_runs(missing))
         return cached, keys, runs
 
@@ -807,8 +937,12 @@ class ParallelSweepRunner:
         """Write one completed unit's sessions back to the store."""
         if self.store is None or keys is None:
             return
-        for offset, metric in enumerate(metrics):
-            self.store.put(keys[start + offset], metric)
+        with self._timed(
+            STORE_WRITE_SECONDS_METRIC,
+            "session-store write-back per unit (seconds)",
+        ):
+            for offset, metric in enumerate(metrics):
+                self.store.put(keys[start + offset], metric)
 
     def _fold_store_stats(self, before) -> None:
         """Fold the store's counter deltas for this run into the registry."""
@@ -835,6 +969,18 @@ class ParallelSweepRunner:
         ):
             if delta:
                 registry.counter(name, help_text).inc(delta)
+
+    # -- telemetry plumbing --------------------------------------------
+
+    def _timed(self, name: str, help_text: str):
+        """``registry.timer(...)`` when telemetry is on, else a no-op CM."""
+        if self.registry is None:
+            return nullcontext()
+        return self.registry.timer(name, help_text)
+
+    def _progress_update(self, force: bool = False, **fields) -> None:
+        if self.progress is not None:
+            self.progress.update(force=force, **fields)
 
     # -- failure-policy plumbing ---------------------------------------
 
@@ -884,6 +1030,21 @@ class ParallelSweepRunner:
         if self.registry is not None:
             self.registry.gauge(WORKERS_METRIC, "sweep worker processes").set(1)
         cache = ArtifactCache()
+        total_units = sum(len(spec_runs) for spec_runs in runs)
+        done_units = failed_units = completed_sessions = 0
+        self._progress_update(
+            force=True,
+            phase="running",
+            workers=1,
+            total_units=total_units,
+            done_units=0,
+            failed_units=0,
+            total_sessions=sum(
+                len(traces_by_plan[spec.fault_plan]) for spec in specs
+            ),
+            completed_sessions=0,
+            cached_sessions=sum(len(spec_cached) for spec_cached in cached),
+        )
         results = []
         for spec_idx, spec in enumerate(specs):
             video = videos[spec.video_key]
@@ -903,16 +1064,34 @@ class ParallelSweepRunner:
                 while True:
                     attempts += 1
                     try:
-                        run_metrics = _sweep_batch(
-                            spec,
-                            video,
-                            traces[rstart:rstop],
-                            config,
-                            cache,
-                            self.registry,
-                        )
+                        # The same unit.run span the pool workers record,
+                        # so serial and pooled traces share one shape.
+                        with maybe_span(
+                            self.tracer,
+                            SPAN_UNIT_RUN,
+                            cat="unit",
+                            scheme=spec.describe(),
+                            video=spec.video_key,
+                            start=rstart,
+                            stop=rstop,
+                        ):
+                            run_metrics = _sweep_batch(
+                                spec,
+                                video,
+                                traces[rstart:rstop],
+                                config,
+                                cache,
+                                self.registry,
+                                self.tracer,
+                            )
                         self._store_unit(keys[spec_idx], rstart, run_metrics)
                         merged[rstart] = run_metrics
+                        done_units += 1
+                        completed_sessions += len(run_metrics)
+                        self._progress_update(
+                            done_units=done_units,
+                            completed_sessions=completed_sessions,
+                        )
                         break
                     except SweepWorkerError as exc:
                         if self.on_error == "raise":
@@ -924,6 +1103,8 @@ class ParallelSweepRunner:
                                 spec, video.name, rstart, rstop, attempts, exc
                             )
                         )
+                        failed_units += 1
+                        self._progress_update(failed_units=failed_units)
                         break
             results.append(
                 SweepResult(
@@ -938,7 +1119,40 @@ class ParallelSweepRunner:
                     failures=failures,
                 )
             )
+        self._finish_progress(specs, results)
         return results
+
+    def _finish_progress(
+        self, specs: Sequence[SweepSpec], results: Sequence[SweepResult]
+    ) -> None:
+        """Final forced board write with the per-scheme breakdown.
+
+        Sessions come from the assembled results; per-scheme unit wall
+        time and batch-stage costs come from the stitched span timeline
+        when a tracer is attached (``repro top`` renders all three).
+        """
+        if self.progress is None:
+            return
+        breakdown = (
+            stage_breakdown(self.tracer.spans) if self.tracer is not None else {}
+        )
+        unit_seconds: Dict[str, float] = {}
+        if self.tracer is not None:
+            for span in self.tracer.spans:
+                if span["name"] == SPAN_UNIT_RUN:
+                    label = str(span["meta"].get("scheme", ""))
+                    unit_seconds[label] = unit_seconds.get(label, 0.0) + float(
+                        span["dur_s"]
+                    )
+        schemes: Dict[str, Dict[str, object]] = {}
+        for spec, result in zip(specs, results):
+            label = spec.describe()
+            info = schemes.setdefault(label, {"sessions": 0})
+            info["sessions"] = int(info["sessions"]) + len(result.metrics)
+        for label, info in schemes.items():
+            info["unit_seconds"] = round(unit_seconds.get(label, 0.0), 4)
+            info["stages"] = breakdown.get(label, {})
+        self.progress.update(force=True, phase="merged", schemes=schemes)
 
     def _run_pool(
         self,
@@ -962,6 +1176,7 @@ class ParallelSweepRunner:
         # Never spin up more workers than there are tasks.
         workers = min(workers, len(units))
         registry = self.registry
+        tracer = self.tracer
         if registry is not None:
             registry.gauge(WORKERS_METRIC, "sweep worker processes").set(workers)
         mp_context = self._resolve_context()
@@ -972,11 +1187,24 @@ class ParallelSweepRunner:
         plane: Optional[SharedDataPlane] = None
         if self.use_shared_memory:
             try:
-                plane = SharedDataPlane.publish(videos, traces_by_plan)
+                with maybe_span(tracer, SPAN_SHM_PUBLISH, cat="sched") as shm_span:
+                    with self._timed(
+                        SHM_PUBLISH_SECONDS_METRIC,
+                        "shm data-plane publish (seconds)",
+                    ):
+                        plane = SharedDataPlane.publish(videos, traces_by_plan)
+                    shm_span.annotate(nbytes=plane.nbytes)
             except OSError:
                 plane = None
         if plane is not None:
-            initargs = (list(specs), config, registry is not None, None, plane.manifest)
+            initargs = (
+                list(specs),
+                config,
+                registry is not None,
+                None,
+                plane.manifest,
+                tracer is not None,
+            )
             if registry is not None:
                 registry.gauge(
                     SHM_BLOCKS_METRIC, "shared-memory blocks published for the sweep"
@@ -989,7 +1217,14 @@ class ParallelSweepRunner:
                 dict(videos),
                 {plan: list(batch) for plan, batch in traces_by_plan.items()},
             )
-            initargs = (list(specs), config, registry is not None, inline_assets, None)
+            initargs = (
+                list(specs),
+                config,
+                registry is not None,
+                inline_assets,
+                None,
+                tracer is not None,
+            )
 
         parts: List[Dict[int, List[SessionMetrics]]] = [
             {idx: [metric] for idx, metric in spec_cached.items()}
@@ -1001,18 +1236,36 @@ class ParallelSweepRunner:
         # sorted by key, so telemetry is deterministic regardless of
         # completion order.
         snapshots: List[Tuple[int, int, Mapping[str, dict]]] = []
+        # (unit order, attempt, span snapshot): stitched after the pool
+        # drains in the same deterministic order.
+        worker_spans: List[Tuple[int, int, List[Dict[str, object]]]] = []
         # (unit order, error) under on_error="raise": the earliest-
         # submitted failure is re-raised after an orderly drain.
         fatal: List[Tuple[int, SweepWorkerError]] = []
         respawned = False
+        done_units = failed_units = completed_sessions = 0
+        self._progress_update(
+            force=True,
+            phase="running",
+            workers=workers,
+            total_units=len(units),
+            done_units=0,
+            failed_units=0,
+            total_sessions=sum(
+                len(traces_by_plan[spec.fault_plan]) for spec in specs
+            ),
+            completed_sessions=0,
+            cached_sessions=sum(len(spec_cached) for spec_cached in cached),
+        )
 
         def make_pool() -> ProcessPoolExecutor:
-            return ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=mp_context,
-                initializer=_init_worker,
-                initargs=initargs,
-            )
+            with maybe_span(tracer, SPAN_POOL_SPAWN, cat="sched", workers=workers):
+                return ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=mp_context,
+                    initializer=_init_worker,
+                    initargs=initargs,
+                )
 
         def submit(unit: _Unit, count_attempt: bool = True) -> None:
             if count_attempt:
@@ -1028,6 +1281,7 @@ class ParallelSweepRunner:
             Returns ``"retry"`` / ``"requeue"`` when the unit must run
             again (policy retry / broken pool), else None.
             """
+            nonlocal done_units, failed_units, completed_sessions
             exc = future.exception()
             if isinstance(exc, BrokenProcessPool):
                 # The pool died under this unit — not the unit's own
@@ -1046,14 +1300,22 @@ class ParallelSweepRunner:
                         f"{type(exc).__name__}: {exc}",
                     )
                 )
-                metrics = snapshot = None
+                metrics = snapshot = unit_spans = None
             else:
-                metrics, snapshot, error = future.result()
+                metrics, snapshot, error, unit_spans = future.result()
             if snapshot is not None:
                 snapshots.append((unit.order, attempts[unit.order], snapshot))
+            if unit_spans is not None:
+                worker_spans.append((unit.order, attempts[unit.order], unit_spans))
             if error is None:
                 parts[unit.spec_idx][unit.start] = metrics
                 self._store_unit(keys[unit.spec_idx], unit.start, metrics)
+                done_units += 1
+                completed_sessions += len(metrics)
+                self._progress_update(
+                    done_units=done_units,
+                    completed_sessions=completed_sessions,
+                )
                 return None
             if self.on_error == "raise":
                 fatal.append((unit.order, error))
@@ -1071,10 +1333,18 @@ class ParallelSweepRunner:
                     error,
                 )
             )
+            failed_units += 1
+            self._progress_update(failed_units=failed_units)
             return None
 
         pool = make_pool()
         futures: Dict[Future, _Unit] = {}
+        # Entered/exited manually so the drain span brackets exactly the
+        # submit/consume event loop, whatever path exits the try below.
+        drain_span = maybe_span(
+            tracer, SPAN_SWEEP_DRAIN, cat="sched", units=len(units)
+        )
+        drain_span.__enter__()
         try:
             for unit in units:
                 submit(unit)
@@ -1126,20 +1396,37 @@ class ParallelSweepRunner:
                     unit = futures[future]
                     if future.cancelled() or future.exception() is not None:
                         continue
-                    _metrics, snapshot, _error = future.result()
+                    _metrics, snapshot, _error, unit_spans = future.result()
                     if snapshot is not None:
                         snapshots.append((unit.order, attempts[unit.order], snapshot))
+                    if unit_spans is not None:
+                        worker_spans.append(
+                            (unit.order, attempts[unit.order], unit_spans)
+                        )
                 futures.clear()
         finally:
+            drain_span.__exit__(None, None, None)
             pool.shutdown(wait=False)
             if plane is not None:
                 plane.close_and_unlink()
 
-        if registry is not None:
-            for _order, _attempt, snapshot in sorted(
-                snapshots, key=lambda item: (item[0], item[1])
-            ):
-                registry.merge(snapshot)
+        if registry is not None or tracer is not None:
+            with maybe_span(tracer, SPAN_SWEEP_MERGE, cat="sched"):
+                if registry is not None:
+                    for _order, _attempt, snapshot in sorted(
+                        snapshots, key=lambda item: (item[0], item[1])
+                    ):
+                        registry.merge(snapshot)
+                if tracer is not None:
+                    # Stitch worker span snapshots in submission order —
+                    # the timeline is deterministic no matter which
+                    # worker finished first. Each span keeps its own
+                    # worker track; the unit/attempt tags key the
+                    # (worker, unit, stage) view.
+                    for order, attempt, unit_spans in sorted(
+                        worker_spans, key=lambda item: (item[0], item[1])
+                    ):
+                        tracer.absorb(unit_spans, unit=order, attempt=attempt)
         if fatal:
             fatal.sort(key=lambda item: item[0])
             raise fatal[0][1]
@@ -1158,6 +1445,7 @@ class ParallelSweepRunner:
                     failures=spec_failures,
                 )
             )
+        self._finish_progress(specs, results)
         return results
 
     # -- convenience entry points --------------------------------------
@@ -1235,6 +1523,8 @@ def run_comparison_parallel(
     on_error: str = "raise",
     max_retries: int = 2,
     store: Optional[SessionStore] = None,
+    tracer: Optional[SpanTracer] = None,
+    progress: Optional[ProgressBoard] = None,
 ) -> Dict[str, SweepResult]:
     """One-call parallel comparison (``n_workers=None`` = all cores)."""
     engine = ParallelSweepRunner(
@@ -1244,5 +1534,7 @@ def run_comparison_parallel(
         on_error=on_error,
         max_retries=max_retries,
         store=store,
+        tracer=tracer,
+        progress=progress,
     )
     return engine.run_comparison(schemes, video, traces, network, config)

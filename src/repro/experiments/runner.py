@@ -32,6 +32,8 @@ if TYPE_CHECKING:  # annotation only; the engine imports it for real
     from repro.experiments.store import SessionStore
     from repro.faults.plan import FaultPlan
     from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.pipeline import ProgressBoard
+    from repro.telemetry.spans import SpanTracer
 
 from repro.abr.base import ABRAlgorithm
 from repro.abr.registry import make_scheme, needs_quality_manifest
@@ -238,6 +240,8 @@ def run_comparison(
     on_error: str = "raise",
     max_retries: int = 2,
     store: Optional[SessionStore] = None,
+    tracer: Optional[SpanTracer] = None,
+    progress: Optional[ProgressBoard] = None,
 ) -> Dict[str, SweepResult]:
     """Run several schemes under identical conditions (same traces).
 
@@ -252,9 +256,12 @@ def run_comparison(
     ``max_retries`` select the failure policy; ``store`` attaches a
     :class:`~repro.experiments.store.SessionStore` so previously
     computed sessions are read back instead of re-run (see
-    :class:`repro.experiments.parallel.ParallelSweepRunner`). Any
-    non-default value routes through the engine so serial and pooled
-    runs behave identically.
+    :class:`repro.experiments.parallel.ParallelSweepRunner`). ``tracer``
+    (a :class:`~repro.telemetry.spans.SpanTracer`) records the stitched
+    sweep span timeline for Chrome-trace export, and ``progress`` (a
+    :class:`~repro.telemetry.pipeline.ProgressBoard`) streams live
+    progress for ``repro top``. Any non-default value routes through
+    the engine so serial and pooled runs behave identically.
     """
     if (
         n_workers != 1
@@ -262,6 +269,8 @@ def run_comparison(
         or fault_plan is not None
         or on_error != "raise"
         or store is not None
+        or tracer is not None
+        or progress is not None
     ):
         from repro.experiments.parallel import ParallelSweepRunner
 
@@ -272,6 +281,8 @@ def run_comparison(
             on_error=on_error,
             max_retries=max_retries,
             store=store,
+            tracer=tracer,
+            progress=progress,
         )
         return engine.run_comparison(schemes, video, traces, network, config)
     cache = ArtifactCache()

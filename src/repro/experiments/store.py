@@ -32,6 +32,14 @@ canonical payload bytes. Floats survive the JSON round-trip bit-exactly
 the cold computation it replaced. Writes are atomic
 (temp file + ``os.replace``); a torn or corrupted entry fails its
 checksum and reads as a miss, never as wrong data.
+
+Observability: the store itself stays telemetry-free — the sweep engine
+wraps its lookup scans and unit write-backs in
+``MetricsRegistry.timer()`` histograms
+(``repro_store_lookup_seconds`` / ``repro_store_write_seconds``) and
+brackets the cached-vs-missing partition with a ``store.partition``
+span, so store costs appear in the Chrome trace and the Prometheus
+dump without this module importing the telemetry layer.
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ After the last download, the remaining buffer plays out stall-free.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
@@ -38,6 +39,7 @@ from repro.util.validation import check_positive
 from repro.video.model import Manifest, VideoAsset
 
 if TYPE_CHECKING:  # telemetry is an optional layer; no runtime import here
+    from repro.telemetry.spans import StageTimer
     from repro.telemetry.tracer import Tracer
 
 __all__ = [
@@ -375,6 +377,7 @@ def run_lockstep_sessions(
     links: StackedLinks,
     config: SessionConfig = SessionConfig(),
     estimator: Optional[BatchHarmonicMeanEstimator] = None,
+    stage_timer: Optional[StageTimer] = None,
 ) -> List[SessionResult]:
     """Advance N sessions of one (scheme, video) pair in lockstep.
 
@@ -390,6 +393,12 @@ def run_lockstep_sessions(
     idle time (``requested_idle_s`` returning 0.0 keeps the scalar
     idle branch inert); :func:`repro.experiments.batch.batch_capability`
     enforces that before a decider is ever built.
+
+    ``stage_timer`` (an optional
+    :class:`~repro.telemetry.spans.StageTimer`) accumulates per-stage
+    wall/CPU totals for the loop's estimate / decide / advance phases.
+    The disabled path costs one boolean test per stage per chunk — no
+    allocation, no clock reads — and results are identical either way.
     """
     lanes = links.lanes
     n = manifest.num_chunks
@@ -418,7 +427,11 @@ def run_lockstep_sessions(
     rec_buffers = np.empty((n, lanes))
     rec_cap_idles = np.empty((n, lanes))
 
+    timed = stage_timer is not None
     for i in range(n):
+        if timed:
+            w0 = time.perf_counter()
+            c0 = time.process_time()
         # 1. decision. Batchable schemes never request idle time, so the
         #    scalar pre-decision idle branch contributes exactly 0.0.
         ctx = BatchDecisionContext(
@@ -429,6 +442,10 @@ def run_lockstep_sessions(
             bandwidth_bps=estimator.predict_bps(),
             playing=playing,
         )
+        if timed:
+            w1 = time.perf_counter()
+            c1 = time.process_time()
+            stage_timer.add("batch.estimate", w1 - w0, c1 - c0)
         levels = decider.select_levels(ctx)
         lo = int(levels.min())
         hi = int(levels.max())
@@ -438,6 +455,10 @@ def run_lockstep_sessions(
                 f"{scheme} selected invalid level {bad} "
                 f"for chunk {i} (valid: 0..{num_tracks - 1})"
             )
+        if timed:
+            w2 = time.perf_counter()
+            c2 = time.process_time()
+            stage_timer.add("batch.decide", w2 - w1, c2 - c1)
 
         # 2. respect the buffer cap: idle until one chunk fits. Adding
         #    the zero idle of unaffected lanes is exact (their clocks and
@@ -482,6 +503,12 @@ def run_lockstep_sessions(
         if np.any(started):
             startup = np.where(started, now, startup)
             playing = playing | started
+        if timed:
+            stage_timer.add(
+                "batch.advance",
+                time.perf_counter() - w2,
+                time.process_time() - c2,
+            )
 
     # Very short video: lanes that never reached the startup target
     # begin playback when the final download completes.

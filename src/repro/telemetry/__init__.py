@@ -13,7 +13,12 @@ Three observability surfaces, all zero-overhead when unused:
   boundary;
 - :mod:`repro.telemetry.exporters` / :mod:`repro.telemetry.timeline` —
   JSONL trace/event streams, Prometheus text dumps, and the merged
-  controller timeline behind the ``repro trace`` CLI subcommand.
+  controller timeline behind the ``repro trace`` CLI subcommand;
+- :mod:`repro.telemetry.spans` / :mod:`repro.telemetry.pipeline` — the
+  sweep observability plane: hierarchical cross-process span tracing
+  (:class:`SpanTracer`, :class:`StageTimer`), Chrome trace-event export,
+  background resource sampling, the live ``repro top`` progress board,
+  and the ``--serve-metrics`` Prometheus HTTP endpoint.
 """
 
 from repro.telemetry.exporters import (
@@ -28,7 +33,20 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    TimeSeries,
 )
+from repro.telemetry.pipeline import (
+    MetricsServer,
+    ProgressBoard,
+    ResourceSampler,
+    chrome_trace,
+    load_progress,
+    render_top,
+    span_totals,
+    stage_breakdown,
+    write_chrome_trace,
+)
+from repro.telemetry.spans import SpanTracer, StageTimer, maybe_span
 from repro.telemetry.timeline import render_controller_timeline, trace_session
 from repro.telemetry.tracer import (
     BandwidthEvent,
@@ -52,7 +70,20 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "TimeSeries",
     "DEFAULT_SECONDS_BUCKETS",
+    "SpanTracer",
+    "StageTimer",
+    "maybe_span",
+    "chrome_trace",
+    "write_chrome_trace",
+    "span_totals",
+    "stage_breakdown",
+    "ResourceSampler",
+    "MetricsServer",
+    "ProgressBoard",
+    "load_progress",
+    "render_top",
     "trace_to_jsonl",
     "events_to_jsonl",
     "write_jsonl",

@@ -23,7 +23,13 @@ from pathlib import Path
 from typing import Iterable, List, Union
 
 from repro.player.events import SessionEvent
-from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
 from repro.telemetry.tracer import SessionTrace
 
 __all__ = [
@@ -105,29 +111,78 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string per the text exposition format.
+
+    Backslash and newline are the two characters the format escapes in
+    help text; anything else passes through. Without this, a help string
+    containing a newline splits the dump into an unparseable line.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value: backslash, double quote, newline.
+
+    Scheme aliases and trace names flow into label values verbatim
+    (``cava-p123`` is tame, but nothing stops a quote or newline), so
+    every rendered value goes through here.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels, extra: str = "") -> str:
+    """``{k="v",...}`` for a metric's label pairs (empty string if none).
+
+    ``extra`` is a pre-rendered pair (the histogram ``le``) appended
+    after the metric's own labels.
+    """
+    parts = [f'{key}="{_escape_label_value(value)}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
 def registry_to_prometheus(registry: MetricsRegistry) -> str:
     """Render a registry in the Prometheus text exposition format.
 
-    Metrics are emitted sorted by name so the dump is diffable across
-    runs; histograms expose the standard ``_bucket{le=...}``
-    (cumulative), ``_sum``, and ``_count`` series.
+    Metrics are emitted sorted by (name, labels) so the dump is diffable
+    across runs. ``# HELP`` / ``# TYPE`` headers appear exactly once per
+    metric *family* — labeled series of one name share them — and help
+    strings and label values are escaped per the format (backslash,
+    newline, and ``"`` in label values), so hostile scheme aliases can't
+    corrupt the dump. Histograms expose the standard
+    ``_bucket{le=...}`` (cumulative), ``_sum``, and ``_count`` series;
+    time series export their latest point as a gauge (a scrape is a
+    point-in-time read).
     """
     lines: List[str] = []
+    seen_families = set()
     for metric in registry.metrics():
-        if metric.help:
-            lines.append(f"# HELP {metric.name} {metric.help}")
-        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if metric.name not in seen_families:
+            seen_families.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+            kind = "gauge" if isinstance(metric, TimeSeries) else metric.kind
+            lines.append(f"# TYPE {metric.name} {kind}")
+        labels = _render_labels(metric.labels)
         if isinstance(metric, (Counter, Gauge)):
-            lines.append(f"{metric.name} {_format_value(metric.value)}")
+            lines.append(f"{metric.name}{labels} {_format_value(metric.value)}")
+        elif isinstance(metric, TimeSeries):
+            lines.append(f"{metric.name}{labels} {_format_value(metric.value)}")
         elif isinstance(metric, Histogram):
             cumulative = 0
             for bound, count in zip(metric.bounds, metric.counts):
                 cumulative += count
-                lines.append(
-                    f'{metric.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                bucket = _render_labels(
+                    metric.labels, extra=f'le="{_format_value(bound)}"'
                 )
+                lines.append(f"{metric.name}_bucket{bucket} {cumulative}")
             cumulative += metric.counts[-1]
-            lines.append(f'{metric.name}_bucket{{le="+Inf"}} {cumulative}')
-            lines.append(f"{metric.name}_sum {_format_value(metric.sum)}")
-            lines.append(f"{metric.name}_count {cumulative}")
+            bucket = _render_labels(metric.labels, extra='le="+Inf"')
+            lines.append(f"{metric.name}_bucket{bucket} {cumulative}")
+            lines.append(f"{metric.name}_sum{labels} {_format_value(metric.sum)}")
+            lines.append(f"{metric.name}_count{labels} {cumulative}")
     return "\n".join(lines) + ("\n" if lines else "")

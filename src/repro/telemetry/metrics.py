@@ -25,13 +25,16 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+import time
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "DEFAULT_SECONDS_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
+    "TimeSeries",
     "MetricsRegistry",
     "STORE_HITS_METRIC",
     "STORE_MISSES_METRIC",
@@ -42,6 +45,11 @@ __all__ = [
     "SHM_BLOCKS_METRIC",
     "SHM_BYTES_METRIC",
     "SHM_ATTACHED_WORKERS_METRIC",
+    "STORE_LOOKUP_SECONDS_METRIC",
+    "STORE_WRITE_SECONDS_METRIC",
+    "SHM_PUBLISH_SECONDS_METRIC",
+    "RSS_BYTES_METRIC",
+    "CPU_PERCENT_METRIC",
 ]
 
 #: Bucket upper bounds (seconds) for wall-time histograms; +Inf implied.
@@ -62,6 +70,18 @@ STORE_UNCACHEABLE_METRIC = "repro_store_uncacheable_specs_total"
 SHM_BLOCKS_METRIC = "repro_sweep_shm_blocks"
 SHM_BYTES_METRIC = "repro_sweep_shm_bytes"
 SHM_ATTACHED_WORKERS_METRIC = "repro_sweep_shm_attached_workers_total"
+# Timer histograms around the store/shm hot spots (populated through
+# MetricsRegistry.timer by the sweep engine).
+STORE_LOOKUP_SECONDS_METRIC = "repro_store_lookup_seconds"
+STORE_WRITE_SECONDS_METRIC = "repro_store_write_seconds"
+SHM_PUBLISH_SECONDS_METRIC = "repro_sweep_shm_publish_seconds"
+# Resource time series fed by the pipeline's background sampler.
+RSS_BYTES_METRIC = "repro_process_rss_bytes"
+CPU_PERCENT_METRIC = "repro_process_cpu_percent"
+
+#: Default ring-buffer capacity for time-series metrics (~8 minutes of
+#: samples at the sampler's default 0.5 s cadence).
+DEFAULT_SERIES_CAPACITY = 1024
 
 
 def _check_name(name: str) -> str:
@@ -74,14 +94,36 @@ def _check_name(name: str) -> str:
     return name
 
 
+def _check_labels(labels: Optional[Mapping[str, str]]) -> Tuple[Tuple[str, str], ...]:
+    """Normalize a label mapping to a sorted tuple of (name, value) pairs.
+
+    Label *names* follow metric-name rules; label *values* are arbitrary
+    strings — scheme aliases like ``cava-p123`` (or worse) are legal, and
+    the Prometheus exporter escapes them at render time.
+    """
+    if not labels:
+        return ()
+    pairs = []
+    for key in sorted(labels):
+        _check_name(key)
+        pairs.append((key, str(labels[key])))
+    return tuple(pairs)
+
+
 class Counter:
     """Monotonically increasing count (sessions completed, cache hits...)."""
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -100,9 +142,15 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         self._value = 0.0
 
     def set(self, value: float) -> None:
@@ -136,9 +184,11 @@ class Histogram:
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.name = _check_name(name)
         self.help = help
+        self.labels = _check_labels(labels)
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
@@ -159,6 +209,72 @@ class Histogram:
         return sum(self.counts)
 
 
+class TimeSeries:
+    """Bounded (t, value) ring buffer — live resource/progress telemetry.
+
+    The background resource sampler appends one point per tick; the ring
+    drops the oldest points past ``capacity``, so a long sweep never
+    accumulates unbounded history. The Prometheus exporter renders the
+    *latest* point as a gauge (a scrape is a point-in-time read anyway);
+    the Chrome-trace exporter renders the whole ring as counter events.
+    """
+
+    kind = "timeseries"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        capacity: int = DEFAULT_SERIES_CAPACITY,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"time-series capacity must be >= 1, got {capacity}")
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = _check_labels(labels)
+        self.capacity = int(capacity)
+        self.points: Deque[Tuple[float, float]] = deque(maxlen=self.capacity)
+
+    def observe(self, value: float, t: Optional[float] = None) -> None:
+        """Append one sample (``t`` defaults to the wall clock now)."""
+        self.points.append(
+            (time.time() if t is None else float(t), float(value))
+        )
+
+    @property
+    def value(self) -> float:
+        """The most recent sample's value (0.0 when empty)."""
+        return self.points[-1][1] if self.points else 0.0
+
+
+class _TimerHandle:
+    """Context manager returned by :meth:`MetricsRegistry.timer`."""
+
+    __slots__ = ("_histogram", "_start", "elapsed_s")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+        #: Wall seconds of the timed block, available after exit.
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "_TimerHandle":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed_s = time.perf_counter() - self._start
+        self._histogram.observe(self.elapsed_s)
+
+
+def _storage_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Registry-internal key: unique per (name, label set), stable order."""
+    if not labels:
+        return name
+    return name + "\x00" + "\x00".join(f"{k}\x01{v}" for k, v in labels)
+
+
 class MetricsRegistry:
     """Named metrics with get-or-create access, snapshot, and merge.
 
@@ -172,9 +288,17 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._metrics: Dict[str, object] = {}
 
-    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+    def _get_or_create(
+        self,
+        cls,
+        name: str,
+        help: str,
+        labels: Optional[Mapping[str, str]] = None,
+        **kwargs,
+    ):
+        key = _storage_key(name, _check_labels(labels))
         with self._lock:
-            existing = self._metrics.get(name)
+            existing = self._metrics.get(key)
             if existing is not None:
                 if not isinstance(existing, cls):
                     raise TypeError(
@@ -182,33 +306,86 @@ class MetricsRegistry:
                         f"{type(existing).__name__}, requested {cls.__name__}"
                     )
                 return existing
-            metric = cls(name, help, **kwargs)
-            self._metrics[name] = metric
+            metric = cls(name, help, labels=labels, **kwargs)
+            self._metrics[key] = metric
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
         """Get or create a counter."""
-        return self._get_or_create(Counter, name, help)
+        return self._get_or_create(Counter, name, help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
         """Get or create a gauge."""
-        return self._get_or_create(Gauge, name, help)
+        return self._get_or_create(Gauge, name, help, labels=labels)
 
     def histogram(
         self,
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Histogram:
         """Get or create a fixed-bound histogram."""
-        return self._get_or_create(Histogram, name, help, buckets=buckets)
+        return self._get_or_create(
+            Histogram, name, help, labels=labels, buckets=buckets
+        )
 
-    def get(self, name: str) -> Optional[object]:
+    def timeseries(
+        self,
+        name: str,
+        help: str = "",
+        capacity: int = DEFAULT_SERIES_CAPACITY,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> TimeSeries:
+        """Get or create a bounded time-series ring buffer."""
+        return self._get_or_create(
+            TimeSeries, name, help, labels=labels, capacity=capacity
+        )
+
+    def timer(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> _TimerHandle:
+        """Context manager that times its block into a histogram.
+
+        The one-line idiom for wall-timing a code region into sweep
+        telemetry::
+
+            with registry.timer(STORE_LOOKUP_SECONDS_METRIC, "store scan"):
+                partition_the_grid()
+
+        The handle exposes ``elapsed_s`` after exit for call sites that
+        also need the raw number.
+        """
+        return _TimerHandle(self.histogram(name, help, buckets=buckets, labels=labels))
+
+    def get(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Optional[object]:
         """The registered metric, or None."""
+        key = _storage_key(name, _check_labels(labels))
         with self._lock:
-            return self._metrics.get(name)
+            return self._metrics.get(key)
 
-    def value(self, name: str, default: float = 0.0) -> float:
+    def value(
+        self,
+        name: str,
+        default: float = 0.0,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> float:
         """Current value of a counter or gauge, or ``default`` if absent.
 
         Sweeps increment their failure-policy counters lazily (a clean
@@ -216,8 +393,9 @@ class MetricsRegistry:
         retries/skips happened" need a total that reads 0 for a metric
         that was never created.
         """
+        key = _storage_key(name, _check_labels(labels))
         with self._lock:
-            metric = self._metrics.get(name)
+            metric = self._metrics.get(key)
         if metric is None:
             return default
         if isinstance(metric, Histogram):
@@ -225,50 +403,71 @@ class MetricsRegistry:
         return float(metric.value)  # type: ignore[union-attr]
 
     def metrics(self) -> List[object]:
-        """All registered metrics, sorted by name (stable output order)."""
+        """All registered metrics, sorted by (name, labels) — stable output
+        order, with every label set of one family adjacent."""
         with self._lock:
-            return [self._metrics[name] for name in sorted(self._metrics)]
+            return sorted(
+                self._metrics.values(), key=lambda m: (m.name, m.labels)
+            )
 
     # -- cross-process plumbing -----------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """Picklable dump of every metric (for the pool boundary)."""
+        """Picklable dump of every metric (for the pool boundary).
+
+        Keys are registry storage keys (the bare metric name for
+        unlabeled metrics); each entry carries ``name`` and ``labels``
+        explicitly so :meth:`merge` never parses keys.
+        """
         out: Dict[str, Dict[str, object]] = {}
         with self._lock:
-            for name, metric in self._metrics.items():
+            for key, metric in self._metrics.items():
                 entry: Dict[str, object] = {
                     "kind": metric.kind,
+                    "name": metric.name,
                     "help": metric.help,
                 }
+                if metric.labels:
+                    entry["labels"] = [list(pair) for pair in metric.labels]
                 if isinstance(metric, Histogram):
                     entry["bounds"] = list(metric.bounds)
                     entry["counts"] = list(metric.counts)
                     entry["sum"] = metric.sum
+                elif isinstance(metric, TimeSeries):
+                    entry["capacity"] = metric.capacity
+                    entry["points"] = [list(point) for point in metric.points]
                 else:
                     entry["value"] = metric.value  # type: ignore[union-attr]
-                out[name] = entry
+                out[key] = entry
         return out
 
     def merge(self, snapshot: Mapping[str, Mapping[str, object]]) -> None:
         """Fold one :meth:`snapshot` into this registry.
 
         Counters and histogram buckets add; gauges take the snapshot's
-        value. Unknown names are created on the fly, so a parent can
-        merge worker snapshots into a completely fresh registry.
+        value; time series interleave points by timestamp (ring capacity
+        still bounds the result). Unknown names are created on the fly,
+        so a parent can merge worker snapshots into a completely fresh
+        registry.
         """
-        for name, entry in snapshot.items():
+        for key, entry in snapshot.items():
             kind = entry["kind"]
+            name = str(entry.get("name", key))
+            help_text = str(entry.get("help", ""))
+            labels = {k: v for k, v in entry.get("labels", [])} or None
             if kind == "counter":
-                self.counter(name, str(entry.get("help", ""))).inc(
+                self.counter(name, help_text, labels=labels).inc(
                     float(entry["value"])  # type: ignore[arg-type]
                 )
             elif kind == "gauge":
-                self.gauge(name, str(entry.get("help", ""))).set(
+                self.gauge(name, help_text, labels=labels).set(
                     float(entry["value"])  # type: ignore[arg-type]
                 )
             elif kind == "histogram":
                 bounds = tuple(entry["bounds"])  # type: ignore[arg-type]
-                hist = self.histogram(name, str(entry.get("help", "")), buckets=bounds)
+                hist = self.histogram(
+                    name, help_text, buckets=bounds, labels=labels
+                )
                 if hist.bounds != bounds:
                     raise ValueError(
                         f"histogram {name!r} bucket bounds differ: "
@@ -278,6 +477,20 @@ class MetricsRegistry:
                     for i, count in enumerate(entry["counts"]):  # type: ignore[arg-type]
                         hist.counts[i] += int(count)
                     hist.sum += float(entry["sum"])  # type: ignore[arg-type]
+            elif kind == "timeseries":
+                series = self.timeseries(
+                    name,
+                    help_text,
+                    capacity=int(entry.get("capacity", DEFAULT_SERIES_CAPACITY)),
+                    labels=labels,
+                )
+                with self._lock:
+                    merged = sorted(
+                        list(series.points)
+                        + [(float(t), float(v)) for t, v in entry["points"]]  # type: ignore[union-attr]
+                    )
+                    series.points.clear()
+                    series.points.extend(merged[-series.capacity:])
             else:
                 raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
 

@@ -1,0 +1,286 @@
+"""Hierarchical span tracing for the sweep pipeline.
+
+A *span* is one timed region of pipeline work — a scheduler phase, a
+worker's execution of one unit, a batch-engine stage — with wall and CPU
+time, a parent link (spans nest through a context-manager API), and a
+small metadata dict. Each process records into its own
+:class:`SpanTracer`; workers ship their span lists back to the parent
+alongside unit results (they are plain dicts, so they pickle for free),
+and the scheduler stitches every process's spans into one run timeline
+with :meth:`SpanTracer.absorb`.
+
+Design constraints, mirroring the rest of the telemetry layer:
+
+- **Zero overhead off.** The tracer is opt-in: every instrumented call
+  site takes ``tracer=None`` by default and guards with a single
+  ``is not None`` check (the same contract as the session-level
+  ``tracer=None`` path). The hot lockstep loop uses the even cheaper
+  :class:`StageTimer` protocol — one boolean test per stage when
+  disabled, no context manager allocation.
+- **Cross-process timestamps.** ``time.perf_counter()`` is monotonic but
+  its epoch is arbitrary per platform, so every tracer anchors itself
+  once with ``time.time()`` and records span starts as *wall-clock epoch
+  seconds* derived from perf-counter offsets. Same-host processes (the
+  only deployment the pool supports) therefore produce directly
+  comparable timestamps, with perf-counter resolution within a process.
+- **Picklable snapshots.** A snapshot is a list of plain dicts — the
+  span schema below — that crosses the pool boundary untouched. Parent
+  links are list indices *within one snapshot*; :meth:`absorb` re-bases
+  them when stitching snapshots together.
+
+Span schema (one dict per span)::
+
+    {
+        "name":   "unit.run",         # what was timed
+        "cat":    "unit",             # coarse grouping for exporters
+        "start_s": 1733.25,           # wall-clock epoch seconds
+        "dur_s":  0.0123,             # wall duration
+        "cpu_s":  0.0119,             # process CPU during the span
+        "parent": 0,                  # index of enclosing span, -1 = root
+        "pid":    12345,              # recording process
+        "track":  "worker-12345",     # display lane (stitching label)
+        "meta":   {"scheme": "CAVA"}  # small scalars only
+    }
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "SpanTracer",
+    "StageTimer",
+    "maybe_span",
+]
+
+
+class _NullSpan:
+    """Shared no-op context manager for disabled call sites."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def annotate(self, **meta) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def maybe_span(tracer: Optional["SpanTracer"], name: str, cat: str = "", **meta):
+    """``tracer.span(...)`` when a tracer is attached, else a no-op.
+
+    The one-line idiom instrumented call sites use so the disabled path
+    stays a single ``is None`` test plus a shared singleton — no
+    allocation, no conditional nesting at the call site.
+    """
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, cat=cat, **meta)
+
+
+class _SpanHandle:
+    """Context manager for one open span (created by :meth:`SpanTracer.span`)."""
+
+    __slots__ = ("_tracer", "_index", "_perf0", "_cpu0")
+
+    def __init__(self, tracer: "SpanTracer", index: int, perf0: float, cpu0: float):
+        self._tracer = tracer
+        self._index = index
+        self._perf0 = perf0
+        self._cpu0 = cpu0
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def annotate(self, **meta) -> None:
+        """Attach metadata to the open span (small scalars only)."""
+        self._tracer.spans[self._index]["meta"].update(meta)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        span = self._tracer.spans[self._index]
+        span["dur_s"] = time.perf_counter() - self._perf0
+        span["cpu_s"] = time.process_time() - self._cpu0
+        if exc_type is not None:
+            # A span that ends in an exception still records fully —
+            # failed units keep their timing (the FailedUnit contract).
+            span["meta"]["error"] = exc_type.__name__
+        stack = self._tracer._stack
+        if stack and stack[-1] == self._index:
+            stack.pop()
+
+
+class SpanTracer:
+    """Per-process recorder of nested spans.
+
+    One tracer per process (the scheduler's, plus one per worker unit);
+    spans nest through the context-manager API::
+
+        with tracer.span("unit.run", cat="unit", scheme="CAVA"):
+            with tracer.span("unit.batch", cat="unit"):
+                ...
+
+    Not thread-safe by design: every recording site in the pipeline is
+    single-threaded (pool workers, the scheduler's drain loop). Sampler
+    threads write to the metrics registry, never to a tracer.
+    """
+
+    __slots__ = ("spans", "label", "pid", "_stack", "_wall0", "_perf0")
+
+    def __init__(self, label: str = "") -> None:
+        self.pid = os.getpid()
+        self.label = label or f"pid-{self.pid}"
+        self.spans: List[Dict[str, object]] = []
+        self._stack: List[int] = []
+        self._wall0 = time.time()
+        self._perf0 = time.perf_counter()
+
+    # -- recording ------------------------------------------------------
+
+    def _now_wall(self, perf_now: float) -> float:
+        return self._wall0 + (perf_now - self._perf0)
+
+    def span(self, name: str, cat: str = "", **meta) -> _SpanHandle:
+        """Open one span; close it by exiting the returned context."""
+        perf_now = time.perf_counter()
+        index = len(self.spans)
+        self.spans.append(
+            {
+                "name": name,
+                "cat": cat,
+                "start_s": self._now_wall(perf_now),
+                "dur_s": 0.0,
+                "cpu_s": 0.0,
+                "parent": self._stack[-1] if self._stack else -1,
+                "pid": self.pid,
+                "track": self.label,
+                "meta": dict(meta),
+            }
+        )
+        self._stack.append(index)
+        return _SpanHandle(self, index, perf_now, time.process_time())
+
+    def record(
+        self,
+        name: str,
+        start_s: float,
+        dur_s: float,
+        cat: str = "",
+        cpu_s: float = 0.0,
+        **meta,
+    ) -> None:
+        """Append one already-measured span (e.g. a pool-initializer
+        timing captured before any tracer existed). Parents to the
+        currently open span."""
+        self.spans.append(
+            {
+                "name": name,
+                "cat": cat,
+                "start_s": start_s,
+                "dur_s": dur_s,
+                "cpu_s": cpu_s,
+                "parent": self._stack[-1] if self._stack else -1,
+                "pid": self.pid,
+                "track": self.label,
+                "meta": dict(meta),
+            }
+        )
+
+    def record_stages(self, timer: "StageTimer", cat: str = "stage", **meta) -> None:
+        """Emit one aggregate span per :class:`StageTimer` stage.
+
+        Stage spans are *aggregates*: the lockstep loop enters each stage
+        hundreds of times per unit, so per-entry spans would drown the
+        trace. Each emitted span carries the stage's total wall/CPU time
+        and entry count, laid out sequentially from the timer's creation
+        time (``"aggregate": True`` marks the synthetic placement). They
+        parent to the currently open span, so in the Chrome trace they
+        nest under the unit that ran them.
+        """
+        start = timer.wall0
+        for stage, (wall_s, cpu_s, count) in timer.totals.items():
+            self.record(
+                stage,
+                start_s=start,
+                dur_s=wall_s,
+                cpu_s=cpu_s,
+                cat=cat,
+                count=count,
+                aggregate=True,
+                **meta,
+            )
+            start += wall_s
+
+    # -- stitching ------------------------------------------------------
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """Picklable copy of every recorded span (meta copied too)."""
+        return [dict(span, meta=dict(span["meta"])) for span in self.spans]
+
+    def absorb(
+        self,
+        spans: Iterable[Mapping[str, object]],
+        track: Optional[str] = None,
+        **meta,
+    ) -> None:
+        """Stitch a foreign snapshot (e.g. a worker's) into this tracer.
+
+        Parent indices are re-based onto this tracer's span list; foreign
+        root spans stay roots (their ``track`` keeps them on their own
+        display lane). ``track`` overrides the recorded lane label;
+        ``meta`` is merged into every absorbed span (the scheduler uses
+        this to tag worker spans with their unit order and attempt).
+        """
+        offset = len(self.spans)
+        for span in spans:
+            copied = dict(span, meta=dict(span["meta"]))
+            if copied.get("parent", -1) >= 0:
+                copied["parent"] = copied["parent"] + offset
+            if track is not None:
+                copied["track"] = track
+            if meta:
+                copied["meta"].update(meta)
+            self.spans.append(copied)
+
+
+class StageTimer:
+    """Accumulating per-stage wall/CPU totals for tight loops.
+
+    The lockstep batch engine's inner loop runs its stages (estimate,
+    decide, advance) once per chunk across every lane; wrapping each in
+    a context manager would allocate per step. Call sites instead hold a
+    local ``timed = stage_timer is not None`` and bracket stages with
+    explicit :meth:`add` calls — the disabled path is one branch per
+    stage per step.
+    """
+
+    __slots__ = ("totals", "wall0")
+
+    def __init__(self) -> None:
+        #: stage name -> [total wall seconds, total cpu seconds, entries]
+        self.totals: Dict[str, List[float]] = {}
+        self.wall0 = time.time()
+
+    def add(self, stage: str, wall_s: float, cpu_s: float = 0.0) -> None:
+        """Fold one stage entry into the totals."""
+        entry = self.totals.get(stage)
+        if entry is None:
+            self.totals[stage] = [wall_s, cpu_s, 1]
+        else:
+            entry[0] += wall_s
+            entry[1] += cpu_s
+            entry[2] += 1
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly stage summary (for bench records and progress)."""
+        return {
+            stage: {"wall_s": wall, "cpu_s": cpu, "count": int(count)}
+            for stage, (wall, cpu, count) in self.totals.items()
+        }

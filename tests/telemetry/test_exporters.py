@@ -98,3 +98,62 @@ class TestPrometheus:
         text = registry_to_prometheus(reg)
         assert text.index("a_total") < text.index("b_total")
         assert registry_to_prometheus(MetricsRegistry()) == ""
+
+
+class TestPrometheusEscaping:
+    def test_help_newline_and_backslash_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("weird_total", "line one\nline two \\ done").inc()
+        text = registry_to_prometheus(reg)
+        assert "# HELP weird_total line one\\nline two \\\\ done" in text
+        # The dump must stay line-parseable: every line starts with a
+        # comment marker or a metric name character.
+        for line in text.splitlines():
+            assert line.startswith("#") or line[0].isalpha()
+
+    def test_label_value_quote_backslash_newline_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "sessions_total", "per-scheme sessions",
+            labels={"scheme": 'cava-p123"\\evil\nname'},
+        ).inc(3)
+        text = registry_to_prometheus(reg)
+        assert 'scheme="cava-p123\\"\\\\evil\\nname"' in text
+        assert "\nname" not in text.replace("\\nname", "")  # no raw newline leaked
+
+    def test_scheme_alias_label_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "sessions_total", "sessions", labels={"scheme": "cava-p123"}
+        ).inc(7)
+        assert 'sessions_total{scheme="cava-p123"} 7' in registry_to_prometheus(reg)
+
+    def test_family_header_once_for_labeled_series(self):
+        reg = MetricsRegistry()
+        reg.counter("units_total", "units per scheme", labels={"scheme": "CAVA"}).inc()
+        reg.counter("units_total", "units per scheme", labels={"scheme": "RBA"}).inc(2)
+        text = registry_to_prometheus(reg)
+        assert text.count("# HELP units_total") == 1
+        assert text.count("# TYPE units_total counter") == 1
+        assert 'units_total{scheme="CAVA"} 1' in text
+        assert 'units_total{scheme="RBA"} 2' in text
+
+    def test_histogram_type_line_and_labeled_buckets(self):
+        reg = MetricsRegistry()
+        reg.histogram(
+            "unit_seconds", "unit wall time", buckets=(1.0,),
+            labels={"scheme": "CAVA"},
+        ).observe(0.5)
+        text = registry_to_prometheus(reg)
+        assert "# TYPE unit_seconds histogram" in text
+        assert 'unit_seconds_bucket{scheme="CAVA",le="1"} 1' in text
+        assert 'unit_seconds_count{scheme="CAVA"} 1' in text
+
+    def test_timeseries_rendered_as_gauge_latest_point(self):
+        reg = MetricsRegistry()
+        series = reg.timeseries("rss_bytes", "resident size", labels={"pid": "42"})
+        series.observe(100.0, t=1.0)
+        series.observe(250.0, t=2.0)
+        text = registry_to_prometheus(reg)
+        assert "# TYPE rss_bytes gauge" in text
+        assert 'rss_bytes{pid="42"} 250' in text

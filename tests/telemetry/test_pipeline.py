@@ -1,0 +1,236 @@
+"""Tests for the observability pipeline: Chrome trace export, resource
+sampling, the Prometheus HTTP endpoint, and the live progress board."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.telemetry.metrics import (
+    CPU_PERCENT_METRIC,
+    RSS_BYTES_METRIC,
+    MetricsRegistry,
+)
+from repro.telemetry.pipeline import (
+    MetricsServer,
+    ProgressBoard,
+    ResourceSampler,
+    chrome_trace,
+    load_progress,
+    render_top,
+    span_totals,
+    stage_breakdown,
+    write_chrome_trace,
+)
+from repro.telemetry.spans import SpanTracer, StageTimer
+
+
+def _sample_spans():
+    tracer = SpanTracer("scheduler")
+    with tracer.span("sweep.drain", cat="sched"):
+        pass
+    worker = SpanTracer("worker-7")
+    with worker.span("unit.run", cat="unit", scheme="CAVA"):
+        timer = StageTimer()
+        timer.add("batch.decide", 0.25, 0.2)
+        worker.record_stages(timer, scheme="CAVA")
+    tracer.absorb(worker.snapshot(), unit=0, attempt=1)
+    return tracer.spans
+
+
+class TestChromeTrace:
+    def test_complete_events_and_process_metadata(self):
+        trace = chrome_trace(_sample_spans())
+        events = trace["traceEvents"]
+        x_events = [e for e in events if e["ph"] == "X"]
+        m_events = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in x_events} == {
+            "sweep.drain", "unit.run", "batch.decide"
+        }
+        # One named process lane per distinct track.
+        assert {e["args"]["name"] for e in m_events} == {"scheduler", "worker-7"}
+        lane_of = {e["args"]["name"]: e["pid"] for e in m_events}
+        by_name = {e["name"]: e for e in x_events}
+        assert by_name["sweep.drain"]["pid"] == lane_of["scheduler"]
+        assert by_name["unit.run"]["pid"] == lane_of["worker-7"]
+
+    def test_timestamps_relative_microseconds(self):
+        trace = chrome_trace(_sample_spans())
+        ts = [e["ts"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert min(ts) == 0.0
+        assert all(t >= 0 for t in ts)
+
+    def test_meta_and_cpu_in_args(self):
+        trace = chrome_trace(_sample_spans())
+        unit = next(
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "unit.run"
+        )
+        assert unit["args"]["scheme"] == "CAVA"
+        assert "cpu_ms" in unit["args"]
+
+    def test_registry_timeseries_become_counter_events(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("rss_bytes", labels={"pid": "7"})
+        series.observe(100.0, t=10.0)
+        series.observe(200.0, t=11.0)
+        trace = chrome_trace(_sample_spans(), registry)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 2
+        assert counters[0]["name"] == 'rss_bytes{pid=7}'
+        assert counters[0]["args"] == {"value": 100.0}
+
+    def test_empty_inputs(self):
+        assert chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_write_round_trips_json(self, tmp_path):
+        path = tmp_path / "deep" / "trace.json"
+        out = write_chrome_trace(_sample_spans(), path)
+        assert out == path
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) >= 3
+
+
+class TestAggregations:
+    def test_span_totals(self):
+        totals = span_totals(_sample_spans())
+        assert totals["batch.decide"]["wall_s"] == pytest.approx(0.25)
+        assert totals["batch.decide"]["count"] == 1
+        assert set(totals) == {"sweep.drain", "unit.run", "batch.decide"}
+
+    def test_stage_breakdown_groups_by_scheme(self):
+        breakdown = stage_breakdown(_sample_spans())
+        assert set(breakdown) == {"CAVA"}
+        decide = breakdown["CAVA"]["batch.decide"]
+        assert decide["wall_s"] == pytest.approx(0.25)
+        assert decide["cpu_s"] == pytest.approx(0.2)
+        assert decide["count"] == 1
+
+    def test_stage_breakdown_ignores_non_stage_spans(self):
+        spans = [s for s in _sample_spans() if s["cat"] != "stage"]
+        assert stage_breakdown(spans) == {}
+
+
+class TestResourceSampler:
+    def test_sample_once_records_rss(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry, interval_s=60.0, include_children=False)
+        sampler.sample_once()
+        series = [
+            m for m in registry.metrics() if m.name == RSS_BYTES_METRIC
+        ]
+        assert len(series) == 1
+        assert series[0].value > 0  # this process certainly has RSS
+        assert dict(series[0].labels)["role"] == "parent"
+
+    def test_second_sample_adds_cpu_percent(self):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry, interval_s=60.0, include_children=False)
+        sampler.sample_once()
+        sum(range(200_000))  # burn a little CPU between samples
+        sampler.sample_once()
+        names = {m.name for m in registry.metrics()}
+        assert CPU_PERCENT_METRIC in names
+
+    def test_context_manager_runs_thread(self):
+        registry = MetricsRegistry()
+        with ResourceSampler(registry, interval_s=0.05, include_children=False):
+            pass  # start() takes a baseline sample; stop() a final one
+        assert any(m.name == RSS_BYTES_METRIC for m in registry.metrics())
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            ResourceSampler(MetricsRegistry(), interval_s=0.0)
+
+
+class TestMetricsServer:
+    def test_serves_live_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("sessions_total", "sessions").inc(3)
+        with MetricsServer(registry, port=0) as server:
+            body = urllib.request.urlopen(server.url, timeout=5).read().decode()
+            assert "sessions_total 3" in body
+            registry.counter("sessions_total").inc(2)  # live mutation
+            body = urllib.request.urlopen(server.url, timeout=5).read().decode()
+            assert "sessions_total 5" in body
+
+    def test_root_path_and_404(self):
+        with MetricsServer(MetricsRegistry(), port=0) as server:
+            root = f"http://{server.host}:{server.port}/"
+            assert urllib.request.urlopen(root, timeout=5).status == 200
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://{server.host}:{server.port}/nope", timeout=5
+                )
+
+
+class TestProgressBoard:
+    def test_write_and_load_round_trip(self, tmp_path):
+        board = ProgressBoard(tmp_path, min_interval_s=0.0)
+        board.update(
+            force=True,
+            phase="running",
+            workers=2,
+            total_sessions=40,
+            completed_sessions=10,
+            cached_sessions=5,
+        )
+        progress = load_progress(tmp_path)
+        assert progress["phase"] == "running"
+        assert progress["sessions_per_s"] > 0
+        assert progress["eta_s"] is not None
+        assert progress["elapsed_s"] >= 0
+
+    def test_throttle_coalesces_unforced_writes(self, tmp_path):
+        board = ProgressBoard(tmp_path, min_interval_s=3600.0)
+        board.update(force=True, phase="running", completed_sessions=1)
+        board.update(completed_sessions=2)  # throttled: no write
+        assert load_progress(tmp_path)["completed_sessions"] == 1
+        board.close()  # forced final write carries merged state
+        progress = load_progress(tmp_path)
+        assert progress["completed_sessions"] == 2
+        assert progress["phase"] == "done"
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert load_progress(tmp_path / "nowhere") is None
+
+
+class TestRenderTop:
+    def test_frame_contains_progress_and_schemes(self):
+        frame = render_top(
+            {
+                "phase": "running",
+                "workers": 4,
+                "elapsed_s": 90.0,
+                "total_units": 8,
+                "done_units": 4,
+                "failed_units": 1,
+                "total_sessions": 100,
+                "completed_sessions": 40,
+                "cached_sessions": 10,
+                "sessions_per_s": 2.5,
+                "eta_s": 20.0,
+                "schemes": {
+                    "CAVA": {
+                        "sessions": 40,
+                        "unit_seconds": 12.5,
+                        "stages": {
+                            "batch.decide": {"wall_s": 1.5, "cpu_s": 1.4, "count": 3}
+                        },
+                    }
+                },
+            }
+        )
+        assert "phase running" in frame
+        assert "workers 4" in frame
+        assert "units 4/8 done (1 failed)" in frame
+        assert "sessions 50/100" in frame
+        assert "1m30s" in frame
+        assert "CAVA" in frame
+        assert "decide=1.50s" in frame
+        assert "50.0%" in frame
+
+    def test_minimal_progress_renders(self):
+        frame = render_top({"phase": "starting"})
+        assert "phase starting" in frame

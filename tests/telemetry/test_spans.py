@@ -1,0 +1,147 @@
+"""Tests for the hierarchical span tracer and the stage timer."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry.spans import SpanTracer, StageTimer, maybe_span
+
+
+class TestSpanTracer:
+    def test_nesting_records_parent_indices(self):
+        tracer = SpanTracer("sched")
+        with tracer.span("outer", cat="sched"):
+            with tracer.span("inner", cat="unit"):
+                pass
+            with tracer.span("sibling", cat="unit"):
+                pass
+        names = [s["name"] for s in tracer.spans]
+        assert names == ["outer", "inner", "sibling"]
+        assert tracer.spans[0]["parent"] == -1
+        assert tracer.spans[1]["parent"] == 0
+        assert tracer.spans[2]["parent"] == 0
+
+    def test_durations_and_track(self):
+        tracer = SpanTracer("worker-1")
+        with tracer.span("work"):
+            sum(range(1000))
+        span = tracer.spans[0]
+        assert span["dur_s"] >= 0.0
+        assert span["cpu_s"] >= 0.0
+        assert span["track"] == "worker-1"
+        assert span["start_s"] > 1e9  # epoch-anchored wall clock
+
+    def test_annotate_merges_meta(self):
+        tracer = SpanTracer()
+        with tracer.span("unit.run", scheme="CAVA") as handle:
+            handle.annotate(sessions=12)
+        assert tracer.spans[0]["meta"] == {"scheme": "CAVA", "sessions": 12}
+
+    def test_exception_closes_span_with_error_meta(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("unit.run"):
+                raise RuntimeError("boom")
+        span = tracer.spans[0]
+        assert span["meta"]["error"] == "RuntimeError"
+        assert span["dur_s"] >= 0.0
+        # The stack unwound: a following span is a root, not a child.
+        with tracer.span("next"):
+            pass
+        assert tracer.spans[1]["parent"] == -1
+
+    def test_record_appends_premeasured_span(self):
+        tracer = SpanTracer()
+        tracer.record("shm.attach", start_s=123.0, dur_s=0.5, cat="worker")
+        span = tracer.spans[0]
+        assert (span["start_s"], span["dur_s"], span["parent"]) == (123.0, 0.5, -1)
+
+    def test_record_stages_emits_aggregates_under_open_span(self):
+        tracer = SpanTracer()
+        timer = StageTimer()
+        timer.add("batch.estimate", 0.1, 0.08)
+        timer.add("batch.decide", 0.2, 0.19)
+        timer.add("batch.estimate", 0.3, 0.28)
+        with tracer.span("unit.batch"):
+            tracer.record_stages(timer, scheme="CAVA")
+        stages = {s["name"]: s for s in tracer.spans if s["cat"] == "stage"}
+        assert set(stages) == {"batch.estimate", "batch.decide"}
+        est = stages["batch.estimate"]
+        assert est["dur_s"] == pytest.approx(0.4)
+        assert est["cpu_s"] == pytest.approx(0.36)
+        assert est["meta"]["count"] == 2
+        assert est["meta"]["aggregate"] is True
+        assert est["meta"]["scheme"] == "CAVA"
+        # Nested under the open unit.batch span.
+        assert all(s["parent"] == 0 for s in stages.values())
+
+    def test_snapshot_is_picklable_and_detached(self):
+        tracer = SpanTracer()
+        with tracer.span("a", key="v"):
+            pass
+        snap = tracer.snapshot()
+        restored = pickle.loads(pickle.dumps(snap))
+        assert restored == tracer.spans
+        snap[0]["meta"]["key"] = "mutated"
+        assert tracer.spans[0]["meta"]["key"] == "v"
+
+    def test_absorb_rebases_parents_and_tags_meta(self):
+        parent = SpanTracer("scheduler")
+        with parent.span("sweep.drain"):
+            pass
+        worker = SpanTracer("worker-9")
+        with worker.span("unit.run"):
+            with worker.span("unit.batch"):
+                pass
+        parent.absorb(worker.snapshot(), unit=3, attempt=1)
+        absorbed = parent.spans[1:]
+        assert [s["name"] for s in absorbed] == ["unit.run", "unit.batch"]
+        assert absorbed[0]["parent"] == -1  # foreign roots stay roots
+        # unit.batch's parent re-bases to unit.run's index in the
+        # stitched list (offset 1 for the scheduler's own span).
+        assert absorbed[1]["parent"] == 1
+        assert all(s["track"] == "worker-9" for s in absorbed)
+        assert all(s["meta"]["unit"] == 3 for s in absorbed)
+        assert all(s["meta"]["attempt"] == 1 for s in absorbed)
+
+    def test_absorb_track_override(self):
+        parent = SpanTracer()
+        parent.absorb(
+            [{"name": "x", "cat": "", "start_s": 0.0, "dur_s": 0.0,
+              "cpu_s": 0.0, "parent": -1, "pid": 1, "track": "old", "meta": {}}],
+            track="new",
+        )
+        assert parent.spans[0]["track"] == "new"
+
+
+class TestMaybeSpan:
+    def test_none_tracer_is_shared_noop(self):
+        a = maybe_span(None, "anything", cat="unit", scheme="CAVA")
+        b = maybe_span(None, "other")
+        assert a is b  # one shared singleton, no allocation per call
+        with a as handle:
+            handle.annotate(ignored=True)  # must not raise
+
+    def test_real_tracer_records(self):
+        tracer = SpanTracer()
+        with maybe_span(tracer, "unit.run", cat="unit", scheme="RBA"):
+            pass
+        assert tracer.spans[0]["name"] == "unit.run"
+        assert tracer.spans[0]["meta"] == {"scheme": "RBA"}
+
+
+class TestStageTimer:
+    def test_accumulates_and_counts(self):
+        timer = StageTimer()
+        timer.add("decide", 0.5, 0.4)
+        timer.add("decide", 0.25, 0.2)
+        timer.add("advance", 1.0)
+        assert timer.totals["decide"] == [0.75, pytest.approx(0.6), 2]
+        assert timer.totals["advance"] == [1.0, 0.0, 1]
+
+    def test_as_dict_shape(self):
+        timer = StageTimer()
+        timer.add("estimate", 0.125, 0.1)
+        assert timer.as_dict() == {
+            "estimate": {"wall_s": 0.125, "cpu_s": 0.1, "count": 1}
+        }

@@ -1,0 +1,134 @@
+"""Wall-clock fleet throughput: population simulation sessions/second.
+
+Extends the repo's performance trajectory to the fleet simulator: every
+run re-measures how fast the discrete-event edge loop drains the default
+seeded population (24 edges, 20 arrivals/s over 90 minutes with a x6
+flash crowd — roughly 146k sessions) and writes ``BENCH_fleet.json`` at
+the repo root with the aggregate QoE/rebuffer/utilization curves, so
+successive PRs can compare like-for-like.
+
+Scale knobs (the CI smoke job shrinks the population; the default is the
+full acceptance-scale run):
+
+- ``REPRO_BENCH_FLEET_DURATION`` — simulated horizon in seconds
+  (default 5400);
+- ``REPRO_BENCH_FLEET_EDGES`` — number of bottleneck edges (default 24);
+- ``REPRO_BENCH_FLEET_ARRIVALS`` — fleet-wide arrivals/s (default 20);
+- ``REPRO_BENCH_FLEET_WORKERS`` — pool size for the timed run
+  (default: usable cores).
+
+Correctness gates before any number is recorded: a small spec must be
+bit-identical between serial and a 2-worker pool, and at full scale the
+population must clear the >=100k-session / >=10k-peak-concurrency bar.
+The environment block records nominal and usable CPU counts so a
+1-core container's throughput is never mistaken for a many-core one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.hotpath import bench_environment, pin_single_threaded
+from repro.fleet import FlashCrowd, FleetSpec, run_fleet
+
+pin_single_threaded()
+
+SEED = 0
+DURATION_S = float(os.environ.get("REPRO_BENCH_FLEET_DURATION", "5400"))
+N_EDGES = int(os.environ.get("REPRO_BENCH_FLEET_EDGES", "24"))
+ARRIVALS_PER_S = float(os.environ.get("REPRO_BENCH_FLEET_ARRIVALS", "20"))
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+FULL_SCALE = DURATION_S >= 5400 and N_EDGES >= 24 and ARRIVALS_PER_S >= 20
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _spec(duration_s: float, n_edges: int, arrivals_per_s: float) -> FleetSpec:
+    return FleetSpec(
+        seed=SEED,
+        duration_s=duration_s,
+        n_edges=n_edges,
+        arrivals_per_s=arrivals_per_s,
+        flash_crowds=(
+            FlashCrowd(
+                start_s=0.6 * duration_s,
+                duration_s=min(300.0, 0.2 * duration_s),
+                multiplier=6.0,
+            ),
+        ),
+    )
+
+
+def _fingerprint(result):
+    arrays = (
+        result.delivered_bits,
+        result.concurrency_s,
+        result.stall_s,
+        result.qoe_sum,
+        result.arrivals,
+        result.finishes,
+    )
+    return (
+        tuple(a.tobytes() for a in arrays),
+        (result.sessions, result.chunks, result.bits, result.qoe_mean),
+    )
+
+
+def test_fleet_throughput_trajectory(benchmark):
+    # Correctness before speed: sharding the edges across a pool must not
+    # change a single bit of the aggregate.
+    small = _spec(duration_s=420.0, n_edges=4, arrivals_per_s=1.0)
+    assert _fingerprint(run_fleet(small, n_workers=2)) == _fingerprint(
+        run_fleet(small, n_workers=1)
+    )
+
+    usable = _usable_cpus()
+    workers = int(os.environ.get("REPRO_BENCH_FLEET_WORKERS", "0")) or usable
+    spec = _spec(DURATION_S, N_EDGES, ARRIVALS_PER_S)
+
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        run_fleet, args=(spec,), kwargs={"n_workers": workers}, rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - start
+
+    if FULL_SCALE:
+        assert result.sessions >= 100_000
+        assert result.peak_concurrency >= 10_000
+
+    record = {
+        "benchmark": "fleet_throughput",
+        "environment": {**bench_environment(), "usable_cpus": usable},
+        "timing": {
+            "workers": workers,
+            "elapsed_s": round(elapsed, 4),
+            "sessions_per_s": round(result.sessions / elapsed, 2) if elapsed else None,
+            "chunks_per_s": round(result.chunks / elapsed, 1) if elapsed else None,
+            "sim_speedup_vs_realtime": (
+                round(spec.duration_s / elapsed, 2) if elapsed else None
+            ),
+            "full_scale": FULL_SCALE,
+        },
+        **result.report(),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print(
+        f"\nfleet throughput ({result.sessions} sessions over {N_EDGES} edges, "
+        f"{os.cpu_count()} cores, {usable} usable):"
+    )
+    print(
+        f"  {workers} workers  {record['timing']['sessions_per_s']:>10} sessions/s"
+        f"  {record['timing']['chunks_per_s']:>12} chunks/s"
+        f"  peak concurrency {result.peak_concurrency:.0f}"
+    )

@@ -56,6 +56,7 @@ results are bit-identical either way.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -71,6 +72,7 @@ from repro.experiments.parallel import ParallelSweepRunner
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_comparison
 from repro.faults.spec import parse_fault_plan
+from repro.fleet import FlashCrowd, FleetRunner, FleetSpec
 from repro.network.link import TraceLink
 from repro.network.traces import (
     save_trace_file,
@@ -355,6 +357,89 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    crowds = ()
+    if args.crowd_multiplier > 1.0:
+        crowds = (
+            FlashCrowd(
+                start_s=args.crowd_start_frac * args.duration,
+                duration_s=args.crowd_duration,
+                multiplier=args.crowd_multiplier,
+            ),
+        )
+    try:
+        spec = FleetSpec(
+            seed=args.seed,
+            duration_s=args.duration,
+            n_edges=args.edges,
+            arrivals_per_s=args.arrivals,
+            edge_capacity_mbps=args.edge_capacity,
+            flash_crowds=crowds,
+            schemes=tuple(args.schemes),
+            live_fraction=args.live_fraction,
+            mean_watch_chunks=args.mean_watch_chunks,
+            fault_plan=_fault_plan_arg(args),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad fleet spec: {exc}") from None
+    want_registry = bool(
+        args.metrics_out or args.serve_metrics is not None or args.metrics_dir
+    )
+    registry = MetricsRegistry() if want_registry else None
+    tracer = SpanTracer("fleet") if args.profile else None
+    board = ProgressBoard(args.metrics_dir) if args.metrics_dir else None
+    server = sampler = None
+    if args.serve_metrics is not None:
+        server = MetricsServer(registry, port=args.serve_metrics).start()
+        print(f"serving Prometheus metrics at {server.url}")
+    if registry is not None:
+        sampler = ResourceSampler(registry).start()
+    try:
+        runner = FleetRunner(
+            spec, n_workers=_workers_arg(args), registry=registry,
+            tracer=tracer, progress=board,
+        )
+        result = runner.run()
+    finally:
+        if sampler is not None:
+            sampler.stop()
+        if board is not None:
+            board.close()
+        if server is not None:
+            server.stop()
+    report = result.report()
+    totals = report["totals"]
+    print(
+        f"fleet: {totals['sessions']} sessions ({totals['live_sessions']} live) "
+        f"across {spec.n_edges} edges in {totals['wall_s']:.1f}s wall"
+    )
+    rows = [
+        ("sessions", f"{totals['sessions']}"),
+        ("peak concurrency", f"{totals['peak_concurrency']:.0f}"),
+        ("chunks", f"{totals['chunks']}"),
+        ("delivered", f"{totals['delivered_gbits']:.1f} Gbit"),
+        ("mean QoE", f"{totals['mean_qoe']:.2f}"),
+        ("mean quality", f"{totals['mean_quality']:.1f}"),
+        ("rebuffer ratio", f"{totals['rebuffer_ratio'] * 100:.3f}%"),
+        ("edge utilization", f"{totals['mean_utilization'] * 100:.1f}%"),
+    ]
+    print(render_table(("metric", "value"), rows))
+    if spec.fault_plan is not None:
+        print(f"faults: {spec.fault_plan.describe()}")
+    if args.out:
+        path = Path(args.out)
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote fleet report to {path}")
+    if args.metrics_out:
+        path = Path(args.metrics_out)
+        path.write_text(registry_to_prometheus(registry))
+        print(f"wrote fleet metrics to {path}")
+    if tracer is not None:
+        path = write_chrome_trace(tracer.spans, args.profile, registry)
+        print(f"wrote Chrome trace to {path} (open in Perfetto / chrome://tracing)")
+    return 0
+
+
 def cmd_top(args: argparse.Namespace) -> int:
     import time
 
@@ -605,6 +690,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stream live progress for `repro top` to this directory")
 
     p = commands.add_parser(
+        "fleet",
+        help="simulate a session population contending at shared edges",
+    )
+    p.add_argument("--duration", type=float, default=5400.0,
+                   help="arrival horizon in seconds (default 5400 = 90 min; "
+                        "sessions in flight at the horizon play out)")
+    p.add_argument("--edges", type=int, default=24,
+                   help="shared bottleneck links in the fleet (default 24)")
+    p.add_argument("--arrivals", type=float, default=20.0,
+                   help="fleet-wide base arrival rate, sessions/s (default 20)")
+    p.add_argument("--edge-capacity", type=float, default=220.0,
+                   help="mean edge capacity in Mbps (default 220)")
+    p.add_argument("--schemes", nargs="+", default=["CAVA", "RBA"],
+                   help="ABR schemes sessions draw from (default CAVA RBA)")
+    p.add_argument("--live-fraction", type=float, default=0.15,
+                   help="fraction of sessions streaming live (default 0.15)")
+    p.add_argument("--mean-watch-chunks", type=float, default=24.0,
+                   help="mean chunks watched before abandoning (default 24)")
+    p.add_argument("--crowd-multiplier", type=float, default=6.0,
+                   help="flash-crowd arrival multiplier; <=1 disables "
+                        "(default 6)")
+    p.add_argument("--crowd-start-frac", type=float, default=0.6,
+                   help="crowd start as a fraction of --duration (default 0.6)")
+    p.add_argument("--crowd-duration", type=float, default=300.0,
+                   help="crowd plateau length in seconds (default 300)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes (0 = all cores; default 0)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="perturb edge capacity / inject latency spikes, "
+                        "e.g. outages:p=0.05,seed=7+latency:p=0.1")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the JSON fleet report (curves + totals)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write a Prometheus-format telemetry dump")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="write a Chrome trace of the fleet run")
+    p.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                   help="serve live Prometheus metrics over HTTP during the "
+                        "run (0 picks an ephemeral port)")
+    p.add_argument("--metrics-dir", default=None, metavar="PATH",
+                   help="stream live progress for `repro top` to this directory")
+
+    p = commands.add_parser(
         "top", help="live dashboard for a sweep started with --metrics-dir"
     )
     p.add_argument("metrics_dir", help="the sweep's --metrics-dir directory")
@@ -658,6 +786,7 @@ _HANDLERS = {
     "run": cmd_run,
     "trace": cmd_trace,
     "compare": cmd_compare,
+    "fleet": cmd_fleet,
     "top": cmd_top,
     "bench": cmd_bench,
     "cache": cmd_cache,

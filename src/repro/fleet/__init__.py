@@ -1,0 +1,44 @@
+"""Fleet simulator: populations of ABR sessions at shared bottlenecks.
+
+The per-session machinery elsewhere in the repo answers "how does one
+player behave on one trace"; this package answers the service-operator
+questions — how many concurrent viewers an edge fleet sustains, what a
+flash crowd does to rebuffering, how utilization tracks the diurnal
+load. Sessions arrive by a seeded non-homogeneous Poisson process
+(:mod:`repro.fleet.arrivals`), contend for capacity under processor
+sharing at each edge (:class:`repro.network.shared.SharedLink` driven
+by :mod:`repro.fleet.sim`), and shard across a worker pool with a
+bit-identical merge (:mod:`repro.fleet.runner`).
+"""
+
+from repro.fleet.arrivals import (
+    crowd_factor,
+    diurnal_factor,
+    edge_arrival_times,
+    edge_rate_fn,
+    generate_arrivals,
+)
+from repro.fleet.runner import (
+    FleetResult,
+    FleetRunner,
+    run_fleet,
+    synthesize_edge_trace,
+)
+from repro.fleet.sim import EdgeResult, simulate_edge
+from repro.fleet.spec import FlashCrowd, FleetSpec
+
+__all__ = [
+    "crowd_factor",
+    "diurnal_factor",
+    "edge_arrival_times",
+    "edge_rate_fn",
+    "generate_arrivals",
+    "FleetResult",
+    "FleetRunner",
+    "run_fleet",
+    "synthesize_edge_trace",
+    "EdgeResult",
+    "simulate_edge",
+    "FlashCrowd",
+    "FleetSpec",
+]

@@ -1,0 +1,128 @@
+"""Seeded non-homogeneous Poisson arrivals for the fleet simulator.
+
+Sessions arrive at each edge following a Poisson process whose rate is
+the edge's base rate modulated by a diurnal cosine and any flash-crowd
+surges. Sampling uses Lewis–Shedler thinning: draw candidate points
+from a homogeneous process at the envelope rate, keep each candidate
+with probability ``rate(t) / rate_max``. The candidate stream is
+consumed in fixed-size blocks from a single ``Generator``, so the
+output is a pure function of ``(rng state, duration, rate fn)`` — the
+determinism the fleet's bit-identity guarantee leans on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.fleet.spec import FlashCrowd, FleetSpec
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "diurnal_factor",
+    "crowd_factor",
+    "edge_rate_fn",
+    "generate_arrivals",
+    "edge_arrival_times",
+]
+
+#: Candidates drawn per thinning round. Fixed (never adaptive): the
+#: draw sequence, and therefore the output, must not depend on load.
+_THINNING_BLOCK = 4096
+
+
+def diurnal_factor(
+    t: np.ndarray, amplitude: float, period_s: float
+) -> np.ndarray:
+    """Mean-1 diurnal modulation: trough at ``t=0``, peak at mid-period."""
+    if amplitude == 0.0:
+        return np.ones_like(np.asarray(t, dtype=np.float64))
+    return 1.0 - amplitude * np.cos(2.0 * np.pi * np.asarray(t, dtype=np.float64) / period_s)
+
+
+def crowd_factor(t: np.ndarray, crowds: Sequence[FlashCrowd]) -> np.ndarray:
+    """Multiplicative surge factor at ``t`` (1.0 outside every crowd).
+
+    Each crowd contributes a trapezoid: linear ramp up over ``ramp_s``
+    before ``start_s``, flat at ``multiplier`` through the crowd, linear
+    ramp back down. Overlapping crowds stack additively on the excess
+    (``multiplier - 1``), which keeps the factor continuous and bounded
+    by :attr:`FleetSpec.peak_rate_factor`'s surge term.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    factor = np.ones_like(t)
+    for crowd in crowds:
+        if crowd.ramp_s > 0:
+            up = np.clip((t - (crowd.start_s - crowd.ramp_s)) / crowd.ramp_s, 0.0, 1.0)
+            down = np.clip(
+                ((crowd.start_s + crowd.duration_s + crowd.ramp_s) - t) / crowd.ramp_s,
+                0.0,
+                1.0,
+            )
+            shape = np.minimum(up, down)
+        else:
+            shape = (
+                (t >= crowd.start_s) & (t <= crowd.start_s + crowd.duration_s)
+            ).astype(np.float64)
+        factor = factor + (crowd.multiplier - 1.0) * shape
+    return factor
+
+
+def edge_rate_fn(spec: FleetSpec) -> Callable[[np.ndarray], np.ndarray]:
+    """The instantaneous per-edge arrival rate ``lambda(t)``, vectorized."""
+    base = spec.edge_arrival_rate
+    amplitude = spec.diurnal_amplitude
+    period = spec.diurnal_period
+    crowds = spec.flash_crowds
+
+    def rate(t: np.ndarray) -> np.ndarray:
+        return base * diurnal_factor(t, amplitude, period) * crowd_factor(t, crowds)
+
+    return rate
+
+
+def generate_arrivals(
+    rng: np.random.Generator,
+    duration_s: float,
+    rate_fn: Callable[[np.ndarray], np.ndarray],
+    rate_max: float,
+) -> np.ndarray:
+    """Lewis–Shedler thinning over ``[0, duration_s)``.
+
+    ``rate_max`` must dominate ``rate_fn`` everywhere; candidates are
+    drawn at that envelope and kept with probability ``rate/rate_max``.
+    Returns strictly increasing arrival times.
+    """
+    if rate_max <= 0:
+        raise ValueError(f"rate_max must be > 0, got {rate_max}")
+    kept = []
+    t = 0.0
+    scale = 1.0 / rate_max
+    while t < duration_s:
+        gaps = rng.exponential(scale, size=_THINNING_BLOCK)
+        candidates = t + np.cumsum(gaps)
+        accept = rng.random(_THINNING_BLOCK) * rate_max < rate_fn(candidates)
+        block = candidates[accept & (candidates < duration_s)]
+        if block.size:
+            kept.append(block)
+        t = float(candidates[-1])
+    if not kept:
+        return np.empty(0, dtype=np.float64)
+    return np.concatenate(kept)
+
+
+def edge_arrival_times(spec: FleetSpec, edge_index: int) -> np.ndarray:
+    """Arrival times at one edge — pure function of ``(spec, edge)``.
+
+    The RNG is derived from ``(seed, "fleet", "arrivals", edge)``, so
+    every edge's stream is independent of every other's and of how
+    edges are sharded across workers.
+    """
+    rng = derive_rng(spec.seed, "fleet", "arrivals", str(edge_index))
+    return generate_arrivals(
+        rng,
+        spec.duration_s,
+        edge_rate_fn(spec),
+        spec.edge_arrival_rate * spec.peak_rate_factor,
+    )

@@ -1,0 +1,507 @@
+"""Per-edge discrete-event simulation of a contending session population.
+
+One :func:`simulate_edge` call owns one bottleneck: a
+:class:`~repro.network.shared.SharedLink` over the edge's capacity
+trace, a timer heap of session events (arrivals, idle wake-ups,
+latency-delayed transfer starts, playback departures), and the
+event-driven session cores of :mod:`repro.player.core`. The loop
+interleaves the two event sources deterministically — at equal times a
+download completion is processed before a timer, and timers break ties
+by insertion order — so an edge's result is a pure function of
+``(spec, edge_index, videos, trace)`` and the fleet can shard edges
+across any number of workers without changing a bit of the output.
+
+Aggregates are folded into fixed-width time buckets as the clock
+advances (concurrency and active-download time integrals, delivered
+bits, stalls, arrivals, finishes, per-session QoE at departure), plus
+whole-edge scalars. Per-session state is discarded at departure: a
+100k-session fleet keeps only its ~20k concurrent cores alive.
+
+A session occupies the edge from arrival until *playback* ends: after
+the last watched chunk downloads, the viewer keeps watching the buffer
+out (a ``depart`` timer), contributing to concurrency but not to link
+contention — the distinction between "viewers online" and "transfers
+in flight" that capacity planning cares about.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.abr.registry import make_scheme, needs_quality_manifest
+from repro.core.cava import cava_live
+from repro.faults.plan import FaultedLink
+from repro.fleet.arrivals import edge_arrival_times
+from repro.fleet.spec import FleetSpec
+from repro.network.link import TraceLink
+from repro.network.shared import SharedLink
+from repro.network.traces import NetworkTrace
+from repro.player.core import DONE, FETCH, WAIT, LiveSessionCore, VodSessionCore
+from repro.player.live import LiveSessionConfig
+from repro.player.metrics import QoeWeights
+from repro.player.session import SessionConfig
+from repro.util.rng import derive_rng
+from repro.video.model import VideoAsset
+
+__all__ = ["EdgeResult", "simulate_edge"]
+
+# Timer-event kinds (heap entries are (time, seq, kind, session/index)).
+_EV_ARRIVE = 0
+_EV_WAKE = 1
+_EV_XFER = 2  # latency-fault delay elapsed; start the transfer
+_EV_DEPART = 3  # buffer played out; viewer leaves
+
+#: Live CAVA lookahead (chunks) — matches the §8 live adaptation tests.
+_LIVE_LOOKAHEAD_CHUNKS = 10
+
+
+@dataclass
+class EdgeResult:
+    """Picklable summary of one edge's simulation.
+
+    Bucket arrays all share one length (``n_buckets``); integrals are
+    in their natural units (viewer-seconds, flow-seconds, bits).
+    """
+
+    edge_index: int
+    bucket_s: float
+    # -- bucketed series -------------------------------------------------
+    delivered_bits: np.ndarray
+    capacity_bits: np.ndarray
+    concurrency_s: np.ndarray  # viewer-seconds in system
+    download_s: np.ndarray  # active-transfer-seconds at the link
+    stall_s: np.ndarray
+    arrivals: np.ndarray
+    finishes: np.ndarray
+    qoe_sum: np.ndarray
+    qoe_count: np.ndarray
+    # -- whole-edge scalars ----------------------------------------------
+    sessions: int
+    live_sessions: int
+    chunks: int
+    bits: float
+    stall_total_s: float
+    startup_sum_s: float
+    qoe_total: float
+    sum_mean_quality: float
+    low_quality_chunks: int
+    level_switches: int
+    sum_live_latency_s: float
+    peak_concurrency: int
+    peak_downloads: int
+    end_s: float  # sim time when the last viewer departed
+    events: int
+    started_at: float  # wall-clock, for span stitching
+    wall_s: float
+    cpu_s: float
+
+    @property
+    def n_buckets(self) -> int:
+        return int(self.delivered_bits.size)
+
+
+class _Buckets:
+    """Fixed-width accumulators that grow on demand (drain overruns the
+    arrival horizon by an unknown amount)."""
+
+    __slots__ = ("width", "values")
+
+    def __init__(self, width: float) -> None:
+        self.width = width
+        self.values: List[float] = []
+
+    def _ensure(self, index: int) -> None:
+        values = self.values
+        if index >= len(values):
+            values.extend([0.0] * (index + 1 - len(values)))
+
+    def add_at(self, t: float, amount: float) -> None:
+        index = int(t / self.width)
+        self._ensure(index)
+        self.values[index] += amount
+
+    def add_window(self, t0: float, t1: float, amount: float) -> None:
+        """Spread ``amount`` uniformly over ``[t0, t1]``."""
+        if t1 <= t0:
+            return
+        density = amount / (t1 - t0)
+        width = self.width
+        lo = int(t0 / width)
+        hi = int(t1 / width)
+        self._ensure(hi)
+        if lo == hi:
+            self.values[lo] += amount
+            return
+        values = self.values
+        values[lo] += density * ((lo + 1) * width - t0)
+        for index in range(lo + 1, hi):
+            values[index] += density * width
+        values[hi] += density * (t1 - hi * width)
+
+    def array(self, n: int) -> np.ndarray:
+        out = np.zeros(n, dtype=np.float64)
+        out[: len(self.values)] = self.values
+        return out
+
+
+class _Session:
+    """Per-viewer envelope around an event-driven core."""
+
+    __slots__ = ("core", "live", "pool_key", "pending_bits", "stall_seen")
+
+    def __init__(self, core, live: bool, pool_key) -> None:
+        self.core = core
+        self.live = live
+        self.pool_key = pool_key
+        self.pending_bits = 0.0
+        self.stall_seen = 0.0
+
+
+class _EdgeSimulator:
+    def __init__(
+        self,
+        spec: FleetSpec,
+        edge_index: int,
+        videos: Mapping[str, VideoAsset],
+        trace: NetworkTrace,
+    ) -> None:
+        self.spec = spec
+        self.edge_index = edge_index
+        self.trace = trace
+        self.link = SharedLink(TraceLink(trace))
+        wrapped = (
+            spec.fault_plan.wrap_link(self.link.link)
+            if spec.fault_plan is not None
+            else self.link.link
+        )
+        # Only the stateless spike lookup is used; transfers themselves
+        # go through the shared discipline.
+        self.delay_at = (
+            wrapped.delay_at if isinstance(wrapped, FaultedLink) else None
+        )
+
+        self.video_list = [videos[name] for name in spec.videos]
+        self.session_config = SessionConfig(
+            startup_latency_s=spec.startup_latency_s,
+            max_buffer_s=spec.max_buffer_s,
+        )
+        self.live_config = LiveSessionConfig(
+            latency_budget_s=spec.live_latency_budget_s
+        )
+        self.qoe_weights = QoeWeights()
+        # Manifests and quality tables per (video index, quality manifest).
+        self._manifests: Dict[Tuple[int, bool], object] = {}
+        self._quality_rows: Dict[int, np.ndarray] = {}
+        # Retired algorithm instances, reusable after `prepare`:
+        # key (scheme index, video index, live).
+        self._algorithm_pool: Dict[Tuple[int, int, bool], list] = {}
+
+        self.heap: List[Tuple[float, int, int, object]] = []
+        self._seq = 0
+        self.in_system = 0
+
+        width = spec.bucket_s
+        self.b_delivered = _Buckets(width)
+        self.b_concurrency = _Buckets(width)
+        self.b_download = _Buckets(width)
+        self.b_stall = _Buckets(width)
+        self.b_arrivals = _Buckets(width)
+        self.b_finishes = _Buckets(width)
+        self.b_qoe_sum = _Buckets(width)
+        self.b_qoe_count = _Buckets(width)
+
+        self.sessions = 0
+        self.live_sessions = 0
+        self.chunks = 0
+        self.bits = 0.0
+        self.stall_total_s = 0.0
+        self.startup_sum_s = 0.0
+        self.qoe_total = 0.0
+        self.sum_mean_quality = 0.0
+        self.low_quality_chunks = 0
+        self.level_switches = 0
+        self.sum_live_latency_s = 0.0
+        self.peak_concurrency = 0
+        self.peak_downloads = 0
+        self.events = 0
+
+    # -- deterministic session attributes --------------------------------
+
+    def _draw_population(self) -> None:
+        spec = self.spec
+        times = edge_arrival_times(spec, self.edge_index)
+        n = times.size
+        rng = derive_rng(spec.seed, "fleet", "population", str(self.edge_index))
+        # Fixed draw order — part of the determinism contract.
+        self.attr_video = rng.integers(0, len(spec.videos), size=n)
+        self.attr_scheme = rng.integers(0, len(spec.schemes), size=n)
+        self.attr_live = rng.random(n) < spec.live_fraction
+        self.attr_watch = rng.geometric(1.0 / spec.mean_watch_chunks, size=n)
+        for k in range(n):
+            self._push(float(times[k]), _EV_ARRIVE, k)
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _push(self, t: float, kind: int, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self.heap, (t, self._seq, kind, payload))
+
+    def _manifest(self, video_index: int, with_quality: bool):
+        key = (video_index, with_quality)
+        manifest = self._manifests.get(key)
+        if manifest is None:
+            manifest = self.video_list[video_index].manifest(
+                include_quality=with_quality
+            )
+            self._manifests[key] = manifest
+        return manifest
+
+    def _quality_table(self, video_index: int) -> np.ndarray:
+        rows = self._quality_rows.get(video_index)
+        if rows is None:
+            rows = np.stack(
+                [
+                    track.qualities[self.spec.metric]
+                    for track in self.video_list[video_index].tracks
+                ]
+            )
+            self._quality_rows[video_index] = rows
+        return rows
+
+    def _acquire_algorithm(self, scheme_index: int, video_index: int, live: bool):
+        key = (scheme_index, video_index, live)
+        pool = self._algorithm_pool.get(key)
+        if pool:
+            return pool.pop()
+        name = self.spec.schemes[scheme_index]
+        if live and name == "CAVA":
+            manifest = self._manifest(video_index, False)
+            return cava_live(
+                _LIVE_LOOKAHEAD_CHUNKS,
+                manifest.chunk_duration_s,
+                self.spec.live_latency_budget_s,
+            )
+        return make_scheme(name, metric=self.spec.metric)
+
+    def _release_algorithm(self, session: _Session) -> None:
+        self._algorithm_pool.setdefault(session.pool_key, []).append(
+            session.core.algorithm
+        )
+
+    # -- clock ------------------------------------------------------------
+
+    def _advance(self, t: float) -> None:
+        """Advance the shared clock, folding integrals into buckets.
+
+        Windows are split at bucket boundaries so each sub-window's
+        delivered bits and time integrals land in exactly one bucket.
+        """
+        link = self.link
+        now = link.now_s
+        if t <= now:
+            return
+        width = self.spec.bucket_s
+        while now < t:
+            boundary = (math.floor(now / width) + 1.0) * width
+            step = t if t < boundary else boundary
+            active = link.n_active
+            bits = link.advance_to(step)
+            dt = step - now
+            if bits:
+                self.b_delivered.add_at(now, bits)
+            if self.in_system:
+                self.b_concurrency.add_at(now, self.in_system * dt)
+            if active:
+                self.b_download.add_at(now, active * dt)
+            now = step
+
+    # -- event handlers ----------------------------------------------------
+
+    def _arrive(self, t: float, index: int) -> None:
+        spec = self.spec
+        video_index = int(self.attr_video[index])
+        scheme_index = int(self.attr_scheme[index])
+        live = bool(self.attr_live[index])
+        watch = int(self.attr_watch[index])
+        with_quality = needs_quality_manifest(spec.schemes[scheme_index])
+        manifest = self._manifest(video_index, with_quality)
+        algorithm = self._acquire_algorithm(scheme_index, video_index, live)
+        quality_rows = self._quality_table(video_index)
+        if live:
+            core = LiveSessionCore(
+                algorithm,
+                manifest,
+                config=self.live_config,
+                watch_chunks=watch,
+                quality_rows=quality_rows,
+            )
+            self.live_sessions += 1
+        else:
+            core = VodSessionCore(
+                algorithm,
+                manifest,
+                config=self.session_config,
+                watch_chunks=watch,
+                quality_rows=quality_rows,
+            )
+        session = _Session(core, live, (scheme_index, video_index, live))
+        self.sessions += 1
+        self.in_system += 1
+        if self.in_system > self.peak_concurrency:
+            self.peak_concurrency = self.in_system
+        self.b_arrivals.add_at(t, 1.0)
+        self._dispatch(session, core.begin(t), t)
+
+    def _start_transfer(self, session: _Session, t: float) -> None:
+        link = self.link
+        link.start(session, session.pending_bits)
+        if link.n_active > self.peak_downloads:
+            self.peak_downloads = link.n_active
+
+    def _finalize(self, session: _Session, t: float) -> None:
+        """The last watched chunk downloaded; the viewer drains the buffer."""
+        core = session.core
+        self.chunks += core.chunk
+        self.bits += core.total_bits
+        self.stall_total_s += core.total_stall_s
+        self.startup_sum_s += core.startup_delay_s
+        self.sum_mean_quality += core.mean_quality
+        self.low_quality_chunks += core.low_quality_chunks
+        self.level_switches += core.level_switches
+        if session.live:
+            self.sum_live_latency_s += core.sum_latency_s
+        weights = self.qoe_weights
+        qoe = (
+            core.mean_quality
+            - weights.rebuffer_per_s * core.total_stall_s
+            - weights.quality_change * core.quality_change_per_chunk
+            - weights.startup_per_s * core.startup_delay_s
+        )
+        self.qoe_total += qoe
+        self.b_qoe_sum.add_at(t, qoe)
+        self.b_qoe_count.add_at(t, 1.0)
+        self._release_algorithm(session)
+        # Viewer stays (watching the buffer out) without touching the link.
+        self._push(t + core.buffer.level_s, _EV_DEPART, session)
+
+    def _depart(self, session: _Session, t: float) -> None:
+        self.in_system -= 1
+        self.b_finishes.add_at(t, 1.0)
+
+    def _dispatch(self, session: _Session, action, t: float) -> None:
+        core = session.core
+        stall = core.total_stall_s
+        if stall > session.stall_seen:
+            self.b_stall.add_at(t, stall - session.stall_seen)
+            session.stall_seen = stall
+        kind = action[0]
+        if kind == FETCH:
+            session.pending_bits = action[1]
+            delay = self.delay_at(t) if self.delay_at is not None else 0.0
+            if delay > 0.0:
+                # The spike holds the request off the wire; the player
+                # still measures the elongated fetch (download time is
+                # anchored at the emit, as with a FaultedLink).
+                self._push(t + delay, _EV_XFER, session)
+            else:
+                self._start_transfer(session, t)
+        elif kind == WAIT:
+            self._push(t + action[1], _EV_WAKE, session)
+        else:
+            assert kind == DONE
+            self._finalize(session, t)
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> EdgeResult:
+        started_at = time.time()
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        self._draw_population()
+        heap = self.heap
+        link = self.link
+        while heap or link.n_active:
+            completion = link.next_completion()
+            timer_t = heap[0][0] if heap else math.inf
+            if completion is not None and completion[0] <= timer_t:
+                t, session = completion
+                self._advance(t)
+                link.complete(session)
+                self._dispatch(session, session.core.on_fetch_done(t), t)
+            else:
+                t, _seq, kind, payload = heapq.heappop(heap)
+                self._advance(t)
+                if kind == _EV_ARRIVE:
+                    self._arrive(t, payload)
+                elif kind == _EV_WAKE:
+                    self._dispatch(payload, payload.core.on_wait_done(t), t)
+                elif kind == _EV_XFER:
+                    self._start_transfer(payload, t)
+                else:
+                    self._depart(payload, t)
+            self.events += 1
+        return self._result(started_at, wall0, cpu0)
+
+    def _result(self, started_at: float, wall0: float, cpu0: float) -> EdgeResult:
+        width = self.spec.bucket_s
+        n = max(
+            len(self.b_delivered.values),
+            len(self.b_concurrency.values),
+            len(self.b_download.values),
+            len(self.b_stall.values),
+            len(self.b_arrivals.values),
+            len(self.b_finishes.values),
+            len(self.b_qoe_sum.values),
+            1,
+        )
+        probe = TraceLink(self.trace)
+        capacity = np.array(
+            [probe.bits_in_window(i * width, (i + 1) * width) for i in range(n)]
+        )
+        return EdgeResult(
+            edge_index=self.edge_index,
+            bucket_s=width,
+            delivered_bits=self.b_delivered.array(n),
+            capacity_bits=capacity,
+            concurrency_s=self.b_concurrency.array(n),
+            download_s=self.b_download.array(n),
+            stall_s=self.b_stall.array(n),
+            arrivals=self.b_arrivals.array(n),
+            finishes=self.b_finishes.array(n),
+            qoe_sum=self.b_qoe_sum.array(n),
+            qoe_count=self.b_qoe_count.array(n),
+            sessions=self.sessions,
+            live_sessions=self.live_sessions,
+            chunks=self.chunks,
+            bits=self.bits,
+            stall_total_s=self.stall_total_s,
+            startup_sum_s=self.startup_sum_s,
+            qoe_total=self.qoe_total,
+            sum_mean_quality=self.sum_mean_quality,
+            low_quality_chunks=self.low_quality_chunks,
+            level_switches=self.level_switches,
+            sum_live_latency_s=self.sum_live_latency_s,
+            peak_concurrency=self.peak_concurrency,
+            peak_downloads=self.peak_downloads,
+            end_s=self.link.now_s,
+            events=self.events,
+            started_at=started_at,
+            wall_s=time.perf_counter() - wall0,
+            cpu_s=time.process_time() - cpu0,
+        )
+
+
+def simulate_edge(
+    spec: FleetSpec,
+    edge_index: int,
+    videos: Mapping[str, VideoAsset],
+    trace: NetworkTrace,
+) -> EdgeResult:
+    """Simulate one edge's population to completion (see module docs)."""
+    return _EdgeSimulator(spec, edge_index, videos, trace).run()

@@ -1,0 +1,163 @@
+"""Declarative description of one fleet simulation.
+
+A :class:`FleetSpec` is the single frozen value from which everything
+else in :mod:`repro.fleet` derives — arrival streams, edge capacity
+traces, session populations. Workers receive the spec by pickle and
+every random draw is keyed off ``spec.seed`` through
+:func:`repro.util.rng.derive_rng`, so one spec always produces one
+bit-identical :class:`~repro.fleet.runner.FleetResult`, whatever the
+worker count or multiprocessing start method.
+
+Scale intuition for the defaults: ``arrivals_per_s`` is the *fleet-wide*
+base rate before diurnal/flash modulation. With the CLI's default flash
+crowd on top, 20 arrivals/s over a 90-minute horizon yields roughly
+145k sessions with a peak around 20k concurrent viewers — the service
+envelope the paper's single-session experiments never exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FlashCrowd", "FleetSpec"]
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A transient arrival-rate surge (breaking news, a goal, a drop).
+
+    The surge multiplies the instantaneous arrival rate by
+    ``multiplier`` over ``[start_s, start_s + duration_s]``, with linear
+    ramps of ``ramp_s`` on both sides so the rate is continuous (a step
+    discontinuity would make thinning acceptance needlessly spiky).
+    """
+
+    start_s: float
+    duration_s: float
+    multiplier: float
+    ramp_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError(f"start_s must be >= 0, got {self.start_s}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1 (it is a surge), got {self.multiplier}"
+            )
+        if self.ramp_s < 0:
+            raise ValueError(f"ramp_s must be >= 0, got {self.ramp_s}")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Everything that defines one population simulation.
+
+    ``videos`` and ``schemes`` name catalog entries (dataset spec names
+    and registered ABR schemes); each arriving session draws one of
+    each, a live/VoD coin weighted by ``live_fraction``, and a geometric
+    watch time with mean ``mean_watch_chunks`` — the abandonment model:
+    most viewers leave early, a few stay to the end.
+    """
+
+    seed: int = 0
+    duration_s: float = 5400.0
+    n_edges: int = 24
+    #: Fleet-wide base arrival rate (sessions/s) before modulation;
+    #: split evenly across edges.
+    arrivals_per_s: float = 20.0
+
+    # -- edge capacity ---------------------------------------------------
+    edge_capacity_mbps: float = 220.0
+    #: Lognormal sigma of the per-interval capacity jitter (mean-corrected
+    #: so the long-run average stays at ``edge_capacity_mbps``).
+    capacity_jitter: float = 0.35
+    capacity_interval_s: float = 5.0
+
+    # -- load shape ------------------------------------------------------
+    #: Relative swing of the diurnal cosine (0 disables it).
+    diurnal_amplitude: float = 0.35
+    #: Period of the diurnal curve; None means one full cycle over
+    #: ``duration_s`` (trough at the start, peak mid-run).
+    diurnal_period_s: Optional[float] = None
+    flash_crowds: Tuple[FlashCrowd, ...] = ()
+
+    # -- session population ----------------------------------------------
+    videos: Tuple[str, ...] = ("ED-youtube-h264", "BBB-youtube-h264")
+    schemes: Tuple[str, ...] = ("CAVA", "RBA")
+    live_fraction: float = 0.15
+    mean_watch_chunks: float = 24.0
+    startup_latency_s: float = 10.0
+    max_buffer_s: float = 60.0
+    live_latency_budget_s: float = 24.0
+    metric: str = "vmaf_phone"
+
+    # -- reporting / faults ----------------------------------------------
+    #: Width of the aggregate time-series buckets.
+    bucket_s: float = 60.0
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {self.duration_s}")
+        if self.n_edges < 1:
+            raise ValueError(f"n_edges must be >= 1, got {self.n_edges}")
+        if self.arrivals_per_s <= 0:
+            raise ValueError(
+                f"arrivals_per_s must be > 0, got {self.arrivals_per_s}"
+            )
+        if self.edge_capacity_mbps <= 0:
+            raise ValueError(
+                f"edge_capacity_mbps must be > 0, got {self.edge_capacity_mbps}"
+            )
+        if self.capacity_jitter < 0:
+            raise ValueError(
+                f"capacity_jitter must be >= 0, got {self.capacity_jitter}"
+            )
+        if self.capacity_interval_s <= 0:
+            raise ValueError(
+                f"capacity_interval_s must be > 0, got {self.capacity_interval_s}"
+            )
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError(
+                "diurnal_amplitude must be in [0, 1) so the rate stays "
+                f"positive, got {self.diurnal_amplitude}"
+            )
+        if self.diurnal_period_s is not None and self.diurnal_period_s <= 0:
+            raise ValueError(
+                f"diurnal_period_s must be > 0, got {self.diurnal_period_s}"
+            )
+        if not self.videos:
+            raise ValueError("need at least one video")
+        if not self.schemes:
+            raise ValueError("need at least one scheme")
+        if not 0.0 <= self.live_fraction <= 1.0:
+            raise ValueError(
+                f"live_fraction must be in [0, 1], got {self.live_fraction}"
+            )
+        if self.mean_watch_chunks < 1.0:
+            raise ValueError(
+                f"mean_watch_chunks must be >= 1, got {self.mean_watch_chunks}"
+            )
+        if self.bucket_s <= 0:
+            raise ValueError(f"bucket_s must be > 0, got {self.bucket_s}")
+
+    @property
+    def diurnal_period(self) -> float:
+        """The effective diurnal period (defaults to the horizon)."""
+        return self.duration_s if self.diurnal_period_s is None else self.diurnal_period_s
+
+    @property
+    def edge_arrival_rate(self) -> float:
+        """Base arrival rate at one edge (sessions/s)."""
+        return self.arrivals_per_s / self.n_edges
+
+    @property
+    def peak_rate_factor(self) -> float:
+        """Upper bound on the modulation factor — the thinning envelope."""
+        surge = 1.0 + sum(c.multiplier - 1.0 for c in self.flash_crowds)
+        return (1.0 + self.diurnal_amplitude) * surge

@@ -16,6 +16,7 @@ from repro.network.estimator import (
     LastSampleEstimator,
 )
 from repro.network.link import DownloadResult, TraceLink
+from repro.network.shared import SharedLink
 from repro.network.traces import (
     NetworkTrace,
     load_trace_file,
@@ -38,6 +39,7 @@ __all__ = [
     "LastSampleEstimator",
     "DownloadResult",
     "TraceLink",
+    "SharedLink",
     "NetworkTrace",
     "load_trace_file",
     "save_trace_file",

@@ -43,6 +43,17 @@ __all__ = [
 #: production players' cold-start behaviour.
 DEFAULT_INITIAL_ESTIMATE_BPS = 1_000_000.0
 
+# Throughput samples are clamped into the *normal* float range before
+# entering a history window. Positive finite sizes and durations can
+# still produce a quotient that underflows to exactly 0.0 or overflows
+# to inf (a fleet session throttled to a near-zero share downloads one
+# chunk over an astronomically long window), and a 0.0 sample makes the
+# harmonic fold raise ZeroDivisionError while an inf sample collapses it
+# to garbage. Clamping touches only degenerate quotients — every sample
+# a real link can produce passes through bit-unchanged.
+_MIN_SAMPLE_BPS = 2.2250738585072014e-308  # smallest normal double
+_MAX_SAMPLE_BPS = 1.7976931348623157e308  # largest finite double
+
 
 class BandwidthEstimator:
     """Base class: throughput samples in, bandwidth predictions out."""
@@ -86,7 +97,12 @@ class HarmonicMeanEstimator(BandwidthEstimator):
             check_positive(size_bits, "size_bits")
         if not 0.0 < duration_s < math.inf:
             check_positive(duration_s, "duration_s")
-        self._samples.append(size_bits / duration_s)
+        sample = size_bits / duration_s
+        if not _MIN_SAMPLE_BPS <= sample <= _MAX_SAMPLE_BPS:
+            # Degenerate quotient (underflow to 0.0 / denormal / inf):
+            # keep the sample representable so the fold stays defined.
+            sample = min(max(sample, _MIN_SAMPLE_BPS), _MAX_SAMPLE_BPS)
+        self._samples.append(sample)
 
     def predict_bps(self, now_s: float) -> float:
         samples = self._samples
@@ -103,10 +119,19 @@ class HarmonicMeanEstimator(BandwidthEstimator):
             inverse_sum = 0.0
             for sample in samples:
                 inverse_sum += 1.0 / sample
-            return n / inverse_sum
-        # Wide windows (>= 8): numpy switches to pairwise summation, so
-        # delegate to the shared helper rather than approximate it.
-        return harmonic_mean(list(samples))
+            predicted = n / inverse_sum
+        else:
+            # Wide windows (>= 8): numpy switches to pairwise summation,
+            # so delegate to the shared helper rather than approximate it.
+            predicted = harmonic_mean(list(samples))
+        # Warm-up hardening: samples are clamped positive finite, but the
+        # fold itself can still overflow (several near-maximal addends sum
+        # to inf → a 0.0 "prediction") or produce an inf from a denormal
+        # inverse sum. Fall back to the cold-start estimate instead of
+        # handing the ABR logic a zero/non-finite bandwidth.
+        if 0.0 < predicted < math.inf:
+            return predicted
+        return self.initial_estimate_bps
 
     def reset(self) -> None:
         self._samples.clear()
@@ -149,7 +174,23 @@ class BatchHarmonicMeanEstimator:
 
     def observe(self, size_bits: np.ndarray, duration_s: np.ndarray) -> None:
         """Record one completed download per lane (durations > 0)."""
-        self._samples[:, self._pos] = size_bits / duration_s
+        # Mirror the scalar estimator's fast-accept contract: every lane
+        # must contribute strictly positive finite inputs. A zero/negative
+        # duration or size would otherwise plant an inf/NaN in the ring
+        # and quietly poison the next ``window`` predictions for the lane.
+        ok = (size_bits > 0.0) & (size_bits < np.inf)
+        ok &= (duration_s > 0.0) & (duration_s < np.inf)
+        if not ok.all():
+            raise ValueError(
+                "batch estimator observations must be strictly positive "
+                "finite sizes and durations"
+            )
+        with np.errstate(over="ignore", under="ignore"):
+            samples = size_bits / duration_s
+        # Same clamp as the scalar path: valid inputs can still produce a
+        # quotient outside the normal float range.
+        np.clip(samples, _MIN_SAMPLE_BPS, _MAX_SAMPLE_BPS, out=samples)
+        self._samples[:, self._pos] = samples
         self._pos = (self._pos + 1) % self.window
         if self._count < self.window:
             self._count += 1
@@ -161,10 +202,19 @@ class BatchHarmonicMeanEstimator:
             return np.full(self.lanes, self.initial_estimate_bps)
         samples = self._samples
         start = (self._pos - n) % self.window
-        inverse_sum = 1.0 / samples[:, start]
-        for k in range(1, n):
-            inverse_sum += 1.0 / samples[:, (start + k) % self.window]
-        return n / inverse_sum
+        with np.errstate(over="ignore", under="ignore"):
+            inverse_sum = 1.0 / samples[:, start]
+            for k in range(1, n):
+                inverse_sum += 1.0 / samples[:, (start + k) % self.window]
+            predicted = n / inverse_sum
+        # Same warm-up guard as the scalar path: the fold can overflow for
+        # lanes holding clamped near-extreme samples — substitute the
+        # cold-start estimate for such lanes only; healthy lanes keep
+        # their bit-exact fold result.
+        bad = ~((predicted > 0.0) & (predicted < np.inf))
+        if bad.any():
+            predicted = np.where(bad, self.initial_estimate_bps, predicted)
+        return predicted
 
     def reset(self) -> None:
         """Forget all history (start of a new batch)."""

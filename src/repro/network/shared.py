@@ -1,0 +1,151 @@
+"""Shared-bottleneck link: an edge's capacity split across active flows.
+
+Every per-session link in the repo is private — a session downloads
+against its own :class:`~repro.network.link.TraceLink` and nobody else's
+traffic matters. A fleet simulation needs the opposite: all sessions
+parked behind one edge contend for the same capacity trace, and one
+viewer joining slows every other download on that edge.
+
+:class:`SharedLink` models the v1 sharing discipline from the issue —
+**max-min fair share across greedy flows**, which for flows with no
+per-flow rate cap collapses to egalitarian processor sharing: with ``n``
+active downloads, each receives ``C(t) / n`` where ``C(t)`` is the
+edge's (possibly fault-perturbed) capacity trace.
+
+The implementation uses the classic *virtual service* trick so each
+scheduling event costs ``O(log n)`` instead of a per-flow water-filling
+pass:
+
+- ``V(t)`` (:attr:`virtual_bits`) integrates the per-flow service rate:
+  ``dV = C(t) / n(t) dt`` while ``n(t) > 0``. Every active flow has
+  received exactly ``V(now) - V(start)`` bits, whatever ``n`` did in
+  between;
+- a flow of ``size`` bits admitted at virtual time ``V`` completes when
+  ``V(t)`` reaches the *target* ``V + size``; targets are totally
+  ordered, so a heap of ``(target, seq)`` yields completions in order;
+- inverting ``V`` back to wall-clock time reuses
+  :meth:`TraceLink.download` verbatim: the earliest completion needs
+  ``(target - V) * n`` more *edge* bits, and the TraceLink's
+  inverse-cumulative search (periodic wraparound, zero-rate runs,
+  duration floor and all) finds when the trace delivers them. With a
+  single active flow the expression degenerates to
+  ``link.download(size, now)`` — bit-identical to a private link, which
+  the tests pin.
+
+The caller (the fleet's per-edge event loop) owns the clock: it must
+``advance_to`` an event time before mutating flow membership there, and
+it interleaves :meth:`next_completion` with its own timer events. The
+class is deliberately scheduler-agnostic — it knows nothing about
+sessions, arrivals, or faults (trace faults are applied to the capacity
+trace before the inner :class:`TraceLink` is built; latency faults delay
+the *enqueue* of a flow, outside this class).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, List, Optional, Tuple
+
+from repro.network.link import TraceLink
+
+__all__ = ["SharedLink"]
+
+
+class SharedLink:
+    """Equal-share processor-sharing discipline over one capacity trace."""
+
+    __slots__ = ("link", "now_s", "virtual_bits", "delivered_bits", "_flows", "_heap", "_seq")
+
+    def __init__(self, link: TraceLink, start_s: float = 0.0) -> None:
+        self.link = link
+        self.now_s = float(start_s)
+        #: Per-flow service received since the link's epoch (bits). Grows
+        #: by ``C(t)/n(t)`` whenever at least one flow is active.
+        self.virtual_bits = 0.0
+        #: Total bits the edge actually delivered (for utilization).
+        self.delivered_bits = 0.0
+        # flow id -> (admission virtual, size, seq). The seq breaks heap
+        # ties deterministically and invalidates stale heap entries after
+        # a flow completes and re-enqueues.
+        self._flows: dict = {}
+        self._heap: List[Tuple[float, int, Hashable]] = []
+        self._seq = 0
+
+    @property
+    def n_active(self) -> int:
+        """Number of downloads currently sharing the capacity."""
+        return len(self._flows)
+
+    def start(self, flow_id: Hashable, size_bits: float) -> None:
+        """Admit one download of ``size_bits`` at the current clock."""
+        if size_bits <= 0:
+            raise ValueError(f"size_bits must be > 0, got {size_bits}")
+        if flow_id in self._flows:
+            raise ValueError(f"flow {flow_id!r} already active")
+        self._seq += 1
+        admit_virtual = self.virtual_bits
+        self._flows[flow_id] = (admit_virtual, size_bits, self._seq)
+        heapq.heappush(
+            self._heap, (admit_virtual + size_bits, self._seq, flow_id)
+        )
+
+    def next_completion(self) -> Optional[Tuple[float, Hashable]]:
+        """``(finish_s, flow_id)`` of the earliest completion, else None.
+
+        Pure query — nothing advances. The returned time is only valid
+        until flow membership changes (any join/leave reshapes every
+        in-flight completion time).
+        """
+        heap = self._heap
+        flows = self._flows
+        while heap:
+            _target, seq, flow_id = heap[0]
+            entry = flows.get(flow_id)
+            if entry is None or entry[2] != seq:
+                heapq.heappop(heap)  # stale: completed or re-enqueued
+                continue
+            admit_virtual, size_bits, _ = entry
+            if self.virtual_bits == admit_virtual:
+                # No service credited since admission: the flow needs its
+                # full size. Computed directly (not via the target) so an
+                # uncontended flow's completion reuses the exact
+                # ``download(size, now)`` expression of a private link —
+                # ``(v + size) - v`` would not round-trip in floats.
+                per_flow = size_bits
+            else:
+                per_flow = (admit_virtual + size_bits) - self.virtual_bits
+            remaining = per_flow * len(flows)
+            if remaining <= 0.0:
+                # Float snap: the last advance landed a hair past the
+                # target; the flow is due immediately.
+                return self.now_s, flow_id
+            return self.link.download(remaining, self.now_s).finish_s, flow_id
+        return None
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock to ``t``, crediting every active flow.
+
+        Returns the edge bits delivered over the window (0.0 when the
+        link sat idle). The caller must not skip past a completion time
+        — query :meth:`next_completion` first.
+        """
+        if t < self.now_s:
+            raise ValueError(f"cannot advance backwards: {t} < {self.now_s}")
+        if t > self.now_s:
+            n = len(self._flows)
+            if n > 0:
+                bits = self.link.bits_in_window(self.now_s, t)
+                self.virtual_bits += bits / n
+                self.delivered_bits += bits
+                self.now_s = t
+                return bits
+            self.now_s = t
+        return 0.0
+
+    def complete(self, flow_id: Hashable) -> None:
+        """Retire one finished download (after advancing to its time)."""
+        self._flows.pop(flow_id)
+
+    def cancel(self, flow_id: Hashable) -> None:
+        """Drop an in-flight download (session abandoned mid-chunk)."""
+        self._flows.pop(flow_id, None)

@@ -2,6 +2,7 @@
 simulator (§6.1 harness), and the five QoE metrics of the evaluation."""
 
 from repro.player.buffer import PlaybackBuffer
+from repro.player.core import LiveSessionCore, VodSessionCore
 from repro.player.events import SessionEvent, format_events, session_events
 from repro.player.live import (
     LiveSessionConfig,
@@ -28,6 +29,8 @@ from repro.player.session import (
 
 __all__ = [
     "PlaybackBuffer",
+    "LiveSessionCore",
+    "VodSessionCore",
     "SessionEvent",
     "format_events",
     "session_events",

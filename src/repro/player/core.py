@@ -1,0 +1,522 @@
+"""Event-driven session cores for the fleet simulator.
+
+:class:`~repro.player.session.StreamingSession` and
+:class:`~repro.player.live.LiveStreamingSession` are *free-running*: one
+``run()`` call owns the clock and drives the whole session to completion
+against a private link. A fleet simulation inverts that control — many
+sessions share one bottleneck, so no session may advance time on its
+own. This module refactors both loops into resumable *steppers* that
+emit one action at a time and wait for the discrete-event scheduler to
+call back with the completion time:
+
+- ``("fetch", size_bits)`` — the session wants a chunk; the scheduler
+  enqueues the transfer at the shared link and later calls
+  :meth:`on_fetch_done` with the (contended) finish time;
+- ``("wait", seconds)`` — the session idles (algorithm-requested idle,
+  buffer-cap drain, live availability / latency-budget wait); the
+  scheduler calls :meth:`on_wait_done` when the timer fires. While
+  waiting, the session holds **no** capacity at the bottleneck — the
+  realistic coupling a free-running loop cannot express;
+- ``("done",)`` — the session finished (or abandoned at its watch
+  limit); read the summary attributes.
+
+The arithmetic replays the free-running loops *branch for branch* in the
+same order, so a single session on an uncontended shared link produces
+bit-identical results to ``StreamingSession.run`` /
+``LiveStreamingSession.run`` — pinned by ``tests/player/test_core.py``.
+
+Cores speak **session-relative** time to the ABR logic (the estimator
+and :class:`~repro.abr.base.DecisionContext` see a clock that starts at
+0 when the session begins, exactly like the free-running loops) while
+the scheduler passes absolute fleet time into every callback; the core
+anchors itself at :meth:`begin` and converts.
+
+Memory: a fleet run holds tens of thousands of concurrent cores, so by
+default a core accumulates only scalar summary fields (bits, stalls,
+level churn, quality sums against an optional per-video quality table).
+``record_arrays=True`` keeps the full per-chunk arrays and lets
+:meth:`VodSessionCore.result` build a normal
+:class:`~repro.player.session.SessionResult` — used by the equivalence
+tests and single-session debugging, not by the fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, DecisionContext
+from repro.network.estimator import BandwidthEstimator, HarmonicMeanEstimator
+from repro.network.link import MIN_DOWNLOAD_DURATION_S
+from repro.player.buffer import PlaybackBuffer
+from repro.player.live import LiveSessionConfig
+from repro.player.session import SessionConfig, SessionResult
+from repro.video.model import Manifest
+
+__all__ = [
+    "FETCH",
+    "WAIT",
+    "DONE",
+    "VodSessionCore",
+    "LiveSessionCore",
+]
+
+#: Action tags (first element of every emitted action tuple).
+FETCH = "fetch"
+WAIT = "wait"
+DONE = "done"
+
+# Wait phases: what the core resumes into when its timer fires.
+_RESUME_DECIDE = 1  # after an algorithm-requested idle: rebuild context
+_RESUME_FETCH = 2  # after a cap/budget drain: emit the pending fetch
+_RESUME_AVAIL = 3  # live: chunk became available at the live edge
+
+
+class _CoreBase:
+    """State and accounting shared by the VoD and live steppers."""
+
+    __slots__ = (
+        "algorithm",
+        "manifest",
+        "estimator",
+        "origin_s",
+        "buffer",
+        "chunk",
+        "watch_chunks",
+        "playing",
+        "startup_delay_s",
+        "last_level",
+        "finished",
+        "total_stall_s",
+        "total_bits",
+        "sum_level",
+        "level_switches",
+        "sum_quality",
+        "sum_abs_quality_delta",
+        "low_quality_chunks",
+        "end_s",
+        "_quality_rows",
+        "_last_quality",
+        "_phase",
+        "_pending_level",
+        "_pending_size",
+        "_pending_requested_idle",
+        "_pending_cap_idle",
+        "_fetch_emit_s",
+        "_record",
+        "_levels",
+        "_sizes",
+        "_starts",
+        "_finishes",
+        "_stalls",
+        "_buffers",
+        "_idles",
+        "_requested_idles",
+        "_cap_idles",
+    )
+
+    def __init__(
+        self,
+        algorithm: ABRAlgorithm,
+        manifest: Manifest,
+        estimator: Optional[BandwidthEstimator],
+        watch_chunks: Optional[int],
+        quality_rows: Optional[np.ndarray],
+        record_arrays: bool,
+    ) -> None:
+        self.algorithm = algorithm
+        self.manifest = manifest
+        self.estimator = estimator if estimator is not None else HarmonicMeanEstimator()
+        n = manifest.num_chunks
+        self.watch_chunks = n if watch_chunks is None else min(int(watch_chunks), n)
+        if self.watch_chunks < 0:
+            raise ValueError(f"watch_chunks must be >= 0, got {watch_chunks}")
+        self._quality_rows = quality_rows
+        self._record = record_arrays
+        self.origin_s = 0.0
+        self.buffer = PlaybackBuffer()
+        self.chunk = 0
+        self.playing = False
+        self.startup_delay_s = 0.0
+        self.last_level: Optional[int] = None
+        self.finished = False
+        self.total_stall_s = 0.0
+        self.total_bits = 0.0
+        self.sum_level = 0.0
+        self.level_switches = 0
+        self.sum_quality = 0.0
+        self.sum_abs_quality_delta = 0.0
+        self.low_quality_chunks = 0
+        self.end_s = 0.0
+        self._last_quality = 0.0
+        self._phase = 0
+        self._pending_level = 0
+        self._pending_size = 0.0
+        self._pending_requested_idle = 0.0
+        self._pending_cap_idle = 0.0
+        self._fetch_emit_s = 0.0
+        if record_arrays:
+            self._levels: list = []
+            self._sizes: list = []
+            self._starts: list = []
+            self._finishes: list = []
+            self._stalls: list = []
+            self._buffers: list = []
+            self._idles: list = []
+            self._requested_idles: list = []
+            self._cap_idles: list = []
+
+    # -- shared helpers -------------------------------------------------
+
+    def _context(self, rel_now: float) -> DecisionContext:
+        return DecisionContext(
+            chunk_index=self.chunk,
+            now_s=rel_now,
+            buffer_s=self.buffer.level_s,
+            last_level=self.last_level,
+            bandwidth_bps=self.estimator.predict_bps(rel_now),
+            playing=self.playing,
+        )
+
+    def _validate_level(self, level: int) -> None:
+        if not 0 <= level < self.manifest.num_tracks:
+            raise ValueError(
+                f"{self.algorithm.name} selected invalid level {level} "
+                f"for chunk {self.chunk} "
+                f"(valid: 0..{self.manifest.num_tracks - 1})"
+            )
+
+    def _account_chunk(self, level: int, size: float, stall: float) -> None:
+        """Fold one completed chunk into the scalar summary."""
+        i = self.chunk
+        self.total_stall_s += stall
+        self.total_bits += size
+        self.sum_level += level
+        last = self.last_level
+        if last is not None and level != last:
+            self.level_switches += 1
+        rows = self._quality_rows
+        if rows is not None:
+            quality = rows[level, i]
+            self.sum_quality += quality
+            if quality < 40.0:  # LOW_QUALITY_VMAF; kept literal: no
+                # import edge from the player core to the metrics layer
+                self.low_quality_chunks += 1
+            if i > 0:
+                self.sum_abs_quality_delta += abs(quality - self._last_quality)
+            self._last_quality = quality
+
+    @property
+    def mean_level(self) -> float:
+        """Mean selected level over the streamed chunks (0 if none)."""
+        return self.sum_level / self.chunk if self.chunk else 0.0
+
+    @property
+    def mean_quality(self) -> float:
+        """Mean per-chunk quality (0 if no chunks or no quality table)."""
+        return self.sum_quality / self.chunk if self.chunk else 0.0
+
+    @property
+    def quality_change_per_chunk(self) -> float:
+        """Mean |Δquality| between consecutive chunks (0 if < 2 chunks)."""
+        if self.chunk < 2:
+            return 0.0
+        return self.sum_abs_quality_delta / (self.chunk - 1)
+
+    @property
+    def played_s(self) -> float:
+        """Content seconds actually consumed by playback so far."""
+        return self.chunk * self.manifest.chunk_duration_s - self.buffer.level_s
+
+
+class VodSessionCore(_CoreBase):
+    """Resumable stepper replaying :meth:`StreamingSession.run` exactly.
+
+    Per chunk, in the free-running loop's order: decision context (with
+    an optional algorithm-requested idle capped at one buffered chunk,
+    after which the context is rebuilt), buffer-cap idle, download with
+    stall accounting, estimator observation + download notification,
+    startup check.
+    """
+
+    __slots__ = ("config",)
+
+    def __init__(
+        self,
+        algorithm: ABRAlgorithm,
+        manifest: Manifest,
+        config: Optional[SessionConfig] = None,
+        estimator: Optional[BandwidthEstimator] = None,
+        watch_chunks: Optional[int] = None,
+        quality_rows: Optional[np.ndarray] = None,
+        record_arrays: bool = False,
+    ) -> None:
+        super().__init__(
+            algorithm, manifest, estimator, watch_chunks, quality_rows, record_arrays
+        )
+        self.config = SessionConfig() if config is None else config
+
+    # -- scheduler-facing API -------------------------------------------
+
+    def begin(self, now_s: float):
+        """Anchor the session clock at ``now_s`` and emit the first action."""
+        self.origin_s = now_s
+        self.estimator.reset()
+        self.algorithm.prepare(self.manifest)
+        if self.watch_chunks == 0:
+            return self._finish(0.0)
+        return self._decide(0.0)
+
+    def on_wait_done(self, now_s: float):
+        """A ``("wait", ...)`` timer fired; resume the interrupted phase."""
+        rel_now = now_s - self.origin_s
+        if self._phase == _RESUME_DECIDE:
+            # The clock moved during the requested idle, so the context
+            # (and its bandwidth estimate) is rebuilt — mirroring the
+            # free-running loop's re-query.
+            return self._choose(self._context(rel_now), rel_now)
+        return self._emit_fetch(now_s)
+
+    def on_fetch_done(self, now_s: float, transfer_start_s: Optional[float] = None):
+        """The pending chunk finished downloading at absolute ``now_s``.
+
+        ``transfer_start_s`` is when the link actually began serving the
+        request (later than the fetch emission when a latency fault
+        delayed it); the download duration the player measures — and
+        drains/observes against — excludes that delay, exactly like the
+        free-running loop does with a :class:`FaultedLink`.
+        """
+        rel_now = now_s - self.origin_s
+        start_abs = self._fetch_emit_s if transfer_start_s is None else transfer_start_s
+        download_s = now_s - start_abs
+        level = self._pending_level
+        size = self._pending_size
+        buffer = self.buffer
+        stall = buffer.drain(download_s) if self.playing else 0.0
+        buffer.fill(self.manifest.chunk_duration_s)
+        self.estimator.observe(size, max(download_s, MIN_DOWNLOAD_DURATION_S), rel_now)
+        self.algorithm.notify_download(
+            self.chunk, level, size, download_s, buffer.level_s, rel_now
+        )
+        self._account_chunk(level, size, stall)
+        if self._record:
+            self._levels.append(level)
+            self._sizes.append(size)
+            self._starts.append(start_abs - self.origin_s)
+            self._finishes.append(rel_now)
+            self._stalls.append(stall)
+            self._buffers.append(buffer.level_s)
+            self._idles.append(self._pending_requested_idle + self._pending_cap_idle)
+            self._requested_idles.append(self._pending_requested_idle)
+            self._cap_idles.append(self._pending_cap_idle)
+        self.last_level = level
+        if not self.playing and buffer.level_s >= self.config.startup_latency_s:
+            self.playing = True
+            self.startup_delay_s = rel_now
+        self.chunk += 1
+        if self.chunk >= self.watch_chunks:
+            return self._finish(rel_now)
+        return self._decide(rel_now)
+
+    # -- internal phases ------------------------------------------------
+
+    def _decide(self, rel_now: float):
+        ctx = self._context(rel_now)
+        self._pending_requested_idle = 0.0
+        self._pending_cap_idle = 0.0
+        if self.playing:
+            requested = max(0.0, float(self.algorithm.requested_idle_s(ctx)))
+            # Never idle into a stall: stop at one chunk of buffer.
+            requested = min(
+                requested,
+                self.buffer.time_until_level(self.manifest.chunk_duration_s),
+            )
+            if requested > 0:
+                self.buffer.drain(requested)
+                self._pending_requested_idle = requested
+                self._phase = _RESUME_DECIDE
+                return (WAIT, requested)
+        return self._choose(ctx, rel_now)
+
+    def _choose(self, ctx: DecisionContext, rel_now: float):
+        level = int(self.algorithm.select_level(ctx))
+        self._validate_level(level)
+        self._pending_level = level
+        self._pending_size = self.manifest.size_rows[level][self.chunk]
+        buffer = self.buffer
+        delta = self.manifest.chunk_duration_s
+        if self.playing and buffer.level_s + delta > self.config.max_buffer_s:
+            cap_idle = buffer.level_s + delta - self.config.max_buffer_s
+            buffer.drain(cap_idle)  # cannot stall: draining from above cap
+            self._pending_cap_idle = cap_idle
+            self._phase = _RESUME_FETCH
+            return (WAIT, cap_idle)
+        return self._emit_fetch(self.origin_s + rel_now)
+
+    def _emit_fetch(self, now_s: float):
+        self._fetch_emit_s = now_s
+        return (FETCH, self._pending_size)
+
+    def _finish(self, rel_now: float):
+        if not self.playing:
+            # Very short watch: startup target never reached; playback
+            # starts when the last download completes.
+            self.startup_delay_s = rel_now
+            self.playing = True
+        self.end_s = rel_now
+        self.finished = True
+        return (DONE,)
+
+    # -- debugging / equivalence ----------------------------------------
+
+    def result(self, trace_name: str = "") -> SessionResult:
+        """Per-chunk :class:`SessionResult` (requires ``record_arrays``)."""
+        if not self._record:
+            raise ValueError("construct the core with record_arrays=True")
+        return SessionResult(
+            scheme=self.algorithm.name,
+            video_name=self.manifest.video_name,
+            trace_name=trace_name,
+            levels=np.asarray(self._levels, dtype=int),
+            sizes_bits=np.asarray(self._sizes, dtype=float),
+            download_start_s=np.asarray(self._starts, dtype=float),
+            download_finish_s=np.asarray(self._finishes, dtype=float),
+            stall_s=np.asarray(self._stalls, dtype=float),
+            buffer_after_s=np.asarray(self._buffers, dtype=float),
+            idle_s=np.asarray(self._idles, dtype=float),
+            startup_delay_s=self.startup_delay_s,
+            requested_idle_s=np.asarray(self._requested_idles, dtype=float),
+            cap_idle_s=np.asarray(self._cap_idles, dtype=float),
+        )
+
+
+class LiveSessionCore(_CoreBase):
+    """Resumable stepper replaying :meth:`LiveStreamingSession.run`.
+
+    The broadcast's chunk ``i`` becomes available ``i * delta`` seconds
+    after the session joins (each fleet session watches its own program
+    from its own live edge). Availability waits and latency-budget
+    drains become ``("wait", ...)`` actions; live latency accumulates
+    into :attr:`sum_latency_s` / :attr:`peak_latency_s` instead of a
+    per-chunk array.
+    """
+
+    __slots__ = ("config", "sum_latency_s", "peak_latency_s", "total_wait_s")
+
+    def __init__(
+        self,
+        algorithm: ABRAlgorithm,
+        manifest: Manifest,
+        config: Optional[LiveSessionConfig] = None,
+        estimator: Optional[BandwidthEstimator] = None,
+        watch_chunks: Optional[int] = None,
+        quality_rows: Optional[np.ndarray] = None,
+        record_arrays: bool = False,
+    ) -> None:
+        super().__init__(
+            algorithm, manifest, estimator, watch_chunks, quality_rows, record_arrays
+        )
+        self.config = LiveSessionConfig() if config is None else config
+        self.sum_latency_s = 0.0
+        self.peak_latency_s = 0.0
+        self.total_wait_s = 0.0
+
+    def begin(self, now_s: float):
+        self.origin_s = now_s
+        self.estimator.reset()
+        self.algorithm.prepare(self.manifest)
+        if self.watch_chunks == 0:
+            return self._finish(0.0)
+        return self._await_chunk(0.0)
+
+    def on_wait_done(self, now_s: float):
+        rel_now = now_s - self.origin_s
+        if self._phase == _RESUME_AVAIL:
+            return self._budget_then_choose(rel_now)
+        return self._emit_fetch(now_s)
+
+    def on_fetch_done(self, now_s: float, transfer_start_s: Optional[float] = None):
+        rel_now = now_s - self.origin_s
+        start_abs = self._fetch_emit_s if transfer_start_s is None else transfer_start_s
+        download_s = now_s - start_abs
+        i = self.chunk
+        level = self._pending_level
+        size = self._pending_size
+        buffer = self.buffer
+        delta = self.manifest.chunk_duration_s
+        stall = buffer.drain(download_s) if self.playing else 0.0
+        buffer.fill(delta)
+        self.estimator.observe(size, download_s, rel_now)
+        self.algorithm.notify_download(
+            i, level, size, download_s, buffer.level_s, rel_now
+        )
+        self._account_chunk(level, size, stall)
+        self.last_level = level
+        if not self.playing and buffer.level_s >= self.config.startup_chunks * delta:
+            self.playing = True
+            self.startup_delay_s = rel_now
+        # Live latency: content time at the live edge minus the player's
+        # playback position (downloaded minus buffered).
+        played_s = (i + 1) * delta - buffer.level_s
+        live_edge_s = min(rel_now, self.manifest.num_chunks * delta)
+        latency = max(0.0, live_edge_s - played_s)
+        self.sum_latency_s += latency
+        if latency > self.peak_latency_s:
+            self.peak_latency_s = latency
+        self.chunk += 1
+        if self.chunk >= self.watch_chunks:
+            return self._finish(rel_now)
+        return self._await_chunk(rel_now)
+
+    # -- internal phases ------------------------------------------------
+
+    def _await_chunk(self, rel_now: float):
+        # Wait for the chunk to exist at the live edge.
+        available_at = self.chunk * self.manifest.chunk_duration_s
+        wait = available_at - rel_now
+        if wait > 0:
+            if self.playing:
+                self.total_stall_s += self.buffer.drain(wait)
+            self.total_wait_s += wait
+            self._phase = _RESUME_AVAIL
+            return (WAIT, wait)
+        return self._budget_then_choose(rel_now)
+
+    def _budget_then_choose(self, rel_now: float):
+        # Keep the backlog inside the latency budget: if the buffer is
+        # at the budget, let it drain one chunk first.
+        buffer = self.buffer
+        delta = self.manifest.chunk_duration_s
+        if self.playing and buffer.level_s + delta > self.config.latency_budget_s:
+            drain_for = buffer.level_s + delta - self.config.latency_budget_s
+            buffer.drain(drain_for)  # cannot stall: draining from above
+            self._phase = _RESUME_FETCH
+            self._prepare_choice(rel_now + drain_for)
+            return (WAIT, drain_for)
+        self._prepare_choice(rel_now)
+        return self._emit_fetch(self.origin_s + rel_now)
+
+    def _prepare_choice(self, rel_now: float) -> None:
+        ctx = self._context(rel_now)
+        level = int(self.algorithm.select_level(ctx))
+        self._validate_level(level)
+        self._pending_level = level
+        self._pending_size = self.manifest.chunk_size_bits(level, self.chunk)
+
+    def _emit_fetch(self, now_s: float):
+        self._fetch_emit_s = now_s
+        return (FETCH, self._pending_size)
+
+    def _finish(self, rel_now: float):
+        if not self.playing:
+            self.startup_delay_s = rel_now
+            self.playing = True
+        self.end_s = rel_now
+        self.finished = True
+        return (DONE,)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean live latency over the streamed chunks (0 if none)."""
+        return self.sum_latency_s / self.chunk if self.chunk else 0.0

@@ -96,12 +96,22 @@ class LiveSessionResult:
 
     @property
     def mean_latency_s(self) -> float:
-        """Mean distance between playback position and the live edge."""
+        """Mean distance between playback position and the live edge.
+
+        A zero-chunk session has no latency samples; defined as 0.0
+        (rather than NaN) so aggregations over session populations never
+        poison their sums.
+        """
+        if self.latency_s.size == 0:
+            return 0.0
         return float(np.mean(self.latency_s))
 
     @property
     def peak_latency_s(self) -> float:
-        """Worst-case live latency over the session."""
+        """Worst-case live latency over the session (0.0 when no chunks
+        were streamed — same convention as :attr:`mean_latency_s`)."""
+        if self.latency_s.size == 0:
+            return 0.0
         return float(np.max(self.latency_s))
 
     @property
@@ -113,8 +123,11 @@ class LiveSessionResult:
 class LiveStreamingSession:
     """Trace-driven live session: chunks appear at the live edge."""
 
-    def __init__(self, config: LiveSessionConfig = LiveSessionConfig()) -> None:
-        self.config = config
+    def __init__(self, config: Optional[LiveSessionConfig] = None) -> None:
+        # None sentinel, not a default instance: a dataclass default
+        # argument is evaluated once at class-definition time, so every
+        # session would share (and alias) the same config object.
+        self.config = LiveSessionConfig() if config is None else config
 
     def run(
         self,
@@ -227,7 +240,7 @@ def run_live_session(
     algorithm: ABRAlgorithm,
     video: VideoAsset,
     link: TraceLink,
-    config: LiveSessionConfig = LiveSessionConfig(),
+    config: Optional[LiveSessionConfig] = None,
     estimator: Optional[BandwidthEstimator] = None,
     include_quality: bool = False,
 ) -> LiveSessionResult:

@@ -172,9 +172,11 @@ class StreamingSession:
 
     def __init__(
         self,
-        config: SessionConfig = SessionConfig(),
+        config: Optional[SessionConfig] = None,
     ) -> None:
-        self.config = config
+        # None sentinel: a default instance would be evaluated once at
+        # class-definition time and shared between every session.
+        self.config = SessionConfig() if config is None else config
 
     def run(
         self,
@@ -375,7 +377,7 @@ def run_lockstep_sessions(
     manifest: Manifest,
     decider: BatchDecider,
     links: StackedLinks,
-    config: SessionConfig = SessionConfig(),
+    config: Optional[SessionConfig] = None,
     estimator: Optional[BatchHarmonicMeanEstimator] = None,
     stage_timer: Optional[StageTimer] = None,
 ) -> List[SessionResult]:
@@ -400,6 +402,8 @@ def run_lockstep_sessions(
     The disabled path costs one boolean test per stage per chunk — no
     allocation, no clock reads — and results are identical either way.
     """
+    if config is None:
+        config = SessionConfig()
     lanes = links.lanes
     n = manifest.num_chunks
     num_tracks = manifest.num_tracks
@@ -542,7 +546,7 @@ def run_session(
     algorithm: ABRAlgorithm,
     video: VideoAsset,
     link: TraceLink,
-    config: SessionConfig = SessionConfig(),
+    config: Optional[SessionConfig] = None,
     estimator: Optional[BandwidthEstimator] = None,
     include_quality: bool = False,
     tracer: Optional[Tracer] = None,

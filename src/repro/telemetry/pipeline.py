@@ -72,6 +72,10 @@ __all__ = [
     "SPAN_UNIT_RUN",
     "SPAN_UNIT_BATCH",
     "SPAN_SESSION_SCALAR",
+    "SPAN_FLEET_PLAN",
+    "SPAN_FLEET_DRAIN",
+    "SPAN_FLEET_MERGE",
+    "SPAN_FLEET_EDGE",
     "STAGE_PREPARE",
     "STAGE_ESTIMATE",
     "STAGE_DECIDE",
@@ -99,6 +103,12 @@ SPAN_SHM_ATTACH = "shm.attach"
 SPAN_UNIT_RUN = "unit.run"
 SPAN_UNIT_BATCH = "unit.batch"
 SPAN_SESSION_SCALAR = "session.scalar"
+# Fleet-simulator spans (parent-side except fleet.edge, which is
+# recorded from each worker's measured wall/cpu time).
+SPAN_FLEET_PLAN = "fleet.plan"
+SPAN_FLEET_DRAIN = "fleet.drain"
+SPAN_FLEET_MERGE = "fleet.merge"
+SPAN_FLEET_EDGE = "fleet.edge"
 # Batch-engine stages (aggregate spans, cat="stage").
 STAGE_PREPARE = "batch.prepare"
 STAGE_ESTIMATE = "batch.estimate"

@@ -1,0 +1,111 @@
+"""Seeded arrival process: determinism, shape, and envelope honesty."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.arrivals import (
+    crowd_factor,
+    diurnal_factor,
+    edge_arrival_times,
+    edge_rate_fn,
+    generate_arrivals,
+)
+from repro.fleet.spec import FlashCrowd, FleetSpec
+from repro.util.rng import derive_rng
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        seed=0,
+        duration_s=1200.0,
+        n_edges=4,
+        arrivals_per_s=2.0,
+        diurnal_amplitude=0.3,
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+class TestRateShape:
+    def test_diurnal_trough_at_origin_peak_at_half_period(self):
+        t = np.array([0.0, 500.0, 1000.0])
+        factor = diurnal_factor(t, amplitude=0.4, period_s=1000.0)
+        assert factor[0] == pytest.approx(0.6)
+        assert factor[1] == pytest.approx(1.4)
+        assert factor[2] == pytest.approx(0.6)
+
+    def test_diurnal_integrates_to_mean_one(self):
+        t = np.linspace(0.0, 1000.0, 100_001)
+        factor = diurnal_factor(t, amplitude=0.35, period_s=1000.0)
+        assert factor.mean() == pytest.approx(1.0, abs=1e-4)
+
+    def test_crowd_factor_is_one_outside_and_peak_inside(self):
+        crowd = FlashCrowd(start_s=300.0, duration_s=100.0, multiplier=5.0, ramp_s=50.0)
+        t = np.array([0.0, 249.0, 300.0, 350.0, 400.0, 451.0, 1000.0])
+        factor = crowd_factor(t, [crowd])
+        assert factor[0] == 1.0
+        assert factor[1] == 1.0
+        assert factor[2] == pytest.approx(5.0)
+        assert factor[3] == pytest.approx(5.0)
+        assert factor[4] == pytest.approx(5.0)
+        assert factor[5] == 1.0
+        assert factor[6] == 1.0
+
+    def test_crowd_ramps_are_linear_and_continuous(self):
+        crowd = FlashCrowd(start_s=300.0, duration_s=100.0, multiplier=3.0, ramp_s=60.0)
+        halfway_up = crowd_factor(np.array([270.0]), [crowd])[0]
+        assert halfway_up == pytest.approx(2.0)
+
+    def test_rate_never_exceeds_envelope(self):
+        spec = small_spec(
+            flash_crowds=(FlashCrowd(start_s=400.0, duration_s=200.0, multiplier=4.0),)
+        )
+        t = np.linspace(0.0, spec.duration_s, 20_001)
+        rate = edge_rate_fn(spec)(t)
+        envelope = spec.edge_arrival_rate * spec.peak_rate_factor
+        assert np.all(rate <= envelope + 1e-12)
+
+
+class TestGeneration:
+    def test_same_rng_state_same_stream(self):
+        spec = small_spec()
+        times_a = edge_arrival_times(spec, 2)
+        times_b = edge_arrival_times(spec, 2)
+        assert np.array_equal(times_a, times_b)
+
+    def test_edges_get_independent_streams(self):
+        spec = small_spec()
+        assert not np.array_equal(edge_arrival_times(spec, 0), edge_arrival_times(spec, 1))
+
+    def test_times_sorted_and_in_horizon(self):
+        spec = small_spec()
+        times = edge_arrival_times(spec, 0)
+        assert times.size > 0
+        assert np.all(np.diff(times) > 0)
+        assert times[0] >= 0.0
+        assert times[-1] < spec.duration_s
+
+    def test_crowd_window_is_denser(self):
+        crowd = FlashCrowd(start_s=600.0, duration_s=300.0, multiplier=6.0)
+        spec = small_spec(duration_s=1800.0, flash_crowds=(crowd,), diurnal_amplitude=0.0)
+        times = edge_arrival_times(spec, 0)
+        inside = np.count_nonzero((times >= 600.0) & (times < 900.0))
+        before = np.count_nonzero((times >= 200.0) & (times < 500.0))
+        # 6x the rate over an equal window; 3x is a generous slack bound.
+        assert inside > 3 * max(before, 1)
+
+    def test_mean_count_tracks_rate_integral(self):
+        spec = small_spec(duration_s=2000.0, diurnal_amplitude=0.0)
+        counts = [
+            generate_arrivals(
+                derive_rng(k, "check"), spec.duration_s, edge_rate_fn(spec),
+                spec.edge_arrival_rate * spec.peak_rate_factor,
+            ).size
+            for k in range(10)
+        ]
+        expected = spec.edge_arrival_rate * spec.duration_s
+        assert np.mean(counts) == pytest.approx(expected, rel=0.1)
+
+    def test_rejects_nonpositive_envelope(self):
+        with pytest.raises(ValueError):
+            generate_arrivals(derive_rng(0, "x"), 10.0, lambda t: t * 0 + 1.0, 0.0)

@@ -1,9 +1,14 @@
 """Tests for repro.network.estimator."""
 
+import math
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.network.estimator import (
+    BatchHarmonicMeanEstimator,
     ControlledErrorEstimator,
     EwmaEstimator,
     HarmonicMeanEstimator,
@@ -45,6 +50,103 @@ class TestHarmonicMean:
     def test_rejects_bad_observation(self):
         with pytest.raises(ValueError):
             HarmonicMeanEstimator().observe(0.0, 1.0, 0.0)
+
+
+#: Strictly positive finite sizes/durations spanning the full float
+#: range, including denormals — the regime a fleet session hits when it
+#: is admitted at a shared bottleneck and immediately throttled to a
+#: near-zero share (one tiny chunk over an enormous wall-clock window).
+_positive_floats = st.floats(
+    min_value=0.0,
+    max_value=1e308,
+    exclude_min=True,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=True,
+)
+
+
+class TestWarmupHardening:
+    """Warm-up / starvation paths: predictions must stay positive finite."""
+
+    def test_zero_share_sample_stays_positive_finite(self):
+        # Duration so large the throughput quotient is denormal; the old
+        # fold overflowed its reciprocal to inf and "predicted" 0.0.
+        # Now the sample is clamped into the normal range and the
+        # prediction is an honest, tiny — but strictly positive finite —
+        # bandwidth, so downstream `size / bandwidth` math stays defined.
+        estimator = HarmonicMeanEstimator()
+        estimator.observe(1e-300, 1e20, 0.0)
+        predicted = estimator.predict_bps(0.0)
+        assert predicted > 0.0
+        assert math.isfinite(predicted)
+        assert predicted < 1.0
+
+    @given(size=_positive_floats, duration=_positive_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_single_sample_history_is_positive_finite(self, size, duration):
+        estimator = HarmonicMeanEstimator()
+        estimator.observe(size, duration, 0.0)
+        predicted = estimator.predict_bps(0.0)
+        assert predicted > 0.0
+        assert math.isfinite(predicted)
+
+    @given(
+        samples=st.lists(
+            st.tuples(_positive_floats, _positive_floats), min_size=0, max_size=12
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_any_history_is_positive_finite(self, samples):
+        estimator = HarmonicMeanEstimator()
+        for size, duration in samples:
+            estimator.observe(size, duration, 0.0)
+        predicted = estimator.predict_bps(0.0)
+        assert predicted > 0.0
+        assert math.isfinite(predicted)
+
+    def test_empty_history_returns_initial(self):
+        estimator = HarmonicMeanEstimator()
+        assert estimator.predict_bps(0.0) == estimator.initial_estimate_bps
+
+    def test_batch_rejects_zero_duration(self):
+        estimator = BatchHarmonicMeanEstimator(lanes=2)
+        with pytest.raises(ValueError):
+            estimator.observe(np.array([1e6, 1e6]), np.array([1.0, 0.0]))
+
+    def test_batch_rejects_zero_size(self):
+        estimator = BatchHarmonicMeanEstimator(lanes=2)
+        with pytest.raises(ValueError):
+            estimator.observe(np.array([0.0, 1e6]), np.array([1.0, 1.0]))
+
+    def test_batch_zero_share_lane_is_lane_local(self):
+        estimator = BatchHarmonicMeanEstimator(lanes=2)
+        estimator.observe(np.array([1e-300, 2e6]), np.array([1e20, 1.0]))
+        predicted = estimator.predict_bps()
+        # The starved lane degrades to a tiny positive estimate without
+        # disturbing the healthy lane's bit-exact sample.
+        assert 0.0 < predicted[0] < 1.0
+        assert np.isfinite(predicted[0])
+        assert predicted[1] == pytest.approx(2e6)
+
+    @given(
+        sizes=st.lists(_positive_floats, min_size=3, max_size=3),
+        durations=st.lists(_positive_floats, min_size=3, max_size=3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_batch_single_sample_history_positive_finite(self, sizes, durations):
+        estimator = BatchHarmonicMeanEstimator(lanes=3)
+        with np.errstate(over="ignore", under="ignore"):
+            estimator.observe(np.asarray(sizes), np.asarray(durations))
+            predicted = estimator.predict_bps()
+        assert np.all(predicted > 0.0)
+        assert np.all(np.isfinite(predicted))
+
+    def test_batch_empty_history_returns_initial(self):
+        estimator = BatchHarmonicMeanEstimator(lanes=4)
+        assert np.all(
+            estimator.predict_bps() == estimator.initial_estimate_bps
+        )
 
 
 class TestEwma:

@@ -1,0 +1,241 @@
+"""Event-driven session cores vs the free-running loops.
+
+The fleet simulator's whole correctness story rests on one claim: a
+:class:`VodSessionCore` / :class:`LiveSessionCore` driven by an external
+event loop replays the free-running ``StreamingSession.run`` /
+``LiveStreamingSession.run`` arithmetic branch for branch. These tests
+pin that claim bitwise — a single session on an uncontended
+:class:`SharedLink` must be indistinguishable from a private
+:class:`TraceLink` session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.abr.registry import make_scheme
+from repro.core.cava import cava_live
+from repro.network.link import TraceLink
+from repro.network.shared import SharedLink
+from repro.player.core import DONE, FETCH, WAIT, LiveSessionCore, VodSessionCore
+from repro.player.live import LiveSessionConfig, LiveStreamingSession
+from repro.player.session import SessionConfig, StreamingSession
+
+# Schemes spanning the event shapes the stepper must reproduce: plain
+# decisions (RBA, BBA-1), controller state + startup handling (CAVA),
+# horizon planning (MPC), and algorithm-requested idles (BOLA-E).
+SCHEMES = ["CAVA", "RBA", "BBA-1", "MPC", "BOLA-E (peak)"]
+
+
+def drive_vod(core, link):
+    """Minimal scheduler: one session against a private TraceLink."""
+    now = 0.0
+    action = core.begin(now)
+    while action[0] != DONE:
+        if action[0] == WAIT:
+            now += action[1]
+            action = core.on_wait_done(now)
+        else:
+            assert action[0] == FETCH
+            result = link.download(action[1], now)
+            now = result.finish_s
+            action = core.on_fetch_done(now, result.start_s)
+    return core
+
+
+def drive_vod_shared(core, shared):
+    """Same session, but through the shared-bottleneck discipline."""
+    action = core.begin(shared.now_s)
+    while action[0] != DONE:
+        if action[0] == WAIT:
+            shared.advance_to(shared.now_s + action[1])
+            action = core.on_wait_done(shared.now_s)
+        else:
+            shared.start("flow", action[1])
+            finish, flow_id = shared.next_completion()
+            assert flow_id == "flow"
+            shared.advance_to(finish)
+            shared.complete(flow_id)
+            action = core.on_fetch_done(finish)
+    return core
+
+
+def assert_results_equal(actual, expected):
+    for field in (
+        "levels",
+        "sizes_bits",
+        "download_start_s",
+        "download_finish_s",
+        "stall_s",
+        "buffer_after_s",
+        "idle_s",
+        "requested_idle_s",
+        "cap_idle_s",
+    ):
+        assert np.array_equal(getattr(actual, field), getattr(expected, field)), field
+    assert actual.startup_delay_s == expected.startup_delay_s
+
+
+class TestVodEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_core_matches_free_running_loop(self, scheme, short_video, one_lte_trace):
+        manifest = short_video.manifest()
+        expected = StreamingSession().run(
+            make_scheme(scheme), manifest, TraceLink(one_lte_trace)
+        )
+        core = VodSessionCore(make_scheme(scheme), manifest, record_arrays=True)
+        drive_vod(core, TraceLink(one_lte_trace))
+        assert core.finished
+        assert_results_equal(core.result(), expected)
+
+    @pytest.mark.parametrize("scheme", ["CAVA", "BOLA-E (peak)"])
+    def test_core_on_uncontended_shared_link(self, scheme, short_video, one_lte_trace):
+        """A lone flow on a SharedLink is bit-identical to a private link."""
+        manifest = short_video.manifest()
+        expected = StreamingSession().run(
+            make_scheme(scheme), manifest, TraceLink(one_lte_trace)
+        )
+        core = VodSessionCore(make_scheme(scheme), manifest, record_arrays=True)
+        drive_vod_shared(core, SharedLink(TraceLink(one_lte_trace)))
+        assert_results_equal(core.result(), expected)
+
+    def test_custom_config_respected(self, short_video, one_lte_trace):
+        manifest = short_video.manifest()
+        config = SessionConfig(startup_latency_s=4.0, max_buffer_s=20.0)
+        expected = StreamingSession(config).run(
+            make_scheme("CAVA"), manifest, TraceLink(one_lte_trace)
+        )
+        core = VodSessionCore(
+            make_scheme("CAVA"), manifest, config=config, record_arrays=True
+        )
+        drive_vod(core, TraceLink(one_lte_trace))
+        assert_results_equal(core.result(), expected)
+
+    def test_watch_limit_truncates(self, short_video, one_lte_trace):
+        manifest = short_video.manifest()
+        core = VodSessionCore(
+            make_scheme("RBA"), manifest, watch_chunks=7, record_arrays=True
+        )
+        drive_vod(core, TraceLink(one_lte_trace))
+        assert core.chunk == 7
+        assert core.result().num_chunks == 7
+        # The truncated prefix matches the full session's first 7 chunks.
+        full = StreamingSession().run(
+            make_scheme("RBA"), manifest, TraceLink(one_lte_trace)
+        )
+        assert np.array_equal(core.result().levels, full.levels[:7])
+
+    def test_nonzero_origin_shifts_absolute_times_only(self, short_video):
+        """A session anchored at t=1000 behaves like one at t=0 on a
+        time-invariant (constant) link: all ABR-visible clocks are
+        session-relative."""
+        from repro.network.traces import NetworkTrace
+
+        trace = NetworkTrace("const", 1.0, np.full(4000, 3e6))
+        manifest = short_video.manifest()
+
+        core0 = VodSessionCore(make_scheme("CAVA"), manifest, record_arrays=True)
+        now = 0.0
+        action = core0.begin(now)
+        link = TraceLink(trace)
+        while action[0] != DONE:
+            if action[0] == WAIT:
+                now += action[1]
+                action = core0.on_wait_done(now)
+            else:
+                result = link.download(action[1], now)
+                now = result.finish_s
+                action = core0.on_fetch_done(now, result.start_s)
+
+        core1 = VodSessionCore(make_scheme("CAVA"), manifest, record_arrays=True)
+        now = 1000.0
+        link = TraceLink(trace)
+        action = core1.begin(now)
+        while action[0] != DONE:
+            if action[0] == WAIT:
+                now += action[1]
+                action = core1.on_wait_done(now)
+            else:
+                result = link.download(action[1] , now)
+                now = result.finish_s
+                action = core1.on_fetch_done(now, result.start_s)
+
+        assert np.array_equal(core0.result().levels, core1.result().levels)
+        assert core0.total_stall_s == pytest.approx(core1.total_stall_s)
+
+    def test_zero_watch_chunks_finishes_immediately(self, short_video):
+        core = VodSessionCore(
+            make_scheme("RBA"), short_video.manifest(), watch_chunks=0
+        )
+        assert core.begin(5.0) == (DONE,)
+        assert core.finished
+        assert core.chunk == 0
+
+
+class TestLiveEquivalence:
+    @pytest.mark.parametrize(
+        "algorithm_factory",
+        [
+            lambda video: cava_live(10, video.chunk_duration_s, 24.0),
+            lambda video: make_scheme("RBA"),
+        ],
+    )
+    def test_core_matches_free_running_loop(
+        self, algorithm_factory, short_video, one_lte_trace
+    ):
+        manifest = short_video.manifest()
+        config = LiveSessionConfig(latency_budget_s=24.0)
+        expected = LiveStreamingSession(config).run(
+            algorithm_factory(short_video), manifest, TraceLink(one_lte_trace)
+        )
+        core = LiveSessionCore(algorithm_factory(short_video), manifest, config=config)
+        link = TraceLink(one_lte_trace)
+        now = 0.0
+        action = core.begin(now)
+        while action[0] != DONE:
+            if action[0] == WAIT:
+                now += action[1]
+                action = core.on_wait_done(now)
+            else:
+                result = link.download(action[1], now)
+                now = result.finish_s
+                action = core.on_fetch_done(now, result.start_s)
+        assert core.chunk == expected.num_chunks
+        assert core.total_stall_s == expected.total_stall_s
+        assert core.startup_delay_s == expected.startup_delay_s
+        assert core.sum_latency_s == pytest.approx(float(expected.latency_s.sum()))
+        assert core.peak_latency_s == expected.peak_latency_s
+        assert core.total_bits == expected.data_usage_bits
+
+    def test_live_watch_limit(self, short_video, one_lte_trace):
+        manifest = short_video.manifest()
+        core = LiveSessionCore(make_scheme("RBA"), manifest, watch_chunks=5)
+        link = TraceLink(one_lte_trace)
+        now = 0.0
+        action = core.begin(now)
+        while action[0] != DONE:
+            if action[0] == WAIT:
+                now += action[1]
+                action = core.on_wait_done(now)
+            else:
+                result = link.download(action[1], now)
+                now = result.finish_s
+                action = core.on_fetch_done(now, result.start_s)
+        assert core.chunk == 5
+
+
+class TestQualityAccounting:
+    def test_quality_sums_match_table(self, short_video, one_lte_trace):
+        manifest = short_video.manifest()
+        rows = np.stack([t.qualities["vmaf_phone"] for t in short_video.tracks])
+        core = VodSessionCore(
+            make_scheme("RBA"), manifest, quality_rows=rows, record_arrays=True
+        )
+        drive_vod(core, TraceLink(one_lte_trace))
+        levels = core.result().levels
+        chosen = rows[levels, np.arange(levels.size)]
+        assert core.sum_quality == pytest.approx(chosen.sum())
+        assert core.low_quality_chunks == int((chosen < 40.0).sum())
+        assert core.sum_abs_quality_delta == pytest.approx(
+            np.abs(np.diff(chosen)).sum()
+        )
+        assert core.mean_quality == pytest.approx(chosen.mean())

@@ -7,7 +7,12 @@ from repro.abr.base import ABRAlgorithm, DecisionContext
 from repro.core.cava import cava_live, cava_p123
 from repro.network.link import TraceLink
 from repro.network.traces import NetworkTrace
-from repro.player.live import LiveSessionConfig, run_live_session
+from repro.player.live import (
+    LiveSessionConfig,
+    LiveSessionResult,
+    LiveStreamingSession,
+    run_live_session,
+)
 
 
 class FixedLevelAlgorithm(ABRAlgorithm):
@@ -128,3 +133,67 @@ class TestConfigValidation:
     def test_bad_lookahead(self):
         with pytest.raises(ValueError):
             LiveSessionConfig(lookahead_chunks=-1)
+
+
+class TestConfigAliasing:
+    """Regression: ``config=LiveSessionConfig()`` as a literal default is
+    evaluated once at definition time, so every default-constructed
+    session shared (aliased) one config instance."""
+
+    def test_default_sessions_do_not_share_a_config(self):
+        first = LiveStreamingSession()
+        second = LiveStreamingSession()
+        assert first.config is not second.config
+
+    def test_sessions_with_distinct_configs_do_not_alias(self):
+        default = LiveStreamingSession()
+        custom = LiveStreamingSession(LiveSessionConfig(startup_chunks=3))
+        assert custom.config is not default.config
+        assert default.config.startup_chunks == 2
+        assert custom.config.startup_chunks == 3
+
+    def test_vod_sessions_do_not_share_a_config(self):
+        from repro.player.session import StreamingSession
+
+        assert StreamingSession().config is not StreamingSession().config
+
+
+def _empty_live_result():
+    empty_f = np.zeros(0, dtype=float)
+    return LiveSessionResult(
+        scheme="fixed-0",
+        video_name="none",
+        trace_name="none",
+        levels=np.zeros(0, dtype=int),
+        sizes_bits=empty_f,
+        download_start_s=empty_f,
+        download_finish_s=empty_f,
+        stall_s=empty_f,
+        buffer_after_s=empty_f,
+        availability_wait_s=empty_f,
+        latency_s=empty_f,
+        startup_delay_s=0.0,
+    )
+
+
+class TestEmptySession:
+    """Regression: mean/peak latency on a zero-chunk session raised
+    ``ValueError`` (np.max) or returned NaN with a RuntimeWarning."""
+
+    def test_zero_chunk_latency_metrics_are_defined(self):
+        result = _empty_live_result()
+        assert result.num_chunks == 0
+        with np.errstate(all="raise"):
+            assert result.mean_latency_s == 0.0
+            assert result.peak_latency_s == 0.0
+
+    def test_zero_chunk_metrics_emit_no_warnings(self):
+        import warnings
+
+        result = _empty_live_result()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.mean_latency_s == 0.0
+            assert result.peak_latency_s == 0.0
+            assert result.total_stall_s == 0.0
+            assert result.data_usage_bits == 0.0

@@ -4,18 +4,14 @@ Extends the repo's performance trajectory to the fleet simulator: every
 run re-measures how fast the discrete-event edge loop drains the default
 seeded population (24 edges, 20 arrivals/s over 90 minutes with a x6
 flash crowd — roughly 146k sessions) and writes ``BENCH_fleet.json`` at
-the repo root with the aggregate QoE/rebuffer/utilization curves, so
-successive PRs can compare like-for-like.
+the repo root with the aggregate QoE/rebuffer/utilization curves plus a
+per-stage breakdown of one edge's event loop, so successive PRs can
+compare like-for-like and see *where* the per-event budget goes.
 
-Scale knobs (the CI smoke job shrinks the population; the default is the
-full acceptance-scale run):
-
-- ``REPRO_BENCH_FLEET_DURATION`` — simulated horizon in seconds
-  (default 5400);
-- ``REPRO_BENCH_FLEET_EDGES`` — number of bottleneck edges (default 24);
-- ``REPRO_BENCH_FLEET_ARRIVALS`` — fleet-wide arrivals/s (default 20);
-- ``REPRO_BENCH_FLEET_WORKERS`` — pool size for the timed run
-  (default: usable cores).
+Scale/measurement knobs (``REPRO_BENCH_FLEET_{DURATION,EDGES,ARRIVALS,
+WORKERS,ROUNDS,OUT}``) are documented in :mod:`repro.fleet.bench`,
+which owns the spec, the record layout and the regression-gate rules
+shared with ``repro bench --fleet`` and the CI perf job.
 
 Correctness gates before any number is recorded: a small spec must be
 bit-identical between serial and a 2-worker pool, and at full scale the
@@ -28,45 +24,28 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 
-from repro.experiments.hotpath import bench_environment, pin_single_threaded
-from repro.fleet import FlashCrowd, FleetSpec, run_fleet
+from repro.experiments.hotpath import pin_single_threaded
+from repro.fleet import run_fleet
+from repro.fleet.bench import (
+    bench_spec,
+    build_record,
+    is_full_scale,
+    spec_from_env,
+    stage_breakdown,
+    usable_cpus,
+)
 
 pin_single_threaded()
 
-SEED = 0
-DURATION_S = float(os.environ.get("REPRO_BENCH_FLEET_DURATION", "5400"))
-N_EDGES = int(os.environ.get("REPRO_BENCH_FLEET_EDGES", "24"))
-ARRIVALS_PER_S = float(os.environ.get("REPRO_BENCH_FLEET_ARRIVALS", "20"))
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
-
-FULL_SCALE = DURATION_S >= 5400 and N_EDGES >= 24 and ARRIVALS_PER_S >= 20
-
-
-def _usable_cpus() -> int:
-    """CPUs this process may actually schedule on (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0)) or 1
-    except (AttributeError, OSError):
-        return os.cpu_count() or 1
-
-
-def _spec(duration_s: float, n_edges: int, arrivals_per_s: float) -> FleetSpec:
-    return FleetSpec(
-        seed=SEED,
-        duration_s=duration_s,
-        n_edges=n_edges,
-        arrivals_per_s=arrivals_per_s,
-        flash_crowds=(
-            FlashCrowd(
-                start_s=0.6 * duration_s,
-                duration_s=min(300.0, 0.2 * duration_s),
-                multiplier=6.0,
-            ),
-        ),
+ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_FLEET_ROUNDS", "1")))
+RESULT_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_FLEET_OUT",
+        Path(__file__).resolve().parent.parent / "BENCH_fleet.json",
     )
+)
 
 
 def _fingerprint(result):
@@ -87,48 +66,53 @@ def _fingerprint(result):
 def test_fleet_throughput_trajectory(benchmark):
     # Correctness before speed: sharding the edges across a pool must not
     # change a single bit of the aggregate.
-    small = _spec(duration_s=420.0, n_edges=4, arrivals_per_s=1.0)
+    small = bench_spec(duration_s=420.0, n_edges=4, arrivals_per_s=1.0)
     assert _fingerprint(run_fleet(small, n_workers=2)) == _fingerprint(
         run_fleet(small, n_workers=1)
     )
 
-    usable = _usable_cpus()
+    usable = usable_cpus()
     workers = int(os.environ.get("REPRO_BENCH_FLEET_WORKERS", "0")) or usable
-    spec = _spec(DURATION_S, N_EDGES, ARRIVALS_PER_S)
+    spec = spec_from_env()
+    full_scale = is_full_scale(spec)
 
-    start = time.perf_counter()
     result = benchmark.pedantic(
-        run_fleet, args=(spec,), kwargs={"n_workers": workers}, rounds=1, iterations=1
+        run_fleet,
+        args=(spec,),
+        kwargs={"n_workers": workers},
+        rounds=ROUNDS,
+        iterations=1,
     )
-    elapsed = time.perf_counter() - start
+    # Deterministic sim: rounds differ only in wall clock. Min-of-rounds
+    # is the noise model (slow scheduling phases inflate single samples).
+    elapsed = benchmark.stats.stats.min
 
-    if FULL_SCALE:
+    if full_scale:
         assert result.sessions >= 100_000
         assert result.peak_concurrency >= 10_000
 
-    record = {
-        "benchmark": "fleet_throughput",
-        "environment": {**bench_environment(), "usable_cpus": usable},
-        "timing": {
-            "workers": workers,
-            "elapsed_s": round(elapsed, 4),
-            "sessions_per_s": round(result.sessions / elapsed, 2) if elapsed else None,
-            "chunks_per_s": round(result.chunks / elapsed, 1) if elapsed else None,
-            "sim_speedup_vs_realtime": (
-                round(spec.duration_s / elapsed, 2) if elapsed else None
-            ),
-            "full_scale": FULL_SCALE,
-        },
-        **result.report(),
-    }
+    record = build_record(
+        spec,
+        result,
+        elapsed_s=elapsed,
+        workers=workers,
+        rounds=ROUNDS,
+        stages=stage_breakdown(spec),
+    )
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
+    timing = record["timing"]
     print(
-        f"\nfleet throughput ({result.sessions} sessions over {N_EDGES} edges, "
-        f"{os.cpu_count()} cores, {usable} usable):"
+        f"\nfleet throughput ({result.sessions} sessions over {spec.n_edges} "
+        f"edges, {os.cpu_count()} cores, {usable} usable):"
     )
     print(
-        f"  {workers} workers  {record['timing']['sessions_per_s']:>10} sessions/s"
-        f"  {record['timing']['chunks_per_s']:>12} chunks/s"
-        f"  peak concurrency {result.peak_concurrency:.0f}"
+        f"  {workers} workers  {timing['sessions_per_s']:>10} sessions/s"
+        f"  {timing['events_per_s']:>12} events/s"
+        f"  ({timing['us_per_event']} us/event, best of {ROUNDS})"
     )
+    for name, entry in record["stages"]["stages"].items():
+        print(
+            f"  {name:24s} {entry['wall_s']:9.3f}s wall"
+            f"  {entry['share'] * 100:5.1f}%  ({entry['count']} ops)"
+        )

@@ -35,14 +35,27 @@ class RateBasedAlgorithm(ABRAlgorithm):
         self.min_buffer_chunks = min_buffer_chunks
 
     def prepare(self, manifest: Manifest) -> None:
+        if getattr(self, "_size_rows", None) is not None and self.manifest is manifest:
+            # Pooled re-use on the identity-same manifest: RBA keeps no
+            # per-session state, and every prepared table is a pure
+            # function of the manifest — nothing to redo.
+            return
         super().prepare(manifest)
         self._reserve_s = self.min_buffer_chunks * manifest.chunk_duration_s
+        # Hot-path tables: size_rows[level][i] is chunk_size_bits(level, i)
+        # bit for bit, without the ndarray index + float() per probe (the
+        # feasibility scan probes up to num_tracks sizes per decision).
+        self._size_rows = manifest.size_rows
+        self._top = manifest.num_tracks - 1
 
     def select_level(self, ctx: DecisionContext) -> int:
         i = ctx.chunk_index
-        for level in range(self.manifest.num_tracks - 1, -1, -1):
-            download_s = self.manifest.chunk_size_bits(level, i) / ctx.bandwidth_bps
-            if ctx.buffer_s - download_s >= self._reserve_s:
+        bandwidth_bps = ctx.bandwidth_bps
+        buffer_s = ctx.buffer_s
+        reserve_s = self._reserve_s
+        rows = self._size_rows
+        for level in range(self._top, -1, -1):
+            if buffer_s - rows[level][i] / bandwidth_bps >= reserve_s:
                 return level
         return 0
 

@@ -463,6 +463,84 @@ def cmd_top(args: argparse.Namespace) -> int:
             return 0
 
 
+def _cmd_bench_fleet(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.experiments.hotpath import (
+        load_record,
+        pin_single_threaded,
+        write_record,
+    )
+    from repro.fleet.bench import (
+        build_record,
+        fleet_gate,
+        run_fleet_benchmark,
+        spec_from_env,
+        stage_breakdown,
+        usable_cpus,
+    )
+
+    pin_single_threaded()
+    out = Path(args.out or "BENCH_fleet.json")
+    spec = spec_from_env()
+    workers = (
+        args.workers
+        or int(os.environ.get("REPRO_BENCH_FLEET_WORKERS", "0"))
+        or usable_cpus()
+    )
+    rounds = max(1, args.rounds)
+    result, elapsed = run_fleet_benchmark(spec, n_workers=workers, rounds=rounds)
+    record = build_record(
+        spec,
+        result,
+        elapsed_s=elapsed,
+        workers=workers,
+        rounds=rounds,
+        stages=stage_breakdown(spec),
+    )
+    write_record(record, out)
+    timing = record["timing"]
+    if not args.json:
+        print(
+            f"fleet benchmark ({result.sessions} sessions over {spec.n_edges} "
+            f"edges, {workers} workers, best of {rounds}) -> {out}"
+        )
+        print(f"  {timing['sessions_per_s']:>12} sessions/s"
+              f"  {timing['events_per_s']:>12} events/s"
+              f"  ({timing['us_per_event']} us/event)")
+        for name, entry in record["stages"]["stages"].items():
+            print(f"  {name:24s} {entry['wall_s']:9.3f}s wall"
+                  f"  {entry['share'] * 100:5.1f}%  ({entry['count']} ops)")
+
+    regressions: list = []
+    have_baseline = False
+    if args.baseline is not None:
+        baseline = load_record(Path(args.baseline))
+        if baseline is None:
+            if not args.json:
+                print(f"no baseline at {args.baseline}; skipping regression gate")
+        else:
+            have_baseline = True
+            regressions = fleet_gate(record, baseline, tolerance=args.tolerance)
+    if args.json:
+        payload = dict(record)
+        if args.baseline is not None:
+            payload["regressions"] = regressions
+        print(json.dumps(payload))
+        return 1 if regressions else 0
+    if not have_baseline:
+        return 0
+    if regressions:
+        print(f"\n{len(regressions)} perf regression(s) vs {args.baseline}:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"\nno regressions vs {args.baseline} "
+          f"(tolerance {args.tolerance * 100:.0f}%)")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -479,8 +557,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_record,
     )
 
+    if args.fleet:
+        return _cmd_bench_fleet(args)
+
     pin_single_threaded()
-    out = Path(args.out)
+    out = Path(args.out or "BENCH_hotpath.json")
     if args.warm:
         # Warm-cache stage only: run the reference sweep cold+warm
         # through a fresh session store and fold the numbers into the
@@ -742,14 +823,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a single frame and exit")
 
     p = commands.add_parser(
-        "bench", help="run hot-path microbenchmarks, write BENCH_hotpath.json"
+        "bench", help="run hot-path or fleet benchmarks, write a BENCH record"
     )
-    p.add_argument("--out", default="BENCH_hotpath.json",
-                   help="output record path (default BENCH_hotpath.json)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="output record path (default BENCH_hotpath.json, or "
+                        "BENCH_fleet.json with --fleet)")
     p.add_argument("--baseline", default=None, metavar="PATH",
                    help="compare against a baseline record; exit 1 on regression")
     p.add_argument("--tolerance", type=float, default=0.30,
                    help="allowed fractional regression per target (default 0.30)")
+    p.add_argument("--fleet", action="store_true",
+                   help="benchmark the fleet simulator instead of the "
+                        "per-session hot paths (scale via the "
+                        "REPRO_BENCH_FLEET_* environment knobs)")
+    p.add_argument("--rounds", type=int, default=1,
+                   help="fleet: timed repetitions, record the fastest "
+                        "(default 1)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="fleet: worker processes for the timed run "
+                        "(0 = REPRO_BENCH_FLEET_WORKERS or usable cores)")
     p.add_argument("--traces", type=int, default=None,
                    help="traces in the CAVA+RBA sweep grid (default 200)")
     p.add_argument("--mpc-traces", type=int, default=None,

@@ -21,6 +21,7 @@ The ablations of §6.4 are exposed as constructors: :func:`cava_p1`
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 from typing import Optional
 
@@ -32,10 +33,13 @@ from repro.core.inner import InnerController
 from repro.core.outer import OuterController
 from repro.core.pid import BatchPIDController, PIDController
 from repro.util.pinned import PinnedMemo
+from repro.util.validation import check_non_negative
 from repro.video.classify import ChunkClassifier
 from repro.video.model import Manifest
 
 __all__ = ["CavaAlgorithm", "cava_p1", "cava_p12", "cava_p123", "cava_live"]
+
+_INF = math.inf
 
 #: Prepared (classifier, outer, inner) stacks keyed by manifest identity
 #: and config. All three are deterministic pure functions of (config,
@@ -73,8 +77,19 @@ class CavaAlgorithm(ABRAlgorithm):
             self.name = "CAVA-p1"
 
     def prepare(self, manifest: Manifest) -> None:
-        super().prepare(manifest)
         config = self.config
+        if getattr(self, "pid", None) is not None and self.manifest is manifest:
+            # Pooled re-use on the identity-same manifest (the fleet
+            # cycles algorithm instances through per-key pools): the
+            # prepared stacks are pure functions of (config, manifest)
+            # and already bound, and a reset PID equals a fresh one —
+            # same zeroed state, same gains hoisted from the same frozen
+            # config — so skip the memo lookup and the reconstruction.
+            self.pid.reset()
+            self.last_target_s = config.base_target_buffer_s
+            self.last_u = 1.0
+            return
+        super().prepare(manifest)
         self.classifier, self.outer, self.inner = _PREPARED.get(
             manifest, config, lambda: _build_controllers(config, manifest)
         )
@@ -83,18 +98,112 @@ class CavaAlgorithm(ABRAlgorithm):
         self.last_u = 1.0
 
     def select_level(self, ctx: DecisionContext) -> int:
-        # Outer controller: where should the buffer be?
-        target = self.outer.target_buffer_s(ctx.chunk_index)
+        chunk_index = ctx.chunk_index
+        buffer_s = ctx.buffer_s
+        # Outer controller: where should the buffer be? (_targets is the
+        # plain-float list behind target_buffer_s.)
+        target = self.outer._targets[chunk_index]
         # PID block: how aggressively should we fill toward it?
-        u = self.pid.update(ctx.now_s, ctx.buffer_s, target)
+        # PIDController.update is inlined — one CAVA decision per fleet
+        # chunk makes the call overhead measurable; the validations and
+        # every float operation keep the method's exact order.
+        pid = self.pid
+        now_s = ctx.now_s
+        if not 0.0 <= now_s < _INF:
+            check_non_negative(now_s, "now_s")
+        if not 0.0 <= buffer_s < _INF:
+            check_non_negative(buffer_s, "buffer_s")
+        if not 0.0 <= target < _INF:
+            check_non_negative(target, "target_s")
+        elapsed = now_s - pid._last_time_s
+        dt = elapsed if elapsed > 0.0 else 0.0
+        pid._last_time_s = now_s
+        error = target - buffer_s
+        pid._last_error_s = error
+        limit = pid._integral_limit
+        integral = pid._integral + error * dt
+        if integral > limit:
+            integral = limit
+        elif integral < -limit:
+            integral = -limit
+        pid._integral = integral
+        indicator = 1.0 if buffer_s >= pid.chunk_duration_s else 0.0
+        u = pid._kp * error + pid._ki * integral + indicator
+        if u > pid._u_max:
+            u = pid._u_max
+        elif u < pid._u_min:
+            u = pid._u_min
         # Inner controller: which track satisfies that, VBR-aware?
-        level = self.inner.select(
-            chunk_index=ctx.chunk_index,
-            u=u,
-            bandwidth_bps=max(ctx.bandwidth_bps, 1_000.0),
-            buffer_s=ctx.buffer_s,
-            last_level=ctx.last_level,
-        )
+        # InnerController.select is inlined branch-for-branch (the
+        # conditional floor keeps max(bandwidth, 1000.0)'s doubles) —
+        # the call frame itself was measurable at one CAVA decision per
+        # fleet chunk. Same validations, same float order, same
+        # tie-breaks; `inner.select` remains the reference body.
+        bandwidth_bps = ctx.bandwidth_bps
+        if bandwidth_bps < 1_000.0:
+            bandwidth_bps = 1_000.0
+        last_level = ctx.last_level
+        inner = self.inner
+        alpha = inner._alpha_list[chunk_index]
+        if (
+            inner._relief_enabled
+            and inner._complex_list[chunk_index]
+            and buffer_s < inner._q4_relief_buffer_s
+        ):
+            alpha = 1.0
+        if u <= 0:
+            raise ValueError(f"controller output u must be positive, got {u}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        rbar_row = inner._rbar_rows[chunk_index]
+        n = inner._n_horizon
+        assumed_mbps = alpha * bandwidth_bps / 1e6
+        best = 0
+        best_cost = _INF
+        if last_level is None:
+            for level, rbar in enumerate(rbar_row):
+                deviation = u * rbar - assumed_mbps
+                cost = n * (deviation * deviation)
+                if cost < best_cost:
+                    best_cost = cost
+                    best = level
+        else:
+            es_row = inner._eta_step2[chunk_index][last_level]
+            for level, rbar in enumerate(rbar_row):
+                deviation = u * rbar - assumed_mbps
+                cost = n * (deviation * deviation) + es_row[level]
+                if cost < best_cost:
+                    best_cost = cost
+                    best = level
+        level = best
+        # Q1–Q3 no-deflation heuristic (§5.3): deflating must not push a
+        # simple chunk to a very low level while the buffer is healthy.
+        if (
+            inner._use_differential
+            and alpha < 1.0
+            and level < inner._low_level_threshold
+            and buffer_s > inner._safe_buffer_s
+        ):
+            alpha = 1.0
+            assumed_mbps = alpha * bandwidth_bps / 1e6
+            best = 0
+            best_cost = _INF
+            if last_level is None:
+                for level, rbar in enumerate(rbar_row):
+                    deviation = u * rbar - assumed_mbps
+                    cost = n * (deviation * deviation)
+                    if cost < best_cost:
+                        best_cost = cost
+                        best = level
+            else:
+                for level, rbar in enumerate(rbar_row):
+                    deviation = u * rbar - assumed_mbps
+                    cost = n * (deviation * deviation) + es_row[level]
+                    if cost < best_cost:
+                        best_cost = cost
+                        best = level
+            level = best
+        inner.last_alpha = alpha
         self.last_target_s = target
         self.last_u = u
 

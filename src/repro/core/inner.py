@@ -84,6 +84,35 @@ class InnerController:
         self._relief_enabled = bool(
             config.use_differential and config.enable_q4_relief_heuristic
         )
+        # Precomputed change-penalty addends: eta_t * (r(l) - r(l'))^2 is
+        # a pure function of (chunk, last level, level), and eta_t only
+        # ever takes two values (0.0 or the track-change weight), so two
+        # shared [last][level] tables cover every chunk. Each entry is
+        # the exact double the select() loop used to recompute — same
+        # subtraction, square, and multiply, just done once here.
+        avg = self._track_avg_list
+        levels = range(len(avg))
+        def _penalty_table(eta: float):
+            rows = []
+            for last in levels:
+                avg_last = avg[last]
+                row = []
+                for level in levels:
+                    step = avg[level] - avg_last
+                    row.append(eta * (step * step))
+                rows.append(row)
+            return rows
+        zero_rows = _penalty_table(0.0)
+        weight_rows = _penalty_table(config.track_change_weight)
+        self._eta_step2 = [
+            weight_rows if eta else zero_rows for eta in self._eta_list
+        ]
+        # Per-decision config scalars, hoisted (CavaConfig is frozen).
+        self._n_horizon = config.horizon_chunks
+        self._use_differential = config.use_differential
+        self._low_level_threshold = config.low_level_threshold
+        self._safe_buffer_s = config.safe_buffer_s
+        self._q4_relief_buffer_s = config.q4_relief_buffer_s
 
     # ------------------------------------------------------------------
     # Eq. (3) pieces
@@ -160,7 +189,7 @@ class InnerController:
             raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
         rbar_row = self._rbar_rows[chunk_index]
         assumed_mbps = alpha * bandwidth_bps / 1e6
-        n = self.config.horizon_chunks
+        n = self._n_horizon
         best = 0
         best_cost = math.inf
         if last_level is None:
@@ -191,28 +220,75 @@ class InnerController:
         buffer_s: float,
         last_level: Optional[int],
     ) -> int:
-        """Return the optimal level l*_t, heuristics included."""
+        """Return the optimal level l*_t, heuristics included.
+
+        :meth:`_argmin_objective` is inlined at both solve sites (the
+        differential solve and the no-deflation re-solve) — one method
+        call per decision instead of up to three on the fleet's hottest
+        path, with identical doubles and tie-breaks.
+        """
         alpha = self._alpha_list[chunk_index]
         if (
             self._relief_enabled
             and self._complex_list[chunk_index]
-            and buffer_s < self.config.q4_relief_buffer_s
+            and buffer_s < self._q4_relief_buffer_s
         ):
             alpha = 1.0
-        level = self._argmin_objective(chunk_index, u, bandwidth_bps, last_level, alpha)
+        if u <= 0:
+            raise ValueError(f"controller output u must be positive, got {u}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        rbar_row = self._rbar_rows[chunk_index]
+        n = self._n_horizon
+        assumed_mbps = alpha * bandwidth_bps / 1e6
+        best = 0
+        best_cost = math.inf
+        if last_level is None:
+            for level, rbar in enumerate(rbar_row):
+                deviation = u * rbar - assumed_mbps
+                cost = n * (deviation * deviation)
+                if cost < best_cost:
+                    best_cost = cost
+                    best = level
+        else:
+            # es_row[level] is the precomputed eta * (step * step) addend
+            # (see __init__) — same doubles as the inline recompute.
+            es_row = self._eta_step2[chunk_index][last_level]
+            for level, rbar in enumerate(rbar_row):
+                deviation = u * rbar - assumed_mbps
+                cost = n * (deviation * deviation) + es_row[level]
+                if cost < best_cost:
+                    best_cost = cost
+                    best = level
+        level = best
 
         # Q1–Q3 no-deflation heuristic (§5.3): deflating must not push a
         # simple chunk to a very low level while the buffer is healthy.
         if (
-            self.config.use_differential
+            self._use_differential
             and alpha < 1.0
-            and level < self.config.low_level_threshold
-            and buffer_s > self.config.safe_buffer_s
+            and level < self._low_level_threshold
+            and buffer_s > self._safe_buffer_s
         ):
             alpha = 1.0
-            level = self._argmin_objective(
-                chunk_index, u, bandwidth_bps, last_level, alpha
-            )
+            assumed_mbps = alpha * bandwidth_bps / 1e6
+            best = 0
+            best_cost = math.inf
+            if last_level is None:
+                for level, rbar in enumerate(rbar_row):
+                    deviation = u * rbar - assumed_mbps
+                    cost = n * (deviation * deviation)
+                    if cost < best_cost:
+                        best_cost = cost
+                        best = level
+            else:
+                for level, rbar in enumerate(rbar_row):
+                    deviation = u * rbar - assumed_mbps
+                    cost = n * (deviation * deviation) + es_row[level]
+                    if cost < best_cost:
+                        best_cost = cost
+                        best = level
+            level = best
         self.last_alpha = alpha
         return level
 

@@ -18,7 +18,7 @@ past any useful value.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,12 +30,22 @@ __all__ = ["PIDController", "BatchPIDController"]
 _INF = math.inf
 
 
-@dataclass
+@dataclass(slots=True)
 class PIDController:
     """Stateful PID block; one instance per streaming session."""
 
     config: CavaConfig
     chunk_duration_s: float
+    # Controller state + hoisted gains (slots need declared fields;
+    # __post_init__ initializes them).
+    _integral: float = field(init=False, repr=False, default=0.0)
+    _last_time_s: float = field(init=False, repr=False, default=0.0)
+    _last_error_s: float = field(init=False, repr=False, default=0.0)
+    _kp: float = field(init=False, repr=False, default=0.0)
+    _ki: float = field(init=False, repr=False, default=0.0)
+    _integral_limit: float = field(init=False, repr=False, default=0.0)
+    _u_min: float = field(init=False, repr=False, default=0.0)
+    _u_max: float = field(init=False, repr=False, default=0.0)
 
     def __post_init__(self) -> None:
         if self.chunk_duration_s <= 0:
@@ -88,19 +98,30 @@ class PIDController:
             check_non_negative(buffer_s, "buffer_s")
         if not 0.0 <= target_s < _INF:
             check_non_negative(target_s, "target_s")
-        dt = max(0.0, now_s - self._last_time_s)
+        # Conditional clamps replace the max/min builtin chains: for the
+        # non-NaN operands the validation guarantees, the selected value
+        # is the same double (ties return the same float either way).
+        elapsed = now_s - self._last_time_s
+        dt = elapsed if elapsed > 0.0 else 0.0
         self._last_time_s = now_s
 
         error = target_s - buffer_s
         self._last_error_s = error
         limit = self._integral_limit
         integral = self._integral + error * dt
-        integral = max(-limit, min(limit, integral))
+        if integral > limit:
+            integral = limit
+        elif integral < -limit:
+            integral = -limit
         self._integral = integral
 
         indicator = 1.0 if buffer_s >= self.chunk_duration_s else 0.0
         u = self._kp * error + self._ki * integral + indicator
-        return max(self._u_min, min(self._u_max, u))
+        if u > self._u_max:
+            return self._u_max
+        if u < self._u_min:
+            return self._u_min
+        return u
 
 
 class BatchPIDController:

@@ -1,0 +1,70 @@
+"""Canonical bit-identity fingerprint of a fleet result.
+
+The fleet engine's contract is *bitwise* determinism: the same spec must
+produce byte-identical totals and bucket curves whatever the worker
+count or multiprocessing start method, and performance work on the
+per-event hot path must never move a single float. That contract is
+pinned by hashing the merged result exactly — every bucket curve's raw
+little-endian bytes plus the scalar totals' shortest-roundtrip reprs —
+into one BLAKE2 digest that goldens can be compared against.
+
+``tools/fleet_golden.py`` regenerates the committed golden file
+(``tests/fleet/golden_fleet_fingerprint.json``) when a PR *intends* to
+change the numbers; ``tests/fleet/test_fingerprint.py`` asserts the
+digest for serial and pooled runs under both start methods.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.runner import FleetResult
+
+__all__ = ["FINGERPRINT_ARRAYS", "FINGERPRINT_SCALARS", "fleet_fingerprint"]
+
+#: Bucket curves folded into the digest, in a fixed order.
+FINGERPRINT_ARRAYS = (
+    "delivered_bits",
+    "capacity_bits",
+    "concurrency_s",
+    "download_s",
+    "stall_s",
+    "arrivals",
+    "finishes",
+    "qoe_sum",
+    "qoe_count",
+)
+
+#: Scalar totals folded into the digest (and echoed in the summary so a
+#: mismatch is debuggable without re-running both engines).
+FINGERPRINT_SCALARS = (
+    "sessions",
+    "live_sessions",
+    "chunks",
+    "bits",
+    "stall_total_s",
+    "qoe_mean",
+    "peak_concurrency",
+)
+
+
+def fleet_fingerprint(result: "FleetResult") -> Dict[str, object]:
+    """Digest + human-readable scalars for one :class:`FleetResult`.
+
+    ``repr`` of a Python float is shortest-roundtrip, so two digests are
+    equal iff every curve byte and every scalar double is identical.
+    """
+    h = blake2b(digest_size=16)
+    for name in FINGERPRINT_ARRAYS:
+        arr = getattr(result, name)
+        h.update(name.encode())
+        h.update(arr.tobytes())
+    scalars: Dict[str, object] = {}
+    for name in FINGERPRINT_SCALARS:
+        value = getattr(result, name)
+        scalars[name] = value
+        h.update(name.encode())
+        h.update(repr(value).encode())
+    return {"digest": h.hexdigest(), "scalars": scalars}

@@ -43,7 +43,7 @@ from repro.telemetry.pipeline import (
     SPAN_SHM_PUBLISH,
     ProgressBoard,
 )
-from repro.telemetry.spans import SpanTracer, maybe_span
+from repro.telemetry.spans import SpanTracer, StageTimer, maybe_span
 from repro.util.rng import derive_rng
 from repro.video.dataset import build_video, standard_dataset_specs
 from repro.video.model import VideoAsset
@@ -411,9 +411,21 @@ class FleetRunner:
 
     def _drain_serial(self, videos, traces) -> List[EdgeResult]:
         edges: List[EdgeResult] = []
-        with maybe_span(self.tracer, SPAN_FLEET_DRAIN, "fleet", workers=1):
+        tracer = self.tracer
+        with maybe_span(tracer, SPAN_FLEET_DRAIN, "fleet", workers=1):
             for index in range(self.spec.n_edges):
-                edge = simulate_edge(self.spec, index, videos, traces[index])
+                if tracer is not None:
+                    # Profiling run: the instrumented twin of the fused
+                    # loop is bit-identical but pays per-event clock
+                    # reads, so it only runs when a trace is wanted.
+                    timer = StageTimer()
+                    edge = simulate_edge(
+                        self.spec, index, videos, traces[index],
+                        stage_timer=timer,
+                    )
+                    tracer.record_stages(timer, cat="fleet", edge=index)
+                else:
+                    edge = simulate_edge(self.spec, index, videos, traces[index])
                 edges.append(edge)
                 self._note_edge(edge, len(edges))
         return edges

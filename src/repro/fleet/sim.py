@@ -2,20 +2,44 @@
 
 One :func:`simulate_edge` call owns one bottleneck: a
 :class:`~repro.network.shared.SharedLink` over the edge's capacity
-trace, a timer heap of session events (arrivals, idle wake-ups,
-latency-delayed transfer starts, playback departures), and the
-event-driven session cores of :mod:`repro.player.core`. The loop
-interleaves the two event sources deterministically — at equal times a
-download completion is processed before a timer, and timers break ties
-by insertion order — so an edge's result is a pure function of
-``(spec, edge_index, videos, trace)`` and the fleet can shard edges
-across any number of workers without changing a bit of the output.
+trace, the session events (arrivals, idle wake-ups, latency-delayed
+transfer starts, playback departures), and the event-driven session
+cores of :mod:`repro.player.core`. The loop interleaves the event
+sources deterministically — at equal times a download completion is
+processed before a timer, and timers break ties by insertion order — so
+an edge's result is a pure function of ``(spec, edge_index, videos,
+trace)`` and the fleet can shard edges across any number of workers
+without changing a bit of the output.
+
+**Hot path.** The loop runs once per event (~5M events on the default
+fleet), so the event plumbing is built from three merged streams
+instead of one heap:
+
+- *arrivals* are pre-sorted by construction, so they live in a plain
+  list walked by a cursor — no heap push/pop for the whole population;
+- *timers* (wake/xfer/depart) keep the binary heap, ordered by
+  ``(time, seq)``;
+- the *link completion* comes from ``SharedLink.next_completion()``,
+  which caches its answer under an exact state key and resolves the
+  inverse-cumulative search through a memoized interval hint.
+
+The deterministic merge preserves the original single-heap order
+exactly: completions beat timers at equal times, and arrivals beat
+runtime timers at equal times because every arrival predates every
+runtime timer in insertion order.
 
 Aggregates are folded into fixed-width time buckets as the clock
 advances (concurrency and active-download time integrals, delivered
 bits, stalls, arrivals, finishes, per-session QoE at departure), plus
-whole-edge scalars. Per-session state is discarded at departure: a
-100k-session fleet keeps only its ~20k concurrent cores alive.
+whole-edge scalars. The three integrals fed by every clock advance
+accumulate into plain-float partials for the *current* bucket and are
+flushed into the preallocated numpy accumulators only at bucket
+boundaries — the same additions in the same left-to-right order as a
+per-event ``values[idx] += x``, starting from the bucket's zero, so the
+folded totals are bit-identical while the per-event cost drops to a few
+local float adds. Per-session state is discarded at departure: a
+100k-session fleet keeps only its ~20k concurrent cores alive (and
+recycles the per-viewer envelopes through a free pool).
 
 A session occupies the edge from arrival until *playback* ends: after
 the last watched chunk downloads, the viewer keeps watching the buffer
@@ -26,11 +50,13 @@ in flight" that capacity planning cares about.
 
 from __future__ import annotations
 
+import gc
 import heapq
 import math
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -39,26 +65,54 @@ from repro.core.cava import cava_live
 from repro.faults.plan import FaultedLink
 from repro.fleet.arrivals import edge_arrival_times
 from repro.fleet.spec import FleetSpec
-from repro.network.link import TraceLink
-from repro.network.shared import SharedLink
+from repro.network.link import MIN_DOWNLOAD_DURATION_S, TraceLink
+from repro.network.shared import _MIN_COMPACT_SIZE, SharedLink
 from repro.network.traces import NetworkTrace
 from repro.player.core import DONE, FETCH, WAIT, LiveSessionCore, VodSessionCore
 from repro.player.live import LiveSessionConfig
 from repro.player.metrics import QoeWeights
 from repro.player.session import SessionConfig
+from repro.telemetry.spans import StageTimer
 from repro.util.rng import derive_rng
 from repro.video.model import VideoAsset
 
-__all__ = ["EdgeResult", "simulate_edge"]
+__all__ = ["EdgeResult", "simulate_edge", "bucket_index"]
 
-# Timer-event kinds (heap entries are (time, seq, kind, session/index)).
-_EV_ARRIVE = 0
+# Timer-event kinds (heap entries are (time, seq, kind, session)).
 _EV_WAKE = 1
 _EV_XFER = 2  # latency-fault delay elapsed; start the transfer
 _EV_DEPART = 3  # buffer played out; viewer leaves
 
+_INF = math.inf
+
 #: Live CAVA lookahead (chunks) — matches the §8 live adaptation tests.
 _LIVE_LOOKAHEAD_CHUNKS = 10
+
+#: Stage names for the instrumented loop (match the observability
+#: plane's ``fleet.*`` span vocabulary; see telemetry.pipeline).
+STAGE_COMPLETION = "fleet.completion_query"
+STAGE_ADVANCE = "fleet.advance"
+STAGE_DISPATCH = "fleet.dispatch"
+STAGE_BUCKET_FOLD = "fleet.bucket_fold"
+
+
+def bucket_index(t: float, width: float) -> int:
+    """Index of the ``[k * width, (k + 1) * width)`` bucket holding ``t``.
+
+    ``int(t / width)`` alone mis-buckets times within an ulp of a
+    boundary: the division can round up (``t`` just below ``k * width``
+    lands in bucket ``k``) or down (``t`` exactly at ``k * width`` with
+    an inexact quotient lands in ``k - 1``). The correction compares
+    against the boundary product itself, so every caller — the
+    accumulators and the advance loop's boundary splitting alike —
+    agrees on one flooring.
+    """
+    index = int(t / width)
+    if t < index * width:
+        index -= 1
+    elif t >= (index + 1) * width:
+        index += 1
+    return index
 
 
 @dataclass
@@ -100,6 +154,9 @@ class EdgeResult:
     started_at: float  # wall-clock, for span stitching
     wall_s: float
     cpu_s: float
+    #: Per-stage wall/count breakdown when the edge ran instrumented
+    #: (``simulate_edge(..., stage_timer=...)``); None on the fast path.
+    stages: Optional[Dict[str, Dict[str, float]]] = field(default=None)
 
     @property
     def n_buckets(self) -> int:
@@ -107,22 +164,41 @@ class EdgeResult:
 
 
 class _Buckets:
-    """Fixed-width accumulators that grow on demand (drain overruns the
-    arrival horizon by an unknown amount)."""
+    """Preallocated numpy accumulator over fixed-width time buckets.
 
-    __slots__ = ("width", "values")
+    The backing array doubles on demand (drain overruns the arrival
+    horizon by an unknown amount); ``hi`` tracks the high-water bucket
+    count so :meth:`array` knows how much is live. Scalar adds land via
+    :func:`bucket_index`; :meth:`add_window` folds a multi-bucket span
+    with one vectorized slice add for the interior buckets — each
+    interior bucket still receives exactly one addition of the same
+    double, so the fold is bit-identical to the per-bucket loop it
+    replaces.
+    """
 
-    def __init__(self, width: float) -> None:
+    __slots__ = ("width", "values", "hi")
+
+    def __init__(self, width: float, capacity: int = 64) -> None:
         self.width = width
-        self.values: List[float] = []
+        self.values = np.zeros(max(int(capacity), 1), dtype=np.float64)
+        self.hi = 0  # buckets in use (max touched index + 1)
 
     def _ensure(self, index: int) -> None:
         values = self.values
-        if index >= len(values):
-            values.extend([0.0] * (index + 1 - len(values)))
+        if index >= values.size:
+            grown = np.zeros(max(values.size * 2, index + 1), dtype=np.float64)
+            grown[: values.size] = values
+            self.values = grown
+        if index >= self.hi:
+            self.hi = index + 1
 
     def add_at(self, t: float, amount: float) -> None:
-        index = int(t / self.width)
+        index = bucket_index(t, self.width)
+        self._ensure(index)
+        self.values[index] += amount
+
+    def add_dense(self, index: int, amount: float) -> None:
+        """Add at a precomputed bucket index (the advance-loop flush)."""
         self._ensure(index)
         self.values[index] += amount
 
@@ -132,26 +208,27 @@ class _Buckets:
             return
         density = amount / (t1 - t0)
         width = self.width
-        lo = int(t0 / width)
-        hi = int(t1 / width)
+        lo = bucket_index(t0, width)
+        hi = bucket_index(t1, width)
         self._ensure(hi)
-        if lo == hi:
-            self.values[lo] += amount
-            return
         values = self.values
+        if lo == hi:
+            values[lo] += amount
+            return
         values[lo] += density * ((lo + 1) * width - t0)
-        for index in range(lo + 1, hi):
-            values[index] += density * width
+        if hi > lo + 1:
+            values[lo + 1 : hi] += density * width
         values[hi] += density * (t1 - hi * width)
 
     def array(self, n: int) -> np.ndarray:
         out = np.zeros(n, dtype=np.float64)
-        out[: len(self.values)] = self.values
+        m = self.hi if self.hi < n else n
+        out[:m] = self.values[:m]
         return out
 
 
 class _Session:
-    """Per-viewer envelope around an event-driven core."""
+    """Per-viewer envelope around an event-driven core (pooled)."""
 
     __slots__ = ("core", "live", "pool_key", "pending_bits", "stall_seen")
 
@@ -197,24 +274,38 @@ class _EdgeSimulator:
         self.qoe_weights = QoeWeights()
         # Manifests and quality tables per (video index, quality manifest).
         self._manifests: Dict[Tuple[int, bool], object] = {}
-        self._quality_rows: Dict[int, np.ndarray] = {}
+        self._quality_rows: Dict[int, tuple] = {}
         # Retired algorithm instances, reusable after `prepare`:
         # key (scheme index, video index, live).
         self._algorithm_pool: Dict[Tuple[int, int, bool], list] = {}
+        # Retired session cores, re-armed via ``reset_for`` (same key
+        # space: every collaborator a core holds is key-constant).
+        self._core_pool: Dict[Tuple[int, int, bool], list] = {}
+        # Retired per-viewer envelopes (the 5-slot wrapper is recycled).
+        self._session_pool: List[_Session] = []
 
         self.heap: List[Tuple[float, int, int, object]] = []
         self._seq = 0
         self.in_system = 0
 
         width = spec.bucket_s
-        self.b_delivered = _Buckets(width)
-        self.b_concurrency = _Buckets(width)
-        self.b_download = _Buckets(width)
-        self.b_stall = _Buckets(width)
-        self.b_arrivals = _Buckets(width)
-        self.b_finishes = _Buckets(width)
-        self.b_qoe_sum = _Buckets(width)
-        self.b_qoe_count = _Buckets(width)
+        self.width = width
+        capacity = int(spec.duration_s / width) + 4
+        self.b_delivered = _Buckets(width, capacity)
+        self.b_concurrency = _Buckets(width, capacity)
+        self.b_download = _Buckets(width, capacity)
+        self.b_stall = _Buckets(width, capacity)
+        self.b_arrivals = _Buckets(width, capacity)
+        self.b_finishes = _Buckets(width, capacity)
+        self.b_qoe_sum = _Buckets(width, capacity)
+        self.b_qoe_count = _Buckets(width, capacity)
+        # Current-bucket partial sums for the advance-time integrals
+        # (flushed by _flush_bucket whenever the clock leaves the bucket).
+        self._bucket_idx = 0
+        self._bucket_end = width
+        self._part_delivered = 0.0
+        self._part_concurrency = 0.0
+        self._part_download = 0.0
 
         self.sessions = 0
         self.live_sessions = 0
@@ -239,12 +330,17 @@ class _EdgeSimulator:
         n = times.size
         rng = derive_rng(spec.seed, "fleet", "population", str(self.edge_index))
         # Fixed draw order — part of the determinism contract.
-        self.attr_video = rng.integers(0, len(spec.videos), size=n)
-        self.attr_scheme = rng.integers(0, len(spec.schemes), size=n)
-        self.attr_live = rng.random(n) < spec.live_fraction
-        self.attr_watch = rng.geometric(1.0 / spec.mean_watch_chunks, size=n)
-        for k in range(n):
-            self._push(float(times[k]), _EV_ARRIVE, k)
+        self.attr_video = rng.integers(0, len(spec.videos), size=n).tolist()
+        self.attr_scheme = rng.integers(0, len(spec.schemes), size=n).tolist()
+        self.attr_live = (rng.random(n) < spec.live_fraction).tolist()
+        self.attr_watch = rng.geometric(1.0 / spec.mean_watch_chunks, size=n).tolist()
+        # Arrival times are non-decreasing by construction (cumulative
+        # Poisson thinning), so they feed the merge as a cursor-walked
+        # list instead of heap entries. The +inf sentinel lets the merge
+        # read `arrivals[ai]` unconditionally — an exhausted stream just
+        # never wins the merge.
+        self._arrivals: List[float] = times.tolist()
+        self._arrivals.append(_INF)
 
     # -- plumbing ---------------------------------------------------------
 
@@ -262,14 +358,15 @@ class _EdgeSimulator:
             self._manifests[key] = manifest
         return manifest
 
-    def _quality_table(self, video_index: int) -> np.ndarray:
+    def _quality_table(self, video_index: int) -> tuple:
         rows = self._quality_rows.get(video_index)
         if rows is None:
-            rows = np.stack(
-                [
-                    track.qualities[self.spec.metric]
-                    for track in self.video_list[video_index].tracks
-                ]
+            # Nested tuples of Python floats: ndarray.tolist() preserves
+            # the doubles exactly, and plain-float row indexing keeps
+            # numpy scalar churn out of the per-chunk accounting.
+            rows = tuple(
+                tuple(track.qualities[self.spec.metric].tolist())
+                for track in self.video_list[video_index].tracks
             )
             self._quality_rows[video_index] = rows
         return rows
@@ -296,61 +393,129 @@ class _EdgeSimulator:
 
     # -- clock ------------------------------------------------------------
 
+    def _flush_bucket(self, now: float) -> None:
+        """Flush the current bucket's partials; re-anchor at ``now``."""
+        idx = self._bucket_idx
+        part = self._part_delivered
+        if part:
+            self.b_delivered.add_dense(idx, part)
+            self._part_delivered = 0.0
+        part = self._part_concurrency
+        if part:
+            self.b_concurrency.add_dense(idx, part)
+            self._part_concurrency = 0.0
+        part = self._part_download
+        if part:
+            self.b_download.add_dense(idx, part)
+            self._part_download = 0.0
+        idx = bucket_index(now, self.width)
+        self._bucket_idx = idx
+        self._bucket_end = (idx + 1) * self.width
+
     def _advance(self, t: float) -> None:
         """Advance the shared clock, folding integrals into buckets.
 
         Windows are split at bucket boundaries so each sub-window's
         delivered bits and time integrals land in exactly one bucket.
+        The common case — the window stays inside the current bucket —
+        is a single link advance plus three local float adds.
         """
         link = self.link
         now = link.now_s
         if t <= now:
             return
-        width = self.spec.bucket_s
-        while now < t:
-            boundary = (math.floor(now / width) + 1.0) * width
-            step = t if t < boundary else boundary
+        bucket_end = self._bucket_end
+        if now >= bucket_end:
+            # The previous window ended exactly on the boundary; the
+            # clock now lives in the next bucket.
+            self._flush_bucket(now)
+            bucket_end = self._bucket_end
+        if t <= bucket_end:
             active = link.n_active
+            bits = link.advance_to(t)
+            dt = t - now
+            if bits:
+                self._part_delivered += bits
+            n_sys = self.in_system
+            if n_sys:
+                self._part_concurrency += n_sys * dt
+            if active:
+                self._part_download += active * dt
+            return
+        self._advance_slow(t, now)
+
+    def _advance_slow(self, t: float, now: float) -> None:
+        """Window crosses bucket boundaries: split per bucket.
+
+        The per-sub-window ``advance_to`` sequence is load-bearing —
+        ``virtual_bits`` integrates ``bits / n`` per sub-window, so the
+        calls cannot be fused without moving floats.
+        """
+        link = self.link
+        active = link.n_active
+        n_sys = self.in_system
+        bucket_end = self._bucket_end
+        while now < t:
+            step = t if t < bucket_end else bucket_end
             bits = link.advance_to(step)
             dt = step - now
             if bits:
-                self.b_delivered.add_at(now, bits)
-            if self.in_system:
-                self.b_concurrency.add_at(now, self.in_system * dt)
+                self._part_delivered += bits
+            if n_sys:
+                self._part_concurrency += n_sys * dt
             if active:
-                self.b_download.add_at(now, active * dt)
+                self._part_download += active * dt
             now = step
+            if now >= bucket_end:
+                self._flush_bucket(now)
+                bucket_end = self._bucket_end
 
     # -- event handlers ----------------------------------------------------
 
     def _arrive(self, t: float, index: int) -> None:
         spec = self.spec
-        video_index = int(self.attr_video[index])
-        scheme_index = int(self.attr_scheme[index])
-        live = bool(self.attr_live[index])
-        watch = int(self.attr_watch[index])
-        with_quality = needs_quality_manifest(spec.schemes[scheme_index])
-        manifest = self._manifest(video_index, with_quality)
+        video_index = self.attr_video[index]
+        scheme_index = self.attr_scheme[index]
+        live = self.attr_live[index]
+        watch = self.attr_watch[index]
         algorithm = self._acquire_algorithm(scheme_index, video_index, live)
-        quality_rows = self._quality_table(video_index)
-        if live:
-            core = LiveSessionCore(
-                algorithm,
-                manifest,
-                config=self.live_config,
-                watch_chunks=watch,
-                quality_rows=quality_rows,
-            )
-            self.live_sessions += 1
+        pool_key = (scheme_index, video_index, live)
+        cpool = self._core_pool.get(pool_key)
+        if cpool:
+            core = cpool.pop()
+            core.reset_for(algorithm, watch)
         else:
-            core = VodSessionCore(
-                algorithm,
-                manifest,
-                config=self.session_config,
-                watch_chunks=watch,
-                quality_rows=quality_rows,
-            )
-        session = _Session(core, live, (scheme_index, video_index, live))
+            with_quality = needs_quality_manifest(spec.schemes[scheme_index])
+            manifest = self._manifest(video_index, with_quality)
+            quality_rows = self._quality_table(video_index)
+            if live:
+                core = LiveSessionCore(
+                    algorithm,
+                    manifest,
+                    config=self.live_config,
+                    watch_chunks=watch,
+                    quality_rows=quality_rows,
+                )
+            else:
+                core = VodSessionCore(
+                    algorithm,
+                    manifest,
+                    config=self.session_config,
+                    watch_chunks=watch,
+                    quality_rows=quality_rows,
+                )
+        if live:
+            self.live_sessions += 1
+        pool = self._session_pool
+        if pool:
+            session = pool.pop()
+            session.core = core
+            session.live = live
+            session.pool_key = pool_key
+            session.pending_bits = 0.0
+            session.stall_seen = 0.0
+        else:
+            session = _Session(core, live, pool_key)
         self.sessions += 1
         self.in_system += 1
         if self.in_system > self.peak_concurrency:
@@ -364,8 +529,14 @@ class _EdgeSimulator:
         if link.n_active > self.peak_downloads:
             self.peak_downloads = link.n_active
 
-    def _finalize(self, session: _Session, t: float) -> None:
-        """The last watched chunk downloaded; the viewer drains the buffer."""
+    def _finalize(self, session: _Session, t: float) -> float:
+        """The last watched chunk downloaded; the viewer drains the buffer.
+
+        Returns the departure time (buffer played out); the caller
+        schedules the ``_EV_DEPART`` timer — the fused loop pushes with
+        its loop-local sequence counter, the instrumented loop via
+        :meth:`_push`.
+        """
         core = session.core
         self.chunks += core.chunk
         self.bits += core.total_bits
@@ -388,11 +559,20 @@ class _EdgeSimulator:
         self.b_qoe_count.add_at(t, 1.0)
         self._release_algorithm(session)
         # Viewer stays (watching the buffer out) without touching the link.
-        self._push(t + core.buffer.level_s, _EV_DEPART, session)
+        return t + core.buffer.level_s
 
     def _depart(self, session: _Session, t: float) -> None:
         self.in_system -= 1
         self.b_finishes.add_at(t, 1.0)
+        # The envelope is inert now (no flow, no timers); recycle both
+        # the 5-slot wrapper and the core (re-armed via reset_for).
+        pool = self._core_pool.get(session.pool_key)
+        if pool is None:
+            self._core_pool[session.pool_key] = [session.core]
+        else:
+            pool.append(session.core)
+        session.core = None
+        self._session_pool.append(session)
 
     def _dispatch(self, session: _Session, action, t: float) -> None:
         core = session.core
@@ -415,56 +595,469 @@ class _EdgeSimulator:
             self._push(t + action[1], _EV_WAKE, session)
         else:
             assert kind == DONE
-            self._finalize(session, t)
+            self._push(self._finalize(session, t), _EV_DEPART, session)
 
     # -- main loop ---------------------------------------------------------
 
-    def run(self) -> EdgeResult:
+    def run(self, stage_timer: Optional[StageTimer] = None) -> EdgeResult:
         started_at = time.time()
         wall0 = time.perf_counter()
         cpu0 = time.process_time()
         self._draw_population()
+        # The loop allocates millions of short-lived tuples (heap entries,
+        # actions) and no reference cycles — every object dies by
+        # refcount — so the cyclic collector's generational passes are
+        # pure overhead (~20% of the loop). Suspend it for the run,
+        # honoring whatever state the caller had.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            if stage_timer is None:
+                self._loop()
+            else:
+                self._loop_timed(stage_timer)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return self._result(started_at, wall0, cpu0, stage_timer)
+
+    def _loop(self) -> None:
+        """Three-stream deterministic merge, fully fused (see module docs).
+
+        Order contract (identical to the former single-heap loop): the
+        link completion wins ties against every timer; an arrival wins
+        ties against wake/xfer/depart timers (arrivals predate all
+        runtime timers in insertion order); runtime timers break ties
+        among themselves by insertion seq via the heap tuple.
+
+        **Fusion contract.** The per-event work — the completion query
+        (``SharedLink.next_completion`` + ``TraceLink.finish_time``),
+        the clock advance (``SharedLink.advance_to`` +
+        ``TraceLink._cumulative_at`` + the bucket partials), flow
+        admission/retirement (``SharedLink.start``/``complete``) and the
+        action dispatch — is inlined here with all state in loop locals,
+        expression-for-expression identical to the methods it replicates
+        (same operand order, same branch structure), so every float it
+        produces is the exact double the method path produces. The
+        instrumented twin :meth:`_loop_timed` still runs the method
+        path, and the fingerprint pins in ``tests/fleet`` hold both to
+        the same bytes. Cold handlers (arrivals, latency-delayed
+        transfer starts, the per-bucket slow advance) stay out of line;
+        loop-local state is written back around those calls and on exit.
+        """
+        # -- trace constants (TraceLink internals, read-only) -----------
+        link = self.link
+        tl = link.link
+        period_s = tl._period_s
+        interval_s = tl._interval
+        bits_per_period = tl._bits_per_period
+        cum_list = tl._cumulative_list
+        rates_list = tl._rates_list
+        num_intervals = tl._num_intervals
+        min_download_s = MIN_DOWNLOAD_DURATION_S
+        nextafter = math.nextafter
+        # -- shared-link state, localized --------------------------------
+        flows = link._flows
+        n_active = len(flows)
+        lheap = link._heap
+        lseq = link._seq
+        virtual = link.virtual_bits
+        delivered = link.delivered_bits
+        now = link.now_s
+        cum_now = link._cum_now
+        finish_hint = tl._finish_hint
+        # -- merge streams ----------------------------------------------
+        arrivals = self._arrivals  # +inf-terminated (see _draw_population)
+        ai = 0
+        heap = self.heap
+        tseq = self._seq
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heapify = heapq.heapify
+        # -- accounting state, localized ---------------------------------
+        in_system = self.in_system
+        peak_downloads = self.peak_downloads
+        width = self.width
+        bucket_idx = self._bucket_idx
+        bucket_end = self._bucket_end
+        part_delivered = self._part_delivered
+        part_concurrency = self._part_concurrency
+        part_download = self._part_download
+        b_delivered_add = self.b_delivered.add_dense
+        b_concurrency_add = self.b_concurrency.add_dense
+        b_download_add = self.b_download.add_dense
+        b_stall_add = self.b_stall.add_at
+        b_finishes_add = self.b_finishes.add_at
+        pool_append = self._session_pool.append
+        core_pools = self._core_pool
+        core_pool_get = core_pools.get
+        delay_at = self.delay_at
+        events = 0
+
+        while True:
+            arr_t = arrivals[ai]
+            timer_t = heap[0][0] if heap else _INF
+            earliest = arr_t if arr_t <= timer_t else timer_t
+
+            # -- completion query: next_completion() + finish_time() ----
+            comp_session = None
+            comp_t = _INF
+            while lheap:
+                top = lheap[0]
+                entry = top[3]
+                if not entry[3]:
+                    heappop(lheap)  # stale: completed or re-enqueued
+                    continue
+                admit = entry[0]
+                # No service credited since admission: full size, so an
+                # uncontended flow reuses the private-link expression.
+                per_flow = entry[1] if virtual == admit else (admit + entry[1]) - virtual
+                remaining = per_flow * n_active
+                if remaining <= 0.0:
+                    # Float snap: due immediately.
+                    comp_t = now
+                    comp_session = top[2]
+                else:
+                    target = cum_now + remaining
+                    # divmod fast path: for 0 <= x < y, divmod(x, y) is
+                    # exactly (0.0, x) — fmod returns x unchanged — so
+                    # the common sub-period case skips the C call (fleet
+                    # traces span the whole sim, so nearly every event
+                    # lands in period 0).
+                    if target < bits_per_period:
+                        periods = 0.0
+                        within = target
+                    else:
+                        periods, within = divmod(target, bits_per_period)
+                    index = finish_hint
+                    if not (
+                        (index == 0 or cum_list[index] < within)
+                        and cum_list[index + 1] >= within
+                    ):
+                        index = bisect_left(cum_list, within) - 1
+                        if index < 0:
+                            index = 0
+                        elif index >= num_intervals:
+                            index = num_intervals - 1
+                        finish_hint = index
+                    already = cum_list[index]
+                    rate = rates_list[index]
+                    if within <= already:
+                        offset = index * interval_s
+                    elif rate <= 0:
+                        offset = (index + 1) * interval_s
+                    else:
+                        offset = index * interval_s + (within - already) / rate
+                    finish = periods * period_s + offset
+                    if finish <= now:
+                        floor = remaining / (rate if rate >= 1.0 else 1.0)
+                        if floor < min_download_s:
+                            floor = min_download_s
+                        finish = now + floor
+                        if finish <= now:  # addition underflow
+                            finish = nextafter(now, _INF)
+                    comp_t = finish
+                    comp_session = top[2]
+                break
+
+            # -- deterministic merge ------------------------------------
+            if comp_session is not None and comp_t <= earliest:
+                t = comp_t
+                session = comp_session
+                kind = 0  # link completion
+            elif earliest != _INF:
+                if arr_t <= timer_t:
+                    ai += 1
+                    t = arr_t
+                    kind = -1  # arrival
+                else:
+                    item = heappop(heap)
+                    t = item[0]
+                    kind = item[2]
+                    session = item[3]
+            else:
+                break
+
+            # -- advance(t): advance_to + _cumulative_at + partials -----
+            if t > now:
+                if now >= bucket_end:
+                    # Clock entered the next bucket: flush the partials.
+                    if part_delivered:
+                        b_delivered_add(bucket_idx, part_delivered)
+                        part_delivered = 0.0
+                    if part_concurrency:
+                        b_concurrency_add(bucket_idx, part_concurrency)
+                        part_concurrency = 0.0
+                    if part_download:
+                        b_download_add(bucket_idx, part_download)
+                        part_download = 0.0
+                    bucket_idx = bucket_index(now, width)
+                    bucket_end = (bucket_idx + 1) * width
+                if t <= bucket_end:
+                    # Same divmod fast path as the completion query: a
+                    # sub-period clock needs no wrap handling.
+                    if t < period_s:
+                        periods = 0.0
+                        remainder = t
+                    else:
+                        periods, remainder = divmod(t, period_s)
+                        if remainder >= period_s:
+                            periods += 1.0
+                            remainder = 0.0
+                    index = remainder / interval_s
+                    whole = int(index)
+                    if whole >= num_intervals:
+                        whole = num_intervals - 1
+                    frac = index - whole
+                    partial = cum_list[whole]
+                    if frac > 0:
+                        partial += rates_list[whole] * frac * interval_s
+                    cum_t = periods * bits_per_period + partial
+                    dt = t - now
+                    if n_active:
+                        bits = cum_t - cum_now
+                        virtual += bits / n_active
+                        delivered += bits
+                        if bits:
+                            part_delivered += bits
+                        part_download += n_active * dt
+                    if in_system:
+                        part_concurrency += in_system * dt
+                    now = t
+                    cum_now = cum_t
+                else:
+                    # Rare: the window crosses a bucket boundary. Sync
+                    # the localized state and take the method path.
+                    link.virtual_bits = virtual
+                    link.delivered_bits = delivered
+                    link.now_s = now
+                    link._cum_now = cum_now
+                    self._part_delivered = part_delivered
+                    self._part_concurrency = part_concurrency
+                    self._part_download = part_download
+                    self._bucket_idx = bucket_idx
+                    self._bucket_end = bucket_end
+                    self.in_system = in_system
+                    self._advance_slow(t, now)
+                    virtual = link.virtual_bits
+                    delivered = link.delivered_bits
+                    now = link.now_s
+                    cum_now = link._cum_now
+                    part_delivered = self._part_delivered
+                    part_concurrency = self._part_concurrency
+                    part_download = self._part_download
+                    bucket_idx = self._bucket_idx
+                    bucket_end = self._bucket_end
+
+            # -- handle the event ---------------------------------------
+            if kind == 0:  # completion: retire the flow, resume the core
+                flows.pop(session)[3] = False
+                n_active -= 1
+                action = session.core.on_fetch_done(t)
+            elif kind == _EV_WAKE:
+                action = session.core.on_wait_done(t)
+            elif kind == -1:  # arrival (cold: session construction)
+                link.virtual_bits = virtual
+                link.delivered_bits = delivered
+                link.now_s = now
+                link._cum_now = cum_now
+                link._seq = lseq
+                self._seq = tseq
+                self.in_system = in_system
+                self.peak_downloads = peak_downloads
+                self._arrive(t, ai - 1)
+                lheap = link._heap  # start() may have compacted
+                lseq = link._seq
+                n_active = len(flows)
+                tseq = self._seq
+                in_system = self.in_system
+                peak_downloads = self.peak_downloads
+                events += 1
+                continue
+            elif kind == _EV_XFER:  # cold: latency-fault delayed start
+                link.virtual_bits = virtual
+                link._seq = lseq
+                self.peak_downloads = peak_downloads
+                self._start_transfer(session, t)
+                lheap = link._heap
+                lseq = link._seq
+                n_active = len(flows)
+                peak_downloads = self.peak_downloads
+                events += 1
+                continue
+            else:  # _EV_DEPART (cold-ish: one per session)
+                in_system -= 1
+                b_finishes_add(t, 1.0)
+                cpool = core_pool_get(session.pool_key)
+                if cpool is None:
+                    core_pools[session.pool_key] = [session.core]
+                else:
+                    cpool.append(session.core)
+                session.core = None
+                pool_append(session)
+                events += 1
+                continue
+
+            # -- dispatch(session, action, t) ---------------------------
+            core = session.core
+            stall = core.total_stall_s
+            if stall > session.stall_seen:
+                b_stall_add(t, stall - session.stall_seen)
+                session.stall_seen = stall
+            a0 = action[0]
+            if a0 == FETCH:
+                size = action[1]
+                session.pending_bits = size
+                if delay_at is not None:
+                    delay = delay_at(t)
+                    if delay > 0.0:
+                        # The spike holds the request off the wire; the
+                        # player still measures the elongated fetch.
+                        tseq += 1
+                        heappush(heap, (t + delay, tseq, _EV_XFER, session))
+                        events += 1
+                        continue
+                # inline SharedLink.start(session, size)
+                if size <= 0:
+                    raise ValueError(f"size_bits must be > 0, got {size}")
+                if session in flows:
+                    raise ValueError(f"flow {session!r} already active")
+                lseq += 1
+                fentry = [virtual, size, lseq, True]
+                flows[session] = fentry
+                heappush(lheap, (virtual + size, lseq, session, fentry))
+                n_active += 1
+                lheap_len = len(lheap)
+                if lheap_len > _MIN_COMPACT_SIZE and lheap_len > 2 * n_active:
+                    live = [e for e in lheap if e[3][3]]
+                    heapify(live)
+                    lheap = live
+                    link._heap = live
+                if n_active > peak_downloads:
+                    peak_downloads = n_active
+            elif a0 == WAIT:
+                tseq += 1
+                heappush(heap, (t + action[1], tseq, _EV_WAKE, session))
+            else:  # DONE
+                tseq += 1
+                heappush(
+                    heap, (self._finalize(session, t), tseq, _EV_DEPART, session)
+                )
+            events += 1
+
+        # -- write the localized state back ------------------------------
+        link.virtual_bits = virtual
+        link.delivered_bits = delivered
+        link.now_s = now
+        link._cum_now = cum_now
+        link._seq = lseq
+        link._cache_key = None
+        link._cache_value = None
+        tl._finish_hint = finish_hint
+        self._seq = tseq
+        self.in_system = in_system
+        self.peak_downloads = peak_downloads
+        self._part_delivered = part_delivered
+        self._part_concurrency = part_concurrency
+        self._part_download = part_download
+        self._bucket_idx = bucket_idx
+        self._bucket_end = bucket_end
+        self.events = events
+
+    def _loop_timed(self, timer: StageTimer) -> None:
+        """The same merge with per-stage wall-clock brackets.
+
+        Kept structurally in lockstep with :meth:`_loop` (same branch
+        order, same handler calls) so instrumented runs execute the
+        identical event sequence; only ``perf_counter`` brackets are
+        added around the completion query, the clock advance, and the
+        handler dispatch.
+        """
+        perf = time.perf_counter
+        arrivals = self._arrivals  # +inf-terminated (see _draw_population)
+        ai = 0
         heap = self.heap
         link = self.link
-        while heap or link.n_active:
-            completion = link.next_completion()
-            timer_t = heap[0][0] if heap else math.inf
-            if completion is not None and completion[0] <= timer_t:
+        advance = self._advance
+        dispatch = self._dispatch
+        next_completion = link.next_completion
+        heappop = heapq.heappop
+        events = 0
+        while True:
+            arr_t = arrivals[ai]
+            timer_t = heap[0][0] if heap else _INF
+            earliest = arr_t if arr_t <= timer_t else timer_t
+            t0 = perf()
+            completion = next_completion()
+            t1 = perf()
+            timer.add(STAGE_COMPLETION, t1 - t0)
+            if completion is not None and completion[0] <= earliest:
                 t, session = completion
-                self._advance(t)
+                t0 = perf()
+                advance(t)
+                t1 = perf()
                 link.complete(session)
-                self._dispatch(session, session.core.on_fetch_done(t), t)
-            else:
-                t, _seq, kind, payload = heapq.heappop(heap)
-                self._advance(t)
-                if kind == _EV_ARRIVE:
-                    self._arrive(t, payload)
-                elif kind == _EV_WAKE:
-                    self._dispatch(payload, payload.core.on_wait_done(t), t)
-                elif kind == _EV_XFER:
-                    self._start_transfer(payload, t)
+                dispatch(session, session.core.on_fetch_done(t), t)
+                t2 = perf()
+                timer.add(STAGE_ADVANCE, t1 - t0)
+                timer.add(STAGE_DISPATCH, t2 - t1)
+            elif earliest != _INF:
+                if arr_t <= timer_t:
+                    ai += 1
+                    t0 = perf()
+                    advance(arr_t)
+                    t1 = perf()
+                    self._arrive(arr_t, ai - 1)
+                    t2 = perf()
                 else:
-                    self._depart(payload, t)
-            self.events += 1
-        return self._result(started_at, wall0, cpu0)
+                    t, _seq, kind, payload = heappop(heap)
+                    t0 = perf()
+                    advance(t)
+                    t1 = perf()
+                    if kind == _EV_WAKE:
+                        dispatch(payload, payload.core.on_wait_done(t), t)
+                    elif kind == _EV_XFER:
+                        self._start_transfer(payload, t)
+                    else:
+                        self._depart(payload, t)
+                    t2 = perf()
+                timer.add(STAGE_ADVANCE, t1 - t0)
+                timer.add(STAGE_DISPATCH, t2 - t1)
+            else:
+                break
+            events += 1
+        self.events = events
 
-    def _result(self, started_at: float, wall0: float, cpu0: float) -> EdgeResult:
-        width = self.spec.bucket_s
+    def _result(
+        self,
+        started_at: float,
+        wall0: float,
+        cpu0: float,
+        stage_timer: Optional[StageTimer] = None,
+    ) -> EdgeResult:
+        fold0 = time.perf_counter()
+        # Flush the in-flight partials before reading the accumulators.
+        self._flush_bucket(self.link.now_s)
+        width = self.width
         n = max(
-            len(self.b_delivered.values),
-            len(self.b_concurrency.values),
-            len(self.b_download.values),
-            len(self.b_stall.values),
-            len(self.b_arrivals.values),
-            len(self.b_finishes.values),
-            len(self.b_qoe_sum.values),
+            self.b_delivered.hi,
+            self.b_concurrency.hi,
+            self.b_download.hi,
+            self.b_stall.hi,
+            self.b_arrivals.hi,
+            self.b_finishes.hi,
+            self.b_qoe_sum.hi,
             1,
         )
         probe = TraceLink(self.trace)
-        capacity = np.array(
-            [probe.bits_in_window(i * width, (i + 1) * width) for i in range(n)]
+        # One vectorized cumulative-table query replaces the former
+        # per-bucket bits_in_window loop; _cumulative_at_array is the
+        # scalar path's bit-identical numpy twin, and the window edges
+        # are built from the same ``i * width`` products.
+        capacity = probe.bits_in_windows(
+            np.arange(n) * width, np.arange(1, n + 1) * width
         )
-        return EdgeResult(
+        result = EdgeResult(
             edge_index=self.edge_index,
             bucket_s=width,
             delivered_bits=self.b_delivered.array(n),
@@ -495,6 +1088,10 @@ class _EdgeSimulator:
             wall_s=time.perf_counter() - wall0,
             cpu_s=time.process_time() - cpu0,
         )
+        if stage_timer is not None:
+            stage_timer.add(STAGE_BUCKET_FOLD, time.perf_counter() - fold0)
+            result.stages = stage_timer.as_dict()
+        return result
 
 
 def simulate_edge(
@@ -502,6 +1099,12 @@ def simulate_edge(
     edge_index: int,
     videos: Mapping[str, VideoAsset],
     trace: NetworkTrace,
+    stage_timer: Optional[StageTimer] = None,
 ) -> EdgeResult:
-    """Simulate one edge's population to completion (see module docs)."""
-    return _EdgeSimulator(spec, edge_index, videos, trace).run()
+    """Simulate one edge's population to completion (see module docs).
+
+    Passing a :class:`~repro.telemetry.spans.StageTimer` runs the
+    instrumented loop (identical event sequence, per-stage wall-clock
+    brackets) and attaches the breakdown to ``EdgeResult.stages``.
+    """
+    return _EdgeSimulator(spec, edge_index, videos, trace).run(stage_timer)

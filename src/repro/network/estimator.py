@@ -88,6 +88,13 @@ class HarmonicMeanEstimator(BandwidthEstimator):
             raise ValueError(f"window must be >= 1, got {window}")
         self.window = window
         self._samples: Deque[float] = deque(maxlen=window)
+        # Parallel ring of precomputed ``1.0 / sample`` addends. The
+        # harmonic fold is a left-to-right sum of exactly these doubles,
+        # so folding the stored inverses with the builtin ``sum`` (a
+        # C-level sequential left fold over floats) produces the same
+        # bits as re-dividing inside a Python loop — once per decision,
+        # on the fleet's hottest path.
+        self._inverses: Deque[float] = deque(maxlen=window)
 
     def observe(self, size_bits: float, duration_s: float, now_s: float) -> None:
         # Fast-accept validation (hot path: one call per chunk). The
@@ -103,6 +110,7 @@ class HarmonicMeanEstimator(BandwidthEstimator):
             # keep the sample representable so the fold stays defined.
             sample = min(max(sample, _MIN_SAMPLE_BPS), _MAX_SAMPLE_BPS)
         self._samples.append(sample)
+        self._inverses.append(1.0 / sample)
 
     def predict_bps(self, now_s: float) -> float:
         samples = self._samples
@@ -112,14 +120,12 @@ class HarmonicMeanEstimator(BandwidthEstimator):
         if n < 8:
             # Scalar fast path for the common five-sample window. For
             # fewer than 8 addends numpy's sum is a plain sequential
-            # left fold, so this Python loop is bit-identical to
-            # harmonic_mean() while skipping array construction and
-            # finiteness re-validation (observe() already guaranteed
-            # strictly positive finite samples).
-            inverse_sum = 0.0
-            for sample in samples:
-                inverse_sum += 1.0 / sample
-            predicted = n / inverse_sum
+            # left fold, so the builtin ``sum`` over the precomputed
+            # inverses is bit-identical to harmonic_mean() while
+            # skipping array construction, the per-sample divisions,
+            # and finiteness re-validation (observe() already
+            # guaranteed strictly positive finite samples).
+            predicted = n / sum(self._inverses)
         else:
             # Wide windows (>= 8): numpy switches to pairwise summation,
             # so delegate to the shared helper rather than approximate it.
@@ -135,6 +141,7 @@ class HarmonicMeanEstimator(BandwidthEstimator):
 
     def reset(self) -> None:
         self._samples.clear()
+        self._inverses.clear()
 
 
 class BatchHarmonicMeanEstimator:

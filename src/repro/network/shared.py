@@ -23,14 +23,46 @@ pass:
 - a flow of ``size`` bits admitted at virtual time ``V`` completes when
   ``V(t)`` reaches the *target* ``V + size``; targets are totally
   ordered, so a heap of ``(target, seq)`` yields completions in order;
-- inverting ``V`` back to wall-clock time reuses
-  :meth:`TraceLink.download` verbatim: the earliest completion needs
-  ``(target - V) * n`` more *edge* bits, and the TraceLink's
-  inverse-cumulative search (periodic wraparound, zero-rate runs,
-  duration floor and all) finds when the trace delivers them. With a
-  single active flow the expression degenerates to
-  ``link.download(size, now)`` — bit-identical to a private link, which
-  the tests pin.
+- inverting ``V`` back to wall-clock time reuses TraceLink's
+  inverse-cumulative search verbatim (via the bare-float
+  :meth:`TraceLink.finish_time` twin of :meth:`TraceLink.download`):
+  the earliest completion needs ``(target - V) * n`` more *edge* bits,
+  and the search (periodic wraparound, zero-rate runs, duration floor
+  and all) finds when the trace delivers them. With a single active
+  flow the expression degenerates to ``link.download(size, now)`` —
+  bit-identical to a private link, which the tests pin.
+
+Hot-path design (the fleet's per-edge loop calls
+:meth:`next_completion` once per event, ~5M times on the default
+fleet):
+
+- the cumulative-bits value at the current clock is cached
+  (:attr:`_cum_now`) and carried forward by :meth:`advance_to` —
+  ``_cumulative_at`` is a pure function of time, so reusing the value
+  is exactly the double the old recompute produced, and each advance
+  performs a single fresh table lookup instead of three;
+- the completion answer itself is cached under an **exact** key
+  ``(now_s, virtual_bits, membership epoch)``. The key deliberately
+  includes the clock: recomputing the remaining-bits expression after
+  an intervening ``advance_to`` drifts by ulps (``V`` accumulates
+  ``bits/n`` per window, so ``(target - V') * n + cum(now')`` is *not*
+  the same double as ``(target - V) * n + cum(now)``), and the fleet's
+  bit-identity contract pins the per-event recompute's exact floats.
+  The cache therefore only short-circuits queries at an unchanged
+  clock — every other query re-runs the recompute arithmetic, but
+  against the cached ``_cum_now`` and through the memoized
+  crossing-interval hint inside :meth:`TraceLink.finish_time`, which
+  removes the per-event binary search without moving a single bit;
+- each heap entry carries the flow's mutable admission record, whose
+  ``alive`` flag is flipped in place when the flow retires — the
+  per-event staleness check is one list index instead of a dict probe
+  plus a sequence compare;
+- stale heap entries (completed or cancelled flows whose entries have
+  not yet bubbled to the top) are compacted away
+  whenever the heap grows past twice the live-flow count, so a
+  long-lived edge that churns flows — or a caller that cancels and
+  re-starts the same flow id — keeps the heap O(live) instead of
+  O(history).
 
 The caller (the fleet's per-edge event loop) owns the clock: it must
 ``advance_to`` an event time before mutating flow membership there, and
@@ -50,31 +82,66 @@ from repro.network.link import TraceLink
 
 __all__ = ["SharedLink"]
 
+#: Compaction floor: heaps smaller than this are never rebuilt (the
+#: rebuild bookkeeping would dominate at trivial sizes).
+_MIN_COMPACT_SIZE = 16
+
 
 class SharedLink:
     """Equal-share processor-sharing discipline over one capacity trace."""
 
-    __slots__ = ("link", "now_s", "virtual_bits", "delivered_bits", "_flows", "_heap", "_seq")
+    __slots__ = (
+        "link",
+        "now_s",
+        "virtual_bits",
+        "delivered_bits",
+        "_flows",
+        "_heap",
+        "_seq",
+        "_cum_now",
+        "_epoch",
+        "_cache_key",
+        "_cache_value",
+    )
 
     def __init__(self, link: TraceLink, start_s: float = 0.0) -> None:
         self.link = link
+        if not start_s >= 0.0:
+            raise ValueError(f"start_s must be >= 0, got {start_s}")
         self.now_s = float(start_s)
         #: Per-flow service received since the link's epoch (bits). Grows
         #: by ``C(t)/n(t)`` whenever at least one flow is active.
         self.virtual_bits = 0.0
         #: Total bits the edge actually delivered (for utilization).
         self.delivered_bits = 0.0
-        # flow id -> (admission virtual, size, seq). The seq breaks heap
-        # ties deterministically and invalidates stale heap entries after
-        # a flow completes and re-enqueues.
+        # flow id -> [admission virtual, size, seq, alive]. The record is
+        # shared with the flow's heap entry, so the completion query
+        # checks a single ``alive`` flag instead of a dict probe + seq
+        # compare; retiring a flow flips the flag in place, instantly
+        # invalidating the heap entry. The seq still breaks heap ties
+        # deterministically.
         self._flows: dict = {}
-        self._heap: List[Tuple[float, int, Hashable]] = []
+        self._heap: List[Tuple[float, int, Hashable, list]] = []
         self._seq = 0
+        # Cumulative trace bits at now_s (pure function of the clock,
+        # carried forward by advance_to).
+        self._cum_now = link._cumulative_at(self.now_s)
+        # Membership epoch + exact-state completion cache (see module
+        # docs for why the key must include the clock).
+        self._epoch = 0
+        self._cache_key: Optional[Tuple[float, float, int]] = None
+        self._cache_value: Optional[Tuple[float, Hashable]] = None
 
     @property
     def n_active(self) -> int:
         """Number of downloads currently sharing the capacity."""
         return len(self._flows)
+
+    def _compact_heap(self) -> None:
+        """Drop stale entries once they outnumber the live flows."""
+        live = [entry for entry in self._heap if entry[3][3]]
+        heapq.heapify(live)
+        self._heap = live
 
     def start(self, flow_id: Hashable, size_bits: float) -> None:
         """Admit one download of ``size_bits`` at the current clock."""
@@ -83,29 +150,40 @@ class SharedLink:
         if flow_id in self._flows:
             raise ValueError(f"flow {flow_id!r} already active")
         self._seq += 1
+        self._epoch += 1
         admit_virtual = self.virtual_bits
-        self._flows[flow_id] = (admit_virtual, size_bits, self._seq)
-        heapq.heappush(
-            self._heap, (admit_virtual + size_bits, self._seq, flow_id)
-        )
+        entry = [admit_virtual, size_bits, self._seq, True]
+        self._flows[flow_id] = entry
+        heap = self._heap
+        heapq.heappush(heap, (admit_virtual + size_bits, self._seq, flow_id, entry))
+        if len(heap) > _MIN_COMPACT_SIZE and len(heap) > 2 * len(self._flows):
+            self._compact_heap()
 
     def next_completion(self) -> Optional[Tuple[float, Hashable]]:
         """``(finish_s, flow_id)`` of the earliest completion, else None.
 
         Pure query — nothing advances. The returned time is only valid
         until flow membership changes (any join/leave reshapes every
-        in-flight completion time).
+        in-flight completion time). Repeated queries at an unchanged
+        clock are served from the exact-state cache.
         """
+        virtual = self.virtual_bits
+        key = (self.now_s, virtual, self._epoch)
+        if key == self._cache_key:
+            return self._cache_value
         heap = self._heap
         flows = self._flows
+        value: Optional[Tuple[float, Hashable]] = None
         while heap:
-            _target, seq, flow_id = heap[0]
-            entry = flows.get(flow_id)
-            if entry is None or entry[2] != seq:
+            top = heap[0]
+            entry = top[3]
+            if not entry[3]:
                 heapq.heappop(heap)  # stale: completed or re-enqueued
                 continue
-            admit_virtual, size_bits, _ = entry
-            if self.virtual_bits == admit_virtual:
+            flow_id = top[2]
+            admit_virtual = entry[0]
+            size_bits = entry[1]
+            if virtual == admit_virtual:
                 # No service credited since admission: the flow needs its
                 # full size. Computed directly (not via the target) so an
                 # uncontended flow's completion reuses the exact
@@ -113,14 +191,21 @@ class SharedLink:
                 # ``(v + size) - v`` would not round-trip in floats.
                 per_flow = size_bits
             else:
-                per_flow = (admit_virtual + size_bits) - self.virtual_bits
+                per_flow = (admit_virtual + size_bits) - virtual
             remaining = per_flow * len(flows)
             if remaining <= 0.0:
                 # Float snap: the last advance landed a hair past the
                 # target; the flow is due immediately.
-                return self.now_s, flow_id
-            return self.link.download(remaining, self.now_s).finish_s, flow_id
-        return None
+                value = (self.now_s, flow_id)
+            else:
+                value = (
+                    self.link.finish_time(remaining, self.now_s, self._cum_now),
+                    flow_id,
+                )
+            break
+        self._cache_key = key
+        self._cache_value = value
+        return value
 
     def advance_to(self, t: float) -> float:
         """Move the clock to ``t``, crediting every active flow.
@@ -132,20 +217,30 @@ class SharedLink:
         if t < self.now_s:
             raise ValueError(f"cannot advance backwards: {t} < {self.now_s}")
         if t > self.now_s:
+            cum_t = self.link._cumulative_at(t)
             n = len(self._flows)
             if n > 0:
-                bits = self.link.bits_in_window(self.now_s, t)
+                bits = cum_t - self._cum_now
                 self.virtual_bits += bits / n
                 self.delivered_bits += bits
                 self.now_s = t
+                self._cum_now = cum_t
                 return bits
             self.now_s = t
+            self._cum_now = cum_t
         return 0.0
 
     def complete(self, flow_id: Hashable) -> None:
         """Retire one finished download (after advancing to its time)."""
-        self._flows.pop(flow_id)
+        self._flows.pop(flow_id)[3] = False
+        self._epoch += 1
 
     def cancel(self, flow_id: Hashable) -> None:
         """Drop an in-flight download (session abandoned mid-chunk)."""
-        self._flows.pop(flow_id, None)
+        entry = self._flows.pop(flow_id, None)
+        if entry is not None:
+            entry[3] = False
+            self._epoch += 1
+            heap = self._heap
+            if len(heap) > _MIN_COMPACT_SIZE and len(heap) > 2 * len(self._flows):
+                self._compact_heap()

@@ -18,7 +18,7 @@ __all__ = ["PlaybackBuffer"]
 _INF = math.inf
 
 
-@dataclass
+@dataclass(slots=True)
 class PlaybackBuffer:
     """Seconds-denominated playback buffer with stall accounting.
 

@@ -42,13 +42,21 @@ tests and single-session debugging, not by the fleet.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 import numpy as np
 
 from repro.abr.base import ABRAlgorithm, DecisionContext
-from repro.network.estimator import BandwidthEstimator, HarmonicMeanEstimator
+from repro.abr.rba import RateBasedAlgorithm
+from repro.network.estimator import (
+    _MAX_SAMPLE_BPS,
+    _MIN_SAMPLE_BPS,
+    BandwidthEstimator,
+    HarmonicMeanEstimator,
+)
 from repro.network.link import MIN_DOWNLOAD_DURATION_S
+from repro.util.validation import check_non_negative, check_positive
 from repro.player.buffer import PlaybackBuffer
 from repro.player.live import LiveSessionConfig
 from repro.player.session import SessionConfig, SessionResult
@@ -66,6 +74,42 @@ __all__ = [
 FETCH = "fetch"
 WAIT = "wait"
 DONE = "done"
+
+#: VMAF floor below which a chunk counts as low quality. Kept literal
+#: (mirroring metrics.LOW_QUALITY_VMAF): no import edge from the player
+#: core to the metrics layer.
+_LOW_QUALITY_VMAF = 40.0
+
+_INF = math.inf
+
+
+class _ReusableContext:
+    """Mutable stand-in for :class:`~repro.abr.base.DecisionContext`.
+
+    A fleet run makes one ABR decision per chunk across millions of
+    chunks; constructing a frozen dataclass per decision is pure
+    allocation churn. Every algorithm reads the context's attributes
+    during ``select_level`` / ``requested_idle_s`` and none retains the
+    object (pinned by the core-equivalence tests), so each core reuses
+    one instance and rewrites the six fields in place.
+    """
+
+    __slots__ = (
+        "chunk_index",
+        "now_s",
+        "buffer_s",
+        "last_level",
+        "bandwidth_bps",
+        "playing",
+    )
+
+    def __init__(self) -> None:
+        self.chunk_index = 0
+        self.now_s = 0.0
+        self.buffer_s = 0.0
+        self.last_level: Optional[int] = None
+        self.bandwidth_bps = 0.0
+        self.playing = False
 
 # Wait phases: what the core resumes into when its timer fires.
 _RESUME_DECIDE = 1  # after an algorithm-requested idle: rebuild context
@@ -98,6 +142,15 @@ class _CoreBase:
         "end_s",
         "_quality_rows",
         "_last_quality",
+        "_ctx",
+        "_chunk_duration_s",
+        "_num_tracks",
+        "_num_chunks",
+        "_size_rows",
+        "_fast_est",
+        "_notify",
+        "_has_idle",
+        "_fast_rba",
         "_phase",
         "_pending_level",
         "_pending_size",
@@ -134,6 +187,30 @@ class _CoreBase:
             raise ValueError(f"watch_chunks must be >= 0, got {watch_chunks}")
         self._quality_rows = quality_rows
         self._record = record_arrays
+        self._ctx = _ReusableContext()
+        self._chunk_duration_s = manifest.chunk_duration_s
+        self._num_tracks = manifest.num_tracks
+        self._num_chunks = n
+        self._size_rows = manifest.size_rows
+        # Hot-path gates (see the fused on_fetch_done): the default
+        # harmonic estimator and the no-op ABR hooks are special-cased so
+        # the per-chunk path skips pure-dispatch work. Each gate tests
+        # the *class*, so any override takes the faithful slow path.
+        est = self.estimator
+        self._fast_est = (
+            est if type(est) is HarmonicMeanEstimator and est.window < 8 else None
+        )
+        alg_cls = type(algorithm)
+        self._notify = (
+            algorithm.notify_download
+            if alg_cls.notify_download is not ABRAlgorithm.notify_download
+            else None
+        )
+        self._has_idle = alg_cls.requested_idle_s is not ABRAlgorithm.requested_idle_s
+        # Exact-class gate (a subclass may override select_level): the
+        # fused per-chunk paths inline RBA's descending feasibility scan
+        # to skip the call frame on the fleet's hottest dispatch.
+        self._fast_rba = algorithm if alg_cls is RateBasedAlgorithm else None
         self.origin_s = 0.0
         self.buffer = PlaybackBuffer()
         self.chunk = 0
@@ -167,17 +244,71 @@ class _CoreBase:
             self._requested_idles: list = []
             self._cap_idles: list = []
 
+    def reset_for(self, algorithm: ABRAlgorithm, watch_chunks: Optional[int]) -> None:
+        """Re-arm a pooled core for a new session.
+
+        The fleet recycles cores per (scheme, video, live) key, so the
+        immutable collaborators — manifest, config, quality rows, the
+        estimator instance (``begin`` clears its history) — are already
+        right; only the algorithm binding and the per-session state need
+        rewriting. Every field below ends up with exactly the value a
+        fresh ``__init__`` would produce, so a recycled core is
+        state-identical to a new one. Recording cores are never pooled
+        (their per-chunk arrays would need clearing).
+        """
+        if self._record:
+            raise ValueError("recording cores cannot be pooled")
+        self.algorithm = algorithm
+        alg_cls = type(algorithm)
+        self._notify = (
+            algorithm.notify_download
+            if alg_cls.notify_download is not ABRAlgorithm.notify_download
+            else None
+        )
+        self._has_idle = alg_cls.requested_idle_s is not ABRAlgorithm.requested_idle_s
+        self._fast_rba = algorithm if alg_cls is RateBasedAlgorithm else None
+        n = self._num_chunks
+        self.watch_chunks = n if watch_chunks is None else min(int(watch_chunks), n)
+        if self.watch_chunks < 0:
+            raise ValueError(f"watch_chunks must be >= 0, got {watch_chunks}")
+        buffer = self.buffer
+        buffer.level_s = 0.0
+        buffer.total_stall_s = 0.0
+        self.origin_s = 0.0
+        self.chunk = 0
+        self.playing = False
+        self.startup_delay_s = 0.0
+        self.last_level = None
+        self.finished = False
+        self.total_stall_s = 0.0
+        self.total_bits = 0.0
+        self.sum_level = 0.0
+        self.level_switches = 0
+        self.sum_quality = 0.0
+        self.sum_abs_quality_delta = 0.0
+        self.low_quality_chunks = 0
+        self.end_s = 0.0
+        self._last_quality = 0.0
+        self._phase = 0
+        self._pending_level = 0
+        self._pending_size = 0.0
+        self._pending_requested_idle = 0.0
+        self._pending_cap_idle = 0.0
+        self._fetch_emit_s = 0.0
+
     # -- shared helpers -------------------------------------------------
 
     def _context(self, rel_now: float) -> DecisionContext:
-        return DecisionContext(
-            chunk_index=self.chunk,
-            now_s=rel_now,
-            buffer_s=self.buffer.level_s,
-            last_level=self.last_level,
-            bandwidth_bps=self.estimator.predict_bps(rel_now),
-            playing=self.playing,
-        )
+        # One mutable context per core, rewritten per decision (see
+        # _ReusableContext): attribute-compatible with DecisionContext.
+        ctx = self._ctx
+        ctx.chunk_index = self.chunk
+        ctx.now_s = rel_now
+        ctx.buffer_s = self.buffer.level_s
+        ctx.last_level = self.last_level
+        ctx.bandwidth_bps = self.estimator.predict_bps(rel_now)
+        ctx.playing = self.playing
+        return ctx
 
     def _validate_level(self, level: int) -> None:
         if not 0 <= level < self.manifest.num_tracks:
@@ -198,13 +329,18 @@ class _CoreBase:
             self.level_switches += 1
         rows = self._quality_rows
         if rows is not None:
-            quality = rows[level, i]
+            # Row-then-item indexing keeps plain Python floats when the
+            # caller passes nested tuples (the fleet does); a 2-D
+            # ndarray still works through the same expression.
+            quality = rows[level][i]
             self.sum_quality += quality
-            if quality < 40.0:  # LOW_QUALITY_VMAF; kept literal: no
-                # import edge from the player core to the metrics layer
+            if quality < _LOW_QUALITY_VMAF:
                 self.low_quality_chunks += 1
             if i > 0:
-                self.sum_abs_quality_delta += abs(quality - self._last_quality)
+                # abs() without the builtin call: -d flips the sign bit,
+                # exactly abs for the finite deltas quality rows produce.
+                d = quality - self._last_quality
+                self.sum_abs_quality_delta += d if d >= 0.0 else -d
             self._last_quality = quality
 
     @property
@@ -287,37 +423,156 @@ class VodSessionCore(_CoreBase):
         drains/observes against — excludes that delay, exactly like the
         free-running loop does with a :class:`FaultedLink`.
         """
+        # The whole per-chunk tail — buffer drain/fill, estimator
+        # observe/predict, accounting, and the next decision — is fused
+        # into one frame with the collaborators' arithmetic inlined
+        # branch-for-branch (PlaybackBuffer.drain/fill,
+        # HarmonicMeanEstimator.observe/predict_bps, _account_chunk,
+        # _decide/_choose). A fleet run enters here once per chunk,
+        # ~10M times on the default spec, and the call/dispatch overhead
+        # of the faithful method chain dominated the fleet profile.
+        # Every float operation keeps the original operand order, so the
+        # results are bit-identical — pinned by the core-equivalence
+        # tests and the fleet golden fingerprints.
         rel_now = now_s - self.origin_s
         start_abs = self._fetch_emit_s if transfer_start_s is None else transfer_start_s
         download_s = now_s - start_abs
         level = self._pending_level
         size = self._pending_size
         buffer = self.buffer
-        stall = buffer.drain(download_s) if self.playing else 0.0
-        buffer.fill(self.manifest.chunk_duration_s)
-        self.estimator.observe(size, max(download_s, MIN_DOWNLOAD_DURATION_S), rel_now)
-        self.algorithm.notify_download(
-            self.chunk, level, size, download_s, buffer.level_s, rel_now
-        )
-        self._account_chunk(level, size, stall)
+        delta = self._chunk_duration_s
+        playing = self.playing
+        buf_level = buffer.level_s
+        # PlaybackBuffer.drain(download_s) if playing, then fill(delta).
+        if playing:
+            if not 0.0 <= download_s < _INF:
+                check_non_negative(download_s, "wall_clock_s")
+            if download_s <= buf_level:
+                buf_level -= download_s
+                stall = 0.0
+            else:
+                stall = download_s - buf_level
+                buf_level = 0.0
+                buffer.total_stall_s += stall
+        else:
+            stall = 0.0
+        if not 0.0 < delta < _INF:
+            check_positive(delta, "duration_s")
+        buf_level += delta
+        buffer.level_s = buf_level
+        # HarmonicMeanEstimator.observe(size, max(download_s, floor)).
+        dur = download_s if download_s >= MIN_DOWNLOAD_DURATION_S else MIN_DOWNLOAD_DURATION_S
+        est = self._fast_est
+        if est is not None:
+            if not 0.0 < size < _INF:
+                check_positive(size, "size_bits")
+            sample = size / dur
+            if not _MIN_SAMPLE_BPS <= sample <= _MAX_SAMPLE_BPS:
+                sample = min(max(sample, _MIN_SAMPLE_BPS), _MAX_SAMPLE_BPS)
+            est._samples.append(sample)
+            est._inverses.append(1.0 / sample)
+        else:
+            self.estimator.observe(size, dur, rel_now)
+        notify = self._notify
+        if notify is not None:
+            notify(self.chunk, level, size, download_s, buf_level, rel_now)
+        # _account_chunk(level, size, stall).
+        i = self.chunk
+        self.total_stall_s += stall
+        self.total_bits += size
+        self.sum_level += level
+        last = self.last_level
+        if last is not None and level != last:
+            self.level_switches += 1
+        rows = self._quality_rows
+        if rows is not None:
+            quality = rows[level][i]
+            self.sum_quality += quality
+            if quality < _LOW_QUALITY_VMAF:
+                self.low_quality_chunks += 1
+            if i > 0:
+                # abs() without the builtin call: -d flips the sign bit,
+                # exactly abs for the finite deltas quality rows produce.
+                d = quality - self._last_quality
+                self.sum_abs_quality_delta += d if d >= 0.0 else -d
+            self._last_quality = quality
         if self._record:
             self._levels.append(level)
             self._sizes.append(size)
             self._starts.append(start_abs - self.origin_s)
             self._finishes.append(rel_now)
             self._stalls.append(stall)
-            self._buffers.append(buffer.level_s)
+            self._buffers.append(buf_level)
             self._idles.append(self._pending_requested_idle + self._pending_cap_idle)
             self._requested_idles.append(self._pending_requested_idle)
             self._cap_idles.append(self._pending_cap_idle)
         self.last_level = level
-        if not self.playing and buffer.level_s >= self.config.startup_latency_s:
-            self.playing = True
+        if not playing and buf_level >= self.config.startup_latency_s:
+            playing = self.playing = True
             self.startup_delay_s = rel_now
-        self.chunk += 1
-        if self.chunk >= self.watch_chunks:
+        i += 1
+        self.chunk = i
+        if i >= self.watch_chunks:
             return self._finish(rel_now)
-        return self._decide(rel_now)
+        # _decide(rel_now): context rebuild with the bandwidth predict
+        # inlined (HarmonicMeanEstimator.predict_bps scalar fast path).
+        ctx = self._ctx
+        ctx.chunk_index = i
+        ctx.now_s = rel_now
+        ctx.buffer_s = buf_level
+        ctx.last_level = level
+        if est is not None:
+            n = len(est._samples)
+            if n == 0:
+                bw = est.initial_estimate_bps
+            else:
+                # sum() over the precomputed inverses is the same
+                # sequential left fold of the same doubles (see
+                # HarmonicMeanEstimator).
+                bw = n / sum(est._inverses)
+                if not 0.0 < bw < _INF:
+                    bw = est.initial_estimate_bps
+        else:
+            bw = self.estimator.predict_bps(rel_now)
+        ctx.bandwidth_bps = bw
+        ctx.playing = playing
+        self._pending_requested_idle = 0.0
+        self._pending_cap_idle = 0.0
+        if playing and self._has_idle:
+            requested = max(0.0, float(self.algorithm.requested_idle_s(ctx)))
+            requested = min(requested, buffer.time_until_level(delta))
+            if requested > 0:
+                buffer.drain(requested)
+                self._pending_requested_idle = requested
+                self._phase = _RESUME_DECIDE
+                return (WAIT, requested)
+        # _choose(ctx, rel_now).
+        rba = self._fast_rba
+        if rba is not None:
+            # RateBasedAlgorithm.select_level inlined: same descending
+            # scan over the same doubles (ctx carries these exact
+            # locals), minus the call frame.
+            srows = rba._size_rows
+            reserve_s = rba._reserve_s
+            level = 0
+            for lv in range(rba._top, -1, -1):
+                if buf_level - srows[lv][i] / bw >= reserve_s:
+                    level = lv
+                    break
+        else:
+            level = int(self.algorithm.select_level(ctx))
+        if level < 0 or level >= self._num_tracks:
+            self._validate_level(level)  # cold: raises the standard message
+        self._pending_level = level
+        self._pending_size = size = self._size_rows[level][i]
+        if playing and buf_level + delta > self.config.max_buffer_s:
+            cap_idle = buf_level + delta - self.config.max_buffer_s
+            buffer.drain(cap_idle)  # cannot stall: draining from above cap
+            self._pending_cap_idle = cap_idle
+            self._phase = _RESUME_FETCH
+            return (WAIT, cap_idle)
+        self._fetch_emit_s = self.origin_s + rel_now
+        return (FETCH, size)
 
     # -- internal phases ------------------------------------------------
 
@@ -325,12 +580,15 @@ class VodSessionCore(_CoreBase):
         ctx = self._context(rel_now)
         self._pending_requested_idle = 0.0
         self._pending_cap_idle = 0.0
-        if self.playing:
+        # _has_idle gates a pure no-op: the base requested_idle_s returns
+        # 0.0, so skipping the branch leaves identical state (no drain,
+        # no wait).
+        if self.playing and self._has_idle:
             requested = max(0.0, float(self.algorithm.requested_idle_s(ctx)))
             # Never idle into a stall: stop at one chunk of buffer.
             requested = min(
                 requested,
-                self.buffer.time_until_level(self.manifest.chunk_duration_s),
+                self.buffer.time_until_level(self._chunk_duration_s),
             )
             if requested > 0:
                 self.buffer.drain(requested)
@@ -341,11 +599,12 @@ class VodSessionCore(_CoreBase):
 
     def _choose(self, ctx: DecisionContext, rel_now: float):
         level = int(self.algorithm.select_level(ctx))
-        self._validate_level(level)
+        if level < 0 or level >= self._num_tracks:
+            self._validate_level(level)  # cold: raises the standard message
         self._pending_level = level
-        self._pending_size = self.manifest.size_rows[level][self.chunk]
+        self._pending_size = self._size_rows[level][self.chunk]
         buffer = self.buffer
-        delta = self.manifest.chunk_duration_s
+        delta = self._chunk_duration_s
         if self.playing and buffer.level_s + delta > self.config.max_buffer_s:
             cap_idle = buffer.level_s + delta - self.config.max_buffer_s
             buffer.drain(cap_idle)  # cannot stall: draining from above cap
@@ -422,6 +681,12 @@ class LiveSessionCore(_CoreBase):
         self.peak_latency_s = 0.0
         self.total_wait_s = 0.0
 
+    def reset_for(self, algorithm: ABRAlgorithm, watch_chunks: Optional[int]) -> None:
+        super().reset_for(algorithm, watch_chunks)
+        self.sum_latency_s = 0.0
+        self.peak_latency_s = 0.0
+        self.total_wait_s = 0.0
+
     def begin(self, now_s: float):
         self.origin_s = now_s
         self.estimator.reset()
@@ -437,6 +702,9 @@ class LiveSessionCore(_CoreBase):
         return self._emit_fetch(now_s)
 
     def on_fetch_done(self, now_s: float, transfer_start_s: Optional[float] = None):
+        # Fused per-chunk tail, mirroring VodSessionCore.on_fetch_done:
+        # the buffer / estimator / accounting arithmetic is inlined
+        # branch-for-branch, bit-identical to the method chain.
         rel_now = now_s - self.origin_s
         start_abs = self._fetch_emit_s if transfer_start_s is None else transfer_start_s
         download_s = now_s - start_abs
@@ -444,36 +712,96 @@ class LiveSessionCore(_CoreBase):
         level = self._pending_level
         size = self._pending_size
         buffer = self.buffer
-        delta = self.manifest.chunk_duration_s
-        stall = buffer.drain(download_s) if self.playing else 0.0
-        buffer.fill(delta)
-        self.estimator.observe(size, download_s, rel_now)
-        self.algorithm.notify_download(
-            i, level, size, download_s, buffer.level_s, rel_now
-        )
-        self._account_chunk(level, size, stall)
+        delta = self._chunk_duration_s
+        playing = self.playing
+        buf_level = buffer.level_s
+        # PlaybackBuffer.drain(download_s) if playing, then fill(delta).
+        if playing:
+            if not 0.0 <= download_s < _INF:
+                check_non_negative(download_s, "wall_clock_s")
+            if download_s <= buf_level:
+                buf_level -= download_s
+                stall = 0.0
+            else:
+                stall = download_s - buf_level
+                buf_level = 0.0
+                buffer.total_stall_s += stall
+        else:
+            stall = 0.0
+        if not 0.0 < delta < _INF:
+            check_positive(delta, "duration_s")
+        buf_level += delta
+        buffer.level_s = buf_level
+        # HarmonicMeanEstimator.observe(size, download_s) — live observes
+        # the raw duration, no floor.
+        est = self._fast_est
+        if est is not None:
+            if not 0.0 < size < _INF:
+                check_positive(size, "size_bits")
+            if not 0.0 < download_s < _INF:
+                check_positive(download_s, "duration_s")
+            sample = size / download_s
+            if not _MIN_SAMPLE_BPS <= sample <= _MAX_SAMPLE_BPS:
+                sample = min(max(sample, _MIN_SAMPLE_BPS), _MAX_SAMPLE_BPS)
+            est._samples.append(sample)
+            est._inverses.append(1.0 / sample)
+        else:
+            self.estimator.observe(size, download_s, rel_now)
+        notify = self._notify
+        if notify is not None:
+            notify(i, level, size, download_s, buf_level, rel_now)
+        # _account_chunk(level, size, stall).
+        self.total_stall_s += stall
+        self.total_bits += size
+        self.sum_level += level
+        last = self.last_level
+        if last is not None and level != last:
+            self.level_switches += 1
+        rows = self._quality_rows
+        if rows is not None:
+            quality = rows[level][i]
+            self.sum_quality += quality
+            if quality < _LOW_QUALITY_VMAF:
+                self.low_quality_chunks += 1
+            if i > 0:
+                # abs() without the builtin call: -d flips the sign bit,
+                # exactly abs for the finite deltas quality rows produce.
+                d = quality - self._last_quality
+                self.sum_abs_quality_delta += d if d >= 0.0 else -d
+            self._last_quality = quality
         self.last_level = level
-        if not self.playing and buffer.level_s >= self.config.startup_chunks * delta:
+        if not playing and buf_level >= self.config.startup_chunks * delta:
             self.playing = True
             self.startup_delay_s = rel_now
         # Live latency: content time at the live edge minus the player's
         # playback position (downloaded minus buffered).
-        played_s = (i + 1) * delta - buffer.level_s
+        played_s = (i + 1) * delta - buf_level
         live_edge_s = min(rel_now, self.manifest.num_chunks * delta)
         latency = max(0.0, live_edge_s - played_s)
         self.sum_latency_s += latency
         if latency > self.peak_latency_s:
             self.peak_latency_s = latency
-        self.chunk += 1
-        if self.chunk >= self.watch_chunks:
+        i += 1
+        self.chunk = i
+        if i >= self.watch_chunks:
             return self._finish(rel_now)
-        return self._await_chunk(rel_now)
+        # _await_chunk(rel_now) inlined (the method remains for begin()
+        # and the wait-resume path): wait for the chunk to exist at the
+        # live edge, else fall through to the budget check + choice.
+        wait = i * delta - rel_now
+        if wait > 0:
+            if self.playing:
+                self.total_stall_s += buffer.drain(wait)
+            self.total_wait_s += wait
+            self._phase = _RESUME_AVAIL
+            return (WAIT, wait)
+        return self._budget_then_choose(rel_now)
 
     # -- internal phases ------------------------------------------------
 
     def _await_chunk(self, rel_now: float):
         # Wait for the chunk to exist at the live edge.
-        available_at = self.chunk * self.manifest.chunk_duration_s
+        available_at = self.chunk * self._chunk_duration_s
         wait = available_at - rel_now
         if wait > 0:
             if self.playing:
@@ -487,22 +815,104 @@ class LiveSessionCore(_CoreBase):
         # Keep the backlog inside the latency budget: if the buffer is
         # at the budget, let it drain one chunk first.
         buffer = self.buffer
-        delta = self.manifest.chunk_duration_s
+        delta = self._chunk_duration_s
         if self.playing and buffer.level_s + delta > self.config.latency_budget_s:
             drain_for = buffer.level_s + delta - self.config.latency_budget_s
             buffer.drain(drain_for)  # cannot stall: draining from above
             self._phase = _RESUME_FETCH
             self._prepare_choice(rel_now + drain_for)
             return (WAIT, drain_for)
-        self._prepare_choice(rel_now)
-        return self._emit_fetch(self.origin_s + rel_now)
+        # _prepare_choice(rel_now) + _emit_fetch inlined — one live
+        # decision per chunk; same doubles as the method chain.
+        chunk = self.chunk
+        ctx = self._ctx
+        ctx.chunk_index = chunk
+        ctx.now_s = rel_now
+        ctx.buffer_s = buffer.level_s
+        ctx.last_level = self.last_level
+        est = self._fast_est
+        if est is not None:
+            n = len(est._samples)
+            if n == 0:
+                bw = est.initial_estimate_bps
+            else:
+                # sum() over the precomputed inverses is the same
+                # sequential left fold of the same doubles (see
+                # HarmonicMeanEstimator).
+                bw = n / sum(est._inverses)
+                if not 0.0 < bw < _INF:
+                    bw = est.initial_estimate_bps
+        else:
+            bw = self.estimator.predict_bps(rel_now)
+        ctx.bandwidth_bps = bw
+        ctx.playing = self.playing
+        rba = self._fast_rba
+        if rba is not None:
+            # RateBasedAlgorithm.select_level inlined (see the VoD
+            # fused path): same scan, same doubles, no call frame.
+            buf_s = ctx.buffer_s
+            srows = rba._size_rows
+            reserve_s = rba._reserve_s
+            level = 0
+            for lv in range(rba._top, -1, -1):
+                if buf_s - srows[lv][chunk] / bw >= reserve_s:
+                    level = lv
+                    break
+        else:
+            level = int(self.algorithm.select_level(ctx))
+        if level < 0 or level >= self._num_tracks:
+            self._validate_level(level)  # cold: raises the standard message
+        self._pending_level = level
+        size = self._size_rows[level][chunk]
+        self._pending_size = size
+        self._fetch_emit_s = self.origin_s + rel_now
+        return (FETCH, size)
 
     def _prepare_choice(self, rel_now: float) -> None:
-        ctx = self._context(rel_now)
-        level = int(self.algorithm.select_level(ctx))
-        self._validate_level(level)
+        # _context + the harmonic predict fast path inlined (one live
+        # decision per chunk; same doubles as the method chain).
+        ctx = self._ctx
+        ctx.chunk_index = self.chunk
+        ctx.now_s = rel_now
+        ctx.buffer_s = self.buffer.level_s
+        ctx.last_level = self.last_level
+        est = self._fast_est
+        if est is not None:
+            n = len(est._samples)
+            if n == 0:
+                bw = est.initial_estimate_bps
+            else:
+                # sum() over the precomputed inverses is the same
+                # sequential left fold of the same doubles (see
+                # HarmonicMeanEstimator).
+                bw = n / sum(est._inverses)
+                if not 0.0 < bw < _INF:
+                    bw = est.initial_estimate_bps
+        else:
+            bw = self.estimator.predict_bps(rel_now)
+        ctx.bandwidth_bps = bw
+        ctx.playing = self.playing
+        rba = self._fast_rba
+        if rba is not None:
+            # RateBasedAlgorithm.select_level inlined (see the VoD
+            # fused path): same scan, same doubles, no call frame.
+            chunk = ctx.chunk_index
+            buf_s = ctx.buffer_s
+            srows = rba._size_rows
+            reserve_s = rba._reserve_s
+            level = 0
+            for lv in range(rba._top, -1, -1):
+                if buf_s - srows[lv][chunk] / bw >= reserve_s:
+                    level = lv
+                    break
+        else:
+            level = int(self.algorithm.select_level(ctx))
+        if level < 0 or level >= self._num_tracks:
+            self._validate_level(level)  # cold: raises the standard message
         self._pending_level = level
-        self._pending_size = self.manifest.chunk_size_bits(level, self.chunk)
+        # size_rows[level][chunk] equals chunk_size_bits(level, chunk)
+        # bit for bit, without the 2-D ndarray index + float() per call.
+        self._pending_size = self._size_rows[level][self.chunk]
 
     def _emit_fetch(self, now_s: float):
         self._fetch_emit_s = now_s

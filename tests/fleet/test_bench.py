@@ -1,0 +1,137 @@
+"""Fleet benchmark harness: record layout, stage breakdown, perf gate.
+
+The gate's skip rules carry real weight — CI compares a smoke-scale
+run against the checked-in full-scale baseline, so a wrong "comparable"
+decision either fails good code or waves regressions through.
+"""
+
+from __future__ import annotations
+
+import copy
+import unittest
+
+from repro.fleet.bench import (
+    bench_spec,
+    build_record,
+    fleet_gate,
+    is_full_scale,
+    run_fleet_benchmark,
+    stage_breakdown,
+)
+from repro.fleet.sim import (
+    STAGE_ADVANCE,
+    STAGE_BUCKET_FOLD,
+    STAGE_COMPLETION,
+    STAGE_DISPATCH,
+)
+
+_SPEC = bench_spec(duration_s=180.0, n_edges=2, arrivals_per_s=1.0)
+
+
+def _record():
+    result, elapsed = run_fleet_benchmark(_SPEC, n_workers=1, rounds=1)
+    return build_record(
+        _SPEC, result, elapsed_s=elapsed, workers=1, rounds=1,
+        stages=stage_breakdown(_SPEC),
+    )
+
+
+class RecordTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.record = _record()
+
+    def test_timing_block_has_rate_figures(self):
+        timing = self.record["timing"]
+        self.assertEqual(timing["workers"], 1)
+        self.assertEqual(timing["rounds"], 1)
+        self.assertGreater(timing["events_per_s"], 0)
+        self.assertGreater(timing["sessions_per_s"], 0)
+        self.assertGreater(timing["us_per_event"], 0)
+        self.assertFalse(timing["full_scale"])
+
+    def test_spec_block_survives_for_gate_comparability(self):
+        self.assertEqual(self.record["spec"]["duration_s"], 180.0)
+        self.assertEqual(self.record["spec"]["n_edges"], 2)
+
+    def test_stage_breakdown_covers_all_four_stages(self):
+        stages = self.record["stages"]["stages"]
+        for name in (
+            STAGE_COMPLETION, STAGE_ADVANCE, STAGE_DISPATCH, STAGE_BUCKET_FOLD,
+        ):
+            self.assertIn(name, stages)
+            self.assertGreaterEqual(stages[name]["wall_s"], 0.0)
+        # Shares partition the instrumented wall time.
+        total = sum(entry["share"] for entry in stages.values())
+        self.assertAlmostEqual(total, 1.0, places=2)
+        # Query and advance fire once per event; dispatch once per
+        # actionable event.
+        events = self.record["stages"]["events"]
+        self.assertGreater(events, 0)
+        self.assertLessEqual(abs(stages[STAGE_COMPLETION]["count"] - events), 1)
+
+    def test_full_scale_flag(self):
+        self.assertFalse(is_full_scale(_SPEC))
+        self.assertTrue(is_full_scale(bench_spec()))
+
+
+class GateTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.record = _record()
+
+    def test_identical_records_pass(self):
+        self.assertEqual(fleet_gate(self.record, self.record), [])
+
+    def test_event_rate_regression_fails(self):
+        slow = copy.deepcopy(self.record)
+        slow["timing"]["events_per_s"] = (
+            self.record["timing"]["events_per_s"] * 0.5
+        )
+        lines = fleet_gate(slow, self.record, tolerance=0.30)
+        self.assertEqual(len(lines), 1)
+        self.assertIn("events_per_s", lines[0])
+
+    def test_session_rate_regression_fails_at_matching_scale(self):
+        slow = copy.deepcopy(self.record)
+        slow["timing"]["sessions_per_s"] = (
+            self.record["timing"]["sessions_per_s"] * 0.5
+        )
+        lines = fleet_gate(slow, self.record, tolerance=0.30)
+        self.assertEqual(len(lines), 1)
+        self.assertIn("sessions_per_s", lines[0])
+
+    def test_session_rate_skipped_across_scales(self):
+        other = copy.deepcopy(self.record)
+        other["spec"]["duration_s"] = 5400.0
+        other["timing"]["sessions_per_s"] = 1.0
+        # Different population scale: sessions/s is a different
+        # workload, only the per-event rate is judged.
+        self.assertEqual(fleet_gate(other, self.record, tolerance=0.30), [])
+
+    def test_worker_mismatch_skips_everything(self):
+        pooled = copy.deepcopy(self.record)
+        pooled["timing"]["workers"] = 4
+        pooled["timing"]["events_per_s"] = 1.0
+        self.assertEqual(fleet_gate(pooled, self.record), [])
+
+    def test_missing_metric_is_skipped_not_failed(self):
+        legacy = copy.deepcopy(self.record)
+        del legacy["timing"]["events_per_s"]
+        self.assertEqual(fleet_gate(self.record, legacy), [])
+        self.assertEqual(fleet_gate(legacy, self.record), [])
+
+    def test_within_tolerance_passes(self):
+        slightly = copy.deepcopy(self.record)
+        slightly["timing"]["events_per_s"] = (
+            self.record["timing"]["events_per_s"] * 0.8
+        )
+        self.assertEqual(fleet_gate(slightly, self.record, tolerance=0.30), [])
+
+    def test_negative_tolerance_rejected(self):
+        with self.assertRaises(ValueError):
+            fleet_gate(self.record, self.record, tolerance=-0.1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,137 @@
+"""Bucket-index flooring and the numpy accumulator's bit-identity.
+
+``int(t / width)`` alone mis-buckets times within an ulp of a boundary
+— the division can round the quotient up across the boundary (credit
+lands one bucket late) or, for an exact boundary time with an inexact
+quotient, down (credit lands one bucket early). Every bucket-index
+computation in the fleet goes through :func:`bucket_index`, and these
+tests pin the flooring at the exact boundaries plus the vectorized
+``add_window`` fold's equality with a scalar per-bucket loop.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.sim import _Buckets, bucket_index
+
+
+class TestBucketIndex:
+    def test_interior_times(self):
+        assert bucket_index(0.0, 60.0) == 0
+        assert bucket_index(30.0, 60.0) == 0
+        assert bucket_index(59.999, 60.0) == 0
+        assert bucket_index(60.001, 60.0) == 1
+
+    def test_exact_boundaries_open_the_next_bucket(self):
+        # [k*w, (k+1)*w): a boundary time belongs to the bucket it opens.
+        for k in range(200):
+            assert bucket_index(k * 60.0, 60.0) == k
+            assert bucket_index(k * 0.1, 0.1) == k
+
+    def test_issue_case_splits_across_the_boundary(self):
+        # The regression pair from the issue: an event at
+        # 179.99999999999997 and one at 180.0 must land in *different*
+        # buckets (the first closes bucket 2, the second opens bucket 3).
+        t = math.nextafter(180.0, 0.0)
+        assert t == 179.99999999999997
+        assert bucket_index(t, 60.0) == 2
+        assert bucket_index(180.0, 60.0) == 3
+
+    def test_division_roundoff_is_corrected_both_ways(self):
+        # Genuine int(t / width) failures with an inexact width: the
+        # quotient rounds *up* past the boundary product (1.7 / 0.1 ==
+        # 17.000000000000004 but 17 * 0.1 == 1.7000000000000002 > 1.7,
+        # so 1.7 still belongs to bucket 16) and *down* short of it
+        # (4.3 / 0.1 == 42.99999999999999 though 43 * 0.1 == 4.3).
+        assert int(1.7 / 0.1) == 17  # the raw division says 17...
+        assert bucket_index(1.7, 0.1) == 16  # ...flooring says 16
+        assert int(4.3 / 0.1) == 42  # the raw division says 42...
+        assert bucket_index(4.3, 0.1) == 43  # ...flooring says 43
+
+    @given(
+        k=st.integers(min_value=0, max_value=10_000),
+        width=st.sampled_from([0.1, 1.0, 7.5, 60.0, 3600.0]),
+    )
+    @settings(max_examples=200)
+    def test_flooring_invariant(self, k, width):
+        # For any returned index i: i*width <= t < (i+1)*width.
+        for t in (
+            k * width,
+            math.nextafter(k * width, 0.0),
+            math.nextafter(k * width, math.inf),
+            (k + 0.5) * width,
+        ):
+            i = bucket_index(t, width)
+            assert i * width <= t < (i + 1) * width
+
+
+class TestBucketsAccumulator:
+    def test_add_at_boundary_credit(self):
+        buckets = _Buckets(60.0)
+        buckets.add_at(math.nextafter(180.0, 0.0), 1.0)  # ulp below
+        buckets.add_at(180.0, 1.0)  # exactly on
+        out = buckets.array(4)
+        assert list(out) == [0.0, 0.0, 1.0, 1.0]
+
+    def test_add_window_matches_scalar_loop(self):
+        # The vectorized interior fold must equal the per-bucket loop it
+        # replaced, double for double.
+        def scalar_reference(t0, t1, amount, width, n):
+            out = np.zeros(n)
+            density = amount / (t1 - t0)
+            lo = bucket_index(t0, width)
+            hi = bucket_index(t1, width)
+            if lo == hi:
+                out[lo] += amount
+                return out
+            out[lo] += density * ((lo + 1) * width - t0)
+            for k in range(lo + 1, hi):
+                out[k] += density * width
+            out[hi] += density * (t1 - hi * width)
+            return out
+
+        cases = [
+            (0.0, 10.0, 5.0),  # single bucket
+            (55.0, 65.0, 3.0),  # straddles one boundary
+            (10.0, 250.0, 7.25),  # several interior buckets
+            (math.nextafter(180.0, 0.0), 300.5, 2.0),  # ulp-boundary start
+            (59.5, 60.0, 1.0),  # ends exactly on a boundary
+        ]
+        for t0, t1, amount in cases:
+            buckets = _Buckets(60.0)
+            buckets.add_window(t0, t1, amount)
+            got = buckets.array(8)
+            want = scalar_reference(t0, t1, amount, 60.0, 8)
+            assert got.tobytes() == want.tobytes(), (t0, t1, amount)
+
+    def test_add_window_empty_span_is_noop(self):
+        buckets = _Buckets(60.0)
+        buckets.add_window(5.0, 5.0, 1.0)
+        assert buckets.hi == 0
+
+    def test_growth_preserves_values(self):
+        buckets = _Buckets(1.0, capacity=2)
+        buckets.add_at(0.5, 1.0)
+        buckets.add_at(999.5, 2.0)  # forces several doublings
+        out = buckets.array(1000)
+        assert out[0] == 1.0
+        assert out[999] == 2.0
+        assert out.sum() == 3.0
+
+    @given(
+        t0=st.floats(min_value=0.0, max_value=500.0),
+        span=st.floats(min_value=0.0, max_value=500.0),
+        amount=st.floats(min_value=1e-6, max_value=1e9),
+    )
+    @settings(max_examples=150)
+    def test_add_window_conserves_mass(self, t0, span, amount):
+        t1 = t0 + span
+        buckets = _Buckets(60.0)
+        buckets.add_window(t0, t1, amount)
+        if t1 > t0:
+            total = float(buckets.array(32).sum())
+            assert total == pytest.approx(amount, rel=1e-9)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.network.link import TraceLink
-from repro.network.shared import SharedLink
+from repro.network.shared import _MIN_COMPACT_SIZE, SharedLink
 from repro.network.traces import NetworkTrace
 
 
@@ -148,3 +148,51 @@ class TestContract:
             return drain_all(shared)
 
         assert run() == run()  # bitwise-equal floats, identical order
+
+
+class TestHeapCompaction:
+    """Stale-entry compaction: churned flows must not grow the heap."""
+
+    def test_cancel_restart_churn_keeps_heap_bounded(self):
+        # Regression: cancel + re-start leaves a stale (target, seq)
+        # tuple in the heap per churn; before compaction landed, 10k
+        # churns meant 10k dead entries scanned on every completion
+        # query. The heap must stay O(live flows).
+        shared = SharedLink(TraceLink(constant_trace(8.0)))
+        shared.start("background", 1e9)
+        for _ in range(10_000):
+            shared.start("churn", 1e6)
+            shared.cancel("churn")
+        assert shared.n_active == 1
+        assert len(shared._heap) <= 2 * _MIN_COMPACT_SIZE
+
+    def test_complete_reenqueue_churn_keeps_heap_bounded(self):
+        shared = SharedLink(TraceLink(constant_trace(8.0)))
+        for _ in range(10_000):
+            shared.start("s", 8e3)
+            finish, _flow = shared.next_completion()
+            shared.advance_to(finish)
+            shared.complete("s")
+        assert len(shared._heap) <= 2 * _MIN_COMPACT_SIZE
+
+    def test_churn_does_not_perturb_survivor(self):
+        # The churned link's surviving flow must finish at the exact
+        # time an un-churned control link produces.
+        control = SharedLink(TraceLink(constant_trace(8.0)))
+        control.start("keeper", 16e6)
+        churned = SharedLink(TraceLink(constant_trace(8.0)))
+        churned.start("keeper", 16e6)
+        for _ in range(1_000):
+            churned.start("churn", 1e6)
+            churned.cancel("churn")
+        assert churned.next_completion() == control.next_completion()
+        assert drain_all(churned) == drain_all(control)
+
+    def test_tiny_heaps_never_compact(self):
+        shared = SharedLink(TraceLink(constant_trace(8.0)))
+        for k in range(_MIN_COMPACT_SIZE // 2):
+            shared.start(f"f{k}", 1e6)
+            shared.cancel(f"f{k}")
+        # Below the floor the stale entries are tolerated (rebuild
+        # bookkeeping would dominate) but bounded by the churn count.
+        assert len(shared._heap) <= _MIN_COMPACT_SIZE

@@ -11,7 +11,11 @@ Scale knobs:
 - ``REPRO_BENCH_SWEEP_TRACES`` — traces in the grid (default 200, the
   paper's trace-set size);
 - ``REPRO_BENCH_SWEEP_WORKERS`` — comma-separated worker counts to time
-  (default ``2,4``).
+  (default ``2,4``);
+- ``REPRO_BENCH_SWEEP_DIST_TRACES`` — traces in the distributed stage's
+  grid (default 50; the asyncio and two-participant multihost backends
+  are timed over this subset and checked bit-identical to the serial
+  baseline).
 
 The ≥2x speedup assertion only applies where the hardware can deliver
 it (4+ cores); on smaller machines the numbers are still recorded so
@@ -31,6 +35,8 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -45,6 +51,7 @@ pin_single_threaded()
 SEED = 0
 SCHEMES = ("CAVA", "RBA")
 GRID_TRACES = int(os.environ.get("REPRO_BENCH_SWEEP_TRACES", "200"))
+DIST_TRACES = int(os.environ.get("REPRO_BENCH_SWEEP_DIST_TRACES", "50"))
 WORKER_COUNTS = tuple(
     int(w) for w in os.environ.get("REPRO_BENCH_SWEEP_WORKERS", "2,4").split(",")
 )
@@ -111,6 +118,77 @@ def test_sweep_throughput_trajectory(benchmark):
     for scheme in serial:
         assert serial[scheme].metrics == parallel_results[scheme].metrics
 
+    # Distributed fabric stage: the asyncio backend (compute/store-I/O
+    # overlap on one host) and a two-participant multihost sweep over a
+    # shared store. Sessions are independent per trace, so the serial
+    # baseline's metric prefix is the exact expected result for the
+    # subset grid.
+    dist_traces = traces[:DIST_TRACES]
+    dist_sessions = len(SCHEMES) * len(dist_traces)
+    distributed = {}
+
+    engine = ParallelSweepRunner(
+        n_workers=min(2, usable), min_parallel_sessions=0, executor="asyncio"
+    )
+    start = time.perf_counter()
+    asyncio_results = engine.run_comparison(list(SCHEMES), video, dist_traces)
+    asyncio_s = time.perf_counter() - start
+    for scheme in serial:
+        assert (
+            serial[scheme].metrics[: len(dist_traces)]
+            == asyncio_results[scheme].metrics
+        )
+    distributed["asyncio"] = {
+        "workers": min(2, usable),
+        "elapsed_s": round(asyncio_s, 4),
+        "sessions_per_s": round(
+            _sessions_per_second(asyncio_s, dist_sessions), 2
+        ),
+    }
+
+    from repro.experiments.store import SessionStore
+
+    with tempfile.TemporaryDirectory(prefix="bench-mh-") as shared:
+        participants = 2
+        outcomes = {}
+
+        def join_sweep(slot):
+            worker = ParallelSweepRunner(
+                executor="multihost",
+                store=SessionStore(shared),
+                lease_poll_s=0.05,
+            )
+            outcomes[slot] = worker.run_comparison(
+                list(SCHEMES), video, dist_traces
+            )
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=join_sweep, args=(slot,))
+            for slot in range(participants)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        multihost_s = time.perf_counter() - start
+        for results in outcomes.values():
+            for scheme in serial:
+                assert (
+                    serial[scheme].metrics[: len(dist_traces)]
+                    == results[scheme].metrics
+                )
+        distributed["multihost"] = {
+            "participants": participants,
+            "traces": len(dist_traces),
+            "sessions": dist_sessions,
+            "elapsed_s": round(multihost_s, 4),
+            "sessions_per_s": round(
+                _sessions_per_second(multihost_s, dist_sessions), 2
+            ),
+            "identical_to_serial": True,
+        }
+
     record = {
         "benchmark": "sweep_throughput",
         "grid": {
@@ -127,6 +205,7 @@ def test_sweep_throughput_trajectory(benchmark):
             "sessions_per_s": round(serial_rate, 2),
         },
         "parallel": {str(w): stats for w, stats in runs.items()},
+        "distributed": distributed,
     }
     RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
@@ -143,6 +222,10 @@ def test_sweep_throughput_trajectory(benchmark):
             f"  {workers:2d} workers  {stats['sessions_per_s']:8.1f} sessions/s"
             f"  {speedup}"
         )
+    print(f"  asyncio     {distributed['asyncio']['sessions_per_s']:8.1f} "
+          f"sessions/s  ({dist_sessions} sessions)")
+    print(f"  multihost   {distributed['multihost']['sessions_per_s']:8.1f} "
+          f"sessions/s  ({participants} participants, shared store)")
 
     # The engine must never corrupt throughput badly even on one core;
     # the 2x bar only applies where the hardware has the cores for it.

@@ -26,14 +26,22 @@ Subcommands:
                        the warm-cache sweep stage and merges its numbers
                        into the record);
 - ``cache``          — inspect or maintain a session-result store
-                       (``stats`` / ``verify`` / ``gc``);
+                       (``stats`` / ``verify`` / ``gc`` / ``leases``;
+                       ``gc --dry-run`` previews, ``leases --expire``
+                       reclaims stale multi-host leases);
+- ``sweep-worker``   — join a multi-host sweep: lease missing work units
+                       from a shared ``--cache-dir`` store, compute them,
+                       and merge the full grid (start one with ``compare
+                       --executor multihost``);
 - ``schemes``        — list the registered ABR schemes.
 
 Every subcommand takes ``--seed`` so results replay exactly. ``run`` and
 ``compare`` take ``--workers N`` to fan sessions out over a process pool
-(``0`` = every core); results are identical at any worker count. Both
-also take ``--faults SPEC`` to replay the same sessions under injected
-adverse conditions (outages, throughput drops, latency spikes — see
+(``0`` = every core); results are identical at any worker count, and
+``--executor {pool,asyncio,multihost}`` picks the backend that runs the
+planned work (bit-identical results on all of them). Both also take
+``--faults SPEC`` to replay the same sessions under injected adverse
+conditions (outages, throughput drops, latency spikes — see
 :mod:`repro.faults.spec` for the grammar), and ``compare`` takes
 ``--on-error {raise,skip,retry}`` to pick the sweep's failure policy.
 
@@ -68,9 +76,18 @@ from repro.abr.registry import (
     scheme_names,
 )
 from repro.analysis.characterization import characterize
-from repro.experiments.parallel import ParallelSweepRunner
+from repro.experiments.leases import (
+    DEFAULT_LEASE_TTL_S,
+    LeaseBoard,
+    SweepRecipe,
+    latest_sweep_id,
+    list_sweeps,
+    read_manifest,
+    recipe_sweep_id,
+    write_manifest,
+)
+from repro.experiments.parallel import EXECUTOR_NAMES, ParallelSweepRunner
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_comparison
 from repro.faults.spec import parse_fault_plan
 from repro.fleet import FlashCrowd, FleetRunner, FleetSpec
 from repro.network.link import TraceLink
@@ -235,9 +252,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     trace = traces[args.trace_index]
     plan = _fault_plan_arg(args)
     tracer = SpanTracer("scheduler") if args.profile else None
+    store = _store_arg(args)
+    if args.executor == "multihost" and store is None:
+        raise SystemExit("--executor multihost requires --cache-dir "
+                         "(the shared store coordinates the hosts)")
     engine = ParallelSweepRunner(
-        n_workers=_workers_arg(args), fault_plan=plan, store=_store_arg(args),
-        tracer=tracer,
+        n_workers=_workers_arg(args), fault_plan=plan, store=store,
+        tracer=tracer, executor=args.executor,
     )
     sweep = engine.run_scheme(scheme, video, [trace], args.network)
     if tracer is not None:
@@ -287,6 +308,30 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _comparison_table(schemes, results) -> str:
+    """Render the scheme-comparison table shared by compare/sweep-worker.
+
+    One code path means a multi-host worker's report is byte-identical
+    to the initiating ``compare`` run — CI diffs the two directly.
+    """
+    rows = []
+    for scheme in schemes:
+        sweep = results[scheme]
+        rows.append(
+            (
+                scheme,
+                f"{sweep.mean('q4_quality_mean'):.1f}",
+                f"{sweep.mean('low_quality_fraction') * 100:.1f}%",
+                f"{sweep.mean('rebuffer_s'):.1f}",
+                f"{sweep.mean('quality_change_per_chunk'):.2f}",
+                f"{sweep.mean('data_usage_mb'):.0f}",
+            )
+        )
+    return render_table(
+        ("scheme", "Q4 quality", "low-qual", "stall s", "qual chg", "data MB"), rows
+    )
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     video = _build_named_video(args.video, args.seed)
     traces = _make_traces(args.network, args.traces, args.seed)
@@ -300,6 +345,29 @@ def cmd_compare(args: argparse.Namespace) -> int:
     tracer = SpanTracer("scheduler") if args.profile else None
     board = ProgressBoard(args.metrics_dir) if args.metrics_dir else None
     plan = _fault_plan_arg(args)
+    store = _store_arg(args)
+    sweep_id = None
+    if args.executor == "multihost":
+        # The shared store is the coordination medium: publish a seeded
+        # recipe manifest so `repro sweep-worker` processes (on this or
+        # other hosts) can rebuild the identical grid and lease units.
+        if store is None:
+            raise SystemExit("--executor multihost requires --cache-dir "
+                             "(the shared store coordinates the hosts)")
+        if args.on_error != "raise":
+            raise SystemExit("--executor multihost supports only "
+                             "--on-error raise")
+        recipe = SweepRecipe(
+            schemes=tuple(args.schemes), videos=(args.video,),
+            network=args.network, traces=args.traces, seed=args.seed,
+            faults=args.faults,
+        )
+        sweep_id = recipe_sweep_id(recipe)
+        write_manifest(store.root, sweep_id, recipe)
+        # stderr, so stdout stays byte-identical to a serial compare.
+        print(f"sweep {sweep_id}: join with "
+              f"`repro sweep-worker --cache-dir {store.root}`",
+              file=sys.stderr)
     server = sampler = None
     if args.serve_metrics is not None:
         server = MetricsServer(registry, port=args.serve_metrics).start()
@@ -307,12 +375,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if registry is not None:
         sampler = ResourceSampler(registry).start()
     try:
-        results = run_comparison(
-            args.schemes, video, traces, args.network,
+        engine = ParallelSweepRunner(
             n_workers=_workers_arg(args), registry=registry,
-            fault_plan=plan, on_error=args.on_error, max_retries=args.max_retries,
-            store=_store_arg(args), tracer=tracer, progress=board,
+            fault_plan=plan, on_error=args.on_error,
+            max_retries=args.max_retries, store=store, tracer=tracer,
+            progress=board, executor=args.executor, sweep_id=sweep_id,
+            lease_ttl_s=args.lease_ttl, lease_poll_s=args.lease_poll,
         )
+        results = engine.run_comparison(args.schemes, video, traces, args.network)
     finally:
         if sampler is not None:
             sampler.stop()
@@ -320,33 +390,77 @@ def cmd_compare(args: argparse.Namespace) -> int:
             board.close()
         if server is not None:
             server.stop()
-    rows = []
-    for scheme in args.schemes:
-        sweep = results[scheme]
-        rows.append(
-            (
-                scheme,
-                f"{sweep.mean('q4_quality_mean'):.1f}",
-                f"{sweep.mean('low_quality_fraction') * 100:.1f}%",
-                f"{sweep.mean('rebuffer_s'):.1f}",
-                f"{sweep.mean('quality_change_per_chunk'):.2f}",
-                f"{sweep.mean('data_usage_mb'):.0f}",
-            )
-        )
     print(f"{video.name}, {len(traces)} {args.network.upper()} traces:")
     if plan is not None:
         print(f"faults: {plan.describe()}")
-    print(
-        render_table(
-            ("scheme", "Q4 quality", "low-qual", "stall s", "qual chg", "data MB"), rows
-        )
-    )
+    print(_comparison_table(args.schemes, results))
     failures = [f for scheme in args.schemes for f in results[scheme].failures]
     if failures:
         print()
         print(f"{len(failures)} work unit(s) dropped (--on-error={args.on_error}):")
         for failed in failures:
             print(f"  {failed}")
+    if args.metrics_out:
+        path = Path(args.metrics_out)
+        path.write_text(registry_to_prometheus(registry))
+        print(f"wrote sweep metrics to {path}")
+    if tracer is not None:
+        path = write_chrome_trace(tracer.spans, args.profile, registry)
+        print(f"wrote Chrome trace to {path} (open in Perfetto / chrome://tracing)")
+    return 0
+
+
+def cmd_sweep_worker(args: argparse.Namespace) -> int:
+    store = _store_arg(args)
+    if store is None:
+        raise SystemExit("sweep-worker requires --cache-dir pointing at the "
+                         "store shared with the initiating sweep")
+    sweep_id = args.sweep_id or latest_sweep_id(store.root)
+    if sweep_id is None:
+        raise SystemExit(
+            f"no sweep manifests under {store.root}/sweeps; start one with "
+            "`repro compare --executor multihost --cache-dir ...`"
+        )
+    try:
+        recipe = read_manifest(store.root, sweep_id)
+    except FileNotFoundError:
+        known = ", ".join(sid for sid, _ in list_sweeps(store.root)) or "none"
+        raise SystemExit(
+            f"no manifest for sweep {sweep_id!r} (known sweeps: {known})"
+        ) from None
+    videos = [_build_named_video(name, recipe.seed) for name in recipe.videos]
+    traces = _make_traces(recipe.network, recipe.traces, recipe.seed)
+    plan = parse_fault_plan(recipe.faults) if recipe.faults else None
+    registry = MetricsRegistry() if args.metrics_out else None
+    tracer = SpanTracer("scheduler") if args.profile else None
+    print(f"joining sweep {sweep_id}: {len(recipe.schemes)} scheme(s) x "
+          f"{len(videos)} video(s) x {recipe.traces} {recipe.network.upper()} "
+          f"traces (seed {recipe.seed})", file=sys.stderr)
+    engine = ParallelSweepRunner(
+        registry=registry, fault_plan=plan, store=store, tracer=tracer,
+        executor="multihost", sweep_id=sweep_id,
+        lease_ttl_s=args.lease_ttl, lease_poll_s=args.lease_poll,
+    )
+    if len(videos) == 1:
+        # Single-video recipes (everything `compare` initiates) report
+        # with the exact stdout of the initiating run.
+        results = engine.run_comparison(
+            recipe.schemes, videos[0], traces, recipe.network
+        )
+        print(f"{videos[0].name}, {len(traces)} {recipe.network.upper()} traces:")
+        if plan is not None:
+            print(f"faults: {plan.describe()}")
+        print(_comparison_table(recipe.schemes, results))
+    else:
+        grid = engine.run_grid(recipe.schemes, videos, traces, recipe.network)
+        for video in videos:
+            results = {
+                scheme: grid[(scheme, video.name)] for scheme in recipe.schemes
+            }
+            print(f"{video.name}, {len(traces)} {recipe.network.upper()} traces:")
+            if plan is not None:
+                print(f"faults: {plan.describe()}")
+            print(_comparison_table(recipe.schemes, results))
     if args.metrics_out:
         path = Path(args.metrics_out)
         path.write_text(registry_to_prometheus(registry))
@@ -658,15 +772,47 @@ def cmd_cache(args: argparse.Namespace) -> int:
         for problem in problems:
             print(f"  {problem}")
         return 1
+    if args.action == "leases":
+        ids = [sweep_id for sweep_id, _ in list_sweeps(store.root)]
+        # Programmatic sweeps (sweep_grid_id) hold leases without ever
+        # writing a manifest; pick their boards up from the lease tree.
+        lease_tree = Path(store.root) / "leases"
+        if lease_tree.is_dir():
+            ids.extend(
+                entry.name for entry in sorted(lease_tree.iterdir())
+                if entry.is_dir() and entry.name not in ids
+            )
+        if args.sweep_id is not None:
+            ids = [args.sweep_id]
+        if not ids:
+            print(f"{store.root}: no sweeps")
+            return 0
+        for sweep_id in ids:
+            board = LeaseBoard(store.root, sweep_id, ttl_s=args.lease_ttl)
+            leases = board.list_leases()
+            print(f"sweep {sweep_id}: {len(leases)} lease(s)")
+            for lease in leases:
+                mark = "  STALE" if lease.stale else ""
+                print(f"  {lease.unit}  owner={lease.owner}  "
+                      f"age={lease.age_s:.1f}s/{lease.ttl_s:.0f}s{mark}")
+            if args.expire:
+                reclaimed = board.reclaim_stale()
+                for unit in reclaimed:
+                    print(f"  reclaimed {unit}")
+                if not reclaimed:
+                    print("  nothing stale to reclaim")
+        return 0
     # gc
     removed = store.gc(
         max_entries=args.max_entries,
         max_age_s=(
             None if args.max_age_days is None else args.max_age_days * 86400.0
         ),
+        dry_run=args.dry_run,
     )
+    verb = "would remove" if args.dry_run else "removed"
     print(
-        f"{store.root}: removed {removed['defective']} defective, "
+        f"{store.root}: {verb} {removed['defective']} defective, "
         f"{removed['expired']} expired, {removed['evicted']} over-cap "
         f"entr{'y' if sum(removed.values()) == 1 else 'ies'}"
     )
@@ -723,6 +869,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reuse/populate a content-addressed session store")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore --cache-dir for this invocation")
+    p.add_argument("--executor", choices=EXECUTOR_NAMES, default="pool",
+                   help="sweep execution backend (default pool)")
     p.add_argument("--profile", default=None, metavar="PATH",
                    help="write a Chrome trace of the run (open in Perfetto)")
 
@@ -762,6 +910,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="reuse/populate a content-addressed session store")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore --cache-dir for this invocation")
+    p.add_argument("--executor", choices=EXECUTOR_NAMES, default="pool",
+                   help="sweep execution backend; multihost publishes a "
+                        "manifest other hosts join with `repro sweep-worker` "
+                        "(default pool)")
+    p.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL_S,
+                   help="multihost: seconds before an unrefreshed lease is "
+                        f"stale (default {DEFAULT_LEASE_TTL_S:.0f})")
+    p.add_argument("--lease-poll", type=float, default=0.5,
+                   help="multihost: seconds between polls while other hosts "
+                        "hold the remaining units (default 0.5)")
     p.add_argument("--profile", default=None, metavar="PATH",
                    help="write a Chrome trace of the sweep (open in Perfetto)")
     p.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
@@ -769,6 +927,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "sweep (0 picks an ephemeral port)")
     p.add_argument("--metrics-dir", default=None, metavar="PATH",
                    help="stream live progress for `repro top` to this directory")
+
+    p = commands.add_parser(
+        "sweep-worker",
+        help="join a multi-host sweep by leasing work from a shared store",
+    )
+    p.add_argument("--cache-dir", required=True, metavar="PATH",
+                   help="store directory shared with the initiating sweep")
+    p.add_argument("--sweep-id", default=None,
+                   help="sweep to join (default: newest manifest in the store)")
+    p.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL_S,
+                   help="seconds before an unrefreshed lease is stale "
+                        f"(default {DEFAULT_LEASE_TTL_S:.0f})")
+    p.add_argument("--lease-poll", type=float, default=0.5,
+                   help="seconds between polls while other hosts hold the "
+                        "remaining units (default 0.5)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write a Prometheus-format sweep telemetry dump")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="write a Chrome trace of the worker (open in Perfetto)")
 
     p = commands.add_parser(
         "fleet",
@@ -856,7 +1033,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = commands.add_parser(
         "cache", help="inspect or maintain a session-result store"
     )
-    p.add_argument("action", choices=("stats", "verify", "gc"))
+    p.add_argument("action", choices=("stats", "verify", "gc", "leases"))
     p.add_argument("--cache-dir", required=True, metavar="PATH",
                    help="session store root directory")
     p.add_argument("--json", action="store_true",
@@ -865,6 +1042,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="gc: keep at most this many newest entries")
     p.add_argument("--max-age-days", type=float, default=None,
                    help="gc: drop entries older than this many days")
+    p.add_argument("--dry-run", action="store_true",
+                   help="gc: report what would be removed without removing")
+    p.add_argument("--sweep-id", default=None,
+                   help="leases: restrict to one sweep (default: all sweeps)")
+    p.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL_S,
+                   help="leases: staleness threshold in seconds "
+                        f"(default {DEFAULT_LEASE_TTL_S:.0f})")
+    p.add_argument("--expire", action="store_true",
+                   help="leases: reclaim stale leases so their units can "
+                        "be re-leased")
 
     commands.add_parser("schemes", help="list registered ABR schemes")
     return parser
@@ -878,6 +1065,7 @@ _HANDLERS = {
     "run": cmd_run,
     "trace": cmd_trace,
     "compare": cmd_compare,
+    "sweep-worker": cmd_sweep_worker,
     "fleet": cmd_fleet,
     "top": cmd_top,
     "bench": cmd_bench,

@@ -85,6 +85,7 @@ def batch_capability(
     algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None,
     estimator_factory: Optional[Callable] = None,
     fault_plan: Optional[FaultPlan] = None,
+    num_traces: Optional[int] = None,
 ) -> BatchCapability:
     """Can this sweep configuration run on the lockstep batch engine?
 
@@ -92,6 +93,9 @@ def batch_capability(
     bit-identically is rejected, and the caller falls back to the scalar
     loop. Rejection reasons, in order checked:
 
+    - fewer than two traces (when ``num_traces`` is given): a single
+      session gains nothing from lockstep and the scalar loop is the
+      reference path;
     - ``REPRO_DISABLE_BATCH`` set in the environment;
     - a custom per-trace estimator factory (the engine owns its
       lockstep harmonic-mean estimator);
@@ -107,6 +111,8 @@ def batch_capability(
     type-exact), in which case :func:`run_batch_sessions` returns
     ``None`` and the caller falls back.
     """
+    if num_traces is not None and num_traces < 2:
+        return _unsupported("single-trace unit; scalar loop is cheaper")
     if os.environ.get(DISABLE_BATCH_ENV):
         return _unsupported(f"{DISABLE_BATCH_ENV} set")
     if estimator_factory is not None:

@@ -60,6 +60,7 @@ __all__ = [
     "PlaneManifest",
     "SharedDataPlane",
     "attach_plane",
+    "try_publish",
 ]
 
 
@@ -250,6 +251,23 @@ class SharedDataPlane:
             atexit.unregister(self.close_and_unlink)
         except Exception:
             pass
+
+
+def try_publish(
+    videos: Mapping[str, VideoAsset],
+    traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
+) -> Optional["SharedDataPlane"]:
+    """Publish a data plane, or ``None`` when shared memory is unavailable.
+
+    The graceful-degradation wrapper every executor backend shares: an
+    ``OSError`` from :meth:`SharedDataPlane.publish` (no ``/dev/shm``,
+    exhausted quota) means "fall back to inline initializer pickling",
+    never "fail the sweep". Results are identical on either path.
+    """
+    try:
+        return SharedDataPlane.publish(videos, traces_by_plan)
+    except OSError:
+        return None
 
 
 def _attach_block(name: str) -> shared_memory.SharedMemory:

@@ -1,20 +1,38 @@
-"""Process-pool sweep engine: the §6 evaluation grid on all cores.
+"""Sweep engine facade: the §6 evaluation grid on all cores (or hosts).
 
 The serial runner replays one session at a time, so a Table 1 / Fig. 8
 scale sweep (10+ schemes x 16 videos x 200 traces) is bottlenecked on a
 single core. Sessions are embarrassingly parallel — each (scheme, video,
-trace) triple is independent and fully seeded — so this module fans
-trace *batches* out over a :class:`concurrent.futures.ProcessPoolExecutor`
-and reassembles results in submission order.
+trace) triple is independent and fully seeded — so this engine fans
+trace *batches* out over a pluggable executor backend and reassembles
+results in submission order.
+
+The engine is split into three layers (one module each):
+
+- :mod:`repro.experiments.scheduler` — backend-agnostic planning: the
+  grid vocabulary, cache-hit partitioning against the session store,
+  cost-aware batch sizing, deterministic assembly;
+- :mod:`repro.experiments.worker` — the worker-side unit execution
+  every backend funnels into (batch engine + scalar fallback, per-unit
+  telemetry);
+- :mod:`repro.experiments.executors` — the executor backends:
+  ``"pool"`` (local process pool, the default), ``"asyncio"``
+  (overlaps CPU-bound simulation with I/O-bound store write-backs on
+  one host), and ``"multihost"`` (workers on any number of machines
+  cooperating through atomic lease files in a shared store directory —
+  see ``repro sweep-worker``).
+
+This module keeps the public engine API (:class:`ParallelSweepRunner`)
+and re-exports the vocabulary so existing imports keep working.
 
 Design points:
 
 - **Determinism.** Work units are indexed at submission; results are
   keyed by that index and concatenated in order, so the output is
   bit-identical to the serial runner and identically ordered no matter
-  which worker finishes first. Retried units re-run the same seeded
-  sessions, so a retry that succeeds is bit-identical to a first-try
-  success.
+  which worker — or which *host* — finishes first. Retried units re-run
+  the same seeded sessions, so a retry that succeeds is bit-identical
+  to a first-try success.
 - **Shared-artifact caching.** Each worker holds one
   :class:`~repro.experiments.artifacts.ArtifactCache`, so a video's
   manifest/classifier and a trace's cumulative-bits table are built once
@@ -53,9 +71,11 @@ Design points:
   additionally records a stitched run timeline: scheduler phases on the
   scheduler's track plus every worker's per-unit spans (down to the
   batch engine's aggregate estimate/decide/advance stage costs),
-  exportable as a Chrome trace. A
-  :class:`~repro.telemetry.pipeline.ProgressBoard` streams live
-  progress for ``repro top``. No registry/tracer/board, no overhead.
+  exportable as a Chrome trace. The multi-host backend adds
+  lease-protocol spans (``lease.claim``/``lease.reclaim``/
+  ``store.merge``). A :class:`~repro.telemetry.pipeline.ProgressBoard`
+  streams live progress for ``repro top``. No registry/tracer/board,
+  no overhead.
 - **Failure policy.** ``on_error`` selects what a failed work unit does
   to the sweep: ``"raise"`` (default) aborts with a
   :class:`SweepWorkerError` naming the failing (scheme, video, trace)
@@ -63,8 +83,10 @@ Design points:
   :class:`~repro.experiments.runner.FailedUnit` on the spec's
   :class:`~repro.experiments.runner.SweepResult`; ``"retry"`` re-runs
   the unit up to ``max_retries`` times before skipping it. A broken
-  pool (worker killed, interpreter crash) is recovered once: the pool
-  is respawned and unfinished units requeued; a second break aborts.
+  pool (worker killed, interpreter crash) is recovered once by the pool
+  backend: the pool is respawned and unfinished units requeued; a
+  second break aborts. The multi-host backend supports ``"raise"``
+  only, and recovers *host* death through lease expiry instead.
 - **Fault injection.** Give the engine (or individual specs) a
   :class:`~repro.faults.plan.FaultPlan` and the sweep replays the same
   grid under injected adverse conditions. Trace-level perturbations are
@@ -81,37 +103,62 @@ module-level functions or dataclass instances with ``__call__`` (e.g.
 
 from __future__ import annotations
 
-import atexit
 import multiprocessing
 import os
-import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from contextlib import nullcontext
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, replace
-from typing import (
-    Callable,
-    Dict,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
 
-from repro.abr.base import ABRAlgorithm
-from repro.abr.registry import resolve_scheme_name
+# Re-exported (and monkeypatch target): every executor backend builds
+# its pool as ``parallel.ProcessPoolExecutor`` so tests and embedders
+# can substitute the pool class in exactly one place.
+from concurrent.futures import ProcessPoolExecutor  # noqa: F401
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
 from repro.experiments.artifacts import ArtifactCache
-from repro.experiments.batch import batch_capability, run_batch_metrics
-from repro.experiments.dataplane import PlaneManifest, SharedDataPlane, attach_plane
+from repro.experiments.executors import (
+    EXECUTOR_NAMES,
+    ExecutorBackend,
+    PlanContext,
+    resolve_executor,
+)
+from repro.experiments.leases import DEFAULT_LEASE_TTL_S
 from repro.experiments.runner import (
     EstimatorFactory,
     FailedUnit,
     SweepResult,
-    run_one_session,
 )
-from repro.experiments.store import SessionStore, UncacheableValueError
+from repro.experiments.scheduler import (
+    BATCH_DEFAULT_COST,
+    BATCH_SCHEME_COSTS,
+    SCHEME_COSTS,
+    TARGET_BATCH_COST,
+    SweepScheduler,
+    SweepSpec,
+    SweepWorkerError,
+    WorkUnit,
+    batch_bounds,
+    contiguous_runs,
+    session_cost,
+)
+from repro.experiments.store import SessionStore
+from repro.experiments.worker import (
+    BATCHES_METRIC,
+    CACHE_HITS_METRIC,
+    CACHE_MISSES_METRIC,
+    FAULTS_INJECTED_METRIC,
+    POOL_RESPAWNS_METRIC,
+    RETRIES_METRIC,
+    SESSIONS_COMPLETED_METRIC,
+    SESSIONS_FAILED_METRIC,
+    SKIPPED_UNITS_METRIC,
+    UNIT_SECONDS_METRIC,
+    WORKER_STATE,
+    WORKERS_METRIC,
+    init_worker,
+    record_unit,
+    run_batch_in_worker,
+    sweep_batch,
+)
 from repro.faults.plan import FaultPlan
 from repro.network.traces import NetworkTrace
 from repro.player.metrics import SessionMetrics
@@ -125,35 +172,27 @@ from repro.telemetry.metrics import (
     STORE_BYTES_WRITTEN_METRIC,
     STORE_CORRUPT_METRIC,
     STORE_HITS_METRIC,
-    STORE_LOOKUP_SECONDS_METRIC,
     STORE_MISSES_METRIC,
-    STORE_UNCACHEABLE_METRIC,
-    STORE_WRITE_SECONDS_METRIC,
     MetricsRegistry,
 )
 from repro.telemetry.pipeline import (
-    SPAN_POOL_SPAWN,
-    SPAN_SESSION_SCALAR,
-    SPAN_SHM_ATTACH,
-    SPAN_SHM_PUBLISH,
     SPAN_STORE_PARTITION,
-    SPAN_SWEEP_DRAIN,
-    SPAN_SWEEP_MERGE,
     SPAN_SWEEP_PLAN,
-    SPAN_UNIT_BATCH,
     SPAN_UNIT_RUN,
     ProgressBoard,
     stage_breakdown,
 )
-from repro.telemetry.spans import SpanTracer, StageTimer, maybe_span
+from repro.telemetry.spans import SpanTracer, maybe_span
 from repro.video.model import VideoAsset
 
 __all__ = [
     "SweepSpec",
     "SweepWorkerError",
     "FailedUnit",
+    "WorkUnit",
     "ParallelSweepRunner",
     "run_comparison_parallel",
+    "EXECUTOR_NAMES",
     "SESSIONS_COMPLETED_METRIC",
     "SESSIONS_FAILED_METRIC",
     "BATCHES_METRIC",
@@ -165,455 +204,32 @@ __all__ = [
     "SKIPPED_UNITS_METRIC",
     "POOL_RESPAWNS_METRIC",
     "FAULTS_INJECTED_METRIC",
+    "SHM_ATTACHED_WORKERS_METRIC",
+    "SHM_BLOCKS_METRIC",
+    "SHM_BYTES_METRIC",
+    "SHM_PUBLISH_SECONDS_METRIC",
 ]
-
-# Metric names the sweep engine populates when a registry is attached.
-SESSIONS_COMPLETED_METRIC = "repro_sweep_sessions_completed_total"
-SESSIONS_FAILED_METRIC = "repro_sweep_sessions_failed_total"
-BATCHES_METRIC = "repro_sweep_batches_total"
-UNIT_SECONDS_METRIC = "repro_sweep_unit_seconds"
-CACHE_HITS_METRIC = "repro_sweep_artifact_cache_hits_total"
-CACHE_MISSES_METRIC = "repro_sweep_artifact_cache_misses_total"
-WORKERS_METRIC = "repro_sweep_workers"
-RETRIES_METRIC = "repro_sweep_unit_retries_total"
-SKIPPED_UNITS_METRIC = "repro_sweep_units_skipped_total"
-POOL_RESPAWNS_METRIC = "repro_sweep_pool_respawns_total"
-FAULTS_INJECTED_METRIC = "repro_sweep_faults_injected_total"
 
 #: Valid ``on_error`` policies.
 _POLICIES = ("raise", "skip", "retry")
 
-
-@dataclass(frozen=True)
-class SweepSpec:
-    """One (scheme, video, network) sweep request over a shared trace set.
-
-    ``video_key`` indexes the video mapping given to
-    :meth:`ParallelSweepRunner.run_specs`; keeping specs and assets
-    separate means a spec pickles in bytes while the assets ship once
-    per worker.
-
-    ``fault_plan`` replays this spec under injected adverse conditions;
-    when unset, the engine's own plan (if any) applies.
-    """
-
-    scheme: str
-    video_key: str
-    network: str = "lte"
-    algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None
-    estimator_factory: Optional[EstimatorFactory] = None
-    label: Optional[str] = None
-    fault_plan: Optional[FaultPlan] = None
-
-    def describe(self) -> str:
-        """Identity used in error messages (label wins over scheme)."""
-        return self.label if self.label is not None else self.scheme
-
-
-class SweepWorkerError(RuntimeError):
-    """A session failed inside a sweep; names the failing work unit.
-
-    ``args`` carries the four identification fields so the exception
-    round-trips through pickling between worker and parent process.
-    """
-
-    def __init__(self, spec_label: str, video_name: str, trace_name: str, cause: str):
-        super().__init__(spec_label, video_name, trace_name, cause)
-        self.spec_label = spec_label
-        self.video_name = video_name
-        self.trace_name = trace_name
-        self.cause = cause
-
-    def __str__(self) -> str:
-        return (
-            f"sweep unit failed: scheme={self.spec_label!r} "
-            f"video={self.video_name!r} trace={self.trace_name!r}: {self.cause}"
-        )
-
-
-@dataclass(frozen=True)
-class _Unit:
-    """One schedulable work unit: a spec over a contiguous trace batch.
-
-    ``order`` is the global submission index — the determinism key for
-    result assembly, snapshot merging, and error selection.
-    """
-
-    order: int
-    spec_idx: int
-    start: int
-    stop: int
-
-
 # ----------------------------------------------------------------------
-# Worker-side machinery
+# Back-compat aliases: the worker/scheduler split moved these out of this
+# module; the historical private names keep pointing at the same objects
+# so downstream monkeypatching and imports are unaffected.
 # ----------------------------------------------------------------------
-
-# Populated by _init_worker in every pool process (and used directly by
-# the serial fallback through _sweep_batch's explicit arguments).
-_WORKER_STATE: Dict[str, object] = {}
-
-
-def _init_worker(
-    specs: Sequence[SweepSpec],
-    config: SessionConfig,
-    telemetry: bool = False,
-    inline_assets: Optional[
-        Tuple[
-            Mapping[str, VideoAsset],
-            Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
-        ]
-    ] = None,
-    plane_manifest: Optional[PlaneManifest] = None,
-    spans: bool = False,
-) -> None:
-    """Pool initializer: pin shared assets and a fresh artifact cache.
-
-    Exactly one of ``plane_manifest`` (the zero-copy path: attach the
-    parent's shared-memory block and rebuild videos/traces as read-only
-    views) and ``inline_assets`` (the fallback: assets pickled through
-    the initializer) is set. Either way, ``traces_by_plan`` maps each
-    fault plan in play (``None`` = the unperturbed set) to its trace
-    list; perturbation happened once in the parent, so workers never
-    rebuild faulted timelines. Specs ship here once, so tasks can refer
-    to them by index.
-
-    ``spans`` turns on per-unit span tracing: each task records into a
-    fresh :class:`~repro.telemetry.spans.SpanTracer` whose snapshot
-    ships back with the unit result for the scheduler to stitch.
-    """
-    if plane_manifest is not None:
-        attach_wall0 = time.time()
-        attach_t0 = time.perf_counter()
-        videos, traces_by_plan, shm = attach_plane(plane_manifest)
-        # The views alias shm's buffer: keep the mapping alive for the
-        # worker's lifetime and close it at process exit.
-        _WORKER_STATE["shm"] = shm
-        _WORKER_STATE["shm_attach_pending"] = True
-        # No tracer exists yet (one is built per unit); the first traced
-        # unit replays this pre-measured attach into its span list.
-        _WORKER_STATE["shm_attach_info"] = (
-            attach_wall0,
-            time.perf_counter() - attach_t0,
-        )
-        atexit.register(shm.close)
-    else:
-        assert inline_assets is not None
-        videos, traces_by_plan = inline_assets
-    _WORKER_STATE["specs"] = list(specs)
-    _WORKER_STATE["videos"] = dict(videos)
-    _WORKER_STATE["traces_by_plan"] = {
-        plan: list(traces) for plan, traces in traces_by_plan.items()
-    }
-    _WORKER_STATE["config"] = config
-    _WORKER_STATE["cache"] = ArtifactCache()
-    _WORKER_STATE["telemetry"] = telemetry
-    _WORKER_STATE["spans"] = spans
-
-
-def _record_unit(
-    registry: MetricsRegistry,
-    completed: int,
-    failed: int,
-    elapsed_s: float,
-    hits_delta: int,
-    misses_delta: int,
-) -> None:
-    """Fold one work unit's outcome into a registry."""
-    registry.counter(
-        SESSIONS_COMPLETED_METRIC, "sessions that ran to completion"
-    ).inc(completed)
-    if failed:
-        registry.counter(
-            SESSIONS_FAILED_METRIC, "sessions aborted by an exception"
-        ).inc(failed)
-    registry.counter(BATCHES_METRIC, "sweep work units executed").inc()
-    registry.histogram(
-        UNIT_SECONDS_METRIC, "wall time per sweep work unit (seconds)"
-    ).observe(elapsed_s)
-    registry.counter(CACHE_HITS_METRIC, "artifact-cache hits").inc(hits_delta)
-    registry.counter(CACHE_MISSES_METRIC, "artifact-cache misses").inc(misses_delta)
-
-
-def _sweep_batch(
-    spec: SweepSpec,
-    video: VideoAsset,
-    batch: Sequence[NetworkTrace],
-    config: SessionConfig,
-    cache: ArtifactCache,
-    registry: Optional[MetricsRegistry] = None,
-    tracer: Optional[SpanTracer] = None,
-) -> List[SessionMetrics]:
-    """Run one spec over a contiguous trace batch; identify any failure.
-
-    ``registry`` (optional) receives the unit's telemetry: sessions
-    completed/failed, wall time, and the artifact-cache hit/miss delta —
-    recorded even when the unit fails, so partial progress is counted.
-    ``tracer`` (optional) records the unit's span hierarchy: the batch
-    engine's run plus its aggregate estimate/decide/advance stage costs,
-    or one span per scalar session on the fallback path. Results are
-    identical with or without either.
-
-    Batchable multi-trace units run on the lockstep batch engine
-    (:mod:`repro.experiments.batch`) — bit-identical results, one
-    vectorized pass instead of a per-trace loop. Any configuration the
-    capability probe rejects, a decider declines, or the engine fails
-    on falls back silently to the scalar loop below.
-    """
-    out: List[SessionMetrics] = []
-    start_s = time.perf_counter()
-    stats_before = cache.stats
-    if len(batch) >= 2 and batch_capability(
-        spec.scheme,
-        network=spec.network,
-        algorithm_factory=spec.algorithm_factory,
-        estimator_factory=spec.estimator_factory,
-        fault_plan=spec.fault_plan,
-    ):
-        stage_timer = StageTimer() if tracer is not None else None
-        try:
-            with maybe_span(
-                tracer,
-                SPAN_UNIT_BATCH,
-                cat="unit",
-                scheme=spec.describe(),
-                lanes=len(batch),
-            ):
-                batched = run_batch_metrics(
-                    spec.scheme,
-                    video,
-                    batch,
-                    spec.network,
-                    config,
-                    cache,
-                    spec.algorithm_factory,
-                    stage_timer=stage_timer,
-                )
-                if tracer is not None and batched is not None:
-                    # Aggregate stage spans nest under the open
-                    # unit.batch span (one span per stage, not per step).
-                    tracer.record_stages(stage_timer, scheme=spec.describe())
-        except Exception:  # noqa: BLE001 - scalar loop is the oracle
-            batched = None
-        if batched is not None:
-            if registry is not None:
-                stats_after = cache.stats
-                _record_unit(
-                    registry,
-                    completed=len(batched),
-                    failed=0,
-                    elapsed_s=time.perf_counter() - start_s,
-                    hits_delta=stats_after.hits - stats_before.hits,
-                    misses_delta=stats_after.misses - stats_before.misses,
-                )
-            return batched
-    for trace in batch:
-        try:
-            with maybe_span(
-                tracer, SPAN_SESSION_SCALAR, cat="session", trace=trace.name
-            ):
-                out.append(
-                    run_one_session(
-                        spec.scheme,
-                        video,
-                        trace,
-                        spec.network,
-                        config,
-                        spec.estimator_factory,
-                        spec.algorithm_factory,
-                        cache,
-                        fault_plan=spec.fault_plan,
-                    )
-                )
-        except Exception as exc:
-            if registry is not None:
-                stats_after = cache.stats
-                _record_unit(
-                    registry,
-                    completed=len(out),
-                    failed=1,
-                    elapsed_s=time.perf_counter() - start_s,
-                    hits_delta=stats_after.hits - stats_before.hits,
-                    misses_delta=stats_after.misses - stats_before.misses,
-                )
-            raise SweepWorkerError(
-                spec.describe(), video.name, trace.name,
-                f"{type(exc).__name__}: {exc}",
-            ) from exc
-    if registry is not None:
-        stats_after = cache.stats
-        _record_unit(
-            registry,
-            completed=len(out),
-            failed=0,
-            elapsed_s=time.perf_counter() - start_s,
-            hits_delta=stats_after.hits - stats_before.hits,
-            misses_delta=stats_after.misses - stats_before.misses,
-        )
-    return out
-
-
-def _run_batch_in_worker(spec_idx: int, start: int, stop: int):
-    """Task entry point executed inside a pool worker.
-
-    The whole per-task payload is three integers — the spec reference
-    and the batch bounds; specs and assets were pinned by
-    :func:`_init_worker` (shared-memory views on the zero-copy path).
-    Returns ``(metrics, snapshot, error, spans)``. A session failure
-    comes back as an ``error`` *value* (a :class:`SweepWorkerError`),
-    never an exception, so the unit's telemetry ``snapshot`` — covering
-    the sessions that completed before the failure, and the failure
-    itself — always reaches the parent. ``snapshot`` is a per-unit
-    :meth:`MetricsRegistry.snapshot` when sweep telemetry is on, else
-    None; per-unit (not per-worker) registries keep the parent's merge
-    simple and double-count-proof. ``spans`` is likewise a per-unit
-    :meth:`SpanTracer.snapshot` (span tracing on) or None — and it too
-    survives a failed unit: the unit span closes with an ``error``
-    annotation and ships back with the :class:`SweepWorkerError`.
-    """
-    spec: SweepSpec = _WORKER_STATE["specs"][spec_idx]  # type: ignore[index]
-    videos: Mapping[str, VideoAsset] = _WORKER_STATE["videos"]  # type: ignore[assignment]
-    traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]] = (
-        _WORKER_STATE["traces_by_plan"]  # type: ignore[assignment]
-    )
-    config: SessionConfig = _WORKER_STATE["config"]  # type: ignore[assignment]
-    cache: ArtifactCache = _WORKER_STATE["cache"]  # type: ignore[assignment]
-    registry = MetricsRegistry() if _WORKER_STATE.get("telemetry") else None
-    if registry is not None and _WORKER_STATE.pop("shm_attach_pending", False):
-        # Exactly once per worker: its first telemetered unit reports
-        # the shared-memory attach that happened in the initializer.
-        registry.counter(
-            SHM_ATTACHED_WORKERS_METRIC, "workers attached to the shm data plane"
-        ).inc()
-    tracer = (
-        SpanTracer(f"worker-{os.getpid()}") if _WORKER_STATE.get("spans") else None
-    )
-    if tracer is not None:
-        attach_info = _WORKER_STATE.pop("shm_attach_info", None)
-        if attach_info is not None:
-            # Exactly once per worker: replay the initializer's
-            # pre-measured shm attach into the first traced unit.
-            tracer.record(
-                SPAN_SHM_ATTACH, attach_info[0], attach_info[1], cat="worker"
-            )
-    traces = traces_by_plan[spec.fault_plan]
-    try:
-        with maybe_span(
-            tracer,
-            SPAN_UNIT_RUN,
-            cat="unit",
-            scheme=spec.describe(),
-            video=spec.video_key,
-            start=start,
-            stop=stop,
-        ):
-            metrics = _sweep_batch(
-                spec,
-                videos[spec.video_key],
-                traces[start:stop],
-                config,
-                cache,
-                registry,
-                tracer,
-            )
-    except SweepWorkerError as exc:
-        return (
-            None,
-            (registry.snapshot() if registry is not None else None),
-            exc,
-            (tracer.snapshot() if tracer is not None else None),
-        )
-    return (
-        metrics,
-        (registry.snapshot() if registry is not None else None),
-        None,
-        (tracer.snapshot() if tracer is not None else None),
-    )
-
-
-# ----------------------------------------------------------------------
-# Batch sizing and store partitioning helpers
-# ----------------------------------------------------------------------
-
-#: Rough per-session cost relative to a CAVA session (~3 ms on the PR-4
-#: hot path), from the BENCH_hotpath measurements. Only batch *sizing*
-#: reads these — results are bit-identical however the grid is batched —
-#: so coarse numbers are fine; unknown schemes default to 1.
-_SCHEME_COSTS: Dict[str, float] = {
-    "MPC": 8.0,
-    "RobustMPC": 8.0,
-    "PANDA/CQ max-sum": 4.0,
-    "PANDA/CQ max-min": 4.0,
-    "CAVA-oboe": 2.0,
-    "DYNAMIC": 2.0,
-}
-
-#: Amortized per-session cost when the unit runs on the lockstep batch
-#: engine, in scalar-CAVA equivalents (BENCH_hotpath ``session_batch``
-#: and ``sweep_batch`` measurements). Batched sessions are several times
-#: cheaper than their scalar counterparts; sizing units with the
-#: *scalar* numbers would cut batchable specs into a few traces each and
-#: squander the engine's vectorization width.
-_BATCH_SCHEME_COSTS: Dict[str, float] = {
-    "MPC": 2.2,
-    "RobustMPC": 2.2,
-    "PANDA/CQ max-sum": 5.0,
-    "PANDA/CQ max-min": 0.6,
-}
-
-#: Default amortized cost of a batchable scheme (CAVA/RBA families) and
-#: of a batchable tuned factory (grid-search CAVA variants).
-_BATCH_DEFAULT_COST = 0.15
-
-#: Target estimated cost per work unit, in CAVA-session equivalents:
-#: large enough that task dispatch overhead stays a rounding error,
-#: small enough that a pool of a few workers still load-balances.
-_TARGET_BATCH_COST = 24.0
-
-
-def _session_cost(spec: SweepSpec) -> float:
-    """Estimated per-session cost of one spec, in CAVA equivalents.
-
-    Specs the batch-capability probe accepts are costed with the
-    amortized lockstep numbers — only sizing reads these, so a spec
-    whose decider later declines merely runs in larger-than-ideal
-    scalar units.
-    """
-    batchable = batch_capability(
-        spec.scheme,
-        network=spec.network,
-        algorithm_factory=spec.algorithm_factory,
-        estimator_factory=spec.estimator_factory,
-        fault_plan=spec.fault_plan,
-    )
-    if spec.algorithm_factory is not None:
-        # Tuned factories (grid search) build CAVA variants; treat any
-        # unknown factory as baseline cost.
-        return _BATCH_DEFAULT_COST if batchable else 1.0
-    try:
-        name = resolve_scheme_name(spec.scheme)
-    except Exception:
-        name = spec.scheme
-    if batchable:
-        return _BATCH_SCHEME_COSTS.get(name, _BATCH_DEFAULT_COST)
-    return _SCHEME_COSTS.get(name, 1.0)
-
-
-def _contiguous_runs(indices: Sequence[int]) -> List[Tuple[int, int]]:
-    """Group sorted trace indices into maximal [start, stop) runs."""
-    runs: List[Tuple[int, int]] = []
-    start: Optional[int] = None
-    prev = -2
-    for index in indices:
-        if start is None:
-            start = index
-        elif index != prev + 1:
-            runs.append((start, prev + 1))
-            start = index
-        prev = index
-    if start is not None:
-        runs.append((start, prev + 1))
-    return runs
+_Unit = WorkUnit
+_WORKER_STATE = WORKER_STATE
+_init_worker = init_worker
+_record_unit = record_unit
+_sweep_batch = sweep_batch
+_run_batch_in_worker = run_batch_in_worker
+_contiguous_runs = contiguous_runs
+_session_cost = session_cost
+_SCHEME_COSTS = SCHEME_COSTS
+_BATCH_SCHEME_COSTS = BATCH_SCHEME_COSTS
+_BATCH_DEFAULT_COST = BATCH_DEFAULT_COST
+_TARGET_BATCH_COST = TARGET_BATCH_COST
 
 
 # ----------------------------------------------------------------------
@@ -622,13 +238,13 @@ def _contiguous_runs(indices: Sequence[int]) -> List[Tuple[int, int]]:
 
 
 class ParallelSweepRunner:
-    """Fan (scheme, video, trace-batch) work units out over a process pool.
+    """Fan (scheme, video, trace-batch) work units out over an executor.
 
     Parameters
     ----------
     n_workers:
         Pool size. ``None`` uses every core (``os.cpu_count()``); ``1``
-        forces the in-process serial path.
+        forces the in-process serial path (pool executor only).
     batch_size:
         Traces per work unit. Defaults to splitting each spec's trace
         set into about four batches per worker, balancing scheduling
@@ -640,6 +256,8 @@ class ParallelSweepRunner:
     min_parallel_sessions:
         Grids with fewer total sessions than this run serially — pool
         startup would dominate. Set to 0 to force pool execution.
+        (Applies to the pool executor; the asyncio and multihost
+        backends run whenever sessions are pending.)
     registry:
         Optional :class:`~repro.telemetry.metrics.MetricsRegistry` the
         sweep populates: sessions completed/failed, per-unit wall time,
@@ -656,7 +274,8 @@ class ParallelSweepRunner:
         recording each as a :class:`~repro.experiments.runner.FailedUnit`
         on its spec's result; ``"retry"`` re-runs a failed unit up to
         ``max_retries`` times (bit-identical on success — sessions are
-        fully seeded), then skips it.
+        fully seeded), then skips it. The multihost executor accepts
+        ``"raise"`` only.
     max_retries:
         Retry budget per work unit under ``on_error="retry"``.
     fault_plan:
@@ -669,7 +288,8 @@ class ParallelSweepRunner:
         sessions before any work ships, replays only the misses, writes
         their results back, and merges bit-identically with the all-cold
         path. Specs whose factories have no stable content identity
-        (lambdas/closures) simply bypass the store.
+        (lambdas/closures) simply bypass the store. Required by the
+        multihost executor (it is the coordination medium).
     use_shared_memory:
         Publish sweep assets through the shared-memory data plane for
         pool runs (default). Disable to force inline initializer
@@ -678,7 +298,8 @@ class ParallelSweepRunner:
     tracer:
         Optional :class:`~repro.telemetry.spans.SpanTracer` the sweep
         records its run timeline into: scheduler phases (plan, store
-        partition, shm publish, pool spawn, drain, merge) on the
+        partition, shm publish, pool spawn, drain, merge — plus lease
+        claim/reclaim and store merge on the multihost backend) on the
         scheduler's own track, plus every worker's per-unit spans —
         recorded worker-side, shipped back with unit results, and
         stitched here keyed by (worker track, unit order, stage).
@@ -690,6 +311,24 @@ class ParallelSweepRunner:
         Optional :class:`~repro.telemetry.pipeline.ProgressBoard` the
         engine feeds live progress (units done/failed, sessions
         completed/cached, per-scheme breakdown) for ``repro top``.
+    executor:
+        Which backend runs the planned units: ``"pool"`` (default, the
+        local process pool), ``"asyncio"`` (single-host compute/store
+        overlap), ``"multihost"`` (store-leasing cooperation across
+        machines), or an :class:`~repro.experiments.executors.
+        ExecutorBackend` instance. All backends return bit-identical
+        results.
+    sweep_id:
+        Explicit sweep identity for multihost coordination. ``None``
+        (default) derives it from the grid's store keys
+        (:func:`~repro.experiments.scheduler.sweep_grid_id`); the CLI
+        passes the recipe digest instead so initiator and joining
+        ``repro sweep-worker`` processes agree by construction.
+    lease_ttl_s:
+        Multihost lease time-to-live. A lease not heartbeated for this
+        long is considered abandoned (dead host) and reclaimed.
+    lease_poll_s:
+        Multihost poll interval while waiting on peers' leases.
     """
 
     def __init__(
@@ -706,6 +345,10 @@ class ParallelSweepRunner:
         use_shared_memory: bool = True,
         tracer: Optional[SpanTracer] = None,
         progress: Optional[ProgressBoard] = None,
+        executor: Union[str, ExecutorBackend] = "pool",
+        sweep_id: Optional[str] = None,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        lease_poll_s: float = 0.5,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1 or None, got {n_workers}")
@@ -719,6 +362,11 @@ class ParallelSweepRunner:
             )
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if lease_ttl_s <= 0:
+            raise ValueError(f"lease_ttl_s must be positive, got {lease_ttl_s}")
+        if lease_poll_s <= 0:
+            raise ValueError(f"lease_poll_s must be positive, got {lease_poll_s}")
+        resolve_executor(executor)  # validate the name eagerly
         self.n_workers = n_workers
         self.batch_size = batch_size
         self.mp_context = mp_context
@@ -731,6 +379,22 @@ class ParallelSweepRunner:
         self.use_shared_memory = use_shared_memory
         self.tracer = tracer
         self.progress = progress
+        self.executor = executor
+        self.sweep_id = sweep_id
+        self.lease_ttl_s = lease_ttl_s
+        self.lease_poll_s = lease_poll_s
+
+    # -- planning surface ----------------------------------------------
+
+    @property
+    def scheduler(self) -> SweepScheduler:
+        """A scheduler bound to this engine's current store/telemetry."""
+        return SweepScheduler(
+            store=self.store,
+            batch_size=self.batch_size,
+            count=self._count,
+            timed=self._timed,
+        )
 
     # -- sizing ---------------------------------------------------------
 
@@ -752,20 +416,10 @@ class ParallelSweepRunner:
     ) -> List[Tuple[int, int]]:
         """Contiguous [start, stop) trace batches for one spec.
 
-        Adaptive sizing: aim for :data:`_TARGET_BATCH_COST` estimated
-        cost units per batch (so cheap sessions amortize dispatch
-        overhead), capped at ``ceil(num_traces / workers)`` (so the pool
-        always has at least ~one batch per worker to balance).
+        Delegates to :func:`repro.experiments.scheduler.batch_bounds`
+        with this engine's ``batch_size`` override.
         """
-        if self.batch_size is not None:
-            size = self.batch_size
-        else:
-            amortized = max(
-                1, int(round(_TARGET_BATCH_COST / max(cost_per_session, 1e-9)))
-            )
-            per_worker = max(1, -(-num_traces // workers))
-            size = min(amortized, per_worker)
-        return [(start, min(start + size, num_traces)) for start in range(0, num_traces, size)]
+        return batch_bounds(num_traces, workers, cost_per_session, self.batch_size)
 
     # -- fault-plan materialization ------------------------------------
 
@@ -834,6 +488,7 @@ class ParallelSweepRunner:
                     f"spec {spec.describe()!r} references unknown video "
                     f"{spec.video_key!r}; known: {sorted(videos)}"
                 )
+        backend = resolve_executor(self.executor)
         tracer = self.tracer
         with maybe_span(
             tracer, SPAN_SWEEP_PLAN, cat="sched", specs=len(specs), traces=len(traces)
@@ -846,7 +501,7 @@ class ParallelSweepRunner:
         )
         try:
             with maybe_span(tracer, SPAN_STORE_PARTITION, cat="sched") as part_span:
-                cached, keys, runs = self._partition_specs(
+                cached, keys, runs = self.scheduler.partition(
                     specs, videos, traces_by_plan, config
                 )
                 part_span.annotate(
@@ -857,17 +512,32 @@ class ParallelSweepRunner:
             pending_sessions = sum(
                 stop - start for spec_runs in runs for start, stop in spec_runs
             )
-            if (
-                workers == 1
-                or pending_sessions == 0
-                or pending_sessions < self.min_parallel_sessions
+            # Fully-cached grids merge in-process on every backend; the
+            # pool backend additionally falls back to serial when the
+            # pool could not pay for itself. The asyncio and multihost
+            # backends run whenever anything is pending (overlap and
+            # cross-host cooperation are useful at any size).
+            if pending_sessions == 0 or (
+                backend.name == "pool"
+                and (
+                    workers == 1
+                    or pending_sessions < self.min_parallel_sessions
+                )
             ):
                 return self._run_serial(
                     specs, videos, traces_by_plan, config, cached, keys, runs
                 )
-            return self._run_pool(
-                specs, videos, traces_by_plan, config, workers, cached, keys, runs
+            ctx = PlanContext(
+                specs=specs,
+                videos=videos,
+                traces_by_plan=traces_by_plan,
+                config=config,
+                workers=workers,
+                cached=cached,
+                keys=keys,
+                runs=runs,
             )
+            return backend.execute(self, ctx)
         finally:
             if store_before is not None:
                 self._fold_store_stats(store_before)
@@ -878,55 +548,9 @@ class ParallelSweepRunner:
         videos: Mapping[str, VideoAsset],
         traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
         config: SessionConfig,
-    ) -> Tuple[
-        List[Dict[int, SessionMetrics]],
-        List[Optional[List[str]]],
-        List[List[Tuple[int, int]]],
-    ]:
-        """Split every spec's trace set into cached hits and missing runs.
-
-        Returns, aligned with ``specs``: per-spec ``{trace_idx:
-        cached metrics}``, per-spec store keys (None when the spec is
-        uncacheable or there is no store), and per-spec contiguous
-        [start, stop) runs of *missing* trace indices. Without a store
-        every spec has one run covering its whole trace set, which is
-        exactly the historical behaviour.
-        """
-        cached: List[Dict[int, SessionMetrics]] = [dict() for _ in specs]
-        keys: List[Optional[List[str]]] = [None for _ in specs]
-        runs: List[List[Tuple[int, int]]] = []
-        for spec_idx, spec in enumerate(specs):
-            plan_traces = traces_by_plan[spec.fault_plan]
-            if self.store is None:
-                runs.append([(0, len(plan_traces))])
-                continue
-            video = videos[spec.video_key]
-            try:
-                spec_keys = [
-                    self.store.key_for(spec, video, trace, config)
-                    for trace in plan_traces
-                ]
-            except UncacheableValueError:
-                self._count(
-                    STORE_UNCACHEABLE_METRIC,
-                    "specs bypassing the session store (no stable digest)",
-                )
-                runs.append([(0, len(plan_traces))])
-                continue
-            keys[spec_idx] = spec_keys
-            missing: List[int] = []
-            with self._timed(
-                STORE_LOOKUP_SECONDS_METRIC,
-                "session-store lookup scan per spec (seconds)",
-            ):
-                for trace_idx, key in enumerate(spec_keys):
-                    metrics = self.store.get(key)
-                    if metrics is None:
-                        missing.append(trace_idx)
-                    else:
-                        cached[spec_idx][trace_idx] = metrics
-            runs.append(_contiguous_runs(missing))
-        return cached, keys, runs
+    ):
+        """Historical name for :meth:`SweepScheduler.partition`."""
+        return self.scheduler.partition(specs, videos, traces_by_plan, config)
 
     def _store_unit(
         self,
@@ -937,6 +561,8 @@ class ParallelSweepRunner:
         """Write one completed unit's sessions back to the store."""
         if self.store is None or keys is None:
             return
+        from repro.telemetry.metrics import STORE_WRITE_SECONDS_METRIC
+
         with self._timed(
             STORE_WRITE_SECONDS_METRIC,
             "session-store write-back per unit (seconds)",
@@ -1075,7 +701,7 @@ class ParallelSweepRunner:
                             start=rstart,
                             stop=rstop,
                         ):
-                            run_metrics = _sweep_batch(
+                            run_metrics = sweep_batch(
                                 spec,
                                 video,
                                 traces[rstart:rstop],
@@ -1154,300 +780,6 @@ class ParallelSweepRunner:
             info["stages"] = breakdown.get(label, {})
         self.progress.update(force=True, phase="merged", schemes=schemes)
 
-    def _run_pool(
-        self,
-        specs: Sequence[SweepSpec],
-        videos: Mapping[str, VideoAsset],
-        traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
-        config: SessionConfig,
-        workers: int,
-        cached: Sequence[Dict[int, SessionMetrics]],
-        keys: Sequence[Optional[List[str]]],
-        runs: Sequence[List[Tuple[int, int]]],
-    ) -> List[SweepResult]:
-        units: List[_Unit] = []
-        for spec_idx, spec in enumerate(specs):
-            cost = _session_cost(spec)
-            for rstart, rstop in runs[spec_idx]:
-                for start, stop in self._batch_bounds(rstop - rstart, workers, cost):
-                    units.append(
-                        _Unit(len(units), spec_idx, rstart + start, rstart + stop)
-                    )
-        # Never spin up more workers than there are tasks.
-        workers = min(workers, len(units))
-        registry = self.registry
-        tracer = self.tracer
-        if registry is not None:
-            registry.gauge(WORKERS_METRIC, "sweep worker processes").set(workers)
-        mp_context = self._resolve_context()
-
-        # Publish the zero-copy data plane; fall back to pickling the
-        # assets through the initializer when shared memory is
-        # unavailable (results are identical either way).
-        plane: Optional[SharedDataPlane] = None
-        if self.use_shared_memory:
-            try:
-                with maybe_span(tracer, SPAN_SHM_PUBLISH, cat="sched") as shm_span:
-                    with self._timed(
-                        SHM_PUBLISH_SECONDS_METRIC,
-                        "shm data-plane publish (seconds)",
-                    ):
-                        plane = SharedDataPlane.publish(videos, traces_by_plan)
-                    shm_span.annotate(nbytes=plane.nbytes)
-            except OSError:
-                plane = None
-        if plane is not None:
-            initargs = (
-                list(specs),
-                config,
-                registry is not None,
-                None,
-                plane.manifest,
-                tracer is not None,
-            )
-            if registry is not None:
-                registry.gauge(
-                    SHM_BLOCKS_METRIC, "shared-memory blocks published for the sweep"
-                ).set(1)
-                registry.gauge(
-                    SHM_BYTES_METRIC, "bytes published through the shm data plane"
-                ).set(plane.nbytes)
-        else:
-            inline_assets = (
-                dict(videos),
-                {plan: list(batch) for plan, batch in traces_by_plan.items()},
-            )
-            initargs = (
-                list(specs),
-                config,
-                registry is not None,
-                inline_assets,
-                None,
-                tracer is not None,
-            )
-
-        parts: List[Dict[int, List[SessionMetrics]]] = [
-            {idx: [metric] for idx, metric in spec_cached.items()}
-            for spec_cached in cached
-        ]
-        failures: List[List[FailedUnit]] = [[] for _ in specs]
-        attempts: Dict[int, int] = {unit.order: 0 for unit in units}
-        # (unit order, attempt, snapshot): merged after the pool drains,
-        # sorted by key, so telemetry is deterministic regardless of
-        # completion order.
-        snapshots: List[Tuple[int, int, Mapping[str, dict]]] = []
-        # (unit order, attempt, span snapshot): stitched after the pool
-        # drains in the same deterministic order.
-        worker_spans: List[Tuple[int, int, List[Dict[str, object]]]] = []
-        # (unit order, error) under on_error="raise": the earliest-
-        # submitted failure is re-raised after an orderly drain.
-        fatal: List[Tuple[int, SweepWorkerError]] = []
-        respawned = False
-        done_units = failed_units = completed_sessions = 0
-        self._progress_update(
-            force=True,
-            phase="running",
-            workers=workers,
-            total_units=len(units),
-            done_units=0,
-            failed_units=0,
-            total_sessions=sum(
-                len(traces_by_plan[spec.fault_plan]) for spec in specs
-            ),
-            completed_sessions=0,
-            cached_sessions=sum(len(spec_cached) for spec_cached in cached),
-        )
-
-        def make_pool() -> ProcessPoolExecutor:
-            with maybe_span(tracer, SPAN_POOL_SPAWN, cat="sched", workers=workers):
-                return ProcessPoolExecutor(
-                    max_workers=workers,
-                    mp_context=mp_context,
-                    initializer=_init_worker,
-                    initargs=initargs,
-                )
-
-        def submit(unit: _Unit, count_attempt: bool = True) -> None:
-            if count_attempt:
-                attempts[unit.order] += 1
-            future = pool.submit(
-                _run_batch_in_worker, unit.spec_idx, unit.start, unit.stop
-            )
-            futures[future] = unit
-
-        def consume(future: Future, unit: _Unit) -> Optional[str]:
-            """Fold one settled future into the result state.
-
-            Returns ``"retry"`` / ``"requeue"`` when the unit must run
-            again (policy retry / broken pool), else None.
-            """
-            nonlocal done_units, failed_units, completed_sessions
-            exc = future.exception()
-            if isinstance(exc, BrokenProcessPool):
-                # The pool died under this unit — not the unit's own
-                # failure, so its attempt count is not charged.
-                return "requeue"
-            if exc is not None:
-                # The task raised outside the worker's catch (pickling,
-                # initializer crash, OOM): identify the batch by range.
-                error = (
-                    exc
-                    if isinstance(exc, SweepWorkerError)
-                    else SweepWorkerError(
-                        specs[unit.spec_idx].describe(),
-                        videos[specs[unit.spec_idx].video_key].name,
-                        f"traces[{unit.start}:{unit.stop}]",
-                        f"{type(exc).__name__}: {exc}",
-                    )
-                )
-                metrics = snapshot = unit_spans = None
-            else:
-                metrics, snapshot, error, unit_spans = future.result()
-            if snapshot is not None:
-                snapshots.append((unit.order, attempts[unit.order], snapshot))
-            if unit_spans is not None:
-                worker_spans.append((unit.order, attempts[unit.order], unit_spans))
-            if error is None:
-                parts[unit.spec_idx][unit.start] = metrics
-                self._store_unit(keys[unit.spec_idx], unit.start, metrics)
-                done_units += 1
-                completed_sessions += len(metrics)
-                self._progress_update(
-                    done_units=done_units,
-                    completed_sessions=completed_sessions,
-                )
-                return None
-            if self.on_error == "raise":
-                fatal.append((unit.order, error))
-                return None
-            if self._should_retry(attempts[unit.order]):
-                return "retry"
-            spec = specs[unit.spec_idx]
-            failures[unit.spec_idx].append(
-                self._failed_unit(
-                    spec,
-                    videos[spec.video_key].name,
-                    unit.start,
-                    unit.stop,
-                    attempts[unit.order],
-                    error,
-                )
-            )
-            failed_units += 1
-            self._progress_update(failed_units=failed_units)
-            return None
-
-        pool = make_pool()
-        futures: Dict[Future, _Unit] = {}
-        # Entered/exited manually so the drain span brackets exactly the
-        # submit/consume event loop, whatever path exits the try below.
-        drain_span = maybe_span(
-            tracer, SPAN_SWEEP_DRAIN, cat="sched", units=len(units)
-        )
-        drain_span.__enter__()
-        try:
-            for unit in units:
-                submit(unit)
-            while futures and not fatal:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                broken = False
-                rerun: List[Tuple[_Unit, bool]] = []  # (unit, count_attempt)
-                for future in sorted(done, key=lambda f: futures[f].order):
-                    unit = futures.pop(future)
-                    verdict = consume(future, unit)
-                    if verdict == "requeue":
-                        broken = True
-                        rerun.append((unit, False))
-                    elif verdict == "retry":
-                        rerun.append((unit, True))
-                if broken:
-                    # A broken pool settles every remaining future with
-                    # BrokenProcessPool (completed ones keep their
-                    # results); drain them all, then respawn once.
-                    for future in sorted(futures, key=lambda f: futures[f].order):
-                        unit = futures[future]
-                        verdict = consume(future, unit)
-                        if verdict is not None:
-                            rerun.append((unit, verdict == "retry"))
-                    futures.clear()
-                    pool.shutdown(wait=False)
-                    if fatal:
-                        break
-                    if respawned:
-                        raise BrokenProcessPool(
-                            "sweep pool broke twice; aborting after one respawn"
-                        )
-                    respawned = True
-                    self._count(
-                        POOL_RESPAWNS_METRIC,
-                        "process-pool respawns after a pool break",
-                    )
-                    pool = make_pool()
-                rerun.sort(key=lambda item: item[0].order)
-                for unit, count_attempt in rerun:
-                    submit(unit, count_attempt=count_attempt)
-            if fatal:
-                # Orderly abort: stop scheduling, let in-flight units
-                # finish, and keep their telemetry before re-raising.
-                for future in futures:
-                    future.cancel()
-                wait(list(futures))
-                for future in sorted(futures, key=lambda f: futures[f].order):
-                    unit = futures[future]
-                    if future.cancelled() or future.exception() is not None:
-                        continue
-                    _metrics, snapshot, _error, unit_spans = future.result()
-                    if snapshot is not None:
-                        snapshots.append((unit.order, attempts[unit.order], snapshot))
-                    if unit_spans is not None:
-                        worker_spans.append(
-                            (unit.order, attempts[unit.order], unit_spans)
-                        )
-                futures.clear()
-        finally:
-            drain_span.__exit__(None, None, None)
-            pool.shutdown(wait=False)
-            if plane is not None:
-                plane.close_and_unlink()
-
-        if registry is not None or tracer is not None:
-            with maybe_span(tracer, SPAN_SWEEP_MERGE, cat="sched"):
-                if registry is not None:
-                    for _order, _attempt, snapshot in sorted(
-                        snapshots, key=lambda item: (item[0], item[1])
-                    ):
-                        registry.merge(snapshot)
-                if tracer is not None:
-                    # Stitch worker span snapshots in submission order —
-                    # the timeline is deterministic no matter which
-                    # worker finished first. Each span keeps its own
-                    # worker track; the unit/attempt tags key the
-                    # (worker, unit, stage) view.
-                    for order, attempt, unit_spans in sorted(
-                        worker_spans, key=lambda item: (item[0], item[1])
-                    ):
-                        tracer.absorb(unit_spans, unit=order, attempt=attempt)
-        if fatal:
-            fatal.sort(key=lambda item: item[0])
-            raise fatal[0][1]
-
-        results = []
-        for spec, chunks, spec_failures in zip(specs, parts, failures):
-            video = videos[spec.video_key]
-            metrics = [m for start in sorted(chunks) for m in chunks[start]]
-            spec_failures.sort(key=lambda failed: failed.start)
-            results.append(
-                SweepResult(
-                    scheme=spec.scheme,
-                    video_name=video.name,
-                    network=spec.network,
-                    metrics=metrics,
-                    failures=spec_failures,
-                )
-            )
-        self._finish_progress(specs, results)
-        return results
-
     # -- convenience entry points --------------------------------------
 
     def run_scheme(
@@ -1458,7 +790,7 @@ class ParallelSweepRunner:
         network: str = "lte",
         config: SessionConfig = SessionConfig(),
         estimator_factory: Optional[EstimatorFactory] = None,
-        algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None,
+        algorithm_factory=None,
     ) -> SweepResult:
         """Parallel counterpart of :func:`run_scheme_on_traces`."""
         spec = SweepSpec(
@@ -1525,6 +857,7 @@ def run_comparison_parallel(
     store: Optional[SessionStore] = None,
     tracer: Optional[SpanTracer] = None,
     progress: Optional[ProgressBoard] = None,
+    executor: Union[str, ExecutorBackend] = "pool",
 ) -> Dict[str, SweepResult]:
     """One-call parallel comparison (``n_workers=None`` = all cores)."""
     engine = ParallelSweepRunner(
@@ -1536,5 +869,6 @@ def run_comparison_parallel(
         store=store,
         tracer=tracer,
         progress=progress,
+        executor=executor,
     )
     return engine.run_comparison(schemes, video, traces, network, config)

@@ -202,11 +202,12 @@ def run_scheme_on_traces(
         raise ValueError("need at least one trace")
     if cache is None:
         cache = ArtifactCache()
-    if len(traces) >= 2 and batch_capability(
+    if batch_capability(
         scheme,
         network=network,
         algorithm_factory=algorithm_factory,
         estimator_factory=estimator_factory,
+        num_traces=len(traces),
     ):
         batched = run_batch_metrics(
             scheme, video, traces, network, config, cache, algorithm_factory
@@ -242,6 +243,7 @@ def run_comparison(
     store: Optional[SessionStore] = None,
     tracer: Optional[SpanTracer] = None,
     progress: Optional[ProgressBoard] = None,
+    executor: str = "pool",
 ) -> Dict[str, SweepResult]:
     """Run several schemes under identical conditions (same traces).
 
@@ -260,8 +262,11 @@ def run_comparison(
     (a :class:`~repro.telemetry.spans.SpanTracer`) records the stitched
     sweep span timeline for Chrome-trace export, and ``progress`` (a
     :class:`~repro.telemetry.pipeline.ProgressBoard`) streams live
-    progress for ``repro top``. Any non-default value routes through
-    the engine so serial and pooled runs behave identically.
+    progress for ``repro top``. ``executor`` selects the backend that
+    runs the planned units (``"pool"``, ``"asyncio"``, ``"multihost"``
+    — see :mod:`repro.experiments.executors`); all backends return
+    bit-identical results. Any non-default value routes through the
+    engine so serial and pooled runs behave identically.
     """
     if (
         n_workers != 1
@@ -271,6 +276,7 @@ def run_comparison(
         or store is not None
         or tracer is not None
         or progress is not None
+        or executor != "pool"
     ):
         from repro.experiments.parallel import ParallelSweepRunner
 
@@ -283,6 +289,7 @@ def run_comparison(
             store=store,
             tracer=tracer,
             progress=progress,
+            executor=executor,
         )
         return engine.run_comparison(schemes, video, traces, network, config)
     cache = ArtifactCache()

@@ -1,0 +1,472 @@
+"""Backend-agnostic sweep scheduler: grid vocabulary and planning logic.
+
+The distributed sweep fabric splits the old monolithic
+``ParallelSweepRunner`` into two halves:
+
+- this module — the **scheduler**: the grid vocabulary
+  (:class:`SweepSpec`, :class:`WorkUnit`, :class:`SweepWorkerError`),
+  cache-hit planning against the content-addressed
+  :class:`~repro.experiments.store.SessionStore`, cost-aware batch
+  sizing, contiguous-run partitioning, deterministic result assembly,
+  and the sweep-identity digest that lets independent processes agree
+  on one work breakdown; and
+- :mod:`repro.experiments.executors` — pluggable **executor backends**
+  (in-process pool, asyncio overlap, multi-host store-leasing) that run
+  the planned units and report outcomes back.
+
+Everything here is pure planning logic: no pools, no leases, no
+telemetry dependencies beyond optional callback hooks. Determinism is
+the load-bearing property — two processes given the same grid derive
+the same units in the same order, which is what makes multi-host
+leasing (:mod:`repro.experiments.leases`) coordination-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    ContextManager,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from contextlib import nullcontext
+
+from repro.abr.base import ABRAlgorithm
+from repro.abr.registry import resolve_scheme_name
+from repro.experiments.batch import batch_capability
+from repro.experiments.runner import (
+    EstimatorFactory,
+    FailedUnit,
+    SweepResult,
+)
+from repro.experiments.store import SessionStore, UncacheableValueError
+from repro.faults.plan import FaultPlan
+from repro.network.traces import NetworkTrace
+from repro.player.metrics import SessionMetrics
+from repro.player.session import SessionConfig
+from repro.video.model import VideoAsset
+
+__all__ = [
+    "SweepSpec",
+    "SweepWorkerError",
+    "WorkUnit",
+    "contiguous_runs",
+    "session_cost",
+    "batch_bounds",
+    "SweepScheduler",
+    "sweep_grid_id",
+    "TARGET_BATCH_COST",
+]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One (scheme, video, network) sweep request over a shared trace set.
+
+    ``video_key`` indexes the video mapping given to
+    :meth:`ParallelSweepRunner.run_specs`; keeping specs and assets
+    separate means a spec pickles in bytes while the assets ship once
+    per worker.
+
+    ``fault_plan`` replays this spec under injected adverse conditions;
+    when unset, the engine's own plan (if any) applies.
+    """
+
+    scheme: str
+    video_key: str
+    network: str = "lte"
+    algorithm_factory: Optional[Callable[[], ABRAlgorithm]] = None
+    estimator_factory: Optional[EstimatorFactory] = None
+    label: Optional[str] = None
+    fault_plan: Optional[FaultPlan] = None
+
+    def describe(self) -> str:
+        """Identity used in error messages (label wins over scheme)."""
+        return self.label if self.label is not None else self.scheme
+
+
+class SweepWorkerError(RuntimeError):
+    """A session failed inside a sweep; names the failing work unit.
+
+    ``args`` carries the four identification fields so the exception
+    round-trips through pickling between worker and parent process.
+    """
+
+    def __init__(self, spec_label: str, video_name: str, trace_name: str, cause: str):
+        super().__init__(spec_label, video_name, trace_name, cause)
+        self.spec_label = spec_label
+        self.video_name = video_name
+        self.trace_name = trace_name
+        self.cause = cause
+
+    def __str__(self) -> str:
+        return (
+            f"sweep unit failed: scheme={self.spec_label!r} "
+            f"video={self.video_name!r} trace={self.trace_name!r}: {self.cause}"
+        )
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable work unit: a spec over a contiguous trace batch.
+
+    ``order`` is the global submission index — the determinism key for
+    result assembly, snapshot merging, error selection, and (on the
+    multi-host backend) the lease-file name shared across processes.
+    """
+
+    order: int
+    spec_idx: int
+    start: int
+    stop: int
+
+    @property
+    def name(self) -> str:
+        """Canonical unit identity, shared across cooperating processes."""
+        return f"u{self.order:05d}-s{self.spec_idx}-{self.start}-{self.stop}"
+
+
+# ----------------------------------------------------------------------
+# Batch sizing
+# ----------------------------------------------------------------------
+
+#: Rough per-session cost relative to a CAVA session (~3 ms on the PR-4
+#: hot path), from the BENCH_hotpath measurements. Only batch *sizing*
+#: reads these — results are bit-identical however the grid is batched —
+#: so coarse numbers are fine; unknown schemes default to 1.
+SCHEME_COSTS: Dict[str, float] = {
+    "MPC": 8.0,
+    "RobustMPC": 8.0,
+    "PANDA/CQ max-sum": 4.0,
+    "PANDA/CQ max-min": 4.0,
+    "CAVA-oboe": 2.0,
+    "DYNAMIC": 2.0,
+}
+
+#: Amortized per-session cost when the unit runs on the lockstep batch
+#: engine, in scalar-CAVA equivalents (BENCH_hotpath ``session_batch``
+#: and ``sweep_batch`` measurements). Batched sessions are several times
+#: cheaper than their scalar counterparts; sizing units with the
+#: *scalar* numbers would cut batchable specs into a few traces each and
+#: squander the engine's vectorization width.
+BATCH_SCHEME_COSTS: Dict[str, float] = {
+    "MPC": 2.2,
+    "RobustMPC": 2.2,
+    "PANDA/CQ max-sum": 5.0,
+    "PANDA/CQ max-min": 0.6,
+}
+
+#: Default amortized cost of a batchable scheme (CAVA/RBA families) and
+#: of a batchable tuned factory (grid-search CAVA variants).
+BATCH_DEFAULT_COST = 0.15
+
+#: Target estimated cost per work unit, in CAVA-session equivalents:
+#: large enough that task dispatch overhead stays a rounding error,
+#: small enough that a pool of a few workers still load-balances.
+TARGET_BATCH_COST = 24.0
+
+
+def session_cost(spec: SweepSpec) -> float:
+    """Estimated per-session cost of one spec, in CAVA equivalents.
+
+    Specs the batch-capability probe accepts are costed with the
+    amortized lockstep numbers — only sizing reads these, so a spec
+    whose decider later declines merely runs in larger-than-ideal
+    scalar units.
+    """
+    batchable = batch_capability(
+        spec.scheme,
+        network=spec.network,
+        algorithm_factory=spec.algorithm_factory,
+        estimator_factory=spec.estimator_factory,
+        fault_plan=spec.fault_plan,
+    )
+    if spec.algorithm_factory is not None:
+        # Tuned factories (grid search) build CAVA variants; treat any
+        # unknown factory as baseline cost.
+        return BATCH_DEFAULT_COST if batchable else 1.0
+    try:
+        name = resolve_scheme_name(spec.scheme)
+    except Exception:
+        name = spec.scheme
+    if batchable:
+        return BATCH_SCHEME_COSTS.get(name, BATCH_DEFAULT_COST)
+    return SCHEME_COSTS.get(name, 1.0)
+
+
+def batch_bounds(
+    num_traces: int,
+    workers: int,
+    cost_per_session: float = 1.0,
+    batch_size: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """Contiguous [start, stop) trace batches for one spec.
+
+    Adaptive sizing: aim for :data:`TARGET_BATCH_COST` estimated cost
+    units per batch (so cheap sessions amortize dispatch overhead),
+    capped at ``ceil(num_traces / workers)`` (so the pool always has at
+    least ~one batch per worker to balance). An explicit ``batch_size``
+    overrides the adaptive choice.
+    """
+    if batch_size is not None:
+        size = batch_size
+    else:
+        amortized = max(
+            1, int(round(TARGET_BATCH_COST / max(cost_per_session, 1e-9)))
+        )
+        per_worker = max(1, -(-num_traces // workers))
+        size = min(amortized, per_worker)
+    return [
+        (start, min(start + size, num_traces))
+        for start in range(0, num_traces, size)
+    ]
+
+
+def contiguous_runs(indices: Sequence[int]) -> List[Tuple[int, int]]:
+    """Group sorted trace indices into maximal [start, stop) runs.
+
+    The output covers exactly the input indices, runs are disjoint and
+    internally contiguous, and they appear in ascending order — the
+    properties the distributed lease protocol leans on (pinned by the
+    hypothesis tests in ``tests/experiments/test_scheduler.py``).
+    """
+    runs: List[Tuple[int, int]] = []
+    start: Optional[int] = None
+    prev = -2
+    for index in indices:
+        if start is None:
+            start = index
+        elif index != prev + 1:
+            runs.append((start, prev + 1))
+            start = index
+        prev = index
+    if start is not None:
+        runs.append((start, prev + 1))
+    return runs
+
+
+def sweep_grid_id(keys: Sequence[Optional[Sequence[str]]]) -> str:
+    """Deterministic identity of one sweep grid, from its store keys.
+
+    Hashes every spec's per-trace session keys in spec order, so any two
+    processes planning the same (specs, videos, traces, config) grid —
+    on any host — derive the same id and therefore the same lease
+    directory. Raises :class:`UncacheableValueError` when any spec has
+    no store keys (multi-host coordination requires content identity).
+    """
+    hasher = hashlib.blake2b(digest_size=12)
+    for spec_keys in keys:
+        if spec_keys is None:
+            raise UncacheableValueError(
+                "multi-host sweeps require every spec to be cacheable "
+                "(module-level factories, no lambdas/closures)"
+            )
+        hasher.update(b"S")
+        for key in spec_keys:
+            hasher.update(key.encode("ascii") + b";")
+    return hasher.hexdigest()
+
+
+#: No-op telemetry hooks (the scheduler never *requires* a registry).
+def _no_count(name: str, help_text: str, amount: int = 1) -> None:
+    return None
+
+
+def _no_timer(name: str, help_text: str) -> ContextManager:
+    return nullcontext()
+
+
+class SweepScheduler:
+    """Grid planning shared by every executor backend.
+
+    Owns the logic that used to be welded into ``ParallelSweepRunner``:
+
+    - **partition** — split every spec's trace set into cached hits and
+      contiguous missing runs against the session store;
+    - **plan_units** — cost-aware batch sizing of the missing runs into
+      :class:`WorkUnit` submissions (the pool/asyncio work breakdown);
+    - **plan_grid_units** — the *canonical* full-grid breakdown every
+      cooperating process derives identically (the multi-host lease
+      catalogue, independent of any one process's store snapshot);
+    - **assemble** — deterministic merge of cached + computed parts
+      into ordered :class:`SweepResult` lists.
+
+    Telemetry is injected through two optional callbacks (``count`` and
+    ``timed``) so the scheduler itself stays backend- and
+    telemetry-agnostic.
+    """
+
+    def __init__(
+        self,
+        store: Optional[SessionStore] = None,
+        batch_size: Optional[int] = None,
+        count: Callable[..., None] = _no_count,
+        timed: Callable[[str, str], ContextManager] = _no_timer,
+    ) -> None:
+        self.store = store
+        self.batch_size = batch_size
+        self.count = count
+        self.timed = timed
+
+    # -- store partitioning --------------------------------------------
+
+    def partition(
+        self,
+        specs: Sequence[SweepSpec],
+        videos: Mapping[str, VideoAsset],
+        traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
+        config: SessionConfig,
+    ) -> Tuple[
+        List[Dict[int, SessionMetrics]],
+        List[Optional[List[str]]],
+        List[List[Tuple[int, int]]],
+    ]:
+        """Split every spec's trace set into cached hits and missing runs.
+
+        Returns, aligned with ``specs``: per-spec ``{trace_idx: cached
+        metrics}``, per-spec store keys (None when the spec is
+        uncacheable or there is no store), and per-spec contiguous
+        [start, stop) runs of *missing* trace indices. Without a store
+        every spec has one run covering its whole trace set, which is
+        exactly the historical behaviour.
+        """
+        from repro.telemetry.metrics import (
+            STORE_LOOKUP_SECONDS_METRIC,
+            STORE_UNCACHEABLE_METRIC,
+        )
+
+        cached: List[Dict[int, SessionMetrics]] = [dict() for _ in specs]
+        keys: List[Optional[List[str]]] = [None for _ in specs]
+        runs: List[List[Tuple[int, int]]] = []
+        for spec_idx, spec in enumerate(specs):
+            plan_traces = traces_by_plan[spec.fault_plan]
+            if self.store is None:
+                runs.append([(0, len(plan_traces))])
+                continue
+            video = videos[spec.video_key]
+            spec_keys = self.keys_for(spec, video, plan_traces, config)
+            if spec_keys is None:
+                self.count(
+                    STORE_UNCACHEABLE_METRIC,
+                    "specs bypassing the session store (no stable digest)",
+                )
+                runs.append([(0, len(plan_traces))])
+                continue
+            keys[spec_idx] = spec_keys
+            missing: List[int] = []
+            with self.timed(
+                STORE_LOOKUP_SECONDS_METRIC,
+                "session-store lookup scan per spec (seconds)",
+            ):
+                for trace_idx, key in enumerate(spec_keys):
+                    metrics = self.store.get(key)
+                    if metrics is None:
+                        missing.append(trace_idx)
+                    else:
+                        cached[spec_idx][trace_idx] = metrics
+            runs.append(contiguous_runs(missing))
+        return cached, keys, runs
+
+    def keys_for(
+        self,
+        spec: SweepSpec,
+        video: VideoAsset,
+        traces: Sequence[NetworkTrace],
+        config: SessionConfig,
+    ) -> Optional[List[str]]:
+        """Per-trace store keys for one spec (None when uncacheable)."""
+        if self.store is None:
+            return None
+        try:
+            return [
+                self.store.key_for(spec, video, trace, config)
+                for trace in traces
+            ]
+        except UncacheableValueError:
+            return None
+
+    # -- unit planning --------------------------------------------------
+
+    def plan_units(
+        self,
+        specs: Sequence[SweepSpec],
+        runs: Sequence[List[Tuple[int, int]]],
+        workers: int,
+    ) -> List[WorkUnit]:
+        """Cost-sized work units covering every spec's *missing* runs."""
+        units: List[WorkUnit] = []
+        for spec_idx, spec in enumerate(specs):
+            cost = session_cost(spec)
+            for rstart, rstop in runs[spec_idx]:
+                for start, stop in batch_bounds(
+                    rstop - rstart, workers, cost, self.batch_size
+                ):
+                    units.append(
+                        WorkUnit(
+                            len(units), spec_idx, rstart + start, rstart + stop
+                        )
+                    )
+        return units
+
+    def plan_grid_units(
+        self,
+        specs: Sequence[SweepSpec],
+        traces_by_plan: Mapping[Optional[FaultPlan], Sequence[NetworkTrace]],
+        workers: int,
+    ) -> List[WorkUnit]:
+        """The canonical full-grid work breakdown for multi-host leasing.
+
+        Unlike :meth:`plan_units` this ignores the local store snapshot:
+        every cooperating process — whenever it joins — derives the same
+        unit catalogue from the grid alone, so lease-file names line up
+        across hosts. Units whose sessions are already in the shared
+        store are simply observed as complete without being leased.
+        """
+        units: List[WorkUnit] = []
+        for spec_idx, spec in enumerate(specs):
+            cost = session_cost(spec)
+            num_traces = len(traces_by_plan[spec.fault_plan])
+            for start, stop in batch_bounds(
+                num_traces, workers, cost, self.batch_size
+            ):
+                units.append(WorkUnit(len(units), spec_idx, start, stop))
+        return units
+
+    # -- result assembly ------------------------------------------------
+
+    @staticmethod
+    def assemble(
+        specs: Sequence[SweepSpec],
+        videos: Mapping[str, VideoAsset],
+        parts: Sequence[Dict[int, List[SessionMetrics]]],
+        failures: Sequence[List[FailedUnit]],
+    ) -> List[SweepResult]:
+        """Merge per-spec part dictionaries into ordered sweep results.
+
+        ``parts[spec_idx]`` maps a starting trace index to the metric
+        run that begins there (cached singletons and computed batches
+        alike); starts are disjoint, so sorting the keys restores exact
+        trace order — the determinism contract every backend shares.
+        """
+        results: List[SweepResult] = []
+        for spec, chunks, spec_failures in zip(specs, parts, failures):
+            video = videos[spec.video_key]
+            metrics = [m for start in sorted(chunks) for m in chunks[start]]
+            ordered_failures = sorted(spec_failures, key=lambda f: f.start)
+            results.append(
+                SweepResult(
+                    scheme=spec.scheme,
+                    video_name=video.name,
+                    network=spec.network,
+                    metrics=metrics,
+                    failures=ordered_failures,
+                )
+            )
+        return results

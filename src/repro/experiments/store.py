@@ -302,6 +302,18 @@ class SessionStore:
     def _entry_path(self, key: str) -> Path:
         return self._objects / key[:2] / f"{key}.json"
 
+    def has(self, key: str) -> bool:
+        """Whether an entry file exists under ``key`` — stats-neutral.
+
+        A pure existence probe for coordination (the multi-host executor
+        scans the whole grid for missing sessions on every lease pass):
+        no read, no validation, and no hit/miss accounting, so polling
+        never skews the store's counters. A defective entry still counts
+        as present — it is surfaced (and charged) by :meth:`get` when
+        the merge actually reads it.
+        """
+        return self._entry_path(key).is_file()
+
     def get(self, key: str) -> Optional[SessionMetrics]:
         """The cached metrics under ``key``, or None (miss / bad entry).
 
@@ -465,6 +477,7 @@ class SessionStore:
         max_entries: Optional[int] = None,
         max_age_s: Optional[float] = None,
         remove_defective: bool = True,
+        dry_run: bool = False,
     ) -> Dict[str, int]:
         """Prune the store; returns removal counts by reason.
 
@@ -472,17 +485,38 @@ class SessionStore:
         :meth:`verify` reports, when ``remove_defective``), entries older
         than ``max_age_s``, then the oldest entries beyond
         ``max_entries``.
+
+        With ``dry_run`` nothing is deleted: the returned counts report
+        what a real run *would* remove under the same policy, so
+        ``repro cache gc --dry-run`` can preview an eviction safely.
         """
+
+        def remove(path: Path) -> bool:
+            if dry_run:
+                return True
+            try:
+                path.unlink()
+                return True
+            except OSError:
+                return False
+
         removed_defective = 0
         if remove_defective:
             for problem in self.verify():
-                try:
-                    problem.path.unlink()
+                if remove(problem.path):
                     removed_defective += 1
-                except OSError:
-                    pass
         survivors: List[Tuple[float, Path]] = []
+        defective = (
+            {problem.path for problem in self.verify()}
+            if (dry_run and remove_defective)
+            else set()
+        )
         for path in self._iter_entry_paths():
+            # Entries a dry run "removed" as defective must not also be
+            # counted toward age/size eviction — mirror the real pass,
+            # where they are already gone.
+            if path in defective:
+                continue
             try:
                 survivors.append((path.stat().st_mtime, path))
             except OSError:
@@ -493,23 +527,16 @@ class SessionStore:
             cutoff = time.time() - max_age_s
             keep: List[Tuple[float, Path]] = []
             for mtime, path in survivors:
-                if mtime < cutoff:
-                    try:
-                        path.unlink()
-                        removed_old += 1
-                        continue
-                    except OSError:
-                        pass
+                if mtime < cutoff and remove(path):
+                    removed_old += 1
+                    continue
                 keep.append((mtime, path))
             survivors = keep
         removed_excess = 0
         if max_entries is not None and len(survivors) > max_entries:
             for _mtime, path in survivors[: len(survivors) - max_entries]:
-                try:
-                    path.unlink()
+                if remove(path):
                     removed_excess += 1
-                except OSError:
-                    pass
         return {
             "defective": removed_defective,
             "expired": removed_old,

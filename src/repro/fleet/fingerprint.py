@@ -20,7 +20,7 @@ from hashlib import blake2b
 from typing import TYPE_CHECKING, Dict
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.fleet.runner import FleetResult
+    from repro.fleet.runner import FleetResult  # noqa: F401  (string annotation)
 
 __all__ = ["FINGERPRINT_ARRAYS", "FINGERPRINT_SCALARS", "fleet_fingerprint"]
 

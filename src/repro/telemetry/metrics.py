@@ -45,6 +45,9 @@ __all__ = [
     "SHM_BLOCKS_METRIC",
     "SHM_BYTES_METRIC",
     "SHM_ATTACHED_WORKERS_METRIC",
+    "LEASES_CLAIMED_METRIC",
+    "LEASES_RECLAIMED_METRIC",
+    "LEASE_WAIT_SECONDS_METRIC",
     "STORE_LOOKUP_SECONDS_METRIC",
     "STORE_WRITE_SECONDS_METRIC",
     "SHM_PUBLISH_SECONDS_METRIC",
@@ -70,6 +73,10 @@ STORE_UNCACHEABLE_METRIC = "repro_store_uncacheable_specs_total"
 SHM_BLOCKS_METRIC = "repro_sweep_shm_blocks"
 SHM_BYTES_METRIC = "repro_sweep_shm_bytes"
 SHM_ATTACHED_WORKERS_METRIC = "repro_sweep_shm_attached_workers_total"
+# Multi-host lease protocol (populated by the leasing executor backend).
+LEASES_CLAIMED_METRIC = "repro_sweep_leases_claimed_total"
+LEASES_RECLAIMED_METRIC = "repro_sweep_leases_reclaimed_total"
+LEASE_WAIT_SECONDS_METRIC = "repro_sweep_lease_wait_seconds"
 # Timer histograms around the store/shm hot spots (populated through
 # MetricsRegistry.timer by the sweep engine).
 STORE_LOOKUP_SECONDS_METRIC = "repro_store_lookup_seconds"

@@ -68,6 +68,9 @@ __all__ = [
     "SPAN_POOL_SPAWN",
     "SPAN_SWEEP_DRAIN",
     "SPAN_SWEEP_MERGE",
+    "SPAN_LEASE_CLAIM",
+    "SPAN_LEASE_RECLAIM",
+    "SPAN_STORE_MERGE",
     "SPAN_SHM_ATTACH",
     "SPAN_UNIT_RUN",
     "SPAN_UNIT_BATCH",
@@ -98,6 +101,12 @@ SPAN_SHM_PUBLISH = "shm.publish"
 SPAN_POOL_SPAWN = "pool.spawn"
 SPAN_SWEEP_DRAIN = "sweep.drain"
 SPAN_SWEEP_MERGE = "sweep.merge"
+# Multi-host lease protocol spans (recorded by the leasing executor:
+# claim brackets one leased unit's compute, reclaim one stale-lease
+# steal, store.merge the final read-back of the full grid).
+SPAN_LEASE_CLAIM = "lease.claim"
+SPAN_LEASE_RECLAIM = "lease.reclaim"
+SPAN_STORE_MERGE = "store.merge"
 # Worker-side spans.
 SPAN_SHM_ATTACH = "shm.attach"
 SPAN_UNIT_RUN = "unit.run"

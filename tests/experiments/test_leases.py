@@ -1,0 +1,131 @@
+"""Lease-board and sweep-manifest semantics for multi-host sweeps.
+
+The protocol's two load-bearing guarantees:
+
+- **one winner per claim** — ``O_CREAT | O_EXCL`` makes the lease file
+  an atomic mutex, so two hosts can never compute the same leased unit
+  concurrently by accident;
+- **exactly-once reclaim** — a stale lease is torn down through an
+  atomic rename to a tombstone, so when several hosts notice the same
+  dead peer, exactly one of them re-issues the unit.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.leases import (
+    LeaseBoard,
+    SweepRecipe,
+    latest_sweep_id,
+    list_sweeps,
+    read_manifest,
+    recipe_sweep_id,
+    write_manifest,
+)
+
+
+def backdate(board: LeaseBoard, unit: str, age_s: float) -> None:
+    """Age a lease file as if its owner stopped heartbeating."""
+    path = board._path(unit)
+    past = time.time() - age_s
+    os.utime(path, (past, past))
+
+
+class TestClaims:
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        board = LeaseBoard(tmp_path, "sweep", owner="a")
+        rival = LeaseBoard(tmp_path, "sweep", owner="b")
+        assert board.claim("u00000-s0-0-4")
+        assert not rival.claim("u00000-s0-0-4")
+        assert rival.claim("u00001-s0-4-8")  # other units unaffected
+        board.release("u00000-s0-0-4")
+        assert rival.claim("u00000-s0-0-4")
+
+    def test_release_is_idempotent(self, tmp_path):
+        board = LeaseBoard(tmp_path, "sweep")
+        board.claim("u")
+        board.release("u")
+        board.release("u")  # releasing a non-held lease is a no-op
+
+    def test_heartbeat_keeps_a_lease_fresh(self, tmp_path):
+        board = LeaseBoard(tmp_path, "sweep", ttl_s=5.0)
+        board.claim("u")
+        backdate(board, "u", age_s=60.0)
+        assert board.list_leases()[0].stale
+        board.heartbeat("u")
+        lease = board.list_leases()[0]
+        assert not lease.stale
+        assert lease.age_s < 5.0
+
+    def test_list_leases_reports_owner_and_age(self, tmp_path):
+        board = LeaseBoard(tmp_path, "sweep", owner="host-1:42")
+        board.claim("u00000-s0-0-4")
+        (lease,) = board.list_leases()
+        assert lease.unit == "u00000-s0-0-4"
+        assert lease.owner == "host-1:42"
+        assert lease.age_s >= 0.0
+        assert not lease.stale
+
+
+class TestReclaim:
+    def test_fresh_leases_are_not_reclaimed(self, tmp_path):
+        board = LeaseBoard(tmp_path, "sweep", ttl_s=60.0)
+        board.claim("u")
+        assert LeaseBoard(tmp_path, "sweep", ttl_s=60.0).reclaim_stale() == []
+
+    def test_stale_lease_reclaimed_and_reclaimable_once(self, tmp_path):
+        board = LeaseBoard(tmp_path, "sweep", ttl_s=1.0)
+        board.claim("u")
+        backdate(board, "u", age_s=30.0)
+        a = LeaseBoard(tmp_path, "sweep", ttl_s=1.0)
+        b = LeaseBoard(tmp_path, "sweep", ttl_s=1.0)
+        # Both peers see the same dead owner; the tombstone rename lets
+        # exactly one of them win the reclaim.
+        reclaimed = a.reclaim_stale() + b.reclaim_stale()
+        assert reclaimed == ["u"]
+        assert a.claim("u")  # the unit is claimable again
+
+    def test_reclaimed_unit_not_double_issued_later(self, tmp_path):
+        board = LeaseBoard(tmp_path, "sweep", ttl_s=1.0)
+        board.claim("u")
+        backdate(board, "u", age_s=30.0)
+        assert board.reclaim_stale() == ["u"]
+        assert board.reclaim_stale() == []
+
+
+class TestManifests:
+    def test_round_trip(self, tmp_path):
+        recipe = SweepRecipe(
+            schemes=("RBA", "CAVA"), videos=("short-test",),
+            network="fcc", traces=8, seed=3, faults="outages:p=0.05,seed=7",
+        )
+        sweep_id = recipe_sweep_id(recipe)
+        write_manifest(tmp_path, sweep_id, recipe)
+        assert read_manifest(tmp_path, sweep_id) == recipe
+
+    def test_recipe_id_is_content_addressed(self):
+        base = SweepRecipe(schemes=("RBA",), videos=("v",))
+        same = SweepRecipe(schemes=("RBA",), videos=("v",))
+        other = SweepRecipe(schemes=("RBA",), videos=("v",), seed=1)
+        assert recipe_sweep_id(base) == recipe_sweep_id(same)
+        assert recipe_sweep_id(base) != recipe_sweep_id(other)
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_manifest(tmp_path, "deadbeef")
+
+    def test_list_and_latest(self, tmp_path):
+        assert list_sweeps(tmp_path) == []
+        assert latest_sweep_id(tmp_path) is None
+        old = SweepRecipe(schemes=("RBA",), videos=("v",), seed=0)
+        new = SweepRecipe(schemes=("RBA",), videos=("v",), seed=1)
+        write_manifest(tmp_path, recipe_sweep_id(old), old)
+        newest = tmp_path / "sweeps" / f"{recipe_sweep_id(old)}.json"
+        past = time.time() - 100
+        os.utime(newest, (past, past))
+        write_manifest(tmp_path, recipe_sweep_id(new), new)
+        ids = [sweep_id for sweep_id, _ in list_sweeps(tmp_path)]
+        assert ids == [recipe_sweep_id(new), recipe_sweep_id(old)]
+        assert latest_sweep_id(tmp_path) == recipe_sweep_id(new)

@@ -1,0 +1,125 @@
+"""Properties of the backend-agnostic sweep scheduler.
+
+The distributed lease protocol leans on exact partitioning guarantees:
+``contiguous_runs`` must cover precisely the missing trace indices, and
+``batch_bounds`` must tile ``[0, num_traces)`` without gaps or overlaps
+— otherwise two hosts could compute the same session twice (benign but
+wasteful) or, worse, a session could fall through uncovered (a wedged
+sweep). These tests pin those guarantees with hypothesis.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scheduler import (
+    SweepScheduler,
+    SweepSpec,
+    WorkUnit,
+    batch_bounds,
+    contiguous_runs,
+    sweep_grid_id,
+)
+from repro.experiments.store import UncacheableValueError
+
+
+indices_strategy = st.lists(
+    st.integers(min_value=0, max_value=400), unique=True, max_size=60
+).map(sorted)
+
+
+class TestContiguousRuns:
+    @given(indices=indices_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_runs_cover_exactly_the_indices(self, indices):
+        runs = contiguous_runs(indices)
+        covered = [i for start, stop in runs for i in range(start, stop)]
+        assert covered == list(indices)
+
+    @given(indices=indices_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_runs_disjoint_ascending_and_maximal(self, indices):
+        runs = contiguous_runs(indices)
+        present = set(indices)
+        for start, stop in runs:
+            assert start < stop
+        for (_, stop_a), (start_b, _) in zip(runs, runs[1:]):
+            # Ascending and disjoint; a touching pair (stop_a ==
+            # start_b) would mean the run was not maximal.
+            assert stop_a < start_b
+        for start, stop in runs:
+            # Maximal: the elements flanking a run are absent.
+            assert start - 1 not in present
+            assert stop not in present
+
+    def test_empty_and_singleton(self):
+        assert contiguous_runs([]) == []
+        assert contiguous_runs([7]) == [(7, 8)]
+
+    def test_mixed_runs(self):
+        assert contiguous_runs([0, 1, 2, 5, 6, 9]) == [(0, 3), (5, 7), (9, 10)]
+
+
+class TestBatchBounds:
+    @given(
+        num_traces=st.integers(min_value=1, max_value=300),
+        workers=st.integers(min_value=1, max_value=32),
+        cost=st.floats(min_value=0.01, max_value=50.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bounds_tile_the_trace_range(self, num_traces, workers, cost):
+        bounds = batch_bounds(num_traces, workers, cost)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == num_traces
+        for start, stop in bounds:
+            assert start < stop
+        for (_, stop_a), (start_b, _) in zip(bounds, bounds[1:]):
+            assert stop_a == start_b
+
+    @given(
+        num_traces=st.integers(min_value=1, max_value=300),
+        workers=st.integers(min_value=1, max_value=32),
+        batch_size=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_explicit_batch_size_wins(self, num_traces, workers, batch_size):
+        bounds = batch_bounds(num_traces, workers, batch_size=batch_size)
+        sizes = [stop - start for start, stop in bounds]
+        assert all(size == batch_size for size in sizes[:-1])
+        assert 0 < sizes[-1] <= batch_size
+
+    def test_costlier_sessions_get_smaller_batches(self):
+        cheap = batch_bounds(200, 1, cost_per_session=0.15)
+        costly = batch_bounds(200, 1, cost_per_session=12.0)
+        assert max(b - a for a, b in costly) <= max(b - a for a, b in cheap)
+
+
+class TestSweepGridId:
+    def test_deterministic_and_content_sensitive(self):
+        keys = [["k1", "k2"], ["k3"]]
+        assert sweep_grid_id(keys) == sweep_grid_id([list(k) for k in keys])
+        assert sweep_grid_id(keys) != sweep_grid_id([["k1", "k2"], ["k4"]])
+        # Spec boundaries matter: the same flat keys split differently
+        # are a different grid.
+        assert sweep_grid_id([["k1"], ["k2", "k3"]]) != sweep_grid_id(keys)
+
+    def test_uncacheable_spec_rejected(self):
+        with pytest.raises(UncacheableValueError):
+            sweep_grid_id([["k1"], None])
+
+
+class TestGridUnits:
+    def test_plan_grid_units_ignores_store_snapshot(self, lte_traces):
+        # Every host must derive the same unit catalogue (hence the same
+        # lease names) regardless of what its store already holds.
+        specs = [SweepSpec(scheme="RBA", video_key="v", network="lte")]
+        scheduler = SweepScheduler(store=None)
+        a = scheduler.plan_grid_units(specs, {None: lte_traces}, 8)
+        b = scheduler.plan_grid_units(specs, {None: list(lte_traces)}, 8)
+        assert [u.name for u in a] == [u.name for u in b]
+        covered = [i for u in a for i in range(u.start, u.stop)]
+        assert covered == list(range(len(lte_traces)))
+
+    def test_unit_names_are_unique_and_stable(self):
+        unit = WorkUnit(3, 1, 4, 12)
+        assert unit.name == "u00003-s1-4-12"
